@@ -1,0 +1,146 @@
+// Ablation: the paper's forward-looking Section VIII items.
+//
+//  (1) FP4 (E2M1, Blackwell) as the off-diagonal storage format: how far
+//      can precision drop before the Associate phase stops producing
+//      usable predictions?
+//  (2) Blackwell performance projection: the paper expects ">2x the
+//      throughput of Hopper for each INT8/FP16/FP8 precision" plus FP4 -
+//      the machine catalogue carries a B200-class entry and we project
+//      the headline 13M x 20M run.
+//  (3) Patient reordering (the "spatial ordering ... to further expose
+//      data sparsity" remark) - adaptive precision fractions and low-rank
+//      tile ranks before vs after relatedness-aware ordering.
+#include <iostream>
+#include <span>
+
+#include "bench_common.hpp"
+#include "gwas/ordering.hpp"
+#include "krr/model.hpp"
+#include "linalg/low_rank.hpp"
+#include "perfmodel/scaling_model.hpp"
+#include "runtime/runtime.hpp"
+#include "stats/metrics.hpp"
+
+using namespace kgwas;
+
+int main(int argc, char** argv) {
+  const CliArgs args(argc, argv);
+  const std::size_t np = args.get_long("patients", 1000);
+  const std::size_t ns = args.get_long("snps", 96);
+
+  bench::print_header("Ablation: FP4 storage, Blackwell projection, ordering",
+                      "paper Section VIII (future work)");
+
+  Runtime rt;
+
+  // ---- (1) FP4 off-diagonal storage accuracy --------------------------
+  {
+    const GwasDataset dataset = bench::msprime_like_dataset(np, ns, 77);
+    const TrainTestSplit split = split_dataset(dataset, 0.8, 3);
+    const std::span<const float> truth(&split.test.phenotypes(0, 0),
+                                       split.test.patients());
+    Table table({"off-diag storage", "MSPE", "Pearson"});
+    for (const Precision low :
+         {Precision::kFp32, Precision::kFp16, Precision::kFp8E4M3,
+          Precision::kFp4E2M1}) {
+      KrrConfig kc;
+      kc.build.tile_size = 64;
+      kc.auto_gamma_scale = 2.0;
+      kc.associate.alpha = low == Precision::kFp4E2M1 ? 0.5 : 0.1;
+      kc.associate.mode = low == Precision::kFp32 ? PrecisionMode::kFixed
+                                                  : PrecisionMode::kBand;
+      kc.associate.band_fp32_fraction = 0.0;
+      kc.associate.low_precision = low;
+      KrrModel model;
+      std::string mspe_cell, rho_cell;
+      try {
+        model.fit(rt, split.train, kc);
+        const Matrix<float> pred = model.predict(rt, split.test);
+        const std::span<const float> yhat(&pred(0, 0), truth.size());
+        mspe_cell = Table::num(mspe(truth, yhat), 4);
+        rho_cell = Table::num(pearson(truth, yhat), 4);
+      } catch (const NumericalError&) {
+        mspe_cell = "FAIL (not SPD)";
+        rho_cell = "-";
+      }
+      table.add_row({to_string(low), mspe_cell, rho_cell});
+    }
+    table.print(std::cout);
+    std::cout << "\n";
+  }
+
+  // ---- (2) Blackwell projection ---------------------------------------
+  {
+    Table table({"system", "Build EF", "Associate PF/s", "KRR EF"});
+    for (const auto& name : {std::string("alps"), std::string("blackwell")}) {
+      const SystemSpec system = system_by_name(name);
+      const ScalingModel model(system);
+      const PrecisionMix mix{
+          Precision::kFp32,
+          name == "blackwell" ? Precision::kFp4E2M1 : Precision::kFp8E4M3,
+          1.0};
+      const int gpus = 8100;
+      const ModelResult b = model.build(13e6, 20e6, gpus);
+      const ModelResult a = model.associate(13e6, gpus, mix);
+      const ModelResult k = model.krr(13e6, 20e6, gpus, mix);
+      table.add_row({system.name + " (" + to_string(mix.low) + ")",
+                     Table::num(b.pflops / 1000.0, 3), Table::num(a.pflops, 0),
+                     Table::num(k.pflops / 1000.0, 3)});
+    }
+    table.print(std::cout);
+    std::cout << "\n";
+  }
+
+  // ---- (3) Relatedness-aware ordering ----------------------------------
+  {
+    CohortConfig cc;
+    cc.n_patients = 768;
+    cc.n_snps = 128;
+    cc.n_populations = 4;
+    cc.fst = 0.5;                // strongly divergent populations
+    cc.population_segment = 16;  // badly scrambled recruitment order
+    cc.seed = 41;
+    const Cohort cohort = simulate_cohort(cc);
+
+    auto analyze = [&](const GenotypeMatrix& genotypes, const char* label,
+                       Table& table) {
+      BuildConfig bc;
+      bc.tile_size = 64;
+      const auto& m = genotypes.matrix();
+      bc.gamma = 3.0 * suggest_gamma(
+                           std::span<const std::int8_t>(m.data(), m.size()),
+                           genotypes.patients(), genotypes.snps());
+      SymmetricTileMatrix k = build_kernel_matrix(
+          rt, genotypes, Matrix<float>(genotypes.patients(), 0), bc);
+      AdaptivePolicy policy;
+      // FP8-admitting backward-error target: whether a tile qualifies now
+      // depends on whether the ordering pushed its norm low enough.
+      policy.epsilon = 5e-2;
+      policy.available = {Precision::kFp16, Precision::kFp8E4M3};
+      const PrecisionMap map = adaptive_precision_map(k, policy);
+      const CompressionSurvey survey = survey_low_rank(k, 1e-3);
+      table.add_row(
+          {label, Table::num(map.off_diagonal_fraction(Precision::kFp8E4M3), 3),
+           Table::num(survey.mean_rank, 1),
+           Table::num(100.0 * survey.compressed_bytes / survey.dense_bytes, 1) +
+               "%"});
+    };
+
+    Table table({"ordering", "FP8 off-diag fraction", "mean tile rank",
+                 "TLR bytes"});
+    analyze(cohort.genotypes, "recruitment (scrambled)", table);
+    const auto labels = kmeans_patients(cohort.genotypes, 4, 20, 5);
+    const auto order = cluster_order(labels);
+    const GenotypeMatrix reordered = permute_patients(cohort.genotypes, order);
+    analyze(reordered, "relatedness-sorted (k-means)", table);
+    table.print(std::cout);
+    std::cout << "\nReading: sorting patients by relatedness concentrates "
+                 "kernel mass near the diagonal, letting the adaptive policy "
+                 "push most off-diagonal tiles to FP8 where the scrambled "
+                 "ordering admits none.  Off-diagonal numerical ranks stay "
+                 "near-full for dosage-space Gaussian kernels at this "
+                 "bandwidth - consistent with the paper leaving TLR "
+                 "exploitation as future work.\n";
+  }
+  return 0;
+}

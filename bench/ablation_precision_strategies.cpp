@@ -1,0 +1,126 @@
+// Ablation: the design choices DESIGN.md calls out for the Associate
+// phase, compared head-to-head on the same regularized kernel system.
+//
+//  1. FP32 tiled Cholesky (reference)
+//  2. adaptive mixed precision (the paper's approach): FP16/FP8 storage
+//     chosen per tile norm, no recovery iterations
+//  3. classical iterative refinement (the approach the paper avoids):
+//     aggressive uniform FP8 storage + FP64 residual recovery
+//
+// Reported: solve accuracy (relative residual), factor storage, and data
+// motion through the runtime ledger - the three axes of the paper's
+// argument that adaptive storage beats refinement on memory while holding
+// accuracy.
+#include <cmath>
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "krr/associate.hpp"
+#include "krr/build.hpp"
+#include "linalg/iterative_refinement.hpp"
+#include "linalg/tiled_cholesky.hpp"
+#include "mpblas/blas.hpp"
+#include "runtime/runtime.hpp"
+
+using namespace kgwas;
+
+namespace {
+
+double relative_residual(const Matrix<double>& a, const Matrix<float>& x,
+                         const Matrix<double>& b) {
+  Matrix<double> r = b;
+  const Matrix<double> xd = x.cast<double>();
+  gemm(Trans::kNoTrans, Trans::kNoTrans, a.rows(), xd.cols(), a.cols(), -1.0,
+       a.data(), a.ld(), xd.data(), xd.ld(), 1.0, r.data(), r.ld());
+  return frobenius_norm(r.rows(), r.cols(), r.data(), r.ld()) /
+         (frobenius_norm(a.rows(), a.cols(), a.data(), a.ld()) *
+          std::max(frobenius_norm(xd.rows(), xd.cols(), xd.data(), xd.ld()),
+                   1e-30));
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const CliArgs args(argc, argv);
+  const std::size_t np = args.get_long("patients", 640);
+  const std::size_t ns = args.get_long("snps", 96);
+  const std::size_t ts = args.get_long("tile", 64);
+
+  bench::print_header(
+      "Ablation: adaptive storage vs iterative refinement vs FP32",
+      "DESIGN.md section 7 / paper Section V-B2 discussion");
+
+  // Wider bandwidth (2x the median heuristic) so even a uniformly FP8
+  // factor stays SPD and the refinement strategy has something to refine.
+  const GwasDataset dataset = bench::msprime_like_dataset(np, ns);
+  Runtime rt;
+  BuildConfig bc;
+  bc.tile_size = ts;
+  bc.gamma = 2.0 / (0.9 * static_cast<double>(ns));
+  SymmetricTileMatrix kernel = build_kernel_matrix(
+      rt, dataset.genotypes, Matrix<float>(np, 0), bc);
+  add_diagonal(kernel, 0.5f);
+  const Matrix<float> k_dense_f = kernel.to_dense();
+  const Matrix<double> k_dense = k_dense_f.cast<double>();
+
+  Matrix<double> b(np, 2);
+  Rng rng(9);
+  for (std::size_t i = 0; i < b.size(); ++i) b.data()[i] = rng.normal();
+  const Matrix<float> bf = b.cast<float>();
+
+  Table table({"strategy", "rel residual", "factor bytes", "data motion B",
+               "extra solves"});
+
+  auto run_direct = [&](const char* label, const PrecisionMap& map) {
+    SymmetricTileMatrix tiles(np, ts);
+    tiles.from_dense(k_dense_f);
+    map.apply(tiles);
+    const std::size_t bytes = tiles.storage_bytes();
+    Runtime local_rt;
+    Matrix<float> x = bf;
+    tiled_posv(local_rt, tiles, x);
+    table.add_row({label, Table::num(relative_residual(k_dense, x, b), 8),
+                   std::to_string(bytes),
+                   std::to_string(local_rt.data_motion_bytes()), "0"});
+  };
+
+  const std::size_t nt = kernel.tile_count();
+  run_direct("FP32 (reference)", PrecisionMap(nt, Precision::kFp32));
+
+  {
+    AdaptivePolicy policy;
+    policy.available = {Precision::kFp16, Precision::kFp8E4M3};
+    policy.epsilon = 5e-3;
+    SymmetricTileMatrix probe(np, ts);
+    probe.from_dense(k_dense_f);
+    run_direct("adaptive FP16/FP8 (paper)",
+               adaptive_precision_map(probe, policy));
+  }
+
+  {
+    // Classical iterative refinement from a uniformly FP8 factor.
+    PrecisionMap fp8 = band_precision_map(nt, 0.0, Precision::kFp8E4M3);
+    Runtime local_rt;
+    RefinementOptions options;
+    options.tolerance = 1e-7;
+    options.max_iterations = 40;
+    const RefinementResult result =
+        solve_with_refinement(local_rt, k_dense, b, ts, fp8, options);
+    // Refinement must keep the FP64 operator around: add its bytes.
+    const std::size_t factor_bytes = map_storage_bytes(fp8, np, ts);
+    const std::size_t extra_fp64 = np * np * sizeof(double);
+    table.add_row({"uniform FP8 + IR (classical)",
+                   Table::num(result.final_residual, 8),
+                   std::to_string(factor_bytes) + "+" +
+                       std::to_string(extra_fp64) + " (FP64 copy)",
+                   std::to_string(local_rt.data_motion_bytes()),
+                   std::to_string(result.iterations)});
+  }
+
+  table.print(std::cout);
+  std::cout << "\nReading: adaptive reaches FP32-class residuals with one "
+               "solve and the smallest working set; refinement recovers "
+               "accuracy but must retain an FP64 operator copy and repeat "
+               "solves - the paper's memory-footprint argument.\n";
+  return 0;
+}

@@ -1,0 +1,59 @@
+// Shared driver for the Associate-phase scalability figures (Figs. 8-10):
+// for each node count, sweep matrix sizes and precision configurations and
+// report PFlop/s with the speedup-vs-uniform annotation the paper prints.
+#pragma once
+
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "common/table.hpp"
+#include "perfmodel/scaling_model.hpp"
+
+namespace kgwas::bench {
+
+struct MixCase {
+  std::string label;
+  PrecisionMix mix;
+};
+
+inline void associate_figure(const SystemSpec& system,
+                             const std::vector<int>& node_counts,
+                             int gpus_per_node,
+                             const std::vector<MixCase>& mixes,
+                             const std::string& baseline_label) {
+  const ScalingModel model(system);
+  for (const int nodes : node_counts) {
+    const int gpus = nodes * gpus_per_node;
+    std::cout << "-- " << nodes << " nodes (" << gpus << " " << system.gpu.name
+              << " GPUs) --\n";
+    std::vector<std::string> headers{"matrix size"};
+    for (const auto& mc : mixes) headers.push_back(mc.label + " PF/s");
+    Table table(headers);
+
+    // Matrix sizes from ~1/4 of memory up to memory-filling, as the paper
+    // sweeps each subplot up to the device-memory limit.
+    const double n_max = model.max_matrix_size(gpus, mixes.front().mix);
+    std::vector<double> sizes{0.4 * n_max, 0.6 * n_max, 0.8 * n_max, n_max};
+    std::vector<double> best_per_mix(mixes.size(), 0.0);
+    for (const double n : sizes) {
+      std::vector<std::string> row{Table::num(n / 1e6, 2) + "M"};
+      for (std::size_t m = 0; m < mixes.size(); ++m) {
+        const ModelResult r = model.associate(n, gpus, mixes[m].mix);
+        best_per_mix[m] = std::max(best_per_mix[m], r.pflops);
+        row.push_back(Table::num(r.pflops, 1));
+      }
+      table.add_row(row);
+    }
+    table.print(std::cout);
+    // Speedup annotations vs the last (uniform/baseline) mix.
+    const double base = best_per_mix.back();
+    for (std::size_t m = 0; m + 1 < mixes.size(); ++m) {
+      std::cout << "  " << mixes[m].label << " vs " << baseline_label << ": "
+                << Table::num(best_per_mix[m] / base, 1) << "x\n";
+    }
+    std::cout << "\n";
+  }
+}
+
+}  // namespace kgwas::bench

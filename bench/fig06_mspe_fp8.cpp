@@ -1,0 +1,107 @@
+// Figure 6: MSPE of FP8-enabled KRR vs FP16-enabled KRR vs FP16 RR on
+// msprime-like synthetic cohorts, across several cohort sizes plus the
+// paper's tall 300K:40K aspect ratio (scaled down).
+//
+// Expected shape: KRR-FP8 slightly above KRR-FP16, both well below RR.
+// KRR-FP8 stores *all* off-diagonal tiles in FP8 (the paper's Fig. 4b
+// adaptive outcome on GH200); KRR-FP16 uses the FP16-floor adaptive map.
+#include <iostream>
+#include <span>
+
+#include "bench_common.hpp"
+#include "krr/model.hpp"
+#include "krr/ridge.hpp"
+#include "runtime/runtime.hpp"
+#include "stats/metrics.hpp"
+
+using namespace kgwas;
+
+namespace {
+
+struct RunResult {
+  double rr = 0.0, krr16 = 0.0, krr8 = 0.0;
+};
+
+RunResult run_case(Runtime& rt, std::size_t np, std::size_t ns,
+                   std::size_t ts, std::uint64_t seed) {
+  const GwasDataset dataset = bench::msprime_like_dataset(np, ns, seed);
+  const TrainTestSplit split = split_dataset(dataset, 0.8, seed + 1);
+  const std::span<const float> truth(&split.test.phenotypes(0, 0),
+                                     split.test.patients());
+  RunResult out;
+
+  RidgeModel rr;
+  RidgeConfig rc;
+  rc.lambda = 1.0;
+  rc.tile_size = 16;
+  rc.mode = PrecisionMode::kAdaptive;
+  rc.low_precision = Precision::kFp16;
+  rc.adaptive.epsilon = 2e-3;
+  rc.adaptive.available = {Precision::kFp16};
+  rr.fit(rt, split.train, rc);
+  {
+    const Matrix<float> pred = rr.predict(split.test);
+    out.rr = mspe(truth, std::span<const float>(&pred(0, 0), truth.size()));
+  }
+
+  auto run_krr = [&](Precision low, bool all_low) {
+    KrrModel model;
+    KrrConfig kc;
+    kc.build.tile_size = ts;
+    // Wider bandwidth keeps off-diagonal kernel mass small enough for the
+    // all-FP8 factor to remain SPD at this alpha (see EXPERIMENTS.md).
+    kc.auto_gamma_scale = 2.0;
+    kc.associate.alpha = 0.1;
+    if (all_low) {
+      kc.associate.mode = PrecisionMode::kBand;  // all off-diagonal low
+      kc.associate.band_fp32_fraction = 0.0;
+      kc.associate.low_precision = low;
+    } else {
+      kc.associate.mode = PrecisionMode::kAdaptive;
+      kc.associate.adaptive.epsilon = 2e-3;
+      kc.associate.adaptive.available = {low};
+    }
+    model.fit(rt, split.train, kc);
+    const Matrix<float> pred = model.predict(rt, split.test);
+    return mspe(truth, std::span<const float>(&pred(0, 0), truth.size()));
+  };
+  out.krr16 = run_krr(Precision::kFp16, /*all_low=*/false);
+  out.krr8 = run_krr(Precision::kFp8E4M3, /*all_low=*/true);
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const CliArgs args(argc, argv);
+  const std::size_t ts = args.get_long("tile", 64);
+  const std::size_t ns = args.get_long("snps", 96);
+  const std::size_t base = args.get_long("base", 800);
+
+  bench::print_header(
+      "MSPE with FP8 on msprime-like synthetic cohorts (Alps/GH200 path)",
+      "Fig. 6 (N_P sweep plus the tall 300K:40K shape; scaled)");
+
+  Table table({"N_P", "N_S", "RR FP16", "KRR FP16", "KRR FP8"});
+  Runtime rt;
+  std::size_t case_index = 0;
+  for (const double mult : {1.0, 1.5, 2.0}) {
+    const auto np = static_cast<std::size_t>(base * mult);
+    const RunResult r = run_case(rt, np, ns, ts, 100 + case_index++);
+    table.add_row({std::to_string(np), std::to_string(ns),
+                   Table::num(r.rr, 4), Table::num(r.krr16, 4),
+                   Table::num(r.krr8, 4)});
+  }
+  // The paper's 300K x 40K (7.5:1) aspect ratio, scaled.
+  {
+    const std::size_t np = base * 5 / 2, ns_tall = np * 40 / 300;
+    const RunResult r = run_case(rt, np, ns_tall, ts, 200);
+    table.add_row({std::to_string(np), std::to_string(ns_tall),
+                   Table::num(r.rr, 4), Table::num(r.krr16, 4),
+                   Table::num(r.krr8, 4)});
+  }
+  table.print(std::cout);
+  std::cout << "\nShape check vs paper: KRR-FP8 slightly above KRR-FP16, both "
+               "well below FP16 RR.\n";
+  return 0;
+}

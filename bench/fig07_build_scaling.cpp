@@ -1,0 +1,35 @@
+// Figure 7: weak scalability of the Build phase (INT8 TC distance
+// calculations) on Alps, 256 -> 4096 GH200 GPUs, memory-filling sizes.
+// Paper: 107.40 / 208.07 / 382.73 / 671.03 / 1296.00 PFlop/s (12.07x).
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "perfmodel/scaling_model.hpp"
+
+using namespace kgwas;
+
+int main(int argc, char** argv) {
+  const CliArgs args(argc, argv);
+  bench::print_header("Build phase weak scaling on Alps (perf model)",
+                      "Fig. 7 (256..4096 GH200, PFlop/s, 12.07x annotation)");
+
+  const ScalingModel model(alps_system());
+  const PrecisionMix mix{Precision::kFp32, Precision::kFp8E4M3, 1.0};
+  Table table({"GPUs", "matrix size", "N_S", "PFlop/s", "per-GPU TFlop/s"});
+  double first = 0.0, last = 0.0;
+  for (const int gpus : {256, 512, 1024, 2048, 4096}) {
+    const double n = model.max_matrix_size(gpus, mix);
+    const double ns = n;  // N_P = N_S as in the paper's weak-scaling runs
+    const ModelResult r = model.build(n, ns, gpus);
+    if (gpus == 256) first = r.pflops;
+    last = r.pflops;
+    table.add_row({std::to_string(gpus), Table::num(n / 1e6, 2) + "M",
+                   Table::num(ns / 1e6, 2) + "M", Table::num(r.pflops, 2),
+                   Table::num(r.per_gpu_tflops, 1)});
+  }
+  table.print(std::cout);
+  std::cout << "\nspeedup 256 -> 4096 GPUs: " << Table::num(last / first, 2)
+            << "x (paper: 12.07x, 75% parallel efficiency)\n";
+  (void)args;
+  return 0;
+}

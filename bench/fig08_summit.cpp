@@ -1,0 +1,22 @@
+// Figure 8: Associate-phase scalability on Summit (V100): FP64/FP16,
+// FP64/FP32 and uniform FP64, at 256/512/1024 nodes (6 GPUs per node).
+// Paper annotations: up to 2.5x (FP64/FP32) and 6.2x (FP64/FP16) over
+// FP64 on 1024 nodes.
+#include "associate_figure.hpp"
+#include "bench_common.hpp"
+
+using namespace kgwas;
+
+int main(int argc, char** argv) {
+  const CliArgs args(argc, argv);
+  bench::print_header("Associate phase on Summit (perf model)",
+                      "Fig. 8a-c (FP64/FP16, FP64/FP32, FP64)");
+  const std::vector<bench::MixCase> mixes{
+      {"FP64/FP16", {Precision::kFp64, Precision::kFp16, 1.0}},
+      {"FP64/FP32", {Precision::kFp64, Precision::kFp32, 1.0}},
+      {"FP64", PrecisionMix::uniform(Precision::kFp64)},
+  };
+  bench::associate_figure(summit_system(), {256, 512, 1024}, 6, mixes, "FP64");
+  (void)args;
+  return 0;
+}

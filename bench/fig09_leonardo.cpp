@@ -1,0 +1,22 @@
+// Figure 9: Associate-phase scalability on Leonardo (A100): FP64/FP16 and
+// FP64/FP32 at 256/512/1024 nodes (4 GPUs per node).  Paper annotation:
+// ~3.6x over FP32 on 1024 nodes (FP64 and FP32 sustain the same rate on
+// A100).
+#include "associate_figure.hpp"
+#include "bench_common.hpp"
+
+using namespace kgwas;
+
+int main(int argc, char** argv) {
+  const CliArgs args(argc, argv);
+  bench::print_header("Associate phase on Leonardo (perf model)",
+                      "Fig. 9a-c (FP64/FP16 vs FP64/FP32)");
+  const std::vector<bench::MixCase> mixes{
+      {"FP64/FP16", {Precision::kFp64, Precision::kFp16, 1.0}},
+      {"FP64/FP32", {Precision::kFp64, Precision::kFp32, 1.0}},
+  };
+  bench::associate_figure(leonardo_system(), {256, 512, 1024}, 4, mixes,
+                          "FP64/FP32");
+  (void)args;
+  return 0;
+}

@@ -1,0 +1,22 @@
+// Figure 10: Associate-phase scalability on Alps (GH200): FP32/FP8,
+// FP32/FP16, FP32 at 256/512/1024 nodes (4 superchips per node).  Paper
+// annotations on 1024 nodes: 3.2x (FP32/FP16) and 4.8x (FP32/FP8) over
+// FP32; ~440 and ~667 PFlop/s.
+#include "associate_figure.hpp"
+#include "bench_common.hpp"
+
+using namespace kgwas;
+
+int main(int argc, char** argv) {
+  const CliArgs args(argc, argv);
+  bench::print_header("Associate phase on Alps (perf model)",
+                      "Fig. 10a-c (FP32/FP8, FP32/FP16, FP32)");
+  const std::vector<bench::MixCase> mixes{
+      {"FP32/FP8", {Precision::kFp32, Precision::kFp8E4M3, 1.0}},
+      {"FP32/FP16", {Precision::kFp32, Precision::kFp16, 1.0}},
+      {"FP32", PrecisionMix::uniform(Precision::kFp32)},
+  };
+  bench::associate_figure(alps_system(), {256, 512, 1024}, 4, mixes, "FP32");
+  (void)args;
+  return 0;
+}

@@ -1,0 +1,66 @@
+// Figure 12: Associate phase on Alps normalized per GPU.
+// (a) weak scaling 256..4096 GPUs: ~98-100% for all three configs, around
+//     159 TFlop/s per GPU for FP32/FP8.
+// (b) strong scaling 1024..4096 GPUs: FP32/FP16 and FP32/FP8 fall to
+//     ~50% while FP32 keeps ~77%.
+#include <iostream>
+
+#include "associate_figure.hpp"
+#include "bench_common.hpp"
+#include "perfmodel/scaling_model.hpp"
+
+using namespace kgwas;
+
+namespace {
+
+void scaling_table(const ScalingModel& model,
+                   const std::vector<bench::MixCase>& mixes,
+                   const std::vector<int>& gpu_counts, bool weak) {
+  std::vector<std::string> headers{"GPUs"};
+  for (const auto& mc : mixes) {
+    headers.push_back(mc.label + " TF/s/GPU");
+    headers.push_back(mc.label + " eff");
+  }
+  Table table(headers);
+  std::vector<double> base(mixes.size(), 0.0);
+  const double fixed_n = model.max_matrix_size(gpu_counts.front(), mixes[0].mix);
+  for (const int gpus : gpu_counts) {
+    std::vector<std::string> row{std::to_string(gpus)};
+    for (std::size_t m = 0; m < mixes.size(); ++m) {
+      const double n =
+          weak ? model.max_matrix_size(gpus, mixes[m].mix) : fixed_n;
+      const ModelResult r = model.associate(n, gpus, mixes[m].mix);
+      if (gpus == gpu_counts.front()) base[m] = r.per_gpu_tflops;
+      row.push_back(Table::num(r.per_gpu_tflops, 1));
+      row.push_back(Table::num(100.0 * r.per_gpu_tflops / base[m], 0) + "%");
+    }
+    table.add_row(row);
+  }
+  table.print(std::cout);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const CliArgs args(argc, argv);
+  bench::print_header("Associate on Alps, normalized per GPU (perf model)",
+                      "Fig. 12a (weak) / 12b (strong)");
+  const ScalingModel model(alps_system());
+  const std::vector<bench::MixCase> mixes{
+      {"FP32/FP8", {Precision::kFp32, Precision::kFp8E4M3, 1.0}},
+      {"FP32/FP16", {Precision::kFp32, Precision::kFp16, 1.0}},
+      {"FP32", PrecisionMix::uniform(Precision::kFp32)},
+  };
+  std::cout << "(a) weak scalability (memory-filling sizes)\n";
+  scaling_table(model, mixes, {256, 512, 1024, 2048, 4096}, /*weak=*/true);
+  std::cout << "\n(b) strong scalability (size fixed at the 1024-GPU point)\n";
+  scaling_table(model, mixes, {1024, 2048, 4096}, /*weak=*/false);
+  std::cout << "\nShape check vs paper: weak near-perfect for all configs; "
+               "under strong scaling the low-precision configs lose "
+               "efficiency first while FP32 stays near-flat (the paper "
+               "measures a deeper drop, to ~50% vs ~77%: its runtime-level "
+               "losses exceed this volume-based comm model - see "
+               "EXPERIMENTS.md).\n";
+  (void)args;
+  return 0;
+}

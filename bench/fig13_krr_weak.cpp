@@ -1,0 +1,43 @@
+// Figure 13: weak scaling of the whole KRR-based GWAS (Build + Associate)
+// on Alps for N_S = N_P * {1..5}, FP32/FP16 (left) and FP32/FP8 (right).
+// Paper shape: throughput grows with N_S multiplier (Build dominates and
+// scales with N_S); the FP16->FP8 gain shrinks as N_S grows because FP8
+// only accelerates the Associate phase.
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "perfmodel/scaling_model.hpp"
+
+using namespace kgwas;
+
+int main(int argc, char** argv) {
+  const CliArgs args(argc, argv);
+  bench::print_header("KRR-based GWAS weak scaling on Alps (perf model)",
+                      "Fig. 13 (N_S = N_P * 1..5; FP32/FP16 and FP32/FP8)");
+  const ScalingModel model(alps_system());
+
+  for (const auto& [label, mix] :
+       {std::pair<std::string, PrecisionMix>{
+            "FP32/FP16", {Precision::kFp32, Precision::kFp16, 1.0}},
+        std::pair<std::string, PrecisionMix>{
+            "FP32/FP8", {Precision::kFp32, Precision::kFp8E4M3, 1.0}}}) {
+    std::cout << "-- " << label << " --\n";
+    Table table({"GPUs", "NS=NP*1", "NS=NP*2", "NS=NP*3", "NS=NP*4",
+                 "NS=NP*5"});
+    for (const int gpus : {256, 512, 1024, 2048, 4096}) {
+      std::vector<std::string> row{std::to_string(gpus)};
+      for (int mult = 1; mult <= 5; ++mult) {
+        const double n = model.max_matrix_size(gpus, mix);
+        const ModelResult r = model.krr(n, n * mult, gpus, mix);
+        row.push_back(Table::num(r.pflops, 1));
+      }
+      table.add_row(row);
+    }
+    table.print(std::cout);
+    std::cout << "\n";
+  }
+  std::cout << "Shape check vs paper: PFlop/s rise with the N_S multiplier; "
+               "the FP8-over-FP16 advantage shrinks as N_S grows.\n";
+  (void)args;
+  return 0;
+}

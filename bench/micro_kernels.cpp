@@ -1,0 +1,140 @@
+// Kernel-level microbenchmarks (google-benchmark): the mixed-precision
+// GEMM/SYRK/POTRF tile kernels and the INT8 distance build.  These are
+// the per-tile costs the performance model's efficiency constants stand
+// in for on GPU hardware.
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "common/rng.hpp"
+#include "gwas/cohort_simulator.hpp"
+#include "krr/build.hpp"
+#include "precision/convert.hpp"
+#include "mpblas/blas.hpp"
+#include "mpblas/mixed.hpp"
+#include "runtime/runtime.hpp"
+
+namespace kgwas {
+namespace {
+
+Matrix<float> random_matrix(std::size_t m, std::size_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  Matrix<float> a(m, n);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    a.data()[i] = static_cast<float>(rng.normal());
+  }
+  return a;
+}
+
+void BM_GemmFp32(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const Matrix<float> a = random_matrix(n, n, 1);
+  const Matrix<float> b = random_matrix(n, n, 2);
+  Matrix<float> c(n, n, 0.0f);
+  for (auto _ : state) {
+    gemm(Trans::kNoTrans, Trans::kTrans, n, n, n, 1.0f, a.data(), n, b.data(),
+         n, 0.0f, c.data(), n);
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(2 * n * n * n));
+}
+BENCHMARK(BM_GemmFp32)->Arg(64)->Arg(128)->Arg(256);
+
+void BM_GemmTensorCoreEmulated(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto precision = static_cast<Precision>(state.range(1));
+  const Matrix<float> a = random_matrix(n, n, 3);
+  const Matrix<float> b = random_matrix(n, n, 4);
+  Matrix<float> c(n, n, 0.0f);
+  for (auto _ : state) {
+    gemm_tc(precision, Trans::kNoTrans, Trans::kTrans, n, n, n, 1.0f, a.data(),
+            n, b.data(), n, 0.0f, c.data(), n);
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.SetLabel(to_string(precision));
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(2 * n * n * n));
+}
+BENCHMARK(BM_GemmTensorCoreEmulated)
+    ->Args({128, static_cast<long>(Precision::kFp16)})
+    ->Args({128, static_cast<long>(Precision::kFp8E4M3)})
+    ->Args({128, static_cast<long>(Precision::kBf16)});
+
+void BM_SyrkInt8(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto k = static_cast<std::size_t>(state.range(1));
+  Rng rng(5);
+  Matrix<std::int8_t> a(n, k);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    a.data()[i] = static_cast<std::int8_t>(rng.uniform_index(3));
+  }
+  Matrix<std::int32_t> c(n, n, 0);
+  for (auto _ : state) {
+    syrk_i8_i32(Uplo::kLower, Trans::kNoTrans, n, k, 1, a.data(), n, 0,
+                c.data(), n);
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n * n * k));
+}
+BENCHMARK(BM_SyrkInt8)->Args({128, 512})->Args({256, 512});
+
+void BM_PotrfFp32(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  Matrix<float> spd(n, n, 0.0f);
+  const Matrix<float> g = random_matrix(n, n, 6);
+  syrk(Uplo::kLower, Trans::kNoTrans, n, n, 1.0f, g.data(), n, 0.0f,
+       spd.data(), n);
+  for (std::size_t i = 0; i < n; ++i) spd(i, i) += static_cast<float>(n);
+  for (auto _ : state) {
+    Matrix<float> a = spd;
+    const int info = potrf(Uplo::kLower, n, a.data(), n);
+    benchmark::DoNotOptimize(info);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n * n * n / 3));
+}
+BENCHMARK(BM_PotrfFp32)->Arg(128)->Arg(256)->Arg(512);
+
+void BM_KernelBuild(benchmark::State& state) {
+  const auto np = static_cast<std::size_t>(state.range(0));
+  const GenotypeMatrix g = simulate_random_genotypes(np, 256, 7);
+  const Matrix<float> conf(np, 0);
+  BuildConfig config;
+  config.tile_size = 64;
+  config.gamma = 0.01;
+  Runtime rt;
+  for (auto _ : state) {
+    const SymmetricTileMatrix k = build_kernel_matrix(rt, g, conf, config);
+    benchmark::DoNotOptimize(k.tile_count());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(np * np * 256 / 2));
+}
+BENCHMARK(BM_KernelBuild)->Arg(256)->Arg(512);
+
+void BM_QuantizeRoundTrip(benchmark::State& state) {
+  const auto precision = static_cast<Precision>(state.range(0));
+  std::vector<float> data(65536);
+  Rng rng(8);
+  for (auto& v : data) v = static_cast<float>(rng.normal());
+  std::vector<std::uint8_t> storage(data.size() * bytes_per_element(precision));
+  std::vector<float> back(data.size());
+  for (auto _ : state) {
+    quantize_buffer(precision, data.data(), storage.data(), data.size());
+    dequantize_buffer(precision, storage.data(), back.data(), data.size());
+    benchmark::DoNotOptimize(back.data());
+  }
+  state.SetLabel(to_string(precision));
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(data.size()));
+}
+BENCHMARK(BM_QuantizeRoundTrip)
+    ->Arg(static_cast<long>(Precision::kFp16))
+    ->Arg(static_cast<long>(Precision::kFp8E4M3));
+
+}  // namespace
+}  // namespace kgwas
+
+BENCHMARK_MAIN();

@@ -1,0 +1,85 @@
+// National-scale GWAS campaign planner (paper Section VIII: "Extending
+// patient populations to 13 million ... democratizes GWAS, accommodating
+// the full population of 63% of the world's countries").
+//
+// Given a cohort size, SNP count and a target system, the planner uses
+// the calibrated performance model to report, per GPU count: whether the
+// kernel matrix fits, the Build/Associate/total times, and the
+// mixed-precision rate — i.e. the sizing exercise behind the paper's
+// capability runs.
+//
+// Run: ./build/examples/national_scale_planner --patients 13000000 \
+//        --snps 20000000 --system alps [--mix fp8|fp16|fp32]
+#include <iostream>
+#include <string>
+
+#include "common/cli.hpp"
+#include "common/table.hpp"
+#include "perfmodel/scaling_model.hpp"
+
+int main(int argc, char** argv) {
+  using namespace kgwas;
+  const CliArgs args(argc, argv);
+  const double np = args.get_double("patients", 13e6);
+  const double ns = args.get_double("snps", 20e6);
+  const std::string system_name = args.get("system", "alps");
+  const std::string mix_name = args.get("mix", "fp8");
+
+  const SystemSpec system = system_by_name(system_name);
+  PrecisionMix mix{Precision::kFp32, Precision::kFp8E4M3, 1.0};
+  if (mix_name == "fp16") mix = {Precision::kFp32, Precision::kFp16, 1.0};
+  if (mix_name == "fp32") mix = PrecisionMix::uniform(Precision::kFp32);
+  if (!system.gpu.supports(mix.low)) {
+    std::cout << "note: " << system.gpu.name << " has no native "
+              << to_string(mix.low) << "; falling back to FP16\n";
+    mix.low = Precision::kFp16;
+  }
+
+  const ScalingModel model(system);
+  std::cout << "campaign: " << np / 1e6 << "M patients x " << ns / 1e6
+            << "M SNPs on " << system.name << " (" << system.gpu.name
+            << "), mix FP32/" << to_string(mix.low) << "\n\n";
+
+  Table table({"GPUs", "fits?", "Build (s)", "Associate (s)", "total (h)",
+               "KRR PFlop/s"});
+  bool any_fit = false;
+  for (int gpus = 512; gpus <= system.max_gpus; gpus *= 2) {
+    const bool fits = model.max_matrix_size(gpus, mix) >= np;
+    std::string build_s = "-", assoc_s = "-", total_h = "-", rate = "-";
+    if (fits) {
+      any_fit = true;
+      const ModelResult b = model.build(np, ns, gpus);
+      const ModelResult a = model.associate(np, gpus, mix);
+      const ModelResult k = model.krr(np, ns, gpus, mix);
+      build_s = Table::num(b.seconds, 0);
+      assoc_s = Table::num(a.seconds, 0);
+      total_h = Table::num(k.seconds / 3600.0, 2);
+      rate = Table::num(k.pflops, 0);
+    }
+    table.add_row({std::to_string(gpus), fits ? "yes" : "no", build_s,
+                   assoc_s, total_h, rate});
+  }
+  // The system's full (paper) configuration.
+  {
+    const int gpus = system.max_gpus;
+    if (model.max_matrix_size(gpus, mix) >= np) {
+      any_fit = true;
+      const ModelResult b = model.build(np, ns, gpus);
+      const ModelResult a = model.associate(np, gpus, mix);
+      const ModelResult k = model.krr(np, ns, gpus, mix);
+      table.add_row({std::to_string(gpus) + " (full)", "yes",
+                     Table::num(b.seconds, 0), Table::num(a.seconds, 0),
+                     Table::num(k.seconds / 3600.0, 2),
+                     Table::num(k.pflops, 0)});
+    }
+  }
+  table.print(std::cout);
+  if (!any_fit) {
+    std::cout << "\nThe kernel matrix does not fit this system at any GPU "
+                 "count - reduce the cohort or pick a larger machine.\n";
+  } else {
+    std::cout << "\nFor reference, the paper sustains 1.805 mixed-precision "
+                 "ExaOp/s (= 1805 PFlop/s) for the whole KRR on 8100 GH200.\n";
+  }
+  return 0;
+}

@@ -1,0 +1,69 @@
+// Quickstart: the whole KRR-based multivariate GWAS pipeline in ~60 lines.
+//
+//   1. simulate a structured cohort (stand-in for your PLINK data),
+//   2. split 80/20,
+//   3. fit mixed-precision KRR (Build -> Associate on the runtime),
+//   4. predict the held-out patients and score the predictions.
+//
+// Build:  cmake -B build -G Ninja && cmake --build build
+// Run:    ./build/examples/quickstart [--patients 800 --snps 512]
+#include <iostream>
+
+#include "common/cli.hpp"
+#include "common/table.hpp"
+#include "gwas/cohort_simulator.hpp"
+#include "gwas/dataset.hpp"
+#include "gwas/phenotype.hpp"
+#include "krr/model.hpp"
+#include "runtime/runtime.hpp"
+
+int main(int argc, char** argv) {
+  using namespace kgwas;
+  const CliArgs args(argc, argv);
+
+  // 1. A cohort with population structure, LD, and one epistatic disease.
+  CohortConfig cohort_config;
+  cohort_config.n_patients = args.get_long("patients", 900);
+  cohort_config.n_snps = args.get_long("snps", 96);
+  cohort_config.n_populations = 4;
+  Cohort cohort = simulate_cohort(cohort_config);
+
+  PhenotypeConfig trait;
+  trait.name = "ExampleDisease";
+  trait.h2_additive = 0.1;
+  trait.h2_epistatic = 0.8;   // the non-linear signal KRR is built for
+  trait.prevalence = 0.3;     // binary disease, 30% prevalence
+  PhenotypePanel panel = simulate_panel(cohort, {trait});
+  GwasDataset dataset = make_dataset(std::move(cohort), std::move(panel));
+
+  // 2. The paper's 80/20 evaluation protocol.
+  const TrainTestSplit split = split_dataset(dataset, 0.8);
+
+  // 3. Fit: Gaussian kernel via INT8 distance SYRK, adaptive-precision
+  //    Cholesky (FP32 diagonal, FP16 off-diagonal tiles where safe).
+  Runtime runtime;  // dataflow runtime, one worker per hardware thread
+  KrrConfig config;
+  config.auto_gamma_scale = 1.0;            // median-heuristic bandwidth
+  config.associate.alpha = 0.5;             // ridge regularization
+  config.associate.mode = PrecisionMode::kAdaptive;
+  config.associate.adaptive.available = {Precision::kFp16};
+
+  KrrModel model;
+  model.fit(runtime, split.train, config);
+  std::cout << "fitted: gamma=" << model.gamma() << ", factor storage "
+            << model.factor_bytes() << " bytes (" << model.fp32_bytes()
+            << " at pure FP32)\n";
+
+  // 4. Predict and score.
+  const Matrix<float> predictions = model.predict(runtime, split.test);
+  const auto metrics = evaluate_predictions(
+      split.test.phenotypes, predictions, dataset.phenotype_names);
+
+  Table table({"phenotype", "MSPE", "Pearson", "R2"});
+  for (const auto& m : metrics) {
+    table.add_row({m.name, Table::num(m.mspe, 4), Table::num(m.pearson, 4),
+                   Table::num(m.r2, 4)});
+  }
+  table.print(std::cout);
+  return 0;
+}

@@ -1,0 +1,115 @@
+// A full epistasis study in the style of the paper's UK BioBank
+// evaluation: five diseases, three models (REGENIE-lite stacked ridge,
+// linear mixed-precision RR, mixed-precision Gaussian KRR), one shared
+// 80/20 split.  Also demonstrates two operational features the paper
+// highlights:
+//
+//  * factor reuse — the kernel matrix is factorized once and solved
+//    against all five phenotypes (unlike per-phenotype deep models);
+//  * the precision heatmap of the Associate phase (Fig. 4 style).
+//
+// Run: ./build/examples/ukb_epistasis_study [--patients 1000 --snps 640]
+#include <algorithm>
+#include <iostream>
+#include <span>
+
+#include "common/cli.hpp"
+#include "common/table.hpp"
+#include "common/timer.hpp"
+#include "gwas/cohort_simulator.hpp"
+#include "gwas/dataset.hpp"
+#include "gwas/phenotype.hpp"
+#include "gwas/regenie.hpp"
+#include "krr/model.hpp"
+#include "krr/ridge.hpp"
+#include "runtime/runtime.hpp"
+#include "stats/metrics.hpp"
+
+int main(int argc, char** argv) {
+  using namespace kgwas;
+  const CliArgs args(argc, argv);
+  const std::size_t np = args.get_long("patients", 1400);
+  const std::size_t ns = args.get_long("snps", 96);
+
+  // Cohort with recruitment-centre ordering and real-valued confounders.
+  CohortConfig cc;
+  cc.n_patients = np;
+  cc.n_snps = ns;
+  cc.n_populations = 6;
+  cc.fst = 0.12;
+  Cohort cohort = simulate_cohort(cc);
+  auto panel_configs = ukb_disease_panel();
+  for (auto& pc : panel_configs) {
+    // Causal sets must stay inside (and dense within) the SNP panel for
+    // the kernel's distance signal not to be diluted at example scale.
+    pc.n_causal = std::min(pc.n_causal, ns / 2);
+    pc.n_pairs = std::min(pc.n_pairs, 2 * pc.n_causal);
+  }
+  PhenotypePanel panel = simulate_panel(cohort, panel_configs);
+  GwasDataset dataset = make_dataset(std::move(cohort), std::move(panel));
+  const TrainTestSplit split = split_dataset(dataset, 0.8);
+  std::cout << "cohort: " << np << " patients x " << ns << " SNPs, "
+            << dataset.phenotype_names.size() << " diseases, train "
+            << split.train.patients() << " / test " << split.test.patients()
+            << "\n\n";
+
+  Runtime runtime;
+  Table table({"disease", "model", "MSPE", "Pearson", "AUC"});
+  auto score = [&](const char* model_name, const Matrix<float>& pred) {
+    for (std::size_t d = 0; d < dataset.phenotype_names.size(); ++d) {
+      const std::span<const float> truth(&split.test.phenotypes(0, d),
+                                         split.test.patients());
+      const std::span<const float> yhat(&pred(0, d), split.test.patients());
+      table.add_row({dataset.phenotype_names[d], model_name,
+                     Table::num(mspe(truth, yhat), 4),
+                     Table::num(pearson(truth, yhat), 4),
+                     Table::num(auc(truth, yhat), 4)});
+    }
+  };
+
+  {
+    Timer t;
+    RegenieModel regenie;
+    RegenieConfig rgc;
+    rgc.block_size = 32;  // several level-0 blocks at example SNP counts
+    regenie.fit(split.train, rgc);
+    score("REGENIE-lite", regenie.predict(split.test));
+    std::cout << "REGENIE-lite: " << Table::num(t.seconds(), 1) << "s ("
+              << regenie.n_blocks() << " level-0 blocks)\n";
+  }
+  {
+    Timer t;
+    RidgeModel ridge;
+    RidgeConfig rc;
+    rc.lambda = 1.0;
+    rc.tile_size = 16;
+    rc.mode = PrecisionMode::kAdaptive;
+    rc.adaptive.available = {Precision::kFp16};
+    ridge.fit(runtime, split.train, rc);
+    score("RR (MxP)", ridge.predict(split.test));
+    std::cout << "RR: " << Table::num(t.seconds(), 1)
+              << "s, one factorization for all "
+              << dataset.phenotype_names.size() << " phenotypes\n";
+  }
+  {
+    Timer t;
+    KrrModel krr;
+    KrrConfig kc;
+    kc.auto_gamma_scale = 1.0;
+    kc.associate.alpha = 0.1;
+    kc.associate.mode = PrecisionMode::kAdaptive;
+    kc.associate.adaptive.available = {Precision::kFp16};
+    krr.fit(runtime, split.train, kc);
+    score("KRR (MxP)", krr.predict(runtime, split.test));
+    std::cout << "KRR: " << Table::num(t.seconds(), 1)
+              << "s, factor reused across phenotypes; storage "
+              << krr.factor_bytes() << "/" << krr.fp32_bytes() << " bytes\n";
+    std::cout << "\nAssociate-phase precision heatmap (Fig. 4 style):\n"
+              << krr.precision_map().render() << "\n";
+  }
+
+  table.print(std::cout);
+  std::cout << "\nReading: KRR's Pearson/AUC should clearly dominate both "
+               "linear baselines on these epistasis-dominated diseases.\n";
+  return 0;
+}

@@ -1,0 +1,49 @@
+// Cache-line / SIMD aligned storage for matrix data.
+#pragma once
+
+#include <cstddef>
+#include <cstdlib>
+#include <memory>
+#include <new>
+#include <vector>
+
+namespace kgwas {
+
+inline constexpr std::size_t kDefaultAlignment = 64;  // one cache line / AVX-512
+
+/// Minimal aligned allocator usable with std::vector.
+template <typename T, std::size_t Alignment = kDefaultAlignment>
+struct AlignedAllocator {
+  using value_type = T;
+
+  // Required explicitly because the non-type Alignment parameter defeats
+  // allocator_traits' automatic Alloc<T, Args...> rebinding.
+  template <typename U>
+  struct rebind {
+    using other = AlignedAllocator<U, Alignment>;
+  };
+
+  AlignedAllocator() noexcept = default;
+  template <typename U>
+  AlignedAllocator(const AlignedAllocator<U, Alignment>&) noexcept {}
+
+  T* allocate(std::size_t n) {
+    if (n == 0) return nullptr;
+    const std::size_t bytes = ((n * sizeof(T) + Alignment - 1) / Alignment) * Alignment;
+    void* p = std::aligned_alloc(Alignment, bytes);
+    if (p == nullptr) throw std::bad_alloc();
+    return static_cast<T*>(p);
+  }
+
+  void deallocate(T* p, std::size_t) noexcept { std::free(p); }
+
+  template <typename U>
+  bool operator==(const AlignedAllocator<U, Alignment>&) const noexcept {
+    return true;
+  }
+};
+
+template <typename T>
+using AlignedVector = std::vector<T, AlignedAllocator<T>>;
+
+}  // namespace kgwas

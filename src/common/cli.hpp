@@ -1,0 +1,32 @@
+// Tiny command-line flag parser for example/bench binaries.
+// Supports `--name=value`, `--name value` and boolean `--name`.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace kgwas {
+
+class CliArgs {
+ public:
+  CliArgs(int argc, const char* const* argv);
+
+  bool has(const std::string& name) const;
+  std::string get(const std::string& name, const std::string& fallback) const;
+  long get_long(const std::string& name, long fallback) const;
+  double get_double(const std::string& name, double fallback) const;
+  bool get_bool(const std::string& name, bool fallback) const;
+
+  /// Positional (non-flag) arguments in order.
+  const std::vector<std::string>& positional() const noexcept { return positional_; }
+  /// Program name (argv[0]).
+  const std::string& program() const noexcept { return program_; }
+
+ private:
+  std::string program_;
+  std::map<std::string, std::string> flags_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace kgwas

@@ -1,0 +1,56 @@
+#include "common/logging.hpp"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <mutex>
+
+namespace kgwas {
+
+namespace {
+std::atomic<int> g_level{static_cast<int>(LogLevel::kWarn)};
+std::once_flag g_env_once;
+std::mutex g_sink_mutex;
+
+void init_from_env() {
+  const char* env = std::getenv("KGWAS_LOG_LEVEL");
+  if (env == nullptr) return;
+  const std::string value(env);
+  if (value == "trace") g_level = static_cast<int>(LogLevel::kTrace);
+  else if (value == "debug") g_level = static_cast<int>(LogLevel::kDebug);
+  else if (value == "info") g_level = static_cast<int>(LogLevel::kInfo);
+  else if (value == "warn") g_level = static_cast<int>(LogLevel::kWarn);
+  else if (value == "error") g_level = static_cast<int>(LogLevel::kError);
+  else if (value == "off") g_level = static_cast<int>(LogLevel::kOff);
+}
+
+const char* level_name(LogLevel level) {
+  switch (level) {
+    case LogLevel::kTrace: return "TRACE";
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kInfo: return "INFO";
+    case LogLevel::kWarn: return "WARN";
+    case LogLevel::kError: return "ERROR";
+    case LogLevel::kOff: return "OFF";
+  }
+  return "?";
+}
+}  // namespace
+
+void set_log_level(LogLevel level) noexcept {
+  g_level = static_cast<int>(level);
+}
+
+LogLevel log_level() noexcept {
+  std::call_once(g_env_once, init_from_env);
+  return static_cast<LogLevel>(g_level.load());
+}
+
+namespace detail {
+void log_message(LogLevel level, const std::string& message) {
+  std::lock_guard<std::mutex> lock(g_sink_mutex);
+  std::fprintf(stderr, "[kgwas %-5s] %s\n", level_name(level), message.c_str());
+}
+}  // namespace detail
+
+}  // namespace kgwas

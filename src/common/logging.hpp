@@ -1,0 +1,34 @@
+// Minimal leveled logger.  Single global sink (stderr), thread-safe,
+// controllable via KGWAS_LOG_LEVEL environment variable or set_log_level().
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace kgwas {
+
+enum class LogLevel { kTrace = 0, kDebug = 1, kInfo = 2, kWarn = 3, kError = 4, kOff = 5 };
+
+/// Sets the global threshold; messages below it are discarded.
+void set_log_level(LogLevel level) noexcept;
+LogLevel log_level() noexcept;
+
+namespace detail {
+void log_message(LogLevel level, const std::string& message);
+}
+
+}  // namespace kgwas
+
+#define KGWAS_LOG(level, expr)                                      \
+  do {                                                              \
+    if (static_cast<int>(level) >= static_cast<int>(::kgwas::log_level())) { \
+      std::ostringstream kgwas_log_os;                              \
+      kgwas_log_os << expr;                                         \
+      ::kgwas::detail::log_message(level, kgwas_log_os.str());      \
+    }                                                               \
+  } while (0)
+
+#define KGWAS_LOG_DEBUG(expr) KGWAS_LOG(::kgwas::LogLevel::kDebug, expr)
+#define KGWAS_LOG_INFO(expr) KGWAS_LOG(::kgwas::LogLevel::kInfo, expr)
+#define KGWAS_LOG_WARN(expr) KGWAS_LOG(::kgwas::LogLevel::kWarn, expr)
+#define KGWAS_LOG_ERROR(expr) KGWAS_LOG(::kgwas::LogLevel::kError, expr)

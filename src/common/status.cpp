@@ -1,0 +1,32 @@
+#include "common/status.hpp"
+
+#include <cstdlib>
+#include <sstream>
+
+namespace kgwas::detail {
+
+namespace {
+std::string format_location(std::source_location loc) {
+  std::ostringstream os;
+  os << loc.file_name() << ":" << loc.line() << " (" << loc.function_name() << ")";
+  return os.str();
+}
+}  // namespace
+
+void throw_invalid_argument(const char* expr, const std::string& msg,
+                            std::source_location loc) {
+  std::ostringstream os;
+  os << "invalid argument: " << msg << " [check `" << expr << "` failed at "
+     << format_location(loc) << "]";
+  throw InvalidArgument(os.str());
+}
+
+void assert_fail(const char* expr, std::source_location loc) {
+  std::ostringstream os;
+  os << "internal invariant violated: `" << expr << "` at " << format_location(loc);
+  // An invariant failure means results can no longer be trusted; throwing
+  // lets tests exercise the guard while production callers terminate.
+  throw Error(os.str());
+}
+
+}  // namespace kgwas::detail

@@ -1,0 +1,64 @@
+// Error-handling primitives for the kgwas library.
+//
+// The library throws `kgwas::Error` (derived from std::runtime_error) for
+// all recoverable failures: bad arguments, dimension mismatches, numerical
+// breakdown (e.g. non-SPD matrix in POTRF).  Internal invariant violations
+// use KGWAS_ASSERT, which is active in all build types: an invariant
+// failure in a numerical library silently corrupts science, so we never
+// compile the checks out.
+#pragma once
+
+#include <source_location>
+#include <stdexcept>
+#include <string>
+
+namespace kgwas {
+
+/// Base exception for all library errors.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Thrown when caller-supplied arguments are invalid (sizes, ranges, ...).
+class InvalidArgument : public Error {
+ public:
+  explicit InvalidArgument(const std::string& what) : Error(what) {}
+};
+
+/// Thrown on numerical breakdown, e.g. a non-positive pivot in Cholesky.
+class NumericalError : public Error {
+ public:
+  NumericalError(const std::string& what, long index = -1)
+      : Error(what), index_(index) {}
+  /// Index associated with the breakdown (pivot column, tile id, ...), or -1.
+  long index() const noexcept { return index_; }
+
+ private:
+  long index_;
+};
+
+namespace detail {
+[[noreturn]] void throw_invalid_argument(const char* expr, const std::string& msg,
+                                         std::source_location loc);
+[[noreturn]] void assert_fail(const char* expr, std::source_location loc);
+}  // namespace detail
+
+}  // namespace kgwas
+
+/// Validate a caller-visible precondition; throws kgwas::InvalidArgument.
+#define KGWAS_CHECK_ARG(expr, msg)                                        \
+  do {                                                                    \
+    if (!(expr)) {                                                        \
+      ::kgwas::detail::throw_invalid_argument(#expr, (msg),               \
+                                              std::source_location::current()); \
+    }                                                                     \
+  } while (0)
+
+/// Internal invariant; never compiled out.
+#define KGWAS_ASSERT(expr)                                                \
+  do {                                                                    \
+    if (!(expr)) {                                                        \
+      ::kgwas::detail::assert_fail(#expr, std::source_location::current()); \
+    }                                                                     \
+  } while (0)

@@ -1,0 +1,34 @@
+// ASCII table formatting for the benchmark harness.  Every bench binary
+// reproduces a paper table/figure as aligned rows; this class keeps the
+// output uniform and machine-greppable (also emits CSV).
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace kgwas {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  /// Appends a row; must have the same arity as the header.
+  void add_row(std::vector<std::string> cells);
+
+  /// Convenience: formats doubles with the given precision.
+  static std::string num(double value, int precision = 4);
+
+  /// Renders with aligned columns and a rule under the header.
+  void print(std::ostream& os) const;
+  /// Renders as CSV (for downstream plotting).
+  void print_csv(std::ostream& os) const;
+
+  std::size_t rows() const noexcept { return rows_.size(); }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace kgwas

@@ -1,0 +1,113 @@
+#include "common/thread_pool.hpp"
+
+#include <atomic>
+#include <exception>
+
+#include "common/status.hpp"
+
+namespace kgwas {
+
+ThreadPool::ThreadPool(std::size_t num_threads) {
+  if (num_threads == 0) {
+    num_threads = std::thread::hardware_concurrency();
+    if (num_threads == 0) num_threads = 1;
+  }
+  workers_.reserve(num_threads);
+  for (std::size_t i = 0; i < num_threads; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stopping_ = true;
+  }
+  work_available_.notify_all();
+  for (auto& worker : workers_) worker.join();
+}
+
+void ThreadPool::submit(std::function<void()> job) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    KGWAS_ASSERT(!stopping_);
+    queue_.push_back(std::move(job));
+  }
+  work_available_.notify_one();
+}
+
+void ThreadPool::wait_idle() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  idle_.wait(lock, [this] { return queue_.empty() && in_flight_ == 0; });
+}
+
+void ThreadPool::worker_loop() {
+  for (;;) {
+    std::function<void()> job;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      work_available_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      if (stopping_ && queue_.empty()) return;
+      job = std::move(queue_.front());
+      queue_.pop_front();
+      ++in_flight_;
+    }
+    job();
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      --in_flight_;
+      if (queue_.empty() && in_flight_ == 0) idle_.notify_all();
+    }
+  }
+}
+
+void ThreadPool::parallel_for(std::size_t begin, std::size_t end,
+                              const std::function<void(std::size_t)>& body) {
+  if (begin >= end) return;
+  const std::size_t count = end - begin;
+  const std::size_t workers = size();
+  if (workers <= 1 || count == 1) {
+    for (std::size_t i = begin; i < end; ++i) body(i);
+    return;
+  }
+
+  std::atomic<std::size_t> next{begin};
+  std::atomic<bool> failed{false};
+  std::exception_ptr first_error;
+  std::mutex error_mutex;
+
+  const std::size_t num_jobs = std::min(workers, count);
+  std::atomic<std::size_t> done{0};
+  std::mutex done_mutex;
+  std::condition_variable done_cv;
+
+  for (std::size_t j = 0; j < num_jobs; ++j) {
+    submit([&] {
+      for (;;) {
+        const std::size_t i = next.fetch_add(1);
+        if (i >= end || failed.load(std::memory_order_relaxed)) break;
+        try {
+          body(i);
+        } catch (...) {
+          std::lock_guard<std::mutex> lock(error_mutex);
+          if (!failed.exchange(true)) first_error = std::current_exception();
+        }
+      }
+      if (done.fetch_add(1) + 1 == num_jobs) {
+        std::lock_guard<std::mutex> lock(done_mutex);
+        done_cv.notify_all();
+      }
+    });
+  }
+
+  std::unique_lock<std::mutex> lock(done_mutex);
+  done_cv.wait(lock, [&] { return done.load() == num_jobs; });
+  if (failed && first_error) std::rethrow_exception(first_error);
+}
+
+ThreadPool& global_thread_pool() {
+  static ThreadPool pool;
+  return pool;
+}
+
+}  // namespace kgwas

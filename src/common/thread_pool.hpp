@@ -1,0 +1,56 @@
+// Fixed-size worker pool.  This is the execution substrate underneath the
+// dataflow runtime (src/runtime): the runtime submits ready tasks here and
+// the pool runs them on its workers.  It is also usable directly for
+// embarrassingly parallel loops (parallel_for).
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace kgwas {
+
+class ThreadPool {
+ public:
+  /// Creates `num_threads` workers; 0 means std::thread::hardware_concurrency().
+  explicit ThreadPool(std::size_t num_threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues a job; runs as soon as a worker is free.
+  void submit(std::function<void()> job);
+
+  /// Blocks until every submitted job (including jobs submitted by jobs)
+  /// has completed.
+  void wait_idle();
+
+  std::size_t size() const noexcept { return workers_.size(); }
+
+  /// Splits [begin, end) into chunks and runs `body(i)` for each index in
+  /// parallel.  Blocks until done.  Exceptions from the body are rethrown
+  /// (first one wins).
+  void parallel_for(std::size_t begin, std::size_t end,
+                    const std::function<void(std::size_t)>& body);
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::deque<std::function<void()>> queue_;
+  std::mutex mutex_;
+  std::condition_variable work_available_;
+  std::condition_variable idle_;
+  std::size_t in_flight_ = 0;
+  bool stopping_ = false;
+};
+
+/// Process-wide shared pool (lazily created, sized to hardware concurrency).
+ThreadPool& global_thread_pool();
+
+}  // namespace kgwas

@@ -1,0 +1,57 @@
+// Wall-clock timing utilities used by the benchmark harness and the
+// runtime profiler.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+
+namespace kgwas {
+
+/// Monotonic wall-clock stopwatch.
+class Timer {
+ public:
+  Timer() noexcept { reset(); }
+
+  void reset() noexcept { start_ = Clock::now(); }
+
+  /// Seconds since construction or last reset().
+  double seconds() const noexcept {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  double milliseconds() const noexcept { return seconds() * 1e3; }
+
+  /// Nanoseconds since epoch; used to timestamp runtime trace events.
+  static std::uint64_t now_ns() noexcept {
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            Clock::now().time_since_epoch())
+            .count());
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+/// Accumulating timer for repeated phases (e.g. per-kernel totals).
+class AccumulatingTimer {
+ public:
+  void start() noexcept { stopwatch_.reset(); }
+  void stop() noexcept {
+    total_ += stopwatch_.seconds();
+    ++count_;
+  }
+  double total_seconds() const noexcept { return total_; }
+  std::uint64_t count() const noexcept { return count_; }
+  double mean_seconds() const noexcept {
+    return count_ == 0 ? 0.0 : total_ / static_cast<double>(count_);
+  }
+
+ private:
+  Timer stopwatch_;
+  double total_ = 0.0;
+  std::uint64_t count_ = 0;
+};
+
+}  // namespace kgwas

@@ -1,0 +1,112 @@
+#include "gwas/cohort_simulator.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/status.hpp"
+
+namespace kgwas {
+
+Cohort simulate_cohort(const CohortConfig& config) {
+  KGWAS_CHECK_ARG(config.n_patients > 0 && config.n_snps > 0,
+                  "cohort dimensions must be positive");
+  KGWAS_CHECK_ARG(config.n_populations > 0, "need at least one population");
+  KGWAS_CHECK_ARG(config.fst > 0.0 && config.fst < 1.0,
+                  "Fst must lie strictly between 0 and 1");
+  KGWAS_CHECK_ARG(config.ld_rho >= 0.0 && config.ld_rho < 1.0,
+                  "ld_rho must lie in [0, 1)");
+  Rng rng(config.seed);
+
+  Cohort cohort;
+  cohort.genotypes = GenotypeMatrix(config.n_patients, config.n_snps);
+  cohort.population.resize(config.n_patients);
+  cohort.ancestral_freq.resize(config.n_snps);
+
+  // Ancestral frequencies and per-population Balding-Nichols frequencies.
+  const double bn_scale = (1.0 - config.fst) / config.fst;
+  Matrix<double> pop_freq(config.n_populations, config.n_snps);
+  for (std::size_t s = 0; s < config.n_snps; ++s) {
+    const double f = rng.uniform(config.maf_min, config.maf_max);
+    cohort.ancestral_freq[s] = f;
+    for (std::size_t p = 0; p < config.n_populations; ++p) {
+      double fp = rng.beta(f * bn_scale, (1.0 - f) * bn_scale);
+      // Keep frequencies away from fixation so every SNP stays polymorphic.
+      fp = std::clamp(fp, 0.01, 0.99);
+      pop_freq(p, s) = fp;
+    }
+  }
+
+  // Patient-to-population assignment: contiguous (sorted by recruitment
+  // centre) or periodic segments (relatedness recurs off-diagonal).
+  for (std::size_t i = 0; i < config.n_patients; ++i) {
+    if (config.population_segment > 0) {
+      cohort.population[i] =
+          (i / config.population_segment) % config.n_populations;
+    } else {
+      cohort.population[i] = i * config.n_populations / config.n_patients;
+    }
+  }
+
+  // Two haplotypes per patient with first-order copying inside LD blocks.
+  std::vector<std::uint8_t> haplotype(config.n_snps);
+  for (std::size_t i = 0; i < config.n_patients; ++i) {
+    const std::size_t pop = cohort.population[i];
+    for (int h = 0; h < 2; ++h) {
+      for (std::size_t s = 0; s < config.n_snps; ++s) {
+        const bool block_start =
+            config.ld_block_size == 0 || s % config.ld_block_size == 0;
+        const double f = pop_freq(pop, s);
+        std::uint8_t allele;
+        if (!block_start && rng.bernoulli(config.ld_rho)) {
+          allele = haplotype[s - 1];  // copy the neighbouring allele
+        } else {
+          allele = rng.bernoulli(f) ? 1 : 0;
+        }
+        haplotype[s] = allele;
+        if (h == 0) {
+          cohort.genotypes(i, s) = static_cast<std::int8_t>(allele);
+        } else {
+          cohort.genotypes(i, s) =
+              static_cast<std::int8_t>(cohort.genotypes(i, s) + allele);
+        }
+      }
+    }
+  }
+
+  // Confounders: column 0 ~ age-like (standardized), column 1 ~ sex (0/1),
+  // remaining columns are noisy population indicators (PC proxies).
+  cohort.confounders = Matrix<float>(config.n_patients, config.n_confounders);
+  for (std::size_t i = 0; i < config.n_patients; ++i) {
+    for (std::size_t c = 0; c < config.n_confounders; ++c) {
+      float value;
+      if (c == 0) {
+        value = static_cast<float>(rng.normal());
+      } else if (c == 1) {
+        value = rng.bernoulli(0.5) ? 1.0f : 0.0f;
+      } else {
+        const double indicator =
+            (cohort.population[i] % (config.n_confounders - 1) == c - 1) ? 1.0
+                                                                         : 0.0;
+        value = static_cast<float>(indicator + 0.1 * rng.normal());
+      }
+      cohort.confounders(i, c) = value;
+    }
+  }
+  return cohort;
+}
+
+GenotypeMatrix simulate_random_genotypes(std::size_t n_patients,
+                                         std::size_t n_snps,
+                                         std::uint64_t seed) {
+  Rng rng(seed);
+  GenotypeMatrix genotypes(n_patients, n_snps);
+  for (std::size_t s = 0; s < n_snps; ++s) {
+    const double f = rng.uniform(0.05, 0.5);
+    for (std::size_t p = 0; p < n_patients; ++p) {
+      genotypes(p, s) = static_cast<std::int8_t>(rng.binomial(2, f));
+    }
+  }
+  return genotypes;
+}
+
+}  // namespace kgwas

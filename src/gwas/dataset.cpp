@@ -1,0 +1,68 @@
+#include "gwas/dataset.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/rng.hpp"
+#include "common/status.hpp"
+
+namespace kgwas {
+
+GwasDataset GwasDataset::subset(const std::vector<std::size_t>& rows) const {
+  GwasDataset out;
+  out.genotypes = genotypes.subset_rows(rows);
+  out.phenotype_names = phenotype_names;
+  out.confounders = Matrix<float>(rows.size(), confounders.cols());
+  for (std::size_t c = 0; c < confounders.cols(); ++c) {
+    for (std::size_t r = 0; r < rows.size(); ++r) {
+      out.confounders(r, c) = confounders(rows[r], c);
+    }
+  }
+  out.phenotypes = Matrix<float>(rows.size(), phenotypes.cols());
+  for (std::size_t c = 0; c < phenotypes.cols(); ++c) {
+    for (std::size_t r = 0; r < rows.size(); ++r) {
+      out.phenotypes(r, c) = phenotypes(rows[r], c);
+    }
+  }
+  return out;
+}
+
+TrainTestSplit split_dataset(const GwasDataset& dataset, double train_fraction,
+                             std::uint64_t seed) {
+  KGWAS_CHECK_ARG(train_fraction > 0.0 && train_fraction < 1.0,
+                  "train fraction must lie strictly between 0 and 1");
+  const std::size_t np = dataset.patients();
+  KGWAS_CHECK_ARG(np >= 2, "need at least two patients to split");
+
+  std::vector<std::size_t> order(np);
+  std::iota(order.begin(), order.end(), 0);
+  Rng rng(seed);
+  for (std::size_t i = np - 1; i > 0; --i) {
+    const std::size_t j = rng.uniform_index(i + 1);
+    std::swap(order[i], order[j]);
+  }
+  auto n_train = static_cast<std::size_t>(train_fraction * static_cast<double>(np));
+  n_train = std::min(std::max<std::size_t>(n_train, 1), np - 1);
+
+  TrainTestSplit split;
+  split.train_rows.assign(order.begin(), order.begin() + n_train);
+  split.test_rows.assign(order.begin() + n_train, order.end());
+  // Keep the population-sorted order inside each part so the kernel
+  // matrix retains its near-diagonal block structure.
+  std::sort(split.train_rows.begin(), split.train_rows.end());
+  std::sort(split.test_rows.begin(), split.test_rows.end());
+  split.train = dataset.subset(split.train_rows);
+  split.test = dataset.subset(split.test_rows);
+  return split;
+}
+
+GwasDataset make_dataset(Cohort cohort, PhenotypePanel panel) {
+  GwasDataset dataset;
+  dataset.genotypes = std::move(cohort.genotypes);
+  dataset.confounders = std::move(cohort.confounders);
+  dataset.phenotypes = std::move(panel.values);
+  dataset.phenotype_names = std::move(panel.names);
+  return dataset;
+}
+
+}  // namespace kgwas

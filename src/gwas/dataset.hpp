@@ -1,0 +1,44 @@
+// Train/test dataset containers and splitting, mirroring the paper's
+// 80/20 UK BioBank evaluation protocol.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "gwas/cohort_simulator.hpp"
+#include "gwas/phenotype.hpp"
+
+namespace kgwas {
+
+/// A cohort plus its phenotype panel, ready for model fitting.
+struct GwasDataset {
+  GenotypeMatrix genotypes;       ///< N_P x N_S
+  Matrix<float> confounders;      ///< N_P x C (may be 0 columns)
+  Matrix<float> phenotypes;       ///< N_P x N_Ph
+  std::vector<std::string> phenotype_names;
+
+  std::size_t patients() const { return genotypes.patients(); }
+  std::size_t snps() const { return genotypes.snps(); }
+  std::size_t n_phenotypes() const { return phenotypes.cols(); }
+
+  /// Row-subset (patients) copy.
+  GwasDataset subset(const std::vector<std::size_t>& rows) const;
+};
+
+struct TrainTestSplit {
+  GwasDataset train;
+  GwasDataset test;
+  std::vector<std::size_t> train_rows;
+  std::vector<std::size_t> test_rows;
+};
+
+/// Random split with the given training fraction (default 80/20 as in the
+/// paper); deterministic under `seed`.
+TrainTestSplit split_dataset(const GwasDataset& dataset, double train_fraction,
+                             std::uint64_t seed = 2024);
+
+/// Builds a GwasDataset from a simulated cohort + phenotype panel.
+GwasDataset make_dataset(Cohort cohort, PhenotypePanel panel);
+
+}  // namespace kgwas

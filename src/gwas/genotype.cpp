@@ -1,0 +1,41 @@
+#include "gwas/genotype.hpp"
+
+#include "common/status.hpp"
+
+namespace kgwas {
+
+std::vector<double> GenotypeMatrix::allele_frequencies() const {
+  std::vector<double> freq(snps(), 0.0);
+  if (patients() == 0) return freq;
+  for (std::size_t s = 0; s < snps(); ++s) {
+    double sum = 0.0;
+    for (std::size_t p = 0; p < patients(); ++p) sum += (*this)(p, s);
+    freq[s] = sum / (2.0 * static_cast<double>(patients()));
+  }
+  return freq;
+}
+
+std::vector<std::int32_t> GenotypeMatrix::squared_row_norms() const {
+  std::vector<std::int32_t> norms(patients(), 0);
+  for (std::size_t s = 0; s < snps(); ++s) {
+    for (std::size_t p = 0; p < patients(); ++p) {
+      const std::int32_t g = (*this)(p, s);
+      norms[p] += g * g;
+    }
+  }
+  return norms;
+}
+
+GenotypeMatrix GenotypeMatrix::subset_rows(
+    const std::vector<std::size_t>& rows) const {
+  GenotypeMatrix out(rows.size(), snps());
+  for (std::size_t s = 0; s < snps(); ++s) {
+    for (std::size_t r = 0; r < rows.size(); ++r) {
+      KGWAS_CHECK_ARG(rows[r] < patients(), "row subset index out of range");
+      out(r, s) = (*this)(rows[r], s);
+    }
+  }
+  return out;
+}
+
+}  // namespace kgwas

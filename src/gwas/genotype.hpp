@@ -1,0 +1,54 @@
+// Genotype storage: the N_P x N_S dosage matrix G.
+//
+// SNP dosages are additively coded 0/1/2 (copies of the minor allele) and
+// stored as INT8, the encoding that lets the Build phase run on INT8
+// tensor cores exactly (products <= 4, row sums <= 4 * N_S << 2^31).
+// Layout is patient-major rows, column-major storage like every other
+// matrix in the library: element (patient, snp) at data[patient + snp*NP].
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "mpblas/matrix.hpp"
+
+namespace kgwas {
+
+class GenotypeMatrix {
+ public:
+  GenotypeMatrix() = default;
+  GenotypeMatrix(std::size_t n_patients, std::size_t n_snps)
+      : dosages_(n_patients, n_snps) {}
+
+  std::size_t patients() const noexcept { return dosages_.rows(); }
+  std::size_t snps() const noexcept { return dosages_.cols(); }
+
+  std::int8_t& operator()(std::size_t patient, std::size_t snp) noexcept {
+    return dosages_(patient, snp);
+  }
+  std::int8_t operator()(std::size_t patient, std::size_t snp) const noexcept {
+    return dosages_(patient, snp);
+  }
+
+  const Matrix<std::int8_t>& matrix() const noexcept { return dosages_; }
+  Matrix<std::int8_t>& matrix() noexcept { return dosages_; }
+
+  /// Minor-allele frequency per SNP: mean dosage / 2.
+  std::vector<double> allele_frequencies() const;
+
+  /// Per-patient squared Euclidean norm over SNP dosages (exact INT64,
+  /// clamped into INT32 range by construction) — the `d` vector of the
+  /// paper's folded distance trick.
+  std::vector<std::int32_t> squared_row_norms() const;
+
+  /// Dense FP32 copy (for the linear RR path and reference computations).
+  Matrix<float> to_fp32() const { return dosages_.cast<float>(); }
+
+  /// Row-subset copy (e.g. train/test split by patient index).
+  GenotypeMatrix subset_rows(const std::vector<std::size_t>& rows) const;
+
+ private:
+  Matrix<std::int8_t> dosages_;
+};
+
+}  // namespace kgwas

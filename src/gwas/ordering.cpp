@@ -1,0 +1,94 @@
+#include "gwas/ordering.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numeric>
+
+#include "common/rng.hpp"
+#include "common/status.hpp"
+
+namespace kgwas {
+
+std::vector<std::size_t> kmeans_patients(const GenotypeMatrix& genotypes,
+                                         std::size_t k, int max_iters,
+                                         std::uint64_t seed) {
+  const std::size_t n = genotypes.patients();
+  const std::size_t d = genotypes.snps();
+  KGWAS_CHECK_ARG(k >= 1 && k <= n, "cluster count out of range");
+  Rng rng(seed);
+
+  // Initialize centroids from random distinct patients.
+  std::vector<std::size_t> init(n);
+  std::iota(init.begin(), init.end(), 0);
+  for (std::size_t i = 0; i < k; ++i) {
+    std::swap(init[i], init[i + rng.uniform_index(n - i)]);
+  }
+  std::vector<std::vector<double>> centroids(k, std::vector<double>(d));
+  for (std::size_t c = 0; c < k; ++c) {
+    for (std::size_t s = 0; s < d; ++s) {
+      centroids[c][s] = genotypes(init[c], s);
+    }
+  }
+
+  std::vector<std::size_t> labels(n, 0);
+  for (int iter = 0; iter < max_iters; ++iter) {
+    bool changed = false;
+    // Assign.
+    for (std::size_t i = 0; i < n; ++i) {
+      double best = std::numeric_limits<double>::infinity();
+      std::size_t best_c = 0;
+      for (std::size_t c = 0; c < k; ++c) {
+        double dist = 0.0;
+        for (std::size_t s = 0; s < d; ++s) {
+          const double diff = genotypes(i, s) - centroids[c][s];
+          dist += diff * diff;
+        }
+        if (dist < best) {
+          best = dist;
+          best_c = c;
+        }
+      }
+      if (labels[i] != best_c) {
+        labels[i] = best_c;
+        changed = true;
+      }
+    }
+    if (!changed && iter > 0) break;
+    // Update.
+    std::vector<std::size_t> counts(k, 0);
+    for (auto& centroid : centroids) {
+      std::fill(centroid.begin(), centroid.end(), 0.0);
+    }
+    for (std::size_t i = 0; i < n; ++i) {
+      ++counts[labels[i]];
+      for (std::size_t s = 0; s < d; ++s) {
+        centroids[labels[i]][s] += genotypes(i, s);
+      }
+    }
+    for (std::size_t c = 0; c < k; ++c) {
+      if (counts[c] == 0) continue;  // empty cluster keeps its centroid
+      for (std::size_t s = 0; s < d; ++s) {
+        centroids[c][s] /= static_cast<double>(counts[c]);
+      }
+    }
+  }
+  return labels;
+}
+
+std::vector<std::size_t> cluster_order(const std::vector<std::size_t>& labels) {
+  std::vector<std::size_t> order(labels.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(),
+                   [&](std::size_t a, std::size_t b) {
+                     return labels[a] < labels[b];
+                   });
+  return order;
+}
+
+GenotypeMatrix permute_patients(const GenotypeMatrix& genotypes,
+                                const std::vector<std::size_t>& order) {
+  return genotypes.subset_rows(order);
+}
+
+}  // namespace kgwas

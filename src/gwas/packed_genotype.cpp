@@ -1,0 +1,50 @@
+#include "gwas/packed_genotype.hpp"
+
+#include "common/status.hpp"
+
+namespace kgwas {
+
+PackedGenotypeMatrix::PackedGenotypeMatrix(const GenotypeMatrix& dense)
+    : n_patients_(dense.patients()),
+      n_snps_(dense.snps()),
+      stride_((dense.patients() + 3) / 4),
+      storage_(stride_ * dense.snps(), 0) {
+  for (std::size_t s = 0; s < n_snps_; ++s) {
+    for (std::size_t p = 0; p < n_patients_; ++p) {
+      const auto dosage = static_cast<std::uint8_t>(dense(p, s));
+      KGWAS_CHECK_ARG(dosage <= 2, "dosage out of range for packing");
+      storage_[s * stride_ + p / 4] |=
+          static_cast<std::uint8_t>(dosage << ((p % 4) * 2));
+    }
+  }
+}
+
+std::uint8_t PackedGenotypeMatrix::at(std::size_t patient,
+                                      std::size_t snp) const {
+  KGWAS_CHECK_ARG(patient < n_patients_ && snp < n_snps_,
+                  "packed genotype index out of range");
+  const std::uint8_t byte = storage_[snp * stride_ + patient / 4];
+  const auto code =
+      static_cast<std::uint8_t>((byte >> ((patient % 4) * 2)) & 0x3u);
+  return code == 3 ? 0 : code;  // treat the missing code as reference
+}
+
+GenotypeMatrix PackedGenotypeMatrix::unpack() const {
+  GenotypeMatrix dense(n_patients_, n_snps_);
+  for (std::size_t s = 0; s < n_snps_; ++s) {
+    unpack_snp(s, &dense.matrix()(0, s));
+  }
+  return dense;
+}
+
+void PackedGenotypeMatrix::unpack_snp(std::size_t snp, std::int8_t* dst) const {
+  KGWAS_CHECK_ARG(snp < n_snps_, "snp index out of range");
+  const std::uint8_t* column = storage_.data() + snp * stride_;
+  for (std::size_t p = 0; p < n_patients_; ++p) {
+    const auto code =
+        static_cast<std::uint8_t>((column[p / 4] >> ((p % 4) * 2)) & 0x3u);
+    dst[p] = static_cast<std::int8_t>(code == 3 ? 0 : code);
+  }
+}
+
+}  // namespace kgwas

@@ -1,0 +1,147 @@
+#include "gwas/plink_io.hpp"
+
+#include <fstream>
+#include <sstream>
+#include <vector>
+
+#include "common/status.hpp"
+
+namespace kgwas {
+
+void write_raw(std::ostream& os, const GenotypeMatrix& genotypes) {
+  os << "FID IID";
+  for (std::size_t s = 0; s < genotypes.snps(); ++s) os << " snp" << s;
+  os << '\n';
+  for (std::size_t p = 0; p < genotypes.patients(); ++p) {
+    os << "F" << p << " I" << p;
+    for (std::size_t s = 0; s < genotypes.snps(); ++s) {
+      os << ' ' << static_cast<int>(genotypes(p, s));
+    }
+    os << '\n';
+  }
+}
+
+GenotypeMatrix read_raw(std::istream& is) {
+  std::string header;
+  KGWAS_CHECK_ARG(static_cast<bool>(std::getline(is, header)),
+                  "raw file: missing header");
+  std::istringstream hs(header);
+  std::string token;
+  long n_snps = -2;  // FID, IID
+  while (hs >> token) ++n_snps;
+  KGWAS_CHECK_ARG(n_snps >= 0, "raw file: malformed header");
+
+  std::vector<std::vector<int>> rows;
+  std::string line;
+  while (std::getline(is, line)) {
+    if (line.empty()) continue;
+    std::istringstream ls(line);
+    std::string fid, iid;
+    ls >> fid >> iid;
+    std::vector<int> dosages;
+    dosages.reserve(static_cast<std::size_t>(n_snps));
+    int value;
+    while (ls >> value) dosages.push_back(value);
+    KGWAS_CHECK_ARG(dosages.size() == static_cast<std::size_t>(n_snps),
+                    "raw file: row width mismatch");
+    rows.push_back(std::move(dosages));
+  }
+  GenotypeMatrix genotypes(rows.size(), static_cast<std::size_t>(n_snps));
+  for (std::size_t p = 0; p < rows.size(); ++p) {
+    for (std::size_t s = 0; s < genotypes.snps(); ++s) {
+      const int dosage = rows[p][s];
+      KGWAS_CHECK_ARG(dosage >= 0 && dosage <= 2,
+                      "raw file: dosage out of range {0,1,2}");
+      genotypes(p, s) = static_cast<std::int8_t>(dosage);
+    }
+  }
+  return genotypes;
+}
+
+void write_pheno(std::ostream& os, const Matrix<float>& phenotypes,
+                 const std::vector<std::string>& names) {
+  KGWAS_CHECK_ARG(names.size() == phenotypes.cols(),
+                  "phenotype name count mismatch");
+  os << "FID IID";
+  for (const auto& name : names) {
+    std::string safe = name;
+    for (char& c : safe) {
+      if (c == ' ') c = '_';
+    }
+    os << ' ' << safe;
+  }
+  os << '\n';
+  for (std::size_t p = 0; p < phenotypes.rows(); ++p) {
+    os << "F" << p << " I" << p;
+    for (std::size_t c = 0; c < phenotypes.cols(); ++c) {
+      os << ' ' << phenotypes(p, c);
+    }
+    os << '\n';
+  }
+}
+
+Matrix<float> read_pheno(std::istream& is, std::vector<std::string>& names) {
+  std::string header;
+  KGWAS_CHECK_ARG(static_cast<bool>(std::getline(is, header)),
+                  "pheno file: missing header");
+  std::istringstream hs(header);
+  std::string token;
+  hs >> token >> token;  // FID IID
+  names.clear();
+  while (hs >> token) names.push_back(token);
+
+  std::vector<std::vector<float>> rows;
+  std::string line;
+  while (std::getline(is, line)) {
+    if (line.empty()) continue;
+    std::istringstream ls(line);
+    std::string fid, iid;
+    ls >> fid >> iid;
+    std::vector<float> values;
+    float value;
+    while (ls >> value) values.push_back(value);
+    KGWAS_CHECK_ARG(values.size() == names.size(),
+                    "pheno file: row width mismatch");
+    rows.push_back(std::move(values));
+  }
+  Matrix<float> phenotypes(rows.size(), names.size());
+  for (std::size_t p = 0; p < rows.size(); ++p) {
+    for (std::size_t c = 0; c < names.size(); ++c) {
+      phenotypes(p, c) = rows[p][c];
+    }
+  }
+  return phenotypes;
+}
+
+void save_dataset(const std::string& prefix, const GwasDataset& dataset) {
+  {
+    std::ofstream os(prefix + ".raw");
+    KGWAS_CHECK_ARG(os.good(), "cannot open " + prefix + ".raw for writing");
+    write_raw(os, dataset.genotypes);
+  }
+  {
+    std::ofstream os(prefix + ".pheno");
+    KGWAS_CHECK_ARG(os.good(), "cannot open " + prefix + ".pheno for writing");
+    write_pheno(os, dataset.phenotypes, dataset.phenotype_names);
+  }
+}
+
+GwasDataset load_dataset(const std::string& prefix) {
+  GwasDataset dataset;
+  {
+    std::ifstream is(prefix + ".raw");
+    KGWAS_CHECK_ARG(is.good(), "cannot open " + prefix + ".raw");
+    dataset.genotypes = read_raw(is);
+  }
+  {
+    std::ifstream is(prefix + ".pheno");
+    KGWAS_CHECK_ARG(is.good(), "cannot open " + prefix + ".pheno");
+    dataset.phenotypes = read_pheno(is, dataset.phenotype_names);
+  }
+  KGWAS_CHECK_ARG(dataset.phenotypes.rows() == dataset.genotypes.patients(),
+                  "raw/pheno patient count mismatch");
+  dataset.confounders = Matrix<float>(dataset.genotypes.patients(), 0);
+  return dataset;
+}
+
+}  // namespace kgwas

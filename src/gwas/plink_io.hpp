@@ -1,0 +1,27 @@
+// Minimal PLINK-style text IO so cohorts can be exported to / imported
+// from other GWAS tooling.  Formats:
+//   *.raw  — header "FID IID <snp ids...>", one row per patient with
+//            space-separated 0/1/2 dosages (PLINK --recode A subset).
+//   *.pheno — header "FID IID <phenotype names...>", one row per patient.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "gwas/dataset.hpp"
+
+namespace kgwas {
+
+void write_raw(std::ostream& os, const GenotypeMatrix& genotypes);
+GenotypeMatrix read_raw(std::istream& is);
+
+void write_pheno(std::ostream& os, const Matrix<float>& phenotypes,
+                 const std::vector<std::string>& names);
+/// Returns phenotypes and fills `names`.
+Matrix<float> read_pheno(std::istream& is, std::vector<std::string>& names);
+
+/// File-path conveniences (throw kgwas::Error on IO failure).
+void save_dataset(const std::string& prefix, const GwasDataset& dataset);
+GwasDataset load_dataset(const std::string& prefix);
+
+}  // namespace kgwas

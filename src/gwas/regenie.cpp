@@ -1,0 +1,175 @@
+#include "gwas/regenie.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "common/rng.hpp"
+#include "common/status.hpp"
+#include "mpblas/blas.hpp"
+
+namespace kgwas {
+
+namespace {
+
+/// Extracts block `b` of the dosage matrix as FP64 for the given rows.
+Matrix<double> block_dosages(const GenotypeMatrix& genotypes,
+                             const std::vector<std::size_t>& rows,
+                             std::size_t snp_begin, std::size_t snp_end) {
+  Matrix<double> x(rows.size(), snp_end - snp_begin);
+  for (std::size_t s = snp_begin; s < snp_end; ++s) {
+    for (std::size_t r = 0; r < rows.size(); ++r) {
+      x(r, s - snp_begin) = genotypes(rows[r], s);
+    }
+  }
+  return x;
+}
+
+std::vector<std::size_t> all_rows(std::size_t n) {
+  std::vector<std::size_t> rows(n);
+  std::iota(rows.begin(), rows.end(), 0);
+  return rows;
+}
+
+}  // namespace
+
+Matrix<double> ridge_solve(const Matrix<double>& x, const Matrix<double>& y,
+                           double lambda) {
+  KGWAS_CHECK_ARG(x.rows() == y.rows(), "ridge_solve: row count mismatch");
+  KGWAS_CHECK_ARG(lambda > 0.0, "ridge_solve: lambda must be positive");
+  const std::size_t p = x.cols();
+  Matrix<double> gram(p, p);
+  // Gram = X^T X + lambda I (full storage for the dense solver).
+  syrk(Uplo::kLower, Trans::kTrans, p, x.rows(), 1.0, x.data(), x.ld(), 0.0,
+       gram.data(), gram.ld());
+  symmetrize_from_lower(gram);
+  for (std::size_t j = 0; j < p; ++j) gram(j, j) += lambda;
+
+  Matrix<double> rhs = matmul(x, y, Trans::kTrans, Trans::kNoTrans);
+  const int info = potrf(Uplo::kLower, p, gram.data(), gram.ld());
+  if (info != 0) {
+    throw NumericalError("ridge_solve: normal equations not SPD", info);
+  }
+  potrs(Uplo::kLower, p, rhs.cols(), gram.data(), gram.ld(), rhs.data(),
+        rhs.ld());
+  return rhs;
+}
+
+void RegenieModel::fit(const GwasDataset& train, const RegenieConfig& config) {
+  KGWAS_CHECK_ARG(config.block_size > 0, "block size must be positive");
+  KGWAS_CHECK_ARG(!config.lambda_grid.empty(), "lambda grid must be non-empty");
+  KGWAS_CHECK_ARG(config.n_folds >= 2, "need at least two folds");
+  config_ = config;
+  n_snps_ = train.snps();
+  n_blocks_ = (n_snps_ + config.block_size - 1) / config.block_size;
+  const std::size_t np = train.patients();
+  const std::size_t n_predictors = n_blocks_ * config.lambda_grid.size();
+
+  // Fold assignment (deterministic shuffle).
+  std::vector<std::size_t> fold(np);
+  for (std::size_t i = 0; i < np; ++i) fold[i] = i % config.n_folds;
+  Rng rng(config.seed);
+  for (std::size_t i = np - 1; i > 0; --i) {
+    const std::size_t j = rng.uniform_index(i + 1);
+    std::swap(fold[i], fold[j]);
+  }
+
+  models_.clear();
+  models_.resize(train.n_phenotypes());
+
+  for (std::size_t ph = 0; ph < train.n_phenotypes(); ++ph) {
+    PerPhenotype& model = models_[ph];
+    Matrix<double> y(np, 1);
+    for (std::size_t i = 0; i < np; ++i) y(i, 0) = train.phenotypes(i, ph);
+
+    // Level-0: out-of-fold predictions per (block, lambda).
+    Matrix<double> level0(np, n_predictors);
+    model.level0_betas.resize(n_predictors);
+
+    for (std::size_t b = 0; b < n_blocks_; ++b) {
+      const std::size_t s0 = b * config.block_size;
+      const std::size_t s1 = std::min(s0 + config.block_size, n_snps_);
+
+      for (std::size_t f = 0; f < config.n_folds; ++f) {
+        std::vector<std::size_t> in_rows, out_rows;
+        for (std::size_t i = 0; i < np; ++i) {
+          (fold[i] == f ? out_rows : in_rows).push_back(i);
+        }
+        const Matrix<double> x_in =
+            block_dosages(train.genotypes, in_rows, s0, s1);
+        Matrix<double> y_in(in_rows.size(), 1);
+        for (std::size_t i = 0; i < in_rows.size(); ++i) {
+          y_in(i, 0) = y(in_rows[i], 0);
+        }
+        const Matrix<double> x_out =
+            block_dosages(train.genotypes, out_rows, s0, s1);
+
+        for (std::size_t l = 0; l < config.lambda_grid.size(); ++l) {
+          const Matrix<double> beta =
+              ridge_solve(x_in, y_in, config.lambda_grid[l]);
+          const Matrix<double> pred = matmul(x_out, beta);
+          const std::size_t col = b * config.lambda_grid.size() + l;
+          for (std::size_t i = 0; i < out_rows.size(); ++i) {
+            level0(out_rows[i], col) = pred(i, 0);
+          }
+        }
+      }
+
+      // Full-train betas kept for prediction on new cohorts.
+      const Matrix<double> x_full =
+          block_dosages(train.genotypes, all_rows(np), s0, s1);
+      for (std::size_t l = 0; l < config.lambda_grid.size(); ++l) {
+        const std::size_t col = b * config.lambda_grid.size() + l;
+        model.level0_betas[col] = ridge_solve(x_full, y, config.lambda_grid[l]);
+      }
+    }
+
+    // Level-1 ridge on centered predictors with intercept.
+    double y_mean = 0.0;
+    for (std::size_t i = 0; i < np; ++i) y_mean += y(i, 0);
+    y_mean /= static_cast<double>(np);
+    Matrix<double> yc(np, 1);
+    for (std::size_t i = 0; i < np; ++i) yc(i, 0) = y(i, 0) - y_mean;
+
+    const Matrix<double> w = ridge_solve(level0, yc, config.level1_lambda);
+    model.level1_weights.resize(n_predictors);
+    for (std::size_t j = 0; j < n_predictors; ++j) {
+      model.level1_weights[j] = w(j, 0);
+    }
+    model.level1_intercept = y_mean;
+  }
+}
+
+Matrix<float> RegenieModel::predict(const GwasDataset& test) const {
+  KGWAS_CHECK_ARG(!models_.empty(), "predict called before fit");
+  KGWAS_CHECK_ARG(test.snps() == n_snps_, "test SNP layout mismatch");
+  const std::size_t np = test.patients();
+  const std::size_t n_predictors = n_blocks_ * config_.lambda_grid.size();
+  Matrix<float> out(np, models_.size());
+
+  for (std::size_t ph = 0; ph < models_.size(); ++ph) {
+    const PerPhenotype& model = models_[ph];
+    Matrix<double> level0(np, n_predictors);
+    for (std::size_t b = 0; b < n_blocks_; ++b) {
+      const std::size_t s0 = b * config_.block_size;
+      const std::size_t s1 = std::min(s0 + config_.block_size, n_snps_);
+      const Matrix<double> x =
+          block_dosages(test.genotypes, all_rows(np), s0, s1);
+      for (std::size_t l = 0; l < config_.lambda_grid.size(); ++l) {
+        const std::size_t col = b * config_.lambda_grid.size() + l;
+        const Matrix<double> pred = matmul(x, model.level0_betas[col]);
+        for (std::size_t i = 0; i < np; ++i) level0(i, col) = pred(i, 0);
+      }
+    }
+    for (std::size_t i = 0; i < np; ++i) {
+      double value = model.level1_intercept;
+      for (std::size_t j = 0; j < n_predictors; ++j) {
+        value += level0(i, j) * model.level1_weights[j];
+      }
+      out(i, ph) = static_cast<float>(value);
+    }
+  }
+  return out;
+}
+
+}  // namespace kgwas

@@ -1,0 +1,127 @@
+#include "gwas/univariate.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/status.hpp"
+#include "mpblas/blas.hpp"
+
+namespace kgwas {
+
+namespace {
+
+/// Residualizes `values` (length n) against the confounder columns by
+/// ordinary least squares (confounders are few, so normal equations in
+/// FP64 are fine).  A column of ones (intercept) is always included.
+std::vector<double> residualize(const std::vector<double>& values,
+                                const Matrix<float>& confounders) {
+  const std::size_t n = values.size();
+  const std::size_t c = confounders.cols() + 1;  // + intercept
+  Matrix<double> x(n, c);
+  for (std::size_t i = 0; i < n; ++i) x(i, 0) = 1.0;
+  for (std::size_t j = 0; j < confounders.cols(); ++j) {
+    for (std::size_t i = 0; i < n; ++i) x(i, j + 1) = confounders(i, j);
+  }
+  Matrix<double> gram(c, c);
+  syrk(Uplo::kLower, Trans::kTrans, c, n, 1.0, x.data(), x.ld(), 0.0,
+       gram.data(), gram.ld());
+  symmetrize_from_lower(gram);
+  for (std::size_t j = 0; j < c; ++j) gram(j, j) += 1e-10;  // guard
+
+  Matrix<double> rhs(c, 1);
+  for (std::size_t j = 0; j < c; ++j) {
+    double sum = 0.0;
+    for (std::size_t i = 0; i < n; ++i) sum += x(i, j) * values[i];
+    rhs(j, 0) = sum;
+  }
+  KGWAS_ASSERT(potrf(Uplo::kLower, c, gram.data(), gram.ld()) == 0);
+  potrs(Uplo::kLower, c, 1, gram.data(), gram.ld(), rhs.data(), rhs.ld());
+
+  std::vector<double> resid(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    double fit = 0.0;
+    for (std::size_t j = 0; j < c; ++j) fit += x(i, j) * rhs(j, 0);
+    resid[i] = values[i] - fit;
+  }
+  return resid;
+}
+
+}  // namespace
+
+double chi2_sf_1df(double x) {
+  if (x <= 0.0) return 1.0;
+  return std::erfc(std::sqrt(x / 2.0));
+}
+
+std::vector<std::size_t> UnivariateResult::significant(double alpha) const {
+  std::vector<std::size_t> hits;
+  if (associations.empty()) return hits;
+  const double threshold = alpha / static_cast<double>(associations.size());
+  for (const auto& assoc : associations) {
+    if (assoc.p_value < threshold) hits.push_back(assoc.snp);
+  }
+  return hits;
+}
+
+UnivariateResult univariate_gwas(const GwasDataset& dataset,
+                                 std::size_t phenotype_index) {
+  const std::size_t n = dataset.patients();
+  const std::size_t ns = dataset.snps();
+  KGWAS_CHECK_ARG(phenotype_index < dataset.n_phenotypes(),
+                  "phenotype index out of range");
+  KGWAS_CHECK_ARG(n > 3, "need more than three patients");
+
+  // Residualize the phenotype once.
+  std::vector<double> y(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    y[i] = dataset.phenotypes(i, phenotype_index);
+  }
+  y = residualize(y, dataset.confounders);
+  double y_ss = 0.0;
+  for (double v : y) y_ss += v * v;
+
+  UnivariateResult result;
+  result.associations.resize(ns);
+  std::vector<double> g(n);
+  for (std::size_t s = 0; s < ns; ++s) {
+    for (std::size_t i = 0; i < n; ++i) g[i] = dataset.genotypes(i, s);
+    const std::vector<double> gr = residualize(g, dataset.confounders);
+
+    double gg = 0.0, gy = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      gg += gr[i] * gr[i];
+      gy += gr[i] * y[i];
+    }
+    SnpAssociation& assoc = result.associations[s];
+    assoc.snp = s;
+    if (gg <= 1e-12) {
+      // Monomorphic (after residualization): no test possible.
+      assoc.beta = 0.0;
+      assoc.se = 0.0;
+      assoc.z = 0.0;
+      assoc.chi2 = 0.0;
+      assoc.p_value = 1.0;
+      continue;
+    }
+    const double beta = gy / gg;
+    const double rss = std::max(y_ss - beta * gy, 0.0);
+    const auto dof = static_cast<double>(n - 2 - dataset.confounders.cols());
+    const double sigma2 = rss / std::max(dof, 1.0);
+    const double se = std::sqrt(sigma2 / gg);
+    assoc.beta = beta;
+    assoc.se = se;
+    assoc.z = se > 0.0 ? beta / se : 0.0;
+    assoc.chi2 = assoc.z * assoc.z;
+    assoc.p_value = chi2_sf_1df(assoc.chi2);
+  }
+
+  // Genomic control: median chi2 over the 1-dof median (0.4549).
+  std::vector<double> chis;
+  chis.reserve(ns);
+  for (const auto& a : result.associations) chis.push_back(a.chi2);
+  std::nth_element(chis.begin(), chis.begin() + chis.size() / 2, chis.end());
+  result.lambda_gc = chis[chis.size() / 2] / 0.45493642311957;
+  return result;
+}
+
+}  // namespace kgwas

@@ -1,0 +1,47 @@
+// Univariate association testing — the "dominant approach in GWAS" the
+// paper contrasts with multivariate KRR (Section III): each SNP is
+// independently tested for association with the trait, with no model of
+// epistasis or LD, plus the multiple-testing machinery (Bonferroni /
+// genomic control) whose assumptions the paper criticizes.
+//
+// Implemented as per-SNP simple linear regression with optional covariate
+// adjustment (confounders are residualized out of both dosage and
+// phenotype first, the standard two-step approximation).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "gwas/dataset.hpp"
+#include "mpblas/matrix.hpp"
+
+namespace kgwas {
+
+struct SnpAssociation {
+  std::size_t snp = 0;
+  double beta = 0.0;     ///< effect-size estimate
+  double se = 0.0;       ///< standard error of beta
+  double z = 0.0;        ///< Wald statistic beta / se
+  double chi2 = 0.0;     ///< z^2, 1-dof chi-square
+  double p_value = 1.0;  ///< two-sided
+};
+
+struct UnivariateResult {
+  std::vector<SnpAssociation> associations;  ///< one per SNP, in SNP order
+  double lambda_gc = 1.0;  ///< genomic-control inflation factor
+                           ///< (median chi2 / 0.4549)
+
+  /// SNPs passing the Bonferroni threshold alpha / N_S.
+  std::vector<std::size_t> significant(double alpha = 0.05) const;
+};
+
+/// Tests every SNP against phenotype column `phenotype_index`.
+/// Confounder columns (if any) are residualized out first.
+UnivariateResult univariate_gwas(const GwasDataset& dataset,
+                                 std::size_t phenotype_index = 0);
+
+/// Survival function of the 1-dof chi-square distribution (upper tail),
+/// exposed for tests: P(X > x) = erfc(sqrt(x/2)).
+double chi2_sf_1df(double x);
+
+}  // namespace kgwas

@@ -1,0 +1,59 @@
+#include "krr/associate.hpp"
+
+#include "common/status.hpp"
+#include "linalg/tiled_cholesky.hpp"
+
+namespace kgwas {
+
+void add_diagonal(SymmetricTileMatrix& k, float alpha) {
+  for (std::size_t t = 0; t < k.tile_count(); ++t) {
+    Tile& tile = k.tile(t, t);
+    Matrix<float> values = tile.to_fp32();
+    for (std::size_t i = 0; i < values.rows(); ++i) values(i, i) += alpha;
+    tile.from_fp32(values);
+  }
+}
+
+PrecisionMap plan_precision_map(const SymmetricTileMatrix& k,
+                                const AssociateConfig& config) {
+  switch (config.mode) {
+    case PrecisionMode::kFixed:
+      return PrecisionMap(k.tile_count(), config.adaptive.working);
+    case PrecisionMode::kBand:
+      return band_precision_map(k.tile_count(), config.band_fp32_fraction,
+                                config.low_precision,
+                                config.adaptive.working);
+    case PrecisionMode::kAdaptive:
+      return adaptive_precision_map(k, config.adaptive);
+  }
+  KGWAS_ASSERT(false);
+  return {};
+}
+
+AssociateResult associate(Runtime& runtime, SymmetricTileMatrix& k,
+                          const Matrix<float>& phenotypes,
+                          const AssociateConfig& config) {
+  KGWAS_CHECK_ARG(phenotypes.rows() == k.n(),
+                  "phenotype row count must equal kernel dimension");
+  KGWAS_CHECK_ARG(config.alpha > 0.0, "alpha must be positive");
+
+  // Regularize first: the precision decision must see K + alpha*I, whose
+  // diagonal tiles dominate, exactly as the paper applies the adaptive
+  // technique "at the beginning of the Associate phase".
+  add_diagonal(k, static_cast<float>(config.alpha));
+
+  AssociateResult result;
+  result.fp32_bytes =
+      map_storage_bytes(PrecisionMap(k.tile_count(), Precision::kFp32), k.n(),
+                        k.tile_size());
+  result.map = plan_precision_map(k, config);
+  result.map.apply(k);
+  result.factor_bytes = k.storage_bytes();
+
+  tiled_potrf(runtime, k);
+  result.weights = phenotypes;
+  tiled_potrs(runtime, k, result.weights);
+  return result;
+}
+
+}  // namespace kgwas

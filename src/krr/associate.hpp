@@ -1,0 +1,53 @@
+// Associate phase: regularize, pick tile precisions, factorize with the
+// mixed-precision tiled Cholesky, and solve for the weight matrix W
+// (paper Algorithm 3 + §V-B2).
+#pragma once
+
+#include "linalg/precision_policy.hpp"
+#include "mpblas/matrix.hpp"
+#include "runtime/runtime.hpp"
+#include "tile/precision_map.hpp"
+#include "tile/tile_matrix.hpp"
+
+namespace kgwas {
+
+/// How tile precisions are chosen before factorization.
+enum class PrecisionMode {
+  kFixed,     ///< everything stays at the working precision (FP32 baseline)
+  kBand,      ///< hand-tuned band/"rainbow" policy (paper ref. [37])
+  kAdaptive,  ///< tile-norm adaptive policy (paper ref. [19])
+};
+
+struct AssociateConfig {
+  double alpha = 0.1;  ///< ridge regularization added to the diagonal
+  PrecisionMode mode = PrecisionMode::kAdaptive;
+  /// Band mode: fraction of off-diagonal tile diagonals kept in FP32.
+  double band_fp32_fraction = 0.5;
+  /// Low precision for band mode / candidate set for adaptive mode.
+  Precision low_precision = Precision::kFp16;
+  /// Adaptive mode settings (epsilon, working precision, candidates).
+  AdaptivePolicy adaptive{};
+};
+
+struct AssociateResult {
+  Matrix<float> weights;  ///< N_P1 x N_Ph solution W
+  PrecisionMap map;       ///< precision decisions actually applied
+  std::size_t factor_bytes = 0;   ///< tile storage after conversion
+  std::size_t fp32_bytes = 0;     ///< storage had everything stayed FP32
+};
+
+/// Runs the Associate phase in place on K (it becomes the Cholesky
+/// factor).  `phenotypes` is the N_P1 x N_Ph right-hand side Ph.
+AssociateResult associate(Runtime& runtime, SymmetricTileMatrix& k,
+                          const Matrix<float>& phenotypes,
+                          const AssociateConfig& config);
+
+/// Adds alpha to the diagonal of a symmetric tiled matrix (exposed for
+/// tests and for the RR path, which shares the implementation).
+void add_diagonal(SymmetricTileMatrix& k, float alpha);
+
+/// Computes (without applying) the precision map `associate` would use.
+PrecisionMap plan_precision_map(const SymmetricTileMatrix& k,
+                                const AssociateConfig& config);
+
+}  // namespace kgwas

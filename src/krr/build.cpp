@@ -1,0 +1,225 @@
+#include "krr/build.hpp"
+
+#include <cmath>
+#include <vector>
+
+#include "common/status.hpp"
+#include "mpblas/blas.hpp"
+#include "mpblas/mixed.hpp"
+
+namespace kgwas {
+
+namespace {
+
+/// Indicator matrices u = [g == 0], v = [g == 2] for the IBS identity.
+struct IbsIndicators {
+  Matrix<std::int8_t> zero;
+  Matrix<std::int8_t> two;
+};
+
+IbsIndicators make_indicators(const GenotypeMatrix& genotypes) {
+  IbsIndicators ind{Matrix<std::int8_t>(genotypes.patients(), genotypes.snps()),
+                    Matrix<std::int8_t>(genotypes.patients(), genotypes.snps())};
+  for (std::size_t s = 0; s < genotypes.snps(); ++s) {
+    for (std::size_t p = 0; p < genotypes.patients(); ++p) {
+      const std::int8_t g = genotypes(p, s);
+      ind.zero(p, s) = g == 0 ? 1 : 0;
+      ind.two(p, s) = g == 2 ? 1 : 0;
+    }
+  }
+  return ind;
+}
+
+/// Per-patient squared norms of the confounder rows (FP32 path).
+std::vector<float> confounder_row_norms(const Matrix<float>& confounders) {
+  std::vector<float> norms(confounders.rows(), 0.0f);
+  for (std::size_t c = 0; c < confounders.cols(); ++c) {
+    for (std::size_t p = 0; p < confounders.rows(); ++p) {
+      norms[p] += confounders(p, c) * confounders(p, c);
+    }
+  }
+  return norms;
+}
+
+/// Computes one kernel tile for patient row blocks [r0, r0+mb) x [c0, c0+nb).
+/// All inputs are shared read-only; the output is the tile's own buffer,
+/// so tiles are independent tasks.
+struct TileJobInputs {
+  const GenotypeMatrix& genotypes_rows;   // rows side (test or train)
+  const GenotypeMatrix& genotypes_cols;   // cols side (train)
+  const Matrix<float>& conf_rows;
+  const Matrix<float>& conf_cols;
+  const std::vector<std::int32_t>& snp_norms_rows;
+  const std::vector<std::int32_t>& snp_norms_cols;
+  const std::vector<float>& conf_norms_rows;
+  const std::vector<float>& conf_norms_cols;
+  const IbsIndicators* ind_rows;  // null for Gaussian
+  const IbsIndicators* ind_cols;
+  const BuildConfig& config;
+};
+
+void compute_kernel_tile(const TileJobInputs& in, std::size_t r0,
+                         std::size_t c0, Tile& out) {
+  const std::size_t mb = out.rows();
+  const std::size_t nb = out.cols();
+  const std::size_t ns = in.genotypes_rows.snps();
+  const std::size_t ldr = in.genotypes_rows.patients();
+  const std::size_t ldc = in.genotypes_cols.patients();
+
+  // INT8 tensor-core GEMM: G_r * G_c^T, exact INT32 accumulation.
+  Matrix<std::int32_t> dot(mb, nb);
+  gemm_i8_i32(Trans::kNoTrans, Trans::kTrans, mb, nb, ns, 1,
+              &in.genotypes_rows.matrix()(r0, 0), ldr,
+              &in.genotypes_cols.matrix()(c0, 0), ldc, 0, dot.data(),
+              dot.ld());
+
+  Matrix<float> k(mb, nb);
+
+  if (in.config.kernel == KernelType::kGaussian) {
+    // Fused: d = n_i + n_j - 2 dot (+ confounder distances), k = exp(-g d).
+    Matrix<float> conf_dist(mb, nb);
+    const std::size_t nc = in.conf_rows.cols();
+    if (nc > 0) {
+      // -2 * C_r C_c^T accumulated in FP32, plus the folded norms.
+      gemm(Trans::kNoTrans, Trans::kTrans, mb, nb, nc, -2.0f,
+           &in.conf_rows(r0, 0), in.conf_rows.ld(), &in.conf_cols(c0, 0),
+           in.conf_cols.ld(), 0.0f, conf_dist.data(), conf_dist.ld());
+    }
+    for (std::size_t j = 0; j < nb; ++j) {
+      for (std::size_t i = 0; i < mb; ++i) {
+        double d = static_cast<double>(in.snp_norms_rows[r0 + i]) +
+                   static_cast<double>(in.snp_norms_cols[c0 + j]) -
+                   2.0 * static_cast<double>(dot(i, j));
+        if (nc > 0) {
+          d += static_cast<double>(in.conf_norms_rows[r0 + i]) +
+               static_cast<double>(in.conf_norms_cols[c0 + j]) +
+               static_cast<double>(conf_dist(i, j));
+        }
+        // Quantized inputs guarantee d >= 0 up to FP32 rounding of the
+        // confounder part; clamp to keep the kernel in (0, 1].
+        if (d < 0.0) d = 0.0;
+        k(i, j) = static_cast<float>(std::exp(-in.config.gamma * d));
+      }
+    }
+  } else {
+    // IBS: shared = 2*NS - sum|gi-gj|; sum|gi-gj| = d - 2 * count2 where
+    // count2 = u_r . v_c + v_r . u_c.
+    Matrix<std::int32_t> count2(mb, nb);
+    gemm_i8_i32(Trans::kNoTrans, Trans::kTrans, mb, nb, ns, 1,
+                &in.ind_rows->zero(r0, 0), ldr, &in.ind_cols->two(c0, 0), ldc,
+                0, count2.data(), count2.ld());
+    gemm_i8_i32(Trans::kNoTrans, Trans::kTrans, mb, nb, ns, 1,
+                &in.ind_rows->two(r0, 0), ldr, &in.ind_cols->zero(c0, 0), ldc,
+                1, count2.data(), count2.ld());
+    const double denom = 2.0 * static_cast<double>(ns);
+    for (std::size_t j = 0; j < nb; ++j) {
+      for (std::size_t i = 0; i < mb; ++i) {
+        const std::int64_t d = static_cast<std::int64_t>(
+                                   in.snp_norms_rows[r0 + i]) +
+                               in.snp_norms_cols[c0 + j] -
+                               2 * static_cast<std::int64_t>(dot(i, j));
+        const std::int64_t abs_sum = d - 2 * count2(i, j);
+        k(i, j) = static_cast<float>(
+            (denom - static_cast<double>(abs_sum)) / denom);
+      }
+    }
+  }
+  out.from_fp32(k);
+}
+
+}  // namespace
+
+SymmetricTileMatrix build_kernel_matrix(Runtime& runtime,
+                                        const GenotypeMatrix& genotypes,
+                                        const Matrix<float>& confounders,
+                                        const BuildConfig& config) {
+  const std::size_t np = genotypes.patients();
+  KGWAS_CHECK_ARG(np > 0, "empty cohort");
+  KGWAS_CHECK_ARG(confounders.rows() == np || confounders.rows() == 0,
+                  "confounder row count mismatch");
+  KGWAS_CHECK_ARG(config.gamma > 0.0, "gamma must be positive");
+  // INT32 overflow guard: max entry of the dosage Gram is 4 * NS.
+  KGWAS_CHECK_ARG(genotypes.snps() < (1u << 28),
+                  "SNP count would overflow INT32 accumulation");
+
+  SymmetricTileMatrix k(np, config.tile_size);
+  const auto snp_norms = genotypes.squared_row_norms();
+  const auto conf_norms = confounder_row_norms(confounders);
+  IbsIndicators indicators;
+  if (config.kernel == KernelType::kIbs) {
+    indicators = make_indicators(genotypes);
+  }
+  const TileJobInputs inputs{
+      genotypes,   genotypes,  confounders, confounders,
+      snp_norms,   snp_norms,  conf_norms,  conf_norms,
+      config.kernel == KernelType::kIbs ? &indicators : nullptr,
+      config.kernel == KernelType::kIbs ? &indicators : nullptr,
+      config};
+
+  const std::size_t nt = k.tile_count();
+  for (std::size_t tj = 0; tj < nt; ++tj) {
+    for (std::size_t ti = tj; ti < nt; ++ti) {
+      DataHandle h = runtime.register_data("K");
+      runtime.submit("build_k", {{h, Access::kWrite}},
+                     [&inputs, &k, ti, tj, ts = config.tile_size] {
+                       compute_kernel_tile(inputs, ti * ts, tj * ts,
+                                           k.tile(ti, tj));
+                     });
+    }
+  }
+  runtime.wait();
+  return k;
+}
+
+TileMatrix build_cross_kernel(Runtime& runtime,
+                              const GenotypeMatrix& test_genotypes,
+                              const Matrix<float>& test_confounders,
+                              const GenotypeMatrix& train_genotypes,
+                              const Matrix<float>& train_confounders,
+                              const BuildConfig& config) {
+  KGWAS_CHECK_ARG(test_genotypes.snps() == train_genotypes.snps(),
+                  "test/train SNP layout mismatch");
+  const std::size_t np2 = test_genotypes.patients();
+  const std::size_t np1 = train_genotypes.patients();
+  TileMatrix k(np2, np1, config.tile_size);
+
+  const auto test_norms = test_genotypes.squared_row_norms();
+  const auto train_norms = train_genotypes.squared_row_norms();
+  const auto test_conf_norms = confounder_row_norms(test_confounders);
+  const auto train_conf_norms = confounder_row_norms(train_confounders);
+  IbsIndicators test_ind, train_ind;
+  if (config.kernel == KernelType::kIbs) {
+    test_ind = make_indicators(test_genotypes);
+    train_ind = make_indicators(train_genotypes);
+  }
+  const TileJobInputs inputs{
+      test_genotypes, train_genotypes, test_confounders, train_confounders,
+      test_norms,     train_norms,     test_conf_norms,  train_conf_norms,
+      config.kernel == KernelType::kIbs ? &test_ind : nullptr,
+      config.kernel == KernelType::kIbs ? &train_ind : nullptr,
+      config};
+
+  for (std::size_t tj = 0; tj < k.tile_cols(); ++tj) {
+    for (std::size_t ti = 0; ti < k.tile_rows(); ++ti) {
+      DataHandle h = runtime.register_data("Kx");
+      runtime.submit("build_kx", {{h, Access::kWrite}},
+                     [&inputs, &k, ti, tj, ts = config.tile_size] {
+                       compute_kernel_tile(inputs, ti * ts, tj * ts,
+                                           k.tile(ti, tj));
+                     });
+    }
+  }
+  runtime.wait();
+  return k;
+}
+
+double build_op_count(std::size_t n_train, std::size_t n_snps,
+                      std::size_t n_confounders) {
+  const double np = static_cast<double>(n_train);
+  // Dosage SYRK (INT8): np^2 * ns MACs = 2 np^2 ns ops; confounder SYRK in
+  // FP32; plus the O(np^2) fused exponentiation (counted once).
+  return np * np * static_cast<double>(n_snps) +
+         np * np * static_cast<double>(n_confounders) + np * np;
+}
+
+}  // namespace kgwas

@@ -1,0 +1,60 @@
+// Build phase: tiled kernel-matrix generation on emulated INT8 tensor
+// cores (paper §V-B1, §VI-B2).
+//
+// Gaussian path.  The squared Euclidean distance between patients i and j
+// decomposes as d_ij = ||g_i||^2 + ||g_j||^2 - 2 * g_i . g_j, so a tile of
+// the distance matrix is one INT8xINT8->INT32 GEMM (exact for dosage
+// data) plus a rank-two correction from the folded norm vector `d` — the
+// paper's "no extra temporary matrices" trick: the norms are stored once
+// as a vector and each tile is generated on the fly, fused with the
+// exponentiation exp(-gamma * d_ij) before it is released.  Real-valued
+// confounder columns contribute their own squared distances through an
+// FP32 GEMM accumulated into the same tile prior to exponentiation.
+//
+// IBS path.  sum|g_i - g_j| = d_ij - 2 * #(loci with |diff| = 2), and the
+// count of |diff| = 2 loci is u_i . v_j + v_i . u_j with u = [g == 0],
+// v = [g == 2] indicator vectors — so the IBS kernel is three INT8 GEMMs,
+// again exact.
+//
+// Every output tile is an independent task; the runtime runs them all in
+// parallel (the Build DAG is embarrassingly parallel, which is why it
+// weak-scales essentially perfectly in the paper's Fig. 7).
+#pragma once
+
+#include "gwas/genotype.hpp"
+#include "krr/kernels.hpp"
+#include "mpblas/matrix.hpp"
+#include "runtime/runtime.hpp"
+#include "tile/tile_matrix.hpp"
+
+namespace kgwas {
+
+struct BuildConfig {
+  KernelType kernel = KernelType::kGaussian;
+  double gamma = 0.01;          ///< Gaussian bandwidth (paper default)
+  std::size_t tile_size = 256;  ///< tile edge
+};
+
+/// Builds the symmetric train x train kernel matrix K (FP32 tiles).
+/// `confounders` may be empty (0 columns); otherwise its squared distances
+/// are accumulated into the Gaussian exponent (ignored by the IBS kernel,
+/// which is defined on alleles only).
+SymmetricTileMatrix build_kernel_matrix(Runtime& runtime,
+                                        const GenotypeMatrix& genotypes,
+                                        const Matrix<float>& confounders,
+                                        const BuildConfig& config);
+
+/// Builds the rectangular test x train cross-kernel used by Predict.
+TileMatrix build_cross_kernel(Runtime& runtime,
+                              const GenotypeMatrix& test_genotypes,
+                              const Matrix<float>& test_confounders,
+                              const GenotypeMatrix& train_genotypes,
+                              const Matrix<float>& train_confounders,
+                              const BuildConfig& config);
+
+/// Mixed-precision operation count of a Build (for the bench harness):
+/// INT8 ops of the dosage SYRK + FP32 ops of the confounder part.
+double build_op_count(std::size_t n_train, std::size_t n_snps,
+                      std::size_t n_confounders);
+
+}  // namespace kgwas

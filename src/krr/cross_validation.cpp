@@ -1,0 +1,70 @@
+#include "krr/cross_validation.hpp"
+
+#include <limits>
+#include <numeric>
+#include <span>
+
+#include "common/rng.hpp"
+#include "common/status.hpp"
+#include "stats/metrics.hpp"
+
+namespace kgwas {
+
+CvResult cross_validate_krr(Runtime& runtime, const GwasDataset& train,
+                            const CvConfig& config) {
+  KGWAS_CHECK_ARG(config.n_folds >= 2, "need at least two folds");
+  KGWAS_CHECK_ARG(!config.gamma_scales.empty() && !config.alphas.empty(),
+                  "empty hyperparameter grid");
+  const std::size_t n = train.patients();
+  KGWAS_CHECK_ARG(n >= 2 * config.n_folds, "too few patients for the folds");
+
+  // Deterministic fold assignment.
+  std::vector<std::size_t> fold(n);
+  for (std::size_t i = 0; i < n; ++i) fold[i] = i % config.n_folds;
+  Rng rng(config.seed);
+  for (std::size_t i = n - 1; i > 0; --i) {
+    const std::size_t j = rng.uniform_index(i + 1);
+    std::swap(fold[i], fold[j]);
+  }
+
+  CvResult result;
+  result.best.mean_mspe = std::numeric_limits<double>::infinity();
+
+  for (const double gs : config.gamma_scales) {
+    for (const double alpha : config.alphas) {
+      double total = 0.0;
+      std::size_t count = 0;
+      for (std::size_t f = 0; f < config.n_folds; ++f) {
+        std::vector<std::size_t> in_rows, out_rows;
+        for (std::size_t i = 0; i < n; ++i) {
+          (fold[i] == f ? out_rows : in_rows).push_back(i);
+        }
+        const GwasDataset fit_set = train.subset(in_rows);
+        const GwasDataset val_set = train.subset(out_rows);
+
+        KrrConfig kc;
+        kc.build.tile_size = config.tile_size;
+        kc.auto_gamma_scale = gs;
+        kc.associate.alpha = alpha;
+        kc.associate.mode = PrecisionMode::kAdaptive;
+        kc.associate.adaptive.available = {Precision::kFp16};
+        KrrModel model;
+        model.fit(runtime, fit_set, kc);
+        const Matrix<float> pred = model.predict(runtime, val_set);
+        for (std::size_t ph = 0; ph < val_set.n_phenotypes(); ++ph) {
+          const std::span<const float> truth(&val_set.phenotypes(0, ph),
+                                             val_set.patients());
+          const std::span<const float> yhat(&pred(0, ph), val_set.patients());
+          total += mspe(truth, yhat);
+          ++count;
+        }
+      }
+      CvPoint point{gs, alpha, total / static_cast<double>(count)};
+      if (point.mean_mspe < result.best.mean_mspe) result.best = point;
+      result.grid.push_back(point);
+    }
+  }
+  return result;
+}
+
+}  // namespace kgwas

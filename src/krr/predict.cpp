@@ -1,0 +1,44 @@
+#include "krr/predict.hpp"
+
+#include <string>
+#include <vector>
+
+#include "common/status.hpp"
+#include "mpblas/blas.hpp"
+
+namespace kgwas {
+
+Matrix<float> predict_from_cross_kernel(Runtime& runtime,
+                                        const TileMatrix& cross_kernel,
+                                        const Matrix<float>& weights) {
+  KGWAS_CHECK_ARG(cross_kernel.cols() == weights.rows(),
+                  "cross kernel / weights dimension mismatch");
+  Matrix<float> predictions(cross_kernel.rows(), weights.cols());
+  const std::size_t ts = cross_kernel.tile_size();
+  const std::size_t nrhs = weights.cols();
+
+  // One handle per prediction row block; tile-column GEMMs accumulate
+  // into it sequentially (runtime serializes via the ReadWrite chain).
+  std::vector<DataHandle> handles(cross_kernel.tile_rows());
+  for (std::size_t ti = 0; ti < cross_kernel.tile_rows(); ++ti) {
+    handles[ti] = runtime.register_data("Pr(" + std::to_string(ti) + ")");
+  }
+  for (std::size_t ti = 0; ti < cross_kernel.tile_rows(); ++ti) {
+    for (std::size_t tj = 0; tj < cross_kernel.tile_cols(); ++tj) {
+      runtime.submit(
+          "predict_gemm", {{handles[ti], Access::kReadWrite}},
+          [&cross_kernel, &weights, &predictions, ti, tj, ts, nrhs] {
+            const Tile& tile = cross_kernel.tile(ti, tj);
+            const Matrix<float> values = tile.to_fp32();
+            gemm(Trans::kNoTrans, Trans::kNoTrans, values.rows(), nrhs,
+                 values.cols(), 1.0f, values.data(), values.ld(),
+                 &weights(tj * ts, 0), weights.ld(), 1.0f,
+                 &predictions(ti * ts, 0), predictions.ld());
+          });
+    }
+  }
+  runtime.wait();
+  return predictions;
+}
+
+}  // namespace kgwas

@@ -1,0 +1,17 @@
+// Predict phase: Pr = K_test_train * W (paper Algorithm 4), computed as
+// tiled FP32 GEMM tasks over the cross-kernel.
+#pragma once
+
+#include "mpblas/matrix.hpp"
+#include "runtime/runtime.hpp"
+#include "tile/tile_matrix.hpp"
+
+namespace kgwas {
+
+/// Multiplies a tiled cross-kernel (N_P2 x N_P1) by the weight matrix
+/// (N_P1 x N_Ph), returning predictions (N_P2 x N_Ph).
+Matrix<float> predict_from_cross_kernel(Runtime& runtime,
+                                        const TileMatrix& cross_kernel,
+                                        const Matrix<float>& weights);
+
+}  // namespace kgwas

@@ -1,0 +1,67 @@
+#include "linalg/iterative_refinement.hpp"
+
+#include <cmath>
+
+#include "common/status.hpp"
+#include "linalg/tiled_cholesky.hpp"
+#include "mpblas/blas.hpp"
+
+namespace kgwas {
+
+RefinementResult solve_with_refinement(Runtime& runtime,
+                                       const Matrix<double>& a,
+                                       const Matrix<double>& b,
+                                       std::size_t tile_size,
+                                       const PrecisionMap& map,
+                                       const RefinementOptions& options) {
+  const std::size_t n = a.rows();
+  KGWAS_CHECK_ARG(a.cols() == n, "matrix must be square");
+  KGWAS_CHECK_ARG(b.rows() == n, "rhs rows mismatch");
+  const std::size_t nrhs = b.cols();
+
+  // Mixed-precision factorization of a tiled FP32 copy.
+  SymmetricTileMatrix tiled(n, tile_size);
+  tiled.from_dense(a.cast<float>());
+  map.apply(tiled);
+  tiled_potrf(runtime, tiled);
+
+  const double a_norm = frobenius_norm(n, n, a.data(), a.ld());
+
+  // Initial solve.
+  Matrix<float> x = b.cast<float>();
+  tiled_potrs(runtime, tiled, x);
+
+  RefinementResult result;
+  for (int iter = 0; iter <= options.max_iterations; ++iter) {
+    // FP64 residual r = b - A x.
+    Matrix<double> xd = x.cast<double>();
+    Matrix<double> r = b;
+    gemm(Trans::kNoTrans, Trans::kNoTrans, n, nrhs, n, -1.0, a.data(), a.ld(),
+         xd.data(), xd.ld(), 1.0, r.data(), r.ld());
+
+    const double r_norm = frobenius_norm(n, nrhs, r.data(), r.ld());
+    const double x_norm = frobenius_norm(n, nrhs, xd.data(), xd.ld());
+    result.final_residual =
+        x_norm > 0.0 ? r_norm / (a_norm * x_norm) : r_norm;
+    result.iterations = iter;
+    if (result.final_residual <= options.tolerance) {
+      result.converged = true;
+      break;
+    }
+    if (iter == options.max_iterations) break;
+
+    // Correction solve in FP32 via the mixed factor, then update in FP64.
+    Matrix<float> d = r.cast<float>();
+    tiled_potrs(runtime, tiled, d);
+    for (std::size_t j = 0; j < nrhs; ++j) {
+      for (std::size_t i = 0; i < n; ++i) {
+        xd(i, j) += static_cast<double>(d(i, j));
+      }
+    }
+    x = xd.cast<float>();
+  }
+  result.x = std::move(x);
+  return result;
+}
+
+}  // namespace kgwas

@@ -1,0 +1,146 @@
+#include "linalg/low_rank.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "common/status.hpp"
+#include "mpblas/blas.hpp"
+
+namespace kgwas {
+
+Svd jacobi_svd(const Matrix<float>& a, int max_sweeps) {
+  const std::size_t m = a.rows();
+  const std::size_t n = a.cols();
+  // Work on a double copy for Jacobi stability; outputs are FP32.
+  Matrix<double> u = a.cast<double>();
+  Matrix<double> v(n, n, 0.0);
+  for (std::size_t j = 0; j < n; ++j) v(j, j) = 1.0;
+
+  // One-sided Jacobi: orthogonalize column pairs of U, accumulating the
+  // rotations into V.  Converged when every pair is numerically
+  // orthogonal relative to the column norms.
+  const double eps = 1e-10;
+  for (int sweep = 0; sweep < max_sweeps; ++sweep) {
+    bool rotated = false;
+    for (std::size_t p = 0; p + 1 < n; ++p) {
+      for (std::size_t q = p + 1; q < n; ++q) {
+        double app = 0.0, aqq = 0.0, apq = 0.0;
+        for (std::size_t i = 0; i < m; ++i) {
+          app += u(i, p) * u(i, p);
+          aqq += u(i, q) * u(i, q);
+          apq += u(i, p) * u(i, q);
+        }
+        if (std::fabs(apq) <= eps * std::sqrt(app * aqq) || apq == 0.0) {
+          continue;
+        }
+        rotated = true;
+        const double zeta = (aqq - app) / (2.0 * apq);
+        const double t = (zeta >= 0.0 ? 1.0 : -1.0) /
+                         (std::fabs(zeta) + std::sqrt(1.0 + zeta * zeta));
+        const double c = 1.0 / std::sqrt(1.0 + t * t);
+        const double s = c * t;
+        for (std::size_t i = 0; i < m; ++i) {
+          const double up = u(i, p), uq = u(i, q);
+          u(i, p) = c * up - s * uq;
+          u(i, q) = s * up + c * uq;
+        }
+        for (std::size_t i = 0; i < n; ++i) {
+          const double vp = v(i, p), vq = v(i, q);
+          v(i, p) = c * vp - s * vq;
+          v(i, q) = s * vp + c * vq;
+        }
+      }
+    }
+    if (!rotated) break;
+  }
+
+  // Singular values = column norms of U; sort descending.
+  std::vector<double> norms(n);
+  for (std::size_t j = 0; j < n; ++j) {
+    double sum = 0.0;
+    for (std::size_t i = 0; i < m; ++i) sum += u(i, j) * u(i, j);
+    norms[j] = std::sqrt(sum);
+  }
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(),
+            [&](std::size_t x, std::size_t y) { return norms[x] > norms[y]; });
+
+  Svd out;
+  out.u = Matrix<float>(m, n);
+  out.v = Matrix<float>(n, n);
+  out.sigma.resize(n);
+  for (std::size_t j = 0; j < n; ++j) {
+    const std::size_t src = order[j];
+    const double sigma = norms[src];
+    out.sigma[j] = static_cast<float>(sigma);
+    const double inv = sigma > 0.0 ? 1.0 / sigma : 0.0;
+    for (std::size_t i = 0; i < m; ++i) {
+      out.u(i, j) = static_cast<float>(u(i, src) * inv);
+    }
+    for (std::size_t i = 0; i < n; ++i) {
+      out.v(i, j) = static_cast<float>(v(i, src));
+    }
+  }
+  return out;
+}
+
+LowRankFactor truncate_svd(const Svd& svd, double tol, std::size_t m,
+                           std::size_t n) {
+  std::size_t rank = 0;
+  while (rank < svd.sigma.size() && svd.sigma[rank] > tol) ++rank;
+  rank = std::max<std::size_t>(rank, 1);
+
+  LowRankFactor factor;
+  factor.u = Matrix<float>(m, rank);
+  factor.v = Matrix<float>(n, rank);
+  for (std::size_t k = 0; k < rank; ++k) {
+    for (std::size_t i = 0; i < m; ++i) {
+      factor.u(i, k) = svd.u(i, k) * svd.sigma[k];
+    }
+    for (std::size_t i = 0; i < n; ++i) {
+      factor.v(i, k) = svd.v(i, k);
+    }
+  }
+  return factor;
+}
+
+LowRankFactor compress_block(const Matrix<float>& a, double tol) {
+  return truncate_svd(jacobi_svd(a), tol, a.rows(), a.cols());
+}
+
+Matrix<float> reconstruct(const LowRankFactor& factor) {
+  return matmul(factor.u, factor.v, Trans::kNoTrans, Trans::kTrans);
+}
+
+CompressionSurvey survey_low_rank(const SymmetricTileMatrix& matrix,
+                                  double tol) {
+  CompressionSurvey survey;
+  const std::size_t nt = matrix.tile_count();
+  std::size_t tiles = 0;
+  for (std::size_t tj = 0; tj < nt; ++tj) {
+    for (std::size_t ti = tj + 1; ti < nt; ++ti) {
+      const Matrix<float> dense = matrix.tile(ti, tj).to_fp32();
+      const LowRankFactor factor = compress_block(dense, tol);
+      const Matrix<float> recon = reconstruct(factor);
+      double err = 0.0;
+      for (std::size_t i = 0; i < dense.size(); ++i) {
+        const double d = static_cast<double>(dense.data()[i]) -
+                         recon.data()[i];
+        err += d * d;
+      }
+      survey.max_error = std::max(survey.max_error, std::sqrt(err));
+      survey.mean_rank += static_cast<double>(factor.rank());
+      survey.max_rank =
+          std::max(survey.max_rank, static_cast<double>(factor.rank()));
+      survey.dense_bytes += dense.size() * sizeof(float);
+      survey.compressed_bytes += factor.bytes();
+      ++tiles;
+    }
+  }
+  if (tiles > 0) survey.mean_rank /= static_cast<double>(tiles);
+  return survey;
+}
+
+}  // namespace kgwas

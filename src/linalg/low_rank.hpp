@@ -1,0 +1,62 @@
+// Low-rank tile compression (paper Section VIII): "additional and
+// potentially even greater data sparsity may be available from exploiting
+// the smoothness of matrix tiles in the form of low-rank replacements of
+// dense tiles" (the TLR/HSS direction of the authors' earlier Gordon Bell
+// work).  This module provides the building block — truncated SVD of a
+// tile via one-sided Jacobi — and a survey routine that measures how much
+// of a kernel matrix's off-diagonal mass is low-rank at a given
+// tolerance, which is what decides whether TLR beats (or composes with)
+// the mixed-precision representation.
+#pragma once
+
+#include <cstddef>
+
+#include "mpblas/matrix.hpp"
+#include "tile/tile_matrix.hpp"
+
+namespace kgwas {
+
+/// Thin SVD A = U diag(s) V^T of an m x n matrix (m >= n not required).
+struct Svd {
+  Matrix<float> u;             ///< m x r
+  std::vector<float> sigma;    ///< r singular values, descending
+  Matrix<float> v;             ///< n x r
+};
+
+/// One-sided Jacobi SVD (suitable for tile-sized problems).  `sweeps`
+/// bounds the Jacobi iterations; convergence for tile sizes well before.
+Svd jacobi_svd(const Matrix<float>& a, int max_sweeps = 30);
+
+/// Rank-k factorization A ~= U * V^T keeping singular values with
+/// sigma_i > tol (absolute).  U is m x k (scaled by sigma), V is n x k.
+struct LowRankFactor {
+  Matrix<float> u;
+  Matrix<float> v;
+  std::size_t rank() const { return u.cols(); }
+  std::size_t bytes() const {
+    return (u.size() + v.size()) * sizeof(float);
+  }
+};
+LowRankFactor truncate_svd(const Svd& svd, double tol, std::size_t m,
+                           std::size_t n);
+
+/// Convenience: compress a dense block to the given absolute tolerance.
+LowRankFactor compress_block(const Matrix<float>& a, double tol);
+
+/// Reconstructs U * V^T.
+Matrix<float> reconstruct(const LowRankFactor& factor);
+
+/// Surveys the off-diagonal tiles of a symmetric tiled matrix: average
+/// numerical rank at `tol`, compressed vs dense bytes, max reconstruction
+/// error — the decision data for a TLR variant.
+struct CompressionSurvey {
+  double mean_rank = 0.0;
+  double max_rank = 0.0;
+  std::size_t dense_bytes = 0;
+  std::size_t compressed_bytes = 0;
+  double max_error = 0.0;  ///< max Frobenius reconstruction error per tile
+};
+CompressionSurvey survey_low_rank(const SymmetricTileMatrix& matrix,
+                                  double tol);
+
+}  // namespace kgwas

@@ -1,0 +1,86 @@
+#include "linalg/precision_policy.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/status.hpp"
+
+namespace kgwas {
+
+PrecisionMap adaptive_precision_map(const SymmetricTileMatrix& matrix,
+                                    const AdaptivePolicy& policy) {
+  const std::size_t nt = matrix.tile_count();
+  PrecisionMap map(nt, policy.working);
+
+  // Global Frobenius norm from the lower triangle (off-diagonal tiles
+  // appear twice in the symmetric matrix).
+  double sum_sq = 0.0;
+  for (std::size_t tj = 0; tj < nt; ++tj) {
+    for (std::size_t ti = tj; ti < nt; ++ti) {
+      const double norm = matrix.tile(ti, tj).frobenius_norm();
+      sum_sq += (ti == tj ? 1.0 : 2.0) * norm * norm;
+    }
+  }
+  const double matrix_norm = std::sqrt(sum_sq);
+  const double budget =
+      policy.epsilon * matrix_norm / static_cast<double>(std::max<std::size_t>(nt, 1));
+
+  // Order candidate precisions widest-first so we can pick the cheapest
+  // admissible one by scanning from the back.
+  std::vector<Precision> candidates = policy.available;
+  std::sort(candidates.begin(), candidates.end(),
+            [](Precision a, Precision b) {
+              return unit_roundoff(a) < unit_roundoff(b);
+            });
+
+  for (std::size_t tj = 0; tj < nt; ++tj) {
+    for (std::size_t ti = tj + 1; ti < nt; ++ti) {
+      const double tile_norm = matrix.tile(ti, tj).frobenius_norm();
+      Precision chosen = policy.working;
+      for (auto it = candidates.rbegin(); it != candidates.rend(); ++it) {
+        if (unit_roundoff(*it) * tile_norm <= budget) {
+          chosen = *it;
+          break;
+        }
+      }
+      map.set(ti, tj, chosen);
+    }
+  }
+  return map;
+}
+
+PrecisionMap band_precision_map(std::size_t tile_count, double fp32_fraction,
+                                Precision low, Precision working) {
+  KGWAS_CHECK_ARG(fp32_fraction >= 0.0 && fp32_fraction <= 1.0,
+                  "band fraction must be in [0, 1]");
+  PrecisionMap map(tile_count, working);
+  if (tile_count <= 1) return map;
+  // Off-diagonal tile diagonals are indexed by d = ti - tj in [1, nt-1];
+  // keep the first round(fraction * (nt-1)) of them in the working
+  // precision.
+  const auto keep = static_cast<std::size_t>(
+      std::llround(fp32_fraction * static_cast<double>(tile_count - 1)));
+  for (std::size_t tj = 0; tj < tile_count; ++tj) {
+    for (std::size_t ti = tj + 1; ti < tile_count; ++ti) {
+      map.set(ti, tj, (ti - tj) <= keep ? working : low);
+    }
+  }
+  return map;
+}
+
+std::size_t map_storage_bytes(const PrecisionMap& map, std::size_t n,
+                              std::size_t tile_size) {
+  const std::size_t nt = map.tile_count();
+  std::size_t total = 0;
+  auto dim = [&](std::size_t t) {
+    return std::min(tile_size, n - t * tile_size);
+  };
+  for (std::size_t tj = 0; tj < nt; ++tj) {
+    for (std::size_t ti = tj; ti < nt; ++ti) {
+      total += dim(ti) * dim(tj) * bytes_per_element(map.get(ti, tj));
+    }
+  }
+  return total;
+}
+
+}  // namespace kgwas

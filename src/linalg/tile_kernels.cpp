@@ -1,0 +1,82 @@
+#include "linalg/tile_kernels.hpp"
+
+#include <string>
+#include <vector>
+
+#include "common/status.hpp"
+#include "mpblas/blas.hpp"
+
+namespace kgwas {
+
+void tile_potrf(Tile& a, std::size_t global_offset) {
+  KGWAS_CHECK_ARG(a.rows() == a.cols(), "POTRF tile must be square");
+  Matrix<float> values = a.to_fp32();
+  const int info = potrf(Uplo::kLower, values.rows(), values.data(), values.ld());
+  if (info != 0) {
+    throw NumericalError(
+        "tiled Cholesky: leading minor of order " +
+            std::to_string(global_offset + static_cast<std::size_t>(info)) +
+            " is not positive definite (consider a larger regularization "
+            "alpha or higher tile precision)",
+        static_cast<long>(global_offset) + info);
+  }
+  // Zero the (never referenced) upper triangle so dense expansions of the
+  // factor are directly usable.
+  for (std::size_t j = 1; j < values.cols(); ++j) {
+    for (std::size_t i = 0; i < j; ++i) values(i, j) = 0.0f;
+  }
+  a.from_fp32(values);
+}
+
+void tile_trsm(const Tile& l, Tile& b) {
+  KGWAS_CHECK_ARG(l.rows() == l.cols() && b.cols() == l.rows(),
+                  "TRSM tile shape mismatch");
+  Matrix<float> lv = l.to_fp32();
+  Matrix<float> bv = b.to_fp32();
+  trsm(Side::kRight, Uplo::kLower, Trans::kTrans, Diag::kNonUnit, bv.rows(),
+       bv.cols(), 1.0f, lv.data(), lv.ld(), bv.data(), bv.ld());
+  b.from_fp32(bv);
+}
+
+void tile_syrk(const Tile& a, Tile& c) {
+  KGWAS_CHECK_ARG(c.rows() == c.cols() && a.rows() == c.rows(),
+                  "SYRK tile shape mismatch");
+  Matrix<float> av = a.to_fp32();
+  Matrix<float> cv = c.to_fp32();
+  // Full-tile update (gemm) keeps the tile consistent for later full reads;
+  // numerically identical to the triangular update on the referenced part.
+  gemm(Trans::kNoTrans, Trans::kTrans, cv.rows(), cv.cols(), av.cols(), -1.0f,
+       av.data(), av.ld(), av.data(), av.ld(), 1.0f, cv.data(), cv.ld());
+  c.from_fp32(cv);
+}
+
+void tile_gemm(const Tile& a, const Tile& b, Tile& c) {
+  KGWAS_CHECK_ARG(a.cols() == b.cols() && c.rows() == a.rows() &&
+                      c.cols() == b.rows(),
+                  "GEMM tile shape mismatch");
+  Matrix<float> av = a.to_fp32();
+  Matrix<float> bv = b.to_fp32();
+  Matrix<float> cv = c.to_fp32();
+  gemm(Trans::kNoTrans, Trans::kTrans, cv.rows(), cv.cols(), av.cols(), -1.0f,
+       av.data(), av.ld(), bv.data(), bv.ld(), 1.0f, cv.data(), cv.ld());
+  c.from_fp32(cv);
+}
+
+void tile_trsm_rhs(const Tile& l, bool transpose, float* x, std::size_t ldx,
+                   std::size_t ncols) {
+  Matrix<float> lv = l.to_fp32();
+  trsm(Side::kLeft, Uplo::kLower, transpose ? Trans::kTrans : Trans::kNoTrans,
+       Diag::kNonUnit, lv.rows(), ncols, 1.0f, lv.data(), lv.ld(), x, ldx);
+}
+
+void tile_gemm_rhs(const Tile& l, bool transpose, const float* xk,
+                   std::size_t ldxk, float* xi, std::size_t ldxi,
+                   std::size_t ncols) {
+  Matrix<float> lv = l.to_fp32();
+  const std::size_t m = transpose ? lv.cols() : lv.rows();
+  const std::size_t k = transpose ? lv.rows() : lv.cols();
+  gemm(transpose ? Trans::kTrans : Trans::kNoTrans, Trans::kNoTrans, m, ncols,
+       k, -1.0f, lv.data(), lv.ld(), xk, ldxk, 1.0f, xi, ldxi);
+}
+
+}  // namespace kgwas

@@ -1,0 +1,148 @@
+#include "linalg/tiled_cholesky.hpp"
+
+#include <string>
+#include <vector>
+
+#include "common/status.hpp"
+#include "linalg/tile_kernels.hpp"
+
+namespace kgwas {
+
+namespace {
+
+/// One runtime data handle per lower tile of a symmetric tile matrix.
+class TileHandles {
+ public:
+  TileHandles(Runtime& runtime, std::size_t nt, const char* prefix)
+      : nt_(nt), handles_(nt * (nt + 1) / 2) {
+    for (std::size_t tj = 0; tj < nt; ++tj) {
+      for (std::size_t ti = tj; ti < nt; ++ti) {
+        handles_[index(ti, tj)] = runtime.register_data(
+            std::string(prefix) + "(" + std::to_string(ti) + "," +
+            std::to_string(tj) + ")");
+      }
+    }
+  }
+
+  DataHandle operator()(std::size_t ti, std::size_t tj) const {
+    return handles_[index(ti, tj)];
+  }
+
+ private:
+  std::size_t index(std::size_t ti, std::size_t tj) const {
+    KGWAS_ASSERT(ti < nt_ && tj <= ti);
+    return tj * nt_ - tj * (tj - 1) / 2 + (ti - tj);
+  }
+  std::size_t nt_;
+  std::vector<DataHandle> handles_;
+};
+
+}  // namespace
+
+void tiled_potrf(Runtime& runtime, SymmetricTileMatrix& a) {
+  const std::size_t nt = a.tile_count();
+  if (nt == 0) return;
+  TileHandles h(runtime, nt, "A");
+  runtime.account_data_motion(tiled_potrf_data_motion_bytes(a));
+
+  const std::size_t ts = a.tile_size();
+  for (std::size_t k = 0; k < nt; ++k) {
+    runtime.submit("potrf", {{h(k, k), Access::kReadWrite}},
+                   [&a, k, ts] { tile_potrf(a.tile(k, k), k * ts); });
+    for (std::size_t i = k + 1; i < nt; ++i) {
+      runtime.submit("trsm",
+                     {{h(k, k), Access::kRead}, {h(i, k), Access::kReadWrite}},
+                     [&a, i, k] { tile_trsm(a.tile(k, k), a.tile(i, k)); });
+    }
+    for (std::size_t j = k + 1; j < nt; ++j) {
+      runtime.submit("syrk",
+                     {{h(j, k), Access::kRead}, {h(j, j), Access::kReadWrite}},
+                     [&a, j, k] { tile_syrk(a.tile(j, k), a.tile(j, j)); });
+      for (std::size_t i = j + 1; i < nt; ++i) {
+        runtime.submit(
+            "gemm",
+            {{h(i, k), Access::kRead},
+             {h(j, k), Access::kRead},
+             {h(i, j), Access::kReadWrite}},
+            [&a, i, j, k] { tile_gemm(a.tile(i, k), a.tile(j, k), a.tile(i, j)); });
+      }
+    }
+  }
+  runtime.wait();
+}
+
+void tiled_potrs(Runtime& runtime, const SymmetricTileMatrix& l,
+                 Matrix<float>& b) {
+  const std::size_t nt = l.tile_count();
+  KGWAS_CHECK_ARG(b.rows() == l.n(), "solve RHS row count mismatch");
+  if (nt == 0 || b.cols() == 0) return;
+  const std::size_t ts = l.tile_size();
+  const std::size_t nrhs = b.cols();
+
+  // One handle per RHS row block.
+  std::vector<DataHandle> xh(nt);
+  for (std::size_t t = 0; t < nt; ++t) {
+    xh[t] = runtime.register_data("X(" + std::to_string(t) + ")");
+  }
+  auto block = [&](std::size_t t) { return b.data() + t * ts; };
+  const std::size_t ldb = b.ld();
+
+  // Forward sweep: L * Y = B.
+  for (std::size_t k = 0; k < nt; ++k) {
+    runtime.submit("trsm_fwd", {{xh[k], Access::kReadWrite}},
+                   [&l, &block, k, ldb, nrhs] {
+                     tile_trsm_rhs(l.tile(k, k), /*transpose=*/false, block(k),
+                                   ldb, nrhs);
+                   });
+    for (std::size_t i = k + 1; i < nt; ++i) {
+      runtime.submit("gemm_fwd",
+                     {{xh[k], Access::kRead}, {xh[i], Access::kReadWrite}},
+                     [&l, &block, i, k, ldb, nrhs] {
+                       tile_gemm_rhs(l.tile(i, k), /*transpose=*/false,
+                                     block(k), ldb, block(i), ldb, nrhs);
+                     });
+    }
+  }
+  // Backward sweep: L^T * X = Y.
+  for (std::size_t k = nt; k-- > 0;) {
+    runtime.submit("trsm_bwd", {{xh[k], Access::kReadWrite}},
+                   [&l, &block, k, ldb, nrhs] {
+                     tile_trsm_rhs(l.tile(k, k), /*transpose=*/true, block(k),
+                                   ldb, nrhs);
+                   });
+    for (std::size_t i = k; i-- > 0;) {
+      // X_i -= L(k,i)^T X_k  (lower storage: tile (k, i) with k > i).
+      runtime.submit("gemm_bwd",
+                     {{xh[k], Access::kRead}, {xh[i], Access::kReadWrite}},
+                     [&l, &block, i, k, ldb, nrhs] {
+                       tile_gemm_rhs(l.tile(k, i), /*transpose=*/true,
+                                     block(k), ldb, block(i), ldb, nrhs);
+                     });
+    }
+  }
+  runtime.wait();
+}
+
+void tiled_posv(Runtime& runtime, SymmetricTileMatrix& a, Matrix<float>& b) {
+  tiled_potrf(runtime, a);
+  tiled_potrs(runtime, a, b);
+}
+
+std::size_t tiled_potrf_data_motion_bytes(const SymmetricTileMatrix& a) {
+  // Tile (i,k) is read by one SYRK and (nt - i - 1) GEMMs after its TRSM,
+  // plus the GEMMs where it is the "j" operand: (i - k - 1).  Each read
+  // moves storage_bytes() once in the distributed setting.
+  const std::size_t nt = a.tile_count();
+  std::size_t total = 0;
+  for (std::size_t k = 0; k < nt; ++k) {
+    for (std::size_t i = k; i < nt; ++i) {
+      const std::size_t consumers =
+          (i == k) ? (nt - k - 1)                      // panel TRSMs read L_kk
+                   : (nt - k - 1);                     // SYRK + GEMM reads
+      total += a.tile(i, k).storage_bytes() * consumers;
+    }
+  }
+  return total;
+}
+
+}  // namespace kgwas

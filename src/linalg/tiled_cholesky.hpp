@@ -1,0 +1,42 @@
+// Mixed-precision tiled Cholesky factorization and solve, driven by the
+// dataflow runtime — the paper's Associate-phase solver.
+//
+// The factorization is the classical right-looking tiled algorithm
+// (POTRF / TRSM / SYRK / GEMM per tile), submitted as dataflow tasks whose
+// dependencies the runtime infers from tile access modes.  Each tile keeps
+// its assigned storage precision throughout: writing a low-precision tile
+// re-quantizes it, which is exactly how the four-precision GPU solver
+// behaves when a tile lives in FP16/FP8 device memory.
+//
+// The solve runs in full working precision (FP32) as in the paper
+// ("the Cholesky solve is then performed ... in the full FP32 precision"),
+// but reads the factor tiles at their storage precision.
+#pragma once
+
+#include <cstddef>
+
+#include "mpblas/matrix.hpp"
+#include "runtime/runtime.hpp"
+#include "tile/tile_matrix.hpp"
+
+namespace kgwas {
+
+/// Factorizes A = L * L^T in place (lower tiles).  Tiles keep their
+/// current storage precision.  Throws NumericalError when a pivot fails.
+void tiled_potrf(Runtime& runtime, SymmetricTileMatrix& a);
+
+/// Solves L * L^T * X = B in place over the FP32 right-hand sides B
+/// (n x nrhs).  `l` holds the factor from tiled_potrf.
+void tiled_potrs(Runtime& runtime, const SymmetricTileMatrix& l,
+                 Matrix<float>& b);
+
+/// Convenience: factor + solve.
+void tiled_posv(Runtime& runtime, SymmetricTileMatrix& a, Matrix<float>& b);
+
+/// Bytes of tile payload a factorization moves between tasks, assuming
+/// every tile crosses a worker boundary once per consuming task — the
+/// runtime's data-motion ledger is filled by tiled_potrf with this
+/// accounting so mixed-precision runs show the communication saving.
+std::size_t tiled_potrf_data_motion_bytes(const SymmetricTileMatrix& a);
+
+}  // namespace kgwas

@@ -1,0 +1,75 @@
+// Owning dense column-major matrix container.
+//
+// Column-major (LAPACK) layout throughout the library: element (i, j) of
+// an m x n matrix lives at data[i + j * ld].  The container always uses a
+// tight leading dimension (ld == rows); kernels take raw pointer + ld so
+// they also operate on sub-blocks.
+#pragma once
+
+#include <cstddef>
+#include <utility>
+
+#include "common/aligned_buffer.hpp"
+#include "common/status.hpp"
+
+namespace kgwas {
+
+template <typename T>
+class Matrix {
+ public:
+  Matrix() = default;
+  Matrix(std::size_t rows, std::size_t cols, T fill = T{})
+      : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
+
+  std::size_t rows() const noexcept { return rows_; }
+  std::size_t cols() const noexcept { return cols_; }
+  std::size_t ld() const noexcept { return rows_; }
+  std::size_t size() const noexcept { return data_.size(); }
+  bool empty() const noexcept { return data_.empty(); }
+
+  T* data() noexcept { return data_.data(); }
+  const T* data() const noexcept { return data_.data(); }
+
+  T& operator()(std::size_t i, std::size_t j) noexcept {
+    return data_[i + j * rows_];
+  }
+  const T& operator()(std::size_t i, std::size_t j) const noexcept {
+    return data_[i + j * rows_];
+  }
+
+  T& at(std::size_t i, std::size_t j) {
+    KGWAS_CHECK_ARG(i < rows_ && j < cols_, "matrix index out of range");
+    return (*this)(i, j);
+  }
+  const T& at(std::size_t i, std::size_t j) const {
+    KGWAS_CHECK_ARG(i < rows_ && j < cols_, "matrix index out of range");
+    return (*this)(i, j);
+  }
+
+  /// Pointer to the top-left of the (i, j) sub-block.
+  T* block(std::size_t i, std::size_t j) noexcept { return &(*this)(i, j); }
+  const T* block(std::size_t i, std::size_t j) const noexcept {
+    return &(*this)(i, j);
+  }
+
+  void fill(T value) {
+    for (auto& x : data_) x = value;
+  }
+
+  /// Element-wise conversion to another scalar type.
+  template <typename U>
+  Matrix<U> cast() const {
+    Matrix<U> result(rows_, cols_);
+    for (std::size_t i = 0; i < data_.size(); ++i) {
+      result.data()[i] = static_cast<U>(data_[i]);
+    }
+    return result;
+  }
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  AlignedVector<T> data_;
+};
+
+}  // namespace kgwas

@@ -1,0 +1,11 @@
+// BLAS-style operation tags shared by the dense and tiled kernels.
+#pragma once
+
+namespace kgwas {
+
+enum class Trans : char { kNoTrans = 'N', kTrans = 'T' };
+enum class Uplo : char { kLower = 'L', kUpper = 'U' };
+enum class Side : char { kLeft = 'L', kRight = 'R' };
+enum class Diag : char { kNonUnit = 'N', kUnit = 'U' };
+
+}  // namespace kgwas

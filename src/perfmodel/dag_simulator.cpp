@@ -1,0 +1,232 @@
+#include "perfmodel/dag_simulator.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <queue>
+
+#include "common/status.hpp"
+#include "mpblas/mixed.hpp"
+
+namespace kgwas {
+
+double kernel_efficiency(Precision precision) {
+  // Sustained fraction of datasheet peak for tile-sized Level-3 kernels in
+  // a distributed tiled factorization.  Calibrated against the paper's
+  // measured weak-scaling plateaus (per-GPU rates in Figs. 8-12 and the
+  // headline runs): FP32 Cholesky sustains ~40 TF/s on GH200 (0.6 of 67),
+  // FP32/FP16 ~107 TF/s per GPU (0.15 of the 989 FP16 peak), FP32/FP8
+  // ~163 TF/s (0.085 of 1979), and the INT8 Build ~420 TF/s per GPU at
+  // small node counts (0.21 of 1979; Fig. 7's 107.4 PF on 256 GPUs).
+  // Narrow formats sit far from peak because tensor-core tiles starve on
+  // HBM and pay conversion traffic - the paper's occupancy argument.
+  switch (precision) {
+    case Precision::kFp64: return 0.60;
+    case Precision::kFp32: return 0.60;
+    case Precision::kFp16:
+    case Precision::kBf16: return 0.15;
+    case Precision::kFp8E4M3:
+    case Precision::kFp8E5M2: return 0.085;
+    case Precision::kFp4E2M1: return 0.06;
+    case Precision::kInt8: return 0.21;
+  }
+  KGWAS_ASSERT(false);
+  return 0.5;
+}
+
+SimResult simulate_dag(const std::vector<SimTask>& tasks, int gpus,
+                       const GpuSpec& gpu, double latency_us) {
+  KGWAS_CHECK_ARG(gpus >= 1, "need at least one GPU");
+  const std::size_t n = tasks.size();
+  std::vector<double> finish(n, 0.0);
+  std::vector<double> gpu_free(gpus, 0.0);
+  std::vector<std::size_t> missing(n, 0);
+  std::vector<std::vector<std::size_t>> succs(n);
+  for (std::size_t t = 0; t < n; ++t) {
+    KGWAS_CHECK_ARG(tasks[t].owner >= 0 && tasks[t].owner < gpus,
+                    "task owner outside the simulated GPU set");
+    missing[t] = tasks[t].preds.size();
+    for (std::size_t p : tasks[t].preds) {
+      KGWAS_CHECK_ARG(p < t, "DAG must be topologically ordered");
+      succs[p].push_back(t);
+    }
+  }
+
+  // Event queue of ready tasks ordered by data-ready time (list scheduling
+  // with earliest-ready-first priority).
+  using Entry = std::pair<double, std::size_t>;  // (ready_time, task)
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<>> ready;
+  std::vector<double> data_ready(n, 0.0);
+  for (std::size_t t = 0; t < n; ++t) {
+    if (missing[t] == 0) ready.emplace(0.0, t);
+  }
+
+  double total_flops = 0.0;
+  double comm_total = 0.0;
+  double makespan = 0.0;
+  std::size_t executed = 0;
+  const double latency_s = latency_us * 1e-6;
+
+  while (!ready.empty()) {
+    const auto [ready_time, t] = ready.top();
+    ready.pop();
+    const SimTask& task = tasks[t];
+    const int owner = task.owner;
+
+    double comm_s = 0.0;
+    if (task.in_bytes_remote > 0.0) {
+      comm_s = latency_s + task.in_bytes_remote / (gpu.nic_gbs * 1e9);
+    }
+    const double start = std::max(ready_time + comm_s, gpu_free[owner]);
+    const double rate = gpu.peak(task.compute) *
+                        kernel_efficiency(task.compute) *
+                        gpu.sustained_derate * 1e12;
+    const double duration = task.flops > 0.0 ? task.flops / rate : 0.0;
+    const double end = start + duration;
+    finish[t] = end;
+    gpu_free[owner] = end;
+    makespan = std::max(makespan, end);
+    total_flops += task.flops;
+    comm_total += comm_s;
+    ++executed;
+
+    for (std::size_t s : succs[t]) {
+      data_ready[s] = std::max(data_ready[s], end);
+      if (--missing[s] == 0) ready.emplace(data_ready[s], s);
+    }
+  }
+  KGWAS_CHECK_ARG(executed == n, "DAG contains a cycle or unreachable task");
+
+  SimResult result;
+  result.seconds = makespan;
+  result.total_flops = total_flops;
+  result.pflops = makespan > 0.0 ? total_flops / makespan / 1e15 : 0.0;
+  result.per_gpu_tflops =
+      makespan > 0.0 ? total_flops / makespan / 1e12 / gpus : 0.0;
+  result.comm_seconds_total = comm_total;
+  return result;
+}
+
+namespace {
+
+/// 2D block-cyclic owner of tile (i, j) on a pr x pc grid.
+int tile_owner(std::size_t ti, std::size_t tj, int pr, int pc) {
+  return static_cast<int>(ti % static_cast<std::size_t>(pr)) * pc +
+         static_cast<int>(tj % static_cast<std::size_t>(pc));
+}
+
+void grid_shape(int gpus, int& pr, int& pc) {
+  pr = static_cast<int>(std::sqrt(static_cast<double>(gpus)));
+  while (pr > 1 && gpus % pr != 0) --pr;
+  pc = gpus / pr;
+}
+
+}  // namespace
+
+std::vector<SimTask> make_cholesky_dag(std::size_t nt, std::size_t tile_size,
+                                       const PrecisionMap& map, int gpus) {
+  KGWAS_CHECK_ARG(map.tile_count() == nt, "precision map size mismatch");
+  int pr = 1, pc = 1;
+  grid_shape(gpus, pr, pc);
+  const double b = static_cast<double>(tile_size);
+
+  // Task ids: we linearize submissions in the same right-looking order as
+  // the real tiled_potrf, tracking the last writer of each tile.
+  std::vector<SimTask> tasks;
+  tasks.reserve(nt * nt * nt / 6 + nt * nt);
+  // last_writer[ti][tj] = task index, or SIZE_MAX.
+  std::vector<std::vector<std::size_t>> last(nt,
+      std::vector<std::size_t>(nt, static_cast<std::size_t>(-1)));
+  auto bytes_of = [&](std::size_t ti, std::size_t tj) {
+    return b * b * static_cast<double>(bytes_per_element(map.get(ti, tj)));
+  };
+
+  for (std::size_t k = 0; k < nt; ++k) {
+    // POTRF(k,k) — panel math runs at the working (diagonal) precision.
+    {
+      SimTask t;
+      t.flops = potrf_op_count(tile_size);
+      t.compute = map.get(k, k);
+      t.owner = tile_owner(k, k, pr, pc);
+      if (last[k][k] != static_cast<std::size_t>(-1)) {
+        t.preds.push_back(last[k][k]);
+      }
+      last[k][k] = tasks.size();
+      tasks.push_back(std::move(t));
+    }
+    const std::size_t potrf_id = last[k][k];
+    for (std::size_t i = k + 1; i < nt; ++i) {
+      SimTask t;
+      t.flops = trsm_op_count(tile_size, tile_size);
+      t.compute = map.get(k, k);
+      t.owner = tile_owner(i, k, pr, pc);
+      t.preds.push_back(potrf_id);
+      if (tasks[potrf_id].owner != t.owner) t.in_bytes_remote += bytes_of(k, k);
+      if (last[i][k] != static_cast<std::size_t>(-1)) {
+        t.preds.push_back(last[i][k]);
+      }
+      last[i][k] = tasks.size();
+      tasks.push_back(std::move(t));
+    }
+    for (std::size_t j = k + 1; j < nt; ++j) {
+      {
+        SimTask t;
+        t.flops = syrk_op_count(tile_size, tile_size);
+        t.compute = map.get(j, k);  // operand precision drives throughput
+        t.owner = tile_owner(j, j, pr, pc);
+        t.preds.push_back(last[j][k]);
+        if (tasks[last[j][k]].owner != t.owner) {
+          t.in_bytes_remote += bytes_of(j, k);
+        }
+        if (last[j][j] != static_cast<std::size_t>(-1)) {
+          t.preds.push_back(last[j][j]);
+        }
+        last[j][j] = tasks.size();
+        tasks.push_back(std::move(t));
+      }
+      for (std::size_t i = j + 1; i < nt; ++i) {
+        SimTask t;
+        t.flops = gemm_op_count(tile_size, tile_size, tile_size);
+        t.compute = map.get(i, k);
+        t.owner = tile_owner(i, j, pr, pc);
+        t.preds.push_back(last[i][k]);
+        if (tasks[last[i][k]].owner != t.owner) {
+          t.in_bytes_remote += bytes_of(i, k);
+        }
+        t.preds.push_back(last[j][k]);
+        if (tasks[last[j][k]].owner != t.owner) {
+          t.in_bytes_remote += bytes_of(j, k);
+        }
+        if (last[i][j] != static_cast<std::size_t>(-1)) {
+          t.preds.push_back(last[i][j]);
+        }
+        last[i][j] = tasks.size();
+        tasks.push_back(std::move(t));
+      }
+    }
+  }
+  return tasks;
+}
+
+std::vector<SimTask> make_build_dag(std::size_t nt, std::size_t tile_size,
+                                    std::size_t n_snps, int gpus) {
+  int pr = 1, pc = 1;
+  grid_shape(gpus, pr, pc);
+  const double b = static_cast<double>(tile_size);
+  std::vector<SimTask> tasks;
+  tasks.reserve(nt * (nt + 1) / 2);
+  for (std::size_t tj = 0; tj < nt; ++tj) {
+    for (std::size_t ti = tj; ti < nt; ++ti) {
+      SimTask t;
+      // INT8 dosage GEMM dominates; fused exponentiation is O(b^2) FP32.
+      t.flops = 2.0 * b * b * static_cast<double>(n_snps);
+      t.compute = Precision::kInt8;
+      t.owner = tile_owner(ti, tj, pr, pc);
+      // Each tile task streams its two genotype row-panels once.
+      t.in_bytes_remote = 2.0 * b * static_cast<double>(n_snps);
+      tasks.push_back(std::move(t));
+    }
+  }
+  return tasks;
+}
+
+}  // namespace kgwas

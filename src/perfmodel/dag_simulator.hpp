@@ -1,0 +1,64 @@
+// Discrete-event simulator for tile task DAGs on a modelled GPU cluster.
+//
+// This is the micro-level half of the performance substrate: it executes
+// the *actual* task graph of a tiled algorithm (the same POTRF/TRSM/SYRK/
+// GEMM structure the dataflow runtime runs for real) against a machine
+// model with per-precision kernel throughput and inter-GPU links.  Tiles
+// are distributed 2D block-cyclically; a task runs on the owner of its
+// output tile; an input produced on another GPU pays a transfer at the
+// producer's storage precision — which is how lowering tile precision
+// reduces modelled data motion, the paper's core argument.
+//
+// List scheduling: tasks become ready when all predecessors complete
+// (plus transfer time), each GPU executes one task at a time in ready
+// order.  The closed-form scaling model (scaling_model.hpp) is calibrated
+// against this simulator at small tile counts (see tests).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "perfmodel/machine.hpp"
+#include "precision/precision.hpp"
+#include "tile/precision_map.hpp"
+
+namespace kgwas {
+
+struct SimTask {
+  double flops = 0.0;          ///< operation count of the tile kernel
+  Precision compute = Precision::kFp32;  ///< throughput bucket
+  int owner = 0;               ///< executing GPU
+  std::vector<std::size_t> preds;  ///< indices of predecessor tasks
+  double in_bytes_remote = 0.0;    ///< bytes fetched if pred on other GPU
+};
+
+struct SimResult {
+  double seconds = 0.0;
+  double total_flops = 0.0;
+  double pflops = 0.0;             ///< total_flops / seconds / 1e15
+  double per_gpu_tflops = 0.0;
+  double comm_seconds_total = 0.0; ///< summed transfer time (all GPUs)
+};
+
+/// Kernel efficiency (sustained / peak) per precision bucket.  Narrower
+/// formats sustain a smaller fraction of peak on tile-sized GEMMs (less
+/// arithmetic per byte, conversion overhead) — values calibrated against
+/// the paper's single-node rates.
+double kernel_efficiency(Precision precision);
+
+/// Runs the list-scheduling simulation.
+SimResult simulate_dag(const std::vector<SimTask>& tasks, int gpus,
+                       const GpuSpec& gpu, double latency_us);
+
+/// Builds the tiled (right-looking) Cholesky DAG for an nt x nt tile
+/// matrix with tile edge `tile_size`, tile precisions from `map`, and a
+/// pr x pc block-cyclic distribution over `gpus` GPUs.
+std::vector<SimTask> make_cholesky_dag(std::size_t nt, std::size_t tile_size,
+                                       const PrecisionMap& map, int gpus);
+
+/// Builds the Build-phase DAG (independent kernel tiles; INT8 SYRK +
+/// FP32 confounder GEMM + fused exponentiation, modelled per tile).
+std::vector<SimTask> make_build_dag(std::size_t nt, std::size_t tile_size,
+                                    std::size_t n_snps, int gpus);
+
+}  // namespace kgwas

@@ -1,0 +1,101 @@
+#include "perfmodel/machine.hpp"
+
+#include "common/status.hpp"
+
+namespace kgwas {
+
+double GpuSpec::peak(Precision precision) const {
+  const auto it = peak_tflops.find(precision);
+  if (it != peak_tflops.end()) return it->second;
+  const auto fp32 = peak_tflops.find(Precision::kFp32);
+  KGWAS_ASSERT(fp32 != peak_tflops.end());
+  return fp32->second;
+}
+
+bool GpuSpec::supports(Precision precision) const {
+  return peak_tflops.count(precision) > 0;
+}
+
+SystemSpec summit_system() {
+  GpuSpec v100{
+      "V100",
+      {{Precision::kFp64, 7.8},
+       {Precision::kFp32, 15.7},
+       {Precision::kFp16, 125.0},
+       {Precision::kInt8, 62.8}},  // DP4A, no INT8 tensor cores
+      900.0, 16.0, 12.5};
+  return SystemSpec{"Summit", v100, 6, 18432, 8.0};
+}
+
+SystemSpec leonardo_system() {
+  GpuSpec a100{
+      "A100-64",
+      {{Precision::kFp64, 19.5},  // FP64 tensor cores
+       {Precision::kFp32, 19.5},  // (paper: FP64/FP32 sustain the same rate)
+       {Precision::kFp16, 312.0},
+       {Precision::kBf16, 312.0},
+       {Precision::kInt8, 624.0}},
+      1640.0, 64.0, 25.0};
+  return SystemSpec{"Leonardo", a100, 4, 4096, 5.0};
+}
+
+SystemSpec alps_system() {
+  GpuSpec gh200{
+      "GH200",
+      {{Precision::kFp64, 67.0},
+       {Precision::kFp32, 67.0},  // via FP32 emulation on TC / TF32 path
+       {Precision::kFp16, 989.0},
+       {Precision::kBf16, 989.0},
+       {Precision::kFp8E4M3, 1979.0},
+       {Precision::kFp8E5M2, 1979.0},
+       {Precision::kInt8, 1979.0}},
+      4000.0, 96.0, 25.0};
+  return SystemSpec{"Alps", gh200, 4, 8100, 4.0};
+}
+
+SystemSpec frontier_system() {
+  GpuSpec mi250x{
+      "MI250X",
+      {{Precision::kFp64, 47.9},
+       {Precision::kFp32, 47.9},
+       {Precision::kFp16, 383.0},
+       {Precision::kInt8, 383.0}},
+      3276.0, 128.0, 25.0,
+      // Paper Fig. 14e: 36,100 MI250X sustain 977 PF/s where datasheet
+      // peaks would suggest ~2x more - the ROCm dense stack sustains a
+      // smaller fraction of peak than the calibrated NVIDIA numbers.
+      0.47};
+  return SystemSpec{"Frontier", mi250x, 4, 36100, 5.0};
+}
+
+SystemSpec blackwell_system() {
+  GpuSpec b200{
+      "B200",
+      {{Precision::kFp64, 40.0},
+       {Precision::kFp32, 80.0},
+       {Precision::kFp16, 2250.0},
+       {Precision::kBf16, 2250.0},
+       {Precision::kFp8E4M3, 4500.0},
+       {Precision::kFp8E5M2, 4500.0},
+       {Precision::kFp4E2M1, 9000.0},
+       {Precision::kInt8, 4500.0}},
+      8000.0, 192.0, 50.0};
+  return SystemSpec{"Blackwell", b200, 4, 8192, 4.0};
+}
+
+double shaheen3_cpu_node_tflops() {
+  // Dual-socket 96-core 2.40 GHz AMD Genoa 9654: 192 cores * 2.4 GHz *
+  // 16 FP64 flops/cycle = 7.372 TFlop/s (the figure the paper quotes).
+  return 7.372;
+}
+
+SystemSpec system_by_name(const std::string& name) {
+  if (name == "summit") return summit_system();
+  if (name == "leonardo") return leonardo_system();
+  if (name == "alps") return alps_system();
+  if (name == "frontier") return frontier_system();
+  if (name == "blackwell") return blackwell_system();
+  throw InvalidArgument("unknown system: " + name);
+}
+
+}  // namespace kgwas

@@ -1,0 +1,65 @@
+// Machine catalogue for the performance model.
+//
+// The paper's scaling experiments ran on four leadership systems we have
+// no access to, so the repository regenerates those figures through a
+// performance model parameterized by *published* hardware numbers: dense
+// per-precision peak throughput, HBM bandwidth and injection bandwidth
+// per GPU.  Peaks are vendor datasheet numbers for dense (non-sparse)
+// tensor-core math.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "precision/precision.hpp"
+
+namespace kgwas {
+
+struct GpuSpec {
+  std::string name;
+  /// Dense peak in TFlop/s (TOp/s for INT8) per precision.
+  std::map<Precision, double> peak_tflops;
+  double mem_bw_gbs = 0.0;   ///< HBM bandwidth, GB/s
+  double mem_gb = 0.0;       ///< device memory, GB
+  double nic_gbs = 0.0;      ///< injection bandwidth per GPU, GB/s
+  /// Vendor/software sustained-rate derate on top of the per-precision
+  /// kernel efficiency (1.0 for the NVIDIA stack the kernels were
+  /// calibrated on; < 1 where the paper's own measurements show the
+  /// software stack sustaining less, e.g. MI250X).
+  double sustained_derate = 1.0;
+
+  /// Peak for a precision, falling back to FP32 when the GPU lacks the
+  /// format (e.g. FP8 before Hopper).
+  double peak(Precision precision) const;
+  /// True when the GPU has native support for the format.
+  bool supports(Precision precision) const;
+};
+
+struct SystemSpec {
+  std::string name;
+  GpuSpec gpu;
+  int gpus_per_node = 4;
+  int max_gpus = 4096;
+  /// Network latency per hop, microseconds (collective software included).
+  double latency_us = 5.0;
+};
+
+/// The four paper systems + the CPU reference.
+SystemSpec summit_system();    ///< V100, 6 GPUs/node, 2/3 = 18,432 GPUs
+SystemSpec leonardo_system();  ///< A100, 4 GPUs/node, 1/3 = 4,096 GPUs
+SystemSpec alps_system();      ///< GH200, 4 per node, 4/5 = 8,100 superchips
+SystemSpec frontier_system();  ///< MI250X, 36,100 "GPUs" (paper's counting)
+
+/// Dual-socket AMD Genoa 9654 node of Shaheen-3: the 7.372 TFlop/s FP64
+/// theoretical peak the paper grants REGENIE.
+double shaheen3_cpu_node_tflops();
+
+/// Lookup by name ("summit", "leonardo", "alps", "frontier").
+SystemSpec system_by_name(const std::string& name);
+
+/// Blackwell forward-looking entry (paper §VIII): roughly 2x Hopper
+/// per-precision throughput plus FP4.
+SystemSpec blackwell_system();
+
+}  // namespace kgwas

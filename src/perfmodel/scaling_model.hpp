@@ -1,0 +1,85 @@
+// Closed-form scaling model for the Build and Associate phases at paper
+// scale (matrix sizes 0.5M - 13M, up to 36,100 GPUs), where enumerating
+// the tile DAG is infeasible.  The model integrates, per panel step of
+// the right-looking tiled Cholesky:
+//
+//   t(k) = max( t_compute(k), t_comm(k) ) ,
+//   T    = sum_k t(k) + exposed panel critical path,
+//
+// with t_compute the per-precision trailing-update flops over the
+// aggregate sustained throughput, and t_comm the block-cyclic panel
+// broadcast volume per GPU over its injection bandwidth.  Lowering tile
+// precision shrinks both the numerator of t_compute (faster math) and
+// t_comm (fewer bytes), but by *different factors* — which is exactly the
+// widening communication/computation gap the paper observes on newer
+// GPUs, and what makes low-precision strong scaling fall to ~50%
+// efficiency (Fig. 11b/12b) while weak scaling stays near-perfect.
+//
+// The model is cross-validated against the discrete-event simulator at
+// small tile counts (tests/perfmodel_test.cpp).
+#pragma once
+
+#include <cstddef>
+
+#include "perfmodel/machine.hpp"
+#include "precision/precision.hpp"
+
+namespace kgwas {
+
+/// Precision configuration of an Associate run, e.g. FP32/FP8 means the
+/// panel (diagonal) stays FP32 while `low_fraction` of the trailing
+/// update runs on FP8 tiles.
+struct PrecisionMix {
+  Precision working = Precision::kFp32;
+  Precision low = Precision::kFp16;
+  double low_fraction = 1.0;  ///< fraction of off-diagonal tiles at `low`
+
+  static PrecisionMix uniform(Precision precision) {
+    return {precision, precision, 0.0};
+  }
+};
+
+struct ModelResult {
+  double seconds = 0.0;
+  double total_ops = 0.0;        ///< algorithmic operations (counted once)
+  double pflops = 0.0;           ///< total_ops / seconds / 1e15
+  double per_gpu_tflops = 0.0;
+  double comm_bound_fraction = 0.0;  ///< fraction of steps limited by comm
+};
+
+class ScalingModel {
+ public:
+  explicit ScalingModel(SystemSpec system, std::size_t tile_size = 2048);
+
+  /// Associate phase (mixed-precision tiled Cholesky) on matrix size n.
+  ModelResult associate(double n, int gpus, const PrecisionMix& mix) const;
+
+  /// Build phase (INT8 distance SYRK + fused kernel) for n x n output
+  /// from n_snps-wide genotypes.
+  ModelResult build(double n, double n_snps, int gpus) const;
+
+  /// Whole KRR (Build + Associate), the paper's headline metric.
+  ModelResult krr(double n, double n_snps, int gpus,
+                  const PrecisionMix& mix) const;
+
+  /// Largest n whose kernel matrix (at the mix's average bytes/element,
+  /// plus workspace factor) fits the aggregate device memory — the paper
+  /// sizes runs by "maxing out the device memory".
+  double max_matrix_size(int gpus, const PrecisionMix& mix) const;
+
+  const SystemSpec& system() const noexcept { return system_; }
+  std::size_t tile_size() const noexcept { return tile_size_; }
+
+ private:
+  double sustained_tflops(Precision precision) const;
+
+  SystemSpec system_;
+  std::size_t tile_size_;
+};
+
+/// Ratio between an achieved mixed-precision rate (in ExaOp/s) and the
+/// full theoretical peak the paper grants REGENIE on one Shaheen-3 CPU
+/// node — "about five orders of magnitude".
+double regenie_headroom_ratio(double achieved_exaops);
+
+}  // namespace kgwas

@@ -1,0 +1,31 @@
+// Bulk precision conversion between FP32 working buffers and narrow
+// storage buffers.  These are the routines the dataflow runtime invokes on
+// task edges ("convert at the sender when the destination wants lower
+// precision") and that the tile container uses to materialize a tile in a
+// given storage format.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "precision/precision.hpp"
+
+namespace kgwas {
+
+/// Encodes `n` FP32 values into the storage format of `precision`.
+/// `dst` must provide n * bytes_per_element(precision) bytes.
+/// INT8 saturates to [-128, 127] with round-to-nearest-even.
+void quantize_buffer(Precision precision, const float* src, void* dst, std::size_t n);
+
+/// Decodes `n` stored values back into FP32.
+void dequantize_buffer(Precision precision, const void* src, float* dst, std::size_t n);
+
+/// Rounds `n` FP32 values through the storage format in place (the operand
+/// rounding a tensor core performs before multiplying).
+void quantize_inplace(Precision precision, float* data, std::size_t n);
+
+/// Converts a buffer stored in `from` into storage `to` via FP32.
+void convert_buffer(Precision from, const void* src, Precision to, void* dst,
+                    std::size_t n);
+
+}  // namespace kgwas

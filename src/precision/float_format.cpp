@@ -1,0 +1,152 @@
+#include "precision/float_format.hpp"
+
+#include <cmath>
+#include <limits>
+
+#include "common/status.hpp"
+
+namespace kgwas {
+
+double FloatFormat::max_finite() const {
+  // Largest exponent field that encodes a finite number.
+  const int max_exp_field = (1 << exponent_bits) - 1;
+  if (has_infinity) {
+    // All-ones exponent is inf/NaN: max finite has exponent field max-1,
+    // mantissa all ones.
+    const int e = (max_exp_field - 1) - bias;
+    const double mant = 2.0 - std::ldexp(1.0, -mantissa_bits);
+    return std::ldexp(mant, e);
+  }
+  if (has_nan) {
+    // E4M3 style: all-ones exponent is finite except mantissa all-ones (NaN).
+    const int e = max_exp_field - bias;
+    const double mant = 2.0 - std::ldexp(2.0, -mantissa_bits);  // drop last code
+    return std::ldexp(mant, e);
+  }
+  // E2M1 style: every code is finite.
+  const int e = max_exp_field - bias;
+  const double mant = 2.0 - std::ldexp(1.0, -mantissa_bits);
+  return std::ldexp(mant, e);
+}
+
+double FloatFormat::min_normal() const {
+  return std::ldexp(1.0, min_normal_exponent());
+}
+
+double FloatFormat::min_subnormal() const {
+  return std::ldexp(1.0, min_normal_exponent() - mantissa_bits);
+}
+
+double FloatFormat::unit_roundoff() const {
+  return std::ldexp(1.0, -(mantissa_bits + 1));
+}
+
+double round_to_format(const FloatFormat& fmt, double value) {
+  if (std::isnan(value)) {
+    return fmt.has_nan ? std::numeric_limits<double>::quiet_NaN()
+                       : fmt.max_finite();
+  }
+  if (value == 0.0) return value;  // preserves signed zero
+
+  const double max_finite = fmt.max_finite();
+  const double sign = std::signbit(value) ? -1.0 : 1.0;
+  double mag = std::fabs(value);
+
+  if (std::isinf(value)) {
+    return fmt.has_infinity ? value : sign * max_finite;
+  }
+
+  // Spacing (ulp) at the magnitude of `value`.
+  int exp2 = 0;
+  (void)std::frexp(mag, &exp2);     // mag = f * 2^exp2, f in [0.5, 1)
+  int exponent = exp2 - 1;          // unbiased exponent of `mag`
+  const int emin = fmt.min_normal_exponent();
+  if (exponent < emin) exponent = emin;  // subnormal range: fixed spacing
+  const double ulp = std::ldexp(1.0, exponent - fmt.mantissa_bits);
+
+  // Round-to-nearest-even in units of ulp.  mag/ulp <= 2^(mantissa_bits+1)
+  // so the division is exact up to representable integers.
+  const double scaled = mag / ulp;
+  double rounded = std::nearbyint(scaled);  // FE_TONEAREST = ties-to-even
+  mag = rounded * ulp;
+
+  if (mag > max_finite) {
+    return fmt.has_infinity ? sign * std::numeric_limits<double>::infinity()
+                            : sign * max_finite;
+  }
+  return sign * mag;
+}
+
+std::uint32_t encode_bits(const FloatFormat& fmt, double value) {
+  const int ebits = fmt.exponent_bits;
+  const int mbits = fmt.mantissa_bits;
+  const std::uint32_t sign = std::signbit(value) ? 1u : 0u;
+  const std::uint32_t sign_shifted = sign << (ebits + mbits);
+  const std::uint32_t exp_all_ones = (1u << ebits) - 1u;
+
+  if (std::isnan(value)) {
+    KGWAS_ASSERT(fmt.has_nan);
+    // Canonical NaN: all-ones exponent, all-ones mantissa (valid for both
+    // IEEE-style and E4M3-style formats).
+    return sign_shifted | (exp_all_ones << mbits) | ((1u << mbits) - 1u);
+  }
+  if (std::isinf(value)) {
+    KGWAS_ASSERT(fmt.has_infinity);
+    return sign_shifted | (exp_all_ones << mbits);
+  }
+  double mag = std::fabs(value);
+  if (mag == 0.0) return sign_shifted;
+
+  int exp2 = 0;
+  (void)std::frexp(mag, &exp2);
+  int exponent = exp2 - 1;
+  const int emin = fmt.min_normal_exponent();
+
+  if (exponent < emin) {
+    // Subnormal: exponent field 0, mantissa counts min_subnormal quanta.
+    const double quantum = fmt.min_subnormal();
+    const double count = mag / quantum;
+    const auto mant = static_cast<std::uint32_t>(count);
+    KGWAS_ASSERT(static_cast<double>(mant) == count);  // must be exact
+    KGWAS_ASSERT(mant < (1u << mbits));
+    return sign_shifted | mant;
+  }
+
+  const std::uint32_t exp_field = static_cast<std::uint32_t>(exponent + fmt.bias);
+  KGWAS_ASSERT(exp_field <= exp_all_ones);
+  const double frac = mag / std::ldexp(1.0, exponent) - 1.0;  // in [0, 1)
+  const double mant_real = frac * std::ldexp(1.0, mbits);
+  const auto mant = static_cast<std::uint32_t>(mant_real);
+  KGWAS_ASSERT(static_cast<double>(mant) == mant_real);  // must be exact
+  return sign_shifted | (exp_field << mbits) | mant;
+}
+
+double decode_bits(const FloatFormat& fmt, std::uint32_t bits) {
+  const int ebits = fmt.exponent_bits;
+  const int mbits = fmt.mantissa_bits;
+  const std::uint32_t mant_mask = (1u << mbits) - 1u;
+  const std::uint32_t exp_all_ones = (1u << ebits) - 1u;
+
+  const std::uint32_t mant = bits & mant_mask;
+  const std::uint32_t exp_field = (bits >> mbits) & exp_all_ones;
+  const double sign = ((bits >> (ebits + mbits)) & 1u) ? -1.0 : 1.0;
+
+  if (exp_field == exp_all_ones) {
+    if (fmt.has_infinity) {
+      if (mant == 0) return sign * std::numeric_limits<double>::infinity();
+      return std::numeric_limits<double>::quiet_NaN();
+    }
+    if (fmt.has_nan && mant == mant_mask) {
+      return std::numeric_limits<double>::quiet_NaN();
+    }
+    // E4M3/E2M1: finite value with the top exponent.
+  }
+  if (exp_field == 0) {
+    return sign * static_cast<double>(mant) * fmt.min_subnormal();
+  }
+  const int exponent = static_cast<int>(exp_field) - fmt.bias;
+  const double frac = 1.0 + static_cast<double>(mant) * std::ldexp(1.0, -mbits);
+  return sign * std::ldexp(frac, exponent);
+}
+
+}  // namespace kgwas

@@ -1,0 +1,121 @@
+// Generic narrow floating-point format emulation.
+//
+// NVIDIA tensor cores consume operands stored in FP16 / BF16 / FP8
+// (E4M3 / E5M2) and, on Blackwell, FP4 (E2M1), while accumulating in a
+// wider type.  To reproduce the paper's numerics on a CPU we emulate the
+// *storage* formats bit-exactly: `FloatFormat` describes a format by its
+// exponent/mantissa widths and special-value rules, and the encode/decode
+// routines implement IEEE round-to-nearest-even, gradual underflow
+// (subnormals), and the format's saturation/NaN conventions.
+//
+// E4M3 follows the OCP FP8 spec used by cuBLASLt: no infinity, the
+// all-ones exponent with mantissa 111 is NaN, and the maximum finite value
+// is 448; conversions saturate to ±448 (the behaviour of
+// CUBLASLT_MATMUL_DESC with saturation on, which the paper's solver uses).
+// E5M2 keeps infinities like a miniature binary16.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace kgwas {
+
+/// Static description of a narrow binary floating-point format.
+struct FloatFormat {
+  int exponent_bits;    ///< width of the exponent field
+  int mantissa_bits;    ///< width of the stored fraction field
+  int bias;             ///< exponent bias
+  bool has_infinity;    ///< all-ones exponent encodes +/-inf (else saturates)
+  bool has_nan;         ///< format can represent NaN
+  const char* name;     ///< human-readable name
+
+  constexpr int total_bits() const { return 1 + exponent_bits + mantissa_bits; }
+  /// Minimum normal exponent (unbiased).
+  constexpr int min_normal_exponent() const { return 1 - bias; }
+  /// Maximum finite value representable in the format.
+  double max_finite() const;
+  /// Smallest positive normal value.
+  double min_normal() const;
+  /// Smallest positive subnormal value.
+  double min_subnormal() const;
+  /// Unit roundoff u = 2^-(mantissa_bits+1).
+  double unit_roundoff() const;
+};
+
+/// IEEE binary16.
+inline constexpr FloatFormat kFp16Format{5, 10, 15, true, true, "fp16"};
+/// bfloat16 (truncated binary32 with RTN-even here).
+inline constexpr FloatFormat kBf16Format{8, 7, 127, true, true, "bf16"};
+/// OCP FP8 E4M3: no inf, NaN = S.1111.111, max finite 448.
+inline constexpr FloatFormat kFp8E4M3Format{4, 3, 7, false, true, "fp8_e4m3"};
+/// OCP FP8 E5M2: inf/NaN like binary16.
+inline constexpr FloatFormat kFp8E5M2Format{5, 2, 15, true, true, "fp8_e5m2"};
+/// OCP FP4 E2M1 (Blackwell): finite-only {0, .5, 1, 1.5, 2, 3, 4, 6}.
+inline constexpr FloatFormat kFp4E2M1Format{2, 1, 1, false, false, "fp4_e2m1"};
+
+/// Rounds `value` to the nearest representable number of `fmt`
+/// (round-to-nearest, ties-to-even), returning the result widened back to
+/// double.  Values beyond max_finite become +/-inf when the format has
+/// infinities, otherwise saturate to +/-max_finite.  NaN propagates when
+/// the format supports it and otherwise saturates to max_finite with the
+/// sign of zero (E2M1 has no NaN; callers must not feed it NaN).
+double round_to_format(const FloatFormat& fmt, double value);
+
+/// Encodes an (already representable) value into the format's bit pattern.
+/// Typically used as encode(fmt, round_to_format(fmt, x)).
+std::uint32_t encode_bits(const FloatFormat& fmt, double value);
+
+/// Decodes a bit pattern of the format into a double.
+double decode_bits(const FloatFormat& fmt, std::uint32_t bits);
+
+/// One-step convenience: round + encode.
+inline std::uint32_t quantize_bits(const FloatFormat& fmt, double value) {
+  return encode_bits(fmt, round_to_format(fmt, value));
+}
+
+// ---------------------------------------------------------------------------
+// Typed storage wrappers.  These are trivially copyable PODs whose size is
+// the storage size of the format (fp4 is stored one value per byte; bit
+// packing is a tile-level concern).
+// ---------------------------------------------------------------------------
+
+namespace detail {
+template <typename Storage, const FloatFormat& Fmt>
+class SmallFloat {
+ public:
+  SmallFloat() = default;
+  explicit SmallFloat(double value)
+      : bits_(static_cast<Storage>(quantize_bits(Fmt, value))) {}
+  explicit SmallFloat(float value) : SmallFloat(static_cast<double>(value)) {}
+
+  static SmallFloat from_bits(Storage bits) {
+    SmallFloat result;
+    result.bits_ = bits;
+    return result;
+  }
+
+  Storage bits() const { return bits_; }
+  double to_double() const { return decode_bits(Fmt, bits_); }
+  float to_float() const { return static_cast<float>(to_double()); }
+  explicit operator float() const { return to_float(); }
+  explicit operator double() const { return to_double(); }
+
+  friend bool operator==(SmallFloat a, SmallFloat b) {
+    return a.to_double() == b.to_double();  // -0 == +0, NaN != NaN
+  }
+
+ private:
+  Storage bits_ = 0;
+};
+}  // namespace detail
+
+using half_t = detail::SmallFloat<std::uint16_t, kFp16Format>;
+using bfloat16_t = detail::SmallFloat<std::uint16_t, kBf16Format>;
+using fp8_e4m3_t = detail::SmallFloat<std::uint8_t, kFp8E4M3Format>;
+using fp8_e5m2_t = detail::SmallFloat<std::uint8_t, kFp8E5M2Format>;
+using fp4_e2m1_t = detail::SmallFloat<std::uint8_t, kFp4E2M1Format>;
+
+static_assert(sizeof(half_t) == 2);
+static_assert(sizeof(fp8_e4m3_t) == 1);
+
+}  // namespace kgwas

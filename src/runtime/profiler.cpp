@@ -1,0 +1,47 @@
+#include "runtime/profiler.hpp"
+
+#include <algorithm>
+
+namespace kgwas {
+
+void Profiler::record(TaskSpan span) {
+  if (!enabled_) return;
+  std::lock_guard<std::mutex> lock(mutex_);
+  spans_.push_back(std::move(span));
+}
+
+std::vector<TaskSpan> Profiler::spans() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return spans_;
+}
+
+std::map<std::string, TaskStats> Profiler::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::map<std::string, TaskStats> out;
+  for (const auto& span : spans_) {
+    auto& entry = out[span.name];
+    ++entry.count;
+    entry.total_seconds +=
+        static_cast<double>(span.end_ns - span.start_ns) * 1e-9;
+  }
+  return out;
+}
+
+double Profiler::makespan_seconds() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (spans_.empty()) return 0.0;
+  std::uint64_t lo = spans_.front().start_ns;
+  std::uint64_t hi = spans_.front().end_ns;
+  for (const auto& span : spans_) {
+    lo = std::min(lo, span.start_ns);
+    hi = std::max(hi, span.end_ns);
+  }
+  return static_cast<double>(hi - lo) * 1e-9;
+}
+
+void Profiler::clear() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  spans_.clear();
+}
+
+}  // namespace kgwas

@@ -1,0 +1,51 @@
+// Lightweight task profiler: records one span per executed task and
+// aggregates totals per task name.  The benchmark harness uses the
+// aggregate view to break runs down into Build / Associate / Predict the
+// way the paper's Fig. 14 does.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace kgwas {
+
+struct TaskSpan {
+  std::string name;
+  std::uint64_t start_ns = 0;
+  std::uint64_t end_ns = 0;
+  int worker = -1;
+};
+
+struct TaskStats {
+  std::uint64_t count = 0;
+  double total_seconds = 0.0;
+};
+
+class Profiler {
+ public:
+  explicit Profiler(bool enabled = false) : enabled_(enabled) {}
+
+  void set_enabled(bool enabled) noexcept { enabled_ = enabled; }
+  bool enabled() const noexcept { return enabled_; }
+
+  void record(TaskSpan span);
+
+  /// All recorded spans (copy; safe to call while idle).
+  std::vector<TaskSpan> spans() const;
+  /// Aggregated duration/count per task name.
+  std::map<std::string, TaskStats> stats() const;
+  /// Wall-clock span covered by the trace in seconds (0 when empty).
+  double makespan_seconds() const;
+
+  void clear();
+
+ private:
+  bool enabled_;
+  mutable std::mutex mutex_;
+  std::vector<TaskSpan> spans_;
+};
+
+}  // namespace kgwas

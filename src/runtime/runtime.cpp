@@ -1,0 +1,202 @@
+#include "runtime/runtime.hpp"
+
+#include <algorithm>
+#include <condition_variable>
+
+#include "common/status.hpp"
+#include "common/timer.hpp"
+
+namespace kgwas {
+
+namespace {
+thread_local int t_worker_id = -1;
+std::atomic<int> g_worker_counter{0};
+
+int worker_id() {
+  if (t_worker_id < 0) t_worker_id = g_worker_counter.fetch_add(1);
+  return t_worker_id;
+}
+}  // namespace
+
+struct Runtime::TaskNode {
+  std::uint64_t id = 0;
+  std::string name;
+  std::function<void()> fn;
+  std::atomic<std::uint64_t> remaining_deps{0};
+  std::vector<TaskNode*> successors;
+  // Guards `successors` and `finished` during graph construction races.
+  std::mutex mutex;
+  bool finished = false;
+};
+
+struct Runtime::HandleState {
+  std::string name;
+  // Superscalar tracking: last task that wrote the datum, and every reader
+  // submitted since that write.
+  TaskNode* last_writer = nullptr;
+  std::vector<TaskNode*> readers_since_write;
+};
+
+Runtime::Runtime(std::size_t workers, bool enable_profiling)
+    : pool_(workers), profiler_(enable_profiling),
+      profiling_enabled_(enable_profiling) {}
+
+Runtime::~Runtime() {
+  // Drain outstanding work so tasks never outlive the graph state.
+  try {
+    wait();
+  } catch (...) {
+    // Destructor must not throw; errors were already visible via wait().
+  }
+}
+
+DataHandle Runtime::register_data(std::string name) {
+  const std::uint64_t id = next_handle_id_.fetch_add(1);
+  auto state = std::make_unique<HandleState>();
+  state->name = std::move(name);
+  {
+    std::lock_guard<std::mutex> lock(graph_mutex_);
+    handles_.emplace(id, std::move(state));
+  }
+  return DataHandle{id};
+}
+
+void Runtime::submit(std::string name, std::vector<Dep> deps,
+                     std::function<void()> fn) {
+  auto node = std::make_unique<TaskNode>();
+  node->name = std::move(name);
+  node->fn = std::move(fn);
+  // Sentinel dependency held by this submit() call itself: the task cannot
+  // fire until every edge below has been wired.
+  node->remaining_deps.store(1);
+  TaskNode* raw = node.get();
+
+  // Dependencies this task must wait for (deduplicated by pointer).
+  std::vector<TaskNode*> predecessors;
+  {
+    std::lock_guard<std::mutex> lock(graph_mutex_);
+    // Validate every handle before mutating any tracking state, so a bad
+    // dependency leaves the runtime fully consistent (and the destructor's
+    // wait() is not poisoned by a phantom pending task).
+    for (const Dep& dep : deps) {
+      KGWAS_CHECK_ARG(handles_.count(dep.handle.id) != 0,
+                      "task depends on an unregistered data handle");
+    }
+    node->id = next_task_id_.fetch_add(1) + 1;
+    pending_tasks_.fetch_add(1);
+    for (const Dep& dep : deps) {
+      HandleState& hs = *handles_.at(dep.handle.id);
+      const bool reads = dep.access != Access::kWrite;
+      const bool writes = dep.access != Access::kRead;
+      // A task may declare the same handle several times (e.g. ReadWrite
+      // on its output plus Read as an input): it must never become its own
+      // predecessor, hence the `!= raw` guards throughout.
+      if (reads && hs.last_writer != nullptr && hs.last_writer != raw) {
+        predecessors.push_back(hs.last_writer);
+      }
+      if (writes) {
+        if (hs.last_writer != nullptr && hs.last_writer != raw) {
+          predecessors.push_back(hs.last_writer);
+        }
+        for (TaskNode* reader : hs.readers_since_write) {
+          if (reader != raw) predecessors.push_back(reader);
+        }
+        hs.readers_since_write.clear();
+        hs.last_writer = raw;
+      }
+      if (reads && !writes) {
+        hs.readers_since_write.push_back(raw);
+      }
+    }
+    live_tasks_.emplace(raw->id, std::move(node));
+  }
+
+  // Deduplicate predecessors and wire edges.  The count is raised *before*
+  // each edge is published (under the predecessor's mutex) so a completing
+  // predecessor can never decrement a counter that does not yet include it.
+  // Predecessors that already finished are skipped.
+  std::sort(predecessors.begin(), predecessors.end());
+  predecessors.erase(std::unique(predecessors.begin(), predecessors.end()),
+                     predecessors.end());
+  for (TaskNode* pred : predecessors) {
+    std::lock_guard<std::mutex> lock(pred->mutex);
+    if (!pred->finished) {
+      raw->remaining_deps.fetch_add(1);
+      pred->successors.push_back(raw);
+    }
+  }
+  // Drop the sentinel; fires immediately when there were no live deps.
+  if (raw->remaining_deps.fetch_sub(1) == 1) {
+    enqueue_ready(raw);
+  }
+}
+
+void Runtime::enqueue_ready(TaskNode* node) {
+  pool_.submit([this, node] { run_task(node); });
+}
+
+void Runtime::run_task(TaskNode* node) {
+  const std::uint64_t start = Timer::now_ns();
+  try {
+    node->fn();
+  } catch (...) {
+    std::lock_guard<std::mutex> lock(error_mutex_);
+    if (!first_error_) first_error_ = std::current_exception();
+  }
+  const std::uint64_t end = Timer::now_ns();
+  if (profiling_enabled_) {
+    profiler_.record(TaskSpan{node->name, start, end, worker_id()});
+  }
+  release_successors(node);
+
+  // Nodes are retired in bulk by wait(): handle states may still hold
+  // pointers to finished tasks, so per-task deletion would dangle.
+  if (pending_tasks_.fetch_sub(1) == 1) {
+    std::lock_guard<std::mutex> lock(done_mutex_);
+    all_done_.notify_all();
+  }
+}
+
+void Runtime::release_successors(TaskNode* node) {
+  std::vector<TaskNode*> ready;
+  {
+    std::lock_guard<std::mutex> lock(node->mutex);
+    node->finished = true;
+    for (TaskNode* succ : node->successors) {
+      if (succ->remaining_deps.fetch_sub(1) == 1) ready.push_back(succ);
+    }
+    node->successors.clear();
+  }
+  for (TaskNode* succ : ready) enqueue_ready(succ);
+}
+
+void Runtime::wait() {
+  {
+    std::unique_lock<std::mutex> lock(done_mutex_);
+    all_done_.wait(lock, [this] { return pending_tasks_.load() == 0; });
+  }
+  // The graph has drained: retire every node and reset handle tracking so
+  // the next algorithm starts from a clean slate.
+  {
+    std::lock_guard<std::mutex> lock(graph_mutex_);
+    if (pending_tasks_.load() == 0) {
+      live_tasks_.clear();
+      for (auto& [id, state] : handles_) {
+        state->last_writer = nullptr;
+        state->readers_since_write.clear();
+      }
+    }
+  }
+  std::lock_guard<std::mutex> lock(error_mutex_);
+  if (first_error_) {
+    auto error = first_error_;
+    first_error_ = nullptr;
+    std::rethrow_exception(error);
+  }
+}
+
+void Runtime::account_data_motion(std::size_t bytes) noexcept {
+  data_motion_.fetch_add(bytes, std::memory_order_relaxed);
+}
+
+}  // namespace kgwas

@@ -1,0 +1,115 @@
+// Task-based dataflow runtime — the library's PaRSEC substitute.
+//
+// The paper drives every tiled kernel through PaRSEC: tasks declare which
+// tiles they read/write and the runtime extracts the DAG, schedules tasks
+// onto resources, and converts tile precision on the fly when producer and
+// consumer disagree.  This runtime reproduces the same *semantics* on a
+// shared-memory node:
+//
+//  * `DataHandle` names a logical datum (a tile, a vector, ...).
+//  * `submit(name, {{handle, access}...}, fn)` registers a task.  The
+//    runtime infers dependencies from access modes with the usual
+//    superscalar rules — a reader waits for the last writer, a writer
+//    waits for the last writer and every reader since — which yields the
+//    identical DAG a dataflow description would for our algorithms.
+//  * Ready tasks execute on a worker pool; completions release successors.
+//  * The `Profiler` records per-task spans (for trace dumps) and the
+//    runtime exposes a data-motion counter the tiled algorithms use to
+//    account bytes moved per precision (the paper's data-motion argument
+//    for mixed precision).
+//
+// Execution is fully asynchronous: `submit` never blocks and `wait()`
+// drains the graph.  Submitting from inside a task is allowed.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/thread_pool.hpp"
+#include "runtime/profiler.hpp"
+
+namespace kgwas {
+
+/// How a task touches a datum.
+enum class Access : unsigned char { kRead, kWrite, kReadWrite };
+
+/// Opaque identifier of a logical datum registered with the runtime.
+struct DataHandle {
+  std::uint64_t id = 0;
+  bool valid() const noexcept { return id != 0; }
+};
+
+/// One dependency declaration of a task.
+struct Dep {
+  DataHandle handle;
+  Access access = Access::kRead;
+};
+
+class Runtime {
+ public:
+  /// `workers` = 0 selects hardware concurrency.
+  explicit Runtime(std::size_t workers = 0, bool enable_profiling = false);
+  ~Runtime();
+
+  Runtime(const Runtime&) = delete;
+  Runtime& operator=(const Runtime&) = delete;
+
+  /// Registers a datum; `name` is used in traces only.
+  DataHandle register_data(std::string name = {});
+
+  /// Submits a task.  Dependencies are inferred from previously submitted
+  /// tasks touching the same handles.  Never blocks.
+  void submit(std::string name, std::vector<Dep> deps,
+              std::function<void()> fn);
+
+  /// Blocks until every submitted task (and tasks they submitted) is done.
+  /// Rethrows the first task exception, if any.
+  void wait();
+
+  /// Total tasks submitted so far.
+  std::uint64_t tasks_submitted() const noexcept { return next_task_id_.load(); }
+
+  /// Adds to the data-motion ledger (bytes transferred at a precision
+  /// boundary); used by the tiled algorithms to report communication
+  /// volume per precision.
+  void account_data_motion(std::size_t bytes) noexcept;
+  std::uint64_t data_motion_bytes() const noexcept { return data_motion_.load(); }
+
+  const Profiler& profiler() const noexcept { return profiler_; }
+  Profiler& profiler() noexcept { return profiler_; }
+
+  std::size_t workers() const noexcept { return pool_.size(); }
+
+ private:
+  struct TaskNode;
+  struct HandleState;
+
+  void release_successors(TaskNode* node);
+  void enqueue_ready(TaskNode* node);
+  void run_task(TaskNode* node);
+
+  ThreadPool pool_;
+  Profiler profiler_;
+  bool profiling_enabled_;
+
+  std::mutex graph_mutex_;
+  std::unordered_map<std::uint64_t, std::unique_ptr<HandleState>> handles_;
+  std::unordered_map<std::uint64_t, std::unique_ptr<TaskNode>> live_tasks_;
+  std::atomic<std::uint64_t> next_handle_id_{1};
+  std::atomic<std::uint64_t> next_task_id_{0};
+  std::atomic<std::uint64_t> pending_tasks_{0};
+  std::atomic<std::uint64_t> data_motion_{0};
+
+  std::mutex done_mutex_;
+  std::condition_variable all_done_;
+  std::exception_ptr first_error_;
+  std::mutex error_mutex_;
+};
+
+}  // namespace kgwas

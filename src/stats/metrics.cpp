@@ -1,0 +1,96 @@
+#include "stats/metrics.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <vector>
+
+#include "common/status.hpp"
+
+namespace kgwas {
+
+double mspe(std::span<const float> truth, std::span<const float> predicted) {
+  KGWAS_CHECK_ARG(truth.size() == predicted.size() && !truth.empty(),
+                  "mspe requires equal-length non-empty inputs");
+  double sum = 0.0;
+  for (std::size_t i = 0; i < truth.size(); ++i) {
+    const double diff =
+        static_cast<double>(truth[i]) - static_cast<double>(predicted[i]);
+    sum += diff * diff;
+  }
+  return sum / static_cast<double>(truth.size());
+}
+
+double pearson(std::span<const float> truth, std::span<const float> predicted) {
+  KGWAS_CHECK_ARG(truth.size() == predicted.size() && truth.size() >= 2,
+                  "pearson requires equal-length inputs of size >= 2");
+  const auto n = static_cast<double>(truth.size());
+  double mean_a = 0.0, mean_b = 0.0;
+  for (std::size_t i = 0; i < truth.size(); ++i) {
+    mean_a += truth[i];
+    mean_b += predicted[i];
+  }
+  mean_a /= n;
+  mean_b /= n;
+  double cov = 0.0, var_a = 0.0, var_b = 0.0;
+  for (std::size_t i = 0; i < truth.size(); ++i) {
+    const double da = truth[i] - mean_a;
+    const double db = predicted[i] - mean_b;
+    cov += da * db;
+    var_a += da * da;
+    var_b += db * db;
+  }
+  if (var_a <= 0.0 || var_b <= 0.0) return 0.0;
+  return cov / std::sqrt(var_a * var_b);
+}
+
+double r_squared(std::span<const float> truth, std::span<const float> predicted) {
+  KGWAS_CHECK_ARG(truth.size() == predicted.size() && !truth.empty(),
+                  "r_squared requires equal-length non-empty inputs");
+  double mean = 0.0;
+  for (float y : truth) mean += y;
+  mean /= static_cast<double>(truth.size());
+  double ss_res = 0.0, ss_tot = 0.0;
+  for (std::size_t i = 0; i < truth.size(); ++i) {
+    const double res = truth[i] - predicted[i];
+    const double dev = truth[i] - mean;
+    ss_res += res * res;
+    ss_tot += dev * dev;
+  }
+  if (ss_tot <= 0.0) return 0.0;
+  return 1.0 - ss_res / ss_tot;
+}
+
+double auc(std::span<const float> truth, std::span<const float> score) {
+  KGWAS_CHECK_ARG(truth.size() == score.size() && !truth.empty(),
+                  "auc requires equal-length non-empty inputs");
+  std::vector<std::size_t> order(truth.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return score[a] < score[b];
+  });
+
+  // Midrank assignment over tied scores.
+  std::vector<double> rank(truth.size());
+  std::size_t i = 0;
+  while (i < order.size()) {
+    std::size_t j = i;
+    while (j + 1 < order.size() && score[order[j + 1]] == score[order[i]]) ++j;
+    const double mid = 0.5 * static_cast<double>(i + j) + 1.0;
+    for (std::size_t k = i; k <= j; ++k) rank[order[k]] = mid;
+    i = j + 1;
+  }
+
+  double positive = 0.0, rank_sum = 0.0;
+  for (std::size_t k = 0; k < truth.size(); ++k) {
+    if (truth[k] > 0.5f) {
+      positive += 1.0;
+      rank_sum += rank[k];
+    }
+  }
+  const double negative = static_cast<double>(truth.size()) - positive;
+  if (positive == 0.0 || negative == 0.0) return 0.5;
+  return (rank_sum - positive * (positive + 1.0) / 2.0) / (positive * negative);
+}
+
+}  // namespace kgwas

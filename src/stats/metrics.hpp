@@ -1,0 +1,25 @@
+// Prediction-quality metrics used by the paper's evaluation:
+// Mean Square Prediction Error (Eq. 3) and Pearson correlation (Table I),
+// plus R^2 and AUC for the extended experiments.
+#pragma once
+
+#include <cstddef>
+#include <span>
+
+namespace kgwas {
+
+/// MSPE = (1/n) * sum (y_i - yhat_i)^2   (paper Eq. 3).
+double mspe(std::span<const float> truth, std::span<const float> predicted);
+
+/// Pearson correlation rho(Y, Yhat) in [-1, 1]; returns 0 when either
+/// vector is constant (zero variance).
+double pearson(std::span<const float> truth, std::span<const float> predicted);
+
+/// Coefficient of determination R^2 = 1 - SS_res / SS_tot.
+double r_squared(std::span<const float> truth, std::span<const float> predicted);
+
+/// Area under the ROC curve for binary labels (0/1 in `truth`), computed
+/// by the rank statistic; ties handled by midranks.
+double auc(std::span<const float> truth, std::span<const float> score);
+
+}  // namespace kgwas

@@ -1,0 +1,85 @@
+#include "tile/precision_map.hpp"
+
+#include "common/status.hpp"
+
+namespace kgwas {
+
+PrecisionMap::PrecisionMap(std::size_t tile_count, Precision fill)
+    : nt_(tile_count), map_(tile_count * (tile_count + 1) / 2, fill) {}
+
+std::size_t PrecisionMap::index(std::size_t ti, std::size_t tj) const {
+  KGWAS_CHECK_ARG(ti < nt_ && tj <= ti,
+                  "precision map access requires ti >= tj");
+  const std::size_t col_start = tj * nt_ - tj * (tj - 1) / 2;
+  return col_start + (ti - tj);
+}
+
+Precision PrecisionMap::get(std::size_t ti, std::size_t tj) const {
+  return map_[index(ti, tj)];
+}
+
+void PrecisionMap::set(std::size_t ti, std::size_t tj, Precision precision) {
+  map_[index(ti, tj)] = precision;
+}
+
+std::map<Precision, std::size_t> PrecisionMap::histogram() const {
+  std::map<Precision, std::size_t> counts;
+  for (Precision p : map_) ++counts[p];
+  return counts;
+}
+
+double PrecisionMap::fraction(Precision precision) const {
+  if (map_.empty()) return 0.0;
+  std::size_t count = 0;
+  for (Precision p : map_) count += (p == precision) ? 1 : 0;
+  return static_cast<double>(count) / static_cast<double>(map_.size());
+}
+
+double PrecisionMap::off_diagonal_fraction(Precision precision) const {
+  const std::size_t off_diag_total = map_.size() - nt_;
+  if (off_diag_total == 0) return 0.0;
+  std::size_t count = 0;
+  for (std::size_t tj = 0; tj < nt_; ++tj) {
+    for (std::size_t ti = tj + 1; ti < nt_; ++ti) {
+      count += (get(ti, tj) == precision) ? 1 : 0;
+    }
+  }
+  return static_cast<double>(count) / static_cast<double>(off_diag_total);
+}
+
+void PrecisionMap::apply(SymmetricTileMatrix& matrix) const {
+  KGWAS_CHECK_ARG(matrix.tile_count() == nt_,
+                  "precision map size does not match tile matrix");
+  for (std::size_t tj = 0; tj < nt_; ++tj) {
+    for (std::size_t ti = tj; ti < nt_; ++ti) {
+      matrix.tile(ti, tj).convert_to(get(ti, tj));
+    }
+  }
+}
+
+std::string PrecisionMap::render() const {
+  auto glyph = [](Precision p) -> char {
+    switch (p) {
+      case Precision::kFp64: return '#';
+      case Precision::kFp32: return '*';
+      case Precision::kFp16: return '+';
+      case Precision::kBf16: return '~';
+      case Precision::kFp8E4M3:
+      case Precision::kFp8E5M2: return '.';
+      case Precision::kFp4E2M1: return ',';
+      case Precision::kInt8: return 'i';
+    }
+    return '?';
+  };
+  std::string out;
+  out.reserve((nt_ + 1) * nt_);
+  for (std::size_t ti = 0; ti < nt_; ++ti) {
+    for (std::size_t tj = 0; tj < nt_; ++tj) {
+      out.push_back(tj <= ti ? glyph(get(ti, tj)) : ' ');
+    }
+    out.push_back('\n');
+  }
+  return out;
+}
+
+}  // namespace kgwas

@@ -1,0 +1,47 @@
+// Per-tile precision assignment for a symmetric tiled matrix — the object
+// behind the paper's Fig. 4 "precision heatmaps".
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "precision/precision.hpp"
+#include "tile/tile_matrix.hpp"
+
+namespace kgwas {
+
+/// Lower-triangular (ti >= tj) map of tile precisions.
+class PrecisionMap {
+ public:
+  PrecisionMap() = default;
+  /// All tiles initialized to `fill`.
+  PrecisionMap(std::size_t tile_count, Precision fill = Precision::kFp32);
+
+  std::size_t tile_count() const noexcept { return nt_; }
+
+  Precision get(std::size_t ti, std::size_t tj) const;
+  void set(std::size_t ti, std::size_t tj, Precision precision);
+
+  /// Number of lower-triangular tiles per precision.
+  std::map<Precision, std::size_t> histogram() const;
+  /// Fraction of lower-triangular tiles stored in `precision`.
+  double fraction(Precision precision) const;
+  /// Fraction of *off-diagonal* lower tiles stored in `precision`.
+  double off_diagonal_fraction(Precision precision) const;
+
+  /// Applies the map to a tile matrix (converting tile storage).
+  void apply(SymmetricTileMatrix& matrix) const;
+
+  /// ASCII rendering: one character per tile per row, '#' FP64, '*' FP32,
+  /// '+' FP16, '~' BF16, '.' FP8, ',' FP4, 'i' INT8; upper triangle blank.
+  std::string render() const;
+
+ private:
+  std::size_t index(std::size_t ti, std::size_t tj) const;
+  std::size_t nt_ = 0;
+  std::vector<Precision> map_;
+};
+
+}  // namespace kgwas

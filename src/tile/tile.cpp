@@ -1,0 +1,71 @@
+#include "tile/tile.hpp"
+
+#include <cmath>
+#include <vector>
+
+#include "common/status.hpp"
+#include "precision/convert.hpp"
+
+namespace kgwas {
+
+Tile::Tile(std::size_t rows, std::size_t cols, Precision precision)
+    : rows_(rows),
+      cols_(cols),
+      precision_(precision),
+      storage_(rows * cols * bytes_per_element(precision)) {}
+
+void Tile::convert_to(Precision precision) {
+  if (precision == precision_) return;
+  AlignedVector<std::byte> converted(elements() * bytes_per_element(precision));
+  convert_buffer(precision_, storage_.data(), precision, converted.data(),
+                 elements());
+  storage_ = std::move(converted);
+  precision_ = precision;
+}
+
+Matrix<float> Tile::to_fp32() const {
+  Matrix<float> out(rows_, cols_);
+  decode_to(out.data());
+  return out;
+}
+
+void Tile::decode_to(float* dst) const {
+  dequantize_buffer(precision_, storage_.data(), dst, elements());
+}
+
+void Tile::from_fp32(const Matrix<float>& values) {
+  KGWAS_CHECK_ARG(values.rows() == rows_ && values.cols() == cols_,
+                  "tile payload shape mismatch");
+  encode_from(values.data(), values.ld());
+}
+
+void Tile::encode_from(const float* src, std::size_t ld) {
+  if (ld == rows_) {
+    quantize_buffer(precision_, src, storage_.data(), elements());
+    return;
+  }
+  std::vector<float> packed(elements());
+  for (std::size_t j = 0; j < cols_; ++j) {
+    const float* col = src + j * ld;
+    for (std::size_t i = 0; i < rows_; ++i) packed[i + j * rows_] = col[i];
+  }
+  quantize_buffer(precision_, packed.data(), storage_.data(), elements());
+}
+
+double Tile::frobenius_norm() const {
+  std::vector<float> values(elements());
+  decode_to(values.data());
+  double sum = 0.0;
+  for (float v : values) sum += static_cast<double>(v) * static_cast<double>(v);
+  return std::sqrt(sum);
+}
+
+double Tile::max_abs() const {
+  std::vector<float> values(elements());
+  decode_to(values.data());
+  double best = 0.0;
+  for (float v : values) best = std::max(best, std::fabs(static_cast<double>(v)));
+  return best;
+}
+
+}  // namespace kgwas

@@ -1,0 +1,64 @@
+// A tile: one block of a tiled matrix, stored in exactly one precision.
+//
+// This is the paper's central data structure — "a tiled mosaic of
+// precisions embedded in a single stored copy of the matrix".  The tile
+// owns a byte buffer whose size is rows * cols * bytes_per_element(p), so
+// lowering a tile's precision genuinely shrinks its memory footprint
+// (and, through the runtime, the volume of data moved between workers).
+//
+// Numerical contract: `from_fp32` quantizes with round-to-nearest-even
+// into the storage format; `to_fp32` decodes exactly (every narrow value
+// is representable in FP32).  Compute kernels therefore see precisely the
+// values a GPU kernel reading an FP16/FP8 tile would see.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "common/aligned_buffer.hpp"
+#include "mpblas/matrix.hpp"
+#include "precision/precision.hpp"
+
+namespace kgwas {
+
+class Tile {
+ public:
+  Tile() = default;
+  Tile(std::size_t rows, std::size_t cols,
+       Precision precision = Precision::kFp32);
+
+  std::size_t rows() const noexcept { return rows_; }
+  std::size_t cols() const noexcept { return cols_; }
+  std::size_t elements() const noexcept { return rows_ * cols_; }
+  Precision precision() const noexcept { return precision_; }
+  std::size_t storage_bytes() const noexcept { return storage_.size(); }
+
+  /// Re-encodes the payload into `precision` (lossy when narrowing).
+  void convert_to(Precision precision);
+
+  /// Decodes the payload into an FP32 matrix (column-major, tight ld).
+  Matrix<float> to_fp32() const;
+  /// Decodes into a caller-provided buffer of `elements()` floats.
+  void decode_to(float* dst) const;
+
+  /// Quantizes an FP32 matrix into the current storage precision.
+  void from_fp32(const Matrix<float>& values);
+  /// Quantizes from a raw column-major buffer with leading dimension ld.
+  void encode_from(const float* src, std::size_t ld);
+
+  /// Frobenius norm of the decoded payload.
+  double frobenius_norm() const;
+  /// Max-abs of the decoded payload.
+  double max_abs() const;
+
+  const void* raw() const noexcept { return storage_.data(); }
+  void* raw() noexcept { return storage_.data(); }
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  Precision precision_ = Precision::kFp32;
+  AlignedVector<std::byte> storage_;
+};
+
+}  // namespace kgwas

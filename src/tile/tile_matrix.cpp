@@ -1,0 +1,157 @@
+#include "tile/tile_matrix.hpp"
+
+#include <algorithm>
+
+#include "common/status.hpp"
+
+namespace kgwas {
+
+namespace {
+std::size_t div_up(std::size_t a, std::size_t b) { return (a + b - 1) / b; }
+}  // namespace
+
+TileMatrix::TileMatrix(std::size_t rows, std::size_t cols,
+                       std::size_t tile_size, Precision precision)
+    : rows_(rows),
+      cols_(cols),
+      tile_size_(tile_size),
+      tile_rows_(div_up(rows, tile_size)),
+      tile_cols_(div_up(cols, tile_size)) {
+  KGWAS_CHECK_ARG(tile_size > 0, "tile size must be positive");
+  tiles_.reserve(tile_rows_ * tile_cols_);
+  for (std::size_t tj = 0; tj < tile_cols_; ++tj) {
+    for (std::size_t ti = 0; ti < tile_rows_; ++ti) {
+      tiles_.emplace_back(tile_height(ti), tile_width(tj), precision);
+    }
+  }
+}
+
+Tile& TileMatrix::tile(std::size_t ti, std::size_t tj) {
+  KGWAS_CHECK_ARG(ti < tile_rows_ && tj < tile_cols_, "tile index out of range");
+  return tiles_[ti + tj * tile_rows_];
+}
+
+const Tile& TileMatrix::tile(std::size_t ti, std::size_t tj) const {
+  KGWAS_CHECK_ARG(ti < tile_rows_ && tj < tile_cols_, "tile index out of range");
+  return tiles_[ti + tj * tile_rows_];
+}
+
+std::size_t TileMatrix::tile_height(std::size_t ti) const {
+  return std::min(tile_size_, rows_ - ti * tile_size_);
+}
+
+std::size_t TileMatrix::tile_width(std::size_t tj) const {
+  return std::min(tile_size_, cols_ - tj * tile_size_);
+}
+
+void TileMatrix::from_dense(const Matrix<float>& dense) {
+  KGWAS_CHECK_ARG(dense.rows() == rows_ && dense.cols() == cols_,
+                  "dense shape mismatch");
+  for (std::size_t tj = 0; tj < tile_cols_; ++tj) {
+    for (std::size_t ti = 0; ti < tile_rows_; ++ti) {
+      tile(ti, tj).encode_from(dense.block(ti * tile_size_, tj * tile_size_),
+                               dense.ld());
+    }
+  }
+}
+
+Matrix<float> TileMatrix::to_dense() const {
+  Matrix<float> dense(rows_, cols_);
+  std::vector<float> scratch(tile_size_ * tile_size_);
+  for (std::size_t tj = 0; tj < tile_cols_; ++tj) {
+    for (std::size_t ti = 0; ti < tile_rows_; ++ti) {
+      const Tile& t = tile(ti, tj);
+      scratch.resize(t.elements());
+      t.decode_to(scratch.data());
+      for (std::size_t j = 0; j < t.cols(); ++j) {
+        for (std::size_t i = 0; i < t.rows(); ++i) {
+          dense(ti * tile_size_ + i, tj * tile_size_ + j) =
+              scratch[i + j * t.rows()];
+        }
+      }
+    }
+  }
+  return dense;
+}
+
+std::size_t TileMatrix::storage_bytes() const {
+  std::size_t total = 0;
+  for (const auto& t : tiles_) total += t.storage_bytes();
+  return total;
+}
+
+SymmetricTileMatrix::SymmetricTileMatrix(std::size_t n, std::size_t tile_size,
+                                         Precision precision)
+    : n_(n), tile_size_(tile_size), nt_(div_up(n, tile_size)) {
+  KGWAS_CHECK_ARG(tile_size > 0, "tile size must be positive");
+  tiles_.reserve(nt_ * (nt_ + 1) / 2);
+  for (std::size_t tj = 0; tj < nt_; ++tj) {
+    for (std::size_t ti = tj; ti < nt_; ++ti) {
+      tiles_.emplace_back(tile_dim(ti), tile_dim(tj), precision);
+    }
+  }
+}
+
+std::size_t SymmetricTileMatrix::index(std::size_t ti, std::size_t tj) const {
+  KGWAS_CHECK_ARG(ti < nt_ && tj <= ti,
+                  "symmetric tile access requires ti >= tj");
+  // Column-packed lower triangle: column c holds (nt - c) tiles, so column
+  // tj starts at sum_{c<tj}(nt - c) = tj*nt - tj*(tj-1)/2.
+  const std::size_t col_start = tj * nt_ - tj * (tj - 1) / 2;
+  return col_start + (ti - tj);
+}
+
+Tile& SymmetricTileMatrix::tile(std::size_t ti, std::size_t tj) {
+  return tiles_[index(ti, tj)];
+}
+
+const Tile& SymmetricTileMatrix::tile(std::size_t ti, std::size_t tj) const {
+  return tiles_[index(ti, tj)];
+}
+
+std::size_t SymmetricTileMatrix::tile_dim(std::size_t t) const {
+  return std::min(tile_size_, n_ - t * tile_size_);
+}
+
+void SymmetricTileMatrix::from_dense(const Matrix<float>& dense) {
+  KGWAS_CHECK_ARG(dense.rows() == n_ && dense.cols() == n_,
+                  "dense shape mismatch");
+  for (std::size_t tj = 0; tj < nt_; ++tj) {
+    for (std::size_t ti = tj; ti < nt_; ++ti) {
+      tile(ti, tj).encode_from(dense.block(ti * tile_size_, tj * tile_size_),
+                               dense.ld());
+    }
+  }
+}
+
+Matrix<float> SymmetricTileMatrix::to_dense() const {
+  Matrix<float> dense(n_, n_);
+  std::vector<float> scratch(tile_size_ * tile_size_);
+  for (std::size_t tj = 0; tj < nt_; ++tj) {
+    for (std::size_t ti = tj; ti < nt_; ++ti) {
+      const Tile& t = tile(ti, tj);
+      scratch.resize(t.elements());
+      t.decode_to(scratch.data());
+      for (std::size_t j = 0; j < t.cols(); ++j) {
+        // Only the lower triangle of a diagonal tile is authoritative
+        // (after a factorization its upper part holds zeros, not data).
+        const std::size_t i_begin = (ti == tj) ? j : 0;
+        for (std::size_t i = i_begin; i < t.rows(); ++i) {
+          const std::size_t gi = ti * tile_size_ + i;
+          const std::size_t gj = tj * tile_size_ + j;
+          dense(gi, gj) = scratch[i + j * t.rows()];
+          dense(gj, gi) = scratch[i + j * t.rows()];
+        }
+      }
+    }
+  }
+  return dense;
+}
+
+std::size_t SymmetricTileMatrix::storage_bytes() const {
+  std::size_t total = 0;
+  for (const auto& t : tiles_) total += t.storage_bytes();
+  return total;
+}
+
+}  // namespace kgwas

@@ -1,0 +1,80 @@
+// Tiled matrix containers.
+//
+// `TileMatrix` covers a dense m x n matrix with a grid of tiles of size
+// `tile_size` (edge tiles are smaller).  `SymmetricTileMatrix` stores only
+// the lower-triangular tiles of a symmetric matrix — exactly the layout
+// the paper's Build phase produces and the Cholesky consumes.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "mpblas/matrix.hpp"
+#include "tile/tile.hpp"
+
+namespace kgwas {
+
+class TileMatrix {
+ public:
+  TileMatrix() = default;
+  TileMatrix(std::size_t rows, std::size_t cols, std::size_t tile_size,
+             Precision precision = Precision::kFp32);
+
+  std::size_t rows() const noexcept { return rows_; }
+  std::size_t cols() const noexcept { return cols_; }
+  std::size_t tile_size() const noexcept { return tile_size_; }
+  std::size_t tile_rows() const noexcept { return tile_rows_; }
+  std::size_t tile_cols() const noexcept { return tile_cols_; }
+
+  Tile& tile(std::size_t ti, std::size_t tj);
+  const Tile& tile(std::size_t ti, std::size_t tj) const;
+
+  /// Number of rows/cols in tile row ti / tile col tj (edge tiles shrink).
+  std::size_t tile_height(std::size_t ti) const;
+  std::size_t tile_width(std::size_t tj) const;
+
+  /// Loads from / stores to a dense FP32 matrix (quantizing per tile).
+  void from_dense(const Matrix<float>& dense);
+  Matrix<float> to_dense() const;
+
+  /// Total bytes of tile payloads — the paper's memory-footprint metric.
+  std::size_t storage_bytes() const;
+
+ private:
+  std::size_t rows_ = 0, cols_ = 0, tile_size_ = 0;
+  std::size_t tile_rows_ = 0, tile_cols_ = 0;
+  std::vector<Tile> tiles_;
+};
+
+/// Symmetric matrix stored as lower-triangular tiles (ti >= tj).
+class SymmetricTileMatrix {
+ public:
+  SymmetricTileMatrix() = default;
+  SymmetricTileMatrix(std::size_t n, std::size_t tile_size,
+                      Precision precision = Precision::kFp32);
+
+  std::size_t n() const noexcept { return n_; }
+  std::size_t tile_size() const noexcept { return tile_size_; }
+  std::size_t tile_count() const noexcept { return nt_; }
+
+  /// Lower-triangular tile access: requires ti >= tj.
+  Tile& tile(std::size_t ti, std::size_t tj);
+  const Tile& tile(std::size_t ti, std::size_t tj) const;
+
+  std::size_t tile_dim(std::size_t t) const;
+
+  /// Loads the lower triangle of a dense symmetric matrix.
+  void from_dense(const Matrix<float>& dense);
+  /// Expands to a full dense symmetric matrix (mirroring the lower part).
+  Matrix<float> to_dense() const;
+
+  std::size_t storage_bytes() const;
+
+ private:
+  std::size_t index(std::size_t ti, std::size_t tj) const;
+
+  std::size_t n_ = 0, tile_size_ = 0, nt_ = 0;
+  std::vector<Tile> tiles_;
+};
+
+}  // namespace kgwas

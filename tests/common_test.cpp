@@ -1,0 +1,207 @@
+// Unit tests for src/common: RNG, thread pool, table, CLI, errors.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <set>
+#include <sstream>
+
+#include "common/aligned_buffer.hpp"
+#include "common/cli.hpp"
+#include "common/rng.hpp"
+#include "common/status.hpp"
+#include "common/table.hpp"
+#include "common/thread_pool.hpp"
+#include "common/timer.hpp"
+
+namespace kgwas {
+namespace {
+
+TEST(Rng, DeterministicAcrossInstances) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.generator()(), b.generator()());
+  }
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.generator()() == b.generator()()) ++same;
+  }
+  EXPECT_EQ(same, 0);
+}
+
+TEST(Rng, UniformRange) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, UniformIndexBounds) {
+  Rng rng(7);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    const auto v = rng.uniform_index(10);
+    ASSERT_LT(v, 10u);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 10u);  // all values hit
+}
+
+TEST(Rng, NormalMoments) {
+  Rng rng(99);
+  const int n = 200000;
+  double sum = 0.0, sum_sq = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.normal();
+    sum += x;
+    sum_sq += x * x;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.02);
+  EXPECT_NEAR(sum_sq / n, 1.0, 0.03);
+}
+
+TEST(Rng, BinomialMean) {
+  Rng rng(5);
+  const int n = 50000;
+  double sum = 0.0;
+  for (int i = 0; i < n; ++i) sum += rng.binomial(2, 0.3);
+  EXPECT_NEAR(sum / n, 0.6, 0.02);
+}
+
+TEST(Rng, GammaMeanAndVariance) {
+  Rng rng(11);
+  const double shape = 2.5;
+  const int n = 100000;
+  double sum = 0.0, sum_sq = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.gamma(shape);
+    sum += x;
+    sum_sq += x * x;
+  }
+  const double mean = sum / n;
+  EXPECT_NEAR(mean, shape, 0.05);
+  EXPECT_NEAR(sum_sq / n - mean * mean, shape, 0.12);
+}
+
+TEST(Rng, BetaInUnitIntervalWithCorrectMean) {
+  Rng rng(13);
+  const double a = 2.0, b = 6.0;
+  const int n = 50000;
+  double sum = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.beta(a, b);
+    ASSERT_GE(x, 0.0);
+    ASSERT_LE(x, 1.0);
+    sum += x;
+  }
+  EXPECT_NEAR(sum / n, a / (a + b), 0.01);
+}
+
+TEST(Rng, PoissonMean) {
+  Rng rng(17);
+  const int n = 50000;
+  double small_sum = 0.0, large_sum = 0.0;
+  for (int i = 0; i < n; ++i) small_sum += static_cast<double>(rng.poisson(3.0));
+  for (int i = 0; i < n; ++i) large_sum += static_cast<double>(rng.poisson(80.0));
+  EXPECT_NEAR(small_sum / n, 3.0, 0.06);
+  EXPECT_NEAR(large_sum / n, 80.0, 0.5);
+}
+
+TEST(Rng, SplitStreamsAreIndependent) {
+  Rng parent(42);
+  Rng child = parent.split();
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (parent.generator()() == child.generator()()) ++same;
+  }
+  EXPECT_EQ(same, 0);
+}
+
+TEST(AlignedBuffer, AlignmentAndUsability) {
+  AlignedVector<double> v(1000, 1.5);
+  EXPECT_EQ(reinterpret_cast<std::uintptr_t>(v.data()) % kDefaultAlignment, 0u);
+  EXPECT_EQ(v.size(), 1000u);
+  EXPECT_DOUBLE_EQ(v[999], 1.5);
+  v.push_back(2.0);
+  EXPECT_EQ(v.size(), 1001u);
+}
+
+TEST(ThreadPool, ParallelForCoversAllIndices) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(257);
+  pool.parallel_for(0, 257, [&](std::size_t i) { hits[i].fetch_add(1); });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, ParallelForPropagatesException) {
+  ThreadPool pool(4);
+  EXPECT_THROW(
+      pool.parallel_for(0, 100,
+                        [&](std::size_t i) {
+                          if (i == 57) throw std::runtime_error("boom");
+                        }),
+      std::runtime_error);
+}
+
+TEST(ThreadPool, SubmitAndWaitIdle) {
+  ThreadPool pool(3);
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 50; ++i) {
+    pool.submit([&] { counter.fetch_add(1); });
+  }
+  pool.wait_idle();
+  EXPECT_EQ(counter.load(), 50);
+}
+
+TEST(Table, AlignedRenderAndCsv) {
+  Table table({"name", "value"});
+  table.add_row({"alpha", Table::num(1.23456, 3)});
+  table.add_row({"a-much-longer-name", "2"});
+  std::ostringstream text, csv;
+  table.print(text);
+  table.print_csv(csv);
+  EXPECT_NE(text.str().find("alpha"), std::string::npos);
+  EXPECT_NE(text.str().find("1.235"), std::string::npos);
+  EXPECT_EQ(csv.str().substr(0, 11), "name,value\n");
+  EXPECT_THROW(table.add_row({"only-one-cell"}), InvalidArgument);
+}
+
+TEST(Cli, ParsesFlagsAndPositionals) {
+  // Note: `--flag value` is greedy, so positionals must precede boolean
+  // flags (or use --flag=true).
+  const char* argv[] = {"prog", "positional", "--n=42", "--gamma", "0.5",
+                        "--verbose"};
+  CliArgs args(6, argv);
+  EXPECT_EQ(args.get_long("n", 0), 42);
+  EXPECT_DOUBLE_EQ(args.get_double("gamma", 0.0), 0.5);
+  EXPECT_TRUE(args.get_bool("verbose", false));
+  EXPECT_EQ(args.get("missing", "fallback"), "fallback");
+  ASSERT_EQ(args.positional().size(), 1u);
+  EXPECT_EQ(args.positional()[0], "positional");
+}
+
+TEST(Status, CheckArgThrowsWithContext) {
+  try {
+    KGWAS_CHECK_ARG(1 == 2, "one is not two");
+    FAIL() << "expected throw";
+  } catch (const InvalidArgument& e) {
+    EXPECT_NE(std::string(e.what()).find("one is not two"), std::string::npos);
+  }
+}
+
+TEST(Timer, MeasuresElapsed) {
+  Timer t;
+  double sink = 0.0;
+  for (int i = 0; i < 100000; ++i) sink += std::sqrt(static_cast<double>(i));
+  EXPECT_GT(t.seconds(), 0.0);
+  EXPECT_GT(sink, 0.0);
+}
+
+}  // namespace
+}  // namespace kgwas

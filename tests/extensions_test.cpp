@@ -1,0 +1,324 @@
+// Tests for the extension modules: univariate GWAS, cross-validation,
+// low-rank tile compression, packed genotypes, patient ordering.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+
+#include "common/rng.hpp"
+#include "gwas/cohort_simulator.hpp"
+#include "gwas/dataset.hpp"
+#include "gwas/ordering.hpp"
+#include "gwas/packed_genotype.hpp"
+#include "gwas/phenotype.hpp"
+#include "gwas/univariate.hpp"
+#include "krr/cross_validation.hpp"
+#include "linalg/low_rank.hpp"
+#include "mpblas/blas.hpp"
+#include "runtime/runtime.hpp"
+
+namespace kgwas {
+namespace {
+
+// ---------------------------------------------------------------- univariate
+
+TEST(Univariate, Chi2SurvivalKnownValues) {
+  EXPECT_NEAR(chi2_sf_1df(0.0), 1.0, 1e-12);
+  EXPECT_NEAR(chi2_sf_1df(3.841), 0.05, 1e-3);   // 95th percentile
+  EXPECT_NEAR(chi2_sf_1df(6.635), 0.01, 1e-3);   // 99th percentile
+  EXPECT_LT(chi2_sf_1df(30.0), 1e-7);
+}
+
+TEST(Univariate, FindsStrongAdditiveSnpAndControlsNulls) {
+  CohortConfig cc;
+  cc.n_patients = 600;
+  cc.n_snps = 120;
+  cc.n_populations = 1;  // no stratification -> clean nulls
+  cc.fst = 0.01;
+  cc.ld_rho = 0.0;       // independent SNPs
+  cc.seed = 5;
+  Cohort cohort = simulate_cohort(cc);
+  PhenotypeConfig pc;
+  pc.n_causal = 4;
+  pc.h2_additive = 0.6;
+  pc.h2_epistatic = 0.0;
+  pc.prevalence = 0.0;
+  pc.seed = 6;
+  PhenotypePanel panel = simulate_panel(cohort, {pc});
+  const auto causal = panel.details[0].causal_snps;
+  GwasDataset dataset = make_dataset(std::move(cohort), std::move(panel));
+
+  const UnivariateResult result = univariate_gwas(dataset, 0);
+  ASSERT_EQ(result.associations.size(), 120u);
+
+  // Causal SNPs should dominate the significance ranking.
+  const auto hits = result.significant(0.05);
+  EXPECT_GE(hits.size(), 2u);  // strong effects found
+  std::size_t false_positives = 0;
+  for (const std::size_t hit : hits) {
+    if (std::find(causal.begin(), causal.end(), hit) == causal.end()) {
+      ++false_positives;
+    }
+  }
+  // Bonferroni keeps the family-wise error small but not zero; allow one
+  // chance hit among ~116 nulls.
+  EXPECT_LE(false_positives, 1u);
+  // Genomic control near 1 without stratification (4 causal of 120 barely
+  // shift the median).
+  EXPECT_GT(result.lambda_gc, 0.5);
+  EXPECT_LT(result.lambda_gc, 2.0);
+}
+
+TEST(Univariate, MissesPureEpistasis) {
+  // The motivating failure of the univariate approach: purely epistatic
+  // architecture yields (almost) no marginally significant SNPs.
+  CohortConfig cc;
+  cc.n_patients = 600;
+  cc.n_snps = 100;
+  cc.n_populations = 1;
+  cc.fst = 0.01;
+  cc.ld_rho = 0.0;
+  cc.seed = 15;
+  Cohort cohort = simulate_cohort(cc);
+  PhenotypeConfig pc;
+  pc.n_causal = 20;
+  pc.n_pairs = 40;
+  pc.h2_additive = 0.0;
+  pc.h2_epistatic = 0.85;
+  pc.prevalence = 0.0;
+  pc.seed = 16;
+  GwasDataset dataset =
+      make_dataset(cohort, simulate_panel(cohort, {pc}));
+  const UnivariateResult result = univariate_gwas(dataset, 0);
+  // Centered pairwise products are (near) uncorrelated with the marginals.
+  EXPECT_LE(result.significant(0.05).size(), 2u);
+}
+
+TEST(Univariate, RejectsBadPhenotypeIndex) {
+  CohortConfig cc;
+  cc.n_patients = 50;
+  cc.n_snps = 10;
+  Cohort cohort = simulate_cohort(cc);
+  PhenotypeConfig pc;
+  pc.n_causal = 4;
+  pc.n_pairs = 4;
+  GwasDataset dataset = make_dataset(cohort, simulate_panel(cohort, {pc}));
+  EXPECT_THROW(univariate_gwas(dataset, 3), InvalidArgument);
+}
+
+// ------------------------------------------------------------------- CV
+
+TEST(CrossValidation, FindsGridOptimumAndCoversGrid) {
+  CohortConfig cc;
+  cc.n_patients = 360;
+  cc.n_snps = 64;
+  cc.seed = 21;
+  Cohort cohort = simulate_cohort(cc);
+  PhenotypeConfig pc;
+  pc.n_causal = 32;
+  pc.n_pairs = 48;
+  pc.h2_epistatic = 0.8;
+  pc.h2_additive = 0.1;
+  pc.prevalence = 0.0;
+  GwasDataset train = make_dataset(cohort, simulate_panel(cohort, {pc}));
+
+  Runtime rt;
+  CvConfig config;
+  config.gamma_scales = {0.5, 1.0};
+  config.alphas = {0.1, 1.0};
+  config.n_folds = 3;
+  config.tile_size = 32;
+  const CvResult result = cross_validate_krr(rt, train, config);
+  ASSERT_EQ(result.grid.size(), 4u);
+  for (const auto& point : result.grid) {
+    EXPECT_GE(point.mean_mspe, result.best.mean_mspe);
+    EXPECT_GT(point.mean_mspe, 0.0);
+  }
+}
+
+TEST(CrossValidation, RejectsDegenerateConfigs) {
+  CohortConfig cc;
+  cc.n_patients = 40;
+  cc.n_snps = 16;
+  Cohort cohort = simulate_cohort(cc);
+  PhenotypeConfig pc;
+  pc.prevalence = 0.0;
+  pc.n_causal = 8;
+  pc.n_pairs = 8;
+  GwasDataset train = make_dataset(cohort, simulate_panel(cohort, {pc}));
+  Runtime rt;
+  CvConfig bad;
+  bad.n_folds = 1;
+  EXPECT_THROW(cross_validate_krr(rt, train, bad), InvalidArgument);
+}
+
+// --------------------------------------------------------------- low rank
+
+TEST(LowRank, JacobiSvdReconstructsExactly) {
+  Rng rng(3);
+  Matrix<float> a(12, 8);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    a.data()[i] = static_cast<float>(rng.normal());
+  }
+  const Svd svd = jacobi_svd(a);
+  // Reconstruct A = U diag(s) V^T.
+  Matrix<float> us = svd.u;
+  for (std::size_t j = 0; j < svd.sigma.size(); ++j) {
+    for (std::size_t i = 0; i < us.rows(); ++i) us(i, j) *= svd.sigma[j];
+  }
+  const Matrix<float> recon = matmul(us, svd.v, Trans::kNoTrans, Trans::kTrans);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_NEAR(recon.data()[i], a.data()[i], 1e-4);
+  }
+  // Singular values descending and non-negative.
+  for (std::size_t j = 1; j < svd.sigma.size(); ++j) {
+    EXPECT_LE(svd.sigma[j], svd.sigma[j - 1] + 1e-6);
+    EXPECT_GE(svd.sigma[j], 0.0f);
+  }
+}
+
+TEST(LowRank, SingularValuesMatchKnownMatrix) {
+  // diag(5, 3) embedded in a 3x2: singular values exactly 5 and 3.
+  Matrix<float> a(3, 2, 0.0f);
+  a(0, 0) = 5.0f;
+  a(1, 1) = 3.0f;
+  const Svd svd = jacobi_svd(a);
+  ASSERT_EQ(svd.sigma.size(), 2u);
+  EXPECT_NEAR(svd.sigma[0], 5.0f, 1e-5);
+  EXPECT_NEAR(svd.sigma[1], 3.0f, 1e-5);
+}
+
+TEST(LowRank, ExactlyLowRankMatrixCompressesToItsRank) {
+  // A = x y^T + w z^T has rank 2.
+  Rng rng(4);
+  const std::size_t m = 20, n = 16;
+  Matrix<float> a(m, n, 0.0f);
+  std::vector<float> x(m), y(n), w(m), z(n);
+  for (auto* v : {&x, &w}) {
+    for (auto& e : *v) e = static_cast<float>(rng.normal());
+  }
+  for (auto* v : {&y, &z}) {
+    for (auto& e : *v) e = static_cast<float>(rng.normal());
+  }
+  for (std::size_t j = 0; j < n; ++j) {
+    for (std::size_t i = 0; i < m; ++i) {
+      a(i, j) = 3.0f * x[i] * y[j] + 2.0f * w[i] * z[j];
+    }
+  }
+  const LowRankFactor factor = compress_block(a, 1e-3);
+  EXPECT_EQ(factor.rank(), 2u);
+  const Matrix<float> recon = reconstruct(factor);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_NEAR(recon.data()[i], a.data()[i], 1e-3);
+  }
+}
+
+TEST(LowRank, SurveyOnSmoothKernelShowsCompression) {
+  // A Gaussian kernel over a smooth 1D geometry: off-diagonal tiles are
+  // numerically low-rank (the paper's TLR motivation).
+  const std::size_t n = 96, ts = 24;
+  Matrix<float> k(n, n);
+  for (std::size_t j = 0; j < n; ++j) {
+    for (std::size_t i = 0; i < n; ++i) {
+      const double d = static_cast<double>(i) - static_cast<double>(j);
+      k(i, j) = static_cast<float>(std::exp(-d * d / 900.0));
+    }
+  }
+  SymmetricTileMatrix tiles(n, ts);
+  tiles.from_dense(k);
+  const CompressionSurvey survey = survey_low_rank(tiles, 1e-3);
+  EXPECT_LT(survey.mean_rank, static_cast<double>(ts) / 2);
+  EXPECT_LT(survey.compressed_bytes, survey.dense_bytes);
+  EXPECT_LT(survey.max_error, 0.05);
+}
+
+// ----------------------------------------------------------------- packed
+
+TEST(PackedGenotype, RoundTripAndFootprint) {
+  const GenotypeMatrix dense = simulate_random_genotypes(101, 37, 9);
+  const PackedGenotypeMatrix packed(dense);
+  EXPECT_EQ(packed.patients(), 101u);
+  EXPECT_EQ(packed.snps(), 37u);
+  // ceil(101/4) = 26 bytes per SNP.
+  EXPECT_EQ(packed.bytes(), 26u * 37u);
+  EXPECT_LT(packed.bytes() * 3, dense.matrix().size());  // ~4x smaller
+
+  const GenotypeMatrix back = packed.unpack();
+  for (std::size_t p = 0; p < 101; ++p) {
+    for (std::size_t s = 0; s < 37; ++s) {
+      ASSERT_EQ(back(p, s), dense(p, s));
+      ASSERT_EQ(packed.at(p, s), static_cast<std::uint8_t>(dense(p, s)));
+    }
+  }
+}
+
+TEST(PackedGenotype, UnpackSingleSnp) {
+  const GenotypeMatrix dense = simulate_random_genotypes(10, 5, 2);
+  const PackedGenotypeMatrix packed(dense);
+  std::vector<std::int8_t> column(10);
+  packed.unpack_snp(3, column.data());
+  for (std::size_t p = 0; p < 10; ++p) {
+    EXPECT_EQ(column[p], dense(p, 3));
+  }
+  EXPECT_THROW(packed.unpack_snp(5, column.data()), InvalidArgument);
+}
+
+// ---------------------------------------------------------------- ordering
+
+TEST(Ordering, KmeansRecoversPlantedClusters) {
+  // Strongly separated populations: k-means labels should align with the
+  // true populations (up to relabeling).
+  CohortConfig cc;
+  cc.n_patients = 200;
+  cc.n_snps = 150;
+  cc.n_populations = 3;
+  cc.fst = 0.35;
+  cc.population_segment = 10;  // scrambled order
+  cc.seed = 31;
+  const Cohort cohort = simulate_cohort(cc);
+  const auto labels = kmeans_patients(cohort.genotypes, 3, 25, 7);
+
+  // Measure agreement: for each true population, its patients' majority
+  // k-means label should cover most of the group.
+  std::size_t agree = 0;
+  for (std::size_t pop = 0; pop < 3; ++pop) {
+    std::vector<std::size_t> count(3, 0);
+    std::size_t members = 0;
+    for (std::size_t i = 0; i < 200; ++i) {
+      if (cohort.population[i] == pop) {
+        ++count[labels[i]];
+        ++members;
+      }
+    }
+    agree += *std::max_element(count.begin(), count.end());
+  }
+  EXPECT_GT(static_cast<double>(agree) / 200.0, 0.85);
+}
+
+TEST(Ordering, ClusterOrderIsPermutationSortedByLabel) {
+  const std::vector<std::size_t> labels{2, 0, 1, 0, 2, 1};
+  const auto order = cluster_order(labels);
+  ASSERT_EQ(order.size(), 6u);
+  // Sorted by label, stable within: 1,3 (label 0), 2,5 (1), 0,4 (2).
+  const std::vector<std::size_t> expected{1, 3, 2, 5, 0, 4};
+  EXPECT_EQ(order, expected);
+  // Is a permutation.
+  std::vector<std::size_t> sorted = order;
+  std::sort(sorted.begin(), sorted.end());
+  for (std::size_t i = 0; i < 6; ++i) EXPECT_EQ(sorted[i], i);
+}
+
+TEST(Ordering, PermuteRoundTrip) {
+  const GenotypeMatrix dense = simulate_random_genotypes(20, 8, 3);
+  std::vector<std::size_t> order(20);
+  std::iota(order.rbegin(), order.rend(), 0);  // reversal
+  const GenotypeMatrix permuted = permute_patients(dense, order);
+  for (std::size_t p = 0; p < 20; ++p) {
+    for (std::size_t s = 0; s < 8; ++s) {
+      EXPECT_EQ(permuted(p, s), dense(19 - p, s));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace kgwas

@@ -1,0 +1,345 @@
+// Tests for the GWAS data substrate: cohort simulation (population
+// structure, LD), phenotype architecture, dataset handling, REGENIE-lite,
+// PLINK-style IO.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+#include <sstream>
+
+#include "gwas/cohort_simulator.hpp"
+#include "gwas/dataset.hpp"
+#include "gwas/phenotype.hpp"
+#include "gwas/plink_io.hpp"
+#include "gwas/regenie.hpp"
+#include "mpblas/blas.hpp"
+#include "stats/metrics.hpp"
+
+namespace kgwas {
+namespace {
+
+CohortConfig small_config() {
+  CohortConfig config;
+  config.n_patients = 300;
+  config.n_snps = 400;
+  config.n_populations = 3;
+  config.seed = 123;
+  return config;
+}
+
+TEST(CohortSimulator, ShapesAndDosageRange) {
+  const Cohort cohort = simulate_cohort(small_config());
+  EXPECT_EQ(cohort.genotypes.patients(), 300u);
+  EXPECT_EQ(cohort.genotypes.snps(), 400u);
+  EXPECT_EQ(cohort.population.size(), 300u);
+  EXPECT_EQ(cohort.confounders.rows(), 300u);
+  for (std::size_t p = 0; p < 300; ++p) {
+    for (std::size_t s = 0; s < 400; ++s) {
+      const int g = cohort.genotypes(p, s);
+      ASSERT_GE(g, 0);
+      ASSERT_LE(g, 2);
+    }
+  }
+}
+
+TEST(CohortSimulator, Deterministic) {
+  const Cohort a = simulate_cohort(small_config());
+  const Cohort b = simulate_cohort(small_config());
+  for (std::size_t p = 0; p < a.genotypes.patients(); ++p) {
+    for (std::size_t s = 0; s < a.genotypes.snps(); ++s) {
+      ASSERT_EQ(a.genotypes(p, s), b.genotypes(p, s));
+    }
+  }
+}
+
+TEST(CohortSimulator, AlleleFrequenciesPolymorphic) {
+  const Cohort cohort = simulate_cohort(small_config());
+  const auto freqs = cohort.genotypes.allele_frequencies();
+  int extreme = 0;
+  for (double f : freqs) {
+    ASSERT_GE(f, 0.0);
+    ASSERT_LE(f, 1.0);
+    if (f == 0.0 || f == 1.0) ++extreme;
+  }
+  // The clamped Balding-Nichols frequencies keep almost all SNPs segregating.
+  EXPECT_LT(extreme, 5);
+}
+
+TEST(CohortSimulator, LdBlocksProduceLocalCorrelation) {
+  CohortConfig config = small_config();
+  config.ld_rho = 0.9;
+  config.ld_block_size = 40;
+  const Cohort cohort = simulate_cohort(config);
+
+  // Correlation of dosages between adjacent SNPs (same block) vs SNPs in
+  // different blocks.
+  auto snp_column = [&](std::size_t s) {
+    std::vector<float> col(cohort.genotypes.patients());
+    for (std::size_t p = 0; p < col.size(); ++p) {
+      col[p] = static_cast<float>(cohort.genotypes(p, s));
+    }
+    return col;
+  };
+  double within = 0.0, between = 0.0;
+  int n_within = 0, n_between = 0;
+  for (std::size_t s = 0; s + 1 < 200; ++s) {
+    const auto a = snp_column(s);
+    const auto b = snp_column(s + 1);
+    const double corr = pearson(a, b);
+    if ((s + 1) % config.ld_block_size == 0) {
+      between += corr;
+      ++n_between;
+    } else {
+      within += corr;
+      ++n_within;
+    }
+  }
+  within /= n_within;
+  between /= std::max(n_between, 1);
+  EXPECT_GT(within, 0.5);          // strong LD inside blocks
+  EXPECT_LT(between, within / 2);  // broken at block boundaries
+}
+
+TEST(CohortSimulator, PopulationStructureSeparatesGroups) {
+  CohortConfig config = small_config();
+  config.fst = 0.25;  // strong divergence
+  const Cohort cohort = simulate_cohort(config);
+  // Mean squared distance within vs between populations.
+  auto sq_dist = [&](std::size_t i, std::size_t j) {
+    double d = 0.0;
+    for (std::size_t s = 0; s < cohort.genotypes.snps(); ++s) {
+      const double diff = cohort.genotypes(i, s) - cohort.genotypes(j, s);
+      d += diff * diff;
+    }
+    return d;
+  };
+  double within = 0.0, between = 0.0;
+  int n_within = 0, n_between = 0;
+  for (std::size_t k = 0; k < 300; k += 7) {
+    for (std::size_t l = k + 1; l < 300; l += 11) {
+      if (cohort.population[k] == cohort.population[l]) {
+        within += sq_dist(k, l);
+        ++n_within;
+      } else {
+        between += sq_dist(k, l);
+        ++n_between;
+      }
+    }
+  }
+  EXPECT_GT(between / n_between, within / n_within);
+}
+
+TEST(CohortSimulator, SegmentedPopulationsRecur) {
+  CohortConfig config = small_config();
+  config.population_segment = 25;
+  const Cohort cohort = simulate_cohort(config);
+  EXPECT_EQ(cohort.population[0], 0u);
+  EXPECT_EQ(cohort.population[25], 1u);
+  EXPECT_EQ(cohort.population[50], 2u);
+  EXPECT_EQ(cohort.population[75], 0u);  // recurs
+}
+
+TEST(CohortSimulator, RandomGenotypesShape) {
+  const GenotypeMatrix g = simulate_random_genotypes(50, 70, 3);
+  EXPECT_EQ(g.patients(), 50u);
+  EXPECT_EQ(g.snps(), 70u);
+}
+
+TEST(Genotype, SquaredRowNormsExact) {
+  GenotypeMatrix g(2, 3);
+  g(0, 0) = 2;
+  g(0, 1) = 1;
+  g(0, 2) = 0;
+  g(1, 0) = 1;
+  g(1, 1) = 1;
+  g(1, 2) = 2;
+  const auto norms = g.squared_row_norms();
+  EXPECT_EQ(norms[0], 5);
+  EXPECT_EQ(norms[1], 6);
+}
+
+TEST(Phenotype, BinaryPrevalenceMatches) {
+  const Cohort cohort = simulate_cohort(small_config());
+  PhenotypeConfig config;
+  config.prevalence = 0.3;
+  config.n_causal = 32;
+  const SimulatedPhenotype ph = simulate_phenotype(cohort, config);
+  double cases = 0.0;
+  for (float v : ph.values) {
+    ASSERT_TRUE(v == 0.0f || v == 1.0f);
+    cases += v;
+  }
+  EXPECT_NEAR(cases / static_cast<double>(ph.values.size()), 0.3, 0.02);
+}
+
+TEST(Phenotype, QuantitativeStandardized) {
+  const Cohort cohort = simulate_cohort(small_config());
+  PhenotypeConfig config;
+  config.prevalence = 0.0;  // quantitative
+  const SimulatedPhenotype ph = simulate_phenotype(cohort, config);
+  double mean = 0.0, var = 0.0;
+  for (float v : ph.values) mean += v;
+  mean /= static_cast<double>(ph.values.size());
+  for (float v : ph.values) var += (v - mean) * (v - mean);
+  var /= static_cast<double>(ph.values.size());
+  EXPECT_NEAR(mean, 0.0, 1e-4);
+  EXPECT_NEAR(var, 1.0, 1e-3);
+}
+
+TEST(Phenotype, AdditiveArchitectureIsLinearlyPredictable) {
+  // A purely additive trait must correlate strongly with the best linear
+  // combination of its causal dosages (sanity of the generative model).
+  CohortConfig cc = small_config();
+  cc.n_patients = 500;
+  const Cohort cohort = simulate_cohort(cc);
+  PhenotypeConfig config;
+  config.h2_additive = 0.9;
+  config.h2_epistatic = 0.0;
+  config.prevalence = 0.0;
+  config.n_causal = 8;
+  const SimulatedPhenotype ph = simulate_phenotype(cohort, config);
+  EXPECT_EQ(ph.causal_snps.size(), 8u);
+  // Regress y on the causal dosages (tiny OLS via ridge with small lambda).
+  Matrix<double> x(500, 8);
+  for (std::size_t c = 0; c < 8; ++c) {
+    double mean = 0.0;
+    for (std::size_t i = 0; i < 500; ++i) {
+      mean += cohort.genotypes(i, ph.causal_snps[c]);
+    }
+    mean /= 500.0;
+    // Centered dosages: OLS without an intercept needs mean-zero columns.
+    for (std::size_t i = 0; i < 500; ++i) {
+      x(i, c) = cohort.genotypes(i, ph.causal_snps[c]) - mean;
+    }
+  }
+  Matrix<double> y(500, 1);
+  for (std::size_t i = 0; i < 500; ++i) y(i, 0) = ph.values[i];
+  const Matrix<double> beta = ridge_solve(x, y, 1e-6);
+  std::vector<float> yhat(500);
+  for (std::size_t i = 0; i < 500; ++i) {
+    double v = 0.0;
+    for (std::size_t c = 0; c < 8; ++c) v += x(i, c) * beta(c, 0);
+    yhat[i] = static_cast<float>(v);
+  }
+  EXPECT_GT(pearson(ph.values, yhat), 0.9);
+}
+
+TEST(Phenotype, PanelShapesAndNames) {
+  const Cohort cohort = simulate_cohort(small_config());
+  const auto configs = ukb_disease_panel();
+  ASSERT_EQ(configs.size(), 5u);
+  const PhenotypePanel panel = simulate_panel(cohort, configs);
+  EXPECT_EQ(panel.values.rows(), 300u);
+  EXPECT_EQ(panel.values.cols(), 5u);
+  EXPECT_EQ(panel.names[0], "Hypertension");
+  EXPECT_EQ(panel.names[4], "Depression");
+}
+
+TEST(Phenotype, RejectsOverUnityVarianceShares) {
+  const Cohort cohort = simulate_cohort(small_config());
+  PhenotypeConfig config;
+  config.h2_additive = 0.7;
+  config.h2_epistatic = 0.5;
+  EXPECT_THROW(simulate_phenotype(cohort, config), InvalidArgument);
+}
+
+TEST(Dataset, SplitPartitionsPatients) {
+  const Cohort cohort = simulate_cohort(small_config());
+  const GwasDataset dataset =
+      make_dataset(cohort, simulate_panel(cohort, ukb_disease_panel()));
+  const TrainTestSplit split = split_dataset(dataset, 0.8, 7);
+  EXPECT_EQ(split.train.patients() + split.test.patients(), 300u);
+  EXPECT_NEAR(static_cast<double>(split.train.patients()), 240.0, 1.0);
+  // Disjoint and complete.
+  std::vector<std::size_t> all = split.train_rows;
+  all.insert(all.end(), split.test_rows.begin(), split.test_rows.end());
+  std::sort(all.begin(), all.end());
+  for (std::size_t i = 0; i < all.size(); ++i) ASSERT_EQ(all[i], i);
+  // Subset carried the right rows.
+  EXPECT_EQ(split.train.genotypes(0, 0),
+            dataset.genotypes(split.train_rows[0], 0));
+}
+
+TEST(Regenie, RidgeSolveMatchesNormalEquations) {
+  Rng rng(9);
+  Matrix<double> x(40, 6), y(40, 1);
+  for (std::size_t i = 0; i < x.size(); ++i) x.data()[i] = rng.normal();
+  for (std::size_t i = 0; i < 40; ++i) y(i, 0) = rng.normal();
+  const Matrix<double> beta = ridge_solve(x, y, 2.0);
+  // Verify the stationarity condition X^T(y - X beta) = lambda beta.
+  Matrix<double> resid = y;
+  gemm(Trans::kNoTrans, Trans::kNoTrans, 40, 1, 6, -1.0, x.data(), x.ld(),
+       beta.data(), beta.ld(), 1.0, resid.data(), resid.ld());
+  Matrix<double> grad(6, 1);
+  gemm(Trans::kTrans, Trans::kNoTrans, 6, 1, 40, 1.0, x.data(), x.ld(),
+       resid.data(), resid.ld(), 0.0, grad.data(), grad.ld());
+  for (std::size_t j = 0; j < 6; ++j) {
+    EXPECT_NEAR(grad(j, 0), 2.0 * beta(j, 0), 1e-9);
+  }
+}
+
+TEST(Regenie, LearnsAdditiveTrait) {
+  CohortConfig cc = small_config();
+  cc.n_patients = 400;
+  cc.n_snps = 300;
+  const Cohort cohort = simulate_cohort(cc);
+  PhenotypeConfig pc;
+  pc.h2_additive = 0.8;
+  pc.h2_epistatic = 0.0;
+  pc.prevalence = 0.0;
+  pc.n_causal = 20;
+  const GwasDataset dataset = make_dataset(cohort, simulate_panel(cohort, {pc}));
+  const TrainTestSplit split = split_dataset(dataset, 0.8, 3);
+
+  RegenieModel model;
+  RegenieConfig config;
+  config.block_size = 64;
+  model.fit(split.train, config);
+  const Matrix<float> pred = model.predict(split.test);
+  ASSERT_EQ(pred.rows(), split.test.patients());
+  const std::span<const float> truth(&split.test.phenotypes(0, 0),
+                                     split.test.patients());
+  const std::span<const float> yhat(&pred(0, 0), split.test.patients());
+  EXPECT_GT(pearson(truth, yhat), 0.5);  // linear model on additive trait
+}
+
+TEST(PlinkIo, RawRoundTrip) {
+  const Cohort cohort = simulate_cohort(small_config());
+  std::stringstream ss;
+  write_raw(ss, cohort.genotypes);
+  const GenotypeMatrix back = read_raw(ss);
+  ASSERT_EQ(back.patients(), cohort.genotypes.patients());
+  ASSERT_EQ(back.snps(), cohort.genotypes.snps());
+  for (std::size_t p = 0; p < back.patients(); p += 17) {
+    for (std::size_t s = 0; s < back.snps(); s += 13) {
+      ASSERT_EQ(back(p, s), cohort.genotypes(p, s));
+    }
+  }
+}
+
+TEST(PlinkIo, PhenoRoundTripWithSpacesInNames) {
+  Matrix<float> ph(3, 2);
+  ph(0, 0) = 1.0f;
+  ph(1, 0) = 0.0f;
+  ph(2, 0) = 1.0f;
+  ph(0, 1) = 0.25f;
+  ph(1, 1) = -1.5f;
+  ph(2, 1) = 3.0f;
+  std::stringstream ss;
+  write_pheno(ss, ph, {"Allergic Rhinitis", "BMI"});
+  std::vector<std::string> names;
+  const Matrix<float> back = read_pheno(ss, names);
+  EXPECT_EQ(names[0], "Allergic_Rhinitis");
+  ASSERT_EQ(back.rows(), 3u);
+  for (std::size_t j = 0; j < 2; ++j) {
+    for (std::size_t i = 0; i < 3; ++i) ASSERT_EQ(back(i, j), ph(i, j));
+  }
+}
+
+TEST(PlinkIo, RejectsMalformedDosage) {
+  std::stringstream ss("FID IID snp0\nF0 I0 7\n");
+  EXPECT_THROW(read_raw(ss), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace kgwas

@@ -1,0 +1,258 @@
+// Tests for the tensor-core contract kernels: INT8 exactness and
+// low-precision operand rounding with FP32 accumulation.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "mpblas/blas.hpp"
+#include "mpblas/matrix.hpp"
+#include "mpblas/mixed.hpp"
+#include "precision/convert.hpp"
+
+namespace kgwas {
+namespace {
+
+Matrix<std::int8_t> random_dosages(std::size_t m, std::size_t n, Rng& rng) {
+  Matrix<std::int8_t> a(m, n);
+  for (std::size_t j = 0; j < n; ++j) {
+    for (std::size_t i = 0; i < m; ++i) {
+      a(i, j) = static_cast<std::int8_t>(rng.uniform_index(3));
+    }
+  }
+  return a;
+}
+
+Matrix<std::int8_t> random_int8(std::size_t m, std::size_t n, Rng& rng) {
+  Matrix<std::int8_t> a(m, n);
+  for (std::size_t j = 0; j < n; ++j) {
+    for (std::size_t i = 0; i < m; ++i) {
+      a(i, j) = static_cast<std::int8_t>(
+          static_cast<int>(rng.uniform_index(255)) - 127);
+    }
+  }
+  return a;
+}
+
+TEST(Int8Syrk, ExactAgainstInt64ReferenceNoTrans) {
+  Rng rng(1);
+  const std::size_t n = 37, k = 53;
+  const Matrix<std::int8_t> a = random_int8(n, k, rng);
+  Matrix<std::int32_t> c(n, n, 7);
+  syrk_i8_i32(Uplo::kLower, Trans::kNoTrans, n, k, 2, a.data(), a.ld(), 3,
+              c.data(), c.ld());
+  for (std::size_t j = 0; j < n; ++j) {
+    for (std::size_t i = j; i < n; ++i) {
+      std::int64_t sum = 0;
+      for (std::size_t l = 0; l < k; ++l) {
+        sum += static_cast<std::int64_t>(a(i, l)) * a(j, l);
+      }
+      EXPECT_EQ(c(i, j), 2 * sum + 3 * 7) << i << "," << j;
+    }
+  }
+}
+
+TEST(Int8Syrk, ExactAgainstInt64ReferenceTrans) {
+  Rng rng(2);
+  const std::size_t n = 21, k = 64;
+  const Matrix<std::int8_t> a = random_int8(k, n, rng);
+  Matrix<std::int32_t> c(n, n, 0);
+  syrk_i8_i32(Uplo::kLower, Trans::kTrans, n, k, 1, a.data(), a.ld(), 0,
+              c.data(), c.ld());
+  for (std::size_t j = 0; j < n; ++j) {
+    for (std::size_t i = j; i < n; ++i) {
+      std::int64_t sum = 0;
+      for (std::size_t l = 0; l < k; ++l) {
+        sum += static_cast<std::int64_t>(a(l, i)) * a(l, j);
+      }
+      EXPECT_EQ(c(i, j), sum);
+    }
+  }
+}
+
+TEST(Int8Gemm, ExactAllTransCombos) {
+  Rng rng(3);
+  const std::size_t m = 9, n = 12, k = 31;
+  for (const Trans ta : {Trans::kNoTrans, Trans::kTrans}) {
+    for (const Trans tb : {Trans::kNoTrans, Trans::kTrans}) {
+      const Matrix<std::int8_t> a = ta == Trans::kNoTrans
+                                        ? random_int8(m, k, rng)
+                                        : random_int8(k, m, rng);
+      const Matrix<std::int8_t> b = tb == Trans::kNoTrans
+                                        ? random_int8(k, n, rng)
+                                        : random_int8(n, k, rng);
+      Matrix<std::int32_t> c(m, n, 0);
+      gemm_i8_i32(ta, tb, m, n, k, 1, a.data(), a.ld(), b.data(), b.ld(), 0,
+                  c.data(), c.ld());
+      for (std::size_t j = 0; j < n; ++j) {
+        for (std::size_t i = 0; i < m; ++i) {
+          std::int64_t sum = 0;
+          for (std::size_t l = 0; l < k; ++l) {
+            const std::int64_t av = ta == Trans::kNoTrans ? a(i, l) : a(l, i);
+            const std::int64_t bv = tb == Trans::kNoTrans ? b(l, j) : b(j, l);
+            sum += av * bv;
+          }
+          ASSERT_EQ(c(i, j), sum);
+        }
+      }
+    }
+  }
+}
+
+TEST(Int8Distance, SyrkTrickIsBitExactForDosages) {
+  // The paper's Build-phase claim: the INT8 path computes squared
+  // Euclidean distances *exactly* for dosage data.
+  Rng rng(4);
+  const std::size_t np = 29, ns = 211;
+  const Matrix<std::int8_t> g = random_dosages(np, ns, rng);
+  // Row norms.
+  std::vector<std::int32_t> norms(np, 0);
+  for (std::size_t s = 0; s < ns; ++s) {
+    for (std::size_t p = 0; p < np; ++p) {
+      norms[p] += static_cast<std::int32_t>(g(p, s)) * g(p, s);
+    }
+  }
+  Matrix<std::int32_t> gram(np, np, 0);
+  syrk_i8_i32(Uplo::kLower, Trans::kNoTrans, np, ns, 1, g.data(), g.ld(), 0,
+              gram.data(), gram.ld());
+  for (std::size_t j = 0; j < np; ++j) {
+    for (std::size_t i = j; i < np; ++i) {
+      const std::int32_t d = norms[i] + norms[j] - 2 * gram(i, j);
+      std::int64_t expected = 0;
+      for (std::size_t s = 0; s < ns; ++s) {
+        const std::int64_t diff =
+            static_cast<std::int64_t>(g(i, s)) - g(j, s);
+        expected += diff * diff;
+      }
+      ASSERT_EQ(d, expected);
+      ASSERT_GE(d, 0);
+      if (i == j) ASSERT_EQ(d, 0);
+    }
+  }
+}
+
+class GemmTcParam : public ::testing::TestWithParam<Precision> {};
+
+TEST_P(GemmTcParam, EqualsQuantizedOperandReference) {
+  const Precision p = GetParam();
+  Rng rng(5);
+  const std::size_t m = 16, n = 11, k = 24;
+  Matrix<float> a(m, k), b(k, n), c(m, n, 0.25f);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    a.data()[i] = static_cast<float>(rng.normal());
+  }
+  for (std::size_t i = 0; i < b.size(); ++i) {
+    b.data()[i] = static_cast<float>(rng.normal());
+  }
+  Matrix<float> c_tc = c;
+  gemm_tc(p, Trans::kNoTrans, Trans::kNoTrans, m, n, k, 1.0f, a.data(), a.ld(),
+          b.data(), b.ld(), 1.0f, c_tc.data(), c_tc.ld());
+
+  // Reference: quantize operands explicitly, then plain FP32 GEMM.
+  Matrix<float> aq = a, bq = b;
+  quantize_inplace(p, aq.data(), aq.size());
+  quantize_inplace(p, bq.data(), bq.size());
+  Matrix<float> c_ref = c;
+  gemm(Trans::kNoTrans, Trans::kNoTrans, m, n, k, 1.0f, aq.data(), aq.ld(),
+       bq.data(), bq.ld(), 1.0f, c_ref.data(), c_ref.ld());
+  for (std::size_t j = 0; j < n; ++j) {
+    for (std::size_t i = 0; i < m; ++i) {
+      ASSERT_EQ(c_tc(i, j), c_ref(i, j)) << to_string(p);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    NarrowFormats, GemmTcParam,
+    ::testing::Values(Precision::kFp16, Precision::kBf16, Precision::kFp8E4M3,
+                      Precision::kFp8E5M2, Precision::kFp4E2M1),
+    [](const auto& info) { return to_string(info.param); });
+
+TEST(GemmTc, Fp32PassThroughIsExactGemm) {
+  Rng rng(6);
+  const std::size_t m = 8, n = 8, k = 8;
+  Matrix<float> a(m, k), b(k, n), c1(m, n, 0.0f), c2(m, n, 0.0f);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    a.data()[i] = static_cast<float>(rng.normal());
+    b.data()[i] = static_cast<float>(rng.normal());
+  }
+  gemm_tc(Precision::kFp32, Trans::kNoTrans, Trans::kTrans, m, n, k, 1.0f,
+          a.data(), a.ld(), b.data(), b.ld(), 0.0f, c1.data(), c1.ld());
+  gemm(Trans::kNoTrans, Trans::kTrans, m, n, k, 1.0f, a.data(), a.ld(),
+       b.data(), b.ld(), 0.0f, c2.data(), c2.ld());
+  for (std::size_t i = 0; i < c1.size(); ++i) {
+    ASSERT_EQ(c1.data()[i], c2.data()[i]);
+  }
+}
+
+TEST(GemmTc, Fp16ErrorBoundedByUnitRoundoff) {
+  Rng rng(7);
+  const std::size_t m = 32, n = 32, k = 32;
+  Matrix<float> a(m, k), b(k, n), c(m, n, 0.0f), c_exact(m, n, 0.0f);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    a.data()[i] = static_cast<float>(rng.normal());
+    b.data()[i] = static_cast<float>(rng.normal());
+  }
+  gemm_tc(Precision::kFp16, Trans::kNoTrans, Trans::kNoTrans, m, n, k, 1.0f,
+          a.data(), a.ld(), b.data(), b.ld(), 0.0f, c.data(), c.ld());
+  gemm(Trans::kNoTrans, Trans::kNoTrans, m, n, k, 1.0f, a.data(), a.ld(),
+       b.data(), b.ld(), 0.0f, c_exact.data(), c_exact.ld());
+  // |C_tc - C| <= ~2 u_fp16 * sum |a||b| per entry (operand rounding only).
+  for (std::size_t j = 0; j < n; ++j) {
+    for (std::size_t i = 0; i < m; ++i) {
+      double abs_bound = 0.0;
+      for (std::size_t l = 0; l < k; ++l) {
+        abs_bound += std::fabs(a(i, l)) * std::fabs(b(l, j));
+      }
+      const double u = unit_roundoff(Precision::kFp16);
+      EXPECT_LE(std::fabs(c(i, j) - c_exact(i, j)),
+                3.0 * u * abs_bound + 1e-6);
+    }
+  }
+}
+
+TEST(GemmTc, Int8OperandRejected) {
+  Matrix<float> a(2, 2, 1.0f), c(2, 2, 0.0f);
+  EXPECT_THROW(gemm_tc(Precision::kInt8, Trans::kNoTrans, Trans::kNoTrans, 2,
+                       2, 2, 1.0f, a.data(), 2, a.data(), 2, 0.0f, c.data(), 2),
+               InvalidArgument);
+}
+
+TEST(TrsmTc, LowPrecisionFactorSolve) {
+  Rng rng(8);
+  const std::size_t n = 12, nrhs = 4;
+  Matrix<float> l(n, n, 0.0f);
+  for (std::size_t j = 0; j < n; ++j) {
+    l(j, j) = 1.5f + static_cast<float>(rng.uniform());
+    for (std::size_t i = j + 1; i < n; ++i) {
+      l(i, j) = 0.25f * static_cast<float>(rng.normal());
+    }
+  }
+  Matrix<float> b(n, nrhs);
+  for (std::size_t i = 0; i < b.size(); ++i) {
+    b.data()[i] = static_cast<float>(rng.normal());
+  }
+  Matrix<float> x16 = b, x_ref = b;
+  trsm_tc(Precision::kFp16, Side::kLeft, Uplo::kLower, Trans::kNoTrans,
+          Diag::kNonUnit, n, nrhs, 1.0f, l.data(), l.ld(), x16.data(),
+          x16.ld());
+  Matrix<float> lq = l;
+  quantize_inplace(Precision::kFp16, lq.data(), lq.size());
+  trsm(Side::kLeft, Uplo::kLower, Trans::kNoTrans, Diag::kNonUnit, n, nrhs,
+       1.0f, lq.data(), lq.ld(), x_ref.data(), x_ref.ld());
+  for (std::size_t i = 0; i < x16.size(); ++i) {
+    ASSERT_EQ(x16.data()[i], x_ref.data()[i]);
+  }
+}
+
+TEST(OpCounts, ClosedForms) {
+  EXPECT_DOUBLE_EQ(gemm_op_count(2, 3, 4), 48.0);
+  EXPECT_DOUBLE_EQ(syrk_op_count(4, 5), 4.0 * 5.0 * 5.0);
+  EXPECT_NEAR(potrf_op_count(100), 100.0 * 100.0 * 100.0 / 3.0, 6000.0);
+  EXPECT_DOUBLE_EQ(trsm_op_count(3, 7), 63.0);
+}
+
+}  // namespace
+}  // namespace kgwas

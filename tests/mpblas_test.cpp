@@ -1,0 +1,299 @@
+// Tests for the reference dense BLAS/LAPACK kernels, checked against
+// straightforward triple-loop references in FP64.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <tuple>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "mpblas/blas.hpp"
+#include "mpblas/matrix.hpp"
+
+namespace kgwas {
+namespace {
+
+Matrix<double> random_matrix(std::size_t m, std::size_t n, Rng& rng) {
+  Matrix<double> a(m, n);
+  for (std::size_t j = 0; j < n; ++j) {
+    for (std::size_t i = 0; i < m; ++i) a(i, j) = rng.normal();
+  }
+  return a;
+}
+
+/// SPD matrix: A = B B^T + n * I.
+Matrix<double> random_spd(std::size_t n, Rng& rng) {
+  const Matrix<double> b = random_matrix(n, n, rng);
+  Matrix<double> a = matmul(b, b, Trans::kNoTrans, Trans::kTrans);
+  for (std::size_t i = 0; i < n; ++i) a(i, i) += static_cast<double>(n);
+  return a;
+}
+
+double max_diff(const Matrix<double>& a, const Matrix<double>& b) {
+  double best = 0.0;
+  for (std::size_t j = 0; j < a.cols(); ++j) {
+    for (std::size_t i = 0; i < a.rows(); ++i) {
+      best = std::max(best, std::fabs(a(i, j) - b(i, j)));
+    }
+  }
+  return best;
+}
+
+Matrix<double> reference_gemm(Trans ta, Trans tb, double alpha,
+                              const Matrix<double>& a, const Matrix<double>& b,
+                              double beta, Matrix<double> c) {
+  const std::size_t m = c.rows(), n = c.cols();
+  const std::size_t k = ta == Trans::kNoTrans ? a.cols() : a.rows();
+  for (std::size_t j = 0; j < n; ++j) {
+    for (std::size_t i = 0; i < m; ++i) {
+      double sum = 0.0;
+      for (std::size_t l = 0; l < k; ++l) {
+        const double av = ta == Trans::kNoTrans ? a(i, l) : a(l, i);
+        const double bv = tb == Trans::kNoTrans ? b(l, j) : b(j, l);
+        sum += av * bv;
+      }
+      c(i, j) = alpha * sum + beta * c(i, j);
+    }
+  }
+  return c;
+}
+
+using GemmCase = std::tuple<Trans, Trans, int, int, int>;
+
+class GemmParam : public ::testing::TestWithParam<GemmCase> {};
+
+TEST_P(GemmParam, MatchesReference) {
+  const auto [ta, tb, m, n, k] = GetParam();
+  Rng rng(1);
+  const Matrix<double> a = ta == Trans::kNoTrans ? random_matrix(m, k, rng)
+                                                 : random_matrix(k, m, rng);
+  const Matrix<double> b = tb == Trans::kNoTrans ? random_matrix(k, n, rng)
+                                                 : random_matrix(n, k, rng);
+  Matrix<double> c = random_matrix(m, n, rng);
+  const Matrix<double> expected = reference_gemm(ta, tb, 0.7, a, b, -1.3, c);
+  gemm(ta, tb, m, n, k, 0.7, a.data(), a.ld(), b.data(), b.ld(), -1.3,
+       c.data(), c.ld());
+  EXPECT_LT(max_diff(c, expected), 1e-11);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllTransShapes, GemmParam,
+    ::testing::Values(
+        GemmCase{Trans::kNoTrans, Trans::kNoTrans, 17, 13, 9},
+        GemmCase{Trans::kNoTrans, Trans::kTrans, 8, 21, 16},
+        GemmCase{Trans::kTrans, Trans::kNoTrans, 33, 5, 12},
+        GemmCase{Trans::kTrans, Trans::kTrans, 7, 7, 7},
+        GemmCase{Trans::kNoTrans, Trans::kNoTrans, 1, 1, 1},
+        GemmCase{Trans::kNoTrans, Trans::kTrans, 64, 64, 2}));
+
+TEST(Gemm, BetaZeroOverwritesGarbage) {
+  // C containing NaN must be fully overwritten when beta == 0.
+  Matrix<double> c(3, 3, std::numeric_limits<double>::quiet_NaN());
+  Matrix<double> a(3, 2, 1.0), b(2, 3, 1.0);
+  gemm(Trans::kNoTrans, Trans::kNoTrans, 3, 3, 2, 1.0, a.data(), 3, b.data(),
+       2, 0.0, c.data(), 3);
+  for (std::size_t j = 0; j < 3; ++j) {
+    for (std::size_t i = 0; i < 3; ++i) EXPECT_DOUBLE_EQ(c(i, j), 2.0);
+  }
+}
+
+TEST(Syrk, LowerNoTransMatchesGemm) {
+  Rng rng(2);
+  const std::size_t n = 19, k = 11;
+  const Matrix<double> a = random_matrix(n, k, rng);
+  Matrix<double> c(n, n, 0.5);
+  Matrix<double> c_ref = c;
+  syrk(Uplo::kLower, Trans::kNoTrans, n, k, 2.0, a.data(), a.ld(), 3.0,
+       c.data(), c.ld());
+  c_ref = reference_gemm(Trans::kNoTrans, Trans::kTrans, 2.0, a, a, 3.0, c_ref);
+  for (std::size_t j = 0; j < n; ++j) {
+    for (std::size_t i = j; i < n; ++i) {
+      EXPECT_NEAR(c(i, j), c_ref(i, j), 1e-12);
+    }
+    for (std::size_t i = 0; i < j; ++i) {
+      EXPECT_DOUBLE_EQ(c(i, j), 0.5);  // upper untouched
+    }
+  }
+}
+
+TEST(Syrk, LowerTransMatchesGemm) {
+  Rng rng(3);
+  const std::size_t n = 14, k = 23;
+  const Matrix<double> a = random_matrix(k, n, rng);
+  Matrix<double> c(n, n, 0.0);
+  syrk(Uplo::kLower, Trans::kTrans, n, k, 1.0, a.data(), a.ld(), 0.0, c.data(),
+       c.ld());
+  const Matrix<double> full = matmul(a, a, Trans::kTrans, Trans::kNoTrans);
+  for (std::size_t j = 0; j < n; ++j) {
+    for (std::size_t i = j; i < n; ++i) {
+      EXPECT_NEAR(c(i, j), full(i, j), 1e-11);
+    }
+  }
+}
+
+TEST(Syrk, UpperVariant) {
+  Rng rng(4);
+  const std::size_t n = 9, k = 6;
+  const Matrix<double> a = random_matrix(n, k, rng);
+  Matrix<double> c(n, n, 0.0);
+  syrk(Uplo::kUpper, Trans::kNoTrans, n, k, 1.0, a.data(), a.ld(), 0.0,
+       c.data(), c.ld());
+  const Matrix<double> full = matmul(a, a, Trans::kNoTrans, Trans::kTrans);
+  for (std::size_t j = 0; j < n; ++j) {
+    for (std::size_t i = 0; i <= j; ++i) EXPECT_NEAR(c(i, j), full(i, j), 1e-11);
+  }
+}
+
+class TrsmParam
+    : public ::testing::TestWithParam<std::tuple<Side, Trans, Diag>> {};
+
+TEST_P(TrsmParam, SolvesAgainstMultiply) {
+  const auto [side, trans, diag] = GetParam();
+  Rng rng(5);
+  const std::size_t m = 13, n = 9;
+  const std::size_t adim = side == Side::kLeft ? m : n;
+  // Well-conditioned lower-triangular A.
+  Matrix<double> a = random_matrix(adim, adim, rng);
+  for (std::size_t j = 0; j < adim; ++j) {
+    for (std::size_t i = 0; i < j; ++i) a(i, j) = 0.0;
+    a(j, j) = diag == Diag::kUnit ? 1.0 : 2.0 + std::fabs(a(j, j));
+  }
+  const Matrix<double> x_true = random_matrix(m, n, rng);
+
+  // B = op_side(A) applied to X.
+  Matrix<double> b(m, n, 0.0);
+  if (side == Side::kLeft) {
+    b = reference_gemm(trans, Trans::kNoTrans, 1.0, a, x_true, 0.0, b);
+  } else {
+    b = reference_gemm(Trans::kNoTrans, trans, 1.0, x_true, a, 0.0, b);
+  }
+  trsm(side, Uplo::kLower, trans, diag, m, n, 1.0, a.data(), a.ld(), b.data(),
+       b.ld());
+  EXPECT_LT(max_diff(b, x_true), 1e-10);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllVariants, TrsmParam,
+    ::testing::Combine(::testing::Values(Side::kLeft, Side::kRight),
+                       ::testing::Values(Trans::kNoTrans, Trans::kTrans),
+                       ::testing::Values(Diag::kNonUnit, Diag::kUnit)));
+
+TEST(Trsm, AlphaScaling) {
+  Rng rng(6);
+  Matrix<double> a(4, 4, 0.0);
+  for (std::size_t i = 0; i < 4; ++i) a(i, i) = 1.0;
+  Matrix<double> b = random_matrix(4, 3, rng);
+  const Matrix<double> orig = b;
+  trsm(Side::kLeft, Uplo::kLower, Trans::kNoTrans, Diag::kNonUnit, 4, 3, 2.5,
+       a.data(), 4, b.data(), 4);
+  EXPECT_LT(max_diff(b, reference_gemm(Trans::kNoTrans, Trans::kNoTrans, 0.0,
+                                       orig, orig, 2.5, orig)),
+            1e-12);
+}
+
+TEST(Trsm, UpperThrows) {
+  Matrix<double> a(2, 2, 1.0), b(2, 2, 1.0);
+  EXPECT_THROW(trsm(Side::kLeft, Uplo::kUpper, Trans::kNoTrans, Diag::kNonUnit,
+                    2, 2, 1.0, a.data(), 2, b.data(), 2),
+               InvalidArgument);
+}
+
+class PotrfParam : public ::testing::TestWithParam<int> {};
+
+TEST_P(PotrfParam, FactorReconstructs) {
+  const std::size_t n = static_cast<std::size_t>(GetParam());
+  Rng rng(7);
+  const Matrix<double> a = random_spd(n, rng);
+  Matrix<double> l = a;
+  ASSERT_EQ(potrf(Uplo::kLower, n, l.data(), l.ld()), 0);
+  // Zero strict upper, then check L L^T == A.
+  for (std::size_t j = 0; j < n; ++j) {
+    for (std::size_t i = 0; i < j; ++i) l(i, j) = 0.0;
+  }
+  const Matrix<double> recon = matmul(l, l, Trans::kNoTrans, Trans::kTrans);
+  const double scale = max_abs(n, n, a.data(), a.ld());
+  EXPECT_LT(max_diff(recon, a), 1e-12 * scale * static_cast<double>(n));
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, PotrfParam,
+                         ::testing::Values(1, 2, 3, 17, 64, 129, 200, 300));
+
+TEST(Potrf, ReportsFailingPivot) {
+  // Indefinite matrix: pivot 2 (1-based) must be flagged.
+  Matrix<double> a(3, 3, 0.0);
+  a(0, 0) = 4.0;
+  a(1, 1) = -1.0;
+  a(2, 2) = 5.0;
+  EXPECT_EQ(potrf(Uplo::kLower, 3, a.data(), 3), 2);
+}
+
+TEST(Potrs, SolvesSystem) {
+  Rng rng(8);
+  const std::size_t n = 40, nrhs = 3;
+  const Matrix<double> a = random_spd(n, rng);
+  const Matrix<double> x_true = random_matrix(n, nrhs, rng);
+  Matrix<double> b = matmul(a, x_true);
+  Matrix<double> l = a;
+  ASSERT_EQ(potrf(Uplo::kLower, n, l.data(), l.ld()), 0);
+  potrs(Uplo::kLower, n, nrhs, l.data(), l.ld(), b.data(), b.ld());
+  EXPECT_LT(max_diff(b, x_true), 1e-9);
+}
+
+TEST(Gemv, BothTransposes) {
+  Rng rng(9);
+  const std::size_t m = 11, n = 7;
+  const Matrix<double> a = random_matrix(m, n, rng);
+  std::vector<double> x(n), y(m, 1.0);
+  for (auto& v : x) v = rng.normal();
+  gemv(Trans::kNoTrans, m, n, 2.0, a.data(), a.ld(), x.data(), 0.5, y.data());
+  for (std::size_t i = 0; i < m; ++i) {
+    double expect = 0.5;
+    for (std::size_t j = 0; j < n; ++j) expect += 2.0 * a(i, j) * x[j];
+    EXPECT_NEAR(y[i], expect, 1e-12);
+  }
+  std::vector<double> xt(m), yt(n, 0.0);
+  for (auto& v : xt) v = rng.normal();
+  gemv(Trans::kTrans, m, n, 1.0, a.data(), a.ld(), xt.data(), 0.0, yt.data());
+  for (std::size_t j = 0; j < n; ++j) {
+    double expect = 0.0;
+    for (std::size_t i = 0; i < m; ++i) expect += a(i, j) * xt[i];
+    EXPECT_NEAR(yt[j], expect, 1e-12);
+  }
+}
+
+TEST(Norms, KnownValues) {
+  Matrix<double> a(2, 2);
+  a(0, 0) = 3.0;
+  a(1, 0) = 4.0;
+  a(0, 1) = 0.0;
+  a(1, 1) = -12.0;
+  EXPECT_DOUBLE_EQ(frobenius_norm(2, 2, a.data(), 2), 13.0);
+  EXPECT_DOUBLE_EQ(max_abs(2, 2, a.data(), 2), 12.0);
+}
+
+TEST(Matrix, AtBoundsChecking) {
+  Matrix<float> a(2, 3);
+  EXPECT_NO_THROW(a.at(1, 2));
+  EXPECT_THROW(a.at(2, 0), InvalidArgument);
+  EXPECT_THROW(a.at(0, 3), InvalidArgument);
+}
+
+TEST(Matrix, SymmetrizeFromLower) {
+  Matrix<double> a(3, 3, 0.0);
+  a(1, 0) = 5.0;
+  a(2, 1) = -2.0;
+  symmetrize_from_lower(a);
+  EXPECT_DOUBLE_EQ(a(0, 1), 5.0);
+  EXPECT_DOUBLE_EQ(a(1, 2), -2.0);
+}
+
+TEST(FloatKernels, SinglePrecisionPotrfWorks) {
+  Rng rng(10);
+  const std::size_t n = 50;
+  Matrix<double> ad = random_spd(n, rng);
+  Matrix<float> a = ad.cast<float>();
+  EXPECT_EQ(potrf(Uplo::kLower, n, a.data(), a.ld()), 0);
+}
+
+}  // namespace
+}  // namespace kgwas

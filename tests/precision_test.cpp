@@ -1,0 +1,213 @@
+// Tests for the narrow floating-point emulation: format constants,
+// round-to-nearest-even semantics, saturation rules, bulk conversion.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <vector>
+
+#include "common/status.hpp"
+#include "precision/convert.hpp"
+#include "precision/float_format.hpp"
+#include "precision/precision.hpp"
+
+namespace kgwas {
+namespace {
+
+TEST(FloatFormat, KnownMaxFiniteValues) {
+  EXPECT_DOUBLE_EQ(kFp16Format.max_finite(), 65504.0);
+  EXPECT_DOUBLE_EQ(kFp8E4M3Format.max_finite(), 448.0);
+  EXPECT_DOUBLE_EQ(kFp8E5M2Format.max_finite(), 57344.0);
+  EXPECT_DOUBLE_EQ(kFp4E2M1Format.max_finite(), 6.0);
+  EXPECT_NEAR(kBf16Format.max_finite(), 3.3895313892515355e38, 1e24);
+}
+
+TEST(FloatFormat, KnownMinValues) {
+  EXPECT_DOUBLE_EQ(kFp16Format.min_normal(), std::ldexp(1.0, -14));
+  EXPECT_DOUBLE_EQ(kFp16Format.min_subnormal(), std::ldexp(1.0, -24));
+  EXPECT_DOUBLE_EQ(kFp8E4M3Format.min_normal(), std::ldexp(1.0, -6));
+  EXPECT_DOUBLE_EQ(kFp8E4M3Format.min_subnormal(), std::ldexp(1.0, -9));
+  EXPECT_DOUBLE_EQ(kFp4E2M1Format.min_subnormal(), 0.5);
+}
+
+TEST(FloatFormat, UnitRoundoff) {
+  EXPECT_DOUBLE_EQ(kFp16Format.unit_roundoff(), std::ldexp(1.0, -11));
+  EXPECT_DOUBLE_EQ(kFp8E4M3Format.unit_roundoff(), std::ldexp(1.0, -4));
+  EXPECT_DOUBLE_EQ(kFp8E5M2Format.unit_roundoff(), std::ldexp(1.0, -3));
+}
+
+TEST(FloatFormat, Fp4ValueSet) {
+  // E2M1 non-negative representables: 0, 0.5, 1, 1.5, 2, 3, 4, 6.
+  const std::vector<double> expected{0.0, 0.5, 1.0, 1.5, 2.0, 3.0, 4.0, 6.0};
+  std::vector<double> actual;
+  for (std::uint32_t bits = 0; bits < 8; ++bits) {
+    actual.push_back(decode_bits(kFp4E2M1Format, bits));
+  }
+  EXPECT_EQ(actual, expected);
+}
+
+TEST(FloatFormat, RoundTiesToEven) {
+  // fp16 spacing at 2048 is 1: 2048.5 must round to even (2048),
+  // 2049.5 to 2050.
+  EXPECT_DOUBLE_EQ(round_to_format(kFp16Format, 2048.5), 2048.0);
+  EXPECT_DOUBLE_EQ(round_to_format(kFp16Format, 2049.5), 2050.0);
+  // e4m3 spacing in [16, 32) is 2: 17 is a tie -> 16 (even mantissa), 19 -> 20.
+  EXPECT_DOUBLE_EQ(round_to_format(kFp8E4M3Format, 17.0), 16.0);
+  EXPECT_DOUBLE_EQ(round_to_format(kFp8E4M3Format, 19.0), 20.0);
+}
+
+TEST(FloatFormat, SaturationRules) {
+  // fp16 overflows to inf; e4m3 saturates to 448; fp4 saturates to 6.
+  EXPECT_TRUE(std::isinf(round_to_format(kFp16Format, 70000.0)));
+  EXPECT_DOUBLE_EQ(round_to_format(kFp8E4M3Format, 1.0e6), 448.0);
+  EXPECT_DOUBLE_EQ(round_to_format(kFp8E4M3Format, -1.0e6), -448.0);
+  EXPECT_DOUBLE_EQ(round_to_format(kFp4E2M1Format, 100.0), 6.0);
+  EXPECT_TRUE(std::isinf(round_to_format(kFp8E5M2Format, 1.0e6)));
+}
+
+TEST(FloatFormat, NanHandling) {
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  EXPECT_TRUE(std::isnan(round_to_format(kFp16Format, nan)));
+  EXPECT_TRUE(std::isnan(round_to_format(kFp8E4M3Format, nan)));
+  // E2M1 has no NaN: saturates.
+  EXPECT_DOUBLE_EQ(round_to_format(kFp4E2M1Format, nan), 6.0);
+}
+
+TEST(FloatFormat, SignedZeroPreserved) {
+  EXPECT_TRUE(std::signbit(round_to_format(kFp16Format, -0.0)));
+  EXPECT_FALSE(std::signbit(round_to_format(kFp16Format, 0.0)));
+}
+
+/// Exhaustive encode/decode round-trip over every code of a format.
+class Format8RoundTrip : public ::testing::TestWithParam<const FloatFormat*> {};
+
+TEST_P(Format8RoundTrip, AllCodesRoundTrip) {
+  const FloatFormat& fmt = *GetParam();
+  const std::uint32_t n_codes = 1u << fmt.total_bits();
+  for (std::uint32_t bits = 0; bits < n_codes; ++bits) {
+    const double value = decode_bits(fmt, bits);
+    if (std::isnan(value)) continue;  // NaN encodes to the canonical code
+    const std::uint32_t re = encode_bits(fmt, value);
+    const double value2 = decode_bits(fmt, re);
+    EXPECT_EQ(value, value2) << fmt.name << " code " << bits;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllNarrowFormats, Format8RoundTrip,
+                         ::testing::Values(&kFp8E4M3Format, &kFp8E5M2Format,
+                                           &kFp4E2M1Format, &kFp16Format),
+                         [](const auto& info) {
+                           return std::string(info.param->name);
+                         });
+
+/// Rounding must be idempotent and monotone for every format.
+class RoundingProperty : public ::testing::TestWithParam<Precision> {};
+
+// Half the subnormal spacing (absolute error floor near zero); 0 where the
+// format is wide enough not to matter in the tested range.
+double subnormal_half_spacing(Precision p) {
+  switch (p) {
+    case Precision::kFp64:
+    case Precision::kFp32:
+    case Precision::kInt8: return 0.0;
+    default: return float_format(p).min_subnormal() / 2.0;
+  }
+}
+
+TEST_P(RoundingProperty, IdempotentAndMonotone) {
+  const Precision p = GetParam();
+  double prev_rounded = -std::numeric_limits<double>::infinity();
+  for (double x = -500.0; x <= 500.0; x += 0.37) {
+    const double r = quantize(p, x);
+    EXPECT_EQ(quantize(p, r), r) << to_string(p) << " at " << x;
+    EXPECT_GE(r, prev_rounded) << to_string(p) << " at " << x;
+    prev_rounded = r;
+    if (std::fabs(x) > max_finite(p)) continue;  // saturation region
+    // Rounding error bounded by unit roundoff (relative) once normal,
+    // or by half the subnormal spacing.
+    const double bound = std::max(
+        unit_roundoff(p) * std::fabs(x) * (1 + 1e-12), subnormal_half_spacing(p));
+    EXPECT_LE(std::fabs(r - x), bound + 1e-12) << to_string(p) << " at " << x;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllPrecisions, RoundingProperty,
+    ::testing::Values(Precision::kFp32, Precision::kFp16, Precision::kBf16,
+                      Precision::kFp8E4M3, Precision::kFp8E5M2),
+    [](const auto& info) { return to_string(info.param); });
+
+TEST(Precision, TraitsConsistency) {
+  EXPECT_EQ(bytes_per_element(Precision::kFp64), 8u);
+  EXPECT_EQ(bytes_per_element(Precision::kFp16), 2u);
+  EXPECT_EQ(bytes_per_element(Precision::kFp8E4M3), 1u);
+  EXPECT_LT(unit_roundoff(Precision::kFp32), unit_roundoff(Precision::kFp16));
+  EXPECT_LT(unit_roundoff(Precision::kFp16),
+            unit_roundoff(Precision::kFp8E4M3));
+  for (const auto name :
+       {"fp64", "fp32", "fp16", "bf16", "fp8_e4m3", "fp8_e5m2", "int8"}) {
+    EXPECT_EQ(to_string(precision_from_string(name)), name);
+  }
+  EXPECT_THROW(precision_from_string("fp128"), InvalidArgument);
+}
+
+TEST(Precision, Int8Quantization) {
+  EXPECT_DOUBLE_EQ(quantize(Precision::kInt8, 1.4), 1.0);
+  EXPECT_DOUBLE_EQ(quantize(Precision::kInt8, 1.5), 2.0);   // ties to even
+  EXPECT_DOUBLE_EQ(quantize(Precision::kInt8, 2.5), 2.0);   // ties to even
+  EXPECT_DOUBLE_EQ(quantize(Precision::kInt8, 300.0), 127.0);
+  EXPECT_DOUBLE_EQ(quantize(Precision::kInt8, -300.0), -128.0);
+}
+
+TEST(Convert, BufferRoundTripExactForRepresentables) {
+  // Dosage-like values are exactly representable in every format.
+  const std::vector<float> values{0.0f, 1.0f, 2.0f, -1.0f, 0.5f};
+  for (const Precision p :
+       {Precision::kFp16, Precision::kBf16, Precision::kFp8E4M3,
+        Precision::kFp8E5M2}) {
+    std::vector<std::uint8_t> storage(values.size() * bytes_per_element(p));
+    std::vector<float> back(values.size());
+    quantize_buffer(p, values.data(), storage.data(), values.size());
+    dequantize_buffer(p, storage.data(), back.data(), values.size());
+    EXPECT_EQ(values, back) << to_string(p);
+  }
+}
+
+TEST(Convert, QuantizeInplaceMatchesScalar) {
+  std::vector<float> data;
+  for (int i = 0; i < 1000; ++i) data.push_back(0.001f * i - 0.37f);
+  std::vector<float> copy = data;
+  quantize_inplace(Precision::kFp8E4M3, data.data(), data.size());
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    EXPECT_EQ(data[i],
+              static_cast<float>(quantize(Precision::kFp8E4M3, copy[i])));
+  }
+}
+
+TEST(Convert, CrossFormatConversion) {
+  const std::vector<float> values{0.125f, 3.0f, -2.5f, 440.0f};
+  std::vector<std::uint16_t> fp16(values.size());
+  std::vector<std::uint8_t> fp8(values.size());
+  quantize_buffer(Precision::kFp16, values.data(), fp16.data(), values.size());
+  convert_buffer(Precision::kFp16, fp16.data(), Precision::kFp8E4M3,
+                 fp8.data(), values.size());
+  std::vector<float> back(values.size());
+  dequantize_buffer(Precision::kFp8E4M3, fp8.data(), back.data(), values.size());
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    EXPECT_EQ(back[i], static_cast<float>(quantize(Precision::kFp8E4M3,
+                                                   values[i])));
+  }
+}
+
+TEST(SmallFloatTypes, SizesAndBasicOps) {
+  const half_t h(3.14159f);
+  EXPECT_NEAR(h.to_float(), 3.14159f, 3.14159f * 5e-4);
+  const fp8_e4m3_t q(5.1f);
+  EXPECT_NEAR(q.to_float(), 5.1f, 5.1f * 0.07);
+  EXPECT_EQ(half_t(1.0f), half_t(1.0f));
+  EXPECT_EQ(sizeof(bfloat16_t), 2u);
+  EXPECT_EQ(sizeof(fp4_e2m1_t), 1u);
+}
+
+}  // namespace
+}  // namespace kgwas

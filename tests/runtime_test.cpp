@@ -1,0 +1,185 @@
+// Tests for the dataflow runtime: dependency semantics, stress
+// equivalence with serial execution, exceptions, profiling.
+#include <gtest/gtest.h>
+
+#include <atomic>
+
+#include "common/status.hpp"
+#include <numeric>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "runtime/runtime.hpp"
+
+namespace kgwas {
+namespace {
+
+TEST(Runtime, ReadAfterWriteOrdering) {
+  Runtime rt(4);
+  DataHandle h = rt.register_data("x");
+  int value = 0;
+  rt.submit("write", {{h, Access::kWrite}}, [&] { value = 42; });
+  int seen = -1;
+  rt.submit("read", {{h, Access::kRead}}, [&] { seen = value; });
+  rt.wait();
+  EXPECT_EQ(seen, 42);
+}
+
+TEST(Runtime, WriteAfterReadOrdering) {
+  Runtime rt(4);
+  DataHandle h = rt.register_data("x");
+  std::atomic<int> stage{0};
+  std::vector<int> read_saw(8, -1);
+  // Several readers of the initial value, then a writer: the writer must
+  // wait for every reader.
+  rt.submit("init", {{h, Access::kWrite}}, [&] { stage = 1; });
+  for (int r = 0; r < 8; ++r) {
+    rt.submit("read", {{h, Access::kRead}}, [&, r] { read_saw[r] = stage; });
+  }
+  rt.submit("overwrite", {{h, Access::kWrite}}, [&] { stage = 2; });
+  rt.wait();
+  for (int r = 0; r < 8; ++r) EXPECT_EQ(read_saw[r], 1);
+}
+
+TEST(Runtime, ConcurrentReadersShareAccess) {
+  Runtime rt(4);
+  DataHandle h = rt.register_data("shared");
+  std::atomic<int> count{0};
+  rt.submit("seed", {{h, Access::kWrite}}, [&] { count = 0; });
+  for (int r = 0; r < 32; ++r) {
+    rt.submit("read", {{h, Access::kRead}}, [&] { count.fetch_add(1); });
+  }
+  rt.wait();
+  EXPECT_EQ(count.load(), 32);
+}
+
+TEST(Runtime, IndependentHandlesRunUnordered) {
+  // No dependency between handles: all tasks must complete regardless.
+  Runtime rt(4);
+  std::atomic<int> done{0};
+  for (int i = 0; i < 100; ++i) {
+    DataHandle h = rt.register_data("h");
+    rt.submit("inc", {{h, Access::kWrite}}, [&] { done.fetch_add(1); });
+  }
+  rt.wait();
+  EXPECT_EQ(done.load(), 100);
+}
+
+TEST(Runtime, ExceptionPropagatesFromWait) {
+  Runtime rt(2);
+  DataHandle h = rt.register_data("x");
+  rt.submit("boom", {{h, Access::kWrite}},
+            [] { throw NumericalError("pivot failure", 3); });
+  EXPECT_THROW(rt.wait(), NumericalError);
+  // Runtime stays usable after a failure.
+  std::atomic<int> ok{0};
+  rt.submit("fine", {{h, Access::kWrite}}, [&] { ok = 1; });
+  rt.wait();
+  EXPECT_EQ(ok.load(), 1);
+}
+
+TEST(Runtime, SubmitFromInsideTask) {
+  Runtime rt(2);
+  DataHandle h = rt.register_data("x");
+  std::atomic<int> value{0};
+  rt.submit("outer", {{h, Access::kWrite}}, [&] {
+    value = 1;
+    rt.submit("inner", {{h, Access::kReadWrite}}, [&] { value.fetch_add(10); });
+  });
+  rt.wait();
+  EXPECT_EQ(value.load(), 11);
+}
+
+/// Stress test: a random chain program over K cells executed through the
+/// runtime must equal serial execution.  Each task reads some cells and
+/// overwrites one with a deterministic function of what it read.
+TEST(Runtime, RandomProgramMatchesSerialExecution) {
+  constexpr int kCells = 12;
+  constexpr int kTasks = 400;
+  Rng rng(77);
+
+  struct Op {
+    int target;
+    std::vector<int> sources;
+  };
+  std::vector<Op> program;
+  program.reserve(kTasks);
+  for (int t = 0; t < kTasks; ++t) {
+    Op op;
+    op.target = static_cast<int>(rng.uniform_index(kCells));
+    const int n_src = 1 + static_cast<int>(rng.uniform_index(3));
+    for (int s = 0; s < n_src; ++s) {
+      op.sources.push_back(static_cast<int>(rng.uniform_index(kCells)));
+    }
+    program.push_back(std::move(op));
+  }
+
+  auto apply = [](std::vector<long>& cells, const Op& op) {
+    long acc = 1;
+    for (int s : op.sources) acc = (acc * 31 + cells[s]) % 1000003;
+    cells[op.target] = acc;
+  };
+
+  // Serial reference.
+  std::vector<long> serial(kCells);
+  std::iota(serial.begin(), serial.end(), 1);
+  for (const Op& op : program) apply(serial, op);
+
+  // Runtime execution with 4 workers.
+  std::vector<long> cells(kCells);
+  std::iota(cells.begin(), cells.end(), 1);
+  Runtime rt(4);
+  std::vector<DataHandle> handles(kCells);
+  for (int c = 0; c < kCells; ++c) handles[c] = rt.register_data("cell");
+  for (const Op& op : program) {
+    std::vector<Dep> deps{{handles[op.target], Access::kReadWrite}};
+    for (int s : op.sources) deps.push_back({handles[s], Access::kRead});
+    rt.submit("op", std::move(deps), [&cells, &apply, &op] { apply(cells, op); });
+  }
+  rt.wait();
+  EXPECT_EQ(cells, serial);
+}
+
+TEST(Runtime, ProfilerRecordsSpans) {
+  Runtime rt(2, /*enable_profiling=*/true);
+  DataHandle h = rt.register_data("x");
+  for (int i = 0; i < 5; ++i) {
+    rt.submit("kernel_a", {{h, Access::kReadWrite}}, [] {});
+  }
+  rt.wait();
+  const auto stats = rt.profiler().stats();
+  ASSERT_TRUE(stats.count("kernel_a"));
+  EXPECT_EQ(stats.at("kernel_a").count, 5u);
+  EXPECT_GE(rt.profiler().makespan_seconds(), 0.0);
+  EXPECT_EQ(rt.profiler().spans().size(), 5u);
+}
+
+TEST(Runtime, DataMotionLedger) {
+  Runtime rt(1);
+  EXPECT_EQ(rt.data_motion_bytes(), 0u);
+  rt.account_data_motion(1024);
+  rt.account_data_motion(512);
+  EXPECT_EQ(rt.data_motion_bytes(), 1536u);
+}
+
+TEST(Runtime, UnregisteredHandleRejected) {
+  Runtime rt(1);
+  DataHandle bogus{9999};
+  EXPECT_THROW(rt.submit("bad", {{bogus, Access::kRead}}, [] {}),
+               InvalidArgument);
+}
+
+TEST(Runtime, WaitIsReentrant) {
+  Runtime rt(2);
+  rt.wait();  // empty graph
+  DataHandle h = rt.register_data("x");
+  std::atomic<int> n{0};
+  rt.submit("a", {{h, Access::kWrite}}, [&] { n.fetch_add(1); });
+  rt.wait();
+  rt.submit("b", {{h, Access::kWrite}}, [&] { n.fetch_add(1); });
+  rt.wait();
+  EXPECT_EQ(n.load(), 2);
+}
+
+}  // namespace
+}  // namespace kgwas

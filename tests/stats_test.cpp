@@ -1,0 +1,84 @@
+// Tests for the prediction metrics.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/status.hpp"
+#include "stats/metrics.hpp"
+
+namespace kgwas {
+namespace {
+
+TEST(Mspe, KnownValue) {
+  const std::vector<float> y{1.0f, 2.0f, 3.0f};
+  const std::vector<float> yhat{1.0f, 1.0f, 5.0f};
+  EXPECT_DOUBLE_EQ(mspe(y, yhat), (0.0 + 1.0 + 4.0) / 3.0);
+}
+
+TEST(Mspe, ZeroForPerfectPrediction) {
+  const std::vector<float> y{0.5f, -1.5f, 2.0f};
+  EXPECT_DOUBLE_EQ(mspe(y, y), 0.0);
+}
+
+TEST(Mspe, RejectsMismatchedSizes) {
+  const std::vector<float> a{1.0f}, b{1.0f, 2.0f};
+  EXPECT_THROW(mspe(a, b), InvalidArgument);
+}
+
+TEST(Pearson, PerfectAndInverse) {
+  const std::vector<float> y{1.0f, 2.0f, 3.0f, 4.0f};
+  const std::vector<float> pos{2.0f, 4.0f, 6.0f, 8.0f};
+  const std::vector<float> neg{8.0f, 6.0f, 4.0f, 2.0f};
+  EXPECT_NEAR(pearson(y, pos), 1.0, 1e-12);
+  EXPECT_NEAR(pearson(y, neg), -1.0, 1e-12);
+}
+
+TEST(Pearson, ShiftAndScaleInvariant) {
+  const std::vector<float> y{1.0f, 5.0f, 2.0f, 8.0f, 3.0f};
+  std::vector<float> t;
+  for (float v : y) t.push_back(3.5f * v - 100.0f);
+  EXPECT_NEAR(pearson(y, t), 1.0, 1e-6);
+}
+
+TEST(Pearson, ConstantInputGivesZero) {
+  const std::vector<float> y{1.0f, 2.0f, 3.0f};
+  const std::vector<float> c{5.0f, 5.0f, 5.0f};
+  EXPECT_DOUBLE_EQ(pearson(y, c), 0.0);
+}
+
+TEST(RSquared, KnownValue) {
+  const std::vector<float> y{1.0f, 2.0f, 3.0f};
+  const std::vector<float> mean_pred{2.0f, 2.0f, 2.0f};
+  EXPECT_DOUBLE_EQ(r_squared(y, mean_pred), 0.0);  // mean predictor: R^2 = 0
+  EXPECT_DOUBLE_EQ(r_squared(y, y), 1.0);
+}
+
+TEST(Auc, PerfectSeparation) {
+  const std::vector<float> labels{0.0f, 0.0f, 1.0f, 1.0f};
+  const std::vector<float> scores{0.1f, 0.2f, 0.8f, 0.9f};
+  EXPECT_DOUBLE_EQ(auc(labels, scores), 1.0);
+}
+
+TEST(Auc, RandomScoresGiveHalfWithTies) {
+  const std::vector<float> labels{0.0f, 1.0f, 0.0f, 1.0f};
+  const std::vector<float> scores{0.5f, 0.5f, 0.5f, 0.5f};
+  EXPECT_DOUBLE_EQ(auc(labels, scores), 0.5);
+}
+
+TEST(Auc, KnownMixedCase) {
+  // labels:  1 0 1 0; scores ranked 0.9 > 0.7 > 0.4 > 0.2
+  // pairs: (1@0.9 vs 0@0.7: win), (1@0.9 vs 0@0.2: win),
+  //        (1@0.4 vs 0@0.7: loss), (1@0.4 vs 0@0.2: win) -> 3/4.
+  const std::vector<float> labels{1.0f, 0.0f, 1.0f, 0.0f};
+  const std::vector<float> scores{0.9f, 0.7f, 0.4f, 0.2f};
+  EXPECT_DOUBLE_EQ(auc(labels, scores), 0.75);
+}
+
+TEST(Auc, SingleClassReturnsHalf) {
+  const std::vector<float> labels{1.0f, 1.0f};
+  const std::vector<float> scores{0.3f, 0.9f};
+  EXPECT_DOUBLE_EQ(auc(labels, scores), 0.5);
+}
+
+}  // namespace
+}  // namespace kgwas

@@ -1,0 +1,190 @@
+// Tests for tiles, tile matrices and precision maps.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.hpp"
+#include "precision/convert.hpp"
+#include "tile/precision_map.hpp"
+#include "tile/tile.hpp"
+#include "tile/tile_matrix.hpp"
+
+namespace kgwas {
+namespace {
+
+Matrix<float> random_values(std::size_t m, std::size_t n, Rng& rng,
+                            float scale = 1.0f) {
+  Matrix<float> a(m, n);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    a.data()[i] = scale * static_cast<float>(rng.normal());
+  }
+  return a;
+}
+
+TEST(Tile, Fp32RoundTripIsExact) {
+  Rng rng(1);
+  Tile tile(7, 5, Precision::kFp32);
+  const Matrix<float> values = random_values(7, 5, rng);
+  tile.from_fp32(values);
+  const Matrix<float> back = tile.to_fp32();
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    EXPECT_EQ(values.data()[i], back.data()[i]);
+  }
+}
+
+class TileQuantizeParam : public ::testing::TestWithParam<Precision> {};
+
+TEST_P(TileQuantizeParam, StorageMatchesScalarQuantization) {
+  const Precision p = GetParam();
+  Rng rng(2);
+  Tile tile(9, 4, p);
+  const Matrix<float> values = random_values(9, 4, rng);
+  tile.from_fp32(values);
+  EXPECT_EQ(tile.storage_bytes(), 9 * 4 * bytes_per_element(p));
+  const Matrix<float> back = tile.to_fp32();
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    EXPECT_EQ(back.data()[i],
+              static_cast<float>(quantize(p, values.data()[i])));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Narrow, TileQuantizeParam,
+    ::testing::Values(Precision::kFp16, Precision::kBf16, Precision::kFp8E4M3,
+                      Precision::kFp8E5M2, Precision::kInt8),
+    [](const auto& info) { return to_string(info.param); });
+
+TEST(Tile, ConvertToShrinksFootprintAndPreservesQuantizedValues) {
+  Rng rng(3);
+  Tile tile(16, 16, Precision::kFp32);
+  const Matrix<float> values = random_values(16, 16, rng, 0.5f);
+  tile.from_fp32(values);
+  const std::size_t fp32_bytes = tile.storage_bytes();
+  tile.convert_to(Precision::kFp8E4M3);
+  EXPECT_EQ(tile.storage_bytes(), fp32_bytes / 4);
+  const Matrix<float> back = tile.to_fp32();
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    EXPECT_EQ(back.data()[i], static_cast<float>(quantize(
+                                  Precision::kFp8E4M3, values.data()[i])));
+  }
+  // Converting back up is lossless from the narrow values.
+  tile.convert_to(Precision::kFp32);
+  const Matrix<float> again = tile.to_fp32();
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    EXPECT_EQ(again.data()[i], back.data()[i]);
+  }
+}
+
+TEST(Tile, NormsMatchDense) {
+  Rng rng(4);
+  Tile tile(6, 6, Precision::kFp32);
+  const Matrix<float> values = random_values(6, 6, rng);
+  tile.from_fp32(values);
+  double expected_sq = 0.0;
+  double expected_max = 0.0;
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    expected_sq += static_cast<double>(values.data()[i]) * values.data()[i];
+    expected_max = std::max(expected_max,
+                            std::fabs(static_cast<double>(values.data()[i])));
+  }
+  EXPECT_NEAR(tile.frobenius_norm(), std::sqrt(expected_sq), 1e-6);
+  EXPECT_NEAR(tile.max_abs(), expected_max, 1e-7);
+}
+
+TEST(Tile, EncodeFromStridedSource) {
+  Matrix<float> big(10, 10, 0.0f);
+  for (std::size_t j = 0; j < 10; ++j) {
+    for (std::size_t i = 0; i < 10; ++i) {
+      big(i, j) = static_cast<float>(i + 100 * j);
+    }
+  }
+  Tile tile(3, 4, Precision::kFp32);
+  tile.encode_from(big.block(2, 5), big.ld());
+  const Matrix<float> back = tile.to_fp32();
+  for (std::size_t j = 0; j < 4; ++j) {
+    for (std::size_t i = 0; i < 3; ++i) {
+      EXPECT_EQ(back(i, j), big(2 + i, 5 + j));
+    }
+  }
+}
+
+TEST(TileMatrix, FromToDenseRoundTripWithEdgeTiles) {
+  Rng rng(5);
+  const Matrix<float> dense = random_values(37, 23, rng);
+  TileMatrix tiles(37, 23, 8);
+  EXPECT_EQ(tiles.tile_rows(), 5u);
+  EXPECT_EQ(tiles.tile_cols(), 3u);
+  EXPECT_EQ(tiles.tile(4, 0).rows(), 5u);  // 37 = 4*8 + 5
+  EXPECT_EQ(tiles.tile(0, 2).cols(), 7u);  // 23 = 2*8 + 7
+  tiles.from_dense(dense);
+  const Matrix<float> back = tiles.to_dense();
+  for (std::size_t i = 0; i < dense.size(); ++i) {
+    EXPECT_EQ(dense.data()[i], back.data()[i]);
+  }
+}
+
+TEST(SymmetricTileMatrix, RoundTripAndMirror) {
+  Rng rng(6);
+  Matrix<float> dense = random_values(21, 21, rng);
+  // Symmetrize.
+  for (std::size_t j = 0; j < 21; ++j) {
+    for (std::size_t i = 0; i < j; ++i) dense(i, j) = dense(j, i);
+  }
+  SymmetricTileMatrix tiles(21, 6);
+  EXPECT_EQ(tiles.tile_count(), 4u);
+  tiles.from_dense(dense);
+  const Matrix<float> back = tiles.to_dense();
+  for (std::size_t i = 0; i < dense.size(); ++i) {
+    EXPECT_EQ(dense.data()[i], back.data()[i]);
+  }
+}
+
+TEST(SymmetricTileMatrix, UpperAccessRejected) {
+  SymmetricTileMatrix tiles(16, 4);
+  EXPECT_NO_THROW(tiles.tile(3, 1));
+  EXPECT_THROW(tiles.tile(1, 3), InvalidArgument);
+}
+
+TEST(SymmetricTileMatrix, StorageBytesTracksPrecision) {
+  SymmetricTileMatrix tiles(32, 8);  // 4x4 grid: 10 lower tiles of 8x8
+  EXPECT_EQ(tiles.storage_bytes(), 10u * 64u * 4u);
+  tiles.tile(3, 0).convert_to(Precision::kFp8E4M3);
+  EXPECT_EQ(tiles.storage_bytes(), 9u * 64u * 4u + 64u);
+}
+
+TEST(PrecisionMap, HistogramAndFractions) {
+  PrecisionMap map(4, Precision::kFp32);
+  map.set(1, 0, Precision::kFp16);
+  map.set(2, 0, Precision::kFp16);
+  map.set(3, 0, Precision::kFp8E4M3);
+  const auto hist = map.histogram();
+  EXPECT_EQ(hist.at(Precision::kFp32), 7u);  // 10 lower tiles total
+  EXPECT_EQ(hist.at(Precision::kFp16), 2u);
+  EXPECT_EQ(hist.at(Precision::kFp8E4M3), 1u);
+  EXPECT_DOUBLE_EQ(map.fraction(Precision::kFp16), 0.2);
+  // 6 off-diagonal tiles.
+  EXPECT_DOUBLE_EQ(map.off_diagonal_fraction(Precision::kFp16), 2.0 / 6.0);
+}
+
+TEST(PrecisionMap, ApplyConvertsTiles) {
+  SymmetricTileMatrix tiles(12, 4);
+  PrecisionMap map(3, Precision::kFp32);
+  map.set(2, 0, Precision::kFp16);
+  map.apply(tiles);
+  EXPECT_EQ(tiles.tile(2, 0).precision(), Precision::kFp16);
+  EXPECT_EQ(tiles.tile(1, 0).precision(), Precision::kFp32);
+}
+
+TEST(PrecisionMap, RenderShape) {
+  PrecisionMap map(3, Precision::kFp32);
+  map.set(2, 0, Precision::kFp8E4M3);
+  const std::string art = map.render();
+  // 3 rows of 3 chars + newlines.
+  EXPECT_EQ(art.size(), 12u);
+  EXPECT_EQ(art[0], '*');         // (0,0)
+  EXPECT_EQ(art[1], ' ');         // upper triangle blank
+  EXPECT_EQ(art[8], '.');         // (2,0) fp8 glyph
+}
+
+}  // namespace
+}  // namespace kgwas
