@@ -9,10 +9,12 @@
 #include "common/rng.hpp"
 #include "gwas/cohort_simulator.hpp"
 #include "krr/build.hpp"
+#include "linalg/tiled_cholesky.hpp"
 #include "precision/convert.hpp"
 #include "mpblas/blas.hpp"
 #include "mpblas/mixed.hpp"
 #include "runtime/runtime.hpp"
+#include "tile/tile_matrix.hpp"
 
 namespace kgwas {
 namespace {
@@ -113,6 +115,57 @@ void BM_KernelBuild(benchmark::State& state) {
                           static_cast<std::int64_t>(np * np * 256 / 2));
 }
 BENCHMARK(BM_KernelBuild)->Arg(256)->Arg(512);
+
+// Scheduler comparison: the full tiled POTRF DAG through the dataflow
+// runtime under the priority work-stealing scheduler vs the old global
+// FIFO queue.  Steal and queue-depth counters come from the runtime's
+// profiler; the acceptance bar is priority >= FIFO throughput.
+void BM_TiledPotrfSched(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto policy = static_cast<SchedulerPolicy>(state.range(1));
+  constexpr std::size_t kTileSize = 64;
+  constexpr std::size_t kWorkers = 8;
+
+  // Well-conditioned SPD input, rebuilt into tiles before every run
+  // (the factorization is in place).
+  Matrix<float> spd(n, n, 0.0f);
+  const Matrix<float> g = random_matrix(n, n, 11);
+  syrk(Uplo::kLower, Trans::kNoTrans, n, n, 1.0f, g.data(), n, 0.0f,
+       spd.data(), n);
+  for (std::size_t i = 0; i < n; ++i) {
+    spd(i, i) += static_cast<float>(n);
+    for (std::size_t j = i + 1; j < n; ++j) spd(i, j) = spd(j, i);
+  }
+
+  Runtime rt(kWorkers, /*enable_profiling=*/false, policy);
+  SymmetricTileMatrix tiled(n, kTileSize);
+  for (auto _ : state) {
+    state.PauseTiming();
+    tiled.from_dense(spd);
+    state.ResumeTiming();
+    tiled_potrf(rt, tiled);
+  }
+
+  const SchedulerStats sched = rt.profiler().scheduler_stats();
+  state.SetLabel(policy == SchedulerPolicy::kPriorityLifo ? "priority"
+                                                          : "fifo");
+  // Steal totals accumulate across the whole run; report per iteration so
+  // rows with different auto-chosen iteration counts stay comparable.
+  state.counters["steals"] =
+      benchmark::Counter(static_cast<double>(sched.tasks_stolen),
+                         benchmark::Counter::kAvgIterations);
+  state.counters["avg_queue_depth"] = sched.avg_queue_depth();
+  state.counters["max_queue_depth"] =
+      static_cast<double>(sched.max_queue_depth);
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n * n * n / 3));
+}
+BENCHMARK(BM_TiledPotrfSched)
+    ->Args({512, static_cast<long>(SchedulerPolicy::kPriorityLifo)})
+    ->Args({512, static_cast<long>(SchedulerPolicy::kFifo)})
+    ->Args({1024, static_cast<long>(SchedulerPolicy::kPriorityLifo)})
+    ->Args({1024, static_cast<long>(SchedulerPolicy::kFifo)})
+    ->UseRealTime();
 
 void BM_QuantizeRoundTrip(benchmark::State& state) {
   const auto precision = static_cast<Precision>(state.range(0));

@@ -1,36 +1,36 @@
-// Fixed-size worker pool.  This is the execution substrate underneath the
-// dataflow runtime (src/runtime): the runtime submits ready tasks here and
-// the pool runs them on its workers.  It is also usable directly for
-// embarrassingly parallel loops (parallel_for).
+// Fixed-size worker pool — a thin facade over the work-stealing
+// Scheduler (common/scheduler.hpp) kept for call sites that want plain
+// fork-join parallelism without priorities: submit(), wait_idle(), and
+// parallel_for().  The dataflow runtime (src/runtime) talks to the
+// Scheduler directly so it can attach task priorities.
 #pragma once
 
-#include <condition_variable>
 #include <cstddef>
-#include <deque>
 #include <functional>
-#include <mutex>
-#include <thread>
-#include <vector>
+
+#include "common/scheduler.hpp"
 
 namespace kgwas {
 
 class ThreadPool {
  public:
   /// Creates `num_threads` workers; 0 means std::thread::hardware_concurrency().
-  explicit ThreadPool(std::size_t num_threads = 0);
-  ~ThreadPool();
+  explicit ThreadPool(std::size_t num_threads = 0)
+      : scheduler_(num_threads) {}
 
   ThreadPool(const ThreadPool&) = delete;
   ThreadPool& operator=(const ThreadPool&) = delete;
 
   /// Enqueues a job; runs as soon as a worker is free.
-  void submit(std::function<void()> job);
+  void submit(std::function<void()> job) {
+    scheduler_.submit(std::move(job));
+  }
 
   /// Blocks until every submitted job (including jobs submitted by jobs)
   /// has completed.
-  void wait_idle();
+  void wait_idle() { scheduler_.wait_idle(); }
 
-  std::size_t size() const noexcept { return workers_.size(); }
+  std::size_t size() const noexcept { return scheduler_.workers(); }
 
   /// Splits [begin, end) into chunks and runs `body(i)` for each index in
   /// parallel.  Blocks until done.  Exceptions from the body are rethrown
@@ -39,15 +39,7 @@ class ThreadPool {
                     const std::function<void(std::size_t)>& body);
 
  private:
-  void worker_loop();
-
-  std::vector<std::thread> workers_;
-  std::deque<std::function<void()>> queue_;
-  std::mutex mutex_;
-  std::condition_variable work_available_;
-  std::condition_variable idle_;
-  std::size_t in_flight_ = 0;
-  bool stopping_ = false;
+  Scheduler scheduler_;
 };
 
 /// Process-wide shared pool (lazily created, sized to hardware concurrency).

@@ -159,12 +159,18 @@ SymmetricTileMatrix build_kernel_matrix(Runtime& runtime,
   const std::size_t nt = k.tile_count();
   for (std::size_t tj = 0; tj < nt; ++tj) {
     for (std::size_t ti = tj; ti < nt; ++ti) {
-      DataHandle h = runtime.register_data("K");
+      DataHandle h = runtime.register_data();
+      // Tiles are independent, but the factorization that typically
+      // follows consumes panel columns left to right with the diagonal
+      // first — generate them in that order.
+      const int priority = (static_cast<int>(nt - tj) << 1) +
+                           (ti == tj ? 1 : 0);
       runtime.submit("build_k", {{h, Access::kWrite}},
                      [&inputs, &k, ti, tj, ts = config.tile_size] {
                        compute_kernel_tile(inputs, ti * ts, tj * ts,
                                            k.tile(ti, tj));
-                     });
+                     },
+                     SubmitOptions{priority});
     }
   }
   runtime.wait();
@@ -201,8 +207,11 @@ TileMatrix build_cross_kernel(Runtime& runtime,
 
   for (std::size_t tj = 0; tj < k.tile_cols(); ++tj) {
     for (std::size_t ti = 0; ti < k.tile_rows(); ++ti) {
-      DataHandle h = runtime.register_data("Kx");
-      runtime.submit("build_kx", {{h, Access::kWrite}},
+      DataHandle h = runtime.register_data();
+      // Earlier tile columns feed the prediction row chains first.
+      runtime.submit(TaskDesc{"build_kx",
+                              {{h, Access::kWrite}},
+                              static_cast<int>(k.tile_cols() - tj)},
                      [&inputs, &k, ti, tj, ts = config.tile_size] {
                        compute_kernel_tile(inputs, ti * ts, tj * ts,
                                            k.tile(ti, tj));

@@ -21,12 +21,17 @@ Matrix<float> predict_from_cross_kernel(Runtime& runtime,
   // into it sequentially (runtime serializes via the ReadWrite chain).
   std::vector<DataHandle> handles(cross_kernel.tile_rows());
   for (std::size_t ti = 0; ti < cross_kernel.tile_rows(); ++ti) {
-    handles[ti] = runtime.register_data("Pr(" + std::to_string(ti) + ")");
+    handles[ti] = runtime.register_data();
   }
   for (std::size_t ti = 0; ti < cross_kernel.tile_rows(); ++ti) {
     for (std::size_t tj = 0; tj < cross_kernel.tile_cols(); ++tj) {
+      // Each row block is a serial accumulation chain; prioritize the next
+      // link of every chain over starting new trailing links so finished
+      // row blocks retire early instead of all chains crawling in step.
       runtime.submit(
-          "predict_gemm", {{handles[ti], Access::kReadWrite}},
+          TaskDesc{"predict_gemm",
+                   {{handles[ti], Access::kReadWrite}},
+                   static_cast<int>(cross_kernel.tile_cols() - tj)},
           [&cross_kernel, &weights, &predictions, ti, tj, ts, nrhs] {
             const Tile& tile = cross_kernel.tile(ti, tj);
             const Matrix<float> values = tile.to_fp32();

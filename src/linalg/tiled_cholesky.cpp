@@ -11,17 +11,14 @@ namespace kgwas {
 namespace {
 
 /// One runtime data handle per lower tile of a symmetric tile matrix.
+/// Handles are registered anonymously: building "A(i,j)" strings per tile
+/// put O(nt^2) allocations on the hot path for zero benefit (traces key on
+/// task names, not handle names).
 class TileHandles {
  public:
-  TileHandles(Runtime& runtime, std::size_t nt, const char* prefix)
+  TileHandles(Runtime& runtime, std::size_t nt)
       : nt_(nt), handles_(nt * (nt + 1) / 2) {
-    for (std::size_t tj = 0; tj < nt; ++tj) {
-      for (std::size_t ti = tj; ti < nt; ++ti) {
-        handles_[index(ti, tj)] = runtime.register_data(
-            std::string(prefix) + "(" + std::to_string(ti) + "," +
-            std::to_string(tj) + ")");
-      }
-    }
+    for (DataHandle& h : handles_) h = runtime.register_data();
   }
 
   DataHandle operator()(std::size_t ti, std::size_t tj) const {
@@ -37,33 +34,52 @@ class TileHandles {
   std::vector<DataHandle> handles_;
 };
 
+// Critical-path priorities for the right-looking factorization, the
+// standard PaRSEC/DPLASMA hint structure: panel k outranks panel k+1, and
+// within a panel POTRF > TRSM > SYRK > GEMM.  Encoded as
+// (panels-remaining << 2) | kind so the orderings nest without collisions.
+enum PanelKind : int { kGemmPrio = 0, kSyrkPrio = 1, kTrsmPrio = 2, kPotrfPrio = 3 };
+
+inline int panel_priority(int base, std::size_t nt, std::size_t k,
+                          PanelKind kind) {
+  return base + (static_cast<int>(nt - k) << 2) + static_cast<int>(kind);
+}
+
 }  // namespace
 
-void tiled_potrf(Runtime& runtime, SymmetricTileMatrix& a) {
+void tiled_potrf(Runtime& runtime, SymmetricTileMatrix& a,
+                 int base_priority) {
   const std::size_t nt = a.tile_count();
   if (nt == 0) return;
-  TileHandles h(runtime, nt, "A");
+  TileHandles h(runtime, nt);
   runtime.account_data_motion(tiled_potrf_data_motion_bytes(a));
 
   const std::size_t ts = a.tile_size();
   for (std::size_t k = 0; k < nt; ++k) {
-    runtime.submit("potrf", {{h(k, k), Access::kReadWrite}},
+    runtime.submit(TaskDesc{"potrf",
+                            {{h(k, k), Access::kReadWrite}},
+                            panel_priority(base_priority, nt, k, kPotrfPrio)},
                    [&a, k, ts] { tile_potrf(a.tile(k, k), k * ts); });
     for (std::size_t i = k + 1; i < nt; ++i) {
-      runtime.submit("trsm",
-                     {{h(k, k), Access::kRead}, {h(i, k), Access::kReadWrite}},
+      runtime.submit(TaskDesc{"trsm",
+                              {{h(k, k), Access::kRead},
+                               {h(i, k), Access::kReadWrite}},
+                              panel_priority(base_priority, nt, k, kTrsmPrio)},
                      [&a, i, k] { tile_trsm(a.tile(k, k), a.tile(i, k)); });
     }
     for (std::size_t j = k + 1; j < nt; ++j) {
-      runtime.submit("syrk",
-                     {{h(j, k), Access::kRead}, {h(j, j), Access::kReadWrite}},
+      runtime.submit(TaskDesc{"syrk",
+                              {{h(j, k), Access::kRead},
+                               {h(j, j), Access::kReadWrite}},
+                              panel_priority(base_priority, nt, k, kSyrkPrio)},
                      [&a, j, k] { tile_syrk(a.tile(j, k), a.tile(j, j)); });
       for (std::size_t i = j + 1; i < nt; ++i) {
         runtime.submit(
-            "gemm",
-            {{h(i, k), Access::kRead},
-             {h(j, k), Access::kRead},
-             {h(i, j), Access::kReadWrite}},
+            TaskDesc{"gemm",
+                     {{h(i, k), Access::kRead},
+                      {h(j, k), Access::kRead},
+                      {h(i, j), Access::kReadWrite}},
+                     panel_priority(base_priority, nt, k, kGemmPrio)},
             [&a, i, j, k] { tile_gemm(a.tile(i, k), a.tile(j, k), a.tile(i, j)); });
       }
     }
@@ -72,7 +88,7 @@ void tiled_potrf(Runtime& runtime, SymmetricTileMatrix& a) {
 }
 
 void tiled_potrs(Runtime& runtime, const SymmetricTileMatrix& l,
-                 Matrix<float>& b) {
+                 Matrix<float>& b, int base_priority) {
   const std::size_t nt = l.tile_count();
   KGWAS_CHECK_ARG(b.rows() == l.n(), "solve RHS row count mismatch");
   if (nt == 0 || b.cols() == 0) return;
@@ -81,22 +97,29 @@ void tiled_potrs(Runtime& runtime, const SymmetricTileMatrix& l,
 
   // One handle per RHS row block.
   std::vector<DataHandle> xh(nt);
-  for (std::size_t t = 0; t < nt; ++t) {
-    xh[t] = runtime.register_data("X(" + std::to_string(t) + ")");
-  }
+  for (std::size_t t = 0; t < nt; ++t) xh[t] = runtime.register_data();
   auto block = [&](std::size_t t) { return b.data() + t * ts; };
   const std::size_t ldb = b.ld();
 
+  // The diagonal TRSM at step k unblocks the whole remaining sweep, so it
+  // outranks that step's update GEMMs; earlier steps outrank later ones
+  // (forward sweep) and vice versa for the backward sweep.
   // Forward sweep: L * Y = B.
   for (std::size_t k = 0; k < nt; ++k) {
-    runtime.submit("trsm_fwd", {{xh[k], Access::kReadWrite}},
+    runtime.submit(TaskDesc{"trsm_fwd",
+                            {{xh[k], Access::kReadWrite}},
+                            base_priority +
+                                (static_cast<int>(nt - k) << 1) + 1},
                    [&l, &block, k, ldb, nrhs] {
                      tile_trsm_rhs(l.tile(k, k), /*transpose=*/false, block(k),
                                    ldb, nrhs);
                    });
     for (std::size_t i = k + 1; i < nt; ++i) {
-      runtime.submit("gemm_fwd",
-                     {{xh[k], Access::kRead}, {xh[i], Access::kReadWrite}},
+      runtime.submit(TaskDesc{"gemm_fwd",
+                              {{xh[k], Access::kRead},
+                               {xh[i], Access::kReadWrite}},
+                              base_priority +
+                                  (static_cast<int>(nt - k) << 1)},
                      [&l, &block, i, k, ldb, nrhs] {
                        tile_gemm_rhs(l.tile(i, k), /*transpose=*/false,
                                      block(k), ldb, block(i), ldb, nrhs);
@@ -105,15 +128,19 @@ void tiled_potrs(Runtime& runtime, const SymmetricTileMatrix& l,
   }
   // Backward sweep: L^T * X = Y.
   for (std::size_t k = nt; k-- > 0;) {
-    runtime.submit("trsm_bwd", {{xh[k], Access::kReadWrite}},
+    runtime.submit(TaskDesc{"trsm_bwd",
+                            {{xh[k], Access::kReadWrite}},
+                            base_priority + (static_cast<int>(k + 1) << 1) + 1},
                    [&l, &block, k, ldb, nrhs] {
                      tile_trsm_rhs(l.tile(k, k), /*transpose=*/true, block(k),
                                    ldb, nrhs);
                    });
     for (std::size_t i = k; i-- > 0;) {
       // X_i -= L(k,i)^T X_k  (lower storage: tile (k, i) with k > i).
-      runtime.submit("gemm_bwd",
-                     {{xh[k], Access::kRead}, {xh[i], Access::kReadWrite}},
+      runtime.submit(TaskDesc{"gemm_bwd",
+                              {{xh[k], Access::kRead},
+                               {xh[i], Access::kReadWrite}},
+                              base_priority + (static_cast<int>(k + 1) << 1)},
                      [&l, &block, i, k, ldb, nrhs] {
                        tile_gemm_rhs(l.tile(k, i), /*transpose=*/true,
                                      block(k), ldb, block(i), ldb, nrhs);

@@ -23,12 +23,20 @@ namespace kgwas {
 
 /// Factorizes A = L * L^T in place (lower tiles).  Tiles keep their
 /// current storage precision.  Throws NumericalError when a pivot fails.
-void tiled_potrf(Runtime& runtime, SymmetricTileMatrix& a);
+///
+/// Tasks carry DPLASMA-style critical-path priorities on top of
+/// `base_priority`: earlier panels outrank later ones and, within a panel,
+/// POTRF > TRSM > SYRK > GEMM, so the factorization front advances before
+/// trailing updates when the scheduler has a choice.
+void tiled_potrf(Runtime& runtime, SymmetricTileMatrix& a,
+                 int base_priority = 0);
 
 /// Solves L * L^T * X = B in place over the FP32 right-hand sides B
-/// (n x nrhs).  `l` holds the factor from tiled_potrf.
+/// (n x nrhs).  `l` holds the factor from tiled_potrf.  `base_priority`
+/// lifts the whole solve above concurrent work (iterative refinement uses
+/// this for its latency-critical correction solves).
 void tiled_potrs(Runtime& runtime, const SymmetricTileMatrix& l,
-                 Matrix<float>& b);
+                 Matrix<float>& b, int base_priority = 0);
 
 /// Convenience: factor + solve.
 void tiled_posv(Runtime& runtime, SymmetricTileMatrix& a, Matrix<float>& b);

@@ -1,8 +1,41 @@
 #include "runtime/profiler.hpp"
 
 #include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <limits>
+
+#include "common/status.hpp"
 
 namespace kgwas {
+
+namespace {
+
+/// Minimal JSON string escaping (quotes, backslashes, control chars).
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace
 
 void Profiler::record(TaskSpan span) {
   if (!enabled_) return;
@@ -27,6 +60,18 @@ std::map<std::string, TaskStats> Profiler::stats() const {
   return out;
 }
 
+std::map<int, WorkerSpanStats> Profiler::worker_stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::map<int, WorkerSpanStats> out;
+  for (const auto& span : spans_) {
+    auto& entry = out[span.worker];
+    ++entry.tasks;
+    entry.busy_seconds +=
+        static_cast<double>(span.end_ns - span.start_ns) * 1e-9;
+  }
+  return out;
+}
+
 double Profiler::makespan_seconds() const {
   std::lock_guard<std::mutex> lock(mutex_);
   if (spans_.empty()) return 0.0;
@@ -39,9 +84,82 @@ double Profiler::makespan_seconds() const {
   return static_cast<double>(hi - lo) * 1e-9;
 }
 
+double Profiler::parallel_efficiency(std::size_t workers) const {
+  const double makespan = makespan_seconds();
+  if (workers == 0 || makespan <= 0.0) return 0.0;
+  double busy = 0.0;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (const auto& span : spans_) {
+      busy += static_cast<double>(span.end_ns - span.start_ns) * 1e-9;
+    }
+  }
+  return busy / (static_cast<double>(workers) * makespan);
+}
+
+void Profiler::set_scheduler_stats(SchedulerStats stats) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  scheduler_stats_ = std::move(stats);
+}
+
+SchedulerStats Profiler::scheduler_stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return scheduler_stats_;
+}
+
+void Profiler::write_trace(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) throw Error("cannot open trace file: " + path);
+
+  std::vector<TaskSpan> spans;
+  SchedulerStats sched;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    spans = spans_;
+    sched = scheduler_stats_;
+  }
+  // Rebase timestamps so the trace starts near zero; chrome://tracing uses
+  // microseconds.
+  std::uint64_t t0 = 0;
+  if (!spans.empty()) {
+    t0 = spans.front().start_ns;
+    for (const auto& span : spans) t0 = std::min(t0, span.start_ns);
+  }
+
+  // Full double precision: default 6-sig-digit formatting quantizes
+  // microsecond timestamps to ~100us once a trace spans seconds.
+  out.precision(std::numeric_limits<double>::max_digits10);
+  out << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  bool first = true;
+  for (std::size_t w = 0; w < sched.workers.size(); ++w) {
+    if (!first) out << ",";
+    first = false;
+    out << "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":0,\"tid\":" << w
+        << ",\"args\":{\"name\":\"worker " << w
+        << " (stolen " << sched.workers[w].stolen << ")\"}}";
+  }
+  for (const auto& span : spans) {
+    if (!first) out << ",";
+    first = false;
+    const double ts = static_cast<double>(span.start_ns - t0) * 1e-3;
+    const double dur = static_cast<double>(span.end_ns - span.start_ns) * 1e-3;
+    out << "{\"name\":\"" << json_escape(span.name)
+        << "\",\"cat\":\"task\",\"ph\":\"X\",\"pid\":0,\"tid\":" << span.worker
+        << ",\"ts\":" << ts << ",\"dur\":" << dur << "}";
+  }
+  out << "],\"otherData\":{"
+      << "\"tasks_executed\":" << sched.tasks_executed
+      << ",\"tasks_stolen\":" << sched.tasks_stolen
+      << ",\"steal_attempts\":" << sched.steal_attempts
+      << ",\"avg_queue_depth\":" << sched.avg_queue_depth()
+      << ",\"max_queue_depth\":" << sched.max_queue_depth << "}}\n";
+  if (!out.good()) throw Error("failed writing trace file: " + path);
+}
+
 void Profiler::clear() {
   std::lock_guard<std::mutex> lock(mutex_);
   spans_.clear();
+  scheduler_stats_ = SchedulerStats{};
 }
 
 }  // namespace kgwas

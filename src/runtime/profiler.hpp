@@ -1,7 +1,9 @@
 // Lightweight task profiler: records one span per executed task and
-// aggregates totals per task name.  The benchmark harness uses the
-// aggregate view to break runs down into Build / Associate / Predict the
-// way the paper's Fig. 14 does.
+// aggregates totals per task name and per worker.  The benchmark harness
+// uses the aggregate view to break runs down into Build / Associate /
+// Predict the way the paper's Fig. 14 does, and the scheduler-efficiency
+// reports use the per-worker view plus the steal/queue-depth counters the
+// runtime snapshots from its Scheduler.
 #pragma once
 
 #include <cstdint>
@@ -9,6 +11,8 @@
 #include <mutex>
 #include <string>
 #include <vector>
+
+#include "common/scheduler.hpp"
 
 namespace kgwas {
 
@@ -24,6 +28,12 @@ struct TaskStats {
   double total_seconds = 0.0;
 };
 
+/// Per-worker aggregation of the recorded spans.
+struct WorkerSpanStats {
+  std::uint64_t tasks = 0;
+  double busy_seconds = 0.0;
+};
+
 class Profiler {
  public:
   explicit Profiler(bool enabled = false) : enabled_(enabled) {}
@@ -37,8 +47,24 @@ class Profiler {
   std::vector<TaskSpan> spans() const;
   /// Aggregated duration/count per task name.
   std::map<std::string, TaskStats> stats() const;
+  /// Aggregated duration/count per worker id.
+  std::map<int, WorkerSpanStats> worker_stats() const;
   /// Wall-clock span covered by the trace in seconds (0 when empty).
   double makespan_seconds() const;
+  /// Sum of busy time over `workers` divided by workers * makespan —
+  /// 1.0 means every worker was busy for the whole trace.
+  double parallel_efficiency(std::size_t workers) const;
+
+  /// Scheduler counters (steals, queue depths) snapshotted by the runtime
+  /// at every wait(); recorded regardless of span profiling so steal and
+  /// priority counters are always visible.
+  void set_scheduler_stats(SchedulerStats stats);
+  SchedulerStats scheduler_stats() const;
+
+  /// Writes the spans as a chrome://tracing / Perfetto "traceEvents" JSON
+  /// file; one track per worker.  Throws kgwas::Error when the file
+  /// cannot be written.
+  void write_trace(const std::string& path) const;
 
   void clear();
 
@@ -46,6 +72,7 @@ class Profiler {
   bool enabled_;
   mutable std::mutex mutex_;
   std::vector<TaskSpan> spans_;
+  SchedulerStats scheduler_stats_;
 };
 
 }  // namespace kgwas

@@ -8,20 +8,11 @@
 
 namespace kgwas {
 
-namespace {
-thread_local int t_worker_id = -1;
-std::atomic<int> g_worker_counter{0};
-
-int worker_id() {
-  if (t_worker_id < 0) t_worker_id = g_worker_counter.fetch_add(1);
-  return t_worker_id;
-}
-}  // namespace
-
 struct Runtime::TaskNode {
   std::uint64_t id = 0;
   std::string name;
   std::function<void()> fn;
+  int priority = 0;
   std::atomic<std::uint64_t> remaining_deps{0};
   std::vector<TaskNode*> successors;
   // Guards `successors` and `finished` during graph construction races.
@@ -37,8 +28,9 @@ struct Runtime::HandleState {
   std::vector<TaskNode*> readers_since_write;
 };
 
-Runtime::Runtime(std::size_t workers, bool enable_profiling)
-    : pool_(workers), profiler_(enable_profiling),
+Runtime::Runtime(std::size_t workers, bool enable_profiling,
+                 SchedulerPolicy policy)
+    : scheduler_(workers, policy), profiler_(enable_profiling),
       profiling_enabled_(enable_profiling) {}
 
 Runtime::~Runtime() {
@@ -48,6 +40,11 @@ Runtime::~Runtime() {
   } catch (...) {
     // Destructor must not throw; errors were already visible via wait().
   }
+}
+
+DataHandle Runtime::register_data() {
+  // An empty name fits in SSO storage, so this stays O(1) allocations.
+  return register_data(std::string{});
 }
 
 DataHandle Runtime::register_data(std::string name) {
@@ -63,9 +60,20 @@ DataHandle Runtime::register_data(std::string name) {
 
 void Runtime::submit(std::string name, std::vector<Dep> deps,
                      std::function<void()> fn) {
+  submit(TaskDesc{std::move(name), std::move(deps), 0}, std::move(fn));
+}
+
+void Runtime::submit(std::string name, std::vector<Dep> deps,
+                     std::function<void()> fn, SubmitOptions options) {
+  submit(TaskDesc{std::move(name), std::move(deps), options.priority},
+         std::move(fn));
+}
+
+void Runtime::submit(TaskDesc desc, std::function<void()> fn) {
   auto node = std::make_unique<TaskNode>();
-  node->name = std::move(name);
+  node->name = std::move(desc.name);
   node->fn = std::move(fn);
+  node->priority = desc.priority;
   // Sentinel dependency held by this submit() call itself: the task cannot
   // fire until every edge below has been wired.
   node->remaining_deps.store(1);
@@ -78,13 +86,13 @@ void Runtime::submit(std::string name, std::vector<Dep> deps,
     // Validate every handle before mutating any tracking state, so a bad
     // dependency leaves the runtime fully consistent (and the destructor's
     // wait() is not poisoned by a phantom pending task).
-    for (const Dep& dep : deps) {
+    for (const Dep& dep : desc.deps) {
       KGWAS_CHECK_ARG(handles_.count(dep.handle.id) != 0,
                       "task depends on an unregistered data handle");
     }
     node->id = next_task_id_.fetch_add(1) + 1;
     pending_tasks_.fetch_add(1);
-    for (const Dep& dep : deps) {
+    for (const Dep& dep : desc.deps) {
       HandleState& hs = *handles_.at(dep.handle.id);
       const bool reads = dep.access != Access::kWrite;
       const bool writes = dep.access != Access::kRead;
@@ -132,7 +140,7 @@ void Runtime::submit(std::string name, std::vector<Dep> deps,
 }
 
 void Runtime::enqueue_ready(TaskNode* node) {
-  pool_.submit([this, node] { run_task(node); });
+  scheduler_.submit([this, node] { run_task(node); }, node->priority);
 }
 
 void Runtime::run_task(TaskNode* node) {
@@ -145,7 +153,8 @@ void Runtime::run_task(TaskNode* node) {
   }
   const std::uint64_t end = Timer::now_ns();
   if (profiling_enabled_) {
-    profiler_.record(TaskSpan{node->name, start, end, worker_id()});
+    profiler_.record(TaskSpan{node->name, start, end,
+                              scheduler_.current_worker()});
   }
   release_successors(node);
 
@@ -167,6 +176,8 @@ void Runtime::release_successors(TaskNode* node) {
     }
     node->successors.clear();
   }
+  // No ordering needed here: the scheduler's priority buckets decide
+  // which ready task a worker pops, regardless of push order.
   for (TaskNode* succ : ready) enqueue_ready(succ);
 }
 
@@ -187,12 +198,20 @@ void Runtime::wait() {
       }
     }
   }
+  // Steal/priority counters are part of every drain, independent of span
+  // profiling, so benches can always read scheduler efficiency.
+  profiler_.set_scheduler_stats(scheduler_.stats());
   std::lock_guard<std::mutex> lock(error_mutex_);
   if (first_error_) {
     auto error = first_error_;
     first_error_ = nullptr;
     std::rethrow_exception(error);
   }
+}
+
+void Runtime::reset_profiling() {
+  profiler_.clear();
+  scheduler_.reset_stats();
 }
 
 void Runtime::account_data_motion(std::size_t bytes) noexcept {

@@ -7,16 +7,21 @@
 // shared-memory node:
 //
 //  * `DataHandle` names a logical datum (a tile, a vector, ...).
-//  * `submit(name, {{handle, access}...}, fn)` registers a task.  The
-//    runtime infers dependencies from access modes with the usual
-//    superscalar rules — a reader waits for the last writer, a writer
-//    waits for the last writer and every reader since — which yields the
-//    identical DAG a dataflow description would for our algorithms.
-//  * Ready tasks execute on a worker pool; completions release successors.
-//  * The `Profiler` records per-task spans (for trace dumps) and the
-//    runtime exposes a data-motion counter the tiled algorithms use to
-//    account bytes moved per precision (the paper's data-motion argument
-//    for mixed precision).
+//  * `submit(desc, fn)` registers a task.  The runtime infers dependencies
+//    from access modes with the usual superscalar rules — a reader waits
+//    for the last writer, a writer waits for the last writer and every
+//    reader since — which yields the identical DAG a dataflow description
+//    would for our algorithms.
+//  * Ready tasks execute on a priority-aware work-stealing Scheduler
+//    (common/scheduler.hpp).  A task's integer priority (higher first)
+//    decides which ready task a worker picks next; the tiled solvers use
+//    this to keep the Cholesky critical path (panel POTRF/TRSM) ahead of
+//    trailing-update GEMMs, the way PaRSEC's priority hints do.
+//  * Completions release successors.  The `Profiler` records per-task
+//    spans (for trace dumps) plus the scheduler's steal and queue-depth
+//    counters, and the runtime exposes a data-motion counter the tiled
+//    algorithms use to account bytes moved per precision (the paper's
+//    data-motion argument for mixed precision).
 //
 // Execution is fully asynchronous: `submit` never blocks and `wait()`
 // drains the graph.  Submitting from inside a task is allowed.
@@ -31,7 +36,7 @@
 #include <unordered_map>
 #include <vector>
 
-#include "common/thread_pool.hpp"
+#include "common/scheduler.hpp"
 #include "runtime/profiler.hpp"
 
 namespace kgwas {
@@ -51,25 +56,48 @@ struct Dep {
   Access access = Access::kRead;
 };
 
+/// Per-submission options.  Higher priority runs first among ready tasks.
+struct SubmitOptions {
+  int priority = 0;
+};
+
+/// Full task description: name (traces only), data dependencies, priority.
+struct TaskDesc {
+  std::string name;
+  std::vector<Dep> deps;
+  int priority = 0;
+};
+
 class Runtime {
  public:
-  /// `workers` = 0 selects hardware concurrency.
-  explicit Runtime(std::size_t workers = 0, bool enable_profiling = false);
+  /// `workers` = 0 selects hardware concurrency.  `policy` selects the
+  /// scheduler flavor; kFifo reproduces the old single-queue pool and is
+  /// kept as the benchmarking baseline.
+  explicit Runtime(std::size_t workers = 0, bool enable_profiling = false,
+                   SchedulerPolicy policy = SchedulerPolicy::kPriorityLifo);
   ~Runtime();
 
   Runtime(const Runtime&) = delete;
   Runtime& operator=(const Runtime&) = delete;
 
-  /// Registers a datum; `name` is used in traces only.
-  DataHandle register_data(std::string name = {});
+  /// Registers an anonymous datum — O(1), no name allocation; this is the
+  /// hot path used by the tiled algorithms (one handle per tile).
+  DataHandle register_data();
+  /// Registers a named datum; `name` is used in traces only.
+  DataHandle register_data(std::string name);
 
   /// Submits a task.  Dependencies are inferred from previously submitted
   /// tasks touching the same handles.  Never blocks.
+  void submit(TaskDesc desc, std::function<void()> fn);
+  void submit(std::string name, std::vector<Dep> deps,
+              std::function<void()> fn, SubmitOptions options);
+  /// Back-compat shim: priority 0.
   void submit(std::string name, std::vector<Dep> deps,
               std::function<void()> fn);
 
   /// Blocks until every submitted task (and tasks they submitted) is done.
-  /// Rethrows the first task exception, if any.
+  /// Rethrows the first task exception, if any.  Also snapshots the
+  /// scheduler's steal/queue-depth counters into the profiler.
   void wait();
 
   /// Total tasks submitted so far.
@@ -84,7 +112,14 @@ class Runtime {
   const Profiler& profiler() const noexcept { return profiler_; }
   Profiler& profiler() noexcept { return profiler_; }
 
-  std::size_t workers() const noexcept { return pool_.size(); }
+  /// Clears recorded spans AND the scheduler's cumulative steal/queue
+  /// counters, so measurements after a warm-up start from zero.
+  void reset_profiling();
+
+  std::size_t workers() const noexcept { return scheduler_.workers(); }
+  SchedulerPolicy scheduler_policy() const noexcept {
+    return scheduler_.policy();
+  }
 
  private:
   struct TaskNode;
@@ -94,7 +129,7 @@ class Runtime {
   void enqueue_ready(TaskNode* node);
   void run_task(TaskNode* node);
 
-  ThreadPool pool_;
+  Scheduler scheduler_;
   Profiler profiler_;
   bool profiling_enabled_;
 

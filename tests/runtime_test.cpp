@@ -5,7 +5,11 @@
 #include <atomic>
 
 #include "common/status.hpp"
+#include <cctype>
+#include <fstream>
 #include <numeric>
+#include <sstream>
+#include <string>
 #include <vector>
 
 #include "common/rng.hpp"
@@ -167,6 +171,148 @@ TEST(Runtime, UnregisteredHandleRejected) {
   DataHandle bogus{9999};
   EXPECT_THROW(rt.submit("bad", {{bogus, Access::kRead}}, [] {}),
                InvalidArgument);
+}
+
+// --- Minimal recursive-descent JSON validator for the trace test. ------
+// Accepts the JSON value grammar (objects, arrays, strings, numbers,
+// true/false/null); returns false on any syntax error or trailing junk.
+namespace json_check {
+
+struct Cursor {
+  const std::string& s;
+  std::size_t i = 0;
+  bool ok = true;
+  void skip_ws() {
+    while (i < s.size() && (s[i] == ' ' || s[i] == '\t' || s[i] == '\n' ||
+                            s[i] == '\r')) {
+      ++i;
+    }
+  }
+  bool eat(char c) {
+    skip_ws();
+    if (i < s.size() && s[i] == c) {
+      ++i;
+      return true;
+    }
+    return false;
+  }
+};
+
+bool parse_value(Cursor& c);
+
+bool parse_string(Cursor& c) {
+  if (!c.eat('"')) return false;
+  while (c.i < c.s.size() && c.s[c.i] != '"') {
+    if (c.s[c.i] == '\\') ++c.i;  // skip the escaped char
+    ++c.i;
+  }
+  return c.i < c.s.size() && c.s[c.i++] == '"';
+}
+
+bool parse_number(Cursor& c) {
+  const std::size_t start = c.i;
+  if (c.i < c.s.size() && c.s[c.i] == '-') ++c.i;
+  while (c.i < c.s.size() &&
+         (std::isdigit(static_cast<unsigned char>(c.s[c.i])) ||
+          c.s[c.i] == '.' || c.s[c.i] == 'e' || c.s[c.i] == 'E' ||
+          c.s[c.i] == '+' || c.s[c.i] == '-')) {
+    ++c.i;
+  }
+  return c.i > start;
+}
+
+bool parse_object(Cursor& c) {
+  if (c.eat('}')) return true;
+  for (;;) {
+    c.skip_ws();
+    if (!parse_string(c)) return false;
+    if (!c.eat(':')) return false;
+    if (!parse_value(c)) return false;
+    if (c.eat(',')) continue;
+    return c.eat('}');
+  }
+}
+
+bool parse_array(Cursor& c) {
+  if (c.eat(']')) return true;
+  for (;;) {
+    if (!parse_value(c)) return false;
+    if (c.eat(',')) continue;
+    return c.eat(']');
+  }
+}
+
+bool parse_value(Cursor& c) {
+  c.skip_ws();
+  if (c.i >= c.s.size()) return false;
+  const char ch = c.s[c.i];
+  if (ch == '{') {
+    ++c.i;
+    return parse_object(c);
+  }
+  if (ch == '[') {
+    ++c.i;
+    return parse_array(c);
+  }
+  if (ch == '"') return parse_string(c);
+  if (c.s.compare(c.i, 4, "true") == 0) { c.i += 4; return true; }
+  if (c.s.compare(c.i, 5, "false") == 0) { c.i += 5; return true; }
+  if (c.s.compare(c.i, 4, "null") == 0) { c.i += 4; return true; }
+  return parse_number(c);
+}
+
+bool valid(const std::string& text) {
+  Cursor c{text};
+  if (!parse_value(c)) return false;
+  c.skip_ws();
+  return c.i == text.size();
+}
+
+}  // namespace json_check
+
+TEST(Profiler, WriteTraceEmitsParsableJson) {
+  Runtime rt(2, /*enable_profiling=*/true);
+  DataHandle h = rt.register_data("traced \"datum\"\n");
+  for (int i = 0; i < 4; ++i) {
+    rt.submit("kernel \"quoted\"\ttab", {{h, Access::kReadWrite}}, [] {});
+  }
+  rt.wait();
+
+  const std::string path = ::testing::TempDir() + "/kgwas_trace.json";
+  rt.profiler().write_trace(path);
+
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  const std::string text = buffer.str();
+
+  ASSERT_TRUE(json_check::valid(text)) << "trace is not valid JSON:\n"
+                                       << text;
+  EXPECT_NE(text.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(text.find("\"tasks_executed\":4"), std::string::npos);
+  // Task names with quotes/control chars must have been escaped.
+  EXPECT_NE(text.find("kernel \\\"quoted\\\"\\ttab"), std::string::npos);
+}
+
+TEST(Profiler, WorkerStatsAggregatePerWorker) {
+  Runtime rt(2, /*enable_profiling=*/true);
+  DataHandle h = rt.register_data();
+  for (int i = 0; i < 12; ++i) {
+    rt.submit("t", {{h, Access::kReadWrite}}, [] {});
+  }
+  rt.wait();
+  const auto per_worker = rt.profiler().worker_stats();
+  std::uint64_t total = 0;
+  for (const auto& [worker, stats] : per_worker) {
+    EXPECT_GE(worker, 0);
+    EXPECT_LT(worker, 2);
+    total += stats.tasks;
+    EXPECT_GE(stats.busy_seconds, 0.0);
+  }
+  EXPECT_EQ(total, 12u);
+  EXPECT_GE(rt.profiler().parallel_efficiency(rt.workers()), 0.0);
+  EXPECT_LE(rt.profiler().parallel_efficiency(rt.workers()), 1.0);
 }
 
 TEST(Runtime, WaitIsReentrant) {
