@@ -1,0 +1,23 @@
+// Environment-variable parsing helpers shared by the runtime knobs.
+#pragma once
+
+#include <cctype>
+#include <cstddef>
+#include <cstdlib>
+
+namespace kgwas {
+
+/// Parses a non-negative integer environment variable; returns `fallback`
+/// when the variable is unset or does not start with a digit.  Signs are
+/// rejected (strtoull would silently wrap "-1" to SIZE_MAX).
+inline std::size_t env_size_t(const char* name, std::size_t fallback) {
+  const char* value = std::getenv(name);
+  if (value == nullptr) return fallback;
+  if (!std::isdigit(static_cast<unsigned char>(value[0]))) return fallback;
+  char* end = nullptr;
+  const unsigned long long parsed = std::strtoull(value, &end, 10);
+  if (end == value) return fallback;
+  return static_cast<std::size_t>(parsed);
+}
+
+}  // namespace kgwas

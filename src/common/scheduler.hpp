@@ -89,6 +89,19 @@ class Scheduler {
   std::size_t workers() const noexcept { return threads_.size(); }
   SchedulerPolicy policy() const noexcept { return policy_; }
 
+  /// Workers currently parked waiting for work.  A racy snapshot by
+  /// nature; callers (e.g. the runtime's batch coalescer) use it as a
+  /// load hint, never for synchronization.
+  std::size_t idle_workers() const noexcept {
+    const int sleeping = sleepers_.load(std::memory_order_relaxed);
+    return sleeping > 0 ? static_cast<std::size_t>(sleeping) : 0;
+  }
+
+  /// Tasks sitting in deques right now (same racy-snapshot caveat).
+  std::uint64_t queued_tasks() const noexcept {
+    return queued_.load(std::memory_order_relaxed);
+  }
+
   /// Snapshot of the steal/queue-depth counters.
   SchedulerStats stats() const;
   void reset_stats();

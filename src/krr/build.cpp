@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "common/status.hpp"
+#include "mpblas/batch.hpp"
 #include "mpblas/blas.hpp"
 #include "mpblas/mixed.hpp"
 
@@ -165,12 +166,18 @@ SymmetricTileMatrix build_kernel_matrix(Runtime& runtime,
       // first — generate them in that order.
       const int priority = (static_cast<int>(nt - tj) << 1) +
                            (ti == tj ? 1 : 0);
-      runtime.submit("build_k", {{h, Access::kWrite}},
-                     [&inputs, &k, ti, tj, ts = config.tile_size] {
-                       compute_kernel_tile(inputs, ti * ts, tj * ts,
-                                           k.tile(ti, tj));
-                     },
-                     SubmitOptions{priority});
+      const Tile& out = k.tile(ti, tj);
+      // Same-shape kernel-tile generations coalesce: the Build DAG is
+      // embarrassingly parallel, so ready tasks abound and batching
+      // amortizes dispatch without delaying anything.
+      const BatchKey key{mpblas::batch::make_key(
+          mpblas::batch::BatchOp::kBuild, out.rows(), out.cols(), 0,
+          out.precision(), out.precision(), out.precision())};
+      runtime.submit_batchable(
+          TaskDesc{"build_k", {{h, Access::kWrite}}, priority}, key,
+          [&inputs, &k, ti, tj, ts = config.tile_size] {
+            compute_kernel_tile(inputs, ti * ts, tj * ts, k.tile(ti, tj));
+          });
     }
   }
   runtime.wait();
@@ -208,14 +215,19 @@ TileMatrix build_cross_kernel(Runtime& runtime,
   for (std::size_t tj = 0; tj < k.tile_cols(); ++tj) {
     for (std::size_t ti = 0; ti < k.tile_rows(); ++ti) {
       DataHandle h = runtime.register_data();
+      const Tile& out = k.tile(ti, tj);
+      const BatchKey key{mpblas::batch::make_key(
+          mpblas::batch::BatchOp::kBuild, out.rows(), out.cols(), 1,
+          out.precision(), out.precision(), out.precision())};
       // Earlier tile columns feed the prediction row chains first.
-      runtime.submit(TaskDesc{"build_kx",
-                              {{h, Access::kWrite}},
-                              static_cast<int>(k.tile_cols() - tj)},
-                     [&inputs, &k, ti, tj, ts = config.tile_size] {
-                       compute_kernel_tile(inputs, ti * ts, tj * ts,
-                                           k.tile(ti, tj));
-                     });
+      runtime.submit_batchable(TaskDesc{"build_kx",
+                                        {{h, Access::kWrite}},
+                                        static_cast<int>(k.tile_cols() - tj)},
+                               key,
+                               [&inputs, &k, ti, tj, ts = config.tile_size] {
+                                 compute_kernel_tile(inputs, ti * ts, tj * ts,
+                                                     k.tile(ti, tj));
+                               });
     }
   }
   runtime.wait();

@@ -4,7 +4,9 @@
 #include <vector>
 
 #include "common/status.hpp"
+#include "mpblas/batch.hpp"
 #include "mpblas/blas.hpp"
+#include "tile/tile_pool.hpp"
 
 namespace kgwas {
 
@@ -28,15 +30,22 @@ Matrix<float> predict_from_cross_kernel(Runtime& runtime,
       // Each row block is a serial accumulation chain; prioritize the next
       // link of every chain over starting new trailing links so finished
       // row blocks retire early instead of all chains crawling in step.
-      runtime.submit(
+      // Links of *different* chains with the same tile shape are
+      // independent and coalesce into batches.
+      const Tile& tile = cross_kernel.tile(ti, tj);
+      const BatchKey key{mpblas::batch::make_key(
+          mpblas::batch::BatchOp::kPredict, tile.rows(), nrhs, tile.cols(),
+          tile.precision(), Precision::kFp32, Precision::kFp32)};
+      runtime.submit_batchable(
           TaskDesc{"predict_gemm",
                    {{handles[ti], Access::kReadWrite}},
                    static_cast<int>(cross_kernel.tile_cols() - tj)},
-          [&cross_kernel, &weights, &predictions, ti, tj, ts, nrhs] {
+          key, [&cross_kernel, &weights, &predictions, ti, tj, ts, nrhs] {
             const Tile& tile = cross_kernel.tile(ti, tj);
-            const Matrix<float> values = tile.to_fp32();
-            gemm(Trans::kNoTrans, Trans::kNoTrans, values.rows(), nrhs,
-                 values.cols(), 1.0f, values.data(), values.ld(),
+            PooledF32 scratch;
+            const float* values = mpblas::batch::decode_read(tile, scratch);
+            gemm(Trans::kNoTrans, Trans::kNoTrans, tile.rows(), nrhs,
+                 tile.cols(), 1.0f, values, tile.rows(),
                  &weights(tj * ts, 0), weights.ld(), 1.0f,
                  &predictions(ti * ts, 0), predictions.ld());
           });

@@ -1,17 +1,26 @@
 #include "linalg/tile_kernels.hpp"
 
 #include <string>
-#include <vector>
 
 #include "common/status.hpp"
+#include "mpblas/batch.hpp"
 #include "mpblas/blas.hpp"
+#include "tile/tile_pool.hpp"
 
 namespace kgwas {
 
+// Shared decode/encode helpers: scope-aware reads (panel tiles consumed
+// by several updates of one coalesced batch are dequantized once) and
+// cache-invalidating writes.
+using mpblas::batch::decode_read;
+using mpblas::batch::encode_write;
+
 void tile_potrf(Tile& a, std::size_t global_offset) {
   KGWAS_CHECK_ARG(a.rows() == a.cols(), "POTRF tile must be square");
-  Matrix<float> values = a.to_fp32();
-  const int info = potrf(Uplo::kLower, values.rows(), values.data(), values.ld());
+  const std::size_t n = a.rows();
+  PooledF32 values(TilePool::global(), a.elements());
+  a.decode_to(values.data());
+  const int info = potrf(Uplo::kLower, n, values.data(), n);
   if (info != 0) {
     throw NumericalError(
         "tiled Cholesky: leading minor of order " +
@@ -22,61 +31,69 @@ void tile_potrf(Tile& a, std::size_t global_offset) {
   }
   // Zero the (never referenced) upper triangle so dense expansions of the
   // factor are directly usable.
-  for (std::size_t j = 1; j < values.cols(); ++j) {
-    for (std::size_t i = 0; i < j; ++i) values(i, j) = 0.0f;
+  for (std::size_t j = 1; j < n; ++j) {
+    for (std::size_t i = 0; i < j; ++i) values.data()[i + j * n] = 0.0f;
   }
-  a.from_fp32(values);
+  encode_write(a, values.data());
 }
 
 void tile_trsm(const Tile& l, Tile& b) {
   KGWAS_CHECK_ARG(l.rows() == l.cols() && b.cols() == l.rows(),
                   "TRSM tile shape mismatch");
-  Matrix<float> lv = l.to_fp32();
-  Matrix<float> bv = b.to_fp32();
-  trsm(Side::kRight, Uplo::kLower, Trans::kTrans, Diag::kNonUnit, bv.rows(),
-       bv.cols(), 1.0f, lv.data(), lv.ld(), bv.data(), bv.ld());
-  b.from_fp32(bv);
+  PooledF32 l_scratch;
+  const float* lv = decode_read(l, l_scratch);
+  PooledF32 bv(TilePool::global(), b.elements());
+  b.decode_to(bv.data());
+  trsm(Side::kRight, Uplo::kLower, Trans::kTrans, Diag::kNonUnit, b.rows(),
+       b.cols(), 1.0f, lv, l.rows(), bv.data(), b.rows());
+  encode_write(b, bv.data());
 }
 
 void tile_syrk(const Tile& a, Tile& c) {
   KGWAS_CHECK_ARG(c.rows() == c.cols() && a.rows() == c.rows(),
                   "SYRK tile shape mismatch");
-  Matrix<float> av = a.to_fp32();
-  Matrix<float> cv = c.to_fp32();
+  PooledF32 a_scratch;
+  const float* av = decode_read(a, a_scratch);
+  PooledF32 cv(TilePool::global(), c.elements());
+  c.decode_to(cv.data());
   // Full-tile update (gemm) keeps the tile consistent for later full reads;
   // numerically identical to the triangular update on the referenced part.
-  gemm(Trans::kNoTrans, Trans::kTrans, cv.rows(), cv.cols(), av.cols(), -1.0f,
-       av.data(), av.ld(), av.data(), av.ld(), 1.0f, cv.data(), cv.ld());
-  c.from_fp32(cv);
+  gemm(Trans::kNoTrans, Trans::kTrans, c.rows(), c.cols(), a.cols(), -1.0f,
+       av, a.rows(), av, a.rows(), 1.0f, cv.data(), c.rows());
+  encode_write(c, cv.data());
 }
 
 void tile_gemm(const Tile& a, const Tile& b, Tile& c) {
   KGWAS_CHECK_ARG(a.cols() == b.cols() && c.rows() == a.rows() &&
                       c.cols() == b.rows(),
                   "GEMM tile shape mismatch");
-  Matrix<float> av = a.to_fp32();
-  Matrix<float> bv = b.to_fp32();
-  Matrix<float> cv = c.to_fp32();
-  gemm(Trans::kNoTrans, Trans::kTrans, cv.rows(), cv.cols(), av.cols(), -1.0f,
-       av.data(), av.ld(), bv.data(), bv.ld(), 1.0f, cv.data(), cv.ld());
-  c.from_fp32(cv);
+  PooledF32 a_scratch, b_scratch;
+  const float* av = decode_read(a, a_scratch);
+  const float* bv = decode_read(b, b_scratch);
+  PooledF32 cv(TilePool::global(), c.elements());
+  c.decode_to(cv.data());
+  gemm(Trans::kNoTrans, Trans::kTrans, c.rows(), c.cols(), a.cols(), -1.0f,
+       av, a.rows(), bv, b.rows(), 1.0f, cv.data(), c.rows());
+  encode_write(c, cv.data());
 }
 
 void tile_trsm_rhs(const Tile& l, bool transpose, float* x, std::size_t ldx,
                    std::size_t ncols) {
-  Matrix<float> lv = l.to_fp32();
+  PooledF32 l_scratch;
+  const float* lv = decode_read(l, l_scratch);
   trsm(Side::kLeft, Uplo::kLower, transpose ? Trans::kTrans : Trans::kNoTrans,
-       Diag::kNonUnit, lv.rows(), ncols, 1.0f, lv.data(), lv.ld(), x, ldx);
+       Diag::kNonUnit, l.rows(), ncols, 1.0f, lv, l.rows(), x, ldx);
 }
 
 void tile_gemm_rhs(const Tile& l, bool transpose, const float* xk,
                    std::size_t ldxk, float* xi, std::size_t ldxi,
                    std::size_t ncols) {
-  Matrix<float> lv = l.to_fp32();
-  const std::size_t m = transpose ? lv.cols() : lv.rows();
-  const std::size_t k = transpose ? lv.rows() : lv.cols();
+  PooledF32 l_scratch;
+  const float* lv = decode_read(l, l_scratch);
+  const std::size_t m = transpose ? l.cols() : l.rows();
+  const std::size_t k = transpose ? l.rows() : l.cols();
   gemm(transpose ? Trans::kTrans : Trans::kNoTrans, Trans::kNoTrans, m, ncols,
-       k, -1.0f, lv.data(), lv.ld(), xk, ldxk, 1.0f, xi, ldxi);
+       k, -1.0f, lv, l.rows(), xk, ldxk, 1.0f, xi, ldxi);
 }
 
 }  // namespace kgwas

@@ -5,6 +5,7 @@
 
 #include "common/status.hpp"
 #include "linalg/tile_kernels.hpp"
+#include "mpblas/batch.hpp"
 
 namespace kgwas {
 
@@ -48,9 +49,10 @@ inline int panel_priority(int base, std::size_t nt, std::size_t k,
 }  // namespace
 
 void tiled_potrf(Runtime& runtime, SymmetricTileMatrix& a,
-                 int base_priority) {
+                 const TiledPotrfOptions& options) {
   const std::size_t nt = a.tile_count();
   if (nt == 0) return;
+  const int base_priority = options.base_priority;
   TileHandles h(runtime, nt);
   runtime.account_data_motion(tiled_potrf_data_motion_bytes(a));
 
@@ -68,23 +70,45 @@ void tiled_potrf(Runtime& runtime, SymmetricTileMatrix& a,
                      [&a, i, k] { tile_trsm(a.tile(k, k), a.tile(i, k)); });
     }
     for (std::size_t j = k + 1; j < nt; ++j) {
-      runtime.submit(TaskDesc{"syrk",
-                              {{h(j, k), Access::kRead},
-                               {h(j, j), Access::kReadWrite}},
-                              panel_priority(base_priority, nt, k, kSyrkPrio)},
-                     [&a, j, k] { tile_syrk(a.tile(j, k), a.tile(j, j)); });
+      TaskDesc syrk_desc{"syrk",
+                         {{h(j, k), Access::kRead},
+                          {h(j, j), Access::kReadWrite}},
+                         panel_priority(base_priority, nt, k, kSyrkPrio)};
+      auto syrk_fn = [&a, j, k] { tile_syrk(a.tile(j, k), a.tile(j, j)); };
+      if (options.batch_trailing_update) {
+        runtime.submit_batchable(
+            std::move(syrk_desc),
+            BatchKey{mpblas::batch::syrk_key(a.tile(j, k), a.tile(j, j))},
+            std::move(syrk_fn));
+      } else {
+        runtime.submit(std::move(syrk_desc), std::move(syrk_fn));
+      }
       for (std::size_t i = j + 1; i < nt; ++i) {
-        runtime.submit(
-            TaskDesc{"gemm",
-                     {{h(i, k), Access::kRead},
-                      {h(j, k), Access::kRead},
-                      {h(i, j), Access::kReadWrite}},
-                     panel_priority(base_priority, nt, k, kGemmPrio)},
-            [&a, i, j, k] { tile_gemm(a.tile(i, k), a.tile(j, k), a.tile(i, j)); });
+        TaskDesc gemm_desc{"gemm",
+                           {{h(i, k), Access::kRead},
+                            {h(j, k), Access::kRead},
+                            {h(i, j), Access::kReadWrite}},
+                           panel_priority(base_priority, nt, k, kGemmPrio)};
+        auto gemm_fn = [&a, i, j, k] {
+          tile_gemm(a.tile(i, k), a.tile(j, k), a.tile(i, j));
+        };
+        if (options.batch_trailing_update) {
+          runtime.submit_batchable(std::move(gemm_desc),
+                                   BatchKey{mpblas::batch::gemm_key(
+                                       a.tile(i, k), a.tile(j, k),
+                                       a.tile(i, j))},
+                                   std::move(gemm_fn));
+        } else {
+          runtime.submit(std::move(gemm_desc), std::move(gemm_fn));
+        }
       }
     }
   }
   runtime.wait();
+}
+
+void tiled_potrf(Runtime& runtime, SymmetricTileMatrix& a, int base_priority) {
+  tiled_potrf(runtime, a, TiledPotrfOptions{base_priority, true});
 }
 
 void tiled_potrs(Runtime& runtime, const SymmetricTileMatrix& l,

@@ -21,6 +21,19 @@
 
 namespace kgwas {
 
+struct TiledPotrfOptions {
+  /// Lifts every task of this factorization above concurrent work.
+  int base_priority = 0;
+  /// Submit trailing-update SYRK/GEMM tasks through the runtime's batch
+  /// coalescer: same-shape same-precision updates that are ready together
+  /// execute back-to-back under a shared operand-decode scope (panel tiles
+  /// consumed by several updates of a group are dequantized once).  The
+  /// panel kernels (POTRF/TRSM) stay on the per-task path — they are the
+  /// critical path and never form wide homogeneous groups.  Results are
+  /// bitwise identical either way.
+  bool batch_trailing_update = true;
+};
+
 /// Factorizes A = L * L^T in place (lower tiles).  Tiles keep their
 /// current storage precision.  Throws NumericalError when a pivot fails.
 ///
@@ -28,6 +41,8 @@ namespace kgwas {
 /// `base_priority`: earlier panels outrank later ones and, within a panel,
 /// POTRF > TRSM > SYRK > GEMM, so the factorization front advances before
 /// trailing updates when the scheduler has a choice.
+void tiled_potrf(Runtime& runtime, SymmetricTileMatrix& a,
+                 const TiledPotrfOptions& options);
 void tiled_potrf(Runtime& runtime, SymmetricTileMatrix& a,
                  int base_priority = 0);
 

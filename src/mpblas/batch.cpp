@@ -1,0 +1,107 @@
+#include "mpblas/batch.hpp"
+
+#include <algorithm>
+
+#include "linalg/tile_kernels.hpp"
+
+namespace kgwas::mpblas::batch {
+
+namespace {
+thread_local BatchScope* t_current_scope = nullptr;
+}  // namespace
+
+std::uint64_t gemm_key(const Tile& a, const Tile& b, const Tile& c) {
+  return make_key(BatchOp::kGemm, c.rows(), c.cols(), a.cols(), a.precision(),
+                  b.precision(), c.precision());
+}
+
+std::uint64_t syrk_key(const Tile& a, const Tile& c) {
+  return make_key(BatchOp::kSyrk, c.rows(), c.cols(), a.cols(), a.precision(),
+                  a.precision(), c.precision());
+}
+
+BatchScope::BatchScope(TilePool& pool) : pool_(pool), prev_(t_current_scope) {
+  t_current_scope = this;
+}
+
+BatchScope::~BatchScope() {
+  for (std::size_t i = 0; i < count_; ++i) {
+    pool_.release_f32(std::move(entries_[i].buffer));
+  }
+  t_current_scope = prev_;
+}
+
+BatchScope* BatchScope::current() noexcept { return t_current_scope; }
+
+const float* BatchScope::decode(const Tile& t) {
+  for (std::size_t i = 0; i < count_; ++i) {
+    if (entries_[i].tile == &t) {
+      ++hits_;
+      return entries_[i].buffer.data();
+    }
+  }
+  ++misses_;
+  if (count_ == kCapacity) return nullptr;  // caller decodes locally
+  AlignedVector<float> buffer = pool_.acquire_f32(t.elements());
+  t.decode_to(buffer.data());
+  Entry& slot = entries_[count_++];
+  slot.tile = &t;
+  slot.buffer = std::move(buffer);
+  return slot.buffer.data();
+}
+
+void BatchScope::invalidate(const Tile& t) {
+  for (std::size_t i = 0; i < count_; ++i) {
+    if (entries_[i].tile == &t) {
+      pool_.release_f32(std::move(entries_[i].buffer));
+      --count_;
+      if (i != count_) entries_[i] = std::move(entries_[count_]);
+      entries_[count_].tile = nullptr;
+      entries_[count_].buffer = AlignedVector<float>{};
+      return;
+    }
+  }
+}
+
+const float* decode_read(const Tile& t, PooledF32& local) {
+  if (BatchScope* scope = BatchScope::current()) {
+    if (const float* cached = scope->decode(t)) return cached;
+    // Scope cache full (task bodies decoding many tiles each): fall
+    // through to plain pooled scratch — correctness never depends on
+    // the cache, only repeat-decode cost does.
+  }
+  local = PooledF32(TilePool::global(), t.elements());
+  t.decode_to(local.data());
+  return local.data();
+}
+
+void encode_write(Tile& t, const float* values) {
+  // Tile::encode_from itself invalidates any active scope's cached
+  // decode (as do all Tile mutation paths), so the batched-read contract
+  // holds even for task bodies that bypass this helper.
+  t.encode_from(values, t.rows());
+}
+
+void gemm_batch(std::span<const GemmWork> work, TilePool& pool) {
+  // Chunked so arbitrarily large spans never exceed the scope's
+  // fixed-capacity decode cache.
+  for (std::size_t begin = 0; begin < work.size(); begin += kMaxGroupTasks) {
+    const std::size_t end = std::min(work.size(), begin + kMaxGroupTasks);
+    BatchScope scope(pool);
+    for (std::size_t i = begin; i < end; ++i) {
+      tile_gemm(*work[i].a, *work[i].b, *work[i].c);
+    }
+  }
+}
+
+void syrk_batch(std::span<const SyrkWork> work, TilePool& pool) {
+  for (std::size_t begin = 0; begin < work.size(); begin += kMaxGroupTasks) {
+    const std::size_t end = std::min(work.size(), begin + kMaxGroupTasks);
+    BatchScope scope(pool);
+    for (std::size_t i = begin; i < end; ++i) {
+      tile_syrk(*work[i].a, *work[i].c);
+    }
+  }
+}
+
+}  // namespace kgwas::mpblas::batch

@@ -68,6 +68,29 @@ struct TaskDesc {
   int priority = 0;
 };
 
+/// Opaque coalescing key for `submit_batchable`.  Tasks sharing a key are
+/// homogeneous (same op, shape and precision signature — see
+/// mpblas/batch.hpp for the structural builders) and may be executed
+/// back-to-back as one batch.  A zero key means "not batchable".
+struct BatchKey {
+  std::uint64_t value = 0;
+  bool valid() const noexcept { return value != 0; }
+};
+
+/// Counters of the batch coalescer (see submit_batchable).
+struct BatchStats {
+  std::uint64_t groups = 0;         ///< batch executions with >= 1 task
+  std::uint64_t batched_tasks = 0;  ///< tasks that ran inside batch groups
+  std::uint64_t max_group = 0;      ///< largest group executed
+  std::uint64_t empty_runs = 0;     ///< pops that found the key drained
+
+  double avg_group() const noexcept {
+    return groups == 0 ? 0.0
+                       : static_cast<double>(batched_tasks) /
+                             static_cast<double>(groups);
+  }
+};
+
 class Runtime {
  public:
   /// `workers` = 0 selects hardware concurrency.  `policy` selects the
@@ -94,6 +117,24 @@ class Runtime {
   /// Back-compat shim: priority 0.
   void submit(std::string name, std::vector<Dep> deps,
               std::function<void()> fn);
+
+  /// Submits a batchable task: same dependency semantics as `submit`, but
+  /// ready tasks sharing `key` coalesce at the scheduler's pop point — a
+  /// worker popping one batchable task drains up to `max_batch_size()`
+  /// same-key ready tasks (highest priority first, FIFO within a
+  /// priority) and runs them back-to-back under a shared decode scope
+  /// (mpblas::batch::BatchScope).  Dispatch overhead amortizes across the
+  /// group and shared read operands are dequantized once.  Priorities are
+  /// still respected: a group never contains a lower-priority task while
+  /// a higher-priority same-key task is ready, and the group size bound
+  /// keeps a single worker from hoarding the ready set.
+  void submit_batchable(TaskDesc desc, BatchKey key, std::function<void()> fn);
+
+  /// Batch group size bound, clamped to [1, 64].  1 disables coalescing.
+  /// The constructor seeds it from KGWAS_MAX_BATCH (default 8).
+  void set_max_batch_size(std::size_t n);
+  std::size_t max_batch_size() const noexcept { return max_batch_.load(); }
+  BatchStats batch_stats() const;
 
   /// Blocks until every submitted task (and tasks they submitted) is done.
   /// Rethrows the first task exception, if any.  Also snapshots the
@@ -124,10 +165,26 @@ class Runtime {
  private:
   struct TaskNode;
   struct HandleState;
+  struct BatchQueue;
 
   void release_successors(TaskNode* node);
   void enqueue_ready(TaskNode* node);
   void run_task(TaskNode* node);
+  void run_batch(BatchQueue* queue, int my_priority);
+  void submit_impl(TaskDesc desc, std::function<void()> fn,
+                   std::uint64_t batch_key);
+  BatchQueue* batch_queue(std::uint64_t key);
+
+  // Batch-coalescing state is declared (and therefore destroyed) after
+  // the scheduler below it in reverse order: leftover batch-runner
+  // closures drained during the scheduler's join still dereference these.
+  std::mutex batch_map_mutex_;
+  std::unordered_map<std::uint64_t, std::unique_ptr<BatchQueue>> batch_queues_;
+  std::atomic<std::size_t> max_batch_{8};
+  std::atomic<std::uint64_t> batch_groups_{0};
+  std::atomic<std::uint64_t> batched_tasks_{0};
+  std::atomic<std::uint64_t> batch_max_group_{0};
+  std::atomic<std::uint64_t> batch_empty_runs_{0};
 
   Scheduler scheduler_;
   Profiler profiler_;

@@ -1,24 +1,80 @@
 #include "tile/tile.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <vector>
 
 #include "common/status.hpp"
+#include "mpblas/batch.hpp"
 #include "precision/convert.hpp"
 
 namespace kgwas {
+
+namespace {
+// Every payload mutation funnels through this: a batch decode scope
+// active on this thread (mpblas/batch.hpp) may hold a cached FP32 image
+// of the tile, which must not survive the write.  Also called from the
+// destructor — a recycled Tile address must never hit a stale entry.
+inline void invalidate_scope_cache(const Tile& t) {
+  if (auto* scope = mpblas::batch::BatchScope::current()) {
+    scope->invalidate(t);
+  }
+}
+}  // namespace
 
 Tile::Tile(std::size_t rows, std::size_t cols, Precision precision)
     : rows_(rows),
       cols_(cols),
       precision_(precision),
-      storage_(rows * cols * bytes_per_element(precision)) {}
+      storage_(TilePool::global().acquire(rows * cols *
+                                          bytes_per_element(precision))) {}
+
+Tile::~Tile() {
+  invalidate_scope_cache(*this);
+  TilePool::global().release(std::move(storage_));
+}
+
+Tile::Tile(const Tile& other)
+    : rows_(other.rows_),
+      cols_(other.cols_),
+      precision_(other.precision_),
+      storage_(TilePool::global().acquire(other.storage_.size())) {
+  std::copy(other.storage_.begin(), other.storage_.end(), storage_.begin());
+}
+
+Tile& Tile::operator=(const Tile& other) {
+  if (this == &other) return *this;
+  invalidate_scope_cache(*this);
+  if (storage_.size() != other.storage_.size()) {
+    TilePool::global().release(std::move(storage_));
+    storage_ = TilePool::global().acquire(other.storage_.size());
+  }
+  rows_ = other.rows_;
+  cols_ = other.cols_;
+  precision_ = other.precision_;
+  std::copy(other.storage_.begin(), other.storage_.end(), storage_.begin());
+  return *this;
+}
+
+Tile& Tile::operator=(Tile&& other) noexcept {
+  if (this == &other) return *this;
+  invalidate_scope_cache(*this);
+  TilePool::global().release(std::move(storage_));
+  rows_ = other.rows_;
+  cols_ = other.cols_;
+  precision_ = other.precision_;
+  storage_ = std::move(other.storage_);
+  return *this;
+}
 
 void Tile::convert_to(Precision precision) {
   if (precision == precision_) return;
-  AlignedVector<std::byte> converted(elements() * bytes_per_element(precision));
+  invalidate_scope_cache(*this);
+  AlignedVector<std::byte> converted =
+      TilePool::global().acquire(elements() * bytes_per_element(precision));
   convert_buffer(precision_, storage_.data(), precision, converted.data(),
                  elements());
+  TilePool::global().release(std::move(storage_));
   storage_ = std::move(converted);
   precision_ = precision;
 }
@@ -40,6 +96,7 @@ void Tile::from_fp32(const Matrix<float>& values) {
 }
 
 void Tile::encode_from(const float* src, std::size_t ld) {
+  invalidate_scope_cache(*this);
   if (ld == rows_) {
     quantize_buffer(precision_, src, storage_.data(), elements());
     return;
@@ -53,18 +110,23 @@ void Tile::encode_from(const float* src, std::size_t ld) {
 }
 
 double Tile::frobenius_norm() const {
-  std::vector<float> values(elements());
+  PooledF32 values(TilePool::global(), elements());
   decode_to(values.data());
   double sum = 0.0;
-  for (float v : values) sum += static_cast<double>(v) * static_cast<double>(v);
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    const double v = values.data()[i];
+    sum += v * v;
+  }
   return std::sqrt(sum);
 }
 
 double Tile::max_abs() const {
-  std::vector<float> values(elements());
+  PooledF32 values(TilePool::global(), elements());
   decode_to(values.data());
   double best = 0.0;
-  for (float v : values) best = std::max(best, std::fabs(static_cast<double>(v)));
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    best = std::max(best, std::fabs(static_cast<double>(values.data()[i])));
+  }
   return best;
 }
 

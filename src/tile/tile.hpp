@@ -10,6 +10,11 @@
 // into the storage format; `to_fp32` decodes exactly (every narrow value
 // is representable in FP32).  Compute kernels therefore see precisely the
 // values a GPU kernel reading an FP16/FP8 tile would see.
+//
+// Storage is drawn from the global TilePool: tile construction, precision
+// conversion and destruction recycle precision-sized buffers instead of
+// hitting the allocator, so repeated Build/factorize/solve sweeps run with
+// zero steady-state allocations.
 #pragma once
 
 #include <cstddef>
@@ -18,14 +23,25 @@
 #include "common/aligned_buffer.hpp"
 #include "mpblas/matrix.hpp"
 #include "precision/precision.hpp"
+#include "tile/tile_pool.hpp"
 
 namespace kgwas {
 
 class Tile {
  public:
   Tile() = default;
+  /// Payload contents are UNSPECIFIED until the first write (from_fp32 /
+  /// encode_from): storage may be a recycled pool buffer carrying stale
+  /// bytes.  Every pipeline generates a tile before reading it; new code
+  /// must do the same.
   Tile(std::size_t rows, std::size_t cols,
        Precision precision = Precision::kFp32);
+  ~Tile();
+
+  Tile(const Tile& other);
+  Tile& operator=(const Tile& other);
+  Tile(Tile&& other) noexcept = default;
+  Tile& operator=(Tile&& other) noexcept;
 
   std::size_t rows() const noexcept { return rows_; }
   std::size_t cols() const noexcept { return cols_; }
@@ -51,8 +67,11 @@ class Tile {
   /// Max-abs of the decoded payload.
   double max_abs() const;
 
+  /// Read-only storage access (tests compare payloads bit for bit).
+  /// Deliberately no mutable overload: every payload write must go
+  /// through encode_from/from_fp32/convert_to, which keep any active
+  /// batch decode scope coherent (see mpblas/batch.hpp).
   const void* raw() const noexcept { return storage_.data(); }
-  void* raw() noexcept { return storage_.data(); }
 
  private:
   std::size_t rows_ = 0;

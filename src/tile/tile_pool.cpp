@@ -1,0 +1,124 @@
+#include "tile/tile_pool.hpp"
+
+#include <utility>
+
+#include "common/env.hpp"
+
+namespace kgwas {
+
+bool TilePool::caching_enabled() noexcept {
+#ifdef KGWAS_SANITIZE
+  // Recycling buffers would hide use-after-release from AddressSanitizer
+  // (a parked or re-handed buffer is still addressable memory): under the
+  // sanitizer build every acquire allocates and every release frees, so
+  // lifetime bugs in pooled buffers fault loudly.
+  return false;
+#else
+  return true;
+#endif
+}
+
+TilePool::TilePool(std::size_t max_cached_bytes)
+    : max_cached_bytes_(caching_enabled() ? max_cached_bytes : 0) {}
+
+TilePool& TilePool::global() {
+  // Leaked on purpose: pool-backed tiles with static storage duration may
+  // be destroyed after any function-local static would be, and the pool
+  // must still accept their release.  Only the global pool honors the
+  // KGWAS_TILE_POOL_MB override; explicitly constructed pools keep the
+  // cap their caller asked for.
+  static TilePool* pool = new TilePool(
+      env_size_t("KGWAS_TILE_POOL_MB", kDefaultMaxCachedBytes >> 20) << 20);
+  return *pool;
+}
+
+AlignedVector<std::byte> TilePool::acquire(std::size_t bytes) {
+  if (bytes == 0) return {};
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = bytes_.find(bytes);
+    if (it != bytes_.end() && !it->second.empty()) {
+      AlignedVector<std::byte> buffer = std::move(it->second.back());
+      it->second.pop_back();
+      cached_bytes_ -= bytes;
+      stats_.cached_bytes = cached_bytes_;
+      ++stats_.reuses;
+      return buffer;
+    }
+    ++stats_.fresh_allocations;
+  }
+  return AlignedVector<std::byte>(bytes);
+}
+
+void TilePool::release(AlignedVector<std::byte>&& buffer) {
+  const std::size_t bytes = buffer.size();
+  if (bytes == 0) return;
+  std::lock_guard<std::mutex> lock(mutex_);
+  ++stats_.releases;
+  if (cached_bytes_ + bytes > max_cached_bytes_) {
+    ++stats_.dropped;
+    return;  // buffer freed on scope exit
+  }
+  bytes_[bytes].push_back(std::move(buffer));
+  cached_bytes_ += bytes;
+  stats_.cached_bytes = cached_bytes_;
+}
+
+AlignedVector<float> TilePool::acquire_f32(std::size_t elements) {
+  if (elements == 0) return {};
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = f32_.find(elements);
+    if (it != f32_.end() && !it->second.empty()) {
+      AlignedVector<float> buffer = std::move(it->second.back());
+      it->second.pop_back();
+      cached_bytes_ -= elements * sizeof(float);
+      stats_.cached_bytes = cached_bytes_;
+      ++stats_.reuses;
+      return buffer;
+    }
+    ++stats_.fresh_allocations;
+  }
+  return AlignedVector<float>(elements);
+}
+
+void TilePool::release_f32(AlignedVector<float>&& buffer) {
+  const std::size_t elements = buffer.size();
+  if (elements == 0) return;
+  const std::size_t bytes = elements * sizeof(float);
+  std::lock_guard<std::mutex> lock(mutex_);
+  ++stats_.releases;
+  if (cached_bytes_ + bytes > max_cached_bytes_) {
+    ++stats_.dropped;
+    return;
+  }
+  f32_[elements].push_back(std::move(buffer));
+  cached_bytes_ += bytes;
+  stats_.cached_bytes = cached_bytes_;
+}
+
+TilePool::Stats TilePool::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return stats_;
+}
+
+void TilePool::trim() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  bytes_.clear();
+  f32_.clear();
+  cached_bytes_ = 0;
+  stats_.cached_bytes = 0;
+}
+
+void TilePool::set_max_cached_bytes(std::size_t bytes) {
+  if (!caching_enabled()) return;  // sanitizer builds stay alloc/free
+  std::lock_guard<std::mutex> lock(mutex_);
+  max_cached_bytes_ = bytes;
+}
+
+std::size_t TilePool::max_cached_bytes() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return max_cached_bytes_;
+}
+
+}  // namespace kgwas

@@ -1,0 +1,286 @@
+// Batch-dispatch tests: submit_batchable coalescing (bounded groups,
+// priority ordering, dependency safety, exception propagation) and
+// bitwise identity of batched vs per-task tile kernels.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstring>
+#include <future>
+#include <mutex>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "linalg/tile_kernels.hpp"
+#include "linalg/tiled_cholesky.hpp"
+#include "mpblas/batch.hpp"
+#include "mpblas/blas.hpp"
+#include "runtime/runtime.hpp"
+#include "tile/tile_matrix.hpp"
+
+namespace kgwas {
+namespace {
+
+constexpr BatchKey kKeyA{0x8000000000000001ull};
+constexpr BatchKey kKeyB{0x8000000000000002ull};
+
+TEST(BatchDispatch, AllTasksRunAndAreCounted) {
+  Runtime rt(4);
+  rt.set_max_batch_size(8);
+  constexpr int kTasks = 100;
+  std::atomic<int> executed{0};
+  for (int i = 0; i < kTasks; ++i) {
+    rt.submit_batchable(TaskDesc{"batch", {}, 0}, kKeyA,
+                        [&executed] { executed.fetch_add(1); });
+  }
+  rt.wait();
+  EXPECT_EQ(executed.load(), kTasks);
+  const BatchStats stats = rt.batch_stats();
+  EXPECT_EQ(stats.batched_tasks, static_cast<std::uint64_t>(kTasks));
+  EXPECT_GE(stats.groups, 1u);
+  EXPECT_LE(stats.max_group, 8u);
+}
+
+TEST(BatchDispatch, GroupsRespectBoundAndPriorityOrder) {
+  // One worker + a gate task: every batchable task is queued before the
+  // worker pops anything, so the recorded execution order is exactly the
+  // coalescer's priority order.
+  Runtime rt(1);
+  rt.set_max_batch_size(4);
+
+  std::promise<void> gate;
+  std::shared_future<void> opened = gate.get_future().share();
+  rt.submit(TaskDesc{"gate", {}, 1000}, [opened] { opened.wait(); });
+
+  std::mutex order_mutex;
+  std::vector<int> order;
+  constexpr int kTasks = 10;
+  for (int i = 0; i < kTasks; ++i) {
+    const int priority = i;  // submitted in ascending priority
+    rt.submit_batchable(TaskDesc{"batch", {}, priority}, kKeyA,
+                        [&order_mutex, &order, priority] {
+                          std::lock_guard<std::mutex> lock(order_mutex);
+                          order.push_back(priority);
+                        });
+  }
+  gate.set_value();
+  rt.wait();
+
+  ASSERT_EQ(order.size(), static_cast<std::size_t>(kTasks));
+  for (int i = 0; i < kTasks; ++i) {
+    EXPECT_EQ(order[i], kTasks - 1 - i) << "higher priority must run first";
+  }
+  EXPECT_LE(rt.batch_stats().max_group, 4u);
+}
+
+TEST(BatchDispatch, DistinctKeysDoNotCoalesce) {
+  Runtime rt(1);
+  rt.set_max_batch_size(8);
+
+  std::promise<void> gate;
+  std::shared_future<void> opened = gate.get_future().share();
+  rt.submit(TaskDesc{"gate", {}, 1000}, [opened] { opened.wait(); });
+
+  std::atomic<int> executed{0};
+  for (int i = 0; i < 4; ++i) {
+    rt.submit_batchable(TaskDesc{"a", {}, 0}, kKeyA,
+                        [&executed] { executed.fetch_add(1); });
+    rt.submit_batchable(TaskDesc{"b", {}, 0}, kKeyB,
+                        [&executed] { executed.fetch_add(1); });
+  }
+  gate.set_value();
+  rt.wait();
+  EXPECT_EQ(executed.load(), 8);
+  // 8 tasks were ready at once under a bound of 8, but split 4 + 4 across
+  // the two keys: a group never mixes keys.
+  EXPECT_LE(rt.batch_stats().max_group, 4u);
+}
+
+TEST(BatchDispatch, MaxBatchOneDisablesCoalescing) {
+  Runtime rt(2);
+  rt.set_max_batch_size(1);
+  std::atomic<int> executed{0};
+  for (int i = 0; i < 16; ++i) {
+    rt.submit_batchable(TaskDesc{"batch", {}, 0}, kKeyA,
+                        [&executed] { executed.fetch_add(1); });
+  }
+  rt.wait();
+  EXPECT_EQ(executed.load(), 16);
+  EXPECT_EQ(rt.batch_stats().batched_tasks, 0u);
+}
+
+TEST(BatchDispatch, DependenciesStillSerialize) {
+  Runtime rt(4);
+  rt.set_max_batch_size(8);
+  DataHandle h = rt.register_data();
+  std::vector<int> order;
+  std::mutex order_mutex;
+  for (int i = 0; i < 12; ++i) {
+    rt.submit_batchable(TaskDesc{"chain", {{h, Access::kReadWrite}}, 0}, kKeyA,
+                        [&order, &order_mutex, i] {
+                          std::lock_guard<std::mutex> lock(order_mutex);
+                          order.push_back(i);
+                        });
+  }
+  rt.wait();
+  ASSERT_EQ(order.size(), 12u);
+  for (int i = 0; i < 12; ++i) EXPECT_EQ(order[i], i);
+}
+
+TEST(BatchDispatch, ExceptionsPropagateThroughWait) {
+  Runtime rt(2);
+  rt.submit_batchable(TaskDesc{"boom", {}, 0}, kKeyA,
+                      [] { throw std::runtime_error("batched failure"); });
+  EXPECT_THROW(rt.wait(), std::runtime_error);
+}
+
+// --- bitwise identity of batched vs per-task kernels ---------------------
+
+Matrix<float> random_values(std::size_t m, std::size_t n, Rng& rng,
+                            float scale = 1.0f) {
+  Matrix<float> a(m, n);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    a.data()[i] = scale * static_cast<float>(rng.normal());
+  }
+  return a;
+}
+
+bool tiles_bitwise_equal(const Tile& a, const Tile& b) {
+  return a.precision() == b.precision() &&
+         a.storage_bytes() == b.storage_bytes() &&
+         std::memcmp(a.raw(), b.raw(), a.storage_bytes()) == 0;
+}
+
+class BatchBitwiseParam : public ::testing::TestWithParam<Precision> {};
+
+TEST_P(BatchBitwiseParam, GemmBatchMatchesPerTaskBitwise) {
+  const Precision p = GetParam();
+  Rng rng(42);
+  constexpr std::size_t kTs = 16;
+  constexpr std::size_t kGroup = 6;
+
+  std::vector<Tile> a_tiles, b_tiles, c_batched, c_single;
+  for (std::size_t g = 0; g < kGroup; ++g) {
+    a_tiles.emplace_back(kTs, kTs, p);
+    b_tiles.emplace_back(kTs, kTs, p);
+    a_tiles.back().from_fp32(random_values(kTs, kTs, rng, 0.5f));
+    b_tiles.back().from_fp32(random_values(kTs, kTs, rng, 0.5f));
+    Tile c(kTs, kTs, p);
+    c.from_fp32(random_values(kTs, kTs, rng, 0.5f));
+    c_batched.push_back(c);
+    c_single.push_back(c);
+  }
+  // Shared operands across the group exercise the decode cache.
+  std::vector<mpblas::batch::GemmWork> work;
+  for (std::size_t g = 0; g < kGroup; ++g) {
+    work.push_back({&a_tiles[0], &b_tiles[g], &c_batched[g]});
+  }
+  mpblas::batch::gemm_batch(work);
+  for (std::size_t g = 0; g < kGroup; ++g) {
+    tile_gemm(a_tiles[0], b_tiles[g], c_single[g]);
+  }
+  for (std::size_t g = 0; g < kGroup; ++g) {
+    EXPECT_TRUE(tiles_bitwise_equal(c_batched[g], c_single[g]))
+        << "group member " << g << " precision " << to_string(p);
+  }
+}
+
+TEST_P(BatchBitwiseParam, SyrkBatchMatchesPerTaskBitwise) {
+  const Precision p = GetParam();
+  Rng rng(43);
+  constexpr std::size_t kTs = 16;
+  constexpr std::size_t kGroup = 5;
+
+  std::vector<Tile> a_tiles, c_batched, c_single;
+  for (std::size_t g = 0; g < kGroup; ++g) {
+    a_tiles.emplace_back(kTs, kTs, p);
+    a_tiles.back().from_fp32(random_values(kTs, kTs, rng, 0.5f));
+    Tile c(kTs, kTs, p);
+    c.from_fp32(random_values(kTs, kTs, rng, 0.5f));
+    c_batched.push_back(c);
+    c_single.push_back(c);
+  }
+  std::vector<mpblas::batch::SyrkWork> work;
+  for (std::size_t g = 0; g < kGroup; ++g) {
+    work.push_back({&a_tiles[g], &c_batched[g]});
+  }
+  mpblas::batch::syrk_batch(work);
+  for (std::size_t g = 0; g < kGroup; ++g) {
+    tile_syrk(a_tiles[g], c_single[g]);
+  }
+  for (std::size_t g = 0; g < kGroup; ++g) {
+    EXPECT_TRUE(tiles_bitwise_equal(c_batched[g], c_single[g]))
+        << "group member " << g << " precision " << to_string(p);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Precisions, BatchBitwiseParam,
+    ::testing::Values(Precision::kFp32, Precision::kFp16, Precision::kBf16,
+                      Precision::kFp8E4M3),
+    [](const auto& info) { return to_string(info.param); });
+
+TEST(BatchDispatch, BatchedTiledPotrfMatchesPerTaskBitwise) {
+  // End-to-end: the batched trailing update must produce the identical
+  // factor, bit for bit, in a mixed-precision map.
+  constexpr std::size_t kN = 96;
+  constexpr std::size_t kTs = 32;
+  Rng rng(7);
+  Matrix<float> g = random_values(kN, kN, rng, 0.3f);
+  Matrix<float> spd(kN, kN, 0.0f);
+  syrk(Uplo::kLower, Trans::kNoTrans, kN, kN, 1.0f, g.data(), kN, 0.0f,
+       spd.data(), kN);
+  for (std::size_t i = 0; i < kN; ++i) {
+    spd(i, i) += static_cast<float>(kN);
+    for (std::size_t j = i + 1; j < kN; ++j) spd(i, j) = spd(j, i);
+  }
+
+  auto factor = [&spd](bool batched) {
+    Runtime rt(3);
+    SymmetricTileMatrix tiled(kN, kTs);
+    tiled.from_dense(spd);
+    // Mixed precisions so re-quantization is part of the comparison.
+    tiled.tile(1, 0).convert_to(Precision::kFp16);
+    tiled.tile(2, 0).convert_to(Precision::kFp16);
+    tiled.tile(2, 1).convert_to(Precision::kBf16);
+    TiledPotrfOptions options;
+    options.batch_trailing_update = batched;
+    tiled_potrf(rt, tiled, options);
+    return tiled.to_dense();
+  };
+
+  const Matrix<float> batched = factor(true);
+  const Matrix<float> per_task = factor(false);
+  for (std::size_t i = 0; i < batched.size(); ++i) {
+    EXPECT_EQ(batched.data()[i], per_task.data()[i]);
+  }
+}
+
+TEST(BatchScope, CachesDecodesAndInvalidatesWrites) {
+  Rng rng(9);
+  Tile a(8, 8, Precision::kFp16);
+  a.from_fp32(random_values(8, 8, rng));
+
+  mpblas::batch::BatchScope scope;
+  ASSERT_EQ(mpblas::batch::BatchScope::current(), &scope);
+  const float* first = scope.decode(a);
+  const float* second = scope.decode(a);
+  EXPECT_EQ(first, second);
+  EXPECT_EQ(scope.hits(), 1u);
+  EXPECT_EQ(scope.misses(), 1u);
+
+  scope.invalidate(a);
+  scope.decode(a);
+  EXPECT_EQ(scope.misses(), 2u);
+}
+
+TEST(BatchScope, NestsAndRestoresPrevious) {
+  mpblas::batch::BatchScope outer;
+  {
+    mpblas::batch::BatchScope inner;
+    EXPECT_EQ(mpblas::batch::BatchScope::current(), &inner);
+  }
+  EXPECT_EQ(mpblas::batch::BatchScope::current(), &outer);
+}
+
+}  // namespace
+}  // namespace kgwas

@@ -1,0 +1,209 @@
+// Property-based randomized tests for the precision-selection policies.
+//
+// For random SPD tile matrices the adaptive map must satisfy the
+// Higham–Mary admissibility criterion it implements: every tile demoted
+// to storage precision p with unit roundoff u_p obeys
+//
+//     u_p * ||A_ij||_F  <=  epsilon * ||A||_F / nt,
+//
+// diagonal tiles always keep the working precision, and the chosen format
+// is the *cheapest* admissible one.  The band policy must be monotone in
+// its fp32_fraction parameter.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "linalg/precision_policy.hpp"
+#include "tile/precision_map.hpp"
+#include "tile/tile_matrix.hpp"
+
+namespace kgwas {
+namespace {
+
+// Random SPD matrix G * G^T + n * I, scaled by 2^scale_exp to exercise
+// norm magnitudes across several orders.
+Matrix<float> random_spd(std::size_t n, Rng& rng, int scale_exp) {
+  Matrix<float> g(n, n);
+  for (std::size_t i = 0; i < g.size(); ++i) {
+    g.data()[i] = static_cast<float>(rng.normal());
+  }
+  Matrix<float> a(n, n, 0.0f);
+  for (std::size_t j = 0; j < n; ++j) {
+    for (std::size_t i = 0; i < n; ++i) {
+      double sum = 0.0;
+      for (std::size_t l = 0; l < n; ++l) {
+        sum += static_cast<double>(g(i, l)) * static_cast<double>(g(j, l));
+      }
+      a(i, j) = static_cast<float>(sum);
+    }
+    a(j, j) += static_cast<float>(n);
+  }
+  const float scale = std::ldexp(1.0f, scale_exp);
+  for (std::size_t i = 0; i < a.size(); ++i) a.data()[i] *= scale;
+  return a;
+}
+
+// Reproduces the policy's own norm accounting (tile norms from decoded
+// storage, off-diagonal tiles doubled) so the invariant check measures
+// the decision, not discretization differences.
+double tiled_matrix_norm(const SymmetricTileMatrix& m) {
+  double sum_sq = 0.0;
+  for (std::size_t tj = 0; tj < m.tile_count(); ++tj) {
+    for (std::size_t ti = tj; ti < m.tile_count(); ++ti) {
+      const double norm = m.tile(ti, tj).frobenius_norm();
+      sum_sq += (ti == tj ? 1.0 : 2.0) * norm * norm;
+    }
+  }
+  return std::sqrt(sum_sq);
+}
+
+struct TrialConfig {
+  std::size_t n;
+  std::size_t tile_size;
+  double epsilon;
+  std::vector<Precision> available;
+};
+
+TrialConfig random_trial(Rng& rng) {
+  static const std::vector<std::vector<Precision>> kCandidateSets = {
+      {Precision::kFp16},
+      {Precision::kFp16, Precision::kFp8E4M3},
+      {Precision::kBf16, Precision::kFp16},
+      {Precision::kFp16, Precision::kFp8E4M3, Precision::kFp8E5M2},
+  };
+  static const std::vector<double> kEpsilons = {2e-4, 2e-3, 2e-2, 6e-2};
+  TrialConfig t;
+  t.n = 24 + rng.uniform_index(73);           // 24 .. 96
+  t.tile_size = 8 + rng.uniform_index(25);    // 8 .. 32
+  t.epsilon = kEpsilons[rng.uniform_index(kEpsilons.size())];
+  t.available = kCandidateSets[rng.uniform_index(kCandidateSets.size())];
+  return t;
+}
+
+TEST(AdaptivePrecisionMapProperty, HighamMaryAdmissibilityInvariant) {
+  constexpr int kTrials = 24;
+  for (int trial = 0; trial < kTrials; ++trial) {
+    Rng rng(1000 + trial);
+    const TrialConfig t = random_trial(rng);
+    const int scale_exp = static_cast<int>(rng.uniform_index(13)) - 4;
+
+    SymmetricTileMatrix tiled(t.n, t.tile_size);
+    tiled.from_dense(random_spd(t.n, rng, scale_exp));
+
+    AdaptivePolicy policy;
+    policy.epsilon = t.epsilon;
+    policy.available = t.available;
+    const PrecisionMap map = adaptive_precision_map(tiled, policy);
+
+    const std::size_t nt = tiled.tile_count();
+    const double budget = policy.epsilon * tiled_matrix_norm(tiled) /
+                          static_cast<double>(nt);
+    // Tolerate only FP rounding of the policy's own arithmetic.
+    const double slack = 1.0 + 1e-12;
+
+    for (std::size_t tj = 0; tj < nt; ++tj) {
+      for (std::size_t ti = tj + 1; ti < nt; ++ti) {
+        const Precision chosen = map.get(ti, tj);
+        const double tile_norm = tiled.tile(ti, tj).frobenius_norm();
+        if (chosen != policy.working) {
+          EXPECT_LE(unit_roundoff(chosen) * tile_norm, budget * slack)
+              << "trial " << trial << " tile (" << ti << "," << tj
+              << ") demoted to " << to_string(chosen)
+              << " violates the admissibility bound";
+        }
+        // Cheapest-admissible: no candidate with a larger unit roundoff
+        // than the chosen precision may satisfy the bound.
+        const double chosen_u =
+            chosen == policy.working ? 0.0 : unit_roundoff(chosen);
+        for (Precision candidate : policy.available) {
+          if (unit_roundoff(candidate) > chosen_u) {
+            EXPECT_GT(unit_roundoff(candidate) * tile_norm, budget / slack)
+                << "trial " << trial << " tile (" << ti << "," << tj
+                << "): cheaper admissible candidate "
+                << to_string(candidate) << " was not chosen";
+          }
+        }
+      }
+    }
+  }
+}
+
+TEST(AdaptivePrecisionMapProperty, DiagonalTilesAlwaysKeepWorkingPrecision) {
+  constexpr int kTrials = 12;
+  for (int trial = 0; trial < kTrials; ++trial) {
+    Rng rng(2000 + trial);
+    const TrialConfig t = random_trial(rng);
+    SymmetricTileMatrix tiled(t.n, t.tile_size);
+    tiled.from_dense(random_spd(t.n, rng, 0));
+
+    AdaptivePolicy policy;
+    // Absurdly loose epsilon: every off-diagonal tile becomes demotable,
+    // the diagonal still must not budge.
+    policy.epsilon = 1e6;
+    policy.available = t.available;
+    const PrecisionMap map = adaptive_precision_map(tiled, policy);
+
+    for (std::size_t d = 0; d < tiled.tile_count(); ++d) {
+      EXPECT_EQ(map.get(d, d), policy.working)
+          << "trial " << trial << " diagonal tile " << d;
+    }
+    // Sanity: the loose budget did demote something off-diagonal.
+    if (tiled.tile_count() > 1) {
+      EXPECT_GT(map.off_diagonal_fraction(t.available.back()) +
+                    map.off_diagonal_fraction(t.available.front()),
+                0.0);
+    }
+  }
+}
+
+TEST(BandPrecisionMapProperty, MonotoneInFp32Fraction) {
+  constexpr int kTrials = 20;
+  for (int trial = 0; trial < kTrials; ++trial) {
+    Rng rng(3000 + trial);
+    const std::size_t nt = 2 + rng.uniform_index(15);  // 2 .. 16 tiles
+    double f1 = static_cast<double>(rng.uniform_index(101)) / 100.0;
+    double f2 = static_cast<double>(rng.uniform_index(101)) / 100.0;
+    if (f1 > f2) std::swap(f1, f2);
+
+    const PrecisionMap low_map =
+        band_precision_map(nt, f1, Precision::kFp16);
+    const PrecisionMap high_map =
+        band_precision_map(nt, f2, Precision::kFp16);
+
+    // Tile-wise monotonicity: everything FP32 under the smaller fraction
+    // stays FP32 under the larger one.
+    for (std::size_t tj = 0; tj < nt; ++tj) {
+      for (std::size_t ti = tj; ti < nt; ++ti) {
+        if (low_map.get(ti, tj) == Precision::kFp32) {
+          EXPECT_EQ(high_map.get(ti, tj), Precision::kFp32)
+              << "trial " << trial << " f1=" << f1 << " f2=" << f2
+              << " tile (" << ti << "," << tj << ")";
+        }
+      }
+    }
+    // Aggregate monotonicity of the kept-FP32 fraction.
+    EXPECT_LE(low_map.fraction(Precision::kFp32),
+              high_map.fraction(Precision::kFp32) + 1e-12);
+  }
+}
+
+TEST(BandPrecisionMapProperty, EndpointsAreAllWorkingAndDiagonalOnly) {
+  for (std::size_t nt : {1u, 2u, 5u, 9u}) {
+    const PrecisionMap all = band_precision_map(nt, 1.0, Precision::kFp16);
+    EXPECT_DOUBLE_EQ(all.fraction(Precision::kFp32), 1.0);
+
+    const PrecisionMap none = band_precision_map(nt, 0.0, Precision::kFp16);
+    for (std::size_t tj = 0; tj < nt; ++tj) {
+      for (std::size_t ti = tj; ti < nt; ++ti) {
+        EXPECT_EQ(none.get(ti, tj),
+                  ti == tj ? Precision::kFp32 : Precision::kFp16);
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace kgwas
