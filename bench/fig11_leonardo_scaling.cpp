@@ -55,6 +55,16 @@ int main(int argc, char** argv) {
   scaling_table(model, mixes, {1024, 2048, 4096}, /*weak=*/false);
   std::cout << "\nShape check vs paper: weak ~100% for both; strong drops to "
                "~50% for FP64/FP16 but ~80% for FP64/FP32.\n";
-  (void)args;
+
+  // (c) real in-process multi-rank execution (dist/ layer): the same
+  // precision-vs-communication tradeoff, measured instead of modelled.
+  bench::real_dist_potrf_section(
+      args, "fig11_leonardo_scaling", [](std::size_t nt) {
+        return std::vector<std::pair<std::string, PrecisionMap>>{
+            {"FP32", PrecisionMap(nt, Precision::kFp32)},
+            {"FP32/FP16 band",
+             band_precision_map(nt, 0.25, Precision::kFp16, Precision::kFp32)},
+        };
+      });
   return 0;
 }

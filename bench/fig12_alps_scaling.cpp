@@ -61,6 +61,19 @@ int main(int argc, char** argv) {
                "measures a deeper drop, to ~50% vs ~77%: its runtime-level "
                "losses exceed this volume-based comm model - see "
                "EXPERIMENTS.md).\n";
-  (void)args;
+
+  // (c) real in-process multi-rank execution (dist/ layer) with the
+  // GH200-style FP8 band map: measured seconds + wire bytes.
+  bench::real_dist_potrf_section(
+      args, "fig12_alps_scaling", [](std::size_t nt) {
+        return std::vector<std::pair<std::string, PrecisionMap>>{
+            {"FP32", PrecisionMap(nt, Precision::kFp32)},
+            {"FP32/FP16 band",
+             band_precision_map(nt, 0.25, Precision::kFp16, Precision::kFp32)},
+            {"FP32/FP8 band",
+             band_precision_map(nt, 0.25, Precision::kFp8E4M3,
+                                Precision::kFp32)},
+        };
+      });
   return 0;
 }

@@ -1,22 +1,40 @@
 // Environment-variable parsing helpers shared by the runtime knobs.
+//
+// All KGWAS_* knobs are parsed through env_size_t, which is deliberately
+// strict: a malformed value must never silently become a surprising
+// number (strtoull would wrap "-1" to SIZE_MAX, saturate overflow to
+// ULLONG_MAX, and stop at the first non-digit of "12abc").  Anything that
+// is not a clean non-negative decimal integer in range falls back to the
+// knob's documented default.
 #pragma once
 
 #include <cctype>
+#include <cerrno>
 #include <cstddef>
 #include <cstdlib>
+#include <limits>
 
 namespace kgwas {
 
-/// Parses a non-negative integer environment variable; returns `fallback`
-/// when the variable is unset or does not start with a digit.  Signs are
-/// rejected (strtoull would silently wrap "-1" to SIZE_MAX).
+/// Parses a non-negative decimal integer environment variable; returns
+/// `fallback` when the variable is unset, empty, signed, has trailing
+/// garbage, or overflows std::size_t.  Leading/trailing ASCII whitespace
+/// is tolerated.
 inline std::size_t env_size_t(const char* name, std::size_t fallback) {
   const char* value = std::getenv(name);
   if (value == nullptr) return fallback;
+  while (std::isspace(static_cast<unsigned char>(*value))) ++value;
+  // Signs are rejected outright: "-1" must not wrap and "+1" is not a
+  // documented spelling for any knob.
   if (!std::isdigit(static_cast<unsigned char>(value[0]))) return fallback;
   char* end = nullptr;
+  errno = 0;
   const unsigned long long parsed = std::strtoull(value, &end, 10);
   if (end == value) return fallback;
+  if (errno == ERANGE) return fallback;  // overflow saturated to ULLONG_MAX
+  if (parsed > std::numeric_limits<std::size_t>::max()) return fallback;
+  while (std::isspace(static_cast<unsigned char>(*end))) ++end;
+  if (*end != '\0') return fallback;  // trailing garbage ("12abc", "3 4")
   return static_cast<std::size_t>(parsed);
 }
 

@@ -1,5 +1,5 @@
 // Priority-aware work-stealing scheduler — the execution substrate under
-// the dataflow runtime (src/runtime) and the ThreadPool facade.
+// the dataflow runtime (src/runtime).
 //
 // Design (the standard recipe from PaRSEC/StarPU-class task runtimes):
 //
@@ -19,8 +19,8 @@
 // global-FIFO behavior; the benches use it as the baseline when reporting
 // scheduler efficiency.
 //
-// Tasks must not let exceptions escape; callers (Runtime, ThreadPool)
-// wrap user code in their own try/catch.
+// Tasks must not let exceptions escape; callers (e.g. Runtime) wrap user
+// code in their own try/catch.
 #pragma once
 
 #include <atomic>

@@ -1,0 +1,64 @@
+// Communication pattern of the block-cyclic right-looking tiled Cholesky
+// — the single source of truth for who ships which panel tile where.
+//
+// Used by the real distributed factorization (dist/dist_cholesky.cpp) to
+// compute send destinations and expected receives, and by the DAG
+// simulator's communication accounting (perfmodel/dag_simulator.cpp) —
+// sharing it is what lets the calibration test demand *exact* agreement
+// between modelled and measured wire bytes.
+//
+// Pattern: at step k the panel consists of the post-POTRF diagonal tile
+// (k, k) and the post-TRSM sub-diagonal tiles (m, k), m > k.  Tile (k, k)
+// is read by every TRSM of column k; tile (m, k) is read by the SYRK at
+// (m, m) and by the GEMMs across row m ((m, j), k < j < m) and down
+// column m ((j, m), m < j < nt).  Each panel tile ships once per distinct
+// consumer rank (the receiver caches it for all its consuming tasks),
+// which is the dedup a remote-tile cache buys over per-task transfers.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <vector>
+
+#include "dist/process_grid.hpp"
+
+namespace kgwas::dist {
+
+/// Distinct ranks (sorted) owning a trailing tile that reads the
+/// post-POTRF diagonal tile (k, k) — i.e. the owners of column k below
+/// the diagonal.  May include the tile's own rank; callers exclude it.
+inline std::vector<int> diag_tile_consumers(const ProcessGrid& grid,
+                                            std::size_t nt, std::size_t k) {
+  std::vector<int> ranks;
+  for (std::size_t i = k + 1; i < nt; ++i) ranks.push_back(grid.owner(i, k));
+  std::sort(ranks.begin(), ranks.end());
+  ranks.erase(std::unique(ranks.begin(), ranks.end()), ranks.end());
+  return ranks;
+}
+
+/// Distinct ranks (sorted) owning a trailing tile that reads the
+/// post-TRSM panel tile (m, k), m > k: the SYRK output (m, m), the GEMM
+/// outputs across row m and down column m of the trailing submatrix.
+inline std::vector<int> panel_tile_consumers(const ProcessGrid& grid,
+                                             std::size_t nt, std::size_t m,
+                                             std::size_t k) {
+  std::vector<int> ranks;
+  for (std::size_t j = k + 1; j <= m; ++j) ranks.push_back(grid.owner(m, j));
+  for (std::size_t j = m + 1; j < nt; ++j) ranks.push_back(grid.owner(j, m));
+  std::sort(ranks.begin(), ranks.end());
+  ranks.erase(std::unique(ranks.begin(), ranks.end()), ranks.end());
+  return ranks;
+}
+
+/// Removes `rank` from a sorted consumer set (send destinations never
+/// include the producer itself).
+inline std::vector<int> excluding(std::vector<int> ranks, int rank) {
+  ranks.erase(std::remove(ranks.begin(), ranks.end(), rank), ranks.end());
+  return ranks;
+}
+
+inline bool contains(const std::vector<int>& ranks, int rank) {
+  return std::binary_search(ranks.begin(), ranks.end(), rank);
+}
+
+}  // namespace kgwas::dist

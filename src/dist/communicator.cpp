@@ -1,0 +1,276 @@
+#include "dist/communicator.hpp"
+
+#include <cstring>
+#include <exception>
+#include <mutex>
+#include <thread>
+
+#include "common/env.hpp"
+#include "common/status.hpp"
+
+namespace kgwas::dist {
+
+namespace {
+
+// Internal collective frame kinds, packed into reserved tags as
+// kReservedTagBit | kind << 56 | epoch << 16 | src.
+enum CollectiveKind : std::uint64_t {
+  kBarrierArrive = 1,
+  kBarrierRelease = 2,
+  kReduceContribution = 3,
+  kReduceResult = 4,
+  kBroadcastFrame = 5,
+};
+
+constexpr std::uint64_t collective_tag(CollectiveKind kind,
+                                       std::uint64_t epoch, int src) {
+  return kReservedTagBit | (static_cast<std::uint64_t>(kind) << 56) |
+         ((epoch & 0xFFFFFFFFFFull) << 16) |
+         static_cast<std::uint64_t>(src & 0xFFFF);
+}
+
+}  // namespace
+
+void Communicator::send(int dest, std::uint64_t tag,
+                        std::vector<std::byte> payload) {
+  KGWAS_CHECK_ARG(dest >= 0 && dest < size(), "send destination out of range");
+  messages_.fetch_add(1, std::memory_order_relaxed);
+  payload_bytes_.fetch_add(payload.size(), std::memory_order_relaxed);
+  do_send(dest, tag, std::move(payload));
+}
+
+Message Communicator::recv(std::uint64_t tag) { return do_recv(tag); }
+
+Message Communicator::recv_any() { return do_recv_any(); }
+
+void Communicator::barrier() {
+  const std::uint64_t epoch = collective_epoch_++;
+  if (size() == 1) return;
+  if (rank() == 0) {
+    for (int r = 1; r < size(); ++r) {
+      do_recv(collective_tag(kBarrierArrive, epoch, r));
+    }
+    for (int r = 1; r < size(); ++r) {
+      send(r, collective_tag(kBarrierRelease, epoch, 0), {});
+    }
+  } else {
+    send(0, collective_tag(kBarrierArrive, epoch, rank()), {});
+    do_recv(collective_tag(kBarrierRelease, epoch, 0));
+  }
+}
+
+void Communicator::allreduce_sum(double* values, std::size_t n) {
+  const std::uint64_t epoch = collective_epoch_++;
+  if (size() == 1) return;
+  const std::size_t bytes = n * sizeof(double);
+  if (rank() == 0) {
+    // Reduce contributions in ascending rank order: deterministic FP sums,
+    // identical on every rank because only rank 0 reduces.
+    for (int r = 1; r < size(); ++r) {
+      const Message m = do_recv(collective_tag(kReduceContribution, epoch, r));
+      KGWAS_CHECK_ARG(m.payload.size() == bytes,
+                      "allreduce contribution size mismatch");
+      for (std::size_t i = 0; i < n; ++i) {
+        double v;
+        std::memcpy(&v, m.payload.data() + i * sizeof(double), sizeof(double));
+        values[i] += v;
+      }
+    }
+    std::vector<std::byte> result(bytes);
+    std::memcpy(result.data(), values, bytes);
+    for (int r = 1; r < size(); ++r) {
+      send(r, collective_tag(kReduceResult, epoch, 0), result);
+    }
+  } else {
+    std::vector<std::byte> contribution(bytes);
+    std::memcpy(contribution.data(), values, bytes);
+    send(0, collective_tag(kReduceContribution, epoch, rank()),
+         std::move(contribution));
+    const Message m = do_recv(collective_tag(kReduceResult, epoch, 0));
+    KGWAS_CHECK_ARG(m.payload.size() == bytes, "allreduce result size mismatch");
+    std::memcpy(values, m.payload.data(), bytes);
+  }
+}
+
+void Communicator::broadcast(int root, std::vector<std::byte>& data) {
+  KGWAS_CHECK_ARG(root >= 0 && root < size(), "broadcast root out of range");
+  const std::uint64_t epoch = collective_epoch_++;
+  if (size() == 1) return;
+  if (rank() == root) {
+    for (int r = 0; r < size(); ++r) {
+      if (r != root) send(r, collective_tag(kBroadcastFrame, epoch, root), data);
+    }
+  } else {
+    data = do_recv(collective_tag(kBroadcastFrame, epoch, root)).payload;
+  }
+}
+
+void Communicator::record_tile_payload(Precision precision,
+                                       std::uint64_t bytes) noexcept {
+  tile_bytes_[static_cast<std::size_t>(precision)].fetch_add(
+      bytes, std::memory_order_relaxed);
+}
+
+WireVolume Communicator::wire_volume() const {
+  WireVolume v;
+  v.messages = messages_.load(std::memory_order_relaxed);
+  v.payload_bytes = payload_bytes_.load(std::memory_order_relaxed);
+  for (std::size_t i = 0; i < kNumPrecisions; ++i) {
+    v.tile_payload_bytes[i] = tile_bytes_[i].load(std::memory_order_relaxed);
+  }
+  return v;
+}
+
+void Communicator::reset_wire_volume() noexcept {
+  messages_.store(0, std::memory_order_relaxed);
+  payload_bytes_.store(0, std::memory_order_relaxed);
+  for (auto& b : tile_bytes_) b.store(0, std::memory_order_relaxed);
+}
+
+// ------------------------------------------------------------- in-process
+
+class InProcessWorld::RankComm final : public Communicator {
+ public:
+  RankComm(InProcessWorld* world, int rank) : world_(world), rank_(rank) {}
+
+  int rank() const noexcept override { return rank_; }
+  int size() const noexcept override { return world_->size(); }
+
+ protected:
+  void do_send(int dest, std::uint64_t tag,
+               std::vector<std::byte> payload) override {
+    world_->comms_[static_cast<std::size_t>(dest)]->mailbox_.push(
+        Message{rank_, tag, std::move(payload)});
+  }
+
+  Message do_recv(std::uint64_t tag) override {
+    for (;;) {
+      for (auto it = pending_.begin(); it != pending_.end(); ++it) {
+        if (it->tag == tag) {
+          Message out = std::move(*it);
+          pending_.erase(it);
+          return out;
+        }
+      }
+      wait_and_drain();
+    }
+  }
+
+  Message do_recv_any() override {
+    for (;;) {
+      for (auto it = pending_.begin(); it != pending_.end(); ++it) {
+        if ((it->tag & kReservedTagBit) == 0) {
+          Message out = std::move(*it);
+          pending_.erase(it);
+          return out;
+        }
+      }
+      wait_and_drain();
+    }
+  }
+
+ private:
+  void wait_and_drain() {
+    if (world_->poisoned()) throw WorldAborted();
+    mailbox_.wait_beyond(seen_);
+    if (world_->poisoned()) throw WorldAborted();
+    const std::size_t before = pending_.size();
+    mailbox_.drain(pending_);
+    seen_ += pending_.size() - before;
+  }
+
+  friend class InProcessWorld;
+  void wake() { mailbox_.push(Message{-1, kReservedTagBit, {}}); }
+
+  InProcessWorld* world_;
+  int rank_;
+  Mailbox mailbox_;
+  // Consumer-side arrival list: drained but not yet tag-requested frames.
+  std::deque<Message> pending_;
+  std::uint64_t seen_ = 0;  // messages drained from the mailbox so far
+};
+
+InProcessWorld::InProcessWorld(int ranks) {
+  KGWAS_CHECK_ARG(ranks >= 1, "world needs at least one rank");
+  comms_.reserve(static_cast<std::size_t>(ranks));
+  for (int r = 0; r < ranks; ++r) {
+    comms_.push_back(std::make_unique<RankComm>(this, r));
+  }
+}
+
+InProcessWorld::~InProcessWorld() = default;
+
+Communicator& InProcessWorld::comm(int rank) {
+  KGWAS_CHECK_ARG(rank >= 0 && rank < size(), "rank out of range");
+  return *comms_[static_cast<std::size_t>(rank)];
+}
+
+void InProcessWorld::poison() {
+  if (poisoned_.exchange(true, std::memory_order_acq_rel)) return;
+  // One reserved wake frame per rank: parked receives re-check the flag
+  // and throw; the frame itself matches no application or collective tag.
+  for (const auto& c : comms_) c->wake();
+}
+
+WireVolume InProcessWorld::total_wire_volume() const {
+  WireVolume total;
+  for (const auto& c : comms_) {
+    const WireVolume v = c->wire_volume();
+    total.messages += v.messages;
+    total.payload_bytes += v.payload_bytes;
+    for (std::size_t i = 0; i < kNumPrecisions; ++i) {
+      total.tile_payload_bytes[i] += v.tile_payload_bytes[i];
+    }
+  }
+  return total;
+}
+
+WireVolume run_ranks(int ranks, const std::function<void(Communicator&)>& fn) {
+  InProcessWorld world(ranks);
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<std::size_t>(ranks));
+  // Root-cause error and the secondary WorldAborted cascade are tracked
+  // separately: when a rank fails, the world is poisoned so its peers'
+  // blocked receives abort (instead of hanging the join forever), and
+  // the original exception is the one rethrown.
+  std::exception_ptr root_error;
+  std::exception_ptr aborted_error;
+  std::mutex error_mutex;
+  for (int r = 0; r < ranks; ++r) {
+    threads.emplace_back([&, r] {
+      try {
+        fn(world.comm(r));
+      } catch (const WorldAborted&) {
+        std::lock_guard<std::mutex> lock(error_mutex);
+        if (!aborted_error) aborted_error = std::current_exception();
+      } catch (...) {
+        {
+          std::lock_guard<std::mutex> lock(error_mutex);
+          if (!root_error) root_error = std::current_exception();
+        }
+        world.poison();
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  if (root_error) std::rethrow_exception(root_error);
+  if (aborted_error) std::rethrow_exception(aborted_error);
+  return world.total_wire_volume();
+}
+
+int configured_ranks() {
+  const std::size_t ranks = env_size_t("KGWAS_RANKS", 1);
+  if (ranks < 1) return 1;
+  if (ranks > 256) return 256;
+  return static_cast<int>(ranks);
+}
+
+std::size_t configured_workers_per_rank(int ranks) {
+  const std::size_t configured = env_size_t("KGWAS_DIST_WORKERS", 0);
+  if (configured > 0) return configured;
+  const std::size_t hw = std::thread::hardware_concurrency();
+  const std::size_t per_rank = hw / static_cast<std::size_t>(ranks < 1 ? 1 : ranks);
+  return per_rank > 0 ? per_rank : 1;
+}
+
+}  // namespace kgwas::dist

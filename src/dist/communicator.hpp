@@ -1,0 +1,172 @@
+// Multi-rank communicator — the message substrate of the distributed tile
+// execution layer.
+//
+// `Communicator` is the per-rank endpoint: rank/size, tagged asynchronous
+// send, blocking tag-matched receive, barrier and allreduce.  The
+// interface is deliberately MPI-shaped (tags ~ MPI tags, collectives ~
+// MPI_Barrier/MPI_Allreduce) so an MPI backend can drop in behind the same
+// calls later; the backend shipped here is `InProcessWorld`, which runs N
+// ranks as N threads of one process connected by lock-free mailboxes, so
+// CI exercises real multi-rank execution without an MPI installation.
+//
+// Threading contract:
+//  * `send` is asynchronous and never blocks; callable from any thread of
+//    the rank (the tiled solvers post sends from runtime worker tasks).
+//  * `recv` / `recv_any` / collectives block and are single-consumer: only
+//    the rank's driving thread may call them.
+//
+// Wire accounting: every endpoint keeps a ledger of frames and bytes sent,
+// plus per-storage-precision tile payload bytes recorded by the tile
+// transport (dist/tile_transport.hpp).  This is the measured counterpart
+// of the DAG simulator's modelled communication volume — the calibration
+// test asserts they agree exactly.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "common/status.hpp"
+#include "dist/mailbox.hpp"
+#include "precision/precision.hpp"
+
+namespace kgwas::dist {
+
+/// Thrown on surviving ranks when another rank of the world failed: the
+/// in-process backend poisons every mailbox so blocked receives abort
+/// instead of waiting forever for a dead peer (run_ranks then reports
+/// the original error, not this secondary one).
+class WorldAborted : public Error {
+ public:
+  WorldAborted() : Error("a peer rank failed; world aborted") {}
+};
+
+/// Tags with this bit set are reserved for the communicator's internal
+/// collective protocol; application tags must leave it clear (recv_any
+/// skips reserved frames).
+inline constexpr std::uint64_t kReservedTagBit = std::uint64_t{1} << 63;
+
+/// Snapshot of an endpoint's send-side wire ledger.
+struct WireVolume {
+  std::uint64_t messages = 0;       ///< frames sent (incl. collectives)
+  std::uint64_t payload_bytes = 0;  ///< bytes of every frame sent
+  /// Tile payload bytes by storage precision (headers excluded) — the
+  /// paper's "data moved at storage precision" metric, recorded by
+  /// send_tile.  Indexed by static_cast<size_t>(Precision).
+  std::array<std::uint64_t, kNumPrecisions> tile_payload_bytes{};
+
+  std::uint64_t tile_bytes(Precision p) const {
+    return tile_payload_bytes[static_cast<std::size_t>(p)];
+  }
+  std::uint64_t total_tile_bytes() const {
+    std::uint64_t total = 0;
+    for (const std::uint64_t b : tile_payload_bytes) total += b;
+    return total;
+  }
+};
+
+class Communicator {
+ public:
+  virtual ~Communicator() = default;
+
+  virtual int rank() const noexcept = 0;
+  virtual int size() const noexcept = 0;
+
+  /// Asynchronous tagged send; never blocks.
+  void send(int dest, std::uint64_t tag, std::vector<std::byte> payload);
+
+  /// Blocks until a message with `tag` arrives (tags are unique per
+  /// logical datum in every protocol this library runs, so matching by
+  /// tag alone suffices; the source rank is reported in the result).
+  Message recv(std::uint64_t tag);
+
+  /// Blocks until any *application* message (reserved collective frames
+  /// are skipped and stay pending) is available; returns the oldest.
+  Message recv_any();
+
+  /// Rendezvous of all ranks.  SPMD discipline: every rank must call the
+  /// collectives in the same order.
+  void barrier();
+
+  /// Element-wise sum of `values` across ranks; every rank receives the
+  /// result.  The reduction is applied in ascending rank order, so the
+  /// result is bitwise identical on every rank and across repeated runs.
+  void allreduce_sum(double* values, std::size_t n);
+
+  /// Replicates `data` from `root` to every rank.
+  void broadcast(int root, std::vector<std::byte>& data);
+
+  /// Adds tile payload bytes to the per-precision ledger (called by the
+  /// tile transport at send time).
+  void record_tile_payload(Precision precision, std::uint64_t bytes) noexcept;
+
+  WireVolume wire_volume() const;
+  void reset_wire_volume() noexcept;
+
+ protected:
+  virtual void do_send(int dest, std::uint64_t tag,
+                       std::vector<std::byte> payload) = 0;
+  virtual Message do_recv(std::uint64_t tag) = 0;
+  virtual Message do_recv_any() = 0;
+
+ private:
+  // Collective sequence number; advances identically on every rank under
+  // the SPMD call-order contract, keeping consecutive collectives' frames
+  // apart even when a fast rank races ahead.
+  std::uint64_t collective_epoch_ = 0;
+
+  std::atomic<std::uint64_t> messages_{0};
+  std::atomic<std::uint64_t> payload_bytes_{0};
+  std::array<std::atomic<std::uint64_t>, kNumPrecisions> tile_bytes_{};
+};
+
+/// In-process world: N ranks as N endpoints over lock-free mailboxes.
+/// Construct once, hand `comm(r)` to rank r's thread (see run_ranks).
+class InProcessWorld {
+ public:
+  explicit InProcessWorld(int ranks);
+  ~InProcessWorld();
+
+  InProcessWorld(const InProcessWorld&) = delete;
+  InProcessWorld& operator=(const InProcessWorld&) = delete;
+
+  int size() const noexcept { return static_cast<int>(comms_.size()); }
+  Communicator& comm(int rank);
+
+  /// Sum of every endpoint's send ledger — the world's total wire volume.
+  WireVolume total_wire_volume() const;
+
+  /// Marks the world failed and wakes every parked receive, which then
+  /// throws WorldAborted.  Idempotent; called by run_ranks when a rank's
+  /// body throws so the surviving ranks fail fast instead of hanging.
+  void poison();
+  bool poisoned() const noexcept {
+    return poisoned_.load(std::memory_order_acquire);
+  }
+
+ private:
+  class RankComm;
+  std::vector<std::unique_ptr<RankComm>> comms_;
+  std::atomic<bool> poisoned_{false};
+};
+
+/// SPMD harness: runs `fn(comm)` on `ranks` fresh threads over a fresh
+/// InProcessWorld and joins them.  The first exception thrown by any rank
+/// is rethrown after every thread has exited.  Returns the world's total
+/// wire volume.
+WireVolume run_ranks(int ranks, const std::function<void(Communicator&)>& fn);
+
+/// KGWAS_RANKS (default 1, clamped to [1, 256]): world size the
+/// distributed entry points use when the caller does not pass one.
+int configured_ranks();
+
+/// KGWAS_DIST_WORKERS (default 0 = hardware_concurrency / ranks, at least
+/// 1): runtime workers each rank spawns.
+std::size_t configured_workers_per_rank(int ranks);
+
+}  // namespace kgwas::dist

@@ -1,0 +1,392 @@
+#include "dist/dist_cholesky.hpp"
+
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.hpp"
+#include "dist/cholesky_comm_pattern.hpp"
+#include "dist/progress.hpp"
+#include "dist/tile_transport.hpp"
+#include "linalg/tile_kernels.hpp"
+#include "linalg/tiled_cholesky.hpp"
+#include "mpblas/batch.hpp"
+#include "tile/tile_pool.hpp"
+
+namespace kgwas::dist {
+
+namespace {
+
+using detail::ExpectedMap;
+using detail::PendingRecv;
+using detail::drain_expected;
+using detail::rows_as_tile;
+using detail::tile_into_rows;
+
+/// Lazily-registered data handles for locally-owned tiles / row blocks.
+class HandleMap {
+ public:
+  explicit HandleMap(Runtime& runtime) : runtime_(runtime) {}
+
+  DataHandle operator()(std::size_t ti, std::size_t tj) {
+    const std::uint64_t k =
+        (static_cast<std::uint64_t>(ti) << 32) | static_cast<std::uint64_t>(tj);
+    auto [it, inserted] = handles_.try_emplace(k);
+    if (inserted) it->second = runtime_.register_data();
+    return it->second;
+  }
+
+ private:
+  Runtime& runtime_;
+  std::unordered_map<std::uint64_t, DataHandle> handles_;
+};
+
+}  // namespace
+
+void dist_tiled_potrf(Runtime& runtime, Communicator& comm,
+                      DistSymmetricTileMatrix& a,
+                      const DistPotrfOptions& options) {
+  const std::size_t nt = a.tile_count();
+  if (nt == 0) {
+    comm.barrier();
+    return;
+  }
+  const int me = comm.rank();
+  const ProcessGrid& grid = a.grid();
+  KGWAS_CHECK_ARG(grid.ranks() == comm.size(),
+                  "matrix grid does not match the communicator world");
+  const std::size_t ts = a.tile_size();
+  const int base = options.base_priority;
+  const PrecisionMap* map = options.precision_map;
+  const bool batch = options.batch_trailing_update && map != nullptr;
+
+  HandleMap local_handle(runtime);
+  std::unordered_map<std::uint64_t, DataHandle> cache_handles;
+  ExpectedMap expected;
+
+  auto expect_tile = [&](std::uint64_t tag, int priority) {
+    detail::expect_tile(runtime, a.cache_slot(tag), cache_handles, expected,
+                        tag, priority);
+  };
+  auto input_handle = [&](std::size_t ti, std::size_t tj, std::uint64_t tag) {
+    return a.is_local(ti, tj) ? local_handle(ti, tj) : cache_handles.at(tag);
+  };
+
+  for (std::size_t k = 0; k < nt; ++k) {
+    const std::uint64_t kk_tag = make_tile_tag(Phase::kPotrfPanel, k, k);
+    const auto diag_consumers = diag_tile_consumers(grid, nt, k);
+
+    if (a.is_local(k, k)) {
+      runtime.submit(
+          TaskDesc{"potrf",
+                   {{local_handle(k, k), Access::kReadWrite}},
+                   potrf_task_priority(base, nt, k, PotrfKernel::kPotrf)},
+          [&a, k, ts] { tile_potrf(a.tile(k, k), k * ts); });
+      const auto dests = excluding(diag_consumers, me);
+      if (!dests.empty()) {
+        runtime.submit(
+            TaskDesc{"send_diag",
+                     {{local_handle(k, k), Access::kRead}},
+                     potrf_task_priority(base, nt, k, PotrfKernel::kTrsm)},
+            [&a, &comm, dests, kk_tag, k] {
+              for (const int d : dests) send_tile(comm, d, kk_tag, a.tile(k, k));
+            });
+      }
+    } else if (contains(diag_consumers, me)) {
+      expect_tile(kk_tag, potrf_task_priority(base, nt, k, PotrfKernel::kPotrf));
+    }
+
+    // Panel TRSMs and panel-tile transport.
+    for (std::size_t m = k + 1; m < nt; ++m) {
+      const std::uint64_t mk_tag = make_tile_tag(Phase::kPotrfPanel, m, k);
+      if (a.is_local(m, k)) {
+        runtime.submit(
+            TaskDesc{"trsm",
+                     {{input_handle(k, k, kk_tag), Access::kRead},
+                      {local_handle(m, k), Access::kReadWrite}},
+                     potrf_task_priority(base, nt, k, PotrfKernel::kTrsm)},
+            [&a, m, k, kk_tag] {
+              const Tile& kk =
+                  a.is_local(k, k) ? a.tile(k, k) : a.cached(kk_tag);
+              tile_trsm(kk, a.tile(m, k));
+            });
+        const auto dests =
+            excluding(panel_tile_consumers(grid, nt, m, k), me);
+        if (!dests.empty()) {
+          runtime.submit(
+              TaskDesc{"send_panel",
+                       {{local_handle(m, k), Access::kRead}},
+                       potrf_task_priority(base, nt, k, PotrfKernel::kTrsm)},
+              [&a, &comm, dests, mk_tag, m, k] {
+                for (const int d : dests) {
+                  send_tile(comm, d, mk_tag, a.tile(m, k));
+                }
+              });
+        }
+      } else if (contains(panel_tile_consumers(grid, nt, m, k), me)) {
+        expect_tile(mk_tag,
+                    potrf_task_priority(base, nt, k, PotrfKernel::kTrsm));
+      }
+    }
+
+    // Trailing updates this rank owns.  Same per-tile update order as the
+    // shared-memory factorization, so results stay bitwise identical.
+    for (std::size_t j = k + 1; j < nt; ++j) {
+      const std::uint64_t jk_tag = make_tile_tag(Phase::kPotrfPanel, j, k);
+      if (a.is_local(j, j)) {
+        TaskDesc desc{"syrk",
+                      {{input_handle(j, k, jk_tag), Access::kRead},
+                       {local_handle(j, j), Access::kReadWrite}},
+                      potrf_task_priority(base, nt, k, PotrfKernel::kSyrk)};
+        auto fn = [&a, j, k, jk_tag] {
+          const Tile& ajk = a.is_local(j, k) ? a.tile(j, k) : a.cached(jk_tag);
+          tile_syrk(ajk, a.tile(j, j));
+        };
+        if (batch) {
+          runtime.submit_batchable(
+              std::move(desc),
+              BatchKey{mpblas::batch::make_key(
+                  mpblas::batch::BatchOp::kSyrk, a.tile_dim(j), a.tile_dim(j),
+                  a.tile_dim(k), map->get(j, k), map->get(j, k),
+                  map->get(j, j))},
+              std::move(fn));
+        } else {
+          runtime.submit(std::move(desc), std::move(fn));
+        }
+      }
+      for (std::size_t i = j + 1; i < nt; ++i) {
+        if (!a.is_local(i, j)) continue;
+        const std::uint64_t ik_tag = make_tile_tag(Phase::kPotrfPanel, i, k);
+        TaskDesc desc{"gemm",
+                      {{input_handle(i, k, ik_tag), Access::kRead},
+                       {input_handle(j, k, jk_tag), Access::kRead},
+                       {local_handle(i, j), Access::kReadWrite}},
+                      potrf_task_priority(base, nt, k, PotrfKernel::kGemm)};
+        auto fn = [&a, i, j, k, ik_tag, jk_tag] {
+          const Tile& aik = a.is_local(i, k) ? a.tile(i, k) : a.cached(ik_tag);
+          const Tile& ajk = a.is_local(j, k) ? a.tile(j, k) : a.cached(jk_tag);
+          tile_gemm(aik, ajk, a.tile(i, j));
+        };
+        if (batch) {
+          runtime.submit_batchable(
+              std::move(desc),
+              BatchKey{mpblas::batch::make_key(
+                  mpblas::batch::BatchOp::kGemm, a.tile_dim(i), a.tile_dim(j),
+                  a.tile_dim(k), map->get(i, k), map->get(j, k),
+                  map->get(i, j))},
+              std::move(fn));
+        } else {
+          runtime.submit(std::move(desc), std::move(fn));
+        }
+      }
+    }
+  }
+
+  drain_expected(runtime, comm, expected);
+  runtime.wait();
+  // Every consumer of a cached panel tile has completed; drop the cache
+  // so peak memory stays bounded to one phase's working set (the solve
+  // re-ships the factor tiles it needs under its own tags).
+  a.clear_cache();
+  comm.barrier();
+}
+
+void dist_tiled_potrs(Runtime& runtime, Communicator& comm,
+                      const DistSymmetricTileMatrix& l, Matrix<float>& b,
+                      int base_priority) {
+  const std::size_t nt = l.tile_count();
+  KGWAS_CHECK_ARG(b.rows() == l.n(), "solve RHS row count mismatch");
+  if (nt == 0 || b.cols() == 0) {
+    comm.barrier();
+    return;
+  }
+  const int me = comm.rank();
+  const ProcessGrid& grid = l.grid();
+  KGWAS_CHECK_ARG(grid.ranks() == comm.size(),
+                  "matrix grid does not match the communicator world");
+  const std::size_t ts = l.tile_size();
+  const std::size_t nrhs = b.cols();
+  const std::size_t ldb = b.ld();
+  const int base = base_priority;
+  // Solution row block t lives with the owner of diagonal tile (t, t), so
+  // every solve-step TRSM reads its factor tile locally.
+  auto x_owner = [&](std::size_t t) { return grid.diagonal_owner(t); };
+  auto block = [&](std::size_t t) { return b.data() + t * ts; };
+
+  HandleMap xh(runtime);  // one handle per owned/consumed RHS row block
+  std::unordered_map<std::uint64_t, DataHandle> cache_handles;
+  ExpectedMap expected;
+  auto expect_tile = [&](std::uint64_t tag, int priority) {
+    detail::expect_tile(runtime, l.cache_slot(tag), cache_handles, expected,
+                        tag, priority);
+  };
+
+  // --- Factor-tile transport.  The factor is final before the solve
+  // starts, so owners push each off-diagonal tile to its (at most two)
+  // solve consumers synchronously; receivers wire arrivals as events.
+  // Consumers of L(a, b), a > b: the forward GEMM on x_owner(a) and the
+  // backward GEMM on x_owner(b).
+  const int max_solve_priority =
+      base + (static_cast<int>(nt) << 1) + 2;  // above every sweep task
+  for (std::size_t tb = 0; tb < nt; ++tb) {
+    for (std::size_t ta = tb + 1; ta < nt; ++ta) {
+      const std::uint64_t tag = make_tile_tag(Phase::kSolveFactor, ta, tb);
+      std::vector<int> consumers{x_owner(ta), x_owner(tb)};
+      std::sort(consumers.begin(), consumers.end());
+      consumers.erase(std::unique(consumers.begin(), consumers.end()),
+                      consumers.end());
+      if (l.is_local(ta, tb)) {
+        for (const int d : excluding(consumers, me)) {
+          send_tile(comm, d, tag, l.tile(ta, tb));
+        }
+      } else if (contains(consumers, me)) {
+        expect_tile(tag, max_solve_priority);
+      }
+    }
+  }
+  auto factor_dep = [&](std::size_t ta, std::size_t tb,
+                        std::vector<Dep>& deps) {
+    if (!l.is_local(ta, tb)) {
+      deps.push_back({cache_handles.at(make_tile_tag(Phase::kSolveFactor, ta,
+                                                     tb)),
+                      Access::kRead});
+    }
+  };
+  auto factor_tile = [&l](std::size_t ta, std::size_t tb) -> const Tile& {
+    return l.is_local(ta, tb)
+               ? l.tile(ta, tb)
+               : l.cached(make_tile_tag(Phase::kSolveFactor, ta, tb));
+  };
+
+  // Remote RHS-block versions: decode the cached transport tile into
+  // pooled scratch at use (exact for FP32 payloads).
+  auto run_gemm_rhs = [&l, ldb, nrhs](const Tile& ltile, bool transpose,
+                                       bool xk_local, const float* xk_ptr,
+                                       std::size_t ldxk, std::uint64_t xk_tag,
+                                       float* xi, std::size_t ldxi) {
+    if (xk_local) {
+      tile_gemm_rhs(ltile, transpose, xk_ptr, ldxk, xi, ldxi, nrhs);
+      return;
+    }
+    const Tile& xk = l.cached(xk_tag);
+    PooledF32 scratch(TilePool::global(), xk.elements());
+    xk.decode_to(scratch.data());
+    tile_gemm_rhs(ltile, transpose, scratch.data(), xk.rows(), xi, ldxi, nrhs);
+  };
+
+  // --- Forward sweep: L * Y = B.
+  for (std::size_t k = 0; k < nt; ++k) {
+    const std::uint64_t xk_tag = make_tile_tag(Phase::kSolveForward, k, 0);
+    const bool xk_local = x_owner(k) == me;
+    const int trsm_priority = base + (static_cast<int>(nt - k) << 1) + 1;
+    const int gemm_priority = base + (static_cast<int>(nt - k) << 1);
+    std::vector<int> dests;
+    for (std::size_t i = k + 1; i < nt; ++i) dests.push_back(x_owner(i));
+    std::sort(dests.begin(), dests.end());
+    dests.erase(std::unique(dests.begin(), dests.end()), dests.end());
+    if (xk_local) {
+      runtime.submit(TaskDesc{"trsm_fwd", {{xh(k, 0), Access::kReadWrite}},
+                              trsm_priority},
+                     [&l, &block, k, ldb, nrhs] {
+                       tile_trsm_rhs(l.tile(k, k), /*transpose=*/false,
+                                     block(k), ldb, nrhs);
+                     });
+      const auto remote = excluding(dests, me);
+      if (!remote.empty()) {
+        runtime.submit(
+            TaskDesc{"send_x_fwd", {{xh(k, 0), Access::kRead}}, trsm_priority},
+            [&b, &comm, &l, remote, xk_tag, k, ts] {
+              const Tile t = rows_as_tile(b, k * ts, l.tile_dim(k));
+              for (const int d : remote) send_tile(comm, d, xk_tag, t);
+            });
+      }
+    } else if (contains(dests, me)) {
+      expect_tile(xk_tag, trsm_priority);
+    }
+    for (std::size_t i = k + 1; i < nt; ++i) {
+      if (x_owner(i) != me) continue;
+      std::vector<Dep> deps{
+          {xk_local ? xh(k, 0) : cache_handles.at(xk_tag), Access::kRead},
+          {xh(i, 0), Access::kReadWrite}};
+      factor_dep(i, k, deps);
+      runtime.submit(
+          TaskDesc{"gemm_fwd", std::move(deps), gemm_priority},
+          [&block, &factor_tile, &run_gemm_rhs, i, k, xk_local, xk_tag, ldb] {
+            run_gemm_rhs(factor_tile(i, k), /*transpose=*/false, xk_local,
+                         block(k), ldb, xk_tag, block(i), ldb);
+          });
+    }
+  }
+
+  // --- Backward sweep: L^T * X = Y.
+  for (std::size_t k = nt; k-- > 0;) {
+    const std::uint64_t xk_tag = make_tile_tag(Phase::kSolveBackward, k, 0);
+    const bool xk_local = x_owner(k) == me;
+    const int trsm_priority = base + (static_cast<int>(k + 1) << 1) + 1;
+    const int gemm_priority = base + (static_cast<int>(k + 1) << 1);
+    std::vector<int> dests;
+    for (std::size_t i = 0; i < k; ++i) dests.push_back(x_owner(i));
+    std::sort(dests.begin(), dests.end());
+    dests.erase(std::unique(dests.begin(), dests.end()), dests.end());
+    if (xk_local) {
+      runtime.submit(TaskDesc{"trsm_bwd", {{xh(k, 0), Access::kReadWrite}},
+                              trsm_priority},
+                     [&l, &block, k, ldb, nrhs] {
+                       tile_trsm_rhs(l.tile(k, k), /*transpose=*/true,
+                                     block(k), ldb, nrhs);
+                     });
+      const auto remote = excluding(dests, me);
+      if (!remote.empty()) {
+        runtime.submit(
+            TaskDesc{"send_x_bwd", {{xh(k, 0), Access::kRead}}, trsm_priority},
+            [&b, &comm, &l, remote, xk_tag, k, ts] {
+              const Tile t = rows_as_tile(b, k * ts, l.tile_dim(k));
+              for (const int d : remote) send_tile(comm, d, xk_tag, t);
+            });
+      }
+    } else if (contains(dests, me)) {
+      expect_tile(xk_tag, trsm_priority);
+    }
+    for (std::size_t i = k; i-- > 0;) {
+      if (x_owner(i) != me) continue;
+      // X_i -= L(k, i)^T X_k (lower storage: tile (k, i) with k > i).
+      std::vector<Dep> deps{
+          {xk_local ? xh(k, 0) : cache_handles.at(xk_tag), Access::kRead},
+          {xh(i, 0), Access::kReadWrite}};
+      factor_dep(k, i, deps);
+      runtime.submit(
+          TaskDesc{"gemm_bwd", std::move(deps), gemm_priority},
+          [&block, &factor_tile, &run_gemm_rhs, i, k, xk_local, xk_tag, ldb] {
+            run_gemm_rhs(factor_tile(k, i), /*transpose=*/true, xk_local,
+                         block(k), ldb, xk_tag, block(i), ldb);
+          });
+    }
+  }
+
+  drain_expected(runtime, comm, expected);
+  runtime.wait();
+  l.clear_cache();  // factor/RHS copies are dead once the tasks drained
+  // Every rank must be past its progress loop before any gather frame is
+  // posted: recv_any in a still-draining rank must never see them.
+  comm.barrier();
+
+  // --- Allgather the solution so `b` is fully replicated again.
+  for (std::size_t t = 0; t < nt; ++t) {
+    const std::uint64_t tag = make_tile_tag(Phase::kSolveGather, t, 0);
+    if (x_owner(t) == me) {
+      const Tile xt = rows_as_tile(b, t * ts, l.tile_dim(t));
+      for (int r = 0; r < comm.size(); ++r) {
+        if (r != me) send_tile(comm, r, tag, xt);
+      }
+    }
+  }
+  for (std::size_t t = 0; t < nt; ++t) {
+    if (x_owner(t) == me) continue;
+    const Message msg = comm.recv(make_tile_tag(Phase::kSolveGather, t, 0));
+    Tile xt;
+    decode_tile(msg.payload, xt);
+    tile_into_rows(xt, b, t * ts);
+  }
+  comm.barrier();
+}
+
+}  // namespace kgwas::dist

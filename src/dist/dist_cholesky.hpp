@@ -1,0 +1,65 @@
+// Distributed mixed-precision tiled Cholesky factorization and solve —
+// the multi-rank twin of linalg/tiled_cholesky.
+//
+// SPMD execution: every rank runs the same submission loops over the same
+// global tile indices, but only submits compute tasks whose *output* tile
+// it owns into its local dataflow Runtime (owner-computes).  Panel tiles
+// cross rank boundaries through the Communicator at their *storage*
+// precision — an fp16 panel tile costs half the wire bytes of an fp32 one
+// — and each arrival completes an external runtime event that trailing
+// tasks declare as an ordinary data dependency, so communication overlaps
+// computation exactly the way the shared-memory scheduler overlaps tasks.
+//
+// The kernels, per-tile update order and PR1 critical-path priorities are
+// identical to the shared-memory path, and received tiles are adopted
+// bit-for-bit, so the distributed factor and solution are **bitwise
+// identical** to the single-rank results for every rank count (asserted
+// by the rank-invariance tests).
+//
+// Error handling: numerical failures (non-SPD pivot) propagate out of
+// `Runtime::wait` on the rank that hit them; cross-rank error broadcast
+// is not implemented, so other ranks may block in a collective — treat a
+// throw as fatal for the whole world (exactly MPI semantics).
+#pragma once
+
+#include <cstddef>
+
+#include "dist/communicator.hpp"
+#include "dist/dist_tile_matrix.hpp"
+#include "mpblas/matrix.hpp"
+#include "runtime/runtime.hpp"
+#include "tile/precision_map.hpp"
+
+namespace kgwas::dist {
+
+struct DistPotrfOptions {
+  /// Lifts every task of this factorization above concurrent work.
+  int base_priority = 0;
+  /// Route trailing-update SYRK/GEMM tasks through the runtime's batch
+  /// coalescer (PR2), sharing operand decodes within a rank.  Results are
+  /// bitwise identical either way.
+  bool batch_trailing_update = true;
+  /// Tile precision assignment (replicated on every rank); used to build
+  /// batch coalescing keys for trailing updates whose input tiles are
+  /// remote and not yet materialized at submission time.  May be null:
+  /// trailing updates then run un-batched.
+  const PrecisionMap* precision_map = nullptr;
+};
+
+/// Factorizes A = L * L^T in place over the owned tiles of every rank.
+/// Collective: every rank of `comm` must call with the same geometry.
+/// Ends with a barrier.
+void dist_tiled_potrf(Runtime& runtime, Communicator& comm,
+                      DistSymmetricTileMatrix& a,
+                      const DistPotrfOptions& options = {});
+
+/// Solves L * L^T * X = B over a factor distributed by dist_tiled_potrf.
+/// `b` (n x nrhs, FP32) must hold the same replicated right-hand sides on
+/// every rank; on return it holds the full solution on every rank
+/// (solution row blocks are computed by the diagonal owners and
+/// allgathered).  Collective; ends with a barrier.
+void dist_tiled_potrs(Runtime& runtime, Communicator& comm,
+                      const DistSymmetricTileMatrix& l, Matrix<float>& b,
+                      int base_priority = 0);
+
+}  // namespace kgwas::dist

@@ -1,0 +1,312 @@
+#include "dist/dist_krr.hpp"
+
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "common/status.hpp"
+#include "dist/progress.hpp"
+#include "dist/tile_transport.hpp"
+#include "krr/kernels.hpp"
+#include "linalg/precision_policy.hpp"
+#include "mpblas/batch.hpp"
+#include "mpblas/blas.hpp"
+#include "tile/tile_pool.hpp"
+
+namespace kgwas::dist {
+
+namespace {
+
+using detail::ExpectedMap;
+using detail::PendingRecv;
+using detail::drain_expected;
+using detail::rows_as_tile;
+using detail::tile_into_rows;
+
+}  // namespace
+
+DistSymmetricTileMatrix dist_build_kernel_matrix(
+    Runtime& runtime, Communicator& comm, const ProcessGrid& grid,
+    const GenotypeMatrix& genotypes, const Matrix<float>& confounders,
+    const BuildConfig& config) {
+  const std::size_t np = genotypes.patients();
+  KGWAS_CHECK_ARG(np > 0, "empty cohort");
+  KGWAS_CHECK_ARG(confounders.rows() == np || confounders.rows() == 0,
+                  "confounder row count mismatch");
+  KGWAS_CHECK_ARG(grid.ranks() == comm.size(),
+                  "process grid does not match the communicator world");
+
+  DistSymmetricTileMatrix k(np, config.tile_size, grid, comm.rank());
+  const KernelTileGenerator generator(genotypes, confounders, genotypes,
+                                      confounders, config);
+  const std::size_t nt = k.tile_count();
+  const std::size_t ts = config.tile_size;
+  for (std::size_t tj = 0; tj < nt; ++tj) {
+    for (std::size_t ti = tj; ti < nt; ++ti) {
+      if (!k.is_local(ti, tj)) continue;
+      DataHandle h = runtime.register_data();
+      const int priority = (static_cast<int>(nt - tj) << 1) +
+                           (ti == tj ? 1 : 0);
+      const Tile& out = k.tile(ti, tj);
+      const BatchKey key{mpblas::batch::make_key(
+          mpblas::batch::BatchOp::kBuild, out.rows(), out.cols(), 0,
+          out.precision(), out.precision(), out.precision())};
+      runtime.submit_batchable(
+          TaskDesc{"build_k", {{h, Access::kWrite}}, priority}, key,
+          [&generator, &k, ti, tj, ts] {
+            generator.compute(ti * ts, tj * ts, k.tile(ti, tj));
+          });
+    }
+  }
+  runtime.wait();
+  comm.barrier();
+  return k;
+}
+
+PrecisionMap dist_plan_precision_map(Communicator& comm,
+                                     const DistSymmetricTileMatrix& k,
+                                     const AssociateConfig& config) {
+  const std::size_t nt = k.tile_count();
+  switch (config.mode) {
+    case PrecisionMode::kFixed:
+      return PrecisionMap(nt, config.adaptive.working);
+    case PrecisionMode::kBand:
+      return band_precision_map(nt, config.band_fp32_fraction,
+                                config.low_precision, config.adaptive.working);
+    case PrecisionMode::kAdaptive: {
+      // Per-tile Frobenius norms, owned entries filled locally and summed
+      // against zeros elsewhere — exact in FP, so every rank derives the
+      // map the shared-memory policy would compute on the full matrix.
+      std::vector<double> norms(nt * (nt + 1) / 2, 0.0);
+      for (std::size_t tj = 0; tj < nt; ++tj) {
+        for (std::size_t ti = tj; ti < nt; ++ti) {
+          if (k.is_local(ti, tj)) {
+            norms[lower_tile_index(nt, ti, tj)] =
+                k.tile(ti, tj).frobenius_norm();
+          }
+        }
+      }
+      comm.allreduce_sum(norms.data(), norms.size());
+      return adaptive_precision_map_from_norms(norms, nt, config.adaptive);
+    }
+  }
+  KGWAS_ASSERT(false);
+  return {};
+}
+
+AssociateResult dist_associate(Runtime& runtime, Communicator& comm,
+                               DistSymmetricTileMatrix& k,
+                               const Matrix<float>& phenotypes,
+                               const AssociateConfig& config) {
+  KGWAS_CHECK_ARG(phenotypes.rows() == k.n(),
+                  "phenotype row count must equal kernel dimension");
+  KGWAS_CHECK_ARG(config.alpha > 0.0, "alpha must be positive");
+
+  // Regularize first, exactly like the shared-memory associate: the
+  // precision decision must see K + alpha*I.
+  for (std::size_t t = 0; t < k.tile_count(); ++t) {
+    if (!k.is_local(t, t)) continue;
+    Tile& tile = k.tile(t, t);
+    Matrix<float> values = tile.to_fp32();
+    for (std::size_t i = 0; i < values.rows(); ++i) {
+      values(i, i) += static_cast<float>(config.alpha);
+    }
+    tile.from_fp32(values);
+  }
+
+  AssociateResult result;
+  result.fp32_bytes =
+      map_storage_bytes(PrecisionMap(k.tile_count(), Precision::kFp32), k.n(),
+                        k.tile_size());
+  result.map = dist_plan_precision_map(comm, k, config);
+  k.apply(result.map);
+  result.factor_bytes = map_storage_bytes(result.map, k.n(), k.tile_size());
+
+  DistPotrfOptions options;
+  options.precision_map = &result.map;
+  dist_tiled_potrf(runtime, comm, k, options);
+  result.weights = phenotypes;
+  dist_tiled_potrs(runtime, comm, k, result.weights);
+  return result;
+}
+
+DistTileMatrix dist_build_cross_kernel(
+    Runtime& runtime, Communicator& comm, const ProcessGrid& grid,
+    const GenotypeMatrix& test_genotypes,
+    const Matrix<float>& test_confounders,
+    const GenotypeMatrix& train_genotypes,
+    const Matrix<float>& train_confounders, const BuildConfig& config) {
+  KGWAS_CHECK_ARG(test_genotypes.snps() == train_genotypes.snps(),
+                  "test/train SNP layout mismatch");
+  KGWAS_CHECK_ARG(grid.ranks() == comm.size(),
+                  "process grid does not match the communicator world");
+  DistTileMatrix k(test_genotypes.patients(), train_genotypes.patients(),
+                   config.tile_size, grid, comm.rank());
+  const KernelTileGenerator generator(test_genotypes, test_confounders,
+                                      train_genotypes, train_confounders,
+                                      config);
+  const std::size_t ts = config.tile_size;
+  for (std::size_t tj = 0; tj < k.tile_cols(); ++tj) {
+    for (std::size_t ti = 0; ti < k.tile_rows(); ++ti) {
+      if (!k.is_local(ti, tj)) continue;
+      DataHandle h = runtime.register_data();
+      const Tile& out = k.tile(ti, tj);
+      const BatchKey key{mpblas::batch::make_key(
+          mpblas::batch::BatchOp::kBuild, out.rows(), out.cols(), 1,
+          out.precision(), out.precision(), out.precision())};
+      runtime.submit_batchable(TaskDesc{"build_kx",
+                                        {{h, Access::kWrite}},
+                                        static_cast<int>(k.tile_cols() - tj)},
+                               key, [&generator, &k, ti, tj, ts] {
+                                 generator.compute(ti * ts, tj * ts,
+                                                   k.tile(ti, tj));
+                               });
+    }
+  }
+  runtime.wait();
+  comm.barrier();
+  return k;
+}
+
+Matrix<float> dist_predict(Runtime& runtime, Communicator& comm,
+                           DistTileMatrix& cross_kernel,
+                           const Matrix<float>& weights) {
+  KGWAS_CHECK_ARG(cross_kernel.cols() == weights.rows(),
+                  "cross kernel / weights dimension mismatch");
+  KGWAS_CHECK_ARG(cross_kernel.grid().ranks() == comm.size(),
+                  "matrix grid does not match the communicator world");
+  const int me = comm.rank();
+  Matrix<float> predictions(cross_kernel.rows(), weights.cols());
+  const std::size_t ts = cross_kernel.tile_size();
+  const std::size_t nrhs = weights.cols();
+  const std::size_t tile_cols = cross_kernel.tile_cols();
+
+  std::unordered_map<std::uint64_t, DataHandle> cache_handles;
+  ExpectedMap expected;
+  const int recv_priority = static_cast<int>(tile_cols) + 1;
+
+  for (std::size_t ti = 0; ti < cross_kernel.tile_rows(); ++ti) {
+    const int row_owner = cross_kernel.row_owner(ti);
+    // Ship every tile of this row to its accumulating rank (tiles are
+    // final after the Build barrier, so sends post synchronously here);
+    // the accumulator wires arrivals as events.
+    for (std::size_t tj = 0; tj < tile_cols; ++tj) {
+      const std::uint64_t tag = make_tile_tag(Phase::kPredictTile, ti, tj);
+      if (cross_kernel.is_local(ti, tj)) {
+        if (row_owner != me) {
+          send_tile(comm, row_owner, tag, cross_kernel.tile(ti, tj));
+        }
+      } else if (row_owner == me) {
+        detail::expect_tile(runtime, cross_kernel.cache_slot(tag),
+                            cache_handles, expected, tag, recv_priority);
+      }
+    }
+    if (row_owner != me) continue;
+    // Serial accumulation chain over tile columns, same order and same
+    // GEMM as the shared-memory predict — bitwise identical output.
+    const DataHandle row_handle = runtime.register_data();
+    for (std::size_t tj = 0; tj < tile_cols; ++tj) {
+      const std::uint64_t tag = make_tile_tag(Phase::kPredictTile, ti, tj);
+      const bool local = cross_kernel.is_local(ti, tj);
+      std::vector<Dep> deps{{row_handle, Access::kReadWrite}};
+      if (!local) deps.push_back({cache_handles.at(tag), Access::kRead});
+      const BatchKey key{mpblas::batch::make_key(
+          mpblas::batch::BatchOp::kPredict, cross_kernel.tile_height(ti),
+          nrhs, cross_kernel.tile_width(tj), Precision::kFp32,
+          Precision::kFp32, Precision::kFp32)};
+      runtime.submit_batchable(
+          TaskDesc{"predict_gemm", std::move(deps),
+                   static_cast<int>(tile_cols - tj)},
+          key,
+          [&cross_kernel, &weights, &predictions, ti, tj, tag, local, ts,
+           nrhs] {
+            const Tile& tile = local ? cross_kernel.tile(ti, tj)
+                                     : cross_kernel.cached(tag);
+            PooledF32 scratch;
+            const float* values = mpblas::batch::decode_read(tile, scratch);
+            gemm(Trans::kNoTrans, Trans::kNoTrans, tile.rows(), nrhs,
+                 tile.cols(), 1.0f, values, tile.rows(), &weights(tj * ts, 0),
+                 weights.ld(), 1.0f, &predictions(ti * ts, 0),
+                 predictions.ld());
+          });
+    }
+  }
+
+  drain_expected(runtime, comm, expected);
+  runtime.wait();
+  cross_kernel.clear_cache();  // shipped tiles are dead once chains drained
+  // Every rank must be past its progress loop before any gather frame is
+  // posted: recv_any in a still-draining rank must never see them.
+  comm.barrier();
+
+  // Allgather the prediction row blocks so every rank returns the full
+  // prediction matrix.
+  for (std::size_t ti = 0; ti < cross_kernel.tile_rows(); ++ti) {
+    if (cross_kernel.row_owner(ti) != me) continue;
+    const Tile block =
+        rows_as_tile(predictions, ti * ts, cross_kernel.tile_height(ti));
+    const std::uint64_t tag = make_tile_tag(Phase::kPredictGather, ti, 0);
+    for (int r = 0; r < comm.size(); ++r) {
+      if (r != me) send_tile(comm, r, tag, block);
+    }
+  }
+  for (std::size_t ti = 0; ti < cross_kernel.tile_rows(); ++ti) {
+    if (cross_kernel.row_owner(ti) == me) continue;
+    const Message msg =
+        comm.recv(make_tile_tag(Phase::kPredictGather, ti, 0));
+    Tile block;
+    decode_tile(msg.payload, block);
+    tile_into_rows(block, predictions, ti * ts);
+  }
+  comm.barrier();
+  return predictions;
+}
+
+DistKrrResult run_dist_krr(int ranks, const GwasDataset& train,
+                           const GwasDataset& test, const KrrConfig& config) {
+  const int world = ranks > 0 ? ranks : configured_ranks();
+  DistKrrResult result;
+  result.wire = run_ranks(world, [&](Communicator& comm) {
+    Runtime runtime(configured_workers_per_rank(world));
+    const ProcessGrid grid(world);
+
+    KrrConfig cfg = config;
+    const Matrix<float> train_conf =
+        cfg.use_confounders ? train.confounders
+                            : Matrix<float>(train.patients(), 0);
+    if (cfg.auto_gamma_scale.has_value()) {
+      // Deterministic given the replicated genotypes: every rank derives
+      // the same gamma (same computation as KrrModel::fit).
+      const auto& g = train.genotypes.matrix();
+      cfg.build.gamma =
+          *cfg.auto_gamma_scale *
+          suggest_gamma(std::span<const std::int8_t>(g.data(), g.size()),
+                        train.patients(), train.snps());
+    }
+
+    DistSymmetricTileMatrix kernel = dist_build_kernel_matrix(
+        runtime, comm, grid, train.genotypes, train_conf, cfg.build);
+    AssociateResult assoc =
+        dist_associate(runtime, comm, kernel, train.phenotypes, cfg.associate);
+
+    const Matrix<float> test_conf =
+        cfg.use_confounders ? test.confounders
+                            : Matrix<float>(test.patients(), 0);
+    DistTileMatrix cross = dist_build_cross_kernel(
+        runtime, comm, grid, test.genotypes, test_conf, train.genotypes,
+        train_conf, cfg.build);
+    Matrix<float> predictions =
+        dist_predict(runtime, comm, cross, assoc.weights);
+
+    if (comm.rank() == 0) {
+      result.weights = std::move(assoc.weights);
+      result.predictions = std::move(predictions);
+      result.map = assoc.map;
+      result.factor_bytes = assoc.factor_bytes;
+      result.fp32_bytes = assoc.fp32_bytes;
+    }
+  });
+  return result;
+}
+
+}  // namespace kgwas::dist

@@ -1,0 +1,86 @@
+// Distributed KRR pipeline: Build -> Associate -> Predict over a
+// multi-rank world — the paper's Algorithm 1 with every tile phase
+// sharded block-cyclically (owner-computes) and tile traffic shipped at
+// storage precision.
+//
+// Inputs (genotypes, confounders, phenotypes) are replicated on every
+// rank — the single-box multi-rank experiment model, matching how the
+// scaling benches drive this layer.  Outputs (weights, predictions) are
+// likewise replicated on return.  Every stage is bitwise identical to the
+// shared-memory KrrModel pipeline for any rank count: Build tiles depend
+// only on their global coordinates, the factorization replays the exact
+// per-tile update order, and Predict accumulates each prediction row
+// block on one rank in the same column order as the serial chain.
+#pragma once
+
+#include "dist/communicator.hpp"
+#include "dist/dist_cholesky.hpp"
+#include "dist/dist_tile_matrix.hpp"
+#include "gwas/dataset.hpp"
+#include "krr/associate.hpp"
+#include "krr/build.hpp"
+#include "krr/model.hpp"
+#include "runtime/runtime.hpp"
+
+namespace kgwas::dist {
+
+/// Builds the symmetric train x train kernel matrix, each rank generating
+/// only the tiles it owns.  No tile traffic (inputs are replicated);
+/// collective, ends with a barrier.
+DistSymmetricTileMatrix dist_build_kernel_matrix(
+    Runtime& runtime, Communicator& comm, const ProcessGrid& grid,
+    const GenotypeMatrix& genotypes, const Matrix<float>& confounders,
+    const BuildConfig& config);
+
+/// Computes (without applying) the precision map the distributed
+/// Associate uses — identical on every rank, and bitwise identical to
+/// plan_precision_map on the assembled matrix (adaptive mode allreduces
+/// per-tile Frobenius norms).  Collective in adaptive mode.
+PrecisionMap dist_plan_precision_map(Communicator& comm,
+                                     const DistSymmetricTileMatrix& k,
+                                     const AssociateConfig& config);
+
+/// Associate phase over a distributed kernel: regularize, choose and
+/// apply tile precisions, factorize (dist_tiled_potrf), solve for the
+/// weights (dist_tiled_potrs).  `phenotypes` must be replicated; the
+/// returned weights are replicated.  Collective.
+AssociateResult dist_associate(Runtime& runtime, Communicator& comm,
+                               DistSymmetricTileMatrix& k,
+                               const Matrix<float>& phenotypes,
+                               const AssociateConfig& config);
+
+/// Builds the rectangular test x train cross-kernel, owner-computes.
+DistTileMatrix dist_build_cross_kernel(
+    Runtime& runtime, Communicator& comm, const ProcessGrid& grid,
+    const GenotypeMatrix& test_genotypes,
+    const Matrix<float>& test_confounders,
+    const GenotypeMatrix& train_genotypes,
+    const Matrix<float>& train_confounders, const BuildConfig& config);
+
+/// Predict phase: cross-kernel tiles ship (at storage precision) to the
+/// 1D-cyclic owner of their prediction row block, which accumulates the
+/// block in serial column order — bitwise identical to the shared-memory
+/// predict chain.  Returns the fully-replicated predictions.  Collective.
+Matrix<float> dist_predict(Runtime& runtime, Communicator& comm,
+                           DistTileMatrix& cross_kernel,
+                           const Matrix<float>& weights);
+
+/// Results of a whole-pipeline run (run_dist_krr).
+struct DistKrrResult {
+  Matrix<float> weights;      ///< replicated solution W
+  Matrix<float> predictions;  ///< test predictions
+  PrecisionMap map;           ///< precision decisions applied to the factor
+  std::size_t factor_bytes = 0;  ///< global factor storage after conversion
+  std::size_t fp32_bytes = 0;    ///< storage had everything stayed FP32
+  WireVolume wire;            ///< total world wire volume of the run
+};
+
+/// Convenience harness for tests and benches: spins up an in-process
+/// world of `ranks` ranks (each with its own Runtime sized by
+/// KGWAS_DIST_WORKERS), runs the full distributed pipeline on replicated
+/// copies of `train`/`test`, and returns rank 0's results plus the wire
+/// ledger.  `ranks` <= 0 selects KGWAS_RANKS.
+DistKrrResult run_dist_krr(int ranks, const GwasDataset& train,
+                           const GwasDataset& test, const KrrConfig& config);
+
+}  // namespace kgwas::dist

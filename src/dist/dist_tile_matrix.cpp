@@ -1,0 +1,196 @@
+#include "dist/dist_tile_matrix.hpp"
+
+#include "common/status.hpp"
+#include "dist/tile_transport.hpp"
+
+namespace kgwas::dist {
+
+DistSymmetricTileMatrix::DistSymmetricTileMatrix(std::size_t n,
+                                                 std::size_t tile_size,
+                                                 const ProcessGrid& grid,
+                                                 int my_rank,
+                                                 Precision precision)
+    : n_(n),
+      tile_size_(tile_size),
+      nt_(tile_size == 0 ? 0 : (n + tile_size - 1) / tile_size),
+      grid_(grid),
+      rank_(my_rank) {
+  KGWAS_CHECK_ARG(tile_size > 0, "tile size must be positive");
+  KGWAS_CHECK_ARG(my_rank >= 0 && my_rank < grid.ranks(),
+                  "rank outside the process grid");
+  for (std::size_t tj = 0; tj < nt_; ++tj) {
+    for (std::size_t ti = tj; ti < nt_; ++ti) {
+      if (is_local(ti, tj)) {
+        local_.emplace(key(ti, tj),
+                       Tile(tile_dim(ti), tile_dim(tj), precision));
+      }
+    }
+  }
+}
+
+std::size_t DistSymmetricTileMatrix::tile_dim(std::size_t t) const {
+  KGWAS_ASSERT(t < nt_);
+  return std::min(tile_size_, n_ - t * tile_size_);
+}
+
+Tile& DistSymmetricTileMatrix::tile(std::size_t ti, std::size_t tj) {
+  auto it = local_.find(key(ti, tj));
+  KGWAS_CHECK_ARG(it != local_.end(),
+                  "accessed a tile this rank does not own");
+  return it->second;
+}
+
+const Tile& DistSymmetricTileMatrix::tile(std::size_t ti,
+                                          std::size_t tj) const {
+  auto it = local_.find(key(ti, tj));
+  KGWAS_CHECK_ARG(it != local_.end(),
+                  "accessed a tile this rank does not own");
+  return it->second;
+}
+
+Tile& DistSymmetricTileMatrix::cache_slot(std::uint64_t tag) const {
+  return cache_[tag];
+}
+
+const Tile& DistSymmetricTileMatrix::cached(std::uint64_t tag) const {
+  auto it = cache_.find(tag);
+  KGWAS_CHECK_ARG(it != cache_.end(), "remote tile missing from the cache");
+  return it->second;
+}
+
+bool DistSymmetricTileMatrix::has_cached(std::uint64_t tag) const {
+  return cache_.count(tag) != 0;
+}
+
+void DistSymmetricTileMatrix::clear_cache() const { cache_.clear(); }
+
+std::size_t DistSymmetricTileMatrix::cache_bytes() const {
+  std::size_t total = 0;
+  for (const auto& [tag, tile] : cache_) total += tile.storage_bytes();
+  return total;
+}
+
+std::size_t DistSymmetricTileMatrix::local_storage_bytes() const {
+  std::size_t total = 0;
+  for (const auto& [k, tile] : local_) total += tile.storage_bytes();
+  return total;
+}
+
+void DistSymmetricTileMatrix::apply(const PrecisionMap& map) {
+  KGWAS_CHECK_ARG(map.tile_count() == nt_, "precision map size mismatch");
+  for (auto& [k, tile] : local_) {
+    const auto ti = static_cast<std::size_t>(k >> 32);
+    const auto tj = static_cast<std::size_t>(k & 0xFFFFFFFF);
+    tile.convert_to(map.get(ti, tj));
+  }
+}
+
+void DistSymmetricTileMatrix::from_full(const SymmetricTileMatrix& full) {
+  KGWAS_CHECK_ARG(full.n() == n_ && full.tile_size() == tile_size_,
+                  "full matrix geometry mismatch");
+  for (auto& [k, tile] : local_) {
+    const auto ti = static_cast<std::size_t>(k >> 32);
+    const auto tj = static_cast<std::size_t>(k & 0xFFFFFFFF);
+    tile = full.tile(ti, tj);
+  }
+}
+
+SymmetricTileMatrix DistSymmetricTileMatrix::gather_full(
+    Communicator& comm) const {
+  SymmetricTileMatrix out;
+  if (comm.rank() == 0) {
+    out = SymmetricTileMatrix(n_, tile_size_);
+    for (std::size_t tj = 0; tj < nt_; ++tj) {
+      for (std::size_t ti = tj; ti < nt_; ++ti) {
+        if (is_local(ti, tj)) {
+          out.tile(ti, tj) = tile(ti, tj);
+        } else {
+          const Message m =
+              comm.recv(make_tile_tag(Phase::kGatherFull, ti, tj));
+          decode_tile(m.payload, out.tile(ti, tj));
+        }
+      }
+    }
+  } else {
+    for (const auto& [k, t] : local_) {
+      const auto ti = static_cast<std::size_t>(k >> 32);
+      const auto tj = static_cast<std::size_t>(k & 0xFFFFFFFF);
+      send_tile(comm, 0, make_tile_tag(Phase::kGatherFull, ti, tj), t);
+    }
+  }
+  comm.barrier();
+  return out;
+}
+
+// ------------------------------------------------------------ rectangular
+
+DistTileMatrix::DistTileMatrix(std::size_t rows, std::size_t cols,
+                               std::size_t tile_size, const ProcessGrid& grid,
+                               int my_rank, Precision precision)
+    : rows_(rows),
+      cols_(cols),
+      tile_size_(tile_size),
+      tile_rows_(tile_size == 0 ? 0 : (rows + tile_size - 1) / tile_size),
+      tile_cols_(tile_size == 0 ? 0 : (cols + tile_size - 1) / tile_size),
+      grid_(grid),
+      rank_(my_rank) {
+  KGWAS_CHECK_ARG(tile_size > 0, "tile size must be positive");
+  KGWAS_CHECK_ARG(my_rank >= 0 && my_rank < grid.ranks(),
+                  "rank outside the process grid");
+  for (std::size_t tj = 0; tj < tile_cols_; ++tj) {
+    for (std::size_t ti = 0; ti < tile_rows_; ++ti) {
+      if (is_local(ti, tj)) {
+        local_.emplace(key(ti, tj),
+                       Tile(tile_height(ti), tile_width(tj), precision));
+      }
+    }
+  }
+}
+
+std::size_t DistTileMatrix::tile_height(std::size_t ti) const {
+  KGWAS_ASSERT(ti < tile_rows_);
+  return std::min(tile_size_, rows_ - ti * tile_size_);
+}
+
+std::size_t DistTileMatrix::tile_width(std::size_t tj) const {
+  KGWAS_ASSERT(tj < tile_cols_);
+  return std::min(tile_size_, cols_ - tj * tile_size_);
+}
+
+Tile& DistTileMatrix::tile(std::size_t ti, std::size_t tj) {
+  auto it = local_.find(key(ti, tj));
+  KGWAS_CHECK_ARG(it != local_.end(),
+                  "accessed a tile this rank does not own");
+  return it->second;
+}
+
+const Tile& DistTileMatrix::tile(std::size_t ti, std::size_t tj) const {
+  auto it = local_.find(key(ti, tj));
+  KGWAS_CHECK_ARG(it != local_.end(),
+                  "accessed a tile this rank does not own");
+  return it->second;
+}
+
+Tile& DistTileMatrix::cache_slot(std::uint64_t tag) { return cache_[tag]; }
+
+const Tile& DistTileMatrix::cached(std::uint64_t tag) const {
+  auto it = cache_.find(tag);
+  KGWAS_CHECK_ARG(it != cache_.end(), "remote tile missing from the cache");
+  return it->second;
+}
+
+void DistTileMatrix::clear_cache() { cache_.clear(); }
+
+std::size_t DistTileMatrix::cache_bytes() const {
+  std::size_t total = 0;
+  for (const auto& [tag, tile] : cache_) total += tile.storage_bytes();
+  return total;
+}
+
+std::size_t DistTileMatrix::local_storage_bytes() const {
+  std::size_t total = 0;
+  for (const auto& [k, tile] : local_) total += tile.storage_bytes();
+  return total;
+}
+
+}  // namespace kgwas::dist

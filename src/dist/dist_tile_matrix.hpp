@@ -1,0 +1,152 @@
+// Distributed tiled matrices: 2D block-cyclic ownership over the existing
+// tile containers, plus a remote-tile cache fed by the tile transport.
+//
+// Each rank stores only the tiles it owns (ProcessGrid decides ownership);
+// tiles received from other ranks land in a per-matrix cache keyed by
+// their wire tag, where the distributed algorithms' tasks read them
+// exactly as they would local tiles.  Tile payloads come from the global
+// TilePool either way, so the distributed path inherits the pooled
+// zero-steady-state-allocation behavior of the shared-memory path.
+//
+// Threading contract (matches how the distributed algorithms run): the
+// rank's driving thread creates local tiles and cache slots while
+// submitting the task graph, then only *fills* existing slots during the
+// progress loop; runtime workers only read/write tile payloads of
+// existing entries, ordered by the task graph.  The container itself is
+// not a concurrency primitive.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <unordered_map>
+
+#include "dist/communicator.hpp"
+#include "dist/process_grid.hpp"
+#include "tile/precision_map.hpp"
+#include "tile/tile.hpp"
+#include "tile/tile_matrix.hpp"
+
+namespace kgwas::dist {
+
+/// Symmetric n x n matrix as lower-triangular tiles (ti >= tj), sharded
+/// block-cyclically — the distributed twin of SymmetricTileMatrix.
+class DistSymmetricTileMatrix {
+ public:
+  DistSymmetricTileMatrix(std::size_t n, std::size_t tile_size,
+                          const ProcessGrid& grid, int my_rank,
+                          Precision precision = Precision::kFp32);
+
+  std::size_t n() const noexcept { return n_; }
+  std::size_t tile_size() const noexcept { return tile_size_; }
+  std::size_t tile_count() const noexcept { return nt_; }
+  std::size_t tile_dim(std::size_t t) const;
+
+  const ProcessGrid& grid() const noexcept { return grid_; }
+  int rank() const noexcept { return rank_; }
+  int owner(std::size_t ti, std::size_t tj) const noexcept {
+    return grid_.owner(ti, tj);
+  }
+  bool is_local(std::size_t ti, std::size_t tj) const noexcept {
+    return owner(ti, tj) == rank_;
+  }
+
+  /// Locally-owned tile (requires is_local and ti >= tj).
+  Tile& tile(std::size_t ti, std::size_t tj);
+  const Tile& tile(std::size_t ti, std::size_t tj) const;
+
+  /// Remote-tile cache, keyed by wire tag.  `cache_slot` creates (or
+  /// returns) the slot; the progress loop fills it via Tile::from_wire.
+  /// The cache is mutable state of a logically read-only matrix: the
+  /// distributed solve fetches remote factor tiles through it without
+  /// the factor itself changing.
+  Tile& cache_slot(std::uint64_t tag) const;
+  const Tile& cached(std::uint64_t tag) const;
+  bool has_cached(std::uint64_t tag) const;
+  void clear_cache() const;
+  std::size_t cache_tiles() const noexcept { return cache_.size(); }
+  std::size_t cache_bytes() const;
+
+  /// Bytes of locally-owned tile payloads.
+  std::size_t local_storage_bytes() const;
+
+  /// Converts owned tiles to the precisions `map` assigns (the
+  /// distributed counterpart of PrecisionMap::apply; the map itself is
+  /// replicated on every rank).
+  void apply(const PrecisionMap& map);
+
+  /// Copies this rank's owned tiles out of a fully-replicated matrix
+  /// (test/interop path: every rank holds the same `full`).
+  void from_full(const SymmetricTileMatrix& full);
+
+  /// Collects every tile at rank 0 and returns the assembled matrix
+  /// there (other ranks return an empty matrix).  Ends with a barrier.
+  SymmetricTileMatrix gather_full(Communicator& comm) const;
+
+ private:
+  static std::uint64_t key(std::size_t ti, std::size_t tj) {
+    return (static_cast<std::uint64_t>(ti) << 32) |
+           static_cast<std::uint64_t>(tj);
+  }
+
+  std::size_t n_ = 0, tile_size_ = 0, nt_ = 0;
+  ProcessGrid grid_{1};
+  int rank_ = 0;
+  std::unordered_map<std::uint64_t, Tile> local_;
+  mutable std::unordered_map<std::uint64_t, Tile> cache_;
+};
+
+/// Rectangular m x n tiled matrix, sharded block-cyclically — the
+/// distributed twin of TileMatrix (the Predict-phase cross-kernel).
+class DistTileMatrix {
+ public:
+  DistTileMatrix(std::size_t rows, std::size_t cols, std::size_t tile_size,
+                 const ProcessGrid& grid, int my_rank,
+                 Precision precision = Precision::kFp32);
+
+  std::size_t rows() const noexcept { return rows_; }
+  std::size_t cols() const noexcept { return cols_; }
+  std::size_t tile_size() const noexcept { return tile_size_; }
+  std::size_t tile_rows() const noexcept { return tile_rows_; }
+  std::size_t tile_cols() const noexcept { return tile_cols_; }
+  std::size_t tile_height(std::size_t ti) const;
+  std::size_t tile_width(std::size_t tj) const;
+
+  const ProcessGrid& grid() const noexcept { return grid_; }
+  int rank() const noexcept { return rank_; }
+  int owner(std::size_t ti, std::size_t tj) const noexcept {
+    return grid_.owner(ti, tj);
+  }
+  bool is_local(std::size_t ti, std::size_t tj) const noexcept {
+    return owner(ti, tj) == rank_;
+  }
+  /// Rank responsible for assembling output row block ti (1D cyclic over
+  /// the whole world, independent of the 2D tile grid).
+  int row_owner(std::size_t ti) const noexcept {
+    return static_cast<int>(ti % static_cast<std::size_t>(grid_.ranks()));
+  }
+
+  Tile& tile(std::size_t ti, std::size_t tj);
+  const Tile& tile(std::size_t ti, std::size_t tj) const;
+
+  Tile& cache_slot(std::uint64_t tag);
+  const Tile& cached(std::uint64_t tag) const;
+  void clear_cache();
+  std::size_t cache_bytes() const;
+
+  std::size_t local_storage_bytes() const;
+
+ private:
+  static std::uint64_t key(std::size_t ti, std::size_t tj) {
+    return (static_cast<std::uint64_t>(ti) << 32) |
+           static_cast<std::uint64_t>(tj);
+  }
+
+  std::size_t rows_ = 0, cols_ = 0, tile_size_ = 0;
+  std::size_t tile_rows_ = 0, tile_cols_ = 0;
+  ProcessGrid grid_{1};
+  int rank_ = 0;
+  std::unordered_map<std::uint64_t, Tile> local_;
+  std::unordered_map<std::uint64_t, Tile> cache_;
+};
+
+}  // namespace kgwas::dist

@@ -1,0 +1,43 @@
+#include "dist/mailbox.hpp"
+
+namespace kgwas::dist {
+
+Mailbox::~Mailbox() {
+  Node* node = head_.exchange(nullptr, std::memory_order_acquire);
+  while (node != nullptr) {
+    Node* next = node->next;
+    delete node;
+    node = next;
+  }
+}
+
+void Mailbox::push(Message message) {
+  Node* node = new Node{std::move(message), nullptr};
+  node->next = head_.load(std::memory_order_relaxed);
+  while (!head_.compare_exchange_weak(node->next, node,
+                                      std::memory_order_release,
+                                      std::memory_order_relaxed)) {
+  }
+  arrivals_.fetch_add(1, std::memory_order_release);
+  arrivals_.notify_one();
+}
+
+void Mailbox::drain(std::deque<Message>& out) {
+  Node* node = head_.exchange(nullptr, std::memory_order_acquire);
+  // The stack yields newest-first; reverse so `out` stays oldest-first.
+  Node* reversed = nullptr;
+  while (node != nullptr) {
+    Node* next = node->next;
+    node->next = reversed;
+    reversed = node;
+    node = next;
+  }
+  while (reversed != nullptr) {
+    Node* next = reversed->next;
+    out.push_back(std::move(reversed->message));
+    delete reversed;
+    reversed = next;
+  }
+}
+
+}  // namespace kgwas::dist

@@ -1,0 +1,67 @@
+// Lock-free multi-producer single-consumer mailbox — the delivery channel
+// of the in-process Communicator backend.
+//
+// Producers (runtime workers of any rank posting sends) push with a
+// Treiber-stack CAS loop and never block; the single consumer (the rank's
+// driving thread) drains the stack, restores arrival order, and parks on a
+// C++20 atomic wait when nothing is pending.  Tag matching lives in the
+// Communicator, which keeps a consumer-side pending list of drained but
+// not yet requested messages.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+namespace kgwas::dist {
+
+/// One delivered message: source rank, caller tag, opaque payload.
+struct Message {
+  int src = -1;
+  std::uint64_t tag = 0;
+  std::vector<std::byte> payload;
+};
+
+class Mailbox {
+ public:
+  Mailbox() = default;
+  ~Mailbox();
+
+  Mailbox(const Mailbox&) = delete;
+  Mailbox& operator=(const Mailbox&) = delete;
+
+  /// Enqueues a message.  Lock-free, callable from any thread, wakes the
+  /// consumer if it is parked.
+  void push(Message message);
+
+  /// Moves every queued message (oldest first) into `out`; non-blocking.
+  /// Single-consumer only.
+  void drain(std::deque<Message>& out);
+
+  /// Total messages pushed so far (monotonic).
+  std::uint64_t arrivals() const noexcept {
+    return arrivals_.load(std::memory_order_acquire);
+  }
+
+  /// Blocks until `arrivals()` exceeds `seen`.
+  void wait_beyond(std::uint64_t seen) const {
+    std::uint64_t current = arrivals_.load(std::memory_order_acquire);
+    while (current <= seen) {
+      arrivals_.wait(current, std::memory_order_acquire);
+      current = arrivals_.load(std::memory_order_acquire);
+    }
+  }
+
+ private:
+  struct Node {
+    Message message;
+    Node* next = nullptr;
+  };
+
+  std::atomic<Node*> head_{nullptr};
+  std::atomic<std::uint64_t> arrivals_{0};
+};
+
+}  // namespace kgwas::dist

@@ -1,0 +1,56 @@
+// 2D block-cyclic process grid — the ownership function shared by the
+// real distributed execution layer (src/dist) and the performance
+// simulator (src/perfmodel/dag_simulator).  Keeping one implementation is
+// what makes the simulator's communication accounting calibratable
+// against measured wire bytes: both sides ask the same grid who owns a
+// tile.
+//
+// Ranks are arranged row-major on a pr x pc grid with pr chosen as the
+// largest divisor of `ranks` not exceeding sqrt(ranks) (square-ish, the
+// ScaLAPACK default heuristic), and tile (ti, tj) belongs to rank
+// (ti mod pr) * pc + (tj mod pc).
+#pragma once
+
+#include <cmath>
+#include <cstddef>
+
+#include "common/status.hpp"
+
+namespace kgwas {
+
+class ProcessGrid {
+ public:
+  /// Square-ish grid over `ranks` processes.
+  explicit ProcessGrid(int ranks) {
+    KGWAS_CHECK_ARG(ranks >= 1, "process grid needs at least one rank");
+    pr_ = static_cast<int>(std::sqrt(static_cast<double>(ranks)));
+    while (pr_ > 1 && ranks % pr_ != 0) --pr_;
+    pc_ = ranks / pr_;
+  }
+
+  /// Explicit pr x pc shape.
+  ProcessGrid(int pr, int pc) : pr_(pr), pc_(pc) {
+    KGWAS_CHECK_ARG(pr >= 1 && pc >= 1, "process grid shape must be positive");
+  }
+
+  int rows() const noexcept { return pr_; }
+  int cols() const noexcept { return pc_; }
+  int ranks() const noexcept { return pr_ * pc_; }
+
+  /// Block-cyclic owner of tile (ti, tj).
+  int owner(std::size_t ti, std::size_t tj) const noexcept {
+    return static_cast<int>(ti % static_cast<std::size_t>(pr_)) * pc_ +
+           static_cast<int>(tj % static_cast<std::size_t>(pc_));
+  }
+
+  /// Owner of the t-th diagonal tile; also used as the owner of the t-th
+  /// right-hand-side row block in the distributed solve (so the diagonal
+  /// TRSM of every solve step is always communication-free).
+  int diagonal_owner(std::size_t t) const noexcept { return owner(t, t); }
+
+ private:
+  int pr_ = 1;
+  int pc_ = 1;
+};
+
+}  // namespace kgwas

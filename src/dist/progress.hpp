@@ -1,0 +1,101 @@
+// Internal helpers shared by the distributed algorithms: the expected-
+// receive bookkeeping that wires message arrival into the task graph, and
+// FP32 row-block <-> transport-tile conversion for replicated dense
+// operands (RHS blocks, prediction blocks).
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "common/status.hpp"
+#include "dist/communicator.hpp"
+#include "dist/tile_transport.hpp"
+#include "mpblas/matrix.hpp"
+#include "runtime/runtime.hpp"
+#include "tile/tile.hpp"
+#include "tile/tile_pool.hpp"
+
+namespace kgwas::dist::detail {
+
+/// One expected remote tile: the cache slot the payload decodes into and
+/// the runtime event whose completion releases the consuming tasks.
+struct PendingRecv {
+  Tile* slot = nullptr;
+  ExternalEvent event;
+};
+
+using ExpectedMap = std::unordered_map<std::uint64_t, PendingRecv>;
+
+/// The rank's progress engine: consume every expected frame (any arrival
+/// order), adopt the payload into its cache slot, and complete the recv
+/// event so dependent tasks release.  Runs on the driving thread while
+/// the runtime's workers execute whatever is already unblocked — workers
+/// never block on communication, which is what makes the protocol
+/// deadlock-free for any rank/worker count.
+inline void drain_expected(Runtime& runtime, Communicator& comm,
+                           ExpectedMap& expected) {
+  try {
+    while (!expected.empty()) {
+      const Message msg = comm.recv_any();
+      auto it = expected.find(msg.tag);
+      KGWAS_CHECK_ARG(it != expected.end(),
+                      "received a tile frame no submitted task expects");
+      decode_tile(msg.payload, *it->second.slot);
+      runtime.signal_external(it->second.event);
+      expected.erase(it);
+    }
+  } catch (...) {
+    // Abort path (e.g. WorldAborted after a peer failure): signal every
+    // remaining event so the runtime can drain instead of waiting forever
+    // on receives that will never happen.  Tasks reading the unfilled
+    // (0 x 0) cache slots fail their own shape checks and surface as
+    // ordinary task errors, which wait()/~Runtime already swallow behind
+    // the exception rethrown here.
+    for (auto& [tag, pending] : expected) {
+      runtime.signal_external(pending.event);
+    }
+    expected.clear();
+    throw;
+  }
+}
+
+/// Registers one expected remote tile: creates the recv event (the
+/// writer of `slot`'s cache handle, completed by drain_expected when the
+/// frame arrives) and records the handle so consumer tasks can declare a
+/// Read dependency on it.  The producer side mirrors this with one
+/// send_tile per (tag, consumer rank).
+inline void expect_tile(Runtime& runtime, Tile& slot,
+                        std::unordered_map<std::uint64_t, DataHandle>&
+                            cache_handles,
+                        ExpectedMap& expected, std::uint64_t tag,
+                        int priority) {
+  const DataHandle h = runtime.register_data();
+  cache_handles.emplace(tag, h);
+  const ExternalEvent event = runtime.submit_external(
+      TaskDesc{"recv_tile", {{h, Access::kWrite}}, priority});
+  expected.emplace(tag, PendingRecv{&slot, event});
+}
+
+/// Wraps rows [r0, r0 + rows) of a dense FP32 matrix as a transport tile
+/// (FP32 storage: the encode is exact).
+inline Tile rows_as_tile(const Matrix<float>& b, std::size_t r0,
+                         std::size_t rows) {
+  Tile t(rows, b.cols(), Precision::kFp32);
+  t.encode_from(&b(r0, 0), b.ld());
+  return t;
+}
+
+/// Copies a received FP32 block tile into rows [r0, r0 + tile.rows()) of
+/// a replicated dense matrix.
+inline void tile_into_rows(const Tile& tile, Matrix<float>& b,
+                           std::size_t r0) {
+  PooledF32 scratch(TilePool::global(), tile.elements());
+  tile.decode_to(scratch.data());
+  for (std::size_t j = 0; j < tile.cols(); ++j) {
+    const float* src = scratch.data() + j * tile.rows();
+    float* dst = &b(r0, j);
+    for (std::size_t i = 0; i < tile.rows(); ++i) dst[i] = src[i];
+  }
+}
+
+}  // namespace kgwas::dist::detail

@@ -1,0 +1,58 @@
+#include "dist/tile_transport.hpp"
+
+#include <cstring>
+
+#include "common/status.hpp"
+
+namespace kgwas::dist {
+
+namespace {
+
+// Header: u32 rows | u32 cols | u8 precision, little-endian memcpy fields.
+constexpr std::size_t kHeaderBytes = 4 + 4 + 1;
+
+void put_u32(std::byte* dst, std::uint32_t v) {
+  std::memcpy(dst, &v, sizeof(v));
+}
+
+std::uint32_t get_u32(const std::byte* src) {
+  std::uint32_t v;
+  std::memcpy(&v, src, sizeof(v));
+  return v;
+}
+
+}  // namespace
+
+std::size_t tile_frame_bytes(const Tile& tile) {
+  return kHeaderBytes + tile.storage_bytes();
+}
+
+std::vector<std::byte> encode_tile(const Tile& tile) {
+  std::vector<std::byte> frame(tile_frame_bytes(tile));
+  put_u32(frame.data(), static_cast<std::uint32_t>(tile.rows()));
+  put_u32(frame.data() + 4, static_cast<std::uint32_t>(tile.cols()));
+  frame[8] = static_cast<std::byte>(tile.precision());
+  std::memcpy(frame.data() + kHeaderBytes, tile.raw(), tile.storage_bytes());
+  return frame;
+}
+
+void decode_tile(const std::vector<std::byte>& frame, Tile& out) {
+  KGWAS_CHECK_ARG(frame.size() >= kHeaderBytes, "tile frame too short");
+  const std::size_t rows = get_u32(frame.data());
+  const std::size_t cols = get_u32(frame.data() + 4);
+  const auto precision = static_cast<Precision>(frame[8]);
+  KGWAS_CHECK_ARG(static_cast<unsigned>(precision) < kNumPrecisions,
+                  "tile frame carries an unknown precision tag");
+  const std::size_t payload = rows * cols * bytes_per_element(precision);
+  KGWAS_CHECK_ARG(frame.size() == kHeaderBytes + payload,
+                  "tile frame payload size mismatch");
+  out.from_wire(rows, cols, precision, frame.data() + kHeaderBytes);
+}
+
+void send_tile(Communicator& comm, int dest, std::uint64_t tag,
+               const Tile& tile) {
+  comm.record_tile_payload(tile.precision(), tile.storage_bytes());
+  comm.send(dest, tag, encode_tile(tile));
+}
+
+}  // namespace kgwas::dist

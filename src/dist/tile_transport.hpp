@@ -1,0 +1,63 @@
+// Precision-compressed tile transport: the wire format of the distributed
+// execution layer.
+//
+// A tile ships as a small fixed header (rows, cols, storage precision)
+// followed by its raw storage payload — fp8/fp16/bf16/fp32 bytes exactly
+// as the tile holds them.  Lowering a tile's storage precision therefore
+// shrinks the *real* bytes on the wire, not just the modelled bytes of
+// the DAG simulator: an fp16 off-diagonal panel tile costs half the
+// frames of its fp32 twin, which is the paper's data-motion argument made
+// measurable.  Decode adopts the payload bit-for-bit (Tile::from_wire),
+// so a received tile is indistinguishable from the sender's copy and
+// rank-count invariance stays bitwise.
+//
+// Tags: make_tile_tag packs (phase, ti, tj) into the application tag
+// space.  Every protocol in this library sends one frame per
+// (phase, tile), so tags are unique and tag-only matching suffices.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "dist/communicator.hpp"
+#include "tile/tile.hpp"
+
+namespace kgwas::dist {
+
+/// Protocol phases namespacing the tile tags.
+enum class Phase : std::uint64_t {
+  kPotrfPanel = 1,   ///< factorization panel tiles (post POTRF/TRSM)
+  kSolveFactor = 2,  ///< factor tiles re-shipped to solve consumers
+  kSolveForward = 3, ///< RHS blocks, forward sweep (post trsm_fwd)
+  kSolveBackward = 4,///< RHS blocks, backward sweep (post trsm_bwd)
+  kSolveGather = 5,  ///< final solution blocks, allgather
+  kPredictTile = 6,  ///< cross-kernel tiles shipped to row owners
+  kPredictGather = 7,///< prediction row blocks, allgather
+  kGatherFull = 8,   ///< DistTileMatrix -> root full-matrix gather
+};
+
+/// Application tag of tile (ti, tj) in `phase`; ti/tj < 2^24.
+constexpr std::uint64_t make_tile_tag(Phase phase, std::size_t ti,
+                                      std::size_t tj) {
+  return (static_cast<std::uint64_t>(phase) << 48) |
+         ((static_cast<std::uint64_t>(ti) & 0xFFFFFF) << 24) |
+         (static_cast<std::uint64_t>(tj) & 0xFFFFFF);
+}
+
+/// Serialized frame size of a tile (header + storage payload).
+std::size_t tile_frame_bytes(const Tile& tile);
+
+/// Serializes `tile` into a self-describing frame.
+std::vector<std::byte> encode_tile(const Tile& tile);
+
+/// Deserializes a frame produced by encode_tile into `out` (reshaping and
+/// re-precisioning it as needed).  Throws InvalidArgument on a malformed
+/// frame.
+void decode_tile(const std::vector<std::byte>& frame, Tile& out);
+
+/// Sends `tile` to `dest` and records its payload bytes in the
+/// communicator's per-precision wire ledger.
+void send_tile(Communicator& comm, int dest, std::uint64_t tag,
+               const Tile& tile);
+
+}  // namespace kgwas::dist

@@ -42,64 +42,114 @@ std::vector<float> confounder_row_norms(const Matrix<float>& confounders) {
   return norms;
 }
 
-/// Computes one kernel tile for patient row blocks [r0, r0+mb) x [c0, c0+nb).
-/// All inputs are shared read-only; the output is the tile's own buffer,
-/// so tiles are independent tasks.
-struct TileJobInputs {
-  const GenotypeMatrix& genotypes_rows;   // rows side (test or train)
-  const GenotypeMatrix& genotypes_cols;   // cols side (train)
-  const Matrix<float>& conf_rows;
-  const Matrix<float>& conf_cols;
-  const std::vector<std::int32_t>& snp_norms_rows;
-  const std::vector<std::int32_t>& snp_norms_cols;
-  const std::vector<float>& conf_norms_rows;
-  const std::vector<float>& conf_norms_cols;
-  const IbsIndicators* ind_rows;  // null for Gaussian
-  const IbsIndicators* ind_cols;
-  const BuildConfig& config;
+}  // namespace
+
+/// Shared read-only inputs of every kernel-tile task.  When both sides
+/// are the same cohort (symmetric train kernel), the *_cols pointers
+/// alias the row-side data instead of materializing second copies.
+struct KernelTileGenerator::Inputs {
+  const GenotypeMatrix* genotypes_rows;  // rows side (test or train)
+  const GenotypeMatrix* genotypes_cols;  // cols side (train)
+  const Matrix<float>* conf_rows;
+  const Matrix<float>* conf_cols;
+  std::vector<std::int32_t> snp_norms_rows;
+  std::vector<std::int32_t> snp_norms_cols_storage;
+  const std::vector<std::int32_t>* snp_norms_cols = nullptr;
+  std::vector<float> conf_norms_rows;
+  std::vector<float> conf_norms_cols_storage;
+  const std::vector<float>* conf_norms_cols = nullptr;
+  IbsIndicators ind_rows;  // empty for Gaussian
+  IbsIndicators ind_cols_storage;  // empty when the sides share a cohort
+  const IbsIndicators* ind_cols = nullptr;
+  bool ibs = false;
 };
 
-void compute_kernel_tile(const TileJobInputs& in, std::size_t r0,
-                         std::size_t c0, Tile& out) {
+KernelTileGenerator::KernelTileGenerator(const GenotypeMatrix& genotypes_rows,
+                                         const Matrix<float>& conf_rows,
+                                         const GenotypeMatrix& genotypes_cols,
+                                         const Matrix<float>& conf_cols,
+                                         const BuildConfig& config)
+    : config_(config) {
+  KGWAS_CHECK_ARG(genotypes_rows.snps() == genotypes_cols.snps(),
+                  "row/col SNP layout mismatch");
+  KGWAS_CHECK_ARG(config.gamma > 0.0, "gamma must be positive");
+  // INT32 overflow guard: max entry of the dosage Gram is 4 * NS.
+  KGWAS_CHECK_ARG(genotypes_rows.snps() < (1u << 28),
+                  "SNP count would overflow INT32 accumulation");
+  auto inputs = std::make_shared<Inputs>();
+  inputs->genotypes_rows = &genotypes_rows;
+  inputs->genotypes_cols = &genotypes_cols;
+  inputs->conf_rows = &conf_rows;
+  inputs->conf_cols = &conf_cols;
+  inputs->snp_norms_rows = genotypes_rows.squared_row_norms();
+  if (&genotypes_cols == &genotypes_rows) {
+    inputs->snp_norms_cols = &inputs->snp_norms_rows;
+  } else {
+    inputs->snp_norms_cols_storage = genotypes_cols.squared_row_norms();
+    inputs->snp_norms_cols = &inputs->snp_norms_cols_storage;
+  }
+  inputs->conf_norms_rows = confounder_row_norms(conf_rows);
+  if (&conf_cols == &conf_rows) {
+    inputs->conf_norms_cols = &inputs->conf_norms_rows;
+  } else {
+    inputs->conf_norms_cols_storage = confounder_row_norms(conf_cols);
+    inputs->conf_norms_cols = &inputs->conf_norms_cols_storage;
+  }
+  if (config.kernel == KernelType::kIbs) {
+    inputs->ibs = true;
+    inputs->ind_rows = make_indicators(genotypes_rows);
+    if (&genotypes_cols == &genotypes_rows) {
+      inputs->ind_cols = &inputs->ind_rows;
+    } else {
+      inputs->ind_cols_storage = make_indicators(genotypes_cols);
+      inputs->ind_cols = &inputs->ind_cols_storage;
+    }
+  }
+  inputs_ = std::move(inputs);
+}
+
+void KernelTileGenerator::compute(std::size_t r0, std::size_t c0,
+                                  Tile& out) const {
+  const Inputs& in = *inputs_;
   const std::size_t mb = out.rows();
   const std::size_t nb = out.cols();
-  const std::size_t ns = in.genotypes_rows.snps();
-  const std::size_t ldr = in.genotypes_rows.patients();
-  const std::size_t ldc = in.genotypes_cols.patients();
+  const std::size_t ns = in.genotypes_rows->snps();
+  const std::size_t ldr = in.genotypes_rows->patients();
+  const std::size_t ldc = in.genotypes_cols->patients();
 
   // INT8 tensor-core GEMM: G_r * G_c^T, exact INT32 accumulation.
   Matrix<std::int32_t> dot(mb, nb);
   gemm_i8_i32(Trans::kNoTrans, Trans::kTrans, mb, nb, ns, 1,
-              &in.genotypes_rows.matrix()(r0, 0), ldr,
-              &in.genotypes_cols.matrix()(c0, 0), ldc, 0, dot.data(),
+              &in.genotypes_rows->matrix()(r0, 0), ldr,
+              &in.genotypes_cols->matrix()(c0, 0), ldc, 0, dot.data(),
               dot.ld());
 
   Matrix<float> k(mb, nb);
 
-  if (in.config.kernel == KernelType::kGaussian) {
+  if (!in.ibs) {
     // Fused: d = n_i + n_j - 2 dot (+ confounder distances), k = exp(-g d).
     Matrix<float> conf_dist(mb, nb);
-    const std::size_t nc = in.conf_rows.cols();
+    const std::size_t nc = in.conf_rows->cols();
     if (nc > 0) {
       // -2 * C_r C_c^T accumulated in FP32, plus the folded norms.
       gemm(Trans::kNoTrans, Trans::kTrans, mb, nb, nc, -2.0f,
-           &in.conf_rows(r0, 0), in.conf_rows.ld(), &in.conf_cols(c0, 0),
-           in.conf_cols.ld(), 0.0f, conf_dist.data(), conf_dist.ld());
+           &(*in.conf_rows)(r0, 0), in.conf_rows->ld(), &(*in.conf_cols)(c0, 0),
+           in.conf_cols->ld(), 0.0f, conf_dist.data(), conf_dist.ld());
     }
     for (std::size_t j = 0; j < nb; ++j) {
       for (std::size_t i = 0; i < mb; ++i) {
         double d = static_cast<double>(in.snp_norms_rows[r0 + i]) +
-                   static_cast<double>(in.snp_norms_cols[c0 + j]) -
+                   static_cast<double>((*in.snp_norms_cols)[c0 + j]) -
                    2.0 * static_cast<double>(dot(i, j));
         if (nc > 0) {
           d += static_cast<double>(in.conf_norms_rows[r0 + i]) +
-               static_cast<double>(in.conf_norms_cols[c0 + j]) +
+               static_cast<double>((*in.conf_norms_cols)[c0 + j]) +
                static_cast<double>(conf_dist(i, j));
         }
         // Quantized inputs guarantee d >= 0 up to FP32 rounding of the
         // confounder part; clamp to keep the kernel in (0, 1].
         if (d < 0.0) d = 0.0;
-        k(i, j) = static_cast<float>(std::exp(-in.config.gamma * d));
+        k(i, j) = static_cast<float>(std::exp(-config_.gamma * d));
       }
     }
   } else {
@@ -107,17 +157,17 @@ void compute_kernel_tile(const TileJobInputs& in, std::size_t r0,
     // count2 = u_r . v_c + v_r . u_c.
     Matrix<std::int32_t> count2(mb, nb);
     gemm_i8_i32(Trans::kNoTrans, Trans::kTrans, mb, nb, ns, 1,
-                &in.ind_rows->zero(r0, 0), ldr, &in.ind_cols->two(c0, 0), ldc,
+                &in.ind_rows.zero(r0, 0), ldr, &in.ind_cols->two(c0, 0), ldc,
                 0, count2.data(), count2.ld());
     gemm_i8_i32(Trans::kNoTrans, Trans::kTrans, mb, nb, ns, 1,
-                &in.ind_rows->two(r0, 0), ldr, &in.ind_cols->zero(c0, 0), ldc,
+                &in.ind_rows.two(r0, 0), ldr, &in.ind_cols->zero(c0, 0), ldc,
                 1, count2.data(), count2.ld());
     const double denom = 2.0 * static_cast<double>(ns);
     for (std::size_t j = 0; j < nb; ++j) {
       for (std::size_t i = 0; i < mb; ++i) {
         const std::int64_t d = static_cast<std::int64_t>(
                                    in.snp_norms_rows[r0 + i]) +
-                               in.snp_norms_cols[c0 + j] -
+                               (*in.snp_norms_cols)[c0 + j] -
                                2 * static_cast<std::int64_t>(dot(i, j));
         const std::int64_t abs_sum = d - 2 * count2(i, j);
         k(i, j) = static_cast<float>(
@@ -128,8 +178,6 @@ void compute_kernel_tile(const TileJobInputs& in, std::size_t r0,
   out.from_fp32(k);
 }
 
-}  // namespace
-
 SymmetricTileMatrix build_kernel_matrix(Runtime& runtime,
                                         const GenotypeMatrix& genotypes,
                                         const Matrix<float>& confounders,
@@ -138,24 +186,10 @@ SymmetricTileMatrix build_kernel_matrix(Runtime& runtime,
   KGWAS_CHECK_ARG(np > 0, "empty cohort");
   KGWAS_CHECK_ARG(confounders.rows() == np || confounders.rows() == 0,
                   "confounder row count mismatch");
-  KGWAS_CHECK_ARG(config.gamma > 0.0, "gamma must be positive");
-  // INT32 overflow guard: max entry of the dosage Gram is 4 * NS.
-  KGWAS_CHECK_ARG(genotypes.snps() < (1u << 28),
-                  "SNP count would overflow INT32 accumulation");
 
   SymmetricTileMatrix k(np, config.tile_size);
-  const auto snp_norms = genotypes.squared_row_norms();
-  const auto conf_norms = confounder_row_norms(confounders);
-  IbsIndicators indicators;
-  if (config.kernel == KernelType::kIbs) {
-    indicators = make_indicators(genotypes);
-  }
-  const TileJobInputs inputs{
-      genotypes,   genotypes,  confounders, confounders,
-      snp_norms,   snp_norms,  conf_norms,  conf_norms,
-      config.kernel == KernelType::kIbs ? &indicators : nullptr,
-      config.kernel == KernelType::kIbs ? &indicators : nullptr,
-      config};
+  const KernelTileGenerator generator(genotypes, confounders, genotypes,
+                                      confounders, config);
 
   const std::size_t nt = k.tile_count();
   for (std::size_t tj = 0; tj < nt; ++tj) {
@@ -175,8 +209,8 @@ SymmetricTileMatrix build_kernel_matrix(Runtime& runtime,
           out.precision(), out.precision(), out.precision())};
       runtime.submit_batchable(
           TaskDesc{"build_k", {{h, Access::kWrite}}, priority}, key,
-          [&inputs, &k, ti, tj, ts = config.tile_size] {
-            compute_kernel_tile(inputs, ti * ts, tj * ts, k.tile(ti, tj));
+          [&generator, &k, ti, tj, ts = config.tile_size] {
+            generator.compute(ti * ts, tj * ts, k.tile(ti, tj));
           });
     }
   }
@@ -196,21 +230,9 @@ TileMatrix build_cross_kernel(Runtime& runtime,
   const std::size_t np1 = train_genotypes.patients();
   TileMatrix k(np2, np1, config.tile_size);
 
-  const auto test_norms = test_genotypes.squared_row_norms();
-  const auto train_norms = train_genotypes.squared_row_norms();
-  const auto test_conf_norms = confounder_row_norms(test_confounders);
-  const auto train_conf_norms = confounder_row_norms(train_confounders);
-  IbsIndicators test_ind, train_ind;
-  if (config.kernel == KernelType::kIbs) {
-    test_ind = make_indicators(test_genotypes);
-    train_ind = make_indicators(train_genotypes);
-  }
-  const TileJobInputs inputs{
-      test_genotypes, train_genotypes, test_confounders, train_confounders,
-      test_norms,     train_norms,     test_conf_norms,  train_conf_norms,
-      config.kernel == KernelType::kIbs ? &test_ind : nullptr,
-      config.kernel == KernelType::kIbs ? &train_ind : nullptr,
-      config};
+  const KernelTileGenerator generator(test_genotypes, test_confounders,
+                                      train_genotypes, train_confounders,
+                                      config);
 
   for (std::size_t tj = 0; tj < k.tile_cols(); ++tj) {
     for (std::size_t ti = 0; ti < k.tile_rows(); ++ti) {
@@ -224,9 +246,9 @@ TileMatrix build_cross_kernel(Runtime& runtime,
                                         {{h, Access::kWrite}},
                                         static_cast<int>(k.tile_cols() - tj)},
                                key,
-                               [&inputs, &k, ti, tj, ts = config.tile_size] {
-                                 compute_kernel_tile(inputs, ti * ts, tj * ts,
-                                                     k.tile(ti, tj));
+                               [&generator, &k, ti, tj, ts = config.tile_size] {
+                                 generator.compute(ti * ts, tj * ts,
+                                                   k.tile(ti, tj));
                                });
     }
   }

@@ -21,6 +21,9 @@
 // weak-scales essentially perfectly in the paper's Fig. 7).
 #pragma once
 
+#include <memory>
+#include <vector>
+
 #include "gwas/genotype.hpp"
 #include "krr/kernels.hpp"
 #include "mpblas/matrix.hpp"
@@ -33,6 +36,38 @@ struct BuildConfig {
   KernelType kernel = KernelType::kGaussian;
   double gamma = 0.01;          ///< Gaussian bandwidth (paper default)
   std::size_t tile_size = 256;  ///< tile edge
+};
+
+/// Precomputed Build-phase inputs (squared row norms, IBS indicator
+/// matrices) shared read-only by every kernel-tile task, plus the tile
+/// computation itself.  The shared-memory builders below and the
+/// distributed Build path (src/dist/dist_krr.hpp) both generate tiles
+/// through this, so a tile's value depends only on its global block
+/// coordinates — which is what makes distributed Build output bitwise
+/// identical to the single-rank kernel matrix.
+///
+/// The referenced genotype/confounder matrices must outlive the
+/// generator.  For the symmetric train kernel pass the same cohort for
+/// both sides.
+class KernelTileGenerator {
+ public:
+  KernelTileGenerator(const GenotypeMatrix& genotypes_rows,
+                      const Matrix<float>& conf_rows,
+                      const GenotypeMatrix& genotypes_cols,
+                      const Matrix<float>& conf_cols,
+                      const BuildConfig& config);
+
+  /// Computes the kernel tile covering patient row block [r0, r0 + rows)
+  /// x column block [c0, c0 + cols) of `out` and stores it at the tile's
+  /// precision.  Thread-safe (all shared state is read-only).
+  void compute(std::size_t r0, std::size_t c0, Tile& out) const;
+
+  const BuildConfig& config() const noexcept { return config_; }
+
+ private:
+  struct Inputs;
+  std::shared_ptr<const Inputs> inputs_;
+  BuildConfig config_;
 };
 
 /// Builds the symmetric train x train kernel matrix K (FP32 tiles).

@@ -10,6 +10,21 @@ namespace kgwas {
 PrecisionMap adaptive_precision_map(const SymmetricTileMatrix& matrix,
                                     const AdaptivePolicy& policy) {
   const std::size_t nt = matrix.tile_count();
+  std::vector<double> norms(nt * (nt + 1) / 2, 0.0);
+  for (std::size_t tj = 0; tj < nt; ++tj) {
+    for (std::size_t ti = tj; ti < nt; ++ti) {
+      norms[lower_tile_index(nt, ti, tj)] =
+          matrix.tile(ti, tj).frobenius_norm();
+    }
+  }
+  return adaptive_precision_map_from_norms(norms, nt, policy);
+}
+
+PrecisionMap adaptive_precision_map_from_norms(
+    const std::vector<double>& lower_tile_norms, std::size_t nt,
+    const AdaptivePolicy& policy) {
+  KGWAS_CHECK_ARG(lower_tile_norms.size() == nt * (nt + 1) / 2,
+                  "lower tile norm vector size mismatch");
   PrecisionMap map(nt, policy.working);
 
   // Global Frobenius norm from the lower triangle (off-diagonal tiles
@@ -17,7 +32,7 @@ PrecisionMap adaptive_precision_map(const SymmetricTileMatrix& matrix,
   double sum_sq = 0.0;
   for (std::size_t tj = 0; tj < nt; ++tj) {
     for (std::size_t ti = tj; ti < nt; ++ti) {
-      const double norm = matrix.tile(ti, tj).frobenius_norm();
+      const double norm = lower_tile_norms[lower_tile_index(nt, ti, tj)];
       sum_sq += (ti == tj ? 1.0 : 2.0) * norm * norm;
     }
   }
@@ -35,7 +50,7 @@ PrecisionMap adaptive_precision_map(const SymmetricTileMatrix& matrix,
 
   for (std::size_t tj = 0; tj < nt; ++tj) {
     for (std::size_t ti = tj + 1; ti < nt; ++ti) {
-      const double tile_norm = matrix.tile(ti, tj).frobenius_norm();
+      const double tile_norm = lower_tile_norms[lower_tile_index(nt, ti, tj)];
       Precision chosen = policy.working;
       for (auto it = candidates.rbegin(); it != candidates.rend(); ++it) {
         if (unit_roundoff(*it) * tile_norm <= budget) {

@@ -44,6 +44,24 @@ struct AdaptivePolicy {
 PrecisionMap adaptive_precision_map(const SymmetricTileMatrix& matrix,
                                     const AdaptivePolicy& policy);
 
+/// Index of lower tile (ti, tj), ti >= tj, in the column-packed layout
+/// `lower_tile_norms` uses: tiles of column tj precede those of tj+1,
+/// top to bottom.
+inline std::size_t lower_tile_index(std::size_t nt, std::size_t ti,
+                                    std::size_t tj) {
+  return tj * nt - tj * (tj - 1) / 2 + (ti - tj);
+}
+
+/// Norm-vector variant of the adaptive policy: `lower_tile_norms` holds
+/// the Frobenius norm of every lower tile (lower_tile_index order,
+/// nt*(nt+1)/2 entries).  The arithmetic replays adaptive_precision_map
+/// exactly, so a distributed caller that allreduces per-tile norms (each
+/// owned norm summed against zeros — exact in FP) gets the identical map
+/// on every rank, bit for bit.
+PrecisionMap adaptive_precision_map_from_norms(
+    const std::vector<double>& lower_tile_norms, std::size_t nt,
+    const AdaptivePolicy& policy);
+
 /// Band ("rainbow") policy: off-diagonal tile (i,j) keeps `working` when
 /// (i - j) <= round(fp32_fraction * (nt - 1)), else uses `low`.
 PrecisionMap band_precision_map(std::size_t tile_count, double fp32_fraction,

@@ -35,15 +35,17 @@ class TileHandles {
   std::vector<DataHandle> handles_;
 };
 
-// Critical-path priorities for the right-looking factorization, the
-// standard PaRSEC/DPLASMA hint structure: panel k outranks panel k+1, and
-// within a panel POTRF > TRSM > SYRK > GEMM.  Encoded as
-// (panels-remaining << 2) | kind so the orderings nest without collisions.
-enum PanelKind : int { kGemmPrio = 0, kSyrkPrio = 1, kTrsmPrio = 2, kPotrfPrio = 3 };
+// Shorthands over the shared potrf_task_priority helper (header), which
+// encodes (panels-remaining << 2) | kind so the orderings nest without
+// collisions.
+constexpr PotrfKernel kGemmPrio = PotrfKernel::kGemm;
+constexpr PotrfKernel kSyrkPrio = PotrfKernel::kSyrk;
+constexpr PotrfKernel kTrsmPrio = PotrfKernel::kTrsm;
+constexpr PotrfKernel kPotrfPrio = PotrfKernel::kPotrf;
 
 inline int panel_priority(int base, std::size_t nt, std::size_t k,
-                          PanelKind kind) {
-  return base + (static_cast<int>(nt - k) << 2) + static_cast<int>(kind);
+                          PotrfKernel kind) {
+  return potrf_task_priority(base, nt, k, kind);
 }
 
 }  // namespace

@@ -21,6 +21,19 @@
 
 namespace kgwas {
 
+/// Kernel kinds of the right-looking factorization, ordered by
+/// within-panel priority (POTRF > TRSM > SYRK > GEMM).
+enum class PotrfKernel : int { kGemm = 0, kSyrk = 1, kTrsm = 2, kPotrf = 3 };
+
+/// DPLASMA-style critical-path priority of a step-k kernel: panel k
+/// outranks panel k+1 and, within a panel, POTRF > TRSM > SYRK > GEMM.
+/// Shared by the shared-memory and distributed factorizations so both
+/// schedule the critical path identically.
+inline int potrf_task_priority(int base, std::size_t nt, std::size_t k,
+                               PotrfKernel kind) {
+  return base + (static_cast<int>(nt - k) << 2) + static_cast<int>(kind);
+}
+
 struct TiledPotrfOptions {
   /// Lifts every task of this factorization above concurrent work.
   int base_priority = 0;

@@ -5,6 +5,7 @@
 #include <queue>
 
 #include "common/status.hpp"
+#include "dist/cholesky_comm_pattern.hpp"
 #include "mpblas/mixed.hpp"
 
 namespace kgwas {
@@ -106,27 +107,12 @@ SimResult simulate_dag(const std::vector<SimTask>& tasks, int gpus,
   return result;
 }
 
-namespace {
-
-/// 2D block-cyclic owner of tile (i, j) on a pr x pc grid.
-int tile_owner(std::size_t ti, std::size_t tj, int pr, int pc) {
-  return static_cast<int>(ti % static_cast<std::size_t>(pr)) * pc +
-         static_cast<int>(tj % static_cast<std::size_t>(pc));
-}
-
-void grid_shape(int gpus, int& pr, int& pc) {
-  pr = static_cast<int>(std::sqrt(static_cast<double>(gpus)));
-  while (pr > 1 && gpus % pr != 0) --pr;
-  pc = gpus / pr;
-}
-
-}  // namespace
-
 std::vector<SimTask> make_cholesky_dag(std::size_t nt, std::size_t tile_size,
                                        const PrecisionMap& map, int gpus) {
   KGWAS_CHECK_ARG(map.tile_count() == nt, "precision map size mismatch");
-  int pr = 1, pc = 1;
-  grid_shape(gpus, pr, pc);
+  // Ownership comes from the same block-cyclic ProcessGrid the real
+  // distributed layer (src/dist) uses.
+  const ProcessGrid grid(gpus);
   const double b = static_cast<double>(tile_size);
 
   // Task ids: we linearize submissions in the same right-looking order as
@@ -146,7 +132,7 @@ std::vector<SimTask> make_cholesky_dag(std::size_t nt, std::size_t tile_size,
       SimTask t;
       t.flops = potrf_op_count(tile_size);
       t.compute = map.get(k, k);
-      t.owner = tile_owner(k, k, pr, pc);
+      t.owner = grid.owner(k, k);
       if (last[k][k] != static_cast<std::size_t>(-1)) {
         t.preds.push_back(last[k][k]);
       }
@@ -158,7 +144,7 @@ std::vector<SimTask> make_cholesky_dag(std::size_t nt, std::size_t tile_size,
       SimTask t;
       t.flops = trsm_op_count(tile_size, tile_size);
       t.compute = map.get(k, k);
-      t.owner = tile_owner(i, k, pr, pc);
+      t.owner = grid.owner(i, k);
       t.preds.push_back(potrf_id);
       if (tasks[potrf_id].owner != t.owner) t.in_bytes_remote += bytes_of(k, k);
       if (last[i][k] != static_cast<std::size_t>(-1)) {
@@ -172,7 +158,7 @@ std::vector<SimTask> make_cholesky_dag(std::size_t nt, std::size_t tile_size,
         SimTask t;
         t.flops = syrk_op_count(tile_size, tile_size);
         t.compute = map.get(j, k);  // operand precision drives throughput
-        t.owner = tile_owner(j, j, pr, pc);
+        t.owner = grid.owner(j, j);
         t.preds.push_back(last[j][k]);
         if (tasks[last[j][k]].owner != t.owner) {
           t.in_bytes_remote += bytes_of(j, k);
@@ -187,7 +173,7 @@ std::vector<SimTask> make_cholesky_dag(std::size_t nt, std::size_t tile_size,
         SimTask t;
         t.flops = gemm_op_count(tile_size, tile_size, tile_size);
         t.compute = map.get(i, k);
-        t.owner = tile_owner(i, j, pr, pc);
+        t.owner = grid.owner(i, j);
         t.preds.push_back(last[i][k]);
         if (tasks[last[i][k]].owner != t.owner) {
           t.in_bytes_remote += bytes_of(i, k);
@@ -209,8 +195,7 @@ std::vector<SimTask> make_cholesky_dag(std::size_t nt, std::size_t tile_size,
 
 std::vector<SimTask> make_build_dag(std::size_t nt, std::size_t tile_size,
                                     std::size_t n_snps, int gpus) {
-  int pr = 1, pc = 1;
-  grid_shape(gpus, pr, pc);
+  const ProcessGrid grid(gpus);
   const double b = static_cast<double>(tile_size);
   std::vector<SimTask> tasks;
   tasks.reserve(nt * (nt + 1) / 2);
@@ -220,13 +205,43 @@ std::vector<SimTask> make_build_dag(std::size_t nt, std::size_t tile_size,
       // INT8 dosage GEMM dominates; fused exponentiation is O(b^2) FP32.
       t.flops = 2.0 * b * b * static_cast<double>(n_snps);
       t.compute = Precision::kInt8;
-      t.owner = tile_owner(ti, tj, pr, pc);
+      t.owner = grid.owner(ti, tj);
       // Each tile task streams its two genotype row-panels once.
       t.in_bytes_remote = 2.0 * b * static_cast<double>(n_snps);
       tasks.push_back(std::move(t));
     }
   }
   return tasks;
+}
+
+std::map<Precision, std::size_t> cholesky_comm_bytes(std::size_t nt,
+                                                     std::size_t tile_size,
+                                                     const PrecisionMap& map,
+                                                     int ranks) {
+  KGWAS_CHECK_ARG(map.tile_count() == nt, "precision map size mismatch");
+  const ProcessGrid grid(ranks);
+  std::map<Precision, std::size_t> bytes;
+  const std::size_t tile_elems = tile_size * tile_size;
+  for (std::size_t k = 0; k < nt; ++k) {
+    // Post-POTRF diagonal tile -> every rank owning a column-k TRSM.
+    {
+      const auto consumers =
+          dist::excluding(dist::diag_tile_consumers(grid, nt, k),
+                          grid.owner(k, k));
+      const Precision p = map.get(k, k);
+      bytes[p] += consumers.size() * tile_elems * bytes_per_element(p);
+    }
+    // Post-TRSM panel tiles -> every rank owning a trailing tile in the
+    // row-m / column-m cross of the trailing submatrix.
+    for (std::size_t m = k + 1; m < nt; ++m) {
+      const auto consumers =
+          dist::excluding(dist::panel_tile_consumers(grid, nt, m, k),
+                          grid.owner(m, k));
+      const Precision p = map.get(m, k);
+      bytes[p] += consumers.size() * tile_elems * bytes_per_element(p);
+    }
+  }
+  return bytes;
 }
 
 }  // namespace kgwas

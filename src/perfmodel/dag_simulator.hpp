@@ -16,8 +16,10 @@
 #pragma once
 
 #include <cstddef>
+#include <map>
 #include <vector>
 
+#include "dist/process_grid.hpp"
 #include "perfmodel/machine.hpp"
 #include "precision/precision.hpp"
 #include "tile/precision_map.hpp"
@@ -60,5 +62,18 @@ std::vector<SimTask> make_cholesky_dag(std::size_t nt, std::size_t tile_size,
 /// FP32 confounder GEMM + fused exponentiation, modelled per tile).
 std::vector<SimTask> make_build_dag(std::size_t nt, std::size_t tile_size,
                                     std::size_t n_snps, int gpus);
+
+/// Per-storage-precision wire bytes the block-cyclic tiled Cholesky moves
+/// between ranks, counted once per (panel-tile version, consumer rank) —
+/// the dedup a remote-tile cache achieves, and the exact pattern the real
+/// distributed factorization (dist/dist_cholesky) executes: both sides
+/// derive ownership from the same ProcessGrid and destinations from the
+/// same dist/cholesky_comm_pattern helpers.  The calibration test asserts
+/// this accounting equals the communicator's measured tile payload bytes
+/// *exactly* (uniform tiles, i.e. n divisible by tile_size).
+std::map<Precision, std::size_t> cholesky_comm_bytes(std::size_t nt,
+                                                     std::size_t tile_size,
+                                                     const PrecisionMap& map,
+                                                     int ranks);
 
 }  // namespace kgwas

@@ -124,6 +124,27 @@ void Runtime::submit_batchable(TaskDesc desc, BatchKey key,
   submit_impl(std::move(desc), std::move(fn), key.value);
 }
 
+ExternalEvent Runtime::submit_external(TaskDesc desc) {
+  return ExternalEvent{
+      submit_impl(std::move(desc), nullptr, 0, /*external=*/true)};
+}
+
+void Runtime::signal_external(ExternalEvent event) {
+  KGWAS_CHECK_ARG(event.valid(), "signalled an invalid external event");
+  TaskNode* node = nullptr;
+  {
+    std::lock_guard<std::mutex> lock(graph_mutex_);
+    auto it = live_tasks_.find(event.task_id);
+    KGWAS_CHECK_ARG(it != live_tasks_.end(),
+                    "signalled an unknown or already-completed external event");
+    node = it->second.get();
+  }
+  // Drop the signal hold; completes inline when it was the last one.
+  if (node->remaining_deps.fetch_sub(1) == 1) {
+    enqueue_ready(node);
+  }
+}
+
 void Runtime::set_max_batch_size(std::size_t n) {
   max_batch_.store(std::clamp<std::size_t>(n, 1, kMaxBatchBound));
 }
@@ -144,16 +165,17 @@ Runtime::BatchQueue* Runtime::batch_queue(std::uint64_t key) {
   return slot.get();
 }
 
-void Runtime::submit_impl(TaskDesc desc, std::function<void()> fn,
-                          std::uint64_t batch_key) {
+std::uint64_t Runtime::submit_impl(TaskDesc desc, std::function<void()> fn,
+                                   std::uint64_t batch_key, bool external) {
   auto node = std::make_unique<TaskNode>();
   node->name = std::move(desc.name);
   node->fn = std::move(fn);
   node->priority = desc.priority;
   if (batch_key != 0) node->batch = batch_queue(batch_key);
   // Sentinel dependency held by this submit() call itself: the task cannot
-  // fire until every edge below has been wired.
-  node->remaining_deps.store(1);
+  // fire until every edge below has been wired.  External events carry a
+  // second hold, released only by signal_external.
+  node->remaining_deps.store(external ? 2 : 1);
   TaskNode* raw = node.get();
 
   // Dependencies this task must wait for (deduplicated by pointer).
@@ -214,9 +236,17 @@ void Runtime::submit_impl(TaskDesc desc, std::function<void()> fn,
   if (raw->remaining_deps.fetch_sub(1) == 1) {
     enqueue_ready(raw);
   }
+  return raw->id;
 }
 
 void Runtime::enqueue_ready(TaskNode* node) {
+  if (node->fn == nullptr) {
+    // External event: no body to schedule — complete inline on whichever
+    // thread met the last condition (final dependency or the signal), so
+    // successors release without a scheduler round-trip.
+    run_task(node);
+    return;
+  }
   if (node->batch != nullptr && max_batch_.load(std::memory_order_relaxed) > 1) {
     BatchQueue* q = node->batch;
     bool spawn;
@@ -311,7 +341,7 @@ void Runtime::run_batch(BatchQueue* queue, int my_priority) {
 void Runtime::run_task(TaskNode* node) {
   const std::uint64_t start = Timer::now_ns();
   try {
-    node->fn();
+    if (node->fn) node->fn();
   } catch (...) {
     std::lock_guard<std::mutex> lock(error_mutex_);
     if (!first_error_) first_error_ = std::current_exception();

@@ -77,6 +77,12 @@ struct BatchKey {
   bool valid() const noexcept { return value != 0; }
 };
 
+/// Handle to an externally-completed task (see Runtime::submit_external).
+struct ExternalEvent {
+  std::uint64_t task_id = 0;
+  bool valid() const noexcept { return task_id != 0; }
+};
+
 /// Counters of the batch coalescer (see submit_batchable).
 struct BatchStats {
   std::uint64_t groups = 0;         ///< batch executions with >= 1 task
@@ -130,6 +136,25 @@ class Runtime {
   /// keeps a single worker from hoarding the ready set.
   void submit_batchable(TaskDesc desc, BatchKey key, std::function<void()> fn);
 
+  /// Registers an external completion as a task: dependencies are
+  /// declared and inferred exactly as for `submit`, but the task has no
+  /// body — it completes (releasing its successors) only once both its
+  /// dependencies are satisfied and `signal_external` has been called.
+  /// The distributed layer uses this to wire message arrival into the
+  /// task graph: a recv-completion event is the writer of a remote tile's
+  /// cache slot, and consumer tasks simply declare a Read on that handle.
+  ///
+  /// Contract: every submitted event must be signalled exactly once
+  /// before `wait()` can return (an unsignalled event counts as a pending
+  /// task and blocks the drain forever).
+  ExternalEvent submit_external(TaskDesc desc);
+
+  /// Completes an external event.  Callable from any thread, including
+  /// non-worker threads (the distributed progress loop).  When the event
+  /// is the last unmet dependency of successor tasks, they are released
+  /// inline on the calling thread.
+  void signal_external(ExternalEvent event);
+
   /// Batch group size bound, clamped to [1, 64].  1 disables coalescing.
   /// The constructor seeds it from KGWAS_MAX_BATCH (default 8).
   void set_max_batch_size(std::size_t n);
@@ -171,8 +196,8 @@ class Runtime {
   void enqueue_ready(TaskNode* node);
   void run_task(TaskNode* node);
   void run_batch(BatchQueue* queue, int my_priority);
-  void submit_impl(TaskDesc desc, std::function<void()> fn,
-                   std::uint64_t batch_key);
+  std::uint64_t submit_impl(TaskDesc desc, std::function<void()> fn,
+                            std::uint64_t batch_key, bool external = false);
   BatchQueue* batch_queue(std::uint64_t key);
 
   // Batch-coalescing state is declared (and therefore destroyed) after

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstring>
 #include <vector>
 
 #include "common/status.hpp"
@@ -107,6 +108,20 @@ void Tile::encode_from(const float* src, std::size_t ld) {
     for (std::size_t i = 0; i < rows_; ++i) packed[i + j * rows_] = col[i];
   }
   quantize_buffer(precision_, packed.data(), storage_.data(), elements());
+}
+
+void Tile::from_wire(std::size_t rows, std::size_t cols, Precision precision,
+                     const void* payload) {
+  invalidate_scope_cache(*this);
+  const std::size_t bytes = rows * cols * bytes_per_element(precision);
+  if (storage_.size() != bytes) {
+    TilePool::global().release(std::move(storage_));
+    storage_ = TilePool::global().acquire(bytes);
+  }
+  rows_ = rows;
+  cols_ = cols;
+  precision_ = precision;
+  std::memcpy(storage_.data(), payload, bytes);
 }
 
 double Tile::frobenius_norm() const {

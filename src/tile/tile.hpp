@@ -62,6 +62,15 @@ class Tile {
   /// Quantizes from a raw column-major buffer with leading dimension ld.
   void encode_from(const float* src, std::size_t ld);
 
+  /// Adopts a wire payload: reshapes to rows x cols in `precision` and
+  /// copies rows * cols * bytes_per_element(precision) raw storage bytes
+  /// from `payload` — the exact inverse of reading `raw()`.  Used by the
+  /// distributed tile transport, which ships tiles at storage precision;
+  /// no quantization happens, so the received tile is bit-identical to
+  /// the sender's.
+  void from_wire(std::size_t rows, std::size_t cols, Precision precision,
+                 const void* payload);
+
   /// Frobenius norm of the decoded payload.
   double frobenius_norm() const;
   /// Max-abs of the decoded payload.

@@ -1,17 +1,20 @@
-// Unit tests for src/common: RNG, thread pool, table, CLI, errors.
+// Unit tests for src/common: RNG, env parsing, table, CLI, errors.
 #include <gtest/gtest.h>
 
 #include <atomic>
 #include <cmath>
+#include <cstdlib>
+#include <limits>
 #include <set>
 #include <sstream>
+#include <string>
 
 #include "common/aligned_buffer.hpp"
 #include "common/cli.hpp"
+#include "common/env.hpp"
 #include "common/rng.hpp"
 #include "common/status.hpp"
 #include "common/table.hpp"
-#include "common/thread_pool.hpp"
 #include "common/timer.hpp"
 
 namespace kgwas {
@@ -132,31 +135,82 @@ TEST(AlignedBuffer, AlignmentAndUsability) {
   EXPECT_EQ(v.size(), 1001u);
 }
 
-TEST(ThreadPool, ParallelForCoversAllIndices) {
-  ThreadPool pool(4);
-  std::vector<std::atomic<int>> hits(257);
-  pool.parallel_for(0, 257, [&](std::size_t i) { hits[i].fetch_add(1); });
-  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
-}
-
-TEST(ThreadPool, ParallelForPropagatesException) {
-  ThreadPool pool(4);
-  EXPECT_THROW(
-      pool.parallel_for(0, 100,
-                        [&](std::size_t i) {
-                          if (i == 57) throw std::runtime_error("boom");
-                        }),
-      std::runtime_error);
-}
-
-TEST(ThreadPool, SubmitAndWaitIdle) {
-  ThreadPool pool(3);
-  std::atomic<int> counter{0};
-  for (int i = 0; i < 50; ++i) {
-    pool.submit([&] { counter.fetch_add(1); });
+// RAII environment variable override for the env parsing tests.
+class ScopedEnv {
+ public:
+  ScopedEnv(const char* name, const char* value) : name_(name) {
+    const char* old = std::getenv(name);
+    if (old != nullptr) saved_ = old;
+    had_value_ = old != nullptr;
+    if (value != nullptr) {
+      ::setenv(name, value, 1);
+    } else {
+      ::unsetenv(name);
+    }
   }
-  pool.wait_idle();
-  EXPECT_EQ(counter.load(), 50);
+  ~ScopedEnv() {
+    if (had_value_) {
+      ::setenv(name_.c_str(), saved_.c_str(), 1);
+    } else {
+      ::unsetenv(name_.c_str());
+    }
+  }
+
+ private:
+  std::string name_;
+  std::string saved_;
+  bool had_value_ = false;
+};
+
+TEST(Env, UnsetUsesFallback) {
+  ScopedEnv guard("KGWAS_TEST_KNOB", nullptr);
+  EXPECT_EQ(env_size_t("KGWAS_TEST_KNOB", 7), 7u);
+}
+
+TEST(Env, ParsesPlainAndPaddedIntegers) {
+  {
+    ScopedEnv guard("KGWAS_TEST_KNOB", "42");
+    EXPECT_EQ(env_size_t("KGWAS_TEST_KNOB", 7), 42u);
+  }
+  {
+    ScopedEnv guard("KGWAS_TEST_KNOB", "  42  ");
+    EXPECT_EQ(env_size_t("KGWAS_TEST_KNOB", 7), 42u);
+  }
+  {
+    ScopedEnv guard("KGWAS_TEST_KNOB", "0");
+    EXPECT_EQ(env_size_t("KGWAS_TEST_KNOB", 7), 0u);
+  }
+}
+
+TEST(Env, NegativeValuesFallBackInsteadOfWrapping) {
+  ScopedEnv guard("KGWAS_TEST_KNOB", "-1");
+  EXPECT_EQ(env_size_t("KGWAS_TEST_KNOB", 7), 7u);
+}
+
+TEST(Env, ExplicitPlusSignFallsBack) {
+  ScopedEnv guard("KGWAS_TEST_KNOB", "+3");
+  EXPECT_EQ(env_size_t("KGWAS_TEST_KNOB", 7), 7u);
+}
+
+TEST(Env, OverflowFallsBackInsteadOfSaturating) {
+  // 2^64 = 18446744073709551616 overflows unsigned long long.
+  ScopedEnv guard("KGWAS_TEST_KNOB", "18446744073709551616");
+  EXPECT_EQ(env_size_t("KGWAS_TEST_KNOB", 7), 7u);
+  ScopedEnv guard2("KGWAS_TEST_KNOB", "99999999999999999999999999");
+  EXPECT_EQ(env_size_t("KGWAS_TEST_KNOB", 7), 7u);
+}
+
+TEST(Env, GarbageFallsBack) {
+  for (const char* bad : {"", "  ", "abc", "12abc", "3 4", "0x10", "1.5"}) {
+    ScopedEnv guard("KGWAS_TEST_KNOB", bad);
+    EXPECT_EQ(env_size_t("KGWAS_TEST_KNOB", 7), 7u) << "value: '" << bad << "'";
+  }
+}
+
+TEST(Env, MaxRepresentableValueParses) {
+  ScopedEnv guard("KGWAS_TEST_KNOB", "18446744073709551615");  // 2^64 - 1
+  EXPECT_EQ(env_size_t("KGWAS_TEST_KNOB", 7),
+            std::numeric_limits<std::size_t>::max());
 }
 
 TEST(Table, AlignedRenderAndCsv) {

@@ -1,0 +1,495 @@
+// Tests for the distributed tile execution layer (src/dist): communicator
+// primitives, precision-compressed tile transport, external runtime
+// events, block-cyclic containers, rank-count invariance of the
+// distributed Cholesky and KRR pipelines (bitwise), wire-byte compression
+// under precision maps, and the simulator-vs-real communication
+// calibration.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cmath>
+#include <cstring>
+#include <deque>
+#include <mutex>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "dist/cholesky_comm_pattern.hpp"
+#include "dist/communicator.hpp"
+#include "dist/dist_cholesky.hpp"
+#include "dist/dist_krr.hpp"
+#include "dist/dist_tile_matrix.hpp"
+#include "dist/mailbox.hpp"
+#include "dist/process_grid.hpp"
+#include "dist/tile_transport.hpp"
+#include "gwas/cohort_simulator.hpp"
+#include "gwas/dataset.hpp"
+#include "gwas/phenotype.hpp"
+#include "krr/model.hpp"
+#include "linalg/precision_policy.hpp"
+#include "linalg/tiled_cholesky.hpp"
+#include "perfmodel/dag_simulator.hpp"
+#include "runtime/runtime.hpp"
+
+namespace kgwas {
+namespace {
+
+using dist::Communicator;
+using dist::InProcessWorld;
+using dist::Message;
+using dist::Phase;
+using dist::WireVolume;
+using dist::make_tile_tag;
+using dist::run_ranks;
+
+// ----------------------------------------------------------- primitives
+
+TEST(Mailbox, PushDrainPreservesArrivalOrder) {
+  dist::Mailbox box;
+  for (int i = 0; i < 5; ++i) {
+    box.push(Message{0, static_cast<std::uint64_t>(i), {}});
+  }
+  std::deque<Message> out;
+  box.drain(out);
+  ASSERT_EQ(out.size(), 5u);
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_EQ(out[static_cast<std::size_t>(i)].tag,
+              static_cast<std::uint64_t>(i));
+  }
+  EXPECT_EQ(box.arrivals(), 5u);
+}
+
+TEST(Communicator, TaggedSendRecvAcrossRanks) {
+  run_ranks(3, [](Communicator& comm) {
+    const int me = comm.rank();
+    // Everyone sends its rank to everyone else.
+    for (int r = 0; r < comm.size(); ++r) {
+      if (r == me) continue;
+      std::vector<std::byte> payload{static_cast<std::byte>(me)};
+      comm.send(r, make_tile_tag(Phase::kGatherFull, 100 + me, r),
+                std::move(payload));
+    }
+    for (int r = 0; r < comm.size(); ++r) {
+      if (r == me) continue;
+      const Message m = comm.recv(make_tile_tag(Phase::kGatherFull, 100 + r, me));
+      EXPECT_EQ(m.src, r);
+      ASSERT_EQ(m.payload.size(), 1u);
+      EXPECT_EQ(static_cast<int>(m.payload[0]), r);
+    }
+    comm.barrier();
+  });
+}
+
+TEST(Communicator, AllreduceSumIsDeterministicAndReplicated) {
+  std::mutex mutex;
+  std::vector<std::vector<double>> results;
+  run_ranks(4, [&](Communicator& comm) {
+    std::vector<double> v{static_cast<double>(comm.rank() + 1), 0.5};
+    comm.allreduce_sum(v.data(), v.size());
+    std::lock_guard<std::mutex> lock(mutex);
+    results.push_back(v);
+  });
+  ASSERT_EQ(results.size(), 4u);
+  for (const auto& v : results) {
+    EXPECT_DOUBLE_EQ(v[0], 1.0 + 2.0 + 3.0 + 4.0);
+    EXPECT_DOUBLE_EQ(v[1], 2.0);
+  }
+}
+
+TEST(Communicator, BroadcastReplicatesRootPayload) {
+  run_ranks(3, [](Communicator& comm) {
+    std::vector<std::byte> data;
+    if (comm.rank() == 1) {
+      data = {std::byte{7}, std::byte{9}};
+    }
+    comm.broadcast(1, data);
+    ASSERT_EQ(data.size(), 2u);
+    EXPECT_EQ(static_cast<int>(data[1]), 9);
+  });
+}
+
+TEST(Communicator, BarrierSeparatesPhases) {
+  std::atomic<int> phase_one{0};
+  run_ranks(4, [&](Communicator& comm) {
+    phase_one.fetch_add(1);
+    comm.barrier();
+    // After the barrier every rank must have finished phase one.
+    EXPECT_EQ(phase_one.load(), 4);
+    comm.barrier();
+  });
+}
+
+TEST(Communicator, RankFailurePoisonsWorldInsteadOfHanging) {
+  // Rank 1 throws before its sends; ranks blocked on it must abort fast
+  // (WorldAborted via the poisoned mailboxes) and run_ranks must rethrow
+  // the root-cause error, not the secondary aborts.
+  EXPECT_THROW(
+      run_ranks(3,
+                [](Communicator& comm) {
+                  if (comm.rank() == 1) {
+                    throw NumericalError("synthetic pivot failure", 7);
+                  }
+                  // These receives can never be satisfied.
+                  comm.recv(make_tile_tag(Phase::kGatherFull, 9, 9));
+                }),
+      NumericalError);
+}
+
+TEST(TileTransport, RoundTripsEveryStoragePrecision) {
+  Matrix<float> values(7, 5);
+  for (std::size_t j = 0; j < 5; ++j) {
+    for (std::size_t i = 0; i < 7; ++i) {
+      values(i, j) = 0.01f * static_cast<float>(i + 1) -
+                     0.02f * static_cast<float>(j);
+    }
+  }
+  for (const Precision p :
+       {Precision::kFp32, Precision::kFp16, Precision::kBf16,
+        Precision::kFp8E4M3}) {
+    Tile tile(7, 5, p);
+    tile.from_fp32(values);
+    Tile back;
+    dist::decode_tile(dist::encode_tile(tile), back);
+    EXPECT_EQ(back.rows(), 7u);
+    EXPECT_EQ(back.cols(), 5u);
+    EXPECT_EQ(back.precision(), p);
+    ASSERT_EQ(back.storage_bytes(), tile.storage_bytes());
+    EXPECT_EQ(std::memcmp(back.raw(), tile.raw(), tile.storage_bytes()), 0);
+  }
+}
+
+TEST(TileTransport, WireLedgerCountsPayloadByPrecision) {
+  run_ranks(2, [](Communicator& comm) {
+    if (comm.rank() == 0) {
+      Tile t(8, 8, Precision::kFp16);
+      Matrix<float> v(8, 8, 0.25f);
+      t.from_fp32(v);
+      dist::send_tile(comm, 1, make_tile_tag(Phase::kGatherFull, 0, 0), t);
+      EXPECT_EQ(comm.wire_volume().tile_bytes(Precision::kFp16),
+                8u * 8u * 2u);
+      EXPECT_EQ(comm.wire_volume().tile_bytes(Precision::kFp32), 0u);
+    } else {
+      const Message m = comm.recv(make_tile_tag(Phase::kGatherFull, 0, 0));
+      Tile t;
+      dist::decode_tile(m.payload, t);
+      EXPECT_EQ(t.precision(), Precision::kFp16);
+      EXPECT_FLOAT_EQ(t.to_fp32()(3, 3), 0.25f);
+    }
+    comm.barrier();
+  });
+}
+
+TEST(Runtime, ExternalEventGatesSuccessors) {
+  Runtime rt(2);
+  const DataHandle h = rt.register_data();
+  const ExternalEvent event = rt.submit_external(TaskDesc{"ext", {{h, Access::kWrite}}, 0});
+  std::atomic<bool> ran{false};
+  rt.submit(TaskDesc{"consumer", {{h, Access::kRead}}, 0},
+            [&] { ran.store(true); });
+  // The consumer must not run before the signal.
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_FALSE(ran.load());
+  rt.signal_external(event);
+  rt.wait();
+  EXPECT_TRUE(ran.load());
+}
+
+TEST(ProcessGrid, MatchesSimulatorOwnership) {
+  // 4 ranks -> 2x2; 6 ranks -> 2x3; 5 ranks -> 1x5.
+  const ProcessGrid g4(4);
+  EXPECT_EQ(g4.rows(), 2);
+  EXPECT_EQ(g4.cols(), 2);
+  EXPECT_EQ(g4.owner(0, 0), 0);
+  EXPECT_EQ(g4.owner(1, 0), 2);
+  EXPECT_EQ(g4.owner(0, 1), 1);
+  EXPECT_EQ(g4.owner(3, 3), 3);
+  const ProcessGrid g5(5);
+  EXPECT_EQ(g5.rows(), 1);
+  EXPECT_EQ(g5.cols(), 5);
+  const ProcessGrid g6(6);
+  EXPECT_EQ(g6.rows(), 2);
+  EXPECT_EQ(g6.cols(), 3);
+}
+
+TEST(DistTileMatrix, OwnershipPartitionsTiles) {
+  const std::size_t n = 96, ts = 32;
+  const ProcessGrid grid(4);
+  std::size_t owned_total = 0;
+  for (int r = 0; r < 4; ++r) {
+    dist::DistSymmetricTileMatrix m(n, ts, grid, r);
+    for (std::size_t tj = 0; tj < m.tile_count(); ++tj) {
+      for (std::size_t ti = tj; ti < m.tile_count(); ++ti) {
+        if (m.is_local(ti, tj)) {
+          ++owned_total;
+          EXPECT_EQ(m.tile(ti, tj).rows(), m.tile_dim(ti));
+        }
+      }
+    }
+  }
+  const std::size_t nt = 3;
+  EXPECT_EQ(owned_total, nt * (nt + 1) / 2);  // every tile owned exactly once
+}
+
+// ------------------------------------------------- rank-count invariance
+
+/// Deterministic SPD matrix (same construction as the bench helper, kept
+/// local so the unit tests do not depend on bench/).
+Matrix<float> bench_spd(std::size_t n) {
+  Matrix<float> a(n, n);
+  for (std::size_t j = 0; j < n; ++j) {
+    for (std::size_t i = 0; i < n; ++i) {
+      const double d = (static_cast<double>(i) - static_cast<double>(j)) /
+                       static_cast<double>(n);
+      a(i, j) = static_cast<float>(std::exp(-40.0 * d * d));
+    }
+  }
+  for (std::size_t i = 0; i < n; ++i) a(i, i) += 1.0f;
+  return a;
+}
+
+/// Reference single-rank factor via the shared-memory path.
+SymmetricTileMatrix reference_factor(std::size_t n, std::size_t ts,
+                                     const PrecisionMap& map) {
+  SymmetricTileMatrix a(n, ts);
+  a.from_dense(bench_spd(n));
+  map.apply(a);
+  Runtime rt(2);
+  tiled_potrf(rt, a);
+  return a;
+}
+
+/// Runs the distributed factorization on `ranks` ranks and returns the
+/// gathered factor (rank 0) plus the world's wire volume.
+std::pair<SymmetricTileMatrix, WireVolume> dist_factor(
+    std::size_t n, std::size_t ts, int ranks, const PrecisionMap& map) {
+  SymmetricTileMatrix full(n, ts);
+  full.from_dense(bench_spd(n));
+  map.apply(full);
+  SymmetricTileMatrix gathered;
+  // Wire volume is snapshotted per rank right after the factorization so
+  // the verification gather's frames do not pollute the measurement.
+  WireVolume wire;
+  std::mutex wire_mutex;
+  run_ranks(ranks, [&](Communicator& comm) {
+    Runtime rt(1);
+    const ProcessGrid grid(ranks);
+    dist::DistSymmetricTileMatrix a(n, ts, grid, comm.rank());
+    a.from_full(full);
+    dist::DistPotrfOptions options;
+    options.precision_map = &map;
+    dist::dist_tiled_potrf(rt, comm, a, options);
+    {
+      const WireVolume mine = comm.wire_volume();
+      std::lock_guard<std::mutex> lock(wire_mutex);
+      wire.messages += mine.messages;
+      wire.payload_bytes += mine.payload_bytes;
+      for (std::size_t i = 0; i < kNumPrecisions; ++i) {
+        wire.tile_payload_bytes[i] += mine.tile_payload_bytes[i];
+      }
+    }
+    SymmetricTileMatrix out = a.gather_full(comm);
+    if (comm.rank() == 0) gathered = std::move(out);
+  });
+  return {std::move(gathered), wire};
+}
+
+bool factors_bitwise_equal(const SymmetricTileMatrix& a,
+                           const SymmetricTileMatrix& b) {
+  if (a.n() != b.n() || a.tile_size() != b.tile_size()) return false;
+  for (std::size_t tj = 0; tj < a.tile_count(); ++tj) {
+    for (std::size_t ti = tj; ti < a.tile_count(); ++ti) {
+      const Tile& ta = a.tile(ti, tj);
+      const Tile& tb = b.tile(ti, tj);
+      if (ta.precision() != tb.precision() ||
+          ta.storage_bytes() != tb.storage_bytes()) {
+        return false;
+      }
+      if (std::memcmp(ta.raw(), tb.raw(), ta.storage_bytes()) != 0) {
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+TEST(DistCholesky, FactorIsBitwiseRankCountInvariant) {
+  const std::size_t n = 128, ts = 32;
+  const std::size_t nt = n / ts;
+  const PrecisionMap map =
+      band_precision_map(nt, 0.34, Precision::kFp16, Precision::kFp32);
+  const SymmetricTileMatrix reference = reference_factor(n, ts, map);
+  std::vector<int> rank_counts{1, 2, 4};
+  const int env_ranks = dist::configured_ranks();
+  if (env_ranks > 1 && env_ranks != 2 && env_ranks != 4) {
+    rank_counts.push_back(env_ranks);  // KGWAS_RANKS CI job coverage
+  }
+  for (const int ranks : rank_counts) {
+    auto [factor, wire] = dist_factor(n, ts, ranks, map);
+    EXPECT_TRUE(factors_bitwise_equal(reference, factor))
+        << "ranks=" << ranks;
+    if (ranks == 1) {
+      EXPECT_EQ(wire.total_tile_bytes(), 0u);  // nothing crosses a rank
+    } else {
+      EXPECT_GT(wire.total_tile_bytes(), 0u);
+    }
+  }
+}
+
+TEST(DistCholesky, LoweringStoragePrecisionShrinksWireBytes) {
+  const std::size_t n = 128, ts = 32;
+  const std::size_t nt = n / ts;
+  const PrecisionMap fp32_map(nt, Precision::kFp32);
+  const PrecisionMap band =
+      band_precision_map(nt, 0.0, Precision::kFp16, Precision::kFp32);
+  const auto [f1, wire_fp32] = dist_factor(n, ts, 4, fp32_map);
+  const auto [f2, wire_band] = dist_factor(n, ts, 4, band);
+  EXPECT_GT(wire_band.tile_bytes(Precision::kFp16), 0u);
+  EXPECT_LT(wire_band.total_tile_bytes(), wire_fp32.total_tile_bytes());
+}
+
+TEST(DistCholesky, WireBytesMatchSimulatorAccountingExactly) {
+  // The calibration gate: the DAG simulator's communication accounting
+  // and the communicator's measured tile payload ledger must agree to
+  // the byte, per storage precision, for the same grid and precision map.
+  const std::size_t n = 192, ts = 32;  // uniform tiles (n % ts == 0)
+  const std::size_t nt = n / ts;
+  const PrecisionMap map =
+      band_precision_map(nt, 0.4, Precision::kFp16, Precision::kFp32);
+  for (const int ranks : {2, 4}) {
+    const auto modelled = cholesky_comm_bytes(nt, ts, map, ranks);
+    const auto [factor, wire] = dist_factor(n, ts, ranks, map);
+    std::uint64_t modelled_total = 0;
+    for (const auto& [precision, bytes] : modelled) {
+      EXPECT_EQ(wire.tile_bytes(precision), bytes)
+          << "ranks=" << ranks << " precision=" << to_string(precision);
+      modelled_total += bytes;
+    }
+    EXPECT_EQ(wire.total_tile_bytes(), modelled_total) << "ranks=" << ranks;
+  }
+}
+
+TEST(DistCholesky, PosvSolutionIsBitwiseRankCountInvariant) {
+  const std::size_t n = 96, ts = 32;
+  const std::size_t nt = n / ts;
+  const PrecisionMap map =
+      band_precision_map(nt, 0.5, Precision::kFp16, Precision::kFp32);
+  // Reference: shared-memory factor + solve.
+  SymmetricTileMatrix a(n, ts);
+  a.from_dense(bench_spd(n));
+  map.apply(a);
+  Matrix<float> b(n, 3);
+  for (std::size_t j = 0; j < 3; ++j) {
+    for (std::size_t i = 0; i < n; ++i) {
+      b(i, j) = 0.01f * static_cast<float>(i) + static_cast<float>(j);
+    }
+  }
+  Matrix<float> x_ref = b;
+  {
+    Runtime rt(2);
+    tiled_potrf(rt, a);
+    tiled_potrs(rt, a, x_ref);
+  }
+  for (const int ranks : {2, 4}) {
+    SymmetricTileMatrix full(n, ts);
+    full.from_dense(bench_spd(n));
+    map.apply(full);
+    std::mutex mutex;
+    std::vector<Matrix<float>> solutions;
+    run_ranks(ranks, [&](Communicator& comm) {
+      Runtime rt(1);
+      const ProcessGrid grid(ranks);
+      dist::DistSymmetricTileMatrix da(n, ts, grid, comm.rank());
+      da.from_full(full);
+      dist::DistPotrfOptions options;
+      options.precision_map = &map;
+      dist::dist_tiled_potrf(rt, comm, da, options);
+      Matrix<float> x = b;
+      dist::dist_tiled_potrs(rt, comm, da, x);
+      std::lock_guard<std::mutex> lock(mutex);
+      solutions.push_back(std::move(x));
+    });
+    ASSERT_EQ(solutions.size(), static_cast<std::size_t>(ranks));
+    // Replicated on every rank, and bitwise equal to the reference.
+    for (const auto& x : solutions) {
+      ASSERT_EQ(x.rows(), x_ref.rows());
+      EXPECT_EQ(std::memcmp(x.data(), x_ref.data(),
+                            x.size() * sizeof(float)),
+                0)
+          << "ranks=" << ranks;
+    }
+  }
+}
+
+// --------------------------------------------------------- KRR pipeline
+
+const GwasDataset& small_dataset() {
+  static const GwasDataset dataset = [] {
+    CohortConfig cc;
+    cc.n_patients = 220;
+    cc.n_snps = 48;
+    cc.n_populations = 3;
+    cc.seed = 99;
+    Cohort cohort = simulate_cohort(cc);
+    PhenotypeConfig pc;
+    pc.name = "trait";
+    pc.n_causal = 16;
+    pc.n_pairs = 12;
+    pc.h2_additive = 0.3;
+    pc.h2_epistatic = 0.4;
+    pc.prevalence = 0.0;
+    pc.seed = 3;
+    PhenotypePanel panel = simulate_panel(cohort, {pc});
+    return make_dataset(std::move(cohort), std::move(panel));
+  }();
+  return dataset;
+}
+
+TEST(DistKrr, PipelineIsBitwiseRankCountInvariant) {
+  const TrainTestSplit split = split_dataset(small_dataset(), 0.75, 17);
+  KrrConfig config;
+  config.build.tile_size = 32;
+  config.build.gamma = 0.02;
+  config.associate.alpha = 0.3;
+  config.associate.mode = PrecisionMode::kAdaptive;
+
+  // Shared-memory reference.
+  Runtime rt(2);
+  KrrModel model;
+  model.fit(rt, split.train, config);
+  const Matrix<float> ref_predictions = model.predict(rt, split.test);
+
+  std::vector<int> rank_counts{1, 2, 4};
+  const int env_ranks = dist::configured_ranks();
+  if (env_ranks > 1 && env_ranks != 2 && env_ranks != 4) {
+    rank_counts.push_back(env_ranks);
+  }
+  for (const int ranks : rank_counts) {
+    const dist::DistKrrResult result =
+        dist::run_dist_krr(ranks, split.train, split.test, config);
+    ASSERT_EQ(result.weights.rows(), model.weights().rows());
+    ASSERT_EQ(result.weights.cols(), model.weights().cols());
+    EXPECT_EQ(std::memcmp(result.weights.data(), model.weights().data(),
+                          result.weights.size() * sizeof(float)),
+              0)
+        << "weights diverge at ranks=" << ranks;
+    ASSERT_EQ(result.predictions.rows(), ref_predictions.rows());
+    EXPECT_EQ(std::memcmp(result.predictions.data(), ref_predictions.data(),
+                          result.predictions.size() * sizeof(float)),
+              0)
+        << "predictions diverge at ranks=" << ranks;
+    // The adaptive precision decision replicates too.
+    EXPECT_EQ(result.map.tile_count(), model.precision_map().tile_count());
+    for (std::size_t tj = 0; tj < result.map.tile_count(); ++tj) {
+      for (std::size_t ti = tj; ti < result.map.tile_count(); ++ti) {
+        EXPECT_EQ(result.map.get(ti, tj), model.precision_map().get(ti, tj));
+      }
+    }
+    EXPECT_EQ(result.factor_bytes, model.factor_bytes());
+    EXPECT_EQ(result.fp32_bytes, model.fp32_bytes());
+  }
+}
+
+}  // namespace
+}  // namespace kgwas

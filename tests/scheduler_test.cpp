@@ -159,6 +159,30 @@ TEST(Scheduler, NestedSpawnsDrainAndCountersAdd) {
   EXPECT_EQ(sched.stats().queue_depth_samples, 0u);
 }
 
+// Coverage migrated from the deleted ThreadPool facade: plain fork-join
+// submission drains, and a parallel-for-shaped fan-out covers every index
+// exactly once.  (Exception propagation, the facade's third behavior,
+// lives at the Runtime layer — see Runtime tests below / runtime_test.)
+TEST(Scheduler, ForkJoinSubmitAndWaitIdle) {
+  Scheduler sched(3);
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 50; ++i) {
+    sched.submit([&] { counter.fetch_add(1); });
+  }
+  sched.wait_idle();
+  EXPECT_EQ(counter.load(), 50);
+}
+
+TEST(Scheduler, FanOutCoversAllIndicesExactlyOnce) {
+  Scheduler sched(4);
+  std::vector<std::atomic<int>> hits(257);
+  for (std::size_t i = 0; i < hits.size(); ++i) {
+    sched.submit([&hits, i] { hits[i].fetch_add(1); });
+  }
+  sched.wait_idle();
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
 TEST(Runtime, PrioritySubmitOverloadsObserveOrder) {
   Runtime rt(1);
   DataHandle blocker_handle = rt.register_data();
