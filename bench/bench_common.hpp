@@ -23,6 +23,7 @@
 #include "gwas/dataset.hpp"
 #include "gwas/phenotype.hpp"
 #include "linalg/precision_policy.hpp"
+#include "mpblas/mixed.hpp"
 #include "runtime/runtime.hpp"
 
 namespace kgwas::bench {
@@ -100,6 +101,7 @@ struct BenchRecord {
   int ranks = 1;
   double median_seconds = 0.0;
   std::uint64_t bytes_moved = 0;  ///< wire/data-motion bytes of one run
+  double gflops = 0.0;            ///< achieved GFLOP/s (0 = not accounted)
 };
 
 inline std::string json_escape(const std::string& s) {
@@ -127,7 +129,8 @@ inline bool write_bench_json(const std::string& path, const std::string& bench,
         << "    {\"name\": \"" << json_escape(r.name) << "\", \"n\": " << r.n
         << ", \"tile_size\": " << r.tile_size << ", \"ranks\": " << r.ranks
         << ", \"median_seconds\": " << r.median_seconds
-        << ", \"bytes_moved\": " << r.bytes_moved << "}";
+        << ", \"bytes_moved\": " << r.bytes_moved
+        << ", \"gflops\": " << r.gflops << "}";
   }
   out << "\n  ]\n}\n";
   return true;
@@ -217,15 +220,20 @@ inline void real_dist_potrf_section(
   const std::size_t nt = (n + ts - 1) / ts;
   std::cout << "\n(c) real in-process execution: tiled POTRF, n=" << n
             << ", tile=" << ts << ", ranks=" << ranks << "\n";
-  Table table({"precision map", "median s", "wire MiB", "low-prec wire MiB"});
+  Table table({"precision map", "median s", "GFLOP/s", "wire MiB",
+               "low-prec wire MiB"});
   std::vector<BenchRecord> records;
   for (const auto& [label, map] : make_cases(nt)) {
     const RealDistPotrf r = run_real_dist_potrf(n, ts, ranks, map, reps);
+    const double gflops =
+        r.median_seconds > 0.0 ? potrf_op_count(n) / r.median_seconds * 1e-9
+                               : 0.0;
     table.add_row(
-        {label, Table::num(r.median_seconds, 4),
+        {label, Table::num(r.median_seconds, 4), Table::num(gflops, 2),
          Table::num(static_cast<double>(r.wire_bytes) / 1048576.0, 3),
          Table::num(static_cast<double>(r.wire_bytes_low) / 1048576.0, 3)});
-    records.push_back({label, n, ts, ranks, r.median_seconds, r.wire_bytes});
+    records.push_back(
+        {label, n, ts, ranks, r.median_seconds, r.wire_bytes, gflops});
   }
   table.print(std::cout);
   std::cout << "lowering off-diagonal storage precision shrinks measured "

@@ -17,6 +17,7 @@
 #include "precision/convert.hpp"
 #include "mpblas/batch.hpp"
 #include "mpblas/blas.hpp"
+#include "mpblas/kernels.hpp"
 #include "mpblas/mixed.hpp"
 #include "runtime/runtime.hpp"
 #include "tile/tile_matrix.hpp"
@@ -47,6 +48,79 @@ void BM_GemmFp32(benchmark::State& state) {
                           static_cast<std::int64_t>(2 * n * n * n));
 }
 BENCHMARK(BM_GemmFp32)->Arg(64)->Arg(128)->Arg(256);
+
+// Packed cache-blocked engine vs the reference triple loops, swept over
+// tile size x operand storage precision.  The packed rows for fp16/fp8
+// storage pack (and decode) straight from storage bytes; the reference
+// rows first decode the full operands into FP32 scratch, which is what
+// the old mixed-precision path always did.  CI runs this as
+// BENCH_gemm.json (an uploaded artifact) so the kernel-level perf
+// trajectory is tracked per commit.
+void BM_GemmPackedVsReference(benchmark::State& state) {
+  const auto ts = static_cast<std::size_t>(state.range(0));
+  const auto precision = static_cast<Precision>(state.range(1));
+  const bool packed = state.range(2) != 0;
+  namespace kernels = mpblas::kernels;
+  kernels::set_gemm_backend(packed ? kernels::GemmBackend::kPacked
+                                   : kernels::GemmBackend::kReference);
+
+  const Matrix<float> af = random_matrix(ts, ts, 41);
+  const Matrix<float> bf = random_matrix(ts, ts, 42);
+  Matrix<float> c(ts, ts, 0.0f);
+  // Operands stored at `precision`, exactly as tiles hold them.
+  std::vector<std::uint8_t> a_storage(ts * ts * bytes_per_element(precision));
+  std::vector<std::uint8_t> b_storage(ts * ts * bytes_per_element(precision));
+  quantize_buffer(precision, af.data(), a_storage.data(), ts * ts);
+  quantize_buffer(precision, bf.data(), b_storage.data(), ts * ts);
+  std::vector<float> a_scratch(ts * ts), b_scratch(ts * ts);
+
+  for (auto _ : state) {
+    if (precision == Precision::kFp32) {
+      gemm(Trans::kNoTrans, Trans::kTrans, ts, ts, ts, 1.0f, af.data(), ts,
+           bf.data(), ts, 0.0f, c.data(), ts);
+    } else if (packed) {
+      // Decode-on-pack: no FP32 operand scratch.
+      kernels::gemm_view(
+          ts, ts, ts, 1.0f,
+          {a_storage.data(), ts, Trans::kNoTrans, precision},
+          {b_storage.data(), ts, Trans::kTrans, precision}, 0.0f, c.data(),
+          ts);
+    } else {
+      // Reference: full-tile decode round-trip, then the scalar loops.
+      dequantize_buffer(precision, a_storage.data(), a_scratch.data(),
+                        ts * ts);
+      dequantize_buffer(precision, b_storage.data(), b_scratch.data(),
+                        ts * ts);
+      gemm(Trans::kNoTrans, Trans::kTrans, ts, ts, ts, 1.0f,
+           a_scratch.data(), ts, b_scratch.data(), ts, 0.0f, c.data(), ts);
+    }
+    benchmark::DoNotOptimize(c.data());
+  }
+  kernels::set_gemm_backend(std::nullopt);
+  state.SetLabel(std::string(packed ? "packed/" : "reference/") +
+                 to_string(precision));
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(2 * ts * ts * ts));
+}
+BENCHMARK(BM_GemmPackedVsReference)
+    ->Args({64, static_cast<long>(Precision::kFp32), 1})
+    ->Args({64, static_cast<long>(Precision::kFp32), 0})
+    ->Args({64, static_cast<long>(Precision::kFp16), 1})
+    ->Args({64, static_cast<long>(Precision::kFp16), 0})
+    ->Args({64, static_cast<long>(Precision::kFp8E4M3), 1})
+    ->Args({64, static_cast<long>(Precision::kFp8E4M3), 0})
+    ->Args({128, static_cast<long>(Precision::kFp32), 1})
+    ->Args({128, static_cast<long>(Precision::kFp32), 0})
+    ->Args({128, static_cast<long>(Precision::kFp16), 1})
+    ->Args({128, static_cast<long>(Precision::kFp16), 0})
+    ->Args({128, static_cast<long>(Precision::kFp8E4M3), 1})
+    ->Args({128, static_cast<long>(Precision::kFp8E4M3), 0})
+    ->Args({256, static_cast<long>(Precision::kFp32), 1})
+    ->Args({256, static_cast<long>(Precision::kFp32), 0})
+    ->Args({256, static_cast<long>(Precision::kFp16), 1})
+    ->Args({256, static_cast<long>(Precision::kFp16), 0})
+    ->Args({256, static_cast<long>(Precision::kFp8E4M3), 1})
+    ->Args({256, static_cast<long>(Precision::kFp8E4M3), 0});
 
 void BM_GemmTensorCoreEmulated(benchmark::State& state) {
   const auto n = static_cast<std::size_t>(state.range(0));

@@ -207,8 +207,16 @@ SymmetricTileMatrix build_kernel_matrix(Runtime& runtime,
       const BatchKey key{mpblas::batch::make_key(
           mpblas::batch::BatchOp::kBuild, out.rows(), out.cols(), 0,
           out.precision(), out.precision(), out.precision())};
+      // Distance SYRK dominates the tile build: ~2 * rows * cols * snps
+      // ops (INT8 products accumulated in INT32, reported as FLOPs).
       runtime.submit_batchable(
-          TaskDesc{"build_k", {{h, Access::kWrite}}, priority}, key,
+          TaskDesc{"build_k",
+                   {{h, Access::kWrite}},
+                   priority,
+                   2.0 * static_cast<double>(out.rows()) *
+                       static_cast<double>(out.cols()) *
+                       static_cast<double>(genotypes.snps())},
+          key,
           [&generator, &k, ti, tj, ts = config.tile_size] {
             generator.compute(ti * ts, tj * ts, k.tile(ti, tj));
           });
@@ -244,7 +252,12 @@ TileMatrix build_cross_kernel(Runtime& runtime,
       // Earlier tile columns feed the prediction row chains first.
       runtime.submit_batchable(TaskDesc{"build_kx",
                                         {{h, Access::kWrite}},
-                                        static_cast<int>(k.tile_cols() - tj)},
+                                        static_cast<int>(k.tile_cols() - tj),
+                                        2.0 *
+                                            static_cast<double>(out.rows()) *
+                                            static_cast<double>(out.cols()) *
+                                            static_cast<double>(
+                                                train_genotypes.snps())},
                                key,
                                [&generator, &k, ti, tj, ts = config.tile_size] {
                                  generator.compute(ti * ts, tj * ts,

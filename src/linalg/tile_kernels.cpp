@@ -15,6 +15,12 @@ namespace kgwas {
 using mpblas::batch::decode_read;
 using mpblas::batch::encode_write;
 
+namespace kernels = mpblas::kernels;
+
+mpblas::kernels::OperandView tile_operand_view(const Tile& t, Trans trans) {
+  return {t.raw(), t.rows(), trans, t.precision(), Precision::kFp32};
+}
+
 void tile_potrf(Tile& a, std::size_t global_offset) {
   KGWAS_CHECK_ARG(a.rows() == a.cols(), "POTRF tile must be square");
   const std::size_t n = a.rows();
@@ -52,14 +58,22 @@ void tile_trsm(const Tile& l, Tile& b) {
 void tile_syrk(const Tile& a, Tile& c) {
   KGWAS_CHECK_ARG(c.rows() == c.cols() && a.rows() == c.rows(),
                   "SYRK tile shape mismatch");
-  PooledF32 a_scratch;
-  const float* av = decode_read(a, a_scratch);
   PooledF32 cv(TilePool::global(), c.elements());
   c.decode_to(cv.data());
   // Full-tile update (gemm) keeps the tile consistent for later full reads;
   // numerically identical to the triangular update on the referenced part.
-  gemm(Trans::kNoTrans, Trans::kTrans, c.rows(), c.cols(), a.cols(), -1.0f,
-       av, a.rows(), av, a.rows(), 1.0f, cv.data(), c.rows());
+  if (kernels::use_packed()) {
+    // Decode-on-pack: both operand roles read straight from tile storage.
+    kernels::gemm_view(c.rows(), c.cols(), a.cols(), -1.0f,
+                       tile_operand_view(a, Trans::kNoTrans),
+                       tile_operand_view(a, Trans::kTrans), 1.0f, cv.data(),
+                       c.rows());
+  } else {
+    PooledF32 a_scratch;
+    const float* av = decode_read(a, a_scratch);
+    gemm(Trans::kNoTrans, Trans::kTrans, c.rows(), c.cols(), a.cols(), -1.0f,
+         av, a.rows(), av, a.rows(), 1.0f, cv.data(), c.rows());
+  }
   encode_write(c, cv.data());
 }
 
@@ -67,14 +81,47 @@ void tile_gemm(const Tile& a, const Tile& b, Tile& c) {
   KGWAS_CHECK_ARG(a.cols() == b.cols() && c.rows() == a.rows() &&
                       c.cols() == b.rows(),
                   "GEMM tile shape mismatch");
-  PooledF32 a_scratch, b_scratch;
-  const float* av = decode_read(a, a_scratch);
-  const float* bv = decode_read(b, b_scratch);
   PooledF32 cv(TilePool::global(), c.elements());
   c.decode_to(cv.data());
-  gemm(Trans::kNoTrans, Trans::kTrans, c.rows(), c.cols(), a.cols(), -1.0f,
-       av, a.rows(), bv, b.rows(), 1.0f, cv.data(), c.rows());
+  if (kernels::use_packed()) {
+    // Inside a coalesced batch the scope shares the packed (decoded)
+    // images of both panel operands across the group — in the Cholesky
+    // trailing update consecutive group members share their B tile (the
+    // panel column), in other groups the A tile.  Prepacked and plain
+    // packing are bitwise identical.
+    const kernels::PackedA* shared_a = nullptr;
+    const kernels::PackedB* shared_b = nullptr;
+    if (auto* scope = mpblas::batch::BatchScope::current()) {
+      shared_a = scope->packed_a(a);
+      shared_b = scope->packed_b(b);
+    }
+    if (shared_a != nullptr && shared_b != nullptr) {
+      kernels::gemm_prepacked_ab(c.rows(), c.cols(), a.cols(), -1.0f,
+                                 *shared_a, *shared_b, 1.0f, cv.data(),
+                                 c.rows());
+    } else {
+      kernels::gemm_view(c.rows(), c.cols(), a.cols(), -1.0f,
+                         tile_operand_view(a, Trans::kNoTrans),
+                         tile_operand_view(b, Trans::kTrans), 1.0f, cv.data(),
+                         c.rows());
+    }
+  } else {
+    PooledF32 a_scratch, b_scratch;
+    const float* av = decode_read(a, a_scratch);
+    const float* bv = decode_read(b, b_scratch);
+    gemm(Trans::kNoTrans, Trans::kTrans, c.rows(), c.cols(), a.cols(), -1.0f,
+         av, a.rows(), bv, b.rows(), 1.0f, cv.data(), c.rows());
+  }
   encode_write(c, cv.data());
+}
+
+void pack_tile_a(mpblas::kernels::PackedA& packed, const Tile& a) {
+  packed.pack(a.rows(), a.cols(), tile_operand_view(a, Trans::kNoTrans));
+}
+
+void pack_tile_b(mpblas::kernels::PackedB& packed, const Tile& b) {
+  // op(B) = b^T is b.cols() x b.rows().
+  packed.pack(b.cols(), b.rows(), tile_operand_view(b, Trans::kTrans));
 }
 
 void tile_trsm_rhs(const Tile& l, bool transpose, float* x, std::size_t ldx,

@@ -6,14 +6,33 @@
 //  * every kernel computes in FP32 (tensor-core accumulate width);
 //  * results are re-encoded into the output tile's storage precision.
 //
-// Each kernel decodes its operands, runs the FP32 reference kernel from
-// mpblas, and encodes the result.  The encode step is where narrowing
-// rounding error enters — exactly once per tile write, as on hardware.
+// Under the packed backend (KGWAS_GEMM_KERNEL, default "packed") the
+// GEMM/SYRK read operands are never decoded into full-tile FP32 scratch:
+// the engine packs straight from tile storage bytes (decode-on-pack).
+// Only the read-modify-write C tile still needs one FP32 decode.  Under
+// the reference backend each kernel decodes its operands, runs the FP32
+// reference kernel from mpblas, and encodes the result.  Either way the
+// encode step is where narrowing rounding error enters — exactly once
+// per tile write, as on hardware.
 #pragma once
 
+#include "mpblas/kernels.hpp"
 #include "tile/tile.hpp"
 
 namespace kgwas {
+
+/// Storage-precision engine view of a read-only tile operand
+/// (decode-on-pack; ld = rows, column-major tile payload).
+mpblas::kernels::OperandView tile_operand_view(const Tile& t, Trans trans);
+
+/// Packs tile `a` (NoTrans) for reuse across a batch group
+/// (BatchScope::packed_a routes through this).
+void pack_tile_a(mpblas::kernels::PackedA& packed, const Tile& a);
+
+/// Packs tile `b` as the GEMM right operand (op(B) = b^T) for reuse
+/// across a batch group — the operand the Cholesky trailing-update GEMMs
+/// of one panel column actually share.
+void pack_tile_b(mpblas::kernels::PackedB& packed, const Tile& b);
 
 /// POTRF on a diagonal tile: A <- chol(A), lower.  Throws NumericalError
 /// (with the failing global column if `global_offset` is given) when the

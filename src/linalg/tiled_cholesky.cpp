@@ -6,6 +6,7 @@
 #include "common/status.hpp"
 #include "linalg/tile_kernels.hpp"
 #include "mpblas/batch.hpp"
+#include "mpblas/mixed.hpp"
 
 namespace kgwas {
 
@@ -62,20 +63,27 @@ void tiled_potrf(Runtime& runtime, SymmetricTileMatrix& a,
   for (std::size_t k = 0; k < nt; ++k) {
     runtime.submit(TaskDesc{"potrf",
                             {{h(k, k), Access::kReadWrite}},
-                            panel_priority(base_priority, nt, k, kPotrfPrio)},
+                            panel_priority(base_priority, nt, k, kPotrfPrio),
+                            potrf_op_count(a.tile(k, k).rows())},
                    [&a, k, ts] { tile_potrf(a.tile(k, k), k * ts); });
     for (std::size_t i = k + 1; i < nt; ++i) {
       runtime.submit(TaskDesc{"trsm",
                               {{h(k, k), Access::kRead},
                                {h(i, k), Access::kReadWrite}},
-                              panel_priority(base_priority, nt, k, kTrsmPrio)},
+                              panel_priority(base_priority, nt, k, kTrsmPrio),
+                              trsm_op_count(a.tile(k, k).rows(),
+                                            a.tile(i, k).rows())},
                      [&a, i, k] { tile_trsm(a.tile(k, k), a.tile(i, k)); });
     }
     for (std::size_t j = k + 1; j < nt; ++j) {
+      // tile_syrk runs a full-tile GEMM update, so account GEMM flops.
       TaskDesc syrk_desc{"syrk",
                          {{h(j, k), Access::kRead},
                           {h(j, j), Access::kReadWrite}},
-                         panel_priority(base_priority, nt, k, kSyrkPrio)};
+                         panel_priority(base_priority, nt, k, kSyrkPrio),
+                         gemm_op_count(a.tile(j, j).rows(),
+                                       a.tile(j, j).cols(),
+                                       a.tile(j, k).cols())};
       auto syrk_fn = [&a, j, k] { tile_syrk(a.tile(j, k), a.tile(j, j)); };
       if (options.batch_trailing_update) {
         runtime.submit_batchable(
@@ -90,7 +98,10 @@ void tiled_potrf(Runtime& runtime, SymmetricTileMatrix& a,
                            {{h(i, k), Access::kRead},
                             {h(j, k), Access::kRead},
                             {h(i, j), Access::kReadWrite}},
-                           panel_priority(base_priority, nt, k, kGemmPrio)};
+                           panel_priority(base_priority, nt, k, kGemmPrio),
+                           gemm_op_count(a.tile(i, j).rows(),
+                                         a.tile(i, j).cols(),
+                                         a.tile(i, k).cols())};
         auto gemm_fn = [&a, i, j, k] {
           tile_gemm(a.tile(i, k), a.tile(j, k), a.tile(i, j));
         };
@@ -135,7 +146,8 @@ void tiled_potrs(Runtime& runtime, const SymmetricTileMatrix& l,
     runtime.submit(TaskDesc{"trsm_fwd",
                             {{xh[k], Access::kReadWrite}},
                             base_priority +
-                                (static_cast<int>(nt - k) << 1) + 1},
+                                (static_cast<int>(nt - k) << 1) + 1,
+                            trsm_op_count(l.tile(k, k).rows(), nrhs)},
                    [&l, &block, k, ldb, nrhs] {
                      tile_trsm_rhs(l.tile(k, k), /*transpose=*/false, block(k),
                                    ldb, nrhs);
@@ -145,7 +157,9 @@ void tiled_potrs(Runtime& runtime, const SymmetricTileMatrix& l,
                               {{xh[k], Access::kRead},
                                {xh[i], Access::kReadWrite}},
                               base_priority +
-                                  (static_cast<int>(nt - k) << 1)},
+                                  (static_cast<int>(nt - k) << 1),
+                              gemm_op_count(l.tile(i, k).rows(), nrhs,
+                                            l.tile(i, k).cols())},
                      [&l, &block, i, k, ldb, nrhs] {
                        tile_gemm_rhs(l.tile(i, k), /*transpose=*/false,
                                      block(k), ldb, block(i), ldb, nrhs);
@@ -156,7 +170,8 @@ void tiled_potrs(Runtime& runtime, const SymmetricTileMatrix& l,
   for (std::size_t k = nt; k-- > 0;) {
     runtime.submit(TaskDesc{"trsm_bwd",
                             {{xh[k], Access::kReadWrite}},
-                            base_priority + (static_cast<int>(k + 1) << 1) + 1},
+                            base_priority + (static_cast<int>(k + 1) << 1) + 1,
+                            trsm_op_count(l.tile(k, k).rows(), nrhs)},
                    [&l, &block, k, ldb, nrhs] {
                      tile_trsm_rhs(l.tile(k, k), /*transpose=*/true, block(k),
                                    ldb, nrhs);
@@ -166,7 +181,9 @@ void tiled_potrs(Runtime& runtime, const SymmetricTileMatrix& l,
       runtime.submit(TaskDesc{"gemm_bwd",
                               {{xh[k], Access::kRead},
                                {xh[i], Access::kReadWrite}},
-                              base_priority + (static_cast<int>(k + 1) << 1)},
+                              base_priority + (static_cast<int>(k + 1) << 1),
+                              gemm_op_count(l.tile(k, i).cols(), nrhs,
+                                            l.tile(k, i).rows())},
                      [&l, &block, i, k, ldb, nrhs] {
                        tile_gemm_rhs(l.tile(k, i), /*transpose=*/true,
                                      block(k), ldb, block(i), ldb, nrhs);

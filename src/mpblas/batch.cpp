@@ -2,9 +2,13 @@
 
 #include <algorithm>
 
+#include "common/status.hpp"
 #include "linalg/tile_kernels.hpp"
+#include "mpblas/kernels.hpp"
 
 namespace kgwas::mpblas::batch {
+
+namespace kernels = mpblas::kernels;
 
 namespace {
 thread_local BatchScope* t_current_scope = nullptr;
@@ -50,7 +54,51 @@ const float* BatchScope::decode(const Tile& t) {
   return slot.buffer.data();
 }
 
+const kernels::PackedA* BatchScope::packed_a(const Tile& t) {
+  if (t.rows() == 0 || t.cols() == 0) return nullptr;
+  if (packed_a_tile_ == &t && packed_a_.packed_for(t.rows(), t.cols())) {
+    ++hits_;
+    return &packed_a_;
+  }
+  ++misses_;
+  pack_tile_a(packed_a_, t);
+  packed_a_tile_ = &t;
+  return &packed_a_;
+}
+
+const kernels::PackedB* BatchScope::packed_b(const Tile& t) {
+  if (t.rows() == 0 || t.cols() == 0) return nullptr;
+  if (packed_b_tile_ == &t && packed_b_.packed_for(t.cols(), t.rows())) {
+    ++hits_;
+    return &packed_b_;
+  }
+  ++misses_;
+  pack_tile_b(packed_b_, t);
+  packed_b_tile_ = &t;
+  return &packed_b_;
+}
+
+const kernels::PackedB* BatchScope::packed_view_b(
+    const kernels::OperandView& view, std::size_t k, std::size_t n) {
+  if (k == 0 || n == 0) return nullptr;
+  const bool same_view = view_b_key_.data == view.data &&
+                         view_b_key_.ld == view.ld &&
+                         view_b_key_.trans == view.trans &&
+                         view_b_key_.storage == view.storage &&
+                         view_b_key_.round_to == view.round_to;
+  if (same_view && packed_view_b_.packed_for(k, n)) {
+    ++hits_;
+    return &packed_view_b_;
+  }
+  ++misses_;
+  packed_view_b_.pack(k, n, view);
+  view_b_key_ = view;
+  return &packed_view_b_;
+}
+
 void BatchScope::invalidate(const Tile& t) {
+  if (packed_a_tile_ == &t) packed_a_tile_ = nullptr;
+  if (packed_b_tile_ == &t) packed_b_tile_ = nullptr;
   for (std::size_t i = 0; i < count_; ++i) {
     if (entries_[i].tile == &t) {
       pool_.release_f32(std::move(entries_[i].buffer));
@@ -84,7 +132,10 @@ void encode_write(Tile& t, const float* values) {
 
 void gemm_batch(std::span<const GemmWork> work, TilePool& pool) {
   // Chunked so arbitrarily large spans never exceed the scope's
-  // fixed-capacity decode cache.
+  // fixed-capacity decode cache.  Under the packed backend the scope
+  // instead shares the *packed* operand panels: a run of tasks reading
+  // the same A or B tile packs (and decodes) it once — see BatchScope::
+  // packed_a / packed_b, which tile_gemm consults.
   for (std::size_t begin = 0; begin < work.size(); begin += kMaxGroupTasks) {
     const std::size_t end = std::min(work.size(), begin + kMaxGroupTasks);
     BatchScope scope(pool);

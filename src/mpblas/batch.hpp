@@ -28,6 +28,7 @@
 #include <cstdint>
 #include <span>
 
+#include "mpblas/kernels.hpp"
 #include "tile/tile.hpp"
 #include "tile/tile_pool.hpp"
 
@@ -97,6 +98,29 @@ class BatchScope {
   /// Drops the cached decode of `t` (call after writing the tile).
   void invalidate(const Tile& t);
 
+  /// Packed-backend analogue of decode(): the engine-packed image of
+  /// tile `t` as a GEMM left operand (NoTrans), packed — and therefore
+  /// decoded from storage — on first use and reused while consecutive
+  /// kernels in the group read the same tile.  Packing is
+  /// deterministic, so prepacked execution stays bitwise identical to
+  /// the per-task path.  Returns nullptr for an empty tile.
+  const kernels::PackedA* packed_a(const Tile& t);
+  /// Same for tile `t` as the GEMM right operand (op(B) = t^T) — the
+  /// operand the trailing-update GEMMs of one coalesced batch actually
+  /// share (all (i, j) updates of one panel column j read tile (j, k)).
+  const kernels::PackedB* packed_b(const Tile& t);
+
+  /// Packed image of a non-tile right operand — the predict-chain shape,
+  /// where the links of different row chains in one group share a block
+  /// of the (plain FP32) weights matrix.  Keyed by the view's identity
+  /// (data pointer, layout, precisions) plus the op(B) shape k x n.
+  /// Contract: the underlying buffer must not change while this scope is
+  /// active (there is no invalidation hook for non-tile memory; tile
+  /// operands must use packed_b above).  Returns nullptr when k or n is
+  /// zero.
+  const kernels::PackedB* packed_view_b(const kernels::OperandView& view,
+                                        std::size_t k, std::size_t n);
+
   std::size_t hits() const noexcept { return hits_; }
   std::size_t misses() const noexcept { return misses_; }
 
@@ -118,6 +142,17 @@ class BatchScope {
   std::size_t count_ = 0;
   std::size_t hits_ = 0;
   std::size_t misses_ = 0;
+  // Packed-backend shared operands (one slot per role: a batch group's
+  // consecutive tasks share their panel operand; a different tile simply
+  // repacks).
+  const Tile* packed_a_tile_ = nullptr;
+  kernels::PackedA packed_a_;
+  const Tile* packed_b_tile_ = nullptr;
+  kernels::PackedB packed_b_;
+  // Non-tile right operand slot (predict weights): the cached view's
+  // identity is the key; no invalidation (see packed_view_b contract).
+  kernels::OperandView view_b_key_{};
+  kernels::PackedB packed_view_b_;
 };
 
 /// Decodes a read-only tile operand to FP32 (leading dimension =

@@ -2,14 +2,21 @@
 
 #include <algorithm>
 #include <cmath>
+#include <type_traits>
 
 #include "common/status.hpp"
+#include "mpblas/kernels.hpp"
 
 namespace kgwas {
 
 namespace {
 
 constexpr std::size_t kPotrfBlock = 128;
+
+/// Column-block width of the blocked TRSM: the rank-k update ahead of
+/// each diagonal block runs as one engine GEMM instead of column-at-a-
+/// time AXPYs.
+constexpr std::size_t kTrsmBlock = 64;
 
 template <typename T>
 void check_lower(Uplo uplo) {
@@ -48,6 +55,15 @@ void gemm(Trans trans_a, Trans trans_b, std::size_t m, std::size_t n,
           std::size_t k, T alpha, const T* a, std::size_t lda, const T* b,
           std::size_t ldb, T beta, T* c, std::size_t ldc) {
   if (m == 0 || n == 0) return;
+  if constexpr (std::is_same_v<T, float>) {
+    if (mpblas::kernels::use_packed()) {
+      mpblas::kernels::gemm_view(m, n, k, alpha,
+                                 mpblas::kernels::fp32_view(a, lda, trans_a),
+                                 mpblas::kernels::fp32_view(b, ldb, trans_b),
+                                 beta, c, ldc);
+      return;
+    }
+  }
   // Scale C by beta first so the accumulation loops are uniform.
   for (std::size_t j = 0; j < n; ++j) {
     T* cj = c + j * ldc;
@@ -59,12 +75,14 @@ void gemm(Trans trans_a, Trans trans_b, std::size_t m, std::size_t n,
   }
   if (k == 0 || alpha == T{0}) return;
 
+  // No zero-skip branches in the accumulation loops: a data-dependent
+  // `continue` blocks vectorization and made reference timings a
+  // misleading baseline for the packed engine.
   if (trans_a == Trans::kNoTrans && trans_b == Trans::kNoTrans) {
     for (std::size_t j = 0; j < n; ++j) {
       T* cj = c + j * ldc;
       for (std::size_t l = 0; l < k; ++l) {
         const T blj = alpha * b[l + j * ldb];
-        if (blj == T{0}) continue;
         const T* al = a + l * lda;
         for (std::size_t i = 0; i < m; ++i) cj[i] += blj * al[i];
       }
@@ -74,7 +92,6 @@ void gemm(Trans trans_a, Trans trans_b, std::size_t m, std::size_t n,
       T* cj = c + j * ldc;
       for (std::size_t l = 0; l < k; ++l) {
         const T bjl = alpha * b[j + l * ldb];
-        if (bjl == T{0}) continue;
         const T* al = a + l * lda;
         for (std::size_t i = 0; i < m; ++i) cj[i] += bjl * al[i];
       }
@@ -107,6 +124,14 @@ template <typename T>
 void syrk(Uplo uplo, Trans trans, std::size_t n, std::size_t k, T alpha,
           const T* a, std::size_t lda, T beta, T* c, std::size_t ldc) {
   if (n == 0) return;
+  if constexpr (std::is_same_v<T, float>) {
+    if (mpblas::kernels::use_packed()) {
+      mpblas::kernels::syrk_view(uplo, n, k, alpha,
+                                 mpblas::kernels::fp32_view(a, lda, trans),
+                                 beta, c, ldc);
+      return;
+    }
+  }
   auto scale_triangle = [&](auto in_triangle) {
     for (std::size_t j = 0; j < n; ++j) {
       for (std::size_t i = 0; i < n; ++i) {
@@ -123,11 +148,11 @@ void syrk(Uplo uplo, Trans trans, std::size_t n, std::size_t k, T alpha,
   if (k == 0 || alpha == T{0}) return;
 
   if (trans == Trans::kNoTrans) {
-    // C += alpha * A * A^T with A n x k.
+    // C += alpha * A * A^T with A n x k.  (No zero-skip branch: it blocks
+    // vectorization, see gemm above.)
     for (std::size_t j = 0; j < n; ++j) {
       for (std::size_t l = 0; l < k; ++l) {
         const T ajl = alpha * a[j + l * lda];
-        if (ajl == T{0}) continue;
         const T* al = a + l * lda;
         if (lower) {
           T* cj = c + j * ldc;
@@ -193,7 +218,39 @@ void trsm(Side side, Uplo uplo, Trans trans, Diag diag, std::size_t m,
       }
     }
   } else if (side == Side::kRight && trans == Trans::kTrans) {
-    // Solve X * L^T = B: forward over columns; A is n x n.
+    // Solve X * L^T = B: forward over columns; A is n x n.  This is the
+    // Cholesky panel update (A21 <- A21 * L11^-T), so the bulk of the
+    // work — the rank-k update of each column block against all already-
+    // solved columns — runs as one engine GEMM per block; only the
+    // small in-block dependence chain stays column-at-a-time.
+    if constexpr (std::is_same_v<T, float>) {
+      if (mpblas::kernels::use_packed() && n > kTrsmBlock) {
+        for (std::size_t j0 = 0; j0 < n; j0 += kTrsmBlock) {
+          const std::size_t nb = std::min(kTrsmBlock, n - j0);
+          if (j0 > 0) {
+            // B(:, j0:j0+nb) -= B(:, 0:j0) * L(j0:j0+nb, 0:j0)^T.
+            mpblas::kernels::gemm_view(
+                m, nb, j0, -1.0f,
+                mpblas::kernels::fp32_view(b, ldb, Trans::kNoTrans),
+                mpblas::kernels::fp32_view(a + j0, lda, Trans::kTrans), 1.0f,
+                b + j0 * ldb, ldb);
+          }
+          for (std::size_t j = j0; j < j0 + nb; ++j) {
+            T* bj = b + j * ldb;
+            for (std::size_t l = j0; l < j; ++l) {
+              const T ljl = a[j + l * lda];
+              const T* bl = b + l * ldb;
+              for (std::size_t i = 0; i < m; ++i) bj[i] -= ljl * bl[i];
+            }
+            if (!unit) {
+              const T inv = T{1} / a[j + j * lda];
+              for (std::size_t i = 0; i < m; ++i) bj[i] *= inv;
+            }
+          }
+        }
+        return;
+      }
+    }
     for (std::size_t j = 0; j < n; ++j) {
       T* bj = b + j * ldb;
       for (std::size_t l = 0; l < j; ++l) {

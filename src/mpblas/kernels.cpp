@@ -1,0 +1,633 @@
+#include "mpblas/kernels.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdint>
+#include <cstdlib>
+#include <string_view>
+
+#include "common/env.hpp"
+#include "common/status.hpp"
+#include "precision/convert.hpp"
+#include "tile/tile_pool.hpp"
+
+#if defined(__GNUC__) || defined(__clang__)
+#define KGWAS_RESTRICT __restrict__
+#else
+#define KGWAS_RESTRICT
+#endif
+
+namespace kgwas::mpblas::kernels {
+
+namespace {
+
+// ------------------------------------------------------------- selection
+
+GemmBackend backend_from_env() {
+  const char* value = std::getenv("KGWAS_GEMM_KERNEL");
+  if (value != nullptr && std::string_view(value) == "reference") {
+    return GemmBackend::kReference;
+  }
+  // Unset, "packed", or anything unrecognized: the fast default.
+  return GemmBackend::kPacked;
+}
+
+std::atomic<int> g_backend_override{-1};
+
+Blocking blocking_from_env() {
+  const Blocking defaults;
+  Blocking b;
+  b.mc = std::max<std::size_t>(1, env_size_t("KGWAS_GEMM_MC", defaults.mc));
+  b.kc = std::max<std::size_t>(1, env_size_t("KGWAS_GEMM_KC", defaults.kc));
+  b.nc = std::max<std::size_t>(1, env_size_t("KGWAS_GEMM_NC", defaults.nc));
+  return b;
+}
+
+std::atomic<int> g_backend_env_cache{-1};  // -1 = env not read yet
+
+std::atomic<bool> g_blocking_set{false};
+std::atomic<std::size_t> g_mc{0}, g_kc{0}, g_nc{0};
+
+// --------------------------------------------------------------- packing
+
+constexpr std::size_t round_up(std::size_t x, std::size_t unit) {
+  return (x + unit - 1) / unit * unit;
+}
+
+/// Element readers: decode one stored element to FP32.  The narrow float
+/// formats go through the precision layer's decode tables, so packed
+/// panels carry exactly the values dequantize_buffer would produce.
+struct F32Reader {
+  const float* p;
+  float operator()(std::size_t i) const { return p[i]; }
+};
+struct F64Reader {
+  const double* p;
+  float operator()(std::size_t i) const { return static_cast<float>(p[i]); }
+};
+struct I8Reader {
+  const std::int8_t* p;
+  float operator()(std::size_t i) const { return static_cast<float>(p[i]); }
+};
+struct Table8Reader {
+  const std::uint8_t* p;
+  const float* table;
+  float operator()(std::size_t i) const { return table[p[i]]; }
+};
+struct Table16Reader {
+  const std::uint16_t* p;
+  const float* table;
+  float operator()(std::size_t i) const { return table[p[i]]; }
+};
+
+template <typename Fn>
+void with_reader(const OperandView& view, Fn&& fn) {
+  switch (view.storage) {
+    case Precision::kFp32:
+      fn(F32Reader{static_cast<const float*>(view.data)});
+      return;
+    case Precision::kFp64:
+      fn(F64Reader{static_cast<const double*>(view.data)});
+      return;
+    case Precision::kInt8:
+      fn(I8Reader{static_cast<const std::int8_t*>(view.data)});
+      return;
+    case Precision::kFp16:
+    case Precision::kBf16:
+      fn(Table16Reader{static_cast<const std::uint16_t*>(view.data),
+                       decode_table(view.storage)});
+      return;
+    default:  // FP8 variants, FP4: one storage byte per element
+      fn(Table8Reader{static_cast<const std::uint8_t*>(view.data),
+                      decode_table(view.storage)});
+      return;
+  }
+}
+
+/// Packs the (i0.., p0..) block of op(A), mb x kb, into MR-row
+/// micro-panels: panel p holds, for each of the kb columns, kMR
+/// consecutive row values (rows past mb zero-padded), so the microkernel
+/// streams unit-stride regardless of the source trans/stride/precision.
+template <typename Reader>
+void pack_a_block_impl(const Reader& read, Trans trans, std::size_t ld,
+                       std::size_t i0, std::size_t p0, std::size_t mb,
+                       std::size_t kb, float* KGWAS_RESTRICT dst) {
+  const std::size_t panels = (mb + kMR - 1) / kMR;
+  for (std::size_t p = 0; p < panels; ++p) {
+    const std::size_t row0 = i0 + p * kMR;
+    const std::size_t rows = std::min(kMR, mb - p * kMR);
+    float* KGWAS_RESTRICT panel = dst + p * kMR * kb;
+    for (std::size_t l = 0; l < kb; ++l) {
+      float* KGWAS_RESTRICT out = panel + l * kMR;
+      if (trans == Trans::kNoTrans) {
+        const std::size_t base = row0 + (p0 + l) * ld;
+        for (std::size_t r = 0; r < rows; ++r) out[r] = read(base + r);
+      } else {
+        const std::size_t col = p0 + l;
+        for (std::size_t r = 0; r < rows; ++r) {
+          out[r] = read(col + (row0 + r) * ld);
+        }
+      }
+      for (std::size_t r = rows; r < kMR; ++r) out[r] = 0.0f;
+    }
+  }
+}
+
+/// Packs the (p0.., j0..) block of op(B), kb x nb, into NR-column
+/// micro-panels (columns past nb zero-padded).
+template <typename Reader>
+void pack_b_block_impl(const Reader& read, Trans trans, std::size_t ld,
+                       std::size_t p0, std::size_t j0, std::size_t kb,
+                       std::size_t nb, float* KGWAS_RESTRICT dst) {
+  const std::size_t panels = (nb + kNR - 1) / kNR;
+  for (std::size_t q = 0; q < panels; ++q) {
+    const std::size_t col0 = j0 + q * kNR;
+    const std::size_t cols = std::min(kNR, nb - q * kNR);
+    float* KGWAS_RESTRICT panel = dst + q * kNR * kb;
+    for (std::size_t l = 0; l < kb; ++l) {
+      float* KGWAS_RESTRICT out = panel + l * kNR;
+      if (trans == Trans::kNoTrans) {
+        const std::size_t base = p0 + l;
+        for (std::size_t c = 0; c < cols; ++c) {
+          out[c] = read(base + (col0 + c) * ld);
+        }
+      } else {
+        const std::size_t base = col0 + (p0 + l) * ld;
+        for (std::size_t c = 0; c < cols; ++c) out[c] = read(base + c);
+      }
+      for (std::size_t c = cols; c < kNR; ++c) out[c] = 0.0f;
+    }
+  }
+}
+
+/// Tensor-core operand rounding, fused into the pack: the same
+/// per-element quantize_inplace the reference path applies to its
+/// materialized copy, so values match exactly (padding zeros round to 0).
+void round_packed(Precision round_to, float* data, std::size_t n) {
+  if (round_to == Precision::kFp32 || round_to == Precision::kFp64) return;
+  quantize_inplace(round_to, data, n);
+}
+
+void pack_a_block(const OperandView& a, std::size_t i0, std::size_t p0,
+                  std::size_t mb, std::size_t kb, float* dst) {
+  with_reader(a, [&](const auto& read) {
+    pack_a_block_impl(read, a.trans, a.ld, i0, p0, mb, kb, dst);
+  });
+  round_packed(a.round_to, dst, round_up(mb, kMR) * kb);
+}
+
+void pack_b_block(const OperandView& b, std::size_t p0, std::size_t j0,
+                  std::size_t kb, std::size_t nb, float* dst) {
+  with_reader(b, [&](const auto& read) {
+    pack_b_block_impl(read, b.trans, b.ld, p0, j0, kb, nb, dst);
+  });
+  round_packed(b.round_to, dst, round_up(nb, kNR) * kb);
+}
+
+// ----------------------------------------------------- pack buffer reuse
+
+/// Per-thread pack buffers, TilePool-backed: tile pipelines hit the same
+/// handful of block shapes over and over, so steady-state GEMMs touch the
+/// pool not at all (the acceptance test asserts this via pool stats).
+/// Under KGWAS_SANITIZE the pool degrades to plain alloc/free, so ASan
+/// sees the buffer lifetimes; the thread-local cache then simply holds
+/// one live allocation per thread, released at thread exit.
+struct ThreadPackBuffer {
+  AlignedVector<float> buffer;
+
+  float* ensure(std::size_t elements) {
+    if (buffer.size() != elements) {
+      if (!buffer.empty()) {
+        TilePool::global().release_f32(std::move(buffer));
+      }
+      buffer = TilePool::global().acquire_f32(elements);
+    }
+    return buffer.data();
+  }
+
+  ~ThreadPackBuffer() {
+    if (!buffer.empty()) TilePool::global().release_f32(std::move(buffer));
+  }
+};
+
+thread_local ThreadPackBuffer t_pack_a;
+thread_local ThreadPackBuffer t_pack_b;
+
+std::size_t a_block_capacity(std::size_t m, std::size_t k,
+                             const Blocking& blk) {
+  return round_up(std::min(blk.mc, m), kMR) * std::min(blk.kc, k);
+}
+
+std::size_t b_block_capacity(std::size_t n, std::size_t k,
+                             const Blocking& blk) {
+  return round_up(std::min(blk.nc, n), kNR) * std::min(blk.kc, k);
+}
+
+// ----------------------------------------------------------- microkernel
+
+/// Register-tiled MR x NR rank-kb update over packed panels.
+///
+/// The GNU-vector variant keeps the 6 accumulators in named vector
+/// variables — one 8-lane vector per micro-tile column — which the
+/// compiler maps to registers (split into SSE pairs on baseline x86-64,
+/// single ymm under AVX2, FMA-contracted where available).  A plain
+/// array-of-float accumulator is NOT equivalent: compilers leave it in
+/// memory, turning the inner loop into load/store traffic.  Packed A
+/// micro-panels are 32-byte aligned by construction (64-byte-aligned
+/// buffers, kMR * sizeof(float) = 32-byte panel rows).
+#if defined(__GNUC__) || defined(__clang__)
+typedef float V8sf __attribute__((vector_size(8 * sizeof(float))));
+static_assert(kMR == 8, "microkernel vector width assumes MR == 8");
+
+void micro_kernel(std::size_t kb, const float* KGWAS_RESTRICT a,
+                  const float* KGWAS_RESTRICT b, float* KGWAS_RESTRICT acc) {
+  V8sf acc0 = {}, acc1 = {}, acc2 = {}, acc3 = {}, acc4 = {}, acc5 = {};
+  static_assert(kNR == 6, "microkernel accumulator count assumes NR == 6");
+  const V8sf* KGWAS_RESTRICT ap = reinterpret_cast<const V8sf*>(a);
+  for (std::size_t l = 0; l < kb; ++l) {
+    const V8sf av = ap[l];
+    const float* KGWAS_RESTRICT bp = b + l * kNR;
+    acc0 += av * bp[0];
+    acc1 += av * bp[1];
+    acc2 += av * bp[2];
+    acc3 += av * bp[3];
+    acc4 += av * bp[4];
+    acc5 += av * bp[5];
+  }
+  V8sf* KGWAS_RESTRICT out = reinterpret_cast<V8sf*>(acc);
+  out[0] = acc0;
+  out[1] = acc1;
+  out[2] = acc2;
+  out[3] = acc3;
+  out[4] = acc4;
+  out[5] = acc5;
+}
+#else
+void micro_kernel(std::size_t kb, const float* KGWAS_RESTRICT a,
+                  const float* KGWAS_RESTRICT b, float* KGWAS_RESTRICT acc) {
+  for (std::size_t j = 0; j < kNR; ++j) {
+    for (std::size_t i = 0; i < kMR; ++i) acc[j * kMR + i] = 0.0f;
+  }
+  for (std::size_t l = 0; l < kb; ++l) {
+    const float* KGWAS_RESTRICT ap = a + l * kMR;
+    const float* KGWAS_RESTRICT bp = b + l * kNR;
+    for (std::size_t j = 0; j < kNR; ++j) {
+      const float blj = bp[j];
+      float* KGWAS_RESTRICT accj = acc + j * kMR;
+      for (std::size_t i = 0; i < kMR; ++i) accj[i] += ap[i] * blj;
+    }
+  }
+}
+#endif
+
+/// One (mb x nb) macro-tile: packed A block x packed B block into C.
+void macro_gemm(std::size_t mb, std::size_t nb, std::size_t kb, float alpha,
+                const float* packed_a, const float* packed_b, float* c,
+                std::size_t ldc) {
+  const std::size_t m_panels = (mb + kMR - 1) / kMR;
+  const std::size_t n_panels = (nb + kNR - 1) / kNR;
+  for (std::size_t q = 0; q < n_panels; ++q) {
+    const std::size_t j0 = q * kNR;
+    const std::size_t cols = std::min(kNR, nb - j0);
+    const float* bp = packed_b + q * kNR * kb;
+    for (std::size_t p = 0; p < m_panels; ++p) {
+      const std::size_t i0 = p * kMR;
+      const std::size_t rows = std::min(kMR, mb - i0);
+      // Fully written by micro_kernel, no pre-zeroing needed.
+      alignas(kDefaultAlignment) float acc[kMR * kNR];
+      micro_kernel(kb, packed_a + p * kMR * kb, bp, acc);
+      for (std::size_t j = 0; j < cols; ++j) {
+        float* KGWAS_RESTRICT cj = c + i0 + (j0 + j) * ldc;
+        const float* KGWAS_RESTRICT accj = acc + j * kMR;
+        for (std::size_t i = 0; i < rows; ++i) cj[i] += alpha * accj[i];
+      }
+    }
+  }
+}
+
+/// Triangle-masked macro-tile for SYRK: (gi0, gj0) are the block's global
+/// coordinates in C; micro tiles fully outside the `uplo` triangle are
+/// skipped, crossing tiles mask their stores element-wise.
+void macro_syrk(Uplo uplo, std::size_t gi0, std::size_t gj0, std::size_t mb,
+                std::size_t nb, std::size_t kb, float alpha,
+                const float* packed_a, const float* packed_b, float* c,
+                std::size_t ldc) {
+  const bool lower = uplo == Uplo::kLower;
+  const std::size_t m_panels = (mb + kMR - 1) / kMR;
+  const std::size_t n_panels = (nb + kNR - 1) / kNR;
+  for (std::size_t q = 0; q < n_panels; ++q) {
+    const std::size_t j0 = q * kNR;
+    const std::size_t cols = std::min(kNR, nb - j0);
+    const float* bp = packed_b + q * kNR * kb;
+    for (std::size_t p = 0; p < m_panels; ++p) {
+      const std::size_t i0 = p * kMR;
+      const std::size_t rows = std::min(kMR, mb - i0);
+      const std::size_t gi_lo = gi0 + i0;
+      const std::size_t gj_lo = gj0 + j0;
+      if (lower ? (gi_lo + rows - 1 < gj_lo)
+                : (gi_lo > gj_lo + cols - 1)) {
+        continue;  // micro tile entirely outside the triangle
+      }
+      alignas(kDefaultAlignment) float acc[kMR * kNR];
+      micro_kernel(kb, packed_a + p * kMR * kb, bp, acc);
+      for (std::size_t j = 0; j < cols; ++j) {
+        const std::size_t gj = gj_lo + j;
+        float* cj = c + i0 + (j0 + j) * ldc;
+        const float* accj = acc + j * kMR;
+        for (std::size_t i = 0; i < rows; ++i) {
+          const std::size_t gi = gi_lo + i;
+          if (lower ? gi >= gj : gi <= gj) cj[i] += alpha * accj[i];
+        }
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------- driver
+
+void scale_c_full(float beta, std::size_t m, std::size_t n, float* c,
+                  std::size_t ldc) {
+  if (beta == 1.0f) return;
+  for (std::size_t j = 0; j < n; ++j) {
+    float* cj = c + j * ldc;
+    if (beta == 0.0f) {
+      std::fill(cj, cj + m, 0.0f);
+    } else {
+      for (std::size_t i = 0; i < m; ++i) cj[i] *= beta;
+    }
+  }
+}
+
+void scale_c_triangle(Uplo uplo, float beta, std::size_t n, float* c,
+                      std::size_t ldc) {
+  if (beta == 1.0f) return;
+  const bool lower = uplo == Uplo::kLower;
+  for (std::size_t j = 0; j < n; ++j) {
+    const std::size_t i_begin = lower ? j : 0;
+    const std::size_t i_end = lower ? n : j + 1;
+    float* cj = c + j * ldc;
+    for (std::size_t i = i_begin; i < i_end; ++i) {
+      cj[i] = beta == 0.0f ? 0.0f : cj[i] * beta;
+    }
+  }
+}
+
+/// Shared jc -> pc -> ic loop nest.  `a_block(ic, pc, mb, kb)` and
+/// `b_block(jc, pc, nb, kb)` supply the packed blocks — packed on the
+/// fly into the thread-local buffers or served from a PackedA/PackedB;
+/// all combinations produce identical panels, so every path is bitwise
+/// equal.
+template <typename ABlockFn, typename BBlockFn>
+void gemm_driver(std::size_t m, std::size_t n, std::size_t k, float alpha,
+                 const ABlockFn& a_block, const BBlockFn& b_block, float* c,
+                 std::size_t ldc, const Blocking& blk) {
+  for (std::size_t jc = 0; jc < n; jc += blk.nc) {
+    const std::size_t nb = std::min(blk.nc, n - jc);
+    for (std::size_t pc = 0; pc < k; pc += blk.kc) {
+      const std::size_t kb = std::min(blk.kc, k - pc);
+      const float* packed_b = b_block(jc, pc, nb, kb);
+      for (std::size_t ic = 0; ic < m; ic += blk.mc) {
+        const std::size_t mb = std::min(blk.mc, m - ic);
+        macro_gemm(mb, nb, kb, alpha, a_block(ic, pc, mb, kb), packed_b,
+                   c + ic + jc * ldc, ldc);
+      }
+    }
+  }
+}
+
+}  // namespace
+
+// --------------------------------------------------------- configuration
+
+GemmBackend gemm_backend() {
+  const int override = g_backend_override.load(std::memory_order_relaxed);
+  if (override >= 0) return static_cast<GemmBackend>(override);
+  int cached = g_backend_env_cache.load(std::memory_order_relaxed);
+  if (cached < 0) {
+    cached = static_cast<int>(backend_from_env());
+    g_backend_env_cache.store(cached, std::memory_order_relaxed);
+  }
+  return static_cast<GemmBackend>(cached);
+}
+
+void set_gemm_backend(std::optional<GemmBackend> backend) {
+  g_backend_override.store(backend ? static_cast<int>(*backend) : -1,
+                           std::memory_order_relaxed);
+  // Clearing the override drops the cached env read too, so the next
+  // query re-reads KGWAS_GEMM_KERNEL (the documented contract).
+  if (!backend) g_backend_env_cache.store(-1, std::memory_order_relaxed);
+}
+
+Blocking gemm_blocking() {
+  if (g_blocking_set.load(std::memory_order_acquire)) {
+    return Blocking{g_mc.load(std::memory_order_relaxed),
+                    g_kc.load(std::memory_order_relaxed),
+                    g_nc.load(std::memory_order_relaxed)};
+  }
+  const Blocking from_env = blocking_from_env();
+  g_mc.store(from_env.mc, std::memory_order_relaxed);
+  g_kc.store(from_env.kc, std::memory_order_relaxed);
+  g_nc.store(from_env.nc, std::memory_order_relaxed);
+  g_blocking_set.store(true, std::memory_order_release);
+  return from_env;
+}
+
+void set_gemm_blocking(std::optional<Blocking> blocking) {
+  if (blocking) {
+    g_mc.store(std::max<std::size_t>(1, blocking->mc),
+               std::memory_order_relaxed);
+    g_kc.store(std::max<std::size_t>(1, blocking->kc),
+               std::memory_order_relaxed);
+    g_nc.store(std::max<std::size_t>(1, blocking->nc),
+               std::memory_order_relaxed);
+    g_blocking_set.store(true, std::memory_order_release);
+  } else {
+    // Next query re-reads KGWAS_GEMM_MC/KC/NC.
+    g_blocking_set.store(false, std::memory_order_release);
+  }
+}
+
+// ----------------------------------------------------------- entrypoints
+
+void gemm_view(std::size_t m, std::size_t n, std::size_t k, float alpha,
+               const OperandView& a, const OperandView& b, float beta,
+               float* c, std::size_t ldc) {
+  if (m == 0 || n == 0) return;
+  scale_c_full(beta, m, n, c, ldc);
+  if (k == 0 || alpha == 0.0f) return;
+  const Blocking blk = gemm_blocking();
+  float* a_buffer = t_pack_a.ensure(a_block_capacity(m, k, blk));
+  float* b_buffer = t_pack_b.ensure(b_block_capacity(n, k, blk));
+  gemm_driver(
+      m, n, k, alpha,
+      [&](std::size_t ic, std::size_t pc, std::size_t mb, std::size_t kb) {
+        pack_a_block(a, ic, pc, mb, kb, a_buffer);
+        return static_cast<const float*>(a_buffer);
+      },
+      [&](std::size_t jc, std::size_t pc, std::size_t nb, std::size_t kb) {
+        pack_b_block(b, pc, jc, kb, nb, b_buffer);
+        return static_cast<const float*>(b_buffer);
+      },
+      c, ldc, blk);
+}
+
+void syrk_view(Uplo uplo, std::size_t n, std::size_t k, float alpha,
+               const OperandView& a, float beta, float* c, std::size_t ldc) {
+  if (n == 0) return;
+  scale_c_triangle(uplo, beta, n, c, ldc);
+  if (k == 0 || alpha == 0.0f) return;
+  // The right operand is op(A)^T: the same storage with flipped trans.
+  OperandView bt = a;
+  bt.trans = a.trans == Trans::kNoTrans ? Trans::kTrans : Trans::kNoTrans;
+  const bool lower = uplo == Uplo::kLower;
+  const Blocking blk = gemm_blocking();
+  float* a_buffer = t_pack_a.ensure(a_block_capacity(n, k, blk));
+  float* b_buffer = t_pack_b.ensure(b_block_capacity(n, k, blk));
+  for (std::size_t jc = 0; jc < n; jc += blk.nc) {
+    const std::size_t nb = std::min(blk.nc, n - jc);
+    for (std::size_t pc = 0; pc < k; pc += blk.kc) {
+      const std::size_t kb = std::min(blk.kc, k - pc);
+      pack_b_block(bt, pc, jc, kb, nb, b_buffer);
+      for (std::size_t ic = 0; ic < n; ic += blk.mc) {
+        const std::size_t mb = std::min(blk.mc, n - ic);
+        // Skip macro blocks entirely outside the triangle.
+        if (lower ? (ic + mb - 1 < jc) : (ic > jc + nb - 1)) continue;
+        pack_a_block(a, ic, pc, mb, kb, a_buffer);
+        macro_syrk(uplo, ic, jc, mb, nb, kb, alpha, a_buffer, b_buffer,
+                   c + ic + jc * ldc, ldc);
+      }
+    }
+  }
+}
+
+// --------------------------------------------------------------- PackedA
+
+PackedA::~PackedA() {
+  if (!buffer_.empty()) TilePool::global().release_f32(std::move(buffer_));
+}
+
+void PackedA::pack(std::size_t m, std::size_t k, const OperandView& a) {
+  KGWAS_CHECK_ARG(m > 0 && k > 0, "PackedA requires a non-empty operand");
+  blocking_ = gemm_blocking();
+  m_ = m;
+  k_ = k;
+  ic_blocks_ = (m + blocking_.mc - 1) / blocking_.mc;
+  pc_blocks_ = (k + blocking_.kc - 1) / blocking_.kc;
+  stride_ = a_block_capacity(m, k, blocking_);
+  const std::size_t needed = ic_blocks_ * pc_blocks_ * stride_;
+  if (buffer_.size() != needed) {
+    if (!buffer_.empty()) TilePool::global().release_f32(std::move(buffer_));
+    buffer_ = TilePool::global().acquire_f32(needed);
+  }
+  for (std::size_t pc_index = 0; pc_index < pc_blocks_; ++pc_index) {
+    const std::size_t pc = pc_index * blocking_.kc;
+    const std::size_t kb = std::min(blocking_.kc, k - pc);
+    for (std::size_t ic_index = 0; ic_index < ic_blocks_; ++ic_index) {
+      const std::size_t ic = ic_index * blocking_.mc;
+      const std::size_t mb = std::min(blocking_.mc, m - ic);
+      pack_a_block(a, ic, pc, mb, kb,
+                   buffer_.data() + (pc_index * ic_blocks_ + ic_index) *
+                                        stride_);
+    }
+  }
+}
+
+void gemm_prepacked(std::size_t m, std::size_t n, std::size_t k, float alpha,
+                    const PackedA& a, const OperandView& b, float beta,
+                    float* c, std::size_t ldc) {
+  KGWAS_CHECK_ARG(a.packed_for(m, k),
+                  "gemm_prepacked: PackedA shape mismatch (pack first)");
+  if (m == 0 || n == 0) return;
+  scale_c_full(beta, m, n, c, ldc);
+  if (k == 0 || alpha == 0.0f) return;
+  const Blocking& blk = a.blocking_;
+  float* b_buffer = t_pack_b.ensure(b_block_capacity(n, k, blk));
+  gemm_driver(
+      m, n, k, alpha,
+      [&](std::size_t ic, std::size_t pc, std::size_t, std::size_t) {
+        return a.block(ic / blk.mc, pc / blk.kc);
+      },
+      [&](std::size_t jc, std::size_t pc, std::size_t nb, std::size_t kb) {
+        pack_b_block(b, pc, jc, kb, nb, b_buffer);
+        return static_cast<const float*>(b_buffer);
+      },
+      c, ldc, blk);
+}
+
+PackedB::~PackedB() {
+  if (!buffer_.empty()) TilePool::global().release_f32(std::move(buffer_));
+}
+
+void PackedB::pack(std::size_t k, std::size_t n, const OperandView& b) {
+  KGWAS_CHECK_ARG(k > 0 && n > 0, "PackedB requires a non-empty operand");
+  blocking_ = gemm_blocking();
+  k_ = k;
+  n_ = n;
+  jc_blocks_ = (n + blocking_.nc - 1) / blocking_.nc;
+  pc_blocks_ = (k + blocking_.kc - 1) / blocking_.kc;
+  stride_ = b_block_capacity(n, k, blocking_);
+  const std::size_t needed = jc_blocks_ * pc_blocks_ * stride_;
+  if (buffer_.size() != needed) {
+    if (!buffer_.empty()) TilePool::global().release_f32(std::move(buffer_));
+    buffer_ = TilePool::global().acquire_f32(needed);
+  }
+  for (std::size_t jc_index = 0; jc_index < jc_blocks_; ++jc_index) {
+    const std::size_t jc = jc_index * blocking_.nc;
+    const std::size_t nb = std::min(blocking_.nc, n - jc);
+    for (std::size_t pc_index = 0; pc_index < pc_blocks_; ++pc_index) {
+      const std::size_t pc = pc_index * blocking_.kc;
+      const std::size_t kb = std::min(blocking_.kc, k - pc);
+      pack_b_block(b, pc, jc, kb, nb,
+                   buffer_.data() +
+                       (jc_index * pc_blocks_ + pc_index) * stride_);
+    }
+  }
+}
+
+void gemm_prepacked_b(std::size_t m, std::size_t n, std::size_t k,
+                      float alpha, const OperandView& a, const PackedB& b,
+                      float beta, float* c, std::size_t ldc) {
+  KGWAS_CHECK_ARG(b.packed_for(k, n),
+                  "gemm_prepacked_b: PackedB shape mismatch (pack first)");
+  if (m == 0 || n == 0) return;
+  scale_c_full(beta, m, n, c, ldc);
+  if (k == 0 || alpha == 0.0f) return;
+  const Blocking& blk = b.blocking_;
+  float* a_buffer = t_pack_a.ensure(a_block_capacity(m, k, blk));
+  gemm_driver(
+      m, n, k, alpha,
+      [&](std::size_t ic, std::size_t pc, std::size_t mb, std::size_t kb) {
+        pack_a_block(a, ic, pc, mb, kb, a_buffer);
+        return static_cast<const float*>(a_buffer);
+      },
+      [&](std::size_t jc, std::size_t pc, std::size_t, std::size_t) {
+        return b.block(jc / blk.nc, pc / blk.kc);
+      },
+      c, ldc, blk);
+}
+
+void gemm_prepacked_ab(std::size_t m, std::size_t n, std::size_t k,
+                       float alpha, const PackedA& a, const PackedB& b,
+                       float beta, float* c, std::size_t ldc) {
+  KGWAS_CHECK_ARG(a.packed_for(m, k) && b.packed_for(k, n),
+                  "gemm_prepacked_ab: packed operand shape mismatch");
+  const Blocking& blk = a.blocking_;
+  KGWAS_CHECK_ARG(blk.mc == b.blocking_.mc && blk.kc == b.blocking_.kc &&
+                      blk.nc == b.blocking_.nc,
+                  "gemm_prepacked_ab: operands packed under different "
+                  "blockings");
+  if (m == 0 || n == 0) return;
+  scale_c_full(beta, m, n, c, ldc);
+  if (k == 0 || alpha == 0.0f) return;
+  gemm_driver(
+      m, n, k, alpha,
+      [&](std::size_t ic, std::size_t pc, std::size_t, std::size_t) {
+        return a.block(ic / blk.mc, pc / blk.kc);
+      },
+      [&](std::size_t jc, std::size_t pc, std::size_t, std::size_t) {
+        return b.block(jc / blk.nc, pc / blk.kc);
+      },
+      c, ldc, blk);
+}
+
+}  // namespace kgwas::mpblas::kernels

@@ -1,0 +1,216 @@
+// Packed cache-blocked GEMM/SYRK engine (BLIS-style) with
+// decode-on-pack mixed-precision panels.
+//
+// The reference kernels in mpblas/blas.cpp are scalar triple loops: no
+// cache blocking, no packing, and every mixed-precision operand is first
+// decoded into a full-tile FP32 scratch copy.  This engine supplies the
+// compute core the paper's speedup story assumes:
+//
+//  * mc/kc/nc cache blocking (jc -> pc -> ic loop nest) with A packed
+//    into MR-row micro-panels and B into NR-column micro-panels, both in
+//    64-byte-aligned TilePool-backed buffers that persist per thread
+//    (zero steady-state pool traffic);
+//  * a register-tiled MR x NR microkernel written so compilers
+//    auto-vectorize it: restrict pointers, contiguous unit-stride inner
+//    loads from the packed panels, compile-time tile shape, FMA-friendly
+//    accumulator array;
+//  * decode-on-pack: `OperandView` describes an operand in its *storage*
+//    precision (FP32/FP64/FP16/BF16/FP8/FP4/INT8) and packing decodes
+//    straight from storage bytes into the FP32 panels via the precision
+//    layer's decode tables — the full-tile FP32 scratch round-trip of the
+//    old mixed-precision path disappears.  A view can also request
+//    tensor-core operand rounding (`round_to`), which is applied to the
+//    packed panels (numerically the same per-element rounding as
+//    quantize_inplace on a materialized copy);
+//  * `PackedA`: a fully packed left operand reusable across a batch
+//    group — the trailing-update GEMMs of one coalesced batch share a
+//    panel tile, which is packed (and therefore decoded) exactly once.
+//
+// Backend selection: KGWAS_GEMM_KERNEL=reference|packed (default
+// packed); blocking via KGWAS_GEMM_MC/KC/NC.  Results are deterministic
+// for a fixed blocking, so the shared-memory and distributed paths stay
+// bitwise identical to each other under either backend.  The engine
+// accumulates in FP32 and is float-only; FP64 callers keep the reference
+// loops.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+
+#include "common/aligned_buffer.hpp"
+#include "mpblas/types.hpp"
+#include "precision/precision.hpp"
+
+namespace kgwas::mpblas::kernels {
+
+enum class GemmBackend { kReference, kPacked };
+
+/// The process-wide backend: the KGWAS_GEMM_KERNEL override when set
+/// ("reference" or "packed"), else kPacked.  Read once and cached.
+GemmBackend gemm_backend();
+
+/// Test/bench override; nullopt re-reads the environment on next query.
+void set_gemm_backend(std::optional<GemmBackend> backend);
+
+/// True when float GEMM-class work should go through the packed engine.
+inline bool use_packed() { return gemm_backend() == GemmBackend::kPacked; }
+
+/// Register micro-tile shape.  MR rows stream unit-stride from the packed
+/// A panel (vector loads); NR columns broadcast from the packed B panel.
+/// 8 x 6 keeps the accumulator block within 16 SSE registers on baseline
+/// x86-64 while widening transparently under AVX2/AVX-512.
+inline constexpr std::size_t kMR = 8;
+inline constexpr std::size_t kNR = 6;
+
+/// Cache blocking parameters (elements).  Defaults: mc=128, kc=256,
+/// nc=1024 — A panel 128x256 (~128 KiB, L2-resident), B micro-panel
+/// 256x6 (~6 KiB, L1-resident).  Overridable via KGWAS_GEMM_MC/KC/NC.
+struct Blocking {
+  std::size_t mc = 128;
+  std::size_t kc = 256;
+  std::size_t nc = 1024;
+};
+
+/// The process-wide blocking (env-seeded, cached).
+Blocking gemm_blocking();
+
+/// Test override; nullopt re-reads the environment on next query.
+void set_gemm_blocking(std::optional<Blocking> blocking);
+
+/// An operand in storage precision: element (i, j) of op(X) is read from
+/// `data` (column-major, leading dimension `ld`, transposed per `trans`),
+/// decoded from `storage` to FP32 during packing, then optionally rounded
+/// through `round_to` (tensor-core operand rounding; kFp32 = no-op).
+struct OperandView {
+  const void* data = nullptr;
+  std::size_t ld = 0;
+  Trans trans = Trans::kNoTrans;
+  Precision storage = Precision::kFp32;
+  Precision round_to = Precision::kFp32;
+};
+
+inline OperandView fp32_view(const float* data, std::size_t ld, Trans trans,
+                             Precision round_to = Precision::kFp32) {
+  return {data, ld, trans, Precision::kFp32, round_to};
+}
+
+/// C <- alpha * op(A) * op(B) + beta * C with op(A) m x k, op(B) k x n,
+/// C FP32 m x n.  All shapes, strides and trans combinations supported;
+/// operands decode from their storage precision during packing.
+void gemm_view(std::size_t m, std::size_t n, std::size_t k, float alpha,
+               const OperandView& a, const OperandView& b, float beta,
+               float* c, std::size_t ldc);
+
+/// C <- alpha * op(A) * op(A)^T + beta * C on the `uplo` triangle only,
+/// with op(A) n x k described by `a` (trans inside the view: kNoTrans
+/// means A is n x k, kTrans means A is k x n and op(A) = A^T).  Micro
+/// tiles entirely outside the triangle are skipped; crossing tiles mask
+/// their stores, so out-of-triangle elements of C are never referenced.
+void syrk_view(Uplo uplo, std::size_t n, std::size_t k, float alpha,
+               const OperandView& a, float beta, float* c, std::size_t ldc);
+
+class PackedB;
+
+/// A fully packed (and decoded) m x k left operand: every (ic, pc) block
+/// of the engine's loop nest in micro-panel layout.  Lets a batch group
+/// whose GEMMs share a panel tile pay the pack/decode cost once; the
+/// per-call packing path produces bit-identical panels, so prepacked and
+/// plain execution give bitwise equal results.  Buffers are pooled.
+class PackedA {
+ public:
+  PackedA() = default;
+  ~PackedA();
+  PackedA(const PackedA&) = delete;
+  PackedA& operator=(const PackedA&) = delete;
+
+  /// (Re)packs op(A) m x k from `a`.  Reusable; buffers are recycled.
+  void pack(std::size_t m, std::size_t k, const OperandView& a);
+
+  bool packed_for(std::size_t m, std::size_t k) const noexcept {
+    return !buffer_.empty() && m_ == m && k_ == k;
+  }
+  std::size_t m() const noexcept { return m_; }
+  std::size_t k() const noexcept { return k_; }
+
+ private:
+  friend void gemm_prepacked(std::size_t, std::size_t, std::size_t, float,
+                             const PackedA&, const OperandView&, float, float*,
+                             std::size_t);
+  friend class PackedB;
+  friend void gemm_prepacked_ab(std::size_t, std::size_t, std::size_t, float,
+                                const PackedA&, const PackedB&, float, float*,
+                                std::size_t);
+  const float* block(std::size_t ic_index, std::size_t pc_index) const {
+    return buffer_.data() + (pc_index * ic_blocks_ + ic_index) * stride_;
+  }
+
+  AlignedVector<float> buffer_;
+  std::size_t m_ = 0;
+  std::size_t k_ = 0;
+  Blocking blocking_;
+  std::size_t ic_blocks_ = 0;
+  std::size_t pc_blocks_ = 0;
+  std::size_t stride_ = 0;  ///< uniform per-block float count (edge-padded)
+};
+
+/// gemm_view with a prepacked left operand (must satisfy
+/// packed_for(m, k)); bitwise identical to the gemm_view it replaces.
+void gemm_prepacked(std::size_t m, std::size_t n, std::size_t k, float alpha,
+                    const PackedA& a, const OperandView& b, float beta,
+                    float* c, std::size_t ldc);
+
+/// A fully packed (and decoded) k x n right operand, the B-side analogue
+/// of PackedA.  In the Cholesky trailing update the GEMMs of one batch
+/// group share their *B* tile (the panel column), so this is the panel
+/// that gets packed once per group.
+class PackedB {
+ public:
+  PackedB() = default;
+  ~PackedB();
+  PackedB(const PackedB&) = delete;
+  PackedB& operator=(const PackedB&) = delete;
+
+  /// (Re)packs op(B) k x n from `b`.  Reusable; buffers are recycled.
+  void pack(std::size_t k, std::size_t n, const OperandView& b);
+
+  bool packed_for(std::size_t k, std::size_t n) const noexcept {
+    return !buffer_.empty() && k_ == k && n_ == n;
+  }
+  std::size_t k() const noexcept { return k_; }
+  std::size_t n() const noexcept { return n_; }
+
+ private:
+  friend void gemm_prepacked_ab(std::size_t, std::size_t, std::size_t, float,
+                                const PackedA&, const PackedB&, float, float*,
+                                std::size_t);
+  friend void gemm_prepacked_b(std::size_t, std::size_t, std::size_t, float,
+                               const OperandView&, const PackedB&, float,
+                               float*, std::size_t);
+  const float* block(std::size_t jc_index, std::size_t pc_index) const {
+    return buffer_.data() + (jc_index * pc_blocks_ + pc_index) * stride_;
+  }
+
+  AlignedVector<float> buffer_;
+  std::size_t k_ = 0;
+  std::size_t n_ = 0;
+  Blocking blocking_;
+  std::size_t jc_blocks_ = 0;
+  std::size_t pc_blocks_ = 0;
+  std::size_t stride_ = 0;
+};
+
+/// gemm_view with both operands prepacked (a.packed_for(m, k),
+/// b.packed_for(k, n), packed under the same blocking); bitwise
+/// identical to gemm_view on the same operands.
+void gemm_prepacked_ab(std::size_t m, std::size_t n, std::size_t k,
+                       float alpha, const PackedA& a, const PackedB& b,
+                       float beta, float* c, std::size_t ldc);
+
+/// gemm_view with only the right operand prepacked (the predict-chain
+/// shape: each task streams its own kernel tile as A while the group
+/// shares the packed weights block); bitwise identical to gemm_view.
+void gemm_prepacked_b(std::size_t m, std::size_t n, std::size_t k,
+                      float alpha, const OperandView& a, const PackedB& b,
+                      float beta, float* c, std::size_t ldc);
+
+}  // namespace kgwas::mpblas::kernels

@@ -4,6 +4,7 @@
 
 #include "common/status.hpp"
 #include "mpblas/blas.hpp"
+#include "mpblas/kernels.hpp"
 #include "precision/convert.hpp"
 
 namespace kgwas {
@@ -127,6 +128,16 @@ void gemm_tc(Precision operand_precision, Trans trans_a, Trans trans_b,
   }
   KGWAS_CHECK_ARG(operand_precision != Precision::kInt8,
                   "use gemm_i8_i32 for INT8 operands");
+  if (mpblas::kernels::use_packed()) {
+    // Decode-on-pack: operand rounding happens on the packed panels, so
+    // no full-operand rounded FP32 copy is ever materialized.
+    mpblas::kernels::gemm_view(
+        m, n, k, alpha,
+        mpblas::kernels::fp32_view(a, lda, trans_a, operand_precision),
+        mpblas::kernels::fp32_view(b, ldb, trans_b, operand_precision), beta,
+        c, ldc);
+    return;
+  }
   const auto a_rounded =
       rounded_operand(operand_precision, trans_a, m, k, a, lda);
   const auto b_rounded =
@@ -145,6 +156,13 @@ void syrk_tc(Precision operand_precision, Uplo uplo, Trans trans,
   }
   KGWAS_CHECK_ARG(operand_precision != Precision::kInt8,
                   "use syrk_i8_i32 for INT8 operands");
+  if (mpblas::kernels::use_packed()) {
+    mpblas::kernels::syrk_view(
+        uplo, n, k, alpha,
+        mpblas::kernels::fp32_view(a, lda, trans, operand_precision), beta, c,
+        ldc);
+    return;
+  }
   const auto a_rounded =
       rounded_operand(operand_precision, trans, n, k, a, lda);
   syrk(uplo, Trans::kNoTrans, n, k, alpha, a_rounded.data(), n, beta, c, ldc);

@@ -147,6 +147,20 @@ void quantize_inplace(Precision precision, float* data, std::size_t n) {
   }
 }
 
+const float* decode_table(Precision precision) {
+  switch (precision) {
+    case Precision::kFp64:
+    case Precision::kFp32:
+    case Precision::kInt8:
+      return nullptr;
+    case Precision::kFp16:
+    case Precision::kBf16:
+      return decode_table16(float_format(precision)).data();
+    default:
+      return decode_table8(float_format(precision)).data();
+  }
+}
+
 void convert_buffer(Precision from, const void* src, Precision to, void* dst,
                     std::size_t n) {
   if (from == to) {

@@ -28,4 +28,11 @@ void quantize_inplace(Precision precision, float* data, std::size_t n);
 void convert_buffer(Precision from, const void* src, Precision to, void* dst,
                     std::size_t n);
 
+/// Read-only FP32 decode table of a narrow float format: 256 entries for
+/// the 1-byte formats (FP8 variants, FP4), 65536 for the 2-byte ones
+/// (FP16, BF16).  Returns nullptr for kFp64/kFp32/kInt8, whose decode is
+/// a plain cast.  Lets bulk consumers (the packed GEMM engine's
+/// decode-on-pack) read storage bytes directly without a staging decode.
+const float* decode_table(Precision precision);
+
 }  // namespace kgwas

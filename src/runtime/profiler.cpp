@@ -35,6 +35,21 @@ std::string json_escape(const std::string& s) {
   return out;
 }
 
+/// Shared per-task-class fold used by stats() and write_trace, so the
+/// two views can never disagree on how spans aggregate.
+std::map<std::string, TaskStats> aggregate_spans(
+    const std::vector<TaskSpan>& spans) {
+  std::map<std::string, TaskStats> out;
+  for (const auto& span : spans) {
+    auto& entry = out[span.name];
+    ++entry.count;
+    entry.total_seconds +=
+        static_cast<double>(span.end_ns - span.start_ns) * 1e-9;
+    entry.flops += span.flops;
+  }
+  return out;
+}
+
 }  // namespace
 
 void Profiler::record(TaskSpan span) {
@@ -50,14 +65,7 @@ std::vector<TaskSpan> Profiler::spans() const {
 
 std::map<std::string, TaskStats> Profiler::stats() const {
   std::lock_guard<std::mutex> lock(mutex_);
-  std::map<std::string, TaskStats> out;
-  for (const auto& span : spans_) {
-    auto& entry = out[span.name];
-    ++entry.count;
-    entry.total_seconds +=
-        static_cast<double>(span.end_ns - span.start_ns) * 1e-9;
-  }
-  return out;
+  return aggregate_spans(spans_);
 }
 
 std::map<int, WorkerSpanStats> Profiler::worker_stats() const {
@@ -147,12 +155,26 @@ void Profiler::write_trace(const std::string& path) const {
         << "\",\"cat\":\"task\",\"ph\":\"X\",\"pid\":0,\"tid\":" << span.worker
         << ",\"ts\":" << ts << ",\"dur\":" << dur << "}";
   }
+  // Per-task-class FLOP totals and achieved GFLOP/s, so traces capture
+  // the kernel-level perf trajectory alongside the schedule.
+  const std::map<std::string, TaskStats> classes = aggregate_spans(spans);
   out << "],\"otherData\":{"
       << "\"tasks_executed\":" << sched.tasks_executed
       << ",\"tasks_stolen\":" << sched.tasks_stolen
       << ",\"steal_attempts\":" << sched.steal_attempts
       << ",\"avg_queue_depth\":" << sched.avg_queue_depth()
-      << ",\"max_queue_depth\":" << sched.max_queue_depth << "}}\n";
+      << ",\"max_queue_depth\":" << sched.max_queue_depth
+      << ",\"kernel_classes\":{";
+  bool first_class = true;
+  for (const auto& [name, stats] : classes) {
+    if (!first_class) out << ",";
+    first_class = false;
+    out << "\"" << json_escape(name) << "\":{\"count\":" << stats.count
+        << ",\"seconds\":" << stats.total_seconds
+        << ",\"flops\":" << stats.flops
+        << ",\"gflops\":" << stats.gflops() << "}";
+  }
+  out << "}}}\n";
   if (!out.good()) throw Error("failed writing trace file: " + path);
 }
 

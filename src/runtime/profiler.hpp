@@ -21,11 +21,18 @@ struct TaskSpan {
   std::uint64_t start_ns = 0;
   std::uint64_t end_ns = 0;
   int worker = -1;
+  double flops = 0.0;  ///< useful FLOPs of this task (0 = not accounted)
 };
 
 struct TaskStats {
   std::uint64_t count = 0;
   double total_seconds = 0.0;
+  double flops = 0.0;  ///< summed per-task FLOP counts of the class
+
+  /// Achieved GFLOP/s of the task class (0 when unaccounted/zero time).
+  double gflops() const noexcept {
+    return total_seconds > 0.0 ? flops / total_seconds * 1e-9 : 0.0;
+  }
 };
 
 /// Per-worker aggregation of the recorded spans.

@@ -26,6 +26,7 @@ struct Runtime::TaskNode {
   std::string name;
   std::function<void()> fn;
   int priority = 0;
+  double flops = 0.0;
   BatchQueue* batch = nullptr;  // resolved once at submit
   std::atomic<std::uint64_t> remaining_deps{0};
   std::vector<TaskNode*> successors;
@@ -171,6 +172,7 @@ std::uint64_t Runtime::submit_impl(TaskDesc desc, std::function<void()> fn,
   node->name = std::move(desc.name);
   node->fn = std::move(fn);
   node->priority = desc.priority;
+  node->flops = desc.flops;
   if (batch_key != 0) node->batch = batch_queue(batch_key);
   // Sentinel dependency held by this submit() call itself: the task cannot
   // fire until every edge below has been wired.  External events carry a
@@ -349,7 +351,7 @@ void Runtime::run_task(TaskNode* node) {
   const std::uint64_t end = Timer::now_ns();
   if (profiling_enabled_) {
     profiler_.record(TaskSpan{node->name, start, end,
-                              scheduler_.current_worker()});
+                              scheduler_.current_worker(), node->flops});
   }
   release_successors(node);
 

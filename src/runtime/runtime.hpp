@@ -61,11 +61,14 @@ struct SubmitOptions {
   int priority = 0;
 };
 
-/// Full task description: name (traces only), data dependencies, priority.
+/// Full task description: name (traces only), data dependencies,
+/// priority, and optionally the task's useful FLOP count (profiler
+/// reports achieved GFLOP/s per task class when set).
 struct TaskDesc {
   std::string name;
   std::vector<Dep> deps;
   int priority = 0;
+  double flops = 0.0;
 };
 
 /// Opaque coalescing key for `submit_batchable`.  Tasks sharing a key are

@@ -320,9 +320,11 @@ TEST(DistCholesky, FactorIsBitwiseRankCountInvariant) {
   const PrecisionMap map =
       band_precision_map(nt, 0.34, Precision::kFp16, Precision::kFp32);
   const SymmetricTileMatrix reference = reference_factor(n, ts, map);
-  std::vector<int> rank_counts{1, 2, 4};
+  // 7 adds a 1x7 grid where some ranks own no tiles (and exercises the
+  // packed GEMM engine's rank-count invariance at a non-power-of-two).
+  std::vector<int> rank_counts{1, 2, 4, 7};
   const int env_ranks = dist::configured_ranks();
-  if (env_ranks > 1 && env_ranks != 2 && env_ranks != 4) {
+  if (env_ranks > 1 && env_ranks != 2 && env_ranks != 4 && env_ranks != 7) {
     rank_counts.push_back(env_ranks);  // KGWAS_RANKS CI job coverage
   }
   for (const int ranks : rank_counts) {
@@ -460,9 +462,9 @@ TEST(DistKrr, PipelineIsBitwiseRankCountInvariant) {
   model.fit(rt, split.train, config);
   const Matrix<float> ref_predictions = model.predict(rt, split.test);
 
-  std::vector<int> rank_counts{1, 2, 4};
+  std::vector<int> rank_counts{1, 2, 4, 7};
   const int env_ranks = dist::configured_ranks();
-  if (env_ranks > 1 && env_ranks != 2 && env_ranks != 4) {
+  if (env_ranks > 1 && env_ranks != 2 && env_ranks != 4 && env_ranks != 7) {
     rank_counts.push_back(env_ranks);
   }
   for (const int ranks : rank_counts) {

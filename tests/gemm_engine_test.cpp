@@ -1,0 +1,459 @@
+// Property-based packed-vs-reference comparison for the cache-blocked
+// SIMD GEMM/SYRK engine (mpblas/kernels.hpp): random shapes and strides
+// (m, n, k not multiples of MR/NR, lda > m), all Trans combinations,
+// alpha/beta in {0, 1, -1, 0.5}, per-precision tolerances, kc-remainder
+// panels, prepacked bitwise identity, and the TilePool-stats assertion
+// that narrow-storage tile GEMMs no longer materialize full-tile FP32
+// operand scratch.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstring>
+#include <optional>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "linalg/tile_kernels.hpp"
+#include "mpblas/batch.hpp"
+#include "mpblas/blas.hpp"
+#include "mpblas/kernels.hpp"
+#include "mpblas/mixed.hpp"
+#include "precision/convert.hpp"
+#include "tile/tile.hpp"
+#include "tile/tile_pool.hpp"
+
+namespace kgwas {
+namespace {
+
+namespace kernels = mpblas::kernels;
+
+/// Restores the backend/blocking overrides on scope exit so test order
+/// never leaks engine configuration.
+struct ScopedEngineConfig {
+  ~ScopedEngineConfig() {
+    kernels::set_gemm_backend(std::nullopt);
+    kernels::set_gemm_blocking(std::nullopt);
+  }
+};
+
+std::vector<float> random_buffer(std::size_t n, Rng& rng) {
+  std::vector<float> out(n);
+  for (auto& v : out) v = static_cast<float>(rng.normal());
+  return out;
+}
+
+/// Packed and reference kernels sum in different orders, so elements can
+/// differ by a few ULPs per accumulated term.
+void expect_close(const std::vector<float>& got,
+                  const std::vector<float>& want, std::size_t k,
+                  const std::string& label, float tol_scale = 1.0f) {
+  ASSERT_EQ(got.size(), want.size());
+  const float tol =
+      tol_scale * 1e-5f * (1.0f + std::sqrt(static_cast<float>(k + 1)));
+  for (std::size_t i = 0; i < got.size(); ++i) {
+    const float bound = tol * (1.0f + std::fabs(want[i]));
+    EXPECT_NEAR(got[i], want[i], bound) << label << " element " << i;
+  }
+}
+
+struct GemmCase {
+  std::size_t m, n, k;
+  Trans ta, tb;
+  float alpha, beta;
+  std::size_t pad_a, pad_b, pad_c;
+};
+
+void run_gemm_case(const GemmCase& gc, Rng& rng) {
+  const std::size_t a_rows = gc.ta == Trans::kNoTrans ? gc.m : gc.k;
+  const std::size_t a_cols = gc.ta == Trans::kNoTrans ? gc.k : gc.m;
+  const std::size_t b_rows = gc.tb == Trans::kNoTrans ? gc.k : gc.n;
+  const std::size_t b_cols = gc.tb == Trans::kNoTrans ? gc.n : gc.k;
+  const std::size_t lda = a_rows + gc.pad_a;
+  const std::size_t ldb = b_rows + gc.pad_b;
+  const std::size_t ldc = gc.m + gc.pad_c;
+
+  const std::vector<float> a = random_buffer(lda * a_cols, rng);
+  const std::vector<float> b = random_buffer(ldb * b_cols, rng);
+  const std::vector<float> c0 = random_buffer(ldc * gc.n, rng);
+
+  std::vector<float> c_ref = c0;
+  kernels::set_gemm_backend(kernels::GemmBackend::kReference);
+  gemm(gc.ta, gc.tb, gc.m, gc.n, gc.k, gc.alpha, a.data(), lda, b.data(), ldb,
+       gc.beta, c_ref.data(), ldc);
+
+  std::vector<float> c_packed = c0;
+  kernels::set_gemm_backend(kernels::GemmBackend::kPacked);
+  gemm(gc.ta, gc.tb, gc.m, gc.n, gc.k, gc.alpha, a.data(), lda, b.data(), ldb,
+       gc.beta, c_packed.data(), ldc);
+
+  // Padding rows between columns of C must never be touched.
+  for (std::size_t j = 0; j < gc.n; ++j) {
+    for (std::size_t i = gc.m; i < ldc; ++i) {
+      ASSERT_EQ(c_packed[i + j * ldc], c0[i + j * ldc])
+          << "C padding touched at (" << i << ", " << j << ")";
+    }
+  }
+  expect_close(c_packed, c_ref, gc.k,
+               "gemm m=" + std::to_string(gc.m) + " n=" +
+                   std::to_string(gc.n) + " k=" + std::to_string(gc.k));
+}
+
+TEST(GemmEngineTest, PackedMatchesReferenceOverRandomShapes) {
+  ScopedEngineConfig restore;
+  Rng rng(20260730);
+  const Trans kTrans[] = {Trans::kNoTrans, Trans::kTrans};
+  const float kAlphas[] = {0.0f, 1.0f, -1.0f, 0.5f};
+  const float kBetas[] = {0.0f, 1.0f, -1.0f, 0.5f};
+  for (int iter = 0; iter < 60; ++iter) {
+    GemmCase gc;
+    gc.m = 1 + rng.uniform_index(97);
+    gc.n = 1 + rng.uniform_index(97);
+    gc.k = 1 + rng.uniform_index(97);
+    gc.ta = kTrans[rng.uniform_index(2)];
+    gc.tb = kTrans[rng.uniform_index(2)];
+    gc.alpha = kAlphas[rng.uniform_index(4)];
+    gc.beta = kBetas[rng.uniform_index(4)];
+    gc.pad_a = rng.uniform_index(5);
+    gc.pad_b = rng.uniform_index(5);
+    gc.pad_c = rng.uniform_index(5);
+    run_gemm_case(gc, rng);
+  }
+}
+
+TEST(GemmEngineTest, KcRemainderPanels) {
+  ScopedEngineConfig restore;
+  Rng rng(7);
+  // Deliberately small, non-MR/NR-multiple blocking so every k below
+  // exercises full kc panels, a remainder panel, or both — and mc/nc
+  // remainders land on partial micro-tiles.
+  kernels::set_gemm_blocking(kernels::Blocking{12, 16, 18});
+  for (std::size_t k : {std::size_t{1}, std::size_t{15}, std::size_t{16},
+                        std::size_t{17}, std::size_t{32}, std::size_t{33},
+                        std::size_t{47}}) {
+    GemmCase gc{13, 19, k,   Trans::kNoTrans, Trans::kTrans,
+                1.0f, 0.5f, 2, 1,             3};
+    run_gemm_case(gc, rng);
+    GemmCase gc2{25, 7,  k, Trans::kTrans, Trans::kNoTrans,
+                 -1.0f, 1.0f, 0, 2,           1};
+    run_gemm_case(gc2, rng);
+  }
+}
+
+TEST(GemmEngineTest, SyrkPackedMatchesReferenceAndMasksTriangle) {
+  ScopedEngineConfig restore;
+  Rng rng(11);
+  const float kScales[] = {0.0f, 1.0f, -1.0f, 0.5f};
+  for (int iter = 0; iter < 30; ++iter) {
+    const std::size_t n = 1 + rng.uniform_index(70);
+    const std::size_t k = 1 + rng.uniform_index(70);
+    const Trans trans = rng.uniform_index(2) == 0 ? Trans::kNoTrans
+                                                  : Trans::kTrans;
+    const Uplo uplo = rng.uniform_index(2) == 0 ? Uplo::kLower : Uplo::kUpper;
+    const float alpha = kScales[rng.uniform_index(4)];
+    const float beta = kScales[rng.uniform_index(4)];
+    const std::size_t a_rows = trans == Trans::kNoTrans ? n : k;
+    const std::size_t a_cols = trans == Trans::kNoTrans ? k : n;
+    const std::size_t lda = a_rows + rng.uniform_index(4);
+    const std::size_t ldc = n + rng.uniform_index(4);
+    const std::vector<float> a = random_buffer(lda * a_cols, rng);
+    const std::vector<float> c0 = random_buffer(ldc * n, rng);
+
+    std::vector<float> c_ref = c0;
+    kernels::set_gemm_backend(kernels::GemmBackend::kReference);
+    syrk(uplo, trans, n, k, alpha, a.data(), lda, beta, c_ref.data(), ldc);
+
+    std::vector<float> c_packed = c0;
+    kernels::set_gemm_backend(kernels::GemmBackend::kPacked);
+    syrk(uplo, trans, n, k, alpha, a.data(), lda, beta, c_packed.data(), ldc);
+
+    // Only the uplo triangle may be referenced; everything else must be
+    // byte-identical to the input (including the ldc padding rows).
+    const bool lower = uplo == Uplo::kLower;
+    for (std::size_t j = 0; j < n; ++j) {
+      for (std::size_t i = 0; i < ldc; ++i) {
+        const bool in_triangle =
+            i < n && (lower ? i >= j : i <= j);
+        if (!in_triangle) {
+          ASSERT_EQ(c_packed[i + j * ldc], c0[i + j * ldc])
+              << "out-of-triangle element touched at (" << i << ", " << j
+              << ")";
+        }
+      }
+    }
+    expect_close(c_packed, c_ref, k, "syrk n=" + std::to_string(n));
+  }
+}
+
+TEST(GemmEngineTest, BlockedTrsmMatchesReference) {
+  ScopedEngineConfig restore;
+  Rng rng(13);
+  // n > 64 triggers the blocked rank-k-update path of the packed TRSM.
+  for (std::size_t n : {std::size_t{65}, std::size_t{96}, std::size_t{130}}) {
+    const std::size_t m = 37;
+    std::vector<float> l = random_buffer(n * n, rng);
+    for (std::size_t j = 0; j < n; ++j) {
+      l[j + j * n] = 2.0f + std::fabs(l[j + j * n]);  // well-conditioned
+    }
+    const std::vector<float> b0 = random_buffer(m * n, rng);
+
+    std::vector<float> b_ref = b0;
+    kernels::set_gemm_backend(kernels::GemmBackend::kReference);
+    trsm(Side::kRight, Uplo::kLower, Trans::kTrans, Diag::kNonUnit, m, n,
+         1.0f, l.data(), n, b_ref.data(), m);
+
+    std::vector<float> b_packed = b0;
+    kernels::set_gemm_backend(kernels::GemmBackend::kPacked);
+    trsm(Side::kRight, Uplo::kLower, Trans::kTrans, Diag::kNonUnit, m, n,
+         1.0f, l.data(), n, b_packed.data(), m);
+
+    // Forward-substitution error compounds across columns; loosen by the
+    // column count.
+    expect_close(b_packed, b_ref, n, "trsm n=" + std::to_string(n), 20.0f);
+  }
+}
+
+Tile random_tile(std::size_t rows, std::size_t cols, Precision precision,
+                 Rng& rng) {
+  Matrix<float> values(rows, cols);
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    values.data()[i] = static_cast<float>(rng.normal());
+  }
+  Tile t(rows, cols, precision);
+  t.from_fp32(values);
+  return t;
+}
+
+TEST(GemmEngineTest, TileGemmPackedMatchesReferencePerPrecision) {
+  ScopedEngineConfig restore;
+  Rng rng(17);
+  // Same decoded operand values feed both backends, so the FP32 results
+  // differ only by summation order — but both are then re-encoded into
+  // the C tile's storage precision, where a sub-ULP FP32 difference can
+  // cross a rounding boundary.  The per-precision tolerance therefore
+  // adds a couple of storage ULPs on top of the order term.
+  for (Precision precision : {Precision::kFp32, Precision::kFp16,
+                              Precision::kBf16, Precision::kFp8E4M3}) {
+    for (std::size_t ts : {std::size_t{33}, std::size_t{64}}) {
+      const Tile a = random_tile(ts, ts, precision, rng);
+      const Tile b = random_tile(ts, ts, precision, rng);
+      const Tile c0 = random_tile(ts, ts, precision, rng);
+
+      Tile c_ref = c0;
+      kernels::set_gemm_backend(kernels::GemmBackend::kReference);
+      tile_gemm(a, b, c_ref);
+
+      Tile c_packed = c0;
+      kernels::set_gemm_backend(kernels::GemmBackend::kPacked);
+      tile_gemm(a, b, c_packed);
+
+      const Matrix<float> ref = c_ref.to_fp32();
+      const Matrix<float> got = c_packed.to_fp32();
+      const float order_tol =
+          1e-5f * (1.0f + std::sqrt(static_cast<float>(ts + 1)));
+      const float storage_tol =
+          3.0f * static_cast<float>(unit_roundoff(precision));
+      for (std::size_t i = 0; i < ref.size(); ++i) {
+        const float want = ref.data()[i];
+        const float bound =
+            (order_tol + storage_tol) * (1.0f + std::fabs(want));
+        EXPECT_NEAR(got.data()[i], want, bound)
+            << "tile_gemm " << to_string(precision) << " element " << i;
+      }
+    }
+  }
+}
+
+TEST(GemmEngineTest, PrepackedABitwiseIdenticalToPlainPacked) {
+  ScopedEngineConfig restore;
+  kernels::set_gemm_backend(kernels::GemmBackend::kPacked);
+  Rng rng(19);
+  for (Precision precision : {Precision::kFp32, Precision::kFp16}) {
+    const std::size_t ts = 48;
+    const Tile a = random_tile(ts, ts, precision, rng);
+    kernels::PackedA packed;
+    pack_tile_a(packed, a);
+    for (int g = 0; g < 4; ++g) {
+      const Tile b = random_tile(ts, ts, precision, rng);
+      const std::vector<float> c0 = random_buffer(ts * ts, rng);
+      std::vector<float> c_plain = c0;
+      kernels::gemm_view(ts, ts, ts, -1.0f,
+                         tile_operand_view(a, Trans::kNoTrans),
+                         tile_operand_view(b, Trans::kTrans), 1.0f,
+                         c_plain.data(), ts);
+      std::vector<float> c_pre = c0;
+      kernels::gemm_prepacked(ts, ts, ts, -1.0f, packed,
+                              tile_operand_view(b, Trans::kTrans), 1.0f,
+                              c_pre.data(), ts);
+      EXPECT_EQ(std::memcmp(c_plain.data(), c_pre.data(),
+                            c_plain.size() * sizeof(float)),
+                0)
+          << "prepacked-A GEMM diverged for " << to_string(precision);
+    }
+  }
+}
+
+TEST(GemmEngineTest, BatchScopeSharedPackingBitwiseIdentical) {
+  ScopedEngineConfig restore;
+  kernels::set_gemm_backend(kernels::GemmBackend::kPacked);
+  Rng rng(23);
+  const std::size_t ts = 40;
+  const Tile a = random_tile(ts, ts, Precision::kFp16, rng);
+  std::vector<Tile> bs, c_solo, c_scoped;
+  for (int g = 0; g < 6; ++g) {
+    bs.push_back(random_tile(ts, ts, Precision::kFp16, rng));
+    const Tile c0 = random_tile(ts, ts, Precision::kFp16, rng);
+    c_solo.push_back(c0);
+    c_scoped.push_back(c0);
+  }
+  for (std::size_t g = 0; g < bs.size(); ++g) tile_gemm(a, bs[g], c_solo[g]);
+  {
+    mpblas::batch::BatchScope scope;
+    for (std::size_t g = 0; g < bs.size(); ++g) {
+      tile_gemm(a, bs[g], c_scoped[g]);
+    }
+    // The shared panel was packed once, then reused.
+    EXPECT_GE(scope.hits(), bs.size() - 1);
+  }
+  for (std::size_t g = 0; g < bs.size(); ++g) {
+    EXPECT_EQ(std::memcmp(c_solo[g].raw(), c_scoped[g].raw(),
+                          c_solo[g].storage_bytes()),
+              0)
+        << "scope-shared packing diverged at group member " << g;
+  }
+}
+
+TEST(GemmEngineTest, PrepackedWeightsBlockBitwiseIdentical) {
+  // The predict-chain shape: each task streams its own kernel tile as A,
+  // the group shares a packed FP32 weights block as B (packed_view_b).
+  ScopedEngineConfig restore;
+  kernels::set_gemm_backend(kernels::GemmBackend::kPacked);
+  Rng rng(41);
+  const std::size_t ts = 48, nrhs = 5;
+  const std::vector<float> weights = random_buffer(ts * nrhs, rng);
+  const auto wview =
+      kernels::fp32_view(weights.data(), ts, Trans::kNoTrans);
+  mpblas::batch::BatchScope scope;
+  const kernels::PackedB* packed = scope.packed_view_b(wview, ts, nrhs);
+  ASSERT_NE(packed, nullptr);
+  EXPECT_NE(scope.packed_view_b(wview, ts, nrhs), nullptr);
+  EXPECT_EQ(scope.hits(), 1u);  // second lookup reuses the packed block
+  for (int g = 0; g < 4; ++g) {
+    const Tile tile = random_tile(ts, ts, Precision::kFp16, rng);
+    std::vector<float> c_view = random_buffer(ts * nrhs, rng);
+    std::vector<float> c_pre = c_view;
+    kernels::gemm_view(ts, nrhs, ts, 1.0f,
+                       tile_operand_view(tile, Trans::kNoTrans), wview, 1.0f,
+                       c_view.data(), ts);
+    kernels::gemm_prepacked_b(ts, nrhs, ts, 1.0f,
+                              tile_operand_view(tile, Trans::kNoTrans),
+                              *packed, 1.0f, c_pre.data(), ts);
+    EXPECT_EQ(std::memcmp(c_view.data(), c_pre.data(),
+                          c_view.size() * sizeof(float)),
+              0)
+        << "prepacked-B GEMM diverged at chain link " << g;
+  }
+}
+
+TEST(GemmEngineTest, BatchScopeSharedBPackingBitwiseIdentical) {
+  // The Cholesky trailing-update shape: one panel-column tile b shared as
+  // the (transposed) right operand by GEMMs with distinct left tiles.
+  ScopedEngineConfig restore;
+  kernels::set_gemm_backend(kernels::GemmBackend::kPacked);
+  Rng rng(37);
+  const std::size_t ts = 40;
+  const Tile b = random_tile(ts, ts, Precision::kFp8E4M3, rng);
+  std::vector<Tile> as, c_solo, c_scoped;
+  for (int g = 0; g < 6; ++g) {
+    as.push_back(random_tile(ts, ts, Precision::kFp8E4M3, rng));
+    const Tile c0 = random_tile(ts, ts, Precision::kFp8E4M3, rng);
+    c_solo.push_back(c0);
+    c_scoped.push_back(c0);
+  }
+  for (std::size_t g = 0; g < as.size(); ++g) tile_gemm(as[g], b, c_solo[g]);
+  {
+    mpblas::batch::BatchScope scope;
+    for (std::size_t g = 0; g < as.size(); ++g) {
+      tile_gemm(as[g], b, c_scoped[g]);
+    }
+    // The shared panel column was packed once, then reused.
+    EXPECT_GE(scope.hits(), as.size() - 1);
+  }
+  for (std::size_t g = 0; g < as.size(); ++g) {
+    EXPECT_EQ(std::memcmp(c_solo[g].raw(), c_scoped[g].raw(),
+                          c_solo[g].storage_bytes()),
+              0)
+        << "scope-shared B packing diverged at group member " << g;
+  }
+}
+
+TEST(GemmEngineTest, NarrowTileGemmAllocatesNoOperandScratch) {
+  ScopedEngineConfig restore;
+  Rng rng(29);
+  const std::size_t ts = 64;
+  constexpr int kOps = 8;
+  TilePool& pool = TilePool::global();
+
+  auto acquires = [&pool] {
+    const TilePool::Stats s = pool.stats();
+    return s.fresh_allocations + s.reuses;
+  };
+
+  for (Precision precision : {Precision::kFp16, Precision::kFp8E4M3}) {
+    const Tile a = random_tile(ts, ts, precision, rng);
+    const Tile b = random_tile(ts, ts, precision, rng);
+    Tile c = random_tile(ts, ts, precision, rng);
+
+    // Packed backend: after a warm-up (thread-local pack buffers sized,
+    // pool size classes primed), each tile GEMM acquires exactly one
+    // pooled buffer — the FP32 decode of the read-modify-write C tile.
+    // A and B are packed straight from storage (decode-on-pack): no
+    // full-tile FP32 operand scratch is allocated or filled.
+    kernels::set_gemm_backend(kernels::GemmBackend::kPacked);
+    tile_gemm(a, b, c);  // warm-up
+    const std::uint64_t before_packed = acquires();
+    for (int i = 0; i < kOps; ++i) tile_gemm(a, b, c);
+    const std::uint64_t packed_per_op =
+        (acquires() - before_packed) / kOps;
+    EXPECT_EQ(packed_per_op, 1u)
+        << to_string(precision)
+        << ": packed tile GEMM should acquire only the C scratch";
+
+    // Reference backend: the same op decodes A, B and C into pooled
+    // full-tile scratch — three acquires per op.
+    kernels::set_gemm_backend(kernels::GemmBackend::kReference);
+    tile_gemm(a, b, c);  // warm-up
+    const std::uint64_t before_ref = acquires();
+    for (int i = 0; i < kOps; ++i) tile_gemm(a, b, c);
+    const std::uint64_t ref_per_op = (acquires() - before_ref) / kOps;
+    EXPECT_EQ(ref_per_op, 3u)
+        << to_string(precision)
+        << ": reference tile GEMM decodes all three tiles";
+  }
+}
+
+TEST(GemmEngineTest, MixedTcGemmMatchesReferenceRounding) {
+  ScopedEngineConfig restore;
+  Rng rng(31);
+  for (Precision precision :
+       {Precision::kFp16, Precision::kBf16, Precision::kFp8E4M3}) {
+    const std::size_t m = 45, n = 38, k = 51;
+    const std::vector<float> a = random_buffer(m * k, rng);
+    const std::vector<float> b = random_buffer(n * k, rng);  // used as B^T
+    const std::vector<float> c0 = random_buffer(m * n, rng);
+
+    std::vector<float> c_ref = c0;
+    kernels::set_gemm_backend(kernels::GemmBackend::kReference);
+    gemm_tc(precision, Trans::kNoTrans, Trans::kTrans, m, n, k, 1.0f,
+            a.data(), m, b.data(), n, 0.5f, c_ref.data(), m);
+
+    std::vector<float> c_packed = c0;
+    kernels::set_gemm_backend(kernels::GemmBackend::kPacked);
+    gemm_tc(precision, Trans::kNoTrans, Trans::kTrans, m, n, k, 1.0f,
+            a.data(), m, b.data(), n, 0.5f, c_packed.data(), m);
+
+    expect_close(c_packed, c_ref, k, "gemm_tc " + to_string(precision));
+  }
+}
+
+}  // namespace
+}  // namespace kgwas
