@@ -4,6 +4,7 @@
 // in for on GPU hardware.
 #include <benchmark/benchmark.h>
 
+#include <cmath>
 #include <vector>
 
 #include <string>
@@ -12,6 +13,7 @@
 #include "common/rng.hpp"
 #include "gwas/cohort_simulator.hpp"
 #include "krr/build.hpp"
+#include "linalg/precision_policy.hpp"
 #include "linalg/tile_kernels.hpp"
 #include "linalg/tiled_cholesky.hpp"
 #include "precision/convert.hpp"
@@ -287,6 +289,76 @@ void BM_TiledPotrfBatchDispatch(benchmark::State& state) {
   state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
                           static_cast<std::int64_t>(n * n * n / 3));
 }
+/// Breakdown-recovery overhead: factorize a near-singular clustered
+/// kernel under an all-fp8 band map with escalation (arg = 1) vs the
+/// same matrix under the recovered map directly (arg = 0, the
+/// no-breakdown baseline).  The FactorizationReport counters land in the
+/// bench JSON so the retry cost (attempts, escalations, tiles promoted)
+/// is tracked across PRs.
+void BM_PotrfEscalationRecovery(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto tile_size = static_cast<std::size_t>(state.range(1));
+  const bool escalating = state.range(2) != 0;
+
+  // Clustered RBF kernel: near-duplicate points per 8-cluster make
+  // lambda_min tiny, so the fp8 map deterministically breaks down.
+  Rng rng(42);
+  std::vector<double> x(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    x[i] = static_cast<double>(i / 8) + 0.01 * rng.normal();
+  }
+  Matrix<float> kernel(n, n);
+  for (std::size_t j = 0; j < n; ++j) {
+    for (std::size_t i = 0; i < n; ++i) {
+      const double d = x[i] - x[j];
+      kernel(i, j) = static_cast<float>(std::exp(-0.5 * d * d));
+    }
+    kernel(j, j) += 0.02f;
+  }
+  SymmetricTileMatrix source(n, tile_size);
+  source.from_dense(kernel);
+  const PrecisionMap fp8_map =
+      band_precision_map(source.tile_count(), 0.0, Precision::kFp8E4M3);
+
+  Runtime rt(4);
+  // Discover the recovered map once; the baseline factors under it
+  // directly (what an oracle precision policy would have planned).
+  TiledPotrfOptions options;
+  options.on_breakdown = BreakdownAction::kEscalate;
+  options.max_escalations = 16;
+  options.source = &source;
+  FactorizationReport report;
+  options.report = &report;
+  SymmetricTileMatrix tiled = source;
+  fp8_map.apply(tiled);
+  tiled_potrf(rt, tiled, options);
+  const PrecisionMap recovered_map = report.final_map;
+  const PrecisionMap& start_map = escalating ? fp8_map : recovered_map;
+
+  FactorizationReport last;
+  options.report = &last;
+  for (auto _ : state) {
+    state.PauseTiming();
+    tiled = source;
+    start_map.apply(tiled);
+    state.ResumeTiming();
+    tiled_potrf(rt, tiled, options);
+  }
+  state.SetLabel(escalating ? "escalate" : "oracle-map");
+  state.counters["attempts"] = static_cast<double>(last.attempts);
+  state.counters["escalations"] = static_cast<double>(last.escalations());
+  state.counters["tiles_promoted"] =
+      static_cast<double>(last.tiles_promoted);
+  const RecoveryStats recovery = rt.profiler().recovery_stats();
+  state.counters["total_escalations"] =
+      static_cast<double>(recovery.escalations);
+}
+BENCHMARK(BM_PotrfEscalationRecovery)
+    ->Args({512, 32, 1})
+    ->Args({512, 32, 0})
+    ->ArgNames({"n", "ts", "escalate"})
+    ->Unit(benchmark::kMillisecond);
+
 BENCHMARK(BM_TiledPotrfBatchDispatch)
     ->Args({1024, 32, 1})
     ->Args({1024, 32, 0})

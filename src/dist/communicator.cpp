@@ -43,6 +43,8 @@ Message Communicator::recv(std::uint64_t tag) { return do_recv(tag); }
 
 Message Communicator::recv_any() { return do_recv_any(); }
 
+std::size_t Communicator::discard_pending() { return do_discard_pending(); }
+
 void Communicator::barrier() {
   const std::uint64_t epoch = collective_epoch_++;
   if (size() == 1) return;
@@ -167,6 +169,25 @@ class InProcessWorld::RankComm final : public Communicator {
       }
       wait_and_drain();
     }
+  }
+
+  std::size_t do_discard_pending() override {
+    // Pull whatever is already delivered (non-blocking), then drop every
+    // application frame; reserved collective frames stay pending so a
+    // racing collective protocol is never corrupted.
+    const std::size_t before = pending_.size();
+    mailbox_.drain(pending_);
+    seen_ += pending_.size() - before;
+    std::size_t discarded = 0;
+    for (auto it = pending_.begin(); it != pending_.end();) {
+      if ((it->tag & kReservedTagBit) == 0) {
+        it = pending_.erase(it);
+        ++discarded;
+      } else {
+        ++it;
+      }
+    }
+    return discarded;
   }
 
  private:

@@ -101,6 +101,16 @@ class Communicator {
   /// Replicates `data` from `root` to every rank.
   void broadcast(int root, std::vector<std::byte>& data);
 
+  /// Discards every *application* frame currently queued or pending at
+  /// this endpoint (reserved collective-protocol frames are preserved);
+  /// returns the number discarded.  Single-consumer, like recv.  The
+  /// breakdown-recovery protocol calls this between two barriers to
+  /// flush stale tile frames of an aborted factorization attempt: after
+  /// the first barrier every rank has drained its runtime (so every
+  /// frame of the attempt is already delivered), and no rank re-enters
+  /// the factorization (and re-sends) until after the second.
+  std::size_t discard_pending();
+
   /// Adds tile payload bytes to the per-precision ledger (called by the
   /// tile transport at send time).
   void record_tile_payload(Precision precision, std::uint64_t bytes) noexcept;
@@ -113,6 +123,7 @@ class Communicator {
                        std::vector<std::byte> payload) = 0;
   virtual Message do_recv(std::uint64_t tag) = 0;
   virtual Message do_recv_any() = 0;
+  virtual std::size_t do_discard_pending() = 0;
 
  private:
   // Collective sequence number; advances identically on every rank under

@@ -1,5 +1,7 @@
 #include "dist/dist_cholesky.hpp"
 
+#include <optional>
+#include <string>
 #include <unordered_map>
 #include <vector>
 
@@ -7,6 +9,7 @@
 #include "dist/cholesky_comm_pattern.hpp"
 #include "dist/progress.hpp"
 #include "dist/tile_transport.hpp"
+#include "linalg/precision_policy.hpp"
 #include "linalg/tile_kernels.hpp"
 #include "linalg/tiled_cholesky.hpp"
 #include "mpblas/batch.hpp"
@@ -40,23 +43,26 @@ class HandleMap {
   std::unordered_map<std::uint64_t, DataHandle> handles_;
 };
 
-}  // namespace
+/// Wake-up tag of the breakdown-recovery protocol (payload-free; the
+/// authoritative verdict travels through the status allreduce).
+constexpr std::uint64_t breakdown_wakeup_tag() {
+  return make_tile_tag(Phase::kBreakdown, 0, 0);
+}
 
-void dist_tiled_potrf(Runtime& runtime, Communicator& comm,
-                      DistSymmetricTileMatrix& a,
-                      const DistPotrfOptions& options) {
+/// One factorization attempt: submit this rank's tasks, run the progress
+/// loop (watching for breakdown wake-ups), and drain the runtime.
+/// Returns the failing global minor index of a *local* POTRF breakdown
+/// (0 when this rank's tasks all succeeded); non-numerical task errors
+/// propagate (fatal for the world).
+long dist_potrf_attempt(Runtime& runtime, Communicator& comm,
+                        DistSymmetricTileMatrix& a,
+                        const DistPotrfOptions& options,
+                        const PrecisionMap* map) {
   const std::size_t nt = a.tile_count();
-  if (nt == 0) {
-    comm.barrier();
-    return;
-  }
   const int me = comm.rank();
   const ProcessGrid& grid = a.grid();
-  KGWAS_CHECK_ARG(grid.ranks() == comm.size(),
-                  "matrix grid does not match the communicator world");
   const std::size_t ts = a.tile_size();
   const int base = options.base_priority;
-  const PrecisionMap* map = options.precision_map;
   const bool batch = options.batch_trailing_update && map != nullptr;
 
   HandleMap local_handle(runtime);
@@ -181,8 +187,160 @@ void dist_tiled_potrf(Runtime& runtime, Communicator& comm,
     }
   }
 
-  drain_expected(runtime, comm, expected);
-  runtime.wait();
+  // Progress loop with the breakdown watch armed: a kBreakdown frame
+  // (sent by the failing rank's error callback to every rank, itself
+  // included) cancels this rank's not-yet-run tasks and force-signals
+  // the recv events that can no longer happen, so the graph drains.
+  drain_expected(runtime, comm, expected, breakdown_wakeup_tag());
+  try {
+    runtime.wait();
+  } catch (const NumericalError& e) {
+    return e.index() > 0 ? e.index() : -1;
+  }
+  return 0;
+}
+
+/// Restores this rank's owned tiles from the rollback source via the
+/// shared restore_tile re-encode (identical semantics to the
+/// shared-memory restore, keeping the recovered factor bitwise
+/// rank-invariant).
+void restore_owned_tiles(DistSymmetricTileMatrix& a,
+                         const DistSymmetricTileMatrix& source,
+                         const PrecisionMap& map) {
+  const std::size_t nt = a.tile_count();
+  for (std::size_t tj = 0; tj < nt; ++tj) {
+    for (std::size_t ti = tj; ti < nt; ++ti) {
+      if (!a.is_local(ti, tj)) continue;
+      restore_tile(a.tile(ti, tj), source.tile(ti, tj), map.get(ti, tj));
+    }
+  }
+}
+
+}  // namespace
+
+void dist_tiled_potrf(Runtime& runtime, Communicator& comm,
+                      DistSymmetricTileMatrix& a,
+                      const DistPotrfOptions& options) {
+  const std::size_t nt = a.tile_count();
+  FactorizationReport scratch;
+  FactorizationReport& report = options.report ? *options.report : scratch;
+  report = FactorizationReport{};
+  if (nt == 0) {
+    report.attempts = 1;
+    comm.barrier();
+    return;
+  }
+  KGWAS_CHECK_ARG(a.grid().ranks() == comm.size(),
+                  "matrix grid does not match the communicator world");
+  const bool escalate = options.on_breakdown == BreakdownAction::kEscalate;
+  KGWAS_CHECK_ARG(!escalate || options.precision_map != nullptr,
+                  "distributed breakdown escalation requires a precision map");
+
+  // Any task failure wakes every rank's progress loop; the frames carry
+  // no authority (the status allreduce below does), they only unpark
+  // recv_any.  The callback is scoped to this factorization.
+  struct CallbackGuard {
+    Runtime& runtime;
+    ~CallbackGuard() { runtime.set_error_callback(nullptr); }
+  } guard{runtime};
+  runtime.set_error_callback([&comm](const std::exception_ptr&) {
+    for (int r = 0; r < comm.size(); ++r) {
+      comm.send(r, breakdown_wakeup_tag(), {});
+    }
+  });
+
+  PrecisionMap current =
+      options.precision_map ? *options.precision_map : PrecisionMap{};
+  const Precision working =
+      options.precision_map ? current.get(0, 0) : Precision::kFp32;
+  std::optional<DistSymmetricTileMatrix> snapshot;
+  const DistSymmetricTileMatrix* rollback = nullptr;
+  if (escalate) {
+    rollback = options.source;
+    if (rollback != nullptr) {
+      KGWAS_CHECK_ARG(rollback->n() == a.n() &&
+                          rollback->tile_size() == a.tile_size(),
+                      "escalation source geometry mismatch");
+    } else {
+      snapshot.emplace(a);
+      rollback = &*snapshot;
+    }
+  }
+
+  for (int attempt = 0;; ++attempt) {
+    report.attempts = attempt + 1;
+    const long local_failing = dist_potrf_attempt(
+        runtime, comm, a, options,
+        options.precision_map ? &current : nullptr);
+
+    // Deterministic world-wide verdict: each diagonal owner contributes
+    // the failing minor of its own failed POTRF.  At most one POTRF
+    // throws per attempt globally — every later POTRF transitively
+    // depends on the throwing one (panel TRSMs -> trailing updates) and
+    // is cancelled — so the summed vector is identical on every rank and
+    // independent of scheduling, which keeps the escalated map (and the
+    // recovered factor) bitwise rank-invariant.
+    std::vector<double> status(nt, 0.0);
+    if (local_failing != 0) {
+      status[potrf_breakdown_tile(local_failing, a.tile_size(), nt)] =
+          static_cast<double>(local_failing);
+    }
+    comm.allreduce_sum(status.data(), status.size());
+    std::size_t failing_tile = nt;
+    for (std::size_t t = 0; t < nt; ++t) {
+      if (status[t] != 0.0) {
+        failing_tile = t;
+        break;
+      }
+    }
+    if (failing_tile == nt) {
+      report.recovered = attempt > 0;
+      if (options.precision_map != nullptr) report.final_map = current;
+      break;
+    }
+
+    const long failing_index = static_cast<long>(status[failing_tile]);
+    const std::size_t promoted =
+        escalate && attempt < options.max_escalations
+            ? escalate_step(current, failing_tile, working)
+            : 0;
+    if (promoted == 0) {
+      // kThrow, retries exhausted, or the minor's precision saturated:
+      // every rank throws the same structured error instead of hanging.
+      // Flush exactly like the retry path first (every rank is here, so
+      // the barriers align) — stale wake-up/tile frames of the aborted
+      // attempt must not poison a later protocol on this communicator
+      // (e.g. the caller retrying with a larger alpha).
+      comm.barrier();
+      a.clear_cache();
+      comm.discard_pending();
+      comm.barrier();
+      runtime.profiler().record_recovery(attempt + 1, report.events.size(),
+                                         report.tiles_promoted);
+      throw NumericalError(
+          "distributed tiled Cholesky: leading minor of order " +
+              std::to_string(failing_index) +
+              " is not positive definite (consider a larger regularization "
+              "alpha or higher tile precision)",
+          failing_index);
+    }
+    report.events.push_back(
+        EscalationRecord{failing_tile, failing_index, promoted});
+    report.tiles_promoted += promoted;
+
+    // Roll back and flush the aborted attempt.  Between the two barriers
+    // every frame of the attempt is already delivered (all runtimes have
+    // drained) and none of the next attempt's frames exist yet, so the
+    // flush can never eat live traffic.
+    comm.barrier();
+    restore_owned_tiles(a, *rollback, current);
+    a.clear_cache();
+    comm.discard_pending();
+    comm.barrier();
+  }
+
+  runtime.profiler().record_recovery(report.attempts, report.events.size(),
+                                     report.tiles_promoted);
   // Every consumer of a cached panel tile has completed; drop the cache
   // so peak memory stays bounded to one phase's working set (the solve
   // re-ships the factor tiles it needs under its own tags).

@@ -16,16 +16,28 @@
 // identical** to the single-rank results for every rank count (asserted
 // by the rank-invariance tests).
 //
-// Error handling: numerical failures (non-SPD pivot) propagate out of
-// `Runtime::wait` on the rank that hit them; cross-rank error broadcast
-// is not implemented, so other ranks may block in a collective — treat a
-// throw as fatal for the whole world (exactly MPI semantics).
+// Error handling (breakdown-recovery protocol): a task failure on any
+// rank triggers the runtime's error callback, which broadcasts a
+// Phase::kBreakdown wake-up frame to every rank (itself included) so
+// parked progress loops unblock; the receiving rank cancels its local
+// DAG, force-signals the recv events that can no longer happen, and
+// drains.  The authoritative outcome then travels through a
+// deterministic status allreduce: each diagonal owner contributes the
+// failing minor index of its own failed POTRF (at most one POTRF throws
+// per attempt globally — every later POTRF transitively depends on the
+// throwing one and is cancelled), so every rank derives the identical
+// breakdown verdict.  Under BreakdownAction::kThrow all ranks throw the
+// same NumericalError (structured propagation instead of a hang); under
+// kEscalate all ranks promote the same tile band, roll their owned tiles
+// back, flush stale frames between two barriers, and re-enter the
+// factorization — keeping the recovered factor bitwise rank-invariant.
 #pragma once
 
 #include <cstddef>
 
 #include "dist/communicator.hpp"
 #include "dist/dist_tile_matrix.hpp"
+#include "linalg/factorization_report.hpp"
 #include "mpblas/matrix.hpp"
 #include "runtime/runtime.hpp"
 #include "tile/precision_map.hpp"
@@ -42,8 +54,22 @@ struct DistPotrfOptions {
   /// Tile precision assignment (replicated on every rank); used to build
   /// batch coalescing keys for trailing updates whose input tiles are
   /// remote and not yet materialized at submission time.  May be null:
-  /// trailing updates then run un-batched.
+  /// trailing updates then run un-batched.  Required for kEscalate (the
+  /// escalation state is a map evolution every rank replays identically).
   const PrecisionMap* precision_map = nullptr;
+  /// Numerical-breakdown policy (see linalg/factorization_report.hpp and
+  /// the protocol description above).  kThrow: every rank throws the
+  /// same NumericalError.  kEscalate: promote the failing band, roll
+  /// back, retry — bounded by `max_escalations`.
+  BreakdownAction on_breakdown = BreakdownAction::kThrow;
+  int max_escalations = 8;
+  /// Per-factorization diagnostics; filled on every rank when non-null.
+  FactorizationReport* report = nullptr;
+  /// Escalation rollback source: pre-demotion values of this rank's owned
+  /// tiles (same geometry/distribution as `a`).  When null, a
+  /// storage-precision snapshot of the owned tiles is retained instead
+  /// (see TiledPotrfOptions::source for what each variant can repair).
+  const DistSymmetricTileMatrix* source = nullptr;
 };
 
 /// Factorizes A = L * L^T in place over the owned tiles of every rank.

@@ -1,5 +1,6 @@
 #include "dist/dist_krr.hpp"
 
+#include <optional>
 #include <span>
 #include <utility>
 #include <vector>
@@ -119,12 +120,31 @@ AssociateResult dist_associate(Runtime& runtime, Communicator& comm,
       map_storage_bytes(PrecisionMap(k.tile_count(), Precision::kFp32), k.n(),
                         k.tile_size());
   result.map = dist_plan_precision_map(comm, k, config);
-  k.apply(result.map);
-  result.factor_bytes = map_storage_bytes(result.map, k.n(), k.tile_size());
 
   DistPotrfOptions options;
   options.precision_map = &result.map;
-  dist_tiled_potrf(runtime, comm, k, options);
+  options.on_breakdown = config.on_breakdown;
+  options.max_escalations = config.max_escalations;
+  options.report = &result.report;
+  {
+    // Under escalation keep the pre-demotion owned tiles as the rollback
+    // source (same recovery semantics — and bitwise the same factor — as
+    // the shared-memory associate): a promoted tile is re-encoded from
+    // the original regularized values, and the demoted working set is
+    // the one extra copy of the matrix at storage precision.
+    std::optional<DistSymmetricTileMatrix> source;
+    if (config.on_breakdown == BreakdownAction::kEscalate) {
+      source.emplace(k);
+      options.source = &*source;
+    }
+    k.apply(result.map);
+    result.factor_bytes = map_storage_bytes(result.map, k.n(), k.tile_size());
+    dist_tiled_potrf(runtime, comm, k, options);
+  }
+  if (result.report.recovered) {
+    result.map = result.report.final_map;
+    result.factor_bytes = map_storage_bytes(result.map, k.n(), k.tile_size());
+  }
   result.weights = phenotypes;
   dist_tiled_potrs(runtime, comm, k, result.weights);
   return result;
@@ -304,6 +324,7 @@ DistKrrResult run_dist_krr(int ranks, const GwasDataset& train,
       result.map = assoc.map;
       result.factor_bytes = assoc.factor_bytes;
       result.fp32_bytes = assoc.fp32_bytes;
+      result.report = std::move(assoc.report);
     }
   });
   return result;

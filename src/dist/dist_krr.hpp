@@ -69,10 +69,13 @@ Matrix<float> dist_predict(Runtime& runtime, Communicator& comm,
 struct DistKrrResult {
   Matrix<float> weights;      ///< replicated solution W
   Matrix<float> predictions;  ///< test predictions
-  PrecisionMap map;           ///< precision decisions applied to the factor
+  PrecisionMap map;           ///< precision decisions actually factored
   std::size_t factor_bytes = 0;  ///< global factor storage after conversion
   std::size_t fp32_bytes = 0;    ///< storage had everything stayed FP32
   WireVolume wire;            ///< total world wire volume of the run
+  /// Breakdown-recovery diagnostics of the factorization (identical on
+  /// every rank; reported from rank 0).
+  FactorizationReport report;
 };
 
 /// Convenience harness for tests and benches: spins up an in-process

@@ -32,11 +32,27 @@ using ExpectedMap = std::unordered_map<std::uint64_t, PendingRecv>;
 /// the runtime's workers execute whatever is already unblocked — workers
 /// never block on communication, which is what makes the protocol
 /// deadlock-free for any rank/worker count.
-inline void drain_expected(Runtime& runtime, Communicator& comm,
-                           ExpectedMap& expected) {
+///
+/// `wakeup_tag` (0 = disabled) arms the breakdown-recovery watch: when a
+/// frame with that tag arrives (sent by a failing rank's error callback
+/// to every rank, itself included), the runtime's not-yet-started tasks
+/// are cancelled, every remaining recv event is force-signalled so the
+/// local graph still drains, and the function returns true.  Returns
+/// false on a normal complete drain.
+inline bool drain_expected(Runtime& runtime, Communicator& comm,
+                           ExpectedMap& expected,
+                           std::uint64_t wakeup_tag = 0) {
   try {
     while (!expected.empty()) {
       const Message msg = comm.recv_any();
+      if (wakeup_tag != 0 && msg.tag == wakeup_tag) {
+        runtime.cancel();
+        for (auto& [tag, pending] : expected) {
+          runtime.signal_external(pending.event);
+        }
+        expected.clear();
+        return true;
+      }
       auto it = expected.find(msg.tag);
       KGWAS_CHECK_ARG(it != expected.end(),
                       "received a tile frame no submitted task expects");
@@ -57,6 +73,7 @@ inline void drain_expected(Runtime& runtime, Communicator& comm,
     expected.clear();
     throw;
   }
+  return false;
 }
 
 /// Registers one expected remote tile: creates the recv event (the

@@ -34,6 +34,7 @@ enum class Phase : std::uint64_t {
   kPredictTile = 6,  ///< cross-kernel tiles shipped to row owners
   kPredictGather = 7,///< prediction row blocks, allgather
   kGatherFull = 8,   ///< DistTileMatrix -> root full-matrix gather
+  kBreakdown = 9,    ///< factorization-breakdown wake-up (recovery protocol)
 };
 
 /// Application tag of tile (ti, tj) in `phase`; ti/tj < 2^24.

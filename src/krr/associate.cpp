@@ -47,10 +47,34 @@ AssociateResult associate(Runtime& runtime, SymmetricTileMatrix& k,
       map_storage_bytes(PrecisionMap(k.tile_count(), Precision::kFp32), k.n(),
                         k.tile_size());
   result.map = plan_precision_map(k, config);
-  result.map.apply(k);
-  result.factor_bytes = k.storage_bytes();
 
-  tiled_potrf(runtime, k);
+  TiledPotrfOptions options;
+  options.on_breakdown = config.on_breakdown;
+  options.max_escalations = config.max_escalations;
+  options.report = &result.report;
+  if (config.on_breakdown == BreakdownAction::kEscalate) {
+    // Factor a demoted copy and keep the regularized original as the
+    // escalation rollback source: a promoted tile is re-encoded from the
+    // *pre-demotion* values, so escalation can repair a wrong adaptive
+    // guess whose quantization broke positive definiteness.  The copy is
+    // the recovery's memory cost — one matrix at storage precision.
+    SymmetricTileMatrix demoted = k;
+    result.map.apply(demoted);
+    result.factor_bytes = demoted.storage_bytes();
+    options.source = &k;
+    tiled_potrf(runtime, demoted, options);
+    k = std::move(demoted);
+  } else {
+    result.map.apply(k);
+    result.factor_bytes = k.storage_bytes();
+    tiled_potrf(runtime, k, options);
+  }
+  if (result.report.recovered) {
+    // Escalation widened some tiles: report the map and footprint that
+    // were actually factored, not the plan that broke down.
+    result.map = result.report.final_map;
+    result.factor_bytes = k.storage_bytes();
+  }
   result.weights = phenotypes;
   tiled_potrs(runtime, k, result.weights);
   return result;

@@ -3,6 +3,7 @@
 // (paper Algorithm 3 + §V-B2).
 #pragma once
 
+#include "linalg/factorization_report.hpp"
 #include "linalg/precision_policy.hpp"
 #include "mpblas/matrix.hpp"
 #include "runtime/runtime.hpp"
@@ -27,13 +28,24 @@ struct AssociateConfig {
   Precision low_precision = Precision::kFp16;
   /// Adaptive mode settings (epsilon, working precision, candidates).
   AdaptivePolicy adaptive{};
+  /// Numerical-breakdown policy of the factorization: kThrow propagates
+  /// the NumericalError; kEscalate promotes the failing tile band one
+  /// precision step, rolls back from a snapshot and retries (see
+  /// linalg/factorization_report.hpp).
+  BreakdownAction on_breakdown = BreakdownAction::kThrow;
+  /// Retry bound for kEscalate.
+  int max_escalations = 8;
 };
 
 struct AssociateResult {
   Matrix<float> weights;  ///< N_P1 x N_Ph solution W
-  PrecisionMap map;       ///< precision decisions actually applied
+  PrecisionMap map;       ///< precision decisions actually factored (post
+                          ///< breakdown escalation, when any happened)
   std::size_t factor_bytes = 0;   ///< tile storage after conversion
   std::size_t fp32_bytes = 0;     ///< storage had everything stayed FP32
+  /// Breakdown-recovery diagnostics of the factorization (attempts,
+  /// escalation events, tiles promoted).
+  FactorizationReport report;
 };
 
 /// Runs the Associate phase in place on K (it becomes the Cholesky

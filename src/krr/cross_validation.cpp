@@ -45,9 +45,12 @@ CvResult cross_validate_krr(Runtime& runtime, const GwasDataset& train,
         KrrConfig kc;
         kc.build.tile_size = config.tile_size;
         kc.auto_gamma_scale = gs;
+        // Fold models fit under the caller's precision regime (mode,
+        // candidate formats, breakdown policy), so the selected
+        // hyperparameters transfer to the deployment model's numerics;
+        // only alpha varies with the grid point.
+        kc.associate = config.associate;
         kc.associate.alpha = alpha;
-        kc.associate.mode = PrecisionMode::kAdaptive;
-        kc.associate.adaptive.available = {Precision::kFp16};
         KrrModel model;
         model.fit(runtime, fit_set, kc);
         const Matrix<float> pred = model.predict(runtime, val_set);

@@ -30,6 +30,13 @@ struct CvConfig {
   std::size_t n_folds = 3;
   std::size_t tile_size = 64;
   std::uint64_t seed = 17;
+  /// Precision regime (mode, candidate formats, epsilon, breakdown
+  /// policy) the fold models fit under — pass the deployment model's
+  /// AssociateConfig here so hyperparameters are tuned under the same
+  /// numerical regime the final model will use.  `alpha` is overridden
+  /// per grid point.  The default replicates the historical behavior
+  /// (adaptive mode over {fp16}).
+  AssociateConfig associate{};
 };
 
 struct CvResult {

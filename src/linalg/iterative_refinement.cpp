@@ -1,6 +1,7 @@
 #include "linalg/iterative_refinement.hpp"
 
 #include <cmath>
+#include <optional>
 
 #include "common/status.hpp"
 #include "linalg/tiled_cholesky.hpp"
@@ -19,19 +20,32 @@ RefinementResult solve_with_refinement(Runtime& runtime,
   KGWAS_CHECK_ARG(b.rows() == n, "rhs rows mismatch");
   const std::size_t nrhs = b.cols();
 
-  // Mixed-precision factorization of a tiled FP32 copy.
+  // Mixed-precision factorization of a tiled FP32 copy.  Under kEscalate
+  // the pre-demotion tiles are kept as the rollback source, so promoted
+  // tiles are re-encoded from the original values.
   SymmetricTileMatrix tiled(n, tile_size);
   tiled.from_dense(a.cast<float>());
+  std::optional<SymmetricTileMatrix> source;
+  if (options.on_breakdown == BreakdownAction::kEscalate) source = tiled;
   map.apply(tiled);
-  tiled_potrf(runtime, tiled);
+  RefinementResult result;
+  FactorizationReport report;
+  TiledPotrfOptions potrf_options;
+  potrf_options.on_breakdown = options.on_breakdown;
+  potrf_options.max_escalations = options.max_escalations;
+  potrf_options.report = &report;
+  potrf_options.source = source ? &*source : nullptr;
+  tiled_potrf(runtime, tiled, potrf_options);
+  result.map = report.final_map;
+  result.escalations = report.escalations();
 
   const double a_norm = frobenius_norm(n, n, a.data(), a.ld());
+  const double b_norm = frobenius_norm(n, nrhs, b.data(), b.ld());
 
   // Initial solve.
   Matrix<float> x = b.cast<float>();
   tiled_potrs(runtime, tiled, x);
 
-  RefinementResult result;
   for (int iter = 0; iter <= options.max_iterations; ++iter) {
     // FP64 residual r = b - A x.
     Matrix<double> xd = x.cast<double>();
@@ -41,8 +55,11 @@ RefinementResult solve_with_refinement(Runtime& runtime,
 
     const double r_norm = frobenius_norm(n, nrhs, r.data(), r.ld());
     const double x_norm = frobenius_norm(n, nrhs, xd.data(), xd.ld());
-    result.final_residual =
-        x_norm > 0.0 ? r_norm / (a_norm * x_norm) : r_norm;
+    // Standard normwise backward error: the ||b|| term keeps the measure
+    // relative (never a bare absolute residual) even when x == 0, and a
+    // zero system reports 0 rather than 0/0.
+    const double denom = a_norm * x_norm + b_norm;
+    result.final_residual = denom > 0.0 ? r_norm / denom : 0.0;
     result.iterations = iter;
     if (result.final_residual <= options.tolerance) {
       result.converged = true;

@@ -9,6 +9,7 @@
 // three precisions: factor storage <= FP32, solve FP32, residual FP64).
 #pragma once
 
+#include "linalg/factorization_report.hpp"
 #include "linalg/precision_policy.hpp"
 #include "mpblas/matrix.hpp"
 #include "runtime/runtime.hpp"
@@ -19,13 +20,22 @@ namespace kgwas {
 struct RefinementResult {
   Matrix<float> x;           ///< solution after refinement
   int iterations = 0;        ///< refinement steps taken
-  double final_residual = 0; ///< ||b - A x||_F / (||A||_F ||x||_F)
+  /// Normwise backward error ||b - A x||_F / (||A||_F ||x||_F + ||b||_F)
+  /// — well-defined even at x == 0, where it degrades gracefully to
+  /// ||r||/||b|| instead of silently becoming an absolute residual.
+  double final_residual = 0;
   bool converged = false;
+  PrecisionMap map;          ///< tile precisions actually factored
+  int escalations = 0;       ///< breakdown-escalation retries taken
 };
 
 struct RefinementOptions {
   int max_iterations = 10;
-  double tolerance = 1e-6;  ///< relative residual target
+  double tolerance = 1e-6;  ///< backward-error target
+  /// Factorization breakdown policy (kEscalate recovers from an
+  /// over-aggressive `map` by promoting the failing tile band).
+  BreakdownAction on_breakdown = BreakdownAction::kThrow;
+  int max_escalations = 8;
 };
 
 /// Solves A x = b where `a` is the *unfactored* SPD matrix in FP64 and the

@@ -83,6 +83,75 @@ PrecisionMap band_precision_map(std::size_t tile_count, double fp32_fraction,
   return map;
 }
 
+Precision escalate_precision(Precision p, Precision working) {
+  // "At or above working" in accuracy terms: smaller unit roundoff.
+  if (unit_roundoff(p) <= unit_roundoff(working)) return p;
+  Precision next = working;
+  switch (p) {
+    case Precision::kFp4E2M1:
+      next = Precision::kFp8E4M3;
+      break;
+    case Precision::kFp8E4M3:
+    case Precision::kFp8E5M2:
+      next = Precision::kFp16;
+      break;
+    case Precision::kFp16:
+    case Precision::kBf16:
+    case Precision::kInt8:
+      next = Precision::kFp32;
+      break;
+    case Precision::kFp32:
+      next = Precision::kFp64;
+      break;
+    case Precision::kFp64:
+      return p;
+  }
+  // Never climb past the working precision.
+  return unit_roundoff(next) < unit_roundoff(working) ? working : next;
+}
+
+std::size_t escalate_band(PrecisionMap& map, std::size_t t,
+                          Precision working) {
+  const std::size_t nt = map.tile_count();
+  KGWAS_CHECK_ARG(t < nt, "escalation tile index out of range");
+  std::size_t promoted = 0;
+  auto promote = [&](std::size_t ti, std::size_t tj) {
+    const Precision from = map.get(ti, tj);
+    const Precision to = escalate_precision(from, working);
+    if (to != from) {
+      map.set(ti, tj, to);
+      ++promoted;
+    }
+  };
+  for (std::size_t tj = 0; tj <= t; ++tj) promote(t, tj);
+  for (std::size_t ti = t + 1; ti < nt; ++ti) promote(ti, t);
+  return promoted;
+}
+
+std::size_t escalate_leading_block(PrecisionMap& map, std::size_t t,
+                                   Precision working) {
+  const std::size_t nt = map.tile_count();
+  KGWAS_CHECK_ARG(t < nt, "escalation tile index out of range");
+  std::size_t promoted = 0;
+  for (std::size_t tj = 0; tj <= t; ++tj) {
+    for (std::size_t ti = tj; ti <= t; ++ti) {
+      const Precision from = map.get(ti, tj);
+      const Precision to = escalate_precision(from, working);
+      if (to != from) {
+        map.set(ti, tj, to);
+        ++promoted;
+      }
+    }
+  }
+  return promoted;
+}
+
+std::size_t escalate_step(PrecisionMap& map, std::size_t t,
+                          Precision working) {
+  const std::size_t promoted = escalate_band(map, t, working);
+  return promoted != 0 ? promoted : escalate_leading_block(map, t, working);
+}
+
 std::size_t map_storage_bytes(const PrecisionMap& map, std::size_t n,
                               std::size_t tile_size) {
   const std::size_t nt = map.tile_count();

@@ -1,9 +1,11 @@
 #include "linalg/tiled_cholesky.hpp"
 
+#include <optional>
 #include <string>
 #include <vector>
 
 #include "common/status.hpp"
+#include "linalg/precision_policy.hpp"
 #include "linalg/tile_kernels.hpp"
 #include "mpblas/batch.hpp"
 #include "mpblas/mixed.hpp"
@@ -49,10 +51,11 @@ inline int panel_priority(int base, std::size_t nt, std::size_t k,
   return potrf_task_priority(base, nt, k, kind);
 }
 
-}  // namespace
-
-void tiled_potrf(Runtime& runtime, SymmetricTileMatrix& a,
-                 const TiledPotrfOptions& options) {
+/// One factorization attempt: the plain right-looking submission loop.
+/// Throws NumericalError out of runtime.wait() when a pivot fails (the
+/// runtime cancels the rest of the DAG first).
+void tiled_potrf_attempt(Runtime& runtime, SymmetricTileMatrix& a,
+                         const TiledPotrfOptions& options) {
   const std::size_t nt = a.tile_count();
   if (nt == 0) return;
   const int base_priority = options.base_priority;
@@ -120,8 +123,101 @@ void tiled_potrf(Runtime& runtime, SymmetricTileMatrix& a,
   runtime.wait();
 }
 
+/// Restores every tile from the pre-factorization rollback source,
+/// re-encoded at the (possibly escalated) precisions of `map`.  When the
+/// source holds pre-demotion values, a promoted tile is a genuinely
+/// higher-fidelity quantization of the original matrix; when it is the
+/// storage-precision snapshot fallback, promotion only stops the
+/// factorization from re-quantizing intermediate writes.
+void restore_from_source(SymmetricTileMatrix& a,
+                         const SymmetricTileMatrix& source,
+                         const PrecisionMap& map) {
+  const std::size_t nt = a.tile_count();
+  for (std::size_t tj = 0; tj < nt; ++tj) {
+    for (std::size_t ti = tj; ti < nt; ++ti) {
+      restore_tile(a.tile(ti, tj), source.tile(ti, tj), map.get(ti, tj));
+    }
+  }
+}
+
+}  // namespace
+
+void tiled_potrf(Runtime& runtime, SymmetricTileMatrix& a,
+                 const TiledPotrfOptions& options) {
+  FactorizationReport scratch;
+  FactorizationReport& report = options.report ? *options.report : scratch;
+  report = FactorizationReport{};
+
+  if (options.on_breakdown == BreakdownAction::kThrow ||
+      a.tile_count() == 0) {
+    report.attempts = 1;
+    try {
+      tiled_potrf_attempt(runtime, a, options);
+    } catch (...) {
+      // Failed factorizations count too: RecoveryStats exists to track
+      // breakdown frequency, matching the dist path's accounting.
+      runtime.profiler().record_recovery(1, 0, 0);
+      throw;
+    }
+    report.final_map = current_precision_map(a);
+    runtime.profiler().record_recovery(1, 0, 0);
+    return;
+  }
+
+  // Escalation mode: roll back from the caller's pre-demotion source when
+  // provided, else retain one precision-compressed copy of the matrix
+  // (tile payloads copy at their storage precision, pool-backed).
+  std::optional<SymmetricTileMatrix> snapshot;
+  const SymmetricTileMatrix* rollback = options.source;
+  if (rollback != nullptr) {
+    KGWAS_CHECK_ARG(rollback->n() == a.n() &&
+                        rollback->tile_size() == a.tile_size(),
+                    "escalation source geometry mismatch");
+  } else {
+    snapshot.emplace(a);
+    rollback = &*snapshot;
+  }
+  PrecisionMap current = current_precision_map(a);
+  // The ladder caps at the working precision the diagonal carries (the
+  // precision policies always keep pivot tiles at working precision).
+  const Precision working = current.get(0, 0);
+
+  for (int attempt = 0;; ++attempt) {
+    try {
+      tiled_potrf_attempt(runtime, a, options);
+      report.attempts = attempt + 1;
+      report.recovered = attempt > 0;
+      report.final_map = current;
+      runtime.profiler().record_recovery(report.attempts,
+                                         report.events.size(),
+                                         report.tiles_promoted);
+      return;
+    } catch (const NumericalError& e) {
+      report.attempts = attempt + 1;
+      const std::size_t t =
+          potrf_breakdown_tile(e.index(), a.tile_size(), a.tile_count());
+      const std::size_t promoted =
+          attempt < options.max_escalations
+              ? escalate_step(current, t, working)
+              : 0;
+      if (promoted == 0) {
+        // Retries exhausted, or the failing band is already at working
+        // precision — escalation cannot help; the matrix is genuinely
+        // not positive definite at the caller's working precision.
+        runtime.profiler().record_recovery(report.attempts,
+                                           report.events.size(),
+                                           report.tiles_promoted);
+        throw;
+      }
+      report.events.push_back(EscalationRecord{t, e.index(), promoted});
+      report.tiles_promoted += promoted;
+      restore_from_source(a, *rollback, current);
+    }
+  }
+}
+
 void tiled_potrf(Runtime& runtime, SymmetricTileMatrix& a, int base_priority) {
-  tiled_potrf(runtime, a, TiledPotrfOptions{base_priority, true});
+  tiled_potrf(runtime, a, TiledPotrfOptions{.base_priority = base_priority});
 }
 
 void tiled_potrs(Runtime& runtime, const SymmetricTileMatrix& l,

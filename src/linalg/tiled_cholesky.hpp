@@ -15,6 +15,7 @@
 
 #include <cstddef>
 
+#include "linalg/factorization_report.hpp"
 #include "mpblas/matrix.hpp"
 #include "runtime/runtime.hpp"
 #include "tile/tile_matrix.hpp"
@@ -45,10 +46,62 @@ struct TiledPotrfOptions {
   /// critical path and never form wide homogeneous groups.  Results are
   /// bitwise identical either way.
   bool batch_trailing_update = true;
+  /// Numerical-breakdown policy.  kThrow propagates the NumericalError
+  /// (the runtime cancels the remaining DAG first, so dependents never
+  /// run on a half-factored matrix and the Runtime stays reusable).
+  /// kEscalate promotes the failing diagonal tile's row/column band one
+  /// step up the precision ladder (widening to the leading sub-triangle
+  /// once the band saturates), rolls the tiles back to their
+  /// pre-factorization values, and re-runs — bounded by
+  /// `max_escalations`.
+  BreakdownAction on_breakdown = BreakdownAction::kThrow;
+  /// Retry bound for kEscalate; the original NumericalError is rethrown
+  /// once exhausted (or when every tile feeding the failing minor is
+  /// already at working precision, i.e. the matrix is genuinely not SPD).
+  int max_escalations = 8;
+  /// Escalation rollback source: the matrix's pre-demotion values (same
+  /// n / tile_size as `a`).  When set, every retry re-encodes the tiles
+  /// from these values at the escalated precisions — a promoted tile
+  /// genuinely regains fidelity, so escalation can repair breakdowns
+  /// caused by the storage quantization itself (the common case for a
+  /// wrong adaptive-map guess).  associate() passes the original kernel
+  /// matrix here and factors a demoted copy, which bounds the recovery
+  /// memory at one extra copy of the matrix at storage precision.  When
+  /// null, a storage-precision snapshot of `a` is retained instead; that
+  /// fallback can only repair breakdowns from requantization error
+  /// accumulated *during* the factorization, since the snapshot's values
+  /// are already quantized.
+  const SymmetricTileMatrix* source = nullptr;
+  /// Optional per-factorization diagnostics (attempts, escalation events,
+  /// final map); always filled when non-null, in both breakdown modes.
+  FactorizationReport* report = nullptr;
 };
 
+/// Rollback re-encode of one tile: copy the pre-factorization source
+/// payload and convert it to the (possibly escalated) target precision.
+/// The shared-memory and distributed recovery loops both restore through
+/// this helper, so the re-encode semantics — and with them the bitwise
+/// identity of the recovered shared-memory and distributed factors —
+/// are pinned in one place.
+inline void restore_tile(Tile& dst, const Tile& source, Precision target) {
+  dst = source;
+  if (dst.precision() != target) dst.convert_to(target);
+}
+
+/// Diagonal tile holding the failing leading minor a NumericalError
+/// reports (`failing_index` is the error's 1-based global column).
+inline std::size_t potrf_breakdown_tile(long failing_index,
+                                        std::size_t tile_size,
+                                        std::size_t tile_count) {
+  if (failing_index <= 0 || tile_size == 0 || tile_count == 0) return 0;
+  const std::size_t tile =
+      (static_cast<std::size_t>(failing_index) - 1) / tile_size;
+  return tile < tile_count ? tile : tile_count - 1;
+}
+
 /// Factorizes A = L * L^T in place (lower tiles).  Tiles keep their
-/// current storage precision.  Throws NumericalError when a pivot fails.
+/// current storage precision.  Throws NumericalError when a pivot fails
+/// and `options.on_breakdown` is kThrow (or recovery is exhausted).
 ///
 /// Tasks carry DPLASMA-style critical-path priorities on top of
 /// `base_priority`: earlier panels outrank later ones and, within a panel,

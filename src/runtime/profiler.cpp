@@ -115,15 +115,31 @@ SchedulerStats Profiler::scheduler_stats() const {
   return scheduler_stats_;
 }
 
+void Profiler::record_recovery(int attempts, std::size_t escalations,
+                               std::size_t tiles_promoted) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  recovery_stats_.factorizations += 1;
+  recovery_stats_.attempts += static_cast<std::uint64_t>(attempts);
+  recovery_stats_.escalations += escalations;
+  recovery_stats_.tiles_promoted += tiles_promoted;
+}
+
+RecoveryStats Profiler::recovery_stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return recovery_stats_;
+}
+
 void Profiler::write_trace(const std::string& path) const {
   std::ofstream out(path);
   if (!out) throw Error("cannot open trace file: " + path);
 
   std::vector<TaskSpan> spans;
   SchedulerStats sched;
+  RecoveryStats recovery;
   {
     std::lock_guard<std::mutex> lock(mutex_);
     spans = spans_;
+    recovery = recovery_stats_;
     sched = scheduler_stats_;
   }
   // Rebase timestamps so the trace starts near zero; chrome://tracing uses
@@ -164,6 +180,10 @@ void Profiler::write_trace(const std::string& path) const {
       << ",\"steal_attempts\":" << sched.steal_attempts
       << ",\"avg_queue_depth\":" << sched.avg_queue_depth()
       << ",\"max_queue_depth\":" << sched.max_queue_depth
+      << ",\"recovery\":{\"factorizations\":" << recovery.factorizations
+      << ",\"attempts\":" << recovery.attempts
+      << ",\"escalations\":" << recovery.escalations
+      << ",\"tiles_promoted\":" << recovery.tiles_promoted << "}"
       << ",\"kernel_classes\":{";
   bool first_class = true;
   for (const auto& [name, stats] : classes) {
@@ -182,6 +202,7 @@ void Profiler::clear() {
   std::lock_guard<std::mutex> lock(mutex_);
   spans_.clear();
   scheduler_stats_ = SchedulerStats{};
+  recovery_stats_ = RecoveryStats{};
 }
 
 }  // namespace kgwas

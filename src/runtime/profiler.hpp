@@ -41,6 +41,17 @@ struct WorkerSpanStats {
   double busy_seconds = 0.0;
 };
 
+/// Cumulative breakdown-recovery counters recorded by the tiled
+/// factorizations (see linalg/factorization_report.hpp): how many
+/// factorizations ran, how many attempts they took in total, and how many
+/// escalation retries / band-tile promotions the recovery loop performed.
+struct RecoveryStats {
+  std::uint64_t factorizations = 0;
+  std::uint64_t attempts = 0;
+  std::uint64_t escalations = 0;
+  std::uint64_t tiles_promoted = 0;
+};
+
 class Profiler {
  public:
   explicit Profiler(bool enabled = false) : enabled_(enabled) {}
@@ -68,6 +79,13 @@ class Profiler {
   void set_scheduler_stats(SchedulerStats stats);
   SchedulerStats scheduler_stats() const;
 
+  /// Accumulates one factorization's recovery outcome; recorded by
+  /// tiled_potrf / dist_tiled_potrf regardless of span profiling so the
+  /// escalation benches can always read retry overhead.
+  void record_recovery(int attempts, std::size_t escalations,
+                       std::size_t tiles_promoted);
+  RecoveryStats recovery_stats() const;
+
   /// Writes the spans as a chrome://tracing / Perfetto "traceEvents" JSON
   /// file; one track per worker.  Throws kgwas::Error when the file
   /// cannot be written.
@@ -80,6 +98,7 @@ class Profiler {
   mutable std::mutex mutex_;
   std::vector<TaskSpan> spans_;
   SchedulerStats scheduler_stats_;
+  RecoveryStats recovery_stats_;
 };
 
 }  // namespace kgwas

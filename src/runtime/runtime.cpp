@@ -341,15 +341,25 @@ void Runtime::run_batch(BatchQueue* queue, int my_priority) {
 }
 
 void Runtime::run_task(TaskNode* node) {
+  // Cancellation skips the body of every task that has not started yet —
+  // dependents of a failed task never run on garbage — while completion
+  // bookkeeping below still releases successors, so the graph drains.
+  // External events (fn == nullptr) are completion markers, not bodies;
+  // they always "run" so the signalling contract survives cancellation.
+  const bool skip =
+      node->fn != nullptr && cancelled_.load(std::memory_order_acquire);
+  if (skip) tasks_cancelled_.fetch_add(1, std::memory_order_relaxed);
   const std::uint64_t start = Timer::now_ns();
   try {
-    if (node->fn) node->fn();
+    if (!skip && node->fn) node->fn();
   } catch (...) {
-    std::lock_guard<std::mutex> lock(error_mutex_);
-    if (!first_error_) first_error_ = std::current_exception();
+    handle_task_error(std::current_exception());
   }
   const std::uint64_t end = Timer::now_ns();
-  if (profiling_enabled_) {
+  // Skipped bodies leave no span: their declared FLOPs never executed,
+  // and recording them would corrupt per-class gflops in every trace of
+  // a cancelled (breakdown-recovery) attempt.
+  if (profiling_enabled_ && !skip) {
     profiler_.record(TaskSpan{node->name, start, end,
                               scheduler_.current_worker(), node->flops});
   }
@@ -361,6 +371,34 @@ void Runtime::run_task(TaskNode* node) {
     std::lock_guard<std::mutex> lock(done_mutex_);
     all_done_.notify_all();
   }
+}
+
+void Runtime::handle_task_error(std::exception_ptr error) {
+  bool first = false;
+  std::function<void(const std::exception_ptr&)> callback;
+  {
+    std::lock_guard<std::mutex> lock(error_mutex_);
+    if (!first_error_) {
+      first_error_ = error;
+      first = true;
+      callback = error_callback_;
+    }
+  }
+  // Publish the cancellation BEFORE the failing task releases its
+  // successors (release_successors runs after this returns), so every
+  // dependent is guaranteed to see the flag and skip.
+  cancelled_.store(true, std::memory_order_release);
+  if (first && callback) callback(error);
+}
+
+void Runtime::cancel() noexcept {
+  cancelled_.store(true, std::memory_order_release);
+}
+
+void Runtime::set_error_callback(
+    std::function<void(const std::exception_ptr&)> cb) {
+  std::lock_guard<std::mutex> lock(error_mutex_);
+  error_callback_ = std::move(cb);
 }
 
 void Runtime::release_successors(TaskNode* node) {
@@ -398,6 +436,10 @@ void Runtime::wait() {
   // Steal/priority counters are part of every drain, independent of span
   // profiling, so benches can always read scheduler efficiency.
   profiler_.set_scheduler_stats(scheduler_.stats());
+  // The drained graph is gone: clear the cancellation so tasks submitted
+  // after this wait() run normally — this is what makes the Runtime
+  // reusable after a failure.
+  cancelled_.store(false, std::memory_order_release);
   std::lock_guard<std::mutex> lock(error_mutex_);
   if (first_error_) {
     auto error = first_error_;

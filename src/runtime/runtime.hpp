@@ -25,6 +25,17 @@
 //
 // Execution is fully asynchronous: `submit` never blocks and `wait()`
 // drains the graph.  Submitting from inside a task is allowed.
+//
+// Error contract (structured failure propagation): an exception thrown
+// inside a task body is captured and *cancels the remaining DAG* — every
+// task that has not started yet (dependents and independents alike) is
+// skipped instead of running on garbage, while the dependency graph still
+// resolves so `wait()` always drains.  `wait()` rethrows the first
+// captured exception and resets the cancellation state, leaving the
+// Runtime fully reusable: handles stay registered and new submissions run
+// normally.  External events must still be signalled even under
+// cancellation (the distributed layer's recovery protocol force-signals
+// the events of receives that can no longer happen).
 #pragma once
 
 #include <atomic>
@@ -165,9 +176,42 @@ class Runtime {
   BatchStats batch_stats() const;
 
   /// Blocks until every submitted task (and tasks they submitted) is done.
-  /// Rethrows the first task exception, if any.  Also snapshots the
-  /// scheduler's steal/queue-depth counters into the profiler.
+  /// Rethrows the first task exception, if any — a task exception cancels
+  /// every not-yet-started task of the current graph (see the error
+  /// contract above), so wait() returns promptly after a failure and the
+  /// Runtime is reusable afterwards.  Also snapshots the scheduler's
+  /// steal/queue-depth counters into the profiler.
   void wait();
+
+  /// Cancels every not-yet-started task of the current graph: their
+  /// bodies are skipped, but the dependency graph still resolves so
+  /// wait() drains.  Unlike a task exception, an explicit cancel records
+  /// no error — wait() returns normally (unless a task also threw).  The
+  /// distributed recovery protocol uses this when a *remote* rank reports
+  /// a breakdown: local tasks must stop without manufacturing a local
+  /// error.  Cleared by wait().
+  void cancel() noexcept;
+
+  /// True once a task exception or cancel() has poisoned the current
+  /// graph (cleared by wait()).
+  bool cancelled() const noexcept {
+    return cancelled_.load(std::memory_order_acquire);
+  }
+
+  /// Task bodies skipped by cancellation so far (monotonic, like
+  /// tasks_submitted); diff around a drain to count one graph's skips.
+  std::uint64_t tasks_cancelled() const noexcept {
+    return tasks_cancelled_.load(std::memory_order_relaxed);
+  }
+
+  /// Installs a callback invoked at most once per drain cycle, on the
+  /// worker thread that caught the *first* task exception, before the
+  /// failing task's successors are released.  The callback must be cheap
+  /// and must not call wait() (it runs inside a worker); the distributed
+  /// layer uses it to broadcast a breakdown wake-up frame so peer ranks'
+  /// progress loops unblock.  Pass nullptr to clear.  Persists across
+  /// drains until replaced.
+  void set_error_callback(std::function<void(const std::exception_ptr&)> cb);
 
   /// Total tasks submitted so far.
   std::uint64_t tasks_submitted() const noexcept { return next_task_id_.load(); }
@@ -198,6 +242,7 @@ class Runtime {
   void release_successors(TaskNode* node);
   void enqueue_ready(TaskNode* node);
   void run_task(TaskNode* node);
+  void handle_task_error(std::exception_ptr error);
   void run_batch(BatchQueue* queue, int my_priority);
   std::uint64_t submit_impl(TaskDesc desc, std::function<void()> fn,
                             std::uint64_t batch_key, bool external = false);
@@ -229,7 +274,10 @@ class Runtime {
   std::mutex done_mutex_;
   std::condition_variable all_done_;
   std::exception_ptr first_error_;
+  std::function<void(const std::exception_ptr&)> error_callback_;
   std::mutex error_mutex_;
+  std::atomic<bool> cancelled_{false};
+  std::atomic<std::uint64_t> tasks_cancelled_{0};
 };
 
 }  // namespace kgwas

@@ -57,6 +57,17 @@ void PrecisionMap::apply(SymmetricTileMatrix& matrix) const {
   }
 }
 
+PrecisionMap current_precision_map(const SymmetricTileMatrix& matrix) {
+  const std::size_t nt = matrix.tile_count();
+  PrecisionMap map(nt);
+  for (std::size_t tj = 0; tj < nt; ++tj) {
+    for (std::size_t ti = tj; ti < nt; ++ti) {
+      map.set(ti, tj, matrix.tile(ti, tj).precision());
+    }
+  }
+  return map;
+}
+
 std::string PrecisionMap::render() const {
   auto glyph = [](Precision p) -> char {
     switch (p) {

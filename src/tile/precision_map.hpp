@@ -44,4 +44,9 @@ class PrecisionMap {
   std::vector<Precision> map_;
 };
 
+/// Reads the storage precisions a tile matrix currently holds — the
+/// inverse of apply().  The breakdown-recovery loop uses this to seed the
+/// escalation state from whatever map the caller already applied.
+PrecisionMap current_precision_map(const SymmetricTileMatrix& matrix);
+
 }  // namespace kgwas

@@ -136,6 +136,50 @@ TEST(CrossValidation, FindsGridOptimumAndCoversGrid) {
   }
 }
 
+TEST(CrossValidation, HonorsDeploymentPrecisionRegime) {
+  // The fold models must fit under the caller's precision config (not a
+  // hard-coded adaptive/{fp16} regime): an all-fp32 fixed map and the
+  // historical default can legitimately pick different grid points, but
+  // both must evaluate the full grid, and the explicit default must
+  // reproduce the implicit one exactly.
+  CohortConfig cc;
+  cc.n_patients = 120;
+  cc.n_snps = 32;
+  cc.seed = 5;
+  Cohort cohort = simulate_cohort(cc);
+  PhenotypeConfig pc;
+  pc.n_causal = 16;
+  pc.n_pairs = 16;
+  pc.prevalence = 0.0;
+  GwasDataset train = make_dataset(cohort, simulate_panel(cohort, {pc}));
+
+  Runtime rt;
+  CvConfig config;
+  config.gamma_scales = {1.0};
+  config.alphas = {0.1, 1.0};
+  config.n_folds = 3;
+  config.tile_size = 32;
+  const CvResult implicit_default = cross_validate_krr(rt, train, config);
+
+  // The regime the pre-CvConfig.associate code hard-coded, spelled out:
+  // if AssociateConfig's defaults ever drift away from it, this pin
+  // catches the silent CV regime change.
+  config.associate.mode = PrecisionMode::kAdaptive;
+  config.associate.adaptive.available = {Precision::kFp16};
+  config.associate.on_breakdown = BreakdownAction::kThrow;
+  const CvResult explicit_default = cross_validate_krr(rt, train, config);
+  ASSERT_EQ(implicit_default.grid.size(), explicit_default.grid.size());
+  for (std::size_t i = 0; i < implicit_default.grid.size(); ++i) {
+    EXPECT_EQ(implicit_default.grid[i].mean_mspe,
+              explicit_default.grid[i].mean_mspe);
+  }
+
+  config.associate.mode = PrecisionMode::kFixed;  // all-fp32 deployment
+  const CvResult fp32 = cross_validate_krr(rt, train, config);
+  ASSERT_EQ(fp32.grid.size(), 2u);
+  for (const auto& point : fp32.grid) EXPECT_GT(point.mean_mspe, 0.0);
+}
+
 TEST(CrossValidation, RejectsDegenerateConfigs) {
   CohortConfig cc;
   cc.n_patients = 40;

@@ -341,5 +341,77 @@ TEST(PlinkIo, RejectsMalformedDosage) {
   EXPECT_THROW(read_raw(ss), InvalidArgument);
 }
 
+TEST(PlinkIo, ReadsPlinkSixColumnHeader) {
+  // Real PLINK 1.9/2.0 --recode A shape: six leading columns, and the
+  // SNP count must not absorb PAT/MAT/SEX/PHENOTYPE.
+  std::stringstream ss(
+      "FID IID PAT MAT SEX PHENOTYPE rs1_A rs2_G rs3_T\n"
+      "F0 I0 0 0 1 -9 0 1 2\n"
+      "F1 I1 0 0 2 -9 2 1 0\n");
+  const GenotypeMatrix g = read_raw(ss);
+  ASSERT_EQ(g.patients(), 2u);
+  ASSERT_EQ(g.snps(), 3u);
+  EXPECT_EQ(g(0, 0), 0);
+  EXPECT_EQ(g(0, 2), 2);
+  EXPECT_EQ(g(1, 0), 2);
+}
+
+TEST(PlinkIo, ReadsHashPrefixedCaseInsensitiveHeader) {
+  // Downstream tools re-emit PLINK headers as "#FID" / mixed case; a
+  // 6-column header misread as 2-column would silently ingest
+  // PAT/MAT/SEX/PHENOTYPE as four extra SNPs.
+  std::stringstream ss(
+      "#FID IID Pat Mat Sex Phenotype s1 s2\n"
+      "F0 I0 0 0 1 2 1 0\n");
+  const GenotypeMatrix g = read_raw(ss);
+  ASSERT_EQ(g.snps(), 2u);
+  EXPECT_EQ(g(0, 0), 1);
+  EXPECT_EQ(g(0, 1), 0);
+}
+
+TEST(PlinkIo, ImputesNaDosagesToPerSnpMean) {
+  // snp0: observed {2, 2, 1} -> mean 5/3 -> rounds to 2.
+  // snp1: observed {0} -> 0.  snp2: all NA -> 0.
+  std::stringstream ss(
+      "FID IID PAT MAT SEX PHENOTYPE s0 s1 s2\n"
+      "F0 I0 0 0 1 -9 2 NA NA\n"
+      "F1 I1 0 0 1 -9 2 0 NA\n"
+      "F2 I2 0 0 1 -9 1 NA NA\n"
+      "F3 I3 0 0 1 -9 NA NA NA\n");
+  const GenotypeMatrix g = read_raw(ss);
+  ASSERT_EQ(g.snps(), 3u);
+  EXPECT_EQ(g(3, 0), 2);  // imputed to rounded mean of {2,2,1}
+  EXPECT_EQ(g(0, 1), 0);  // imputed to the single observed 0
+  EXPECT_EQ(g(2, 2), 0);  // all-missing SNP imputes to 0
+}
+
+TEST(PlinkIo, RejectsZeroSnpFile) {
+  {
+    std::stringstream ss("FID IID\nF0 I0\n");
+    EXPECT_THROW(read_raw(ss), InvalidArgument);
+  }
+  {
+    std::stringstream ss("FID IID PAT MAT SEX PHENOTYPE\nF0 I0 0 0 1 -9\n");
+    EXPECT_THROW(read_raw(ss), InvalidArgument);
+  }
+}
+
+TEST(PlinkIo, PhenoNaImputesToMean) {
+  // Both missing markers: "NA" and PLINK 1.9's default -9 sentinel.
+  std::stringstream ss(
+      "FID IID bmi\n"
+      "F0 I0 1.0\n"
+      "F1 I1 NA\n"
+      "F2 I2 3.0\n"
+      "F3 I3 -9\n"
+      "F4 I4 -9.0\n");
+  std::vector<std::string> names;
+  const Matrix<float> ph = read_pheno(ss, names);
+  ASSERT_EQ(names.size(), 1u);
+  EXPECT_FLOAT_EQ(ph(1, 0), 2.0f);  // mean of {1, 3}
+  EXPECT_FLOAT_EQ(ph(3, 0), 2.0f);  // -9 treated as missing, not data
+  EXPECT_FLOAT_EQ(ph(4, 0), 2.0f);  // "-9.0" spelling likewise
+}
+
 }  // namespace
 }  // namespace kgwas
