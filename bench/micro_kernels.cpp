@@ -5,6 +5,7 @@
 #include <benchmark/benchmark.h>
 
 #include <cmath>
+#include <optional>
 #include <vector>
 
 #include <string>
@@ -17,6 +18,7 @@
 #include "linalg/tile_kernels.hpp"
 #include "linalg/tiled_cholesky.hpp"
 #include "precision/convert.hpp"
+#include "mpblas/autotune.hpp"
 #include "mpblas/batch.hpp"
 #include "mpblas/blas.hpp"
 #include "mpblas/kernels.hpp"
@@ -421,6 +423,118 @@ BENCHMARK(BM_GemmBatchKernel)
     ->Args({64, 0, static_cast<long>(Precision::kFp16)})
     ->Args({64, 1, static_cast<long>(Precision::kFp32)})
     ->Args({64, 0, static_cast<long>(Precision::kFp32)});
+
+// Whole-operand packing, serial vs parallel: PackedA::pack fans the
+// jc/pc block grid out over the engine's pack scheduler when the
+// operand is large enough.  The serial row pins KGWAS_GEMM_PACK_THREADS
+// to 1; the parallel row uses the host default (logical cores).  On a
+// single-core host both rows should coincide — the parallel path must
+// not regress the serial one.
+void BM_PackParallel(benchmark::State& state) {
+  const auto ts = static_cast<std::size_t>(state.range(0));
+  const bool parallel = state.range(1) != 0;
+  namespace kernels = mpblas::kernels;
+  kernels::set_pack_threads(parallel ? std::optional<std::size_t>{}
+                                     : std::optional<std::size_t>{1});
+  const Matrix<float> a = random_matrix(ts, ts, 57);
+  const auto av = kernels::fp32_view(a.data(), ts, Trans::kNoTrans);
+  for (auto _ : state) {
+    kernels::PackedA packed;
+    packed.pack(ts, ts, av);
+    benchmark::DoNotOptimize(&packed);
+  }
+  kernels::set_pack_threads(std::nullopt);
+  state.SetLabel(parallel ? "parallel" : "serial");
+  state.counters["pack_threads"] =
+      static_cast<double>(parallel ? kernels::pack_threads() : 1);
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(ts * ts));
+}
+BENCHMARK(BM_PackParallel)
+    ->Args({512, 0})
+    ->Args({512, 1})
+    ->Args({1024, 0})
+    ->Args({1024, 1})
+    ->ArgNames({"ts", "parallel"});
+
+// Per-variant and tuned-vs-default-blocking rows, registered at startup
+// for whatever variants this host can actually run.  The names share the
+// BM_GemmPackedVsReference prefix so the CI BENCH_gemm.json filter picks
+// them up alongside the packed-vs-reference sweep.
+void run_variant_row(benchmark::State& state, mpblas::kernels::Arch arch,
+                     std::size_t ts) {
+  namespace kernels = mpblas::kernels;
+  kernels::set_gemm_backend(kernels::GemmBackend::kPacked);
+  kernels::set_gemm_arch(arch);
+  const Matrix<float> a = random_matrix(ts, ts, 61);
+  const Matrix<float> b = random_matrix(ts, ts, 62);
+  Matrix<float> c(ts, ts, 0.0f);
+  const auto av = kernels::fp32_view(a.data(), ts, Trans::kNoTrans);
+  const auto bv = kernels::fp32_view(b.data(), ts, Trans::kTrans);
+  for (auto _ : state) {
+    kernels::gemm_view(ts, ts, ts, 1.0f, av, bv, 0.0f, c.data(), ts);
+    benchmark::DoNotOptimize(c.data());
+  }
+  kernels::set_gemm_arch(std::nullopt);
+  kernels::set_gemm_backend(std::nullopt);
+  state.SetLabel(std::string("variant/") + to_string(arch));
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(2 * ts * ts * ts));
+}
+
+void run_blocking_row(benchmark::State& state, bool tuned, std::size_t ts) {
+  namespace kernels = mpblas::kernels;
+  namespace autotune = mpblas::kernels::autotune;
+  kernels::set_gemm_backend(kernels::GemmBackend::kPacked);
+  autotune::set_tune_mode(tuned ? autotune::TuneMode::kAnalytic
+                                : autotune::TuneMode::kOff);
+  kernels::set_gemm_blocking(std::nullopt);  // re-resolve under the mode
+  const Matrix<float> a = random_matrix(ts, ts, 63);
+  const Matrix<float> b = random_matrix(ts, ts, 64);
+  Matrix<float> c(ts, ts, 0.0f);
+  const auto av = kernels::fp32_view(a.data(), ts, Trans::kNoTrans);
+  const auto bv = kernels::fp32_view(b.data(), ts, Trans::kTrans);
+  const kernels::Blocking blk = kernels::gemm_blocking();
+  for (auto _ : state) {
+    kernels::gemm_view(ts, ts, ts, 1.0f, av, bv, 0.0f, c.data(), ts);
+    benchmark::DoNotOptimize(c.data());
+  }
+  autotune::set_tune_mode(std::nullopt);
+  kernels::set_gemm_blocking(std::nullopt);
+  kernels::set_gemm_backend(std::nullopt);
+  state.SetLabel(tuned ? "blocking/tuned" : "blocking/default");
+  state.counters["mc"] = static_cast<double>(blk.mc);
+  state.counters["kc"] = static_cast<double>(blk.kc);
+  state.counters["nc"] = static_cast<double>(blk.nc);
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(2 * ts * ts * ts));
+}
+
+int register_engine_rows() {
+  namespace kernels = mpblas::kernels;
+  for (const kernels::Arch arch : kernels::available_archs()) {
+    for (const std::size_t ts : {std::size_t{128}, std::size_t{256}}) {
+      const std::string name = std::string("BM_GemmPackedVsReference_") +
+                               to_string(arch) + "/" + std::to_string(ts);
+      benchmark::RegisterBenchmark(
+          name.c_str(),
+          [arch, ts](benchmark::State& state) {
+            run_variant_row(state, arch, ts);
+          });
+    }
+  }
+  for (const bool tuned : {false, true}) {
+    const std::string name =
+        std::string("BM_GemmPackedVsReference_blocking_") +
+        (tuned ? "tuned" : "default") + "/256";
+    benchmark::RegisterBenchmark(
+        name.c_str(), [tuned](benchmark::State& state) {
+          run_blocking_row(state, tuned, 256);
+        });
+  }
+  return 0;
+}
+const int g_engine_rows_registered = register_engine_rows();
 
 void BM_QuantizeRoundTrip(benchmark::State& state) {
   const auto precision = static_cast<Precision>(state.range(0));

@@ -110,6 +110,12 @@ class Scheduler {
   /// from a thread the scheduler does not own.
   int current_worker() const noexcept;
 
+  /// True when the calling thread is a worker of *any* Scheduler.  Nested
+  /// parallel helpers (e.g. the packed-GEMM parallel packer) use this as
+  /// an oversubscription hint: work arriving on a worker thread already
+  /// has task-level parallelism around it.
+  static bool on_worker_thread() noexcept;
+
  private:
   struct Task {
     std::function<void()> fn;

@@ -91,7 +91,13 @@ void tile_gemm(const Tile& a, const Tile& b, Tile& c) {
     // packing are bitwise identical.
     const kernels::PackedA* shared_a = nullptr;
     const kernels::PackedB* shared_b = nullptr;
-    if (auto* scope = mpblas::batch::BatchScope::current()) {
+    // INT8 x INT8 pairs take gemm_view's integer-accumulate path; the
+    // prepacked images are FP32 panels, so sharing them here would make
+    // batched execution diverge bitwise from solo execution.
+    const bool int8_pair =
+        a.precision() == Precision::kInt8 && b.precision() == Precision::kInt8;
+    if (auto* scope = mpblas::batch::BatchScope::current();
+        scope != nullptr && !int8_pair) {
       shared_a = scope->packed_a(a);
       shared_b = scope->packed_b(b);
     }

@@ -1,0 +1,361 @@
+#include "mpblas/autotune.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <cctype>
+#include <chrono>
+#include <cstdint>
+#include <cstdlib>
+#include <fstream>
+#include <map>
+#include <mutex>
+#include <optional>
+#include <sstream>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include <sys/stat.h>
+
+#include "common/aligned_buffer.hpp"
+#include "common/logging.hpp"
+#include "mpblas/cpu_features.hpp"
+#include "mpblas/microkernel.hpp"
+
+namespace kgwas::mpblas::kernels::autotune {
+
+namespace {
+
+constexpr std::size_t kElem = sizeof(float);
+// Half-occupancy: panels share each level with the other operand's
+// traffic, the C tile, and whatever else the caller keeps hot.
+constexpr std::size_t kOccupancyDivisor = 2;
+// nc cap bounds the footprint-keyed per-thread B pack buffer (nc * kc
+// floats); 2048 * kc<=1024 stays under 8 MiB even on huge-L3 hosts.
+constexpr std::size_t kMaxNc = 2048;
+constexpr std::size_t kMaxMc = 1024;
+constexpr std::size_t kMaxKc = 1024;
+
+// Micro-probe shape and budget: a 256^3 FP32 GEMM is a few ms on any
+// host this runs on, so the ~100 ms budget covers several candidates
+// while staying invisible next to a real solve.
+constexpr std::size_t kProbeDim = 256;
+constexpr auto kProbeBudget = std::chrono::milliseconds(100);
+
+std::size_t round_down(std::size_t x, std::size_t unit) {
+  const std::size_t r = x / unit * unit;
+  return r == 0 ? unit : r;
+}
+
+// ------------------------------------------------------------- tune mode
+
+std::mutex g_mutex;
+std::optional<TuneMode> g_mode_override;
+std::optional<TuneMode> g_mode_env_cache;
+std::atomic<std::size_t> g_probes_run{0};
+
+std::optional<TuneMode> mode_from_name(std::string_view name) {
+  if (name == "off") return TuneMode::kOff;
+  if (name == "analytic") return TuneMode::kAnalytic;
+  if (name == "probe") return TuneMode::kProbe;
+  return std::nullopt;
+}
+
+TuneMode mode_from_env() {
+  const char* value = std::getenv("KGWAS_GEMM_TUNE");
+  if (value == nullptr) return TuneMode::kAnalytic;
+  const std::optional<TuneMode> parsed = mode_from_name(value);
+  if (!parsed) {
+    KGWAS_LOG_WARN("ignoring KGWAS_GEMM_TUNE=\""
+                   << value << "\": expected off|analytic|probe; "
+                   << "using analytic");
+    return TuneMode::kAnalytic;
+  }
+  return *parsed;
+}
+
+// ------------------------------------------------------------ tune cache
+//
+// Flat JSON object: {"<key>": {"mc": N, "kc": N, "nc": N}, ...}.  The
+// parser is deliberately tolerant — a corrupt or foreign file degrades
+// to a cache miss, never an error.
+
+std::string cache_key(const char* arch_name, std::size_t mr, std::size_t nr) {
+  const CpuFeatures& f = cpu_features();
+  std::ostringstream os;
+  os << arch_name << ":" << mr << "x" << nr << ":l1=" << f.l1d_bytes
+     << ":l2=" << f.l2_bytes << ":l3=" << f.l3_bytes;
+  return os.str();
+}
+
+std::string cache_dir() {
+  if (const char* xdg = std::getenv("XDG_CACHE_HOME");
+      xdg != nullptr && xdg[0] != '\0') {
+    return std::string(xdg) + "/kgwas";
+  }
+  if (const char* home = std::getenv("HOME");
+      home != nullptr && home[0] != '\0') {
+    return std::string(home) + "/.cache/kgwas";
+  }
+  return {};
+}
+
+/// Skips whitespace from `i`; returns the new position.
+std::size_t skip_ws(const std::string& s, std::size_t i) {
+  while (i < s.size() && std::isspace(static_cast<unsigned char>(s[i]))) ++i;
+  return i;
+}
+
+bool parse_number_after(const std::string& text, std::string_view field,
+                        std::size_t from, std::size_t until,
+                        std::size_t& out) {
+  const std::string needle = "\"" + std::string(field) + "\"";
+  const std::size_t at = text.find(needle, from);
+  if (at == std::string::npos || at >= until) return false;
+  std::size_t i = skip_ws(text, at + needle.size());
+  if (i >= text.size() || text[i] != ':') return false;
+  i = skip_ws(text, i + 1);
+  std::size_t value = 0;
+  bool any = false;
+  while (i < text.size() && text[i] >= '0' && text[i] <= '9') {
+    value = value * 10 + static_cast<std::size_t>(text[i] - '0');
+    ++i;
+    any = true;
+  }
+  if (!any) return false;
+  out = value;
+  return true;
+}
+
+std::map<std::string, Blocking> load_cache_entries(const std::string& path) {
+  std::map<std::string, Blocking> entries;
+  std::ifstream in(path);
+  if (!in) return entries;
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  const std::string text = buffer.str();
+  // Each entry is a quoted key whose value object contains "mc".  Keys
+  // never contain quotes, so scanning quote-to-quote is enough.
+  std::size_t pos = 0;
+  while (true) {
+    const std::size_t key_begin = text.find('"', pos);
+    if (key_begin == std::string::npos) break;
+    const std::size_t key_end = text.find('"', key_begin + 1);
+    if (key_end == std::string::npos) break;
+    const std::string key = text.substr(key_begin + 1, key_end - key_begin - 1);
+    std::size_t i = skip_ws(text, key_end + 1);
+    if (i < text.size() && text[i] == ':') {
+      i = skip_ws(text, i + 1);
+      if (i < text.size() && text[i] == '{') {
+        const std::size_t obj_end = text.find('}', i);
+        if (obj_end == std::string::npos) break;
+        Blocking b;
+        if (parse_number_after(text, "mc", i, obj_end, b.mc) &&
+            parse_number_after(text, "kc", i, obj_end, b.kc) &&
+            parse_number_after(text, "nc", i, obj_end, b.nc) && b.mc > 0 &&
+            b.kc > 0 && b.nc > 0) {
+          entries[key] = b;
+        }
+        pos = obj_end + 1;
+        continue;
+      }
+    }
+    pos = key_end + 1;
+  }
+  return entries;
+}
+
+void store_cache_entries(const std::string& path,
+                         const std::map<std::string, Blocking>& entries) {
+  const std::string dir = cache_dir();
+  if (dir.empty()) return;
+  // mkdir -p for the two levels we own; errors (exists, no permission)
+  // surface as the ofstream failing below, which we tolerate.
+  const std::size_t parent_end = dir.find_last_of('/');
+  if (parent_end != std::string::npos) {
+    ::mkdir(dir.substr(0, parent_end).c_str(), 0755);
+  }
+  ::mkdir(dir.c_str(), 0755);
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) {
+    KGWAS_LOG_WARN("gemm autotune: cannot write tune cache " << path);
+    return;
+  }
+  out << "{\n";
+  bool first = true;
+  for (const auto& [key, b] : entries) {
+    if (!first) out << ",\n";
+    first = false;
+    out << "  \"" << key << "\": {\"mc\": " << b.mc << ", \"kc\": " << b.kc
+        << ", \"nc\": " << b.nc << "}";
+  }
+  out << "\n}\n";
+}
+
+// -------------------------------------------------------------- probing
+
+/// Median-free best-of-two timing of one candidate blocking; returns
+/// seconds for the faster run (the first run warms the pack buffers).
+double time_candidate(const Blocking& blk, const float* a, const float* b,
+                      float* c) {
+  double best = 0.0;
+  for (int rep = 0; rep < 2; ++rep) {
+    const auto t0 = std::chrono::steady_clock::now();
+    gemm_probe(kProbeDim, kProbeDim, kProbeDim, a, b, c, blk);
+    const auto t1 = std::chrono::steady_clock::now();
+    g_probes_run.fetch_add(1, std::memory_order_relaxed);
+    const double seconds = std::chrono::duration<double>(t1 - t0).count();
+    if (rep == 0 || seconds < best) best = seconds;
+  }
+  return best;
+}
+
+Blocking probe_blocking(const Blocking& analytic, std::size_t mr,
+                        std::size_t nr) {
+  // Candidate grid: {1/2, 1, 2}x around the analytic (mc, kc); nc stays
+  // analytic (it only matters beyond the probe size anyway).
+  std::vector<Blocking> candidates;
+  const double scales[] = {1.0, 0.5, 2.0};
+  for (const double ms : scales) {
+    for (const double ks : scales) {
+      Blocking b = analytic;
+      b.mc = std::clamp(round_down(
+                            static_cast<std::size_t>(
+                                static_cast<double>(analytic.mc) * ms),
+                            mr),
+                        mr, kMaxMc);
+      b.kc = std::clamp(round_down(
+                            static_cast<std::size_t>(
+                                static_cast<double>(analytic.kc) * ks),
+                            kKR),
+                        kKR, kMaxKc);
+      const bool seen =
+          std::any_of(candidates.begin(), candidates.end(), [&](const Blocking& o) {
+            return o.mc == b.mc && o.kc == b.kc && o.nc == b.nc;
+          });
+      if (!seen) candidates.push_back(b);
+    }
+  }
+  (void)nr;
+
+  // Deterministic operand fill (plain LCG): values in [-0.5, 0.5] keep
+  // the contraction well-conditioned; the results are discarded.
+  AlignedVector<float> a(kProbeDim * kProbeDim);
+  AlignedVector<float> b(kProbeDim * kProbeDim);
+  AlignedVector<float> c(kProbeDim * kProbeDim);
+  std::uint64_t state = 0x9e3779b97f4a7c15ull;
+  for (auto* buf : {&a, &b}) {
+    for (float& x : *buf) {
+      state = state * 6364136223846793005ull + 1442695040888963407ull;
+      x = static_cast<float>((state >> 40) & 0xffff) / 65536.0f - 0.5f;
+    }
+  }
+
+  const auto deadline = std::chrono::steady_clock::now() + kProbeBudget;
+  Blocking best = analytic;
+  double best_time = -1.0;
+  for (const Blocking& candidate : candidates) {
+    if (best_time >= 0.0 && std::chrono::steady_clock::now() >= deadline) {
+      break;  // budget spent; keep the best measured so far
+    }
+    const double seconds = time_candidate(candidate, a.data(), b.data(),
+                                          c.data());
+    if (best_time < 0.0 || seconds < best_time) {
+      best_time = seconds;
+      best = candidate;
+    }
+  }
+  return best;
+}
+
+}  // namespace
+
+const char* to_string(TuneMode mode) {
+  switch (mode) {
+    case TuneMode::kOff:
+      return "off";
+    case TuneMode::kAnalytic:
+      return "analytic";
+    case TuneMode::kProbe:
+      return "probe";
+  }
+  return "?";
+}
+
+TuneMode tune_mode() {
+  std::lock_guard<std::mutex> lock(g_mutex);
+  if (g_mode_override) return *g_mode_override;
+  if (!g_mode_env_cache) g_mode_env_cache = mode_from_env();
+  return *g_mode_env_cache;
+}
+
+void set_tune_mode(std::optional<TuneMode> mode) {
+  {
+    std::lock_guard<std::mutex> lock(g_mutex);
+    g_mode_override = mode;
+    if (!mode) g_mode_env_cache.reset();
+  }
+  detail::invalidate_resolved_blocking();
+}
+
+Blocking analytic_blocking(std::size_t mr, std::size_t nr) {
+  const CpuFeatures& f = cpu_features();
+  Blocking b;
+  // kc: one mr x kc A micro-panel plus one kc x nr B micro-panel live in
+  // L1d together with the C micro-tile; target half occupancy.
+  b.kc = std::clamp(
+      round_down(f.l1d_bytes / (kOccupancyDivisor * kElem * (mr + nr)), kKR),
+      kKR, kMaxKc);
+  // mc: the packed mc x kc A block is the L2 resident.  Caps are rounded
+  // to the micro-tile multiple so the analytic blocking always tiles
+  // cleanly, even when it saturates.
+  b.mc = std::clamp(round_down(f.l2_bytes / (kOccupancyDivisor * kElem * b.kc),
+                               mr),
+                    mr, round_down(kMaxMc, mr));
+  // nc: the packed kc x nc B block is the L3 resident.
+  b.nc = std::clamp(round_down(f.l3_bytes / (kOccupancyDivisor * kElem * b.kc),
+                               nr),
+                    nr, round_down(kMaxNc, nr));
+  return b;
+}
+
+std::string tune_cache_path() {
+  const std::string dir = cache_dir();
+  return dir.empty() ? std::string() : dir + "/gemm_tune.json";
+}
+
+std::size_t probes_run() {
+  return g_probes_run.load(std::memory_order_relaxed);
+}
+
+Blocking tuned_blocking(const char* arch_name, std::size_t mr,
+                        std::size_t nr) {
+  const TuneMode mode = tune_mode();
+  if (mode == TuneMode::kOff) return Blocking{};
+  const Blocking analytic = analytic_blocking(mr, nr);
+  if (mode == TuneMode::kAnalytic) return analytic;
+
+  // Probe mode: serve from the per-host cache when possible; otherwise
+  // measure once and persist.  Serialized — concurrent first-touch would
+  // probe twice and double-write the cache file.
+  std::lock_guard<std::mutex> lock(g_mutex);
+  const std::string key = cache_key(arch_name, mr, nr);
+  const std::string path = tune_cache_path();
+  std::map<std::string, Blocking> entries;
+  if (!path.empty()) {
+    entries = load_cache_entries(path);
+    if (const auto it = entries.find(key); it != entries.end()) {
+      return it->second;
+    }
+  }
+  const Blocking best = probe_blocking(analytic, mr, nr);
+  KGWAS_LOG_INFO("gemm autotune(" << key << "): mc=" << best.mc
+                                  << " kc=" << best.kc << " nc=" << best.nc);
+  if (!path.empty()) {
+    entries[key] = best;
+    store_cache_entries(path, entries);
+  }
+  return best;
+}
+
+}  // namespace kgwas::mpblas::kernels::autotune

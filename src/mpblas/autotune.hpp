@@ -1,0 +1,73 @@
+// Cache-aware blocking autotuner for the packed GEMM/SYRK engine.
+//
+// The PR4 engine shipped one fixed blocking (mc=128, kc=256, nc=1024)
+// sized for a generic 32K/512K/8M cache hierarchy.  This module derives
+// the blocking from the *probed* hierarchy instead, per microkernel
+// variant (the AVX-512 16x6 tile wants different panels than the 8x6
+// kernels):
+//
+//  * analytic (the default): the standard BLIS occupancy model —
+//    kc sized so one A micro-panel (mr x kc) plus one B micro-panel
+//    (kc x nr) fill about half of L1d; mc so the packed A block
+//    (mc x kc) fills about half of L2; nc so the packed B block
+//    (kc x nc) fills about half of L3.  Pure arithmetic, runs in
+//    nanoseconds, no measurement noise.
+//  * probe: the analytic point plus a small {1/2, 1, 2}x neighborhood
+//    around (mc, kc) is micro-benchmarked with real packed GEMMs under
+//    a ~100 ms wall-clock budget; the best-measured blocking wins and
+//    is persisted per host+variant to the tune cache, so later runs
+//    skip the probe entirely.
+//  * off: the fixed PR4 defaults, for bit-for-bit comparisons against
+//    old runs.
+//
+// Mode selection: KGWAS_GEMM_TUNE=off|analytic|probe (default analytic;
+// unknown values warn and fall back to analytic).  Tune cache:
+// $XDG_CACHE_HOME/kgwas/gemm_tune.json (or ~/.cache/kgwas/...), keyed by
+// variant name, micro-tile shape, and the probed cache sizes — a change
+// in any of them (new binary on a different host, different variant)
+// misses the cache and re-probes.  Delete the file to force re-tuning.
+//
+// KGWAS_GEMM_MC/KC/NC overrides are applied *after* tuning, in
+// kernels.cpp — the tuner only supplies the defaults they override.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <string>
+
+#include "mpblas/kernels.hpp"
+
+namespace kgwas::mpblas::kernels::autotune {
+
+enum class TuneMode { kOff, kAnalytic, kProbe };
+
+/// "off" | "analytic" | "probe" — the KGWAS_GEMM_TUNE spellings.
+const char* to_string(TuneMode mode);
+
+/// The process-wide tune mode: set_tune_mode() override when set, else
+/// KGWAS_GEMM_TUNE, else kAnalytic.  Cached after first read.
+TuneMode tune_mode();
+
+/// Test override; nullopt re-reads the environment on next query.  Also
+/// invalidates the engine's resolved blocking so the next
+/// gemm_blocking() re-tunes under the new mode.
+void set_tune_mode(std::optional<TuneMode> mode);
+
+/// The blocking for a variant under the current tune mode.  `arch_name`
+/// and the micro-tile shape identify the variant in the tune cache.
+Blocking tuned_blocking(const char* arch_name, std::size_t mr,
+                        std::size_t nr);
+
+/// The analytic BLIS-model blocking for a micro-tile shape on this host
+/// (exposed separately so tests can check the cache-occupancy bounds).
+Blocking analytic_blocking(std::size_t mr, std::size_t nr);
+
+/// Absolute path of the persisted tune cache; empty when no cache
+/// directory can be determined (no XDG_CACHE_HOME and no HOME).
+std::string tune_cache_path();
+
+/// Timed micro-probe GEMMs executed by this process so far.  A tune-cache
+/// hit runs zero probes — tests assert persistence through this counter.
+std::size_t probes_run();
+
+}  // namespace kgwas::mpblas::kernels::autotune

@@ -1,0 +1,51 @@
+// Runtime CPU capability probe for the packed GEMM/SYRK engine.
+//
+// The engine's microkernel variants (mpblas/kernels.hpp) are compiled
+// per-ISA into their own translation units and selected at startup from
+// what the *running* CPU actually supports — a binary built on an AVX2
+// box must pick the AVX-512 kernel when it lands on an AVX-512 host and
+// fall back to the portable kernel on anything older.  The cache-aware
+// blocking autotuner (mpblas/autotune.hpp) additionally needs the cache
+// hierarchy of the host to size MC/KC/NC analytically.
+//
+// The probe runs once per process (first call) and is then immutable.
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+namespace kgwas::mpblas {
+
+struct CpuFeatures {
+  // Vector ISA levels relevant to the compiled-in microkernel variants.
+  bool avx2 = false;     ///< AVX2 (x86-64)
+  bool fma = false;      ///< FMA3 (x86-64; the AVX2 kernel requires both)
+  bool avx512f = false;  ///< AVX-512 Foundation (x86-64)
+  bool neon = false;     ///< NEON/ASIMD (aarch64: always true)
+
+  // Per-core data cache sizes in bytes.  When the OS exposes nothing the
+  // probe falls back to conservative defaults (32 KiB / 512 KiB / 8 MiB)
+  // so the analytic blocking model always has something sane to work with.
+  std::size_t l1d_bytes = 0;
+  std::size_t l2_bytes = 0;
+  std::size_t l3_bytes = 0;  ///< shared LLC (0 never happens; see fallback)
+
+  std::size_t logical_cores = 1;
+
+  /// True when the cache sizes came from the OS rather than the fallback
+  /// constants — the autotuner records this so a persisted tune entry
+  /// from a fully-probed host is never confused with a guessed one.
+  bool caches_probed = false;
+};
+
+/// The host's capabilities, probed on first call and cached for the
+/// process lifetime.  Never throws; missing information degrades to the
+/// documented fallbacks.
+const CpuFeatures& cpu_features();
+
+/// "avx2+fma avx512f l1d=32768 l2=1048576 l3=33554432 cores=8" — the
+/// form logged at dispatch time and embedded in profiler traces and the
+/// autotuner's per-host cache key.
+std::string to_string(const CpuFeatures& features);
+
+}  // namespace kgwas::mpblas

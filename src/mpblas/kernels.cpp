@@ -4,10 +4,17 @@
 #include <atomic>
 #include <cstdint>
 #include <cstdlib>
+#include <mutex>
+#include <optional>
 #include <string_view>
 
 #include "common/env.hpp"
+#include "common/logging.hpp"
+#include "common/scheduler.hpp"
 #include "common/status.hpp"
+#include "mpblas/autotune.hpp"
+#include "mpblas/cpu_features.hpp"
+#include "mpblas/microkernel.hpp"
 #include "precision/convert.hpp"
 #include "tile/tile_pool.hpp"
 
@@ -21,6 +28,14 @@ namespace kgwas::mpblas::kernels {
 
 namespace {
 
+using detail::MicroKernel;
+
+/// Upper bounds across every compiled variant's micro-tile shape, so the
+/// drivers can keep the accumulator block on the stack; resolution
+/// checks each variant against them at dispatch time.
+constexpr std::size_t kMaxMR = 16;
+constexpr std::size_t kMaxNR = 8;
+
 // ------------------------------------------------------------- selection
 
 GemmBackend backend_from_env() {
@@ -33,20 +48,187 @@ GemmBackend backend_from_env() {
 }
 
 std::atomic<int> g_backend_override{-1};
-
-Blocking blocking_from_env() {
-  const Blocking defaults;
-  Blocking b;
-  b.mc = std::max<std::size_t>(1, env_size_t("KGWAS_GEMM_MC", defaults.mc));
-  b.kc = std::max<std::size_t>(1, env_size_t("KGWAS_GEMM_KC", defaults.kc));
-  b.nc = std::max<std::size_t>(1, env_size_t("KGWAS_GEMM_NC", defaults.nc));
-  return b;
-}
-
 std::atomic<int> g_backend_env_cache{-1};  // -1 = env not read yet
 
-std::atomic<bool> g_blocking_set{false};
-std::atomic<std::size_t> g_mc{0}, g_kc{0}, g_nc{0};
+// ------------------------------------------------------- variant dispatch
+
+const MicroKernel* kernel_for(Arch arch) {
+  switch (arch) {
+    case Arch::kGeneric:
+      return detail::generic_microkernel();
+    case Arch::kAvx2:
+      return detail::avx2_microkernel();
+    case Arch::kAvx512:
+      return detail::avx512_microkernel();
+    case Arch::kNeon:
+      return detail::neon_microkernel();
+  }
+  return nullptr;
+}
+
+bool host_supports(Arch arch) {
+  const CpuFeatures& f = cpu_features();
+  switch (arch) {
+    case Arch::kGeneric:
+      return true;
+    case Arch::kAvx2:
+      return f.avx2 && f.fma;
+    case Arch::kAvx512:
+      return f.avx512f;
+    case Arch::kNeon:
+      return f.neon;
+  }
+  return false;
+}
+
+bool runnable(Arch arch) {
+  return kernel_for(arch) != nullptr && host_supports(arch);
+}
+
+constexpr Arch kAllArchs[] = {Arch::kGeneric, Arch::kAvx2, Arch::kAvx512,
+                              Arch::kNeon};
+// Widest vectors first; kGeneric is the implicit floor.
+constexpr Arch kPreferenceOrder[] = {Arch::kAvx512, Arch::kAvx2, Arch::kNeon};
+
+std::optional<Arch> arch_from_name(std::string_view name) {
+  if (name == "generic") return Arch::kGeneric;
+  if (name == "avx2") return Arch::kAvx2;
+  if (name == "avx512") return Arch::kAvx512;
+  if (name == "neon") return Arch::kNeon;
+  return std::nullopt;
+}
+
+std::mutex g_arch_mutex;
+std::optional<Arch> g_arch_override;
+std::atomic<const MicroKernel*> g_selected{nullptr};
+
+Arch best_available_arch() {
+  for (const Arch arch : kPreferenceOrder) {
+    if (runnable(arch)) return arch;
+  }
+  return Arch::kGeneric;
+}
+
+Arch resolve_arch_locked() {
+  if (g_arch_override) {
+    if (runnable(*g_arch_override)) return *g_arch_override;
+    KGWAS_LOG_WARN("gemm arch override \""
+                   << to_string(*g_arch_override)
+                   << "\" is not runnable on this host/binary; using "
+                   << to_string(best_available_arch()));
+    return best_available_arch();
+  }
+  // Empty means unset: CI jobs clear a job-level pin with ARCH="".
+  if (const char* env = std::getenv("KGWAS_GEMM_ARCH");
+      env != nullptr && env[0] != '\0') {
+    const std::optional<Arch> parsed = arch_from_name(env);
+    if (!parsed) {
+      KGWAS_LOG_WARN("ignoring KGWAS_GEMM_ARCH=\""
+                     << env << "\": expected generic|avx2|avx512|neon");
+    } else if (!runnable(*parsed)) {
+      KGWAS_LOG_WARN("KGWAS_GEMM_ARCH="
+                     << env << " is not runnable on this host/binary; using "
+                     << to_string(best_available_arch()));
+    } else {
+      return *parsed;
+    }
+  }
+  return best_available_arch();
+}
+
+const MicroKernel& selected_kernel() {
+  const MicroKernel* cached = g_selected.load(std::memory_order_acquire);
+  if (cached != nullptr) return *cached;
+  std::lock_guard<std::mutex> lock(g_arch_mutex);
+  cached = g_selected.load(std::memory_order_relaxed);
+  if (cached != nullptr) return *cached;
+  const MicroKernel* resolved = kernel_for(resolve_arch_locked());
+  KGWAS_CHECK_ARG(resolved != nullptr && resolved->mr <= kMaxMR &&
+                      resolved->nr <= kMaxNR,
+                  "gemm dispatch resolved an invalid microkernel variant");
+  KGWAS_LOG_DEBUG("gemm engine: variant " << resolved->name << " ("
+                                          << resolved->mr << "x" << resolved->nr
+                                          << ")");
+  g_selected.store(resolved, std::memory_order_release);
+  return *resolved;
+}
+
+// --------------------------------------------------------------- blocking
+
+std::mutex g_blocking_mutex;
+std::optional<Blocking> g_blocking_override;
+std::optional<Blocking> g_blocking_resolved;
+
+/// One KGWAS_GEMM_MC/KC/NC value on top of its tuned default: unset keeps
+/// the tuned value; set-but-invalid (unparsable, zero, or not a multiple
+/// of kKR) warns and keeps the tuned value.
+std::size_t env_blocking_value(const char* name, std::size_t tuned) {
+  const char* raw = std::getenv(name);
+  if (raw == nullptr) return tuned;
+  const std::size_t parsed = env_size_t(name, 0);
+  if (parsed == 0 || parsed % kKR != 0) {
+    KGWAS_LOG_WARN("ignoring " << name << "=\"" << raw
+                               << "\": must be a positive multiple of " << kKR
+                               << "; using tuned value " << tuned);
+    return tuned;
+  }
+  return parsed;
+}
+
+// ------------------------------------------------------- parallel packing
+
+std::atomic<std::size_t> g_pack_threads_override{0};  // 0 = unset
+std::atomic<std::size_t> g_pack_threads_env{0};       // 0 = env not read
+
+/// Dedicated pool for whole-operand packing.  Leaked (like
+/// TilePool::global) so worker-thread statics never outlive it; sized by
+/// the host, not by pack_threads(), which instead bounds how many chunks
+/// one pack fans out into.
+Scheduler& pack_scheduler() {
+  static Scheduler* scheduler = new Scheduler(
+      std::min<std::size_t>(cpu_features().logical_cores, 16));
+  return *scheduler;
+}
+
+/// Below this many packed elements per chunk, fan-out overhead beats the
+/// memory-bound copy it parallelizes.
+constexpr std::size_t kParallelPackMinElements = 128u * 1024;
+
+/// Runs body(0..blocks-1), fanning out across the pack scheduler when the
+/// operand is large enough.  Chunks own disjoint block ranges (each block
+/// is a disjoint buffer region), so there is no write sharing; a plain
+/// atomic countdown is the join.
+template <typename Body>
+void for_each_pack_block(std::size_t blocks, std::size_t total_elements,
+                         const Body& body) {
+  std::size_t min_elements = kParallelPackMinElements;
+  // On a scheduler worker the pack already sits under task-level
+  // parallelism; only truly large operands justify nested fan-out.
+  if (Scheduler::on_worker_thread()) min_elements *= 4;
+  const std::size_t chunks = std::min(
+      {blocks, pack_threads(),
+       std::max<std::size_t>(1, total_elements / min_elements)});
+  if (chunks <= 1) {
+    for (std::size_t i = 0; i < blocks; ++i) body(i);
+    return;
+  }
+  Scheduler& scheduler = pack_scheduler();
+  std::atomic<std::size_t> remaining{chunks};
+  for (std::size_t chunk = 0; chunk < chunks; ++chunk) {
+    const std::size_t begin = blocks * chunk / chunks;
+    const std::size_t end = blocks * (chunk + 1) / chunks;
+    scheduler.submit([&body, &remaining, begin, end] {
+      for (std::size_t i = begin; i < end; ++i) body(i);
+      if (remaining.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+        remaining.notify_all();
+      }
+    });
+  }
+  for (std::size_t left = remaining.load(std::memory_order_acquire);
+       left != 0; left = remaining.load(std::memory_order_acquire)) {
+    remaining.wait(left, std::memory_order_acquire);
+  }
+}
 
 // --------------------------------------------------------------- packing
 
@@ -104,21 +286,23 @@ void with_reader(const OperandView& view, Fn&& fn) {
   }
 }
 
-/// Packs the (i0.., p0..) block of op(A), mb x kb, into MR-row
-/// micro-panels: panel p holds, for each of the kb columns, kMR
+/// Packs the (i0.., p0..) block of op(A), mb x kb, into `mr`-row
+/// micro-panels: panel p holds, for each of the kb columns, mr
 /// consecutive row values (rows past mb zero-padded), so the microkernel
 /// streams unit-stride regardless of the source trans/stride/precision.
+/// `mr` is the selected variant's register-tile height.
 template <typename Reader>
 void pack_a_block_impl(const Reader& read, Trans trans, std::size_t ld,
                        std::size_t i0, std::size_t p0, std::size_t mb,
-                       std::size_t kb, float* KGWAS_RESTRICT dst) {
-  const std::size_t panels = (mb + kMR - 1) / kMR;
+                       std::size_t kb, std::size_t mr,
+                       float* KGWAS_RESTRICT dst) {
+  const std::size_t panels = (mb + mr - 1) / mr;
   for (std::size_t p = 0; p < panels; ++p) {
-    const std::size_t row0 = i0 + p * kMR;
-    const std::size_t rows = std::min(kMR, mb - p * kMR);
-    float* KGWAS_RESTRICT panel = dst + p * kMR * kb;
+    const std::size_t row0 = i0 + p * mr;
+    const std::size_t rows = std::min(mr, mb - p * mr);
+    float* KGWAS_RESTRICT panel = dst + p * mr * kb;
     for (std::size_t l = 0; l < kb; ++l) {
-      float* KGWAS_RESTRICT out = panel + l * kMR;
+      float* KGWAS_RESTRICT out = panel + l * mr;
       if (trans == Trans::kNoTrans) {
         const std::size_t base = row0 + (p0 + l) * ld;
         for (std::size_t r = 0; r < rows; ++r) out[r] = read(base + r);
@@ -128,24 +312,25 @@ void pack_a_block_impl(const Reader& read, Trans trans, std::size_t ld,
           out[r] = read(col + (row0 + r) * ld);
         }
       }
-      for (std::size_t r = rows; r < kMR; ++r) out[r] = 0.0f;
+      for (std::size_t r = rows; r < mr; ++r) out[r] = 0.0f;
     }
   }
 }
 
-/// Packs the (p0.., j0..) block of op(B), kb x nb, into NR-column
+/// Packs the (p0.., j0..) block of op(B), kb x nb, into `nr`-column
 /// micro-panels (columns past nb zero-padded).
 template <typename Reader>
 void pack_b_block_impl(const Reader& read, Trans trans, std::size_t ld,
                        std::size_t p0, std::size_t j0, std::size_t kb,
-                       std::size_t nb, float* KGWAS_RESTRICT dst) {
-  const std::size_t panels = (nb + kNR - 1) / kNR;
+                       std::size_t nb, std::size_t nr,
+                       float* KGWAS_RESTRICT dst) {
+  const std::size_t panels = (nb + nr - 1) / nr;
   for (std::size_t q = 0; q < panels; ++q) {
-    const std::size_t col0 = j0 + q * kNR;
-    const std::size_t cols = std::min(kNR, nb - q * kNR);
-    float* KGWAS_RESTRICT panel = dst + q * kNR * kb;
+    const std::size_t col0 = j0 + q * nr;
+    const std::size_t cols = std::min(nr, nb - q * nr);
+    float* KGWAS_RESTRICT panel = dst + q * nr * kb;
     for (std::size_t l = 0; l < kb; ++l) {
-      float* KGWAS_RESTRICT out = panel + l * kNR;
+      float* KGWAS_RESTRICT out = panel + l * nr;
       if (trans == Trans::kNoTrans) {
         const std::size_t base = p0 + l;
         for (std::size_t c = 0; c < cols; ++c) {
@@ -155,7 +340,7 @@ void pack_b_block_impl(const Reader& read, Trans trans, std::size_t ld,
         const std::size_t base = col0 + (p0 + l) * ld;
         for (std::size_t c = 0; c < cols; ++c) out[c] = read(base + c);
       }
-      for (std::size_t c = cols; c < kNR; ++c) out[c] = 0.0f;
+      for (std::size_t c = cols; c < nr; ++c) out[c] = 0.0f;
     }
   }
 }
@@ -169,19 +354,19 @@ void round_packed(Precision round_to, float* data, std::size_t n) {
 }
 
 void pack_a_block(const OperandView& a, std::size_t i0, std::size_t p0,
-                  std::size_t mb, std::size_t kb, float* dst) {
+                  std::size_t mb, std::size_t kb, std::size_t mr, float* dst) {
   with_reader(a, [&](const auto& read) {
-    pack_a_block_impl(read, a.trans, a.ld, i0, p0, mb, kb, dst);
+    pack_a_block_impl(read, a.trans, a.ld, i0, p0, mb, kb, mr, dst);
   });
-  round_packed(a.round_to, dst, round_up(mb, kMR) * kb);
+  round_packed(a.round_to, dst, round_up(mb, mr) * kb);
 }
 
 void pack_b_block(const OperandView& b, std::size_t p0, std::size_t j0,
-                  std::size_t kb, std::size_t nb, float* dst) {
+                  std::size_t kb, std::size_t nb, std::size_t nr, float* dst) {
   with_reader(b, [&](const auto& read) {
-    pack_b_block_impl(read, b.trans, b.ld, p0, j0, kb, nb, dst);
+    pack_b_block_impl(read, b.trans, b.ld, p0, j0, kb, nb, nr, dst);
   });
-  round_packed(b.round_to, dst, round_up(nb, kNR) * kb);
+  round_packed(b.round_to, dst, round_up(nb, nr) * kb);
 }
 
 // ----------------------------------------------------- pack buffer reuse
@@ -213,19 +398,34 @@ struct ThreadPackBuffer {
 thread_local ThreadPackBuffer t_pack_a;
 thread_local ThreadPackBuffer t_pack_b;
 
-std::size_t a_block_capacity(std::size_t m, std::size_t k,
-                             const Blocking& blk) {
-  return round_up(std::min(blk.mc, m), kMR) * std::min(blk.kc, k);
+/// Per-block stride inside a PackedA/PackedB buffer: sized to the
+/// operand, so whole-operand packs don't over-allocate on small tiles.
+std::size_t a_block_capacity(std::size_t m, std::size_t k, const Blocking& blk,
+                             std::size_t mr) {
+  return round_up(std::min(blk.mc, m), mr) * std::min(blk.kc, k);
 }
 
-std::size_t b_block_capacity(std::size_t n, std::size_t k,
-                             const Blocking& blk) {
-  return round_up(std::min(blk.nc, n), kNR) * std::min(blk.kc, k);
+std::size_t b_block_capacity(std::size_t n, std::size_t k, const Blocking& blk,
+                             std::size_t nr) {
+  return round_up(std::min(blk.nc, n), nr) * std::min(blk.kc, k);
+}
+
+/// Per-thread pack buffer sizes: keyed off the *blocking's* full
+/// footprint, not the operand shape, so every GEMM under one resolved
+/// blocking reuses the same two buffers regardless of its m/n/k — a
+/// workload of varied shapes causes zero steady-state pool growth.
+std::size_t a_pack_footprint(const Blocking& blk, std::size_t mr) {
+  return round_up(blk.mc, mr) * blk.kc;
+}
+
+std::size_t b_pack_footprint(const Blocking& blk, std::size_t nr) {
+  return round_up(blk.nc, nr) * blk.kc;
 }
 
 // ----------------------------------------------------------- microkernel
 
-/// Register-tiled MR x NR rank-kb update over packed panels.
+/// Register-tiled 8 x 6 rank-kb update over packed panels — the portable
+/// dispatch floor (Arch::kGeneric).
 ///
 /// The GNU-vector variant keeps the 6 accumulators in named vector
 /// variables — one 8-lane vector per micro-tile column — which the
@@ -280,25 +480,28 @@ void micro_kernel(std::size_t kb, const float* KGWAS_RESTRICT a,
 }
 #endif
 
-/// One (mb x nb) macro-tile: packed A block x packed B block into C.
-void macro_gemm(std::size_t mb, std::size_t nb, std::size_t kb, float alpha,
-                const float* packed_a, const float* packed_b, float* c,
-                std::size_t ldc) {
-  const std::size_t m_panels = (mb + kMR - 1) / kMR;
-  const std::size_t n_panels = (nb + kNR - 1) / kNR;
+/// One (mb x nb) macro-tile: packed A block x packed B block into C,
+/// register-tiled by the selected variant's microkernel.
+void macro_gemm(const MicroKernel& uk, std::size_t mb, std::size_t nb,
+                std::size_t kb, float alpha, const float* packed_a,
+                const float* packed_b, float* c, std::size_t ldc) {
+  const std::size_t mr = uk.mr;
+  const std::size_t nr = uk.nr;
+  const std::size_t m_panels = (mb + mr - 1) / mr;
+  const std::size_t n_panels = (nb + nr - 1) / nr;
   for (std::size_t q = 0; q < n_panels; ++q) {
-    const std::size_t j0 = q * kNR;
-    const std::size_t cols = std::min(kNR, nb - j0);
-    const float* bp = packed_b + q * kNR * kb;
+    const std::size_t j0 = q * nr;
+    const std::size_t cols = std::min(nr, nb - j0);
+    const float* bp = packed_b + q * nr * kb;
     for (std::size_t p = 0; p < m_panels; ++p) {
-      const std::size_t i0 = p * kMR;
-      const std::size_t rows = std::min(kMR, mb - i0);
-      // Fully written by micro_kernel, no pre-zeroing needed.
-      alignas(kDefaultAlignment) float acc[kMR * kNR];
-      micro_kernel(kb, packed_a + p * kMR * kb, bp, acc);
+      const std::size_t i0 = p * mr;
+      const std::size_t rows = std::min(mr, mb - i0);
+      // Fully written by the microkernel, no pre-zeroing needed.
+      alignas(kDefaultAlignment) float acc[kMaxMR * kMaxNR];
+      uk.gemm(kb, packed_a + p * mr * kb, bp, acc);
       for (std::size_t j = 0; j < cols; ++j) {
         float* KGWAS_RESTRICT cj = c + i0 + (j0 + j) * ldc;
-        const float* KGWAS_RESTRICT accj = acc + j * kMR;
+        const float* KGWAS_RESTRICT accj = acc + j * mr;
         for (std::size_t i = 0; i < rows; ++i) cj[i] += alpha * accj[i];
       }
     }
@@ -308,32 +511,34 @@ void macro_gemm(std::size_t mb, std::size_t nb, std::size_t kb, float alpha,
 /// Triangle-masked macro-tile for SYRK: (gi0, gj0) are the block's global
 /// coordinates in C; micro tiles fully outside the `uplo` triangle are
 /// skipped, crossing tiles mask their stores element-wise.
-void macro_syrk(Uplo uplo, std::size_t gi0, std::size_t gj0, std::size_t mb,
-                std::size_t nb, std::size_t kb, float alpha,
-                const float* packed_a, const float* packed_b, float* c,
-                std::size_t ldc) {
+void macro_syrk(const MicroKernel& uk, Uplo uplo, std::size_t gi0,
+                std::size_t gj0, std::size_t mb, std::size_t nb,
+                std::size_t kb, float alpha, const float* packed_a,
+                const float* packed_b, float* c, std::size_t ldc) {
+  const std::size_t mr = uk.mr;
+  const std::size_t nr = uk.nr;
   const bool lower = uplo == Uplo::kLower;
-  const std::size_t m_panels = (mb + kMR - 1) / kMR;
-  const std::size_t n_panels = (nb + kNR - 1) / kNR;
+  const std::size_t m_panels = (mb + mr - 1) / mr;
+  const std::size_t n_panels = (nb + nr - 1) / nr;
   for (std::size_t q = 0; q < n_panels; ++q) {
-    const std::size_t j0 = q * kNR;
-    const std::size_t cols = std::min(kNR, nb - j0);
-    const float* bp = packed_b + q * kNR * kb;
+    const std::size_t j0 = q * nr;
+    const std::size_t cols = std::min(nr, nb - j0);
+    const float* bp = packed_b + q * nr * kb;
     for (std::size_t p = 0; p < m_panels; ++p) {
-      const std::size_t i0 = p * kMR;
-      const std::size_t rows = std::min(kMR, mb - i0);
+      const std::size_t i0 = p * mr;
+      const std::size_t rows = std::min(mr, mb - i0);
       const std::size_t gi_lo = gi0 + i0;
       const std::size_t gj_lo = gj0 + j0;
       if (lower ? (gi_lo + rows - 1 < gj_lo)
                 : (gi_lo > gj_lo + cols - 1)) {
         continue;  // micro tile entirely outside the triangle
       }
-      alignas(kDefaultAlignment) float acc[kMR * kNR];
-      micro_kernel(kb, packed_a + p * kMR * kb, bp, acc);
+      alignas(kDefaultAlignment) float acc[kMaxMR * kMaxNR];
+      uk.gemm(kb, packed_a + p * mr * kb, bp, acc);
       for (std::size_t j = 0; j < cols; ++j) {
         const std::size_t gj = gj_lo + j;
         float* cj = c + i0 + (j0 + j) * ldc;
-        const float* accj = acc + j * kMR;
+        const float* accj = acc + j * mr;
         for (std::size_t i = 0; i < rows; ++i) {
           const std::size_t gi = gi_lo + i;
           if (lower ? gi >= gj : gi <= gj) cj[i] += alpha * accj[i];
@@ -376,11 +581,12 @@ void scale_c_triangle(Uplo uplo, float beta, std::size_t n, float* c,
 /// `b_block(jc, pc, nb, kb)` supply the packed blocks — packed on the
 /// fly into the thread-local buffers or served from a PackedA/PackedB;
 /// all combinations produce identical panels, so every path is bitwise
-/// equal.
+/// equal under a fixed variant.
 template <typename ABlockFn, typename BBlockFn>
-void gemm_driver(std::size_t m, std::size_t n, std::size_t k, float alpha,
-                 const ABlockFn& a_block, const BBlockFn& b_block, float* c,
-                 std::size_t ldc, const Blocking& blk) {
+void gemm_driver(const MicroKernel& uk, std::size_t m, std::size_t n,
+                 std::size_t k, float alpha, const ABlockFn& a_block,
+                 const BBlockFn& b_block, float* c, std::size_t ldc,
+                 const Blocking& blk) {
   for (std::size_t jc = 0; jc < n; jc += blk.nc) {
     const std::size_t nb = std::min(blk.nc, n - jc);
     for (std::size_t pc = 0; pc < k; pc += blk.kc) {
@@ -388,8 +594,176 @@ void gemm_driver(std::size_t m, std::size_t n, std::size_t k, float alpha,
       const float* packed_b = b_block(jc, pc, nb, kb);
       for (std::size_t ic = 0; ic < m; ic += blk.mc) {
         const std::size_t mb = std::min(blk.mc, m - ic);
-        macro_gemm(mb, nb, kb, alpha, a_block(ic, pc, mb, kb), packed_b,
+        macro_gemm(uk, mb, nb, kb, alpha, a_block(ic, pc, mb, kb), packed_b,
                    c + ic + jc * ldc, ldc);
+      }
+    }
+  }
+}
+
+// --------------------------------------------------- int8-accumulate path
+//
+// When both operands are stored as INT8 (and request no tensor-core
+// operand rounding — it would be a no-op on integers anyway, but the
+// semantics say values pass through quantize_inplace), the engine skips
+// the float pipeline entirely: operands pack into i16 micro-panels, the
+// microkernel accumulates exact i32 dot products, and only the epilogue
+// converts to FP32 (scaled by alpha).  Exact while every |dot product|
+// stays below 2^31 — worst case k * 127 * 127 < 2^31, i.e. any k below
+// ~133k — which beats FP32 accumulation (exact only to 2^24) on the
+// integer genotype data this path exists for.  The tile is a fixed
+// 8 x 6 regardless of the dispatched float variant, so INT8 results are
+// identical across KGWAS_GEMM_ARCH settings.
+
+constexpr std::size_t kI8Mr = 8;
+constexpr std::size_t kI8Nr = 6;
+
+void pack_a_block_i8(const OperandView& a, std::size_t i0, std::size_t p0,
+                     std::size_t mb, std::size_t kb,
+                     std::int16_t* KGWAS_RESTRICT dst) {
+  const auto* src = static_cast<const std::int8_t*>(a.data);
+  const std::size_t ld = a.ld;
+  const std::size_t panels = (mb + kI8Mr - 1) / kI8Mr;
+  for (std::size_t p = 0; p < panels; ++p) {
+    const std::size_t row0 = i0 + p * kI8Mr;
+    const std::size_t rows = std::min(kI8Mr, mb - p * kI8Mr);
+    std::int16_t* KGWAS_RESTRICT panel = dst + p * kI8Mr * kb;
+    for (std::size_t l = 0; l < kb; ++l) {
+      std::int16_t* KGWAS_RESTRICT out = panel + l * kI8Mr;
+      if (a.trans == Trans::kNoTrans) {
+        const std::size_t base = row0 + (p0 + l) * ld;
+        for (std::size_t r = 0; r < rows; ++r) out[r] = src[base + r];
+      } else {
+        const std::size_t col = p0 + l;
+        for (std::size_t r = 0; r < rows; ++r) {
+          out[r] = src[col + (row0 + r) * ld];
+        }
+      }
+      for (std::size_t r = rows; r < kI8Mr; ++r) out[r] = 0;
+    }
+  }
+}
+
+void pack_b_block_i8(const OperandView& b, std::size_t p0, std::size_t j0,
+                     std::size_t kb, std::size_t nb,
+                     std::int16_t* KGWAS_RESTRICT dst) {
+  const auto* src = static_cast<const std::int8_t*>(b.data);
+  const std::size_t ld = b.ld;
+  const std::size_t panels = (nb + kI8Nr - 1) / kI8Nr;
+  for (std::size_t q = 0; q < panels; ++q) {
+    const std::size_t col0 = j0 + q * kI8Nr;
+    const std::size_t cols = std::min(kI8Nr, nb - q * kI8Nr);
+    std::int16_t* KGWAS_RESTRICT panel = dst + q * kI8Nr * kb;
+    for (std::size_t l = 0; l < kb; ++l) {
+      std::int16_t* KGWAS_RESTRICT out = panel + l * kI8Nr;
+      if (b.trans == Trans::kNoTrans) {
+        const std::size_t base = p0 + l;
+        for (std::size_t c = 0; c < cols; ++c) {
+          out[c] = src[base + (col0 + c) * ld];
+        }
+      } else {
+        const std::size_t base = col0 + (p0 + l) * ld;
+        for (std::size_t c = 0; c < cols; ++c) out[c] = src[base + c];
+      }
+      for (std::size_t c = cols; c < kI8Nr; ++c) out[c] = 0;
+    }
+  }
+}
+
+/// 8 x 6 i16 x i16 -> i32 register tile.  The i16 widening happens at
+/// pack time, so the inner loop is pure multiply-accumulate the compiler
+/// can vectorize (pmaddwd-class codegen under x86).
+void micro_kernel_i8(std::size_t kb, const std::int16_t* KGWAS_RESTRICT a,
+                     const std::int16_t* KGWAS_RESTRICT b,
+                     std::int32_t* KGWAS_RESTRICT acc) {
+  std::int32_t local[kI8Mr * kI8Nr] = {};
+  for (std::size_t l = 0; l < kb; ++l) {
+    const std::int16_t* KGWAS_RESTRICT ap = a + l * kI8Mr;
+    const std::int16_t* KGWAS_RESTRICT bp = b + l * kI8Nr;
+    for (std::size_t j = 0; j < kI8Nr; ++j) {
+      const std::int32_t blj = bp[j];
+      std::int32_t* KGWAS_RESTRICT accj = local + j * kI8Mr;
+      for (std::size_t i = 0; i < kI8Mr; ++i) {
+        accj[i] += static_cast<std::int32_t>(ap[i]) * blj;
+      }
+    }
+  }
+  for (std::size_t x = 0; x < kI8Mr * kI8Nr; ++x) acc[x] = local[x];
+}
+
+void macro_gemm_i8(std::size_t mb, std::size_t nb, std::size_t kb, float alpha,
+                   const std::int16_t* packed_a, const std::int16_t* packed_b,
+                   float* c, std::size_t ldc) {
+  const std::size_t m_panels = (mb + kI8Mr - 1) / kI8Mr;
+  const std::size_t n_panels = (nb + kI8Nr - 1) / kI8Nr;
+  for (std::size_t q = 0; q < n_panels; ++q) {
+    const std::size_t j0 = q * kI8Nr;
+    const std::size_t cols = std::min(kI8Nr, nb - j0);
+    const std::int16_t* bp = packed_b + q * kI8Nr * kb;
+    for (std::size_t p = 0; p < m_panels; ++p) {
+      const std::size_t i0 = p * kI8Mr;
+      const std::size_t rows = std::min(kI8Mr, mb - i0);
+      alignas(kDefaultAlignment) std::int32_t acc[kI8Mr * kI8Nr];
+      micro_kernel_i8(kb, packed_a + p * kI8Mr * kb, bp, acc);
+      for (std::size_t j = 0; j < cols; ++j) {
+        float* KGWAS_RESTRICT cj = c + i0 + (j0 + j) * ldc;
+        const std::int32_t* KGWAS_RESTRICT accj = acc + j * kI8Mr;
+        for (std::size_t i = 0; i < rows; ++i) {
+          cj[i] += alpha * static_cast<float>(accj[i]);
+        }
+      }
+    }
+  }
+}
+
+/// Byte-pool-backed per-thread buffers for the i16 panels (same reuse
+/// contract as ThreadPackBuffer).
+struct ThreadPackBytes {
+  AlignedVector<std::byte> buffer;
+
+  void* ensure(std::size_t bytes) {
+    if (buffer.size() != bytes) {
+      if (!buffer.empty()) TilePool::global().release(std::move(buffer));
+      buffer = TilePool::global().acquire(bytes);
+    }
+    return buffer.data();
+  }
+
+  ~ThreadPackBytes() {
+    if (!buffer.empty()) TilePool::global().release(std::move(buffer));
+  }
+};
+
+thread_local ThreadPackBytes t_pack_a_i8;
+thread_local ThreadPackBytes t_pack_b_i8;
+
+bool int8_fast_path(const OperandView& a, const OperandView& b) {
+  const auto passthrough = [](Precision p) {
+    return p == Precision::kFp32 || p == Precision::kFp64;
+  };
+  return a.storage == Precision::kInt8 && b.storage == Precision::kInt8 &&
+         passthrough(a.round_to) && passthrough(b.round_to);
+}
+
+/// The int8-accumulate jc -> pc -> ic nest (beta already applied).
+void gemm_view_i8(std::size_t m, std::size_t n, std::size_t k, float alpha,
+                  const OperandView& a, const OperandView& b, float* c,
+                  std::size_t ldc) {
+  const Blocking blk = gemm_blocking();
+  auto* a_buffer = static_cast<std::int16_t*>(t_pack_a_i8.ensure(
+      round_up(blk.mc, kI8Mr) * blk.kc * sizeof(std::int16_t)));
+  auto* b_buffer = static_cast<std::int16_t*>(t_pack_b_i8.ensure(
+      round_up(blk.nc, kI8Nr) * blk.kc * sizeof(std::int16_t)));
+  for (std::size_t jc = 0; jc < n; jc += blk.nc) {
+    const std::size_t nb = std::min(blk.nc, n - jc);
+    for (std::size_t pc = 0; pc < k; pc += blk.kc) {
+      const std::size_t kb = std::min(blk.kc, k - pc);
+      pack_b_block_i8(b, pc, jc, kb, nb, b_buffer);
+      for (std::size_t ic = 0; ic < m; ic += blk.mc) {
+        const std::size_t mb = std::min(blk.mc, m - ic);
+        pack_a_block_i8(a, ic, pc, mb, kb, a_buffer);
+        macro_gemm_i8(mb, nb, kb, alpha, a_buffer, b_buffer,
+                      c + ic + jc * ldc, ldc);
       }
     }
   }
@@ -397,7 +771,69 @@ void gemm_driver(std::size_t m, std::size_t n, std::size_t k, float alpha,
 
 }  // namespace
 
+// ---------------------------------------------------------------- detail
+
+namespace detail {
+
+const MicroKernel* generic_microkernel() {
+  static const MicroKernel kernel{Arch::kGeneric, "generic", kMR, kNR,
+                                  micro_kernel};
+  return &kernel;
+}
+
+void invalidate_resolved_blocking() {
+  std::lock_guard<std::mutex> lock(g_blocking_mutex);
+  g_blocking_resolved.reset();
+}
+
+}  // namespace detail
+
 // --------------------------------------------------------- configuration
+
+const char* to_string(Arch arch) {
+  switch (arch) {
+    case Arch::kGeneric:
+      return "generic";
+    case Arch::kAvx2:
+      return "avx2";
+    case Arch::kAvx512:
+      return "avx512";
+    case Arch::kNeon:
+      return "neon";
+  }
+  return "?";
+}
+
+std::vector<Arch> compiled_archs() {
+  std::vector<Arch> out;
+  for (const Arch arch : kAllArchs) {
+    if (kernel_for(arch) != nullptr) out.push_back(arch);
+  }
+  return out;
+}
+
+std::vector<Arch> available_archs() {
+  std::vector<Arch> out;
+  for (const Arch arch : kAllArchs) {
+    if (runnable(arch)) out.push_back(arch);
+  }
+  return out;
+}
+
+Arch selected_arch() { return selected_kernel().arch; }
+
+void set_gemm_arch(std::optional<Arch> arch) {
+  {
+    std::lock_guard<std::mutex> lock(g_arch_mutex);
+    g_arch_override = arch;
+    g_selected.store(nullptr, std::memory_order_release);
+  }
+  // Tuned blockings are per-variant; force a re-resolve under the new one.
+  detail::invalidate_resolved_blocking();
+}
+
+std::size_t gemm_mr() { return selected_kernel().mr; }
+std::size_t gemm_nr() { return selected_kernel().nr; }
 
 GemmBackend gemm_backend() {
   const int override = g_backend_override.load(std::memory_order_relaxed);
@@ -419,32 +855,55 @@ void set_gemm_backend(std::optional<GemmBackend> backend) {
 }
 
 Blocking gemm_blocking() {
-  if (g_blocking_set.load(std::memory_order_acquire)) {
-    return Blocking{g_mc.load(std::memory_order_relaxed),
-                    g_kc.load(std::memory_order_relaxed),
-                    g_nc.load(std::memory_order_relaxed)};
+  {
+    std::lock_guard<std::mutex> lock(g_blocking_mutex);
+    if (g_blocking_override) return *g_blocking_override;
+    if (g_blocking_resolved) return *g_blocking_resolved;
   }
-  const Blocking from_env = blocking_from_env();
-  g_mc.store(from_env.mc, std::memory_order_relaxed);
-  g_kc.store(from_env.kc, std::memory_order_relaxed);
-  g_nc.store(from_env.nc, std::memory_order_relaxed);
-  g_blocking_set.store(true, std::memory_order_release);
-  return from_env;
+  // Resolve outside the lock: the tuner may run timed probe GEMMs, which
+  // themselves use the engine (via gemm_probe's explicit blocking).
+  const MicroKernel& uk = selected_kernel();
+  Blocking blk = autotune::tuned_blocking(uk.name, uk.mr, uk.nr);
+  blk.mc = env_blocking_value("KGWAS_GEMM_MC", blk.mc);
+  blk.kc = env_blocking_value("KGWAS_GEMM_KC", blk.kc);
+  blk.nc = env_blocking_value("KGWAS_GEMM_NC", blk.nc);
+  std::lock_guard<std::mutex> lock(g_blocking_mutex);
+  if (g_blocking_override) return *g_blocking_override;
+  if (!g_blocking_resolved) g_blocking_resolved = blk;
+  return *g_blocking_resolved;
 }
 
 void set_gemm_blocking(std::optional<Blocking> blocking) {
+  std::lock_guard<std::mutex> lock(g_blocking_mutex);
   if (blocking) {
-    g_mc.store(std::max<std::size_t>(1, blocking->mc),
-               std::memory_order_relaxed);
-    g_kc.store(std::max<std::size_t>(1, blocking->kc),
-               std::memory_order_relaxed);
-    g_nc.store(std::max<std::size_t>(1, blocking->nc),
-               std::memory_order_relaxed);
-    g_blocking_set.store(true, std::memory_order_release);
+    g_blocking_override = Blocking{std::max<std::size_t>(1, blocking->mc),
+                                   std::max<std::size_t>(1, blocking->kc),
+                                   std::max<std::size_t>(1, blocking->nc)};
   } else {
-    // Next query re-reads KGWAS_GEMM_MC/KC/NC.
-    g_blocking_set.store(false, std::memory_order_release);
+    // Next query re-resolves tuner + KGWAS_GEMM_MC/KC/NC.
+    g_blocking_override.reset();
+    g_blocking_resolved.reset();
   }
+}
+
+std::size_t pack_threads() {
+  const std::size_t override =
+      g_pack_threads_override.load(std::memory_order_relaxed);
+  if (override != 0) return override;
+  std::size_t cached = g_pack_threads_env.load(std::memory_order_relaxed);
+  if (cached == 0) {
+    cached = std::max<std::size_t>(
+        1, env_size_t("KGWAS_GEMM_PACK_THREADS", cpu_features().logical_cores));
+    g_pack_threads_env.store(cached, std::memory_order_relaxed);
+  }
+  return cached;
+}
+
+void set_pack_threads(std::optional<std::size_t> threads) {
+  g_pack_threads_override.store(
+      threads ? std::max<std::size_t>(1, *threads) : 0,
+      std::memory_order_relaxed);
+  if (!threads) g_pack_threads_env.store(0, std::memory_order_relaxed);
 }
 
 // ----------------------------------------------------------- entrypoints
@@ -455,17 +914,22 @@ void gemm_view(std::size_t m, std::size_t n, std::size_t k, float alpha,
   if (m == 0 || n == 0) return;
   scale_c_full(beta, m, n, c, ldc);
   if (k == 0 || alpha == 0.0f) return;
+  if (int8_fast_path(a, b)) {
+    gemm_view_i8(m, n, k, alpha, a, b, c, ldc);
+    return;
+  }
+  const MicroKernel& uk = selected_kernel();
   const Blocking blk = gemm_blocking();
-  float* a_buffer = t_pack_a.ensure(a_block_capacity(m, k, blk));
-  float* b_buffer = t_pack_b.ensure(b_block_capacity(n, k, blk));
+  float* a_buffer = t_pack_a.ensure(a_pack_footprint(blk, uk.mr));
+  float* b_buffer = t_pack_b.ensure(b_pack_footprint(blk, uk.nr));
   gemm_driver(
-      m, n, k, alpha,
+      uk, m, n, k, alpha,
       [&](std::size_t ic, std::size_t pc, std::size_t mb, std::size_t kb) {
-        pack_a_block(a, ic, pc, mb, kb, a_buffer);
+        pack_a_block(a, ic, pc, mb, kb, uk.mr, a_buffer);
         return static_cast<const float*>(a_buffer);
       },
       [&](std::size_t jc, std::size_t pc, std::size_t nb, std::size_t kb) {
-        pack_b_block(b, pc, jc, kb, nb, b_buffer);
+        pack_b_block(b, pc, jc, kb, nb, uk.nr, b_buffer);
         return static_cast<const float*>(b_buffer);
       },
       c, ldc, blk);
@@ -480,24 +944,54 @@ void syrk_view(Uplo uplo, std::size_t n, std::size_t k, float alpha,
   OperandView bt = a;
   bt.trans = a.trans == Trans::kNoTrans ? Trans::kTrans : Trans::kNoTrans;
   const bool lower = uplo == Uplo::kLower;
+  const MicroKernel& uk = selected_kernel();
   const Blocking blk = gemm_blocking();
-  float* a_buffer = t_pack_a.ensure(a_block_capacity(n, k, blk));
-  float* b_buffer = t_pack_b.ensure(b_block_capacity(n, k, blk));
+  float* a_buffer = t_pack_a.ensure(a_pack_footprint(blk, uk.mr));
+  float* b_buffer = t_pack_b.ensure(b_pack_footprint(blk, uk.nr));
   for (std::size_t jc = 0; jc < n; jc += blk.nc) {
     const std::size_t nb = std::min(blk.nc, n - jc);
     for (std::size_t pc = 0; pc < k; pc += blk.kc) {
       const std::size_t kb = std::min(blk.kc, k - pc);
-      pack_b_block(bt, pc, jc, kb, nb, b_buffer);
+      pack_b_block(bt, pc, jc, kb, nb, uk.nr, b_buffer);
       for (std::size_t ic = 0; ic < n; ic += blk.mc) {
         const std::size_t mb = std::min(blk.mc, n - ic);
         // Skip macro blocks entirely outside the triangle.
         if (lower ? (ic + mb - 1 < jc) : (ic > jc + nb - 1)) continue;
-        pack_a_block(a, ic, pc, mb, kb, a_buffer);
-        macro_syrk(uplo, ic, jc, mb, nb, kb, alpha, a_buffer, b_buffer,
+        pack_a_block(a, ic, pc, mb, kb, uk.mr, a_buffer);
+        macro_syrk(uk, uplo, ic, jc, mb, nb, kb, alpha, a_buffer, b_buffer,
                    c + ic + jc * ldc, ldc);
       }
     }
   }
+}
+
+void gemm_probe(std::size_t m, std::size_t n, std::size_t k, const float* a,
+                const float* b, float* c, const Blocking& blocking) {
+  if (m == 0 || n == 0) return;
+  scale_c_full(0.0f, m, n, c, m);
+  if (k == 0) return;
+  const Blocking blk{std::max<std::size_t>(1, blocking.mc),
+                     std::max<std::size_t>(1, blocking.kc),
+                     std::max<std::size_t>(1, blocking.nc)};
+  const MicroKernel& uk = selected_kernel();
+  const OperandView av = fp32_view(a, m, Trans::kNoTrans);
+  const OperandView bv = fp32_view(b, k, Trans::kNoTrans);
+  // Private scratch: probe blockings vary call to call and must not
+  // churn the footprint-keyed thread-local buffers (or the pool stats
+  // the tests assert on).
+  AlignedVector<float> a_buffer(a_block_capacity(m, k, blk, uk.mr));
+  AlignedVector<float> b_buffer(b_block_capacity(n, k, blk, uk.nr));
+  gemm_driver(
+      uk, m, n, k, 1.0f,
+      [&](std::size_t ic, std::size_t pc, std::size_t mb, std::size_t kb) {
+        pack_a_block(av, ic, pc, mb, kb, uk.mr, a_buffer.data());
+        return static_cast<const float*>(a_buffer.data());
+      },
+      [&](std::size_t jc, std::size_t pc, std::size_t nb, std::size_t kb) {
+        pack_b_block(bv, pc, jc, kb, nb, uk.nr, b_buffer.data());
+        return static_cast<const float*>(b_buffer.data());
+      },
+      c, m, blk);
 }
 
 // --------------------------------------------------------------- PackedA
@@ -509,27 +1003,30 @@ PackedA::~PackedA() {
 void PackedA::pack(std::size_t m, std::size_t k, const OperandView& a) {
   KGWAS_CHECK_ARG(m > 0 && k > 0, "PackedA requires a non-empty operand");
   blocking_ = gemm_blocking();
+  kernel_ = &selected_kernel();
   m_ = m;
   k_ = k;
   ic_blocks_ = (m + blocking_.mc - 1) / blocking_.mc;
   pc_blocks_ = (k + blocking_.kc - 1) / blocking_.kc;
-  stride_ = a_block_capacity(m, k, blocking_);
+  stride_ = a_block_capacity(m, k, blocking_, kernel_->mr);
   const std::size_t needed = ic_blocks_ * pc_blocks_ * stride_;
   if (buffer_.size() != needed) {
     if (!buffer_.empty()) TilePool::global().release_f32(std::move(buffer_));
     buffer_ = TilePool::global().acquire_f32(needed);
   }
-  for (std::size_t pc_index = 0; pc_index < pc_blocks_; ++pc_index) {
+  // Blocks are disjoint buffer regions, so whole-operand packing fans
+  // out block-parallel (the `ic`/`pc` loop) when the operand is large.
+  const std::size_t blocks = ic_blocks_ * pc_blocks_;
+  for_each_pack_block(blocks, needed, [&](std::size_t index) {
+    const std::size_t pc_index = index / ic_blocks_;
+    const std::size_t ic_index = index % ic_blocks_;
     const std::size_t pc = pc_index * blocking_.kc;
     const std::size_t kb = std::min(blocking_.kc, k - pc);
-    for (std::size_t ic_index = 0; ic_index < ic_blocks_; ++ic_index) {
-      const std::size_t ic = ic_index * blocking_.mc;
-      const std::size_t mb = std::min(blocking_.mc, m - ic);
-      pack_a_block(a, ic, pc, mb, kb,
-                   buffer_.data() + (pc_index * ic_blocks_ + ic_index) *
-                                        stride_);
-    }
-  }
+    const std::size_t ic = ic_index * blocking_.mc;
+    const std::size_t mb = std::min(blocking_.mc, m - ic);
+    pack_a_block(a, ic, pc, mb, kb, kernel_->mr,
+                 buffer_.data() + index * stride_);
+  });
 }
 
 void gemm_prepacked(std::size_t m, std::size_t n, std::size_t k, float alpha,
@@ -541,14 +1038,15 @@ void gemm_prepacked(std::size_t m, std::size_t n, std::size_t k, float alpha,
   scale_c_full(beta, m, n, c, ldc);
   if (k == 0 || alpha == 0.0f) return;
   const Blocking& blk = a.blocking_;
-  float* b_buffer = t_pack_b.ensure(b_block_capacity(n, k, blk));
+  const MicroKernel& uk = *a.kernel_;
+  float* b_buffer = t_pack_b.ensure(b_pack_footprint(blk, uk.nr));
   gemm_driver(
-      m, n, k, alpha,
+      uk, m, n, k, alpha,
       [&](std::size_t ic, std::size_t pc, std::size_t, std::size_t) {
         return a.block(ic / blk.mc, pc / blk.kc);
       },
       [&](std::size_t jc, std::size_t pc, std::size_t nb, std::size_t kb) {
-        pack_b_block(b, pc, jc, kb, nb, b_buffer);
+        pack_b_block(b, pc, jc, kb, nb, uk.nr, b_buffer);
         return static_cast<const float*>(b_buffer);
       },
       c, ldc, blk);
@@ -561,27 +1059,28 @@ PackedB::~PackedB() {
 void PackedB::pack(std::size_t k, std::size_t n, const OperandView& b) {
   KGWAS_CHECK_ARG(k > 0 && n > 0, "PackedB requires a non-empty operand");
   blocking_ = gemm_blocking();
+  kernel_ = &selected_kernel();
   k_ = k;
   n_ = n;
   jc_blocks_ = (n + blocking_.nc - 1) / blocking_.nc;
   pc_blocks_ = (k + blocking_.kc - 1) / blocking_.kc;
-  stride_ = b_block_capacity(n, k, blocking_);
+  stride_ = b_block_capacity(n, k, blocking_, kernel_->nr);
   const std::size_t needed = jc_blocks_ * pc_blocks_ * stride_;
   if (buffer_.size() != needed) {
     if (!buffer_.empty()) TilePool::global().release_f32(std::move(buffer_));
     buffer_ = TilePool::global().acquire_f32(needed);
   }
-  for (std::size_t jc_index = 0; jc_index < jc_blocks_; ++jc_index) {
+  const std::size_t blocks = jc_blocks_ * pc_blocks_;
+  for_each_pack_block(blocks, needed, [&](std::size_t index) {
+    const std::size_t jc_index = index / pc_blocks_;
+    const std::size_t pc_index = index % pc_blocks_;
     const std::size_t jc = jc_index * blocking_.nc;
     const std::size_t nb = std::min(blocking_.nc, n - jc);
-    for (std::size_t pc_index = 0; pc_index < pc_blocks_; ++pc_index) {
-      const std::size_t pc = pc_index * blocking_.kc;
-      const std::size_t kb = std::min(blocking_.kc, k - pc);
-      pack_b_block(b, pc, jc, kb, nb,
-                   buffer_.data() +
-                       (jc_index * pc_blocks_ + pc_index) * stride_);
-    }
-  }
+    const std::size_t pc = pc_index * blocking_.kc;
+    const std::size_t kb = std::min(blocking_.kc, k - pc);
+    pack_b_block(b, pc, jc, kb, nb, kernel_->nr,
+                 buffer_.data() + index * stride_);
+  });
 }
 
 void gemm_prepacked_b(std::size_t m, std::size_t n, std::size_t k,
@@ -593,11 +1092,12 @@ void gemm_prepacked_b(std::size_t m, std::size_t n, std::size_t k,
   scale_c_full(beta, m, n, c, ldc);
   if (k == 0 || alpha == 0.0f) return;
   const Blocking& blk = b.blocking_;
-  float* a_buffer = t_pack_a.ensure(a_block_capacity(m, k, blk));
+  const MicroKernel& uk = *b.kernel_;
+  float* a_buffer = t_pack_a.ensure(a_pack_footprint(blk, uk.mr));
   gemm_driver(
-      m, n, k, alpha,
+      uk, m, n, k, alpha,
       [&](std::size_t ic, std::size_t pc, std::size_t mb, std::size_t kb) {
-        pack_a_block(a, ic, pc, mb, kb, a_buffer);
+        pack_a_block(a, ic, pc, mb, kb, uk.mr, a_buffer);
         return static_cast<const float*>(a_buffer);
       },
       [&](std::size_t jc, std::size_t pc, std::size_t, std::size_t) {
@@ -616,11 +1116,14 @@ void gemm_prepacked_ab(std::size_t m, std::size_t n, std::size_t k,
                       blk.nc == b.blocking_.nc,
                   "gemm_prepacked_ab: operands packed under different "
                   "blockings");
+  KGWAS_CHECK_ARG(a.kernel_ == b.kernel_,
+                  "gemm_prepacked_ab: operands packed under different "
+                  "microkernel variants");
   if (m == 0 || n == 0) return;
   scale_c_full(beta, m, n, c, ldc);
   if (k == 0 || alpha == 0.0f) return;
   gemm_driver(
-      m, n, k, alpha,
+      *a.kernel_, m, n, k, alpha,
       [&](std::size_t ic, std::size_t pc, std::size_t, std::size_t) {
         return a.block(ic / blk.mc, pc / blk.kc);
       },

@@ -27,21 +27,35 @@
 //    panel tile, which is packed (and therefore decoded) exactly once.
 //
 // Backend selection: KGWAS_GEMM_KERNEL=reference|packed (default
-// packed); blocking via KGWAS_GEMM_MC/KC/NC.  Results are deterministic
-// for a fixed blocking, so the shared-memory and distributed paths stay
-// bitwise identical to each other under either backend.  The engine
+// packed).  Within the packed engine a second axis selects the
+// *microkernel variant*: hand-tiled AVX-512 / AVX2+FMA / NEON kernels
+// compiled into their own translation units, dispatched at runtime from
+// the host's probed CPU features (KGWAS_GEMM_ARCH overrides).  Blocking
+// comes from the cache-aware autotuner (KGWAS_GEMM_TUNE, see
+// mpblas/autotune.hpp) with validated KGWAS_GEMM_MC/KC/NC overrides.
+// Results are deterministic for a fixed variant + blocking, so the
+// shared-memory and distributed paths stay bitwise identical to each
+// other under any fixed configuration; different variants may differ
+// from each other within normal FP32 contraction tolerance.  The engine
 // accumulates in FP32 and is float-only; FP64 callers keep the reference
-// loops.
+// loops.  INT8-storage GEMMs take an integer-accumulate path (i16
+// operand panels, i32 accumulators, FP32 scaling at the epilogue) that
+// is exact while |op(A)·op(B)| stays within i32 range.
 #pragma once
 
 #include <cstddef>
 #include <optional>
+#include <vector>
 
 #include "common/aligned_buffer.hpp"
 #include "mpblas/types.hpp"
 #include "precision/precision.hpp"
 
 namespace kgwas::mpblas::kernels {
+
+namespace detail {
+struct MicroKernel;
+}  // namespace detail
 
 enum class GemmBackend { kReference, kPacked };
 
@@ -55,27 +69,83 @@ void set_gemm_backend(std::optional<GemmBackend> backend);
 /// True when float GEMM-class work should go through the packed engine.
 inline bool use_packed() { return gemm_backend() == GemmBackend::kPacked; }
 
-/// Register micro-tile shape.  MR rows stream unit-stride from the packed
-/// A panel (vector loads); NR columns broadcast from the packed B panel.
-/// 8 x 6 keeps the accumulator block within 16 SSE registers on baseline
-/// x86-64 while widening transparently under AVX2/AVX-512.
+/// Register micro-tile shape of the *generic* (portable GNU-vector)
+/// variant.  MR rows stream unit-stride from the packed A panel (vector
+/// loads); NR columns broadcast from the packed B panel.  8 x 6 keeps the
+/// accumulator block within 16 SSE registers on baseline x86-64.  The
+/// hand-tiled ISA variants bring their own shapes (AVX-512 runs 16 x 6);
+/// query the selected variant's shape via gemm_mr()/gemm_nr().
 inline constexpr std::size_t kMR = 8;
 inline constexpr std::size_t kNR = 6;
 
-/// Cache blocking parameters (elements).  Defaults: mc=128, kc=256,
-/// nc=1024 — A panel 128x256 (~128 KiB, L2-resident), B micro-panel
-/// 256x6 (~6 KiB, L1-resident).  Overridable via KGWAS_GEMM_MC/KC/NC.
+/// Granularity required of KGWAS_GEMM_MC/KC/NC environment overrides:
+/// values must be positive multiples of kKR or they are rejected (with a
+/// logged warning) in favor of the tuned defaults.  Keeps env-supplied
+/// blockings compatible with every variant's panel geometry without the
+/// caller knowing which variant dispatch will pick.  Programmatic
+/// set_gemm_blocking() values are exempt (tests exercise odd blockings).
+inline constexpr std::size_t kKR = 8;
+
+/// Microkernel variants.  kGeneric is always compiled and always
+/// runnable; the others exist only when the toolchain targets an ISA that
+/// can compile them, and are dispatched only when the host CPU supports
+/// them.
+enum class Arch { kGeneric, kAvx2, kAvx512, kNeon };
+
+/// "generic" | "avx2" | "avx512" | "neon" — the KGWAS_GEMM_ARCH spellings.
+const char* to_string(Arch arch);
+
+/// Variants compiled into this binary (kGeneric always included).
+std::vector<Arch> compiled_archs();
+
+/// Compiled variants the *host* can execute, best-last is not implied —
+/// always includes kGeneric.  This is the set the parity tests iterate.
+std::vector<Arch> available_archs();
+
+/// The variant the packed engine dispatches to: the set_gemm_arch()
+/// override when set, else KGWAS_GEMM_ARCH when set, valid and available,
+/// else the best available variant (avx512 > avx2 > neon > generic).
+Arch selected_arch();
+
+/// Test/bench override; nullopt re-reads KGWAS_GEMM_ARCH on next query.
+/// Changing the variant invalidates the resolved (autotuned) blocking,
+/// since tuned blockings are per-variant.
+void set_gemm_arch(std::optional<Arch> arch);
+
+/// Micro-tile shape of the currently selected variant.
+std::size_t gemm_mr();
+std::size_t gemm_nr();
+
+/// Cache blocking parameters (elements).  The member defaults (mc=128,
+/// kc=256, nc=1024: A panel ~128 KiB L2-resident, B micro-panel ~6 KiB
+/// L1-resident) are the pre-autotuner constants, kept as the fallback
+/// when tuning is off.
 struct Blocking {
   std::size_t mc = 128;
   std::size_t kc = 256;
   std::size_t nc = 1024;
 };
 
-/// The process-wide blocking (env-seeded, cached).
+/// The process-wide blocking, resolved once and cached: the
+/// set_gemm_blocking() override when set; otherwise the autotuner's
+/// per-variant blocking (mpblas/autotune.hpp — analytic from the probed
+/// cache sizes by default, KGWAS_GEMM_TUNE selects off/analytic/probe)
+/// with KGWAS_GEMM_MC/KC/NC applied on top.  Env values that are zero,
+/// unparsable, or not multiples of kKR are rejected with a logged
+/// warning and the tuned value stands.
 Blocking gemm_blocking();
 
-/// Test override; nullopt re-reads the environment on next query.
+/// Test override (clamped to >= 1 per member, otherwise taken verbatim —
+/// no kKR rounding); nullopt re-resolves tuner + environment on next
+/// query.
 void set_gemm_blocking(std::optional<Blocking> blocking);
+
+/// Worker threads used to parallelize PackedA/PackedB whole-operand
+/// packing (the `ic`/`jc` block loop).  Default: the host's logical
+/// cores, overridable via KGWAS_GEMM_PACK_THREADS (1 disables the
+/// parallel path).  set_pack_threads(nullopt) re-reads the environment.
+std::size_t pack_threads();
+void set_pack_threads(std::optional<std::size_t> threads);
 
 /// An operand in storage precision: element (i, j) of op(X) is read from
 /// `data` (column-major, leading dimension `ld`, transposed per `trans`),
@@ -100,6 +170,15 @@ inline OperandView fp32_view(const float* data, std::size_t ld, Trans trans,
 void gemm_view(std::size_t m, std::size_t n, std::size_t k, float alpha,
                const OperandView& a, const OperandView& b, float beta,
                float* c, std::size_t ldc);
+
+/// Autotuner hook: C <- A * B (FP32, no-trans, ld = rows, beta = 0) run
+/// through the packed engine under an *explicit* blocking, bypassing
+/// gemm_blocking() entirely — the blocking resolver calls the autotuner,
+/// so the micro-probe timing loop must not re-enter it.  Uses private
+/// scratch, never the per-thread pack buffers (probe blockings vary and
+/// would churn the footprint-keyed cache).
+void gemm_probe(std::size_t m, std::size_t n, std::size_t k, const float* a,
+                const float* b, float* c, const Blocking& blocking);
 
 /// C <- alpha * op(A) * op(A)^T + beta * C on the `uplo` triangle only,
 /// with op(A) n x k described by `a` (trans inside the view: kNoTrans
@@ -148,6 +227,10 @@ class PackedA {
   std::size_t m_ = 0;
   std::size_t k_ = 0;
   Blocking blocking_;
+  /// Variant whose panel geometry (MR) the blocks were packed for; the
+  /// prepacked entrypoints compute with exactly this kernel, so a packed
+  /// operand stays valid even if dispatch is re-pointed mid-batch.
+  const detail::MicroKernel* kernel_ = nullptr;
   std::size_t ic_blocks_ = 0;
   std::size_t pc_blocks_ = 0;
   std::size_t stride_ = 0;  ///< uniform per-block float count (edge-padded)
@@ -194,6 +277,7 @@ class PackedB {
   std::size_t k_ = 0;
   std::size_t n_ = 0;
   Blocking blocking_;
+  const detail::MicroKernel* kernel_ = nullptr;  ///< see PackedA::kernel_
   std::size_t jc_blocks_ = 0;
   std::size_t pc_blocks_ = 0;
   std::size_t stride_ = 0;

@@ -6,6 +6,8 @@
 #include <limits>
 
 #include "common/status.hpp"
+#include "mpblas/autotune.hpp"
+#include "mpblas/kernels.hpp"
 
 namespace kgwas {
 
@@ -183,8 +185,23 @@ void Profiler::write_trace(const std::string& path) const {
       << ",\"recovery\":{\"factorizations\":" << recovery.factorizations
       << ",\"attempts\":" << recovery.attempts
       << ",\"escalations\":" << recovery.escalations
-      << ",\"tiles_promoted\":" << recovery.tiles_promoted << "}"
-      << ",\"kernel_classes\":{";
+      << ",\"tiles_promoted\":" << recovery.tiles_promoted << "}";
+  // The GEMM engine configuration behind every kernel number in this
+  // trace: two traces with different variants or blockings are not
+  // comparable rows, so the trace records which one produced it.
+  {
+    namespace kernels = mpblas::kernels;
+    namespace autotune = mpblas::kernels::autotune;
+    const kernels::Blocking blk = kernels::gemm_blocking();
+    out << ",\"engine\":{\"variant\":\""
+        << kernels::to_string(kernels::selected_arch())
+        << "\",\"mr\":" << kernels::gemm_mr()
+        << ",\"nr\":" << kernels::gemm_nr() << ",\"mc\":" << blk.mc
+        << ",\"kc\":" << blk.kc << ",\"nc\":" << blk.nc << ",\"tune\":\""
+        << autotune::to_string(autotune::tune_mode())
+        << "\",\"pack_threads\":" << kernels::pack_threads() << "}";
+  }
+  out << ",\"kernel_classes\":{";
   bool first_class = true;
   for (const auto& [name, stats] : classes) {
     if (!first_class) out << ",";

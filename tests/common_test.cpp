@@ -5,6 +5,7 @@
 #include <cmath>
 #include <cstdlib>
 #include <limits>
+#include <optional>
 #include <set>
 #include <sstream>
 #include <string>
@@ -16,6 +17,8 @@
 #include "common/status.hpp"
 #include "common/table.hpp"
 #include "common/timer.hpp"
+#include "mpblas/autotune.hpp"
+#include "mpblas/kernels.hpp"
 
 namespace kgwas {
 namespace {
@@ -211,6 +214,82 @@ TEST(Env, MaxRepresentableValueParses) {
   ScopedEnv guard("KGWAS_TEST_KNOB", "18446744073709551615");  // 2^64 - 1
   EXPECT_EQ(env_size_t("KGWAS_TEST_KNOB", 7),
             std::numeric_limits<std::size_t>::max());
+}
+
+/// Pins the tuner off (so the tuned baseline is the documented default
+/// Blocking{}) and clears the resolved-blocking cache on both entry and
+/// exit so these tests neither see nor leak engine state.
+struct ScopedBlockingReset {
+  ScopedBlockingReset() {
+    mpblas::kernels::autotune::set_tune_mode(mpblas::kernels::autotune::TuneMode::kOff);
+    mpblas::kernels::set_gemm_blocking(std::nullopt);
+  }
+  ~ScopedBlockingReset() {
+    mpblas::kernels::autotune::set_tune_mode(std::nullopt);
+    mpblas::kernels::set_gemm_blocking(std::nullopt);
+  }
+};
+
+TEST(Env, GemmBlockingAcceptsKrMultiples) {
+  ScopedEnv mc("KGWAS_GEMM_MC", "64");
+  ScopedEnv kc("KGWAS_GEMM_KC", "96");
+  ScopedEnv nc("KGWAS_GEMM_NC", "512");
+  ScopedBlockingReset reset;
+  const auto blk = mpblas::kernels::gemm_blocking();
+  EXPECT_EQ(blk.mc, 64u);
+  EXPECT_EQ(blk.kc, 96u);
+  EXPECT_EQ(blk.nc, 512u);
+}
+
+TEST(Env, GemmBlockingRejectsZero) {
+  ScopedEnv mc("KGWAS_GEMM_MC", "0");
+  ScopedEnv kc("KGWAS_GEMM_KC", "0");
+  ScopedEnv nc("KGWAS_GEMM_NC", "0");
+  ScopedBlockingReset reset;
+  const auto blk = mpblas::kernels::gemm_blocking();
+  const mpblas::kernels::Blocking tuned{};  // tuner off -> defaults stand
+  EXPECT_EQ(blk.mc, tuned.mc);
+  EXPECT_EQ(blk.kc, tuned.kc);
+  EXPECT_EQ(blk.nc, tuned.nc);
+}
+
+TEST(Env, GemmBlockingRejectsNonKrMultiples) {
+  // 100 % kKR(=8) != 0: each rejected member falls back to the tuned
+  // value independently; the valid member is still applied.
+  ScopedEnv mc("KGWAS_GEMM_MC", "100");
+  ScopedEnv kc("KGWAS_GEMM_KC", "64");
+  ScopedEnv nc("KGWAS_GEMM_NC", "1002");
+  ScopedBlockingReset reset;
+  const auto blk = mpblas::kernels::gemm_blocking();
+  const mpblas::kernels::Blocking tuned{};
+  EXPECT_EQ(blk.mc, tuned.mc);
+  EXPECT_EQ(blk.kc, 64u);
+  EXPECT_EQ(blk.nc, tuned.nc);
+}
+
+TEST(Env, GemmBlockingRejectsGarbageValues) {
+  ScopedEnv mc("KGWAS_GEMM_MC", "fast");
+  ScopedEnv kc("KGWAS_GEMM_KC", "-8");
+  ScopedEnv nc("KGWAS_GEMM_NC", "64k");
+  ScopedBlockingReset reset;
+  const auto blk = mpblas::kernels::gemm_blocking();
+  const mpblas::kernels::Blocking tuned{};
+  EXPECT_EQ(blk.mc, tuned.mc);
+  EXPECT_EQ(blk.kc, tuned.kc);
+  EXPECT_EQ(blk.nc, tuned.nc);
+}
+
+TEST(Env, GemmBlockingProgrammaticOverrideBeatsEnv) {
+  // set_gemm_blocking() is exempt from the kKR granularity rule and
+  // wins over env knobs (tests exercise deliberately odd blockings).
+  ScopedEnv mc("KGWAS_GEMM_MC", "64");
+  ScopedBlockingReset reset;
+  mpblas::kernels::set_gemm_blocking(
+      mpblas::kernels::Blocking{12, 18, 30});
+  const auto blk = mpblas::kernels::gemm_blocking();
+  EXPECT_EQ(blk.mc, 12u);
+  EXPECT_EQ(blk.kc, 18u);
+  EXPECT_EQ(blk.nc, 30u);
 }
 
 TEST(Table, AlignedRenderAndCsv) {

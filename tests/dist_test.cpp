@@ -30,6 +30,7 @@
 #include "krr/model.hpp"
 #include "linalg/precision_policy.hpp"
 #include "linalg/tiled_cholesky.hpp"
+#include "mpblas/kernels.hpp"
 #include "perfmodel/dag_simulator.hpp"
 #include "runtime/runtime.hpp"
 
@@ -335,6 +336,29 @@ TEST(DistCholesky, FactorIsBitwiseRankCountInvariant) {
       EXPECT_EQ(wire.total_tile_bytes(), 0u);  // nothing crosses a rank
     } else {
       EXPECT_GT(wire.total_tile_bytes(), 0u);
+    }
+  }
+}
+
+TEST(DistCholesky, FactorIsRankCountInvariantUnderEveryKernelVariant) {
+  // Rank-count invariance is a per-variant contract: different
+  // microkernel variants may round differently from each other, but for
+  // any fixed variant the factor must not depend on the process-grid
+  // decomposition.
+  namespace kernels = mpblas::kernels;
+  struct RestoreArch {
+    ~RestoreArch() { kernels::set_gemm_arch(std::nullopt); }
+  } restore;
+  const std::size_t n = 96, ts = 32;
+  const PrecisionMap map =
+      band_precision_map(n / ts, 0.34, Precision::kFp16, Precision::kFp32);
+  for (const kernels::Arch arch : kernels::available_archs()) {
+    kernels::set_gemm_arch(arch);
+    const SymmetricTileMatrix reference = reference_factor(n, ts, map);
+    for (const int ranks : {2, 4}) {
+      auto [factor, wire] = dist_factor(n, ts, ranks, map);
+      EXPECT_TRUE(factors_bitwise_equal(reference, factor))
+          << "variant " << to_string(arch) << " ranks=" << ranks;
     }
   }
 }

@@ -7,7 +7,9 @@
 // operand scratch.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
+#include <cstdint>
 #include <cstring>
 #include <optional>
 #include <vector>
@@ -27,12 +29,14 @@ namespace {
 
 namespace kernels = mpblas::kernels;
 
-/// Restores the backend/blocking overrides on scope exit so test order
-/// never leaks engine configuration.
+/// Restores the backend/arch/blocking overrides on scope exit so test
+/// order never leaks engine configuration.
 struct ScopedEngineConfig {
   ~ScopedEngineConfig() {
     kernels::set_gemm_backend(std::nullopt);
+    kernels::set_gemm_arch(std::nullopt);
     kernels::set_gemm_blocking(std::nullopt);
+    kernels::set_pack_threads(std::nullopt);
   }
 };
 
@@ -429,6 +433,274 @@ TEST(GemmEngineTest, NarrowTileGemmAllocatesNoOperandScratch) {
         << to_string(precision)
         << ": reference tile GEMM decodes all three tiles";
   }
+}
+
+// ------------------------------------------------------- variant parity
+//
+// Every microkernel variant the host can run (generic always, plus
+// avx2/avx512/neon as compiled+supported) must agree with the scalar
+// reference oracle over random shapes/strides/precisions, and must be
+// bitwise deterministic within itself (repeat runs and prepacked paths
+// included).  Variants may differ from *each other* only by summation
+// order, which the reference tolerance already covers.
+
+TEST(GemmVariantParityTest, ReportsAtLeastGenericVariant) {
+  const auto compiled = kernels::compiled_archs();
+  const auto available = kernels::available_archs();
+  ASSERT_FALSE(available.empty());
+  EXPECT_NE(std::find(compiled.begin(), compiled.end(),
+                      kernels::Arch::kGeneric),
+            compiled.end());
+  EXPECT_NE(std::find(available.begin(), available.end(),
+                      kernels::Arch::kGeneric),
+            available.end());
+  // Every available variant is also compiled.
+  for (const kernels::Arch arch : available) {
+    EXPECT_NE(std::find(compiled.begin(), compiled.end(), arch),
+              compiled.end())
+        << to_string(arch);
+  }
+}
+
+TEST(GemmVariantParityTest, ArchOverrideSelectsTheVariant) {
+  ScopedEngineConfig restore;
+  for (const kernels::Arch arch : kernels::available_archs()) {
+    kernels::set_gemm_arch(arch);
+    EXPECT_EQ(kernels::selected_arch(), arch) << to_string(arch);
+    EXPECT_GE(kernels::gemm_mr(), std::size_t{8});
+    EXPECT_EQ(kernels::gemm_nr(), std::size_t{6});
+  }
+}
+
+TEST(GemmVariantParityTest, EveryVariantMatchesReferenceOverRandomShapes) {
+  ScopedEngineConfig restore;
+  const Trans kTrans[] = {Trans::kNoTrans, Trans::kTrans};
+  const float kScales[] = {0.0f, 1.0f, -1.0f, 0.5f};
+  for (const kernels::Arch arch : kernels::available_archs()) {
+    kernels::set_gemm_arch(arch);
+    Rng rng(20260807);  // same cases for every variant
+    for (int iter = 0; iter < 16; ++iter) {
+      GemmCase gc;
+      gc.m = 1 + rng.uniform_index(97);
+      gc.n = 1 + rng.uniform_index(97);
+      gc.k = 1 + rng.uniform_index(97);
+      gc.ta = kTrans[rng.uniform_index(2)];
+      gc.tb = kTrans[rng.uniform_index(2)];
+      gc.alpha = kScales[rng.uniform_index(4)];
+      gc.beta = kScales[rng.uniform_index(4)];
+      gc.pad_a = rng.uniform_index(5);
+      gc.pad_b = rng.uniform_index(5);
+      gc.pad_c = rng.uniform_index(5);
+      SCOPED_TRACE(std::string("variant ") + to_string(arch));
+      run_gemm_case(gc, rng);
+    }
+  }
+}
+
+TEST(GemmVariantParityTest, EveryVariantMatchesReferenceSyrk) {
+  ScopedEngineConfig restore;
+  for (const kernels::Arch arch : kernels::available_archs()) {
+    kernels::set_gemm_arch(arch);
+    Rng rng(20260808);
+    for (int iter = 0; iter < 6; ++iter) {
+      const std::size_t n = 1 + rng.uniform_index(70);
+      const std::size_t k = 1 + rng.uniform_index(70);
+      const Uplo uplo = iter % 2 == 0 ? Uplo::kLower : Uplo::kUpper;
+      const std::size_t lda = n + rng.uniform_index(4);
+      const std::size_t ldc = n + rng.uniform_index(4);
+      const std::vector<float> a = random_buffer(lda * k, rng);
+      const std::vector<float> c0 = random_buffer(ldc * n, rng);
+
+      std::vector<float> c_ref = c0;
+      kernels::set_gemm_backend(kernels::GemmBackend::kReference);
+      syrk(uplo, Trans::kNoTrans, n, k, -1.0f, a.data(), lda, 1.0f,
+           c_ref.data(), ldc);
+
+      std::vector<float> c_packed = c0;
+      kernels::set_gemm_backend(kernels::GemmBackend::kPacked);
+      syrk(uplo, Trans::kNoTrans, n, k, -1.0f, a.data(), lda, 1.0f,
+           c_packed.data(), ldc);
+
+      expect_close(c_packed, c_ref, k,
+                   std::string("syrk variant ") + to_string(arch));
+    }
+  }
+}
+
+TEST(GemmVariantParityTest, EveryVariantMatchesReferencePerStoragePrecision) {
+  ScopedEngineConfig restore;
+  for (const kernels::Arch arch : kernels::available_archs()) {
+    kernels::set_gemm_arch(arch);
+    Rng rng(20260809);
+    for (Precision precision :
+         {Precision::kFp16, Precision::kBf16, Precision::kFp8E4M3}) {
+      const std::size_t ts = 45;
+      const Tile a = random_tile(ts, ts, precision, rng);
+      const Tile b = random_tile(ts, ts, precision, rng);
+      const Tile c0 = random_tile(ts, ts, precision, rng);
+
+      Tile c_ref = c0;
+      kernels::set_gemm_backend(kernels::GemmBackend::kReference);
+      tile_gemm(a, b, c_ref);
+
+      Tile c_packed = c0;
+      kernels::set_gemm_backend(kernels::GemmBackend::kPacked);
+      tile_gemm(a, b, c_packed);
+
+      const Matrix<float> ref = c_ref.to_fp32();
+      const Matrix<float> got = c_packed.to_fp32();
+      const float tol =
+          (1e-5f * (1.0f + std::sqrt(static_cast<float>(ts + 1))) +
+           3.0f * static_cast<float>(unit_roundoff(precision)));
+      for (std::size_t i = 0; i < ref.size(); ++i) {
+        EXPECT_NEAR(got.data()[i], ref.data()[i],
+                    tol * (1.0f + std::fabs(ref.data()[i])))
+            << "variant " << to_string(arch) << " "
+            << to_string(precision) << " element " << i;
+      }
+    }
+  }
+}
+
+TEST(GemmVariantParityTest, EveryVariantIsBitwiseDeterministic) {
+  ScopedEngineConfig restore;
+  kernels::set_gemm_backend(kernels::GemmBackend::kPacked);
+  for (const kernels::Arch arch : kernels::available_archs()) {
+    kernels::set_gemm_arch(arch);
+    Rng rng(20260810);
+    const std::size_t m = 61, n = 43, k = 77;
+    const std::vector<float> a = random_buffer(m * k, rng);
+    const std::vector<float> b = random_buffer(k * n, rng);
+    const std::vector<float> c0 = random_buffer(m * n, rng);
+    const auto av = kernels::fp32_view(a.data(), m, Trans::kNoTrans);
+    const auto bv = kernels::fp32_view(b.data(), k, Trans::kNoTrans);
+
+    std::vector<float> c1 = c0, c2 = c0, c3 = c0;
+    kernels::gemm_view(m, n, k, -1.0f, av, bv, 0.5f, c1.data(), m);
+    kernels::gemm_view(m, n, k, -1.0f, av, bv, 0.5f, c2.data(), m);
+    EXPECT_EQ(std::memcmp(c1.data(), c2.data(), c1.size() * sizeof(float)),
+              0)
+        << "variant " << to_string(arch) << " not run-to-run deterministic";
+
+    // The prepacked path must stay bitwise identical per variant too.
+    kernels::PackedA packed;
+    packed.pack(m, k, av);
+    kernels::gemm_prepacked(m, n, k, -1.0f, packed, bv, 0.5f, c3.data(), m);
+    EXPECT_EQ(std::memcmp(c1.data(), c3.data(), c1.size() * sizeof(float)),
+              0)
+        << "variant " << to_string(arch) << " prepacked diverged";
+  }
+}
+
+TEST(GemmVariantParityTest, Int8AccumulatePathIsExactAndVariantInvariant) {
+  ScopedEngineConfig restore;
+  kernels::set_gemm_backend(kernels::GemmBackend::kPacked);
+  Rng rng(20260811);
+  const std::size_t m = 37, n = 29, k = 61;
+  std::vector<std::int8_t> a(m * k), b(k * n);
+  for (auto& v : a) v = static_cast<std::int8_t>(rng.uniform_index(9)) - 4;
+  for (auto& v : b) v = static_cast<std::int8_t>(rng.uniform_index(9)) - 4;
+  const std::vector<float> c0 = random_buffer(m * n, rng);
+  const kernels::OperandView av{a.data(), m, Trans::kNoTrans,
+                                Precision::kInt8, Precision::kFp32};
+  const kernels::OperandView bv{b.data(), k, Trans::kNoTrans,
+                                Precision::kInt8, Precision::kFp32};
+
+  // Exact oracle: integer dot products, scaled in FP32 exactly like the
+  // engine's epilogue (c += alpha * float(acc)).
+  std::vector<float> want = c0;
+  for (std::size_t j = 0; j < n; ++j) {
+    for (std::size_t i = 0; i < m; ++i) {
+      std::int64_t acc = 0;
+      for (std::size_t l = 0; l < k; ++l) {
+        acc += static_cast<std::int64_t>(a[i + l * m]) *
+               static_cast<std::int64_t>(b[l + j * k]);
+      }
+      want[i + j * m] += 0.5f * static_cast<float>(acc);
+    }
+  }
+
+  std::vector<float> first;
+  for (const kernels::Arch arch : kernels::available_archs()) {
+    kernels::set_gemm_arch(arch);
+    std::vector<float> c = c0;
+    kernels::gemm_view(m, n, k, 0.5f, av, bv, 1.0f, c.data(), m);
+    for (std::size_t i = 0; i < c.size(); ++i) {
+      ASSERT_EQ(c[i], want[i])
+          << "variant " << to_string(arch) << " int8 element " << i;
+    }
+    if (first.empty()) {
+      first = c;
+    } else {
+      EXPECT_EQ(
+          std::memcmp(first.data(), c.data(), c.size() * sizeof(float)), 0)
+          << "int8 path differs across variants (" << to_string(arch) << ")";
+    }
+  }
+}
+
+TEST(GemmVariantParityTest, Int8TileGemmBatchMatchesSoloBitwise) {
+  // INT8 tile pairs bypass the BatchScope's shared FP32 panels (the
+  // integer-accumulate path has no packed image), so batched and solo
+  // execution must still agree bitwise.
+  ScopedEngineConfig restore;
+  kernels::set_gemm_backend(kernels::GemmBackend::kPacked);
+  Rng rng(20260812);
+  const std::size_t ts = 40;
+  const Tile a = random_tile(ts, ts, Precision::kInt8, rng);
+  std::vector<Tile> bs, c_solo, c_scoped;
+  for (int g = 0; g < 4; ++g) {
+    bs.push_back(random_tile(ts, ts, Precision::kInt8, rng));
+    const Tile c0 = random_tile(ts, ts, Precision::kFp32, rng);
+    c_solo.push_back(c0);
+    c_scoped.push_back(c0);
+  }
+  for (std::size_t g = 0; g < bs.size(); ++g) tile_gemm(a, bs[g], c_solo[g]);
+  {
+    mpblas::batch::BatchScope scope;
+    for (std::size_t g = 0; g < bs.size(); ++g) {
+      tile_gemm(a, bs[g], c_scoped[g]);
+    }
+  }
+  for (std::size_t g = 0; g < bs.size(); ++g) {
+    EXPECT_EQ(std::memcmp(c_solo[g].raw(), c_scoped[g].raw(),
+                          c_solo[g].storage_bytes()),
+              0)
+        << "int8 batched tile GEMM diverged at group member " << g;
+  }
+}
+
+TEST(GemmVariantParityTest, ParallelPackingBitwiseMatchesSerial) {
+  ScopedEngineConfig restore;
+  kernels::set_gemm_backend(kernels::GemmBackend::kPacked);
+  Rng rng(20260813);
+  // Large enough that the parallel path engages (several ic/pc blocks,
+  // above the fan-out grain) with the default blocking.
+  const std::size_t m = 700, n = 64, k = 600;
+  const std::vector<float> a = random_buffer(m * k, rng);
+  const std::vector<float> b = random_buffer(k * n, rng);
+  const std::vector<float> c0 = random_buffer(m * n, rng);
+  const auto av = kernels::fp32_view(a.data(), m, Trans::kNoTrans);
+  const auto bv = kernels::fp32_view(b.data(), k, Trans::kNoTrans);
+
+  kernels::set_pack_threads(1);
+  kernels::PackedA serial;
+  serial.pack(m, k, av);
+  std::vector<float> c_serial = c0;
+  kernels::gemm_prepacked(m, n, k, 1.0f, serial, bv, 1.0f, c_serial.data(),
+                          m);
+
+  kernels::set_pack_threads(4);
+  kernels::PackedA parallel;
+  parallel.pack(m, k, av);
+  std::vector<float> c_parallel = c0;
+  kernels::gemm_prepacked(m, n, k, 1.0f, parallel, bv, 1.0f,
+                          c_parallel.data(), m);
+
+  EXPECT_EQ(std::memcmp(c_serial.data(), c_parallel.data(),
+                        c_serial.size() * sizeof(float)),
+            0)
+      << "parallel whole-operand packing changed the packed panels";
 }
 
 TEST(GemmEngineTest, MixedTcGemmMatchesReferenceRounding) {

@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "common/rng.hpp"
+#include "mpblas/kernels.hpp"
 #include "tile/tile.hpp"
 #include "tile/tile_pool.hpp"
 
@@ -167,6 +168,53 @@ TEST(TilePool, TileStorageRecyclesThroughGlobalPool) {
   }
   EXPECT_EQ(TilePool::global().stats().fresh_allocations, after_warmup)
       << "repeated tile construction + conversion must reuse pooled buffers";
+}
+
+TEST(TilePool, PackBuffersAreFootprintKeyedAcrossShapes) {
+  if (!TilePool::caching_enabled()) {
+    GTEST_SKIP() << "pool caching disabled under sanitizers";
+  }
+  // The engine's per-thread pack buffers are sized from the tuned
+  // blocking footprint (mc*kc / kc*nc), not the operand shape, so
+  // cycling through many different GEMM shapes must not grow the pool
+  // once the footprint-sized classes are seeded.
+  namespace kernels = mpblas::kernels;
+  struct Restore {
+    ~Restore() {
+      kernels::set_gemm_backend(std::nullopt);
+      kernels::set_gemm_blocking(std::nullopt);
+      kernels::set_pack_threads(std::nullopt);
+    }
+  } restore;
+  kernels::set_gemm_backend(kernels::GemmBackend::kPacked);
+  kernels::set_pack_threads(1);  // keep all pool traffic on this thread
+
+  Rng rng(29);
+  const std::size_t kMaxDim = 160;
+  std::vector<float> a(kMaxDim * kMaxDim), b(kMaxDim * kMaxDim),
+      c(kMaxDim * kMaxDim);
+  for (auto& v : a) v = static_cast<float>(rng.normal());
+  for (auto& v : b) v = static_cast<float>(rng.normal());
+
+  const auto run = [&](std::size_t m, std::size_t n, std::size_t k) {
+    const auto av = kernels::fp32_view(a.data(), m, Trans::kNoTrans);
+    const auto bv = kernels::fp32_view(b.data(), k, Trans::kNoTrans);
+    kernels::gemm_view(m, n, k, 1.0f, av, bv, 0.0f, c.data(), m);
+  };
+
+  run(kMaxDim, kMaxDim, kMaxDim);  // warm-up seeds the footprint classes
+  const std::uint64_t after_warmup =
+      TilePool::global().stats().fresh_allocations;
+
+  for (int iter = 0; iter < 24; ++iter) {
+    const std::size_t m = 1 + rng.uniform_index(kMaxDim);
+    const std::size_t n = 1 + rng.uniform_index(kMaxDim);
+    const std::size_t k = 1 + rng.uniform_index(kMaxDim);
+    run(m, n, k);
+  }
+  EXPECT_EQ(TilePool::global().stats().fresh_allocations, after_warmup)
+      << "pack buffers must be keyed off the blocking footprint, not the "
+         "operand shape";
 }
 
 }  // namespace
