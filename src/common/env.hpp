@@ -10,6 +10,7 @@
 
 #include <cctype>
 #include <cerrno>
+#include <cmath>
 #include <cstddef>
 #include <cstdlib>
 #include <limits>
@@ -36,6 +37,26 @@ inline std::size_t env_size_t(const char* name, std::size_t fallback) {
   while (std::isspace(static_cast<unsigned char>(*end))) ++end;
   if (*end != '\0') return fallback;  // trailing garbage ("12abc", "3 4")
   return static_cast<std::size_t>(parsed);
+}
+
+/// Parses a non-negative finite floating-point environment variable with
+/// the same strictness contract as env_size_t: unset, empty, negative,
+/// non-finite ("inf", "nan") or trailing-garbage values fall back to the
+/// knob's documented default.
+inline double env_double(const char* name, double fallback) {
+  const char* value = std::getenv(name);
+  if (value == nullptr) return fallback;
+  while (std::isspace(static_cast<unsigned char>(*value))) ++value;
+  if (*value == '\0') return fallback;
+  char* end = nullptr;
+  errno = 0;
+  const double parsed = std::strtod(value, &end);
+  if (end == value) return fallback;
+  if (errno == ERANGE) return fallback;
+  if (!std::isfinite(parsed) || parsed < 0.0) return fallback;
+  while (std::isspace(static_cast<unsigned char>(*end))) ++end;
+  if (*end != '\0') return fallback;
+  return parsed;
 }
 
 }  // namespace kgwas

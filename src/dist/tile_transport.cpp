@@ -55,4 +55,50 @@ void send_tile(Communicator& comm, int dest, std::uint64_t tag,
   comm.send(dest, tag, encode_tile(tile));
 }
 
+namespace {
+// TLR header: u32 rows | u32 cols | u8 precision | u32 rank.
+constexpr std::size_t kTlrHeaderBytes = 4 + 4 + 1 + 4;
+}  // namespace
+
+std::size_t tlr_frame_bytes(const TlrTile& tile) {
+  return kTlrHeaderBytes + tile.storage_bytes();
+}
+
+std::vector<std::byte> encode_tlr_tile(const TlrTile& tile) {
+  KGWAS_CHECK_ARG(tile.active(), "cannot encode an inactive TLR tile");
+  std::vector<std::byte> frame(tlr_frame_bytes(tile));
+  put_u32(frame.data(), static_cast<std::uint32_t>(tile.rows()));
+  put_u32(frame.data() + 4, static_cast<std::uint32_t>(tile.cols()));
+  frame[8] = static_cast<std::byte>(tile.precision());
+  put_u32(frame.data() + 9, static_cast<std::uint32_t>(tile.rank()));
+  std::memcpy(frame.data() + kTlrHeaderBytes, tile.u().raw(),
+              tile.u().storage_bytes());
+  std::memcpy(frame.data() + kTlrHeaderBytes + tile.u().storage_bytes(),
+              tile.v().raw(), tile.v().storage_bytes());
+  return frame;
+}
+
+void decode_tlr_tile(const std::vector<std::byte>& frame, TlrTile& out) {
+  KGWAS_CHECK_ARG(frame.size() >= kTlrHeaderBytes, "TLR frame too short");
+  const std::size_t rows = get_u32(frame.data());
+  const std::size_t cols = get_u32(frame.data() + 4);
+  const auto precision = static_cast<Precision>(frame[8]);
+  const std::size_t rank = get_u32(frame.data() + 9);
+  KGWAS_CHECK_ARG(static_cast<unsigned>(precision) < kNumPrecisions,
+                  "TLR frame carries an unknown precision tag");
+  const std::size_t u_bytes = rows * rank * bytes_per_element(precision);
+  const std::size_t v_bytes = cols * rank * bytes_per_element(precision);
+  KGWAS_CHECK_ARG(frame.size() == kTlrHeaderBytes + u_bytes + v_bytes,
+                  "TLR frame payload size mismatch");
+  out.from_wire(rows, cols, rank, precision,
+                frame.data() + kTlrHeaderBytes,
+                frame.data() + kTlrHeaderBytes + u_bytes);
+}
+
+void send_tlr_tile(Communicator& comm, int dest, std::uint64_t tag,
+                   const TlrTile& tile) {
+  comm.record_tile_payload(tile.precision(), tile.storage_bytes());
+  comm.send(dest, tag, encode_tlr_tile(tile));
+}
+
 }  // namespace kgwas::dist

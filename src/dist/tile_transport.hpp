@@ -21,6 +21,7 @@
 
 #include "dist/communicator.hpp"
 #include "tile/tile.hpp"
+#include "tile/tlr_tile.hpp"
 
 namespace kgwas::dist {
 
@@ -60,5 +61,32 @@ void decode_tile(const std::vector<std::byte>& frame, Tile& out);
 /// communicator's per-precision wire ledger.
 void send_tile(Communicator& comm, int dest, std::uint64_t tag,
                const Tile& tile);
+
+// --- TLR frames ----------------------------------------------------------
+//
+// A compressed tile ships as a separate frame type: u32 rows | u32 cols |
+// u8 precision | u32 rank, followed by the raw storage bytes of U
+// (rows x rank) then V (cols x rank).  The factor payloads adopt
+// bit-for-bit on receive (TlrTile::from_wire), so TLR transport keeps the
+// same bitwise reproducibility contract as dense transport — and a rank-r
+// frame costs r * (rows + cols) elements on the wire instead of
+// rows * cols, which is the TLR communication-volume argument.  The dense
+// frame format above is untouched: runs without compressed tiles put
+// exactly the same bytes on the wire as before.
+
+/// Serialized frame size of a TLR tile (header + both factor payloads).
+std::size_t tlr_frame_bytes(const TlrTile& tile);
+
+/// Serializes a TLR tile into a self-describing frame.
+std::vector<std::byte> encode_tlr_tile(const TlrTile& tile);
+
+/// Deserializes a frame produced by encode_tlr_tile.  Throws
+/// InvalidArgument on a malformed frame.
+void decode_tlr_tile(const std::vector<std::byte>& frame, TlrTile& out);
+
+/// Sends a TLR tile to `dest`, recording its factor payload bytes in the
+/// communicator's per-precision wire ledger.
+void send_tlr_tile(Communicator& comm, int dest, std::uint64_t tag,
+                   const TlrTile& tile);
 
 }  // namespace kgwas::dist

@@ -36,6 +36,10 @@ AssociateResult associate(Runtime& runtime, SymmetricTileMatrix& k,
   KGWAS_CHECK_ARG(phenotypes.rows() == k.n(),
                   "phenotype row count must equal kernel dimension");
   KGWAS_CHECK_ARG(config.alpha > 0.0, "alpha must be positive");
+  KGWAS_CHECK_ARG(config.tlr.tol == 0.0 ||
+                      config.on_breakdown == BreakdownAction::kThrow,
+                  "TLR compression is incompatible with escalation recovery "
+                  "(set on_breakdown = kThrow or KGWAS_TLR_TOL=0)");
 
   // Regularize first: the precision decision must see K + alpha*I, whose
   // diagonal tiles dominate, exactly as the paper applies the adaptive
@@ -65,6 +69,12 @@ AssociateResult associate(Runtime& runtime, SymmetricTileMatrix& k,
     tiled_potrf(runtime, demoted, options);
     k = std::move(demoted);
   } else {
+    // Compress BEFORE applying the map: factors are then computed from
+    // the full-fidelity tile values and quantized exactly once, the same
+    // single-rounding contract dense tiles get.
+    if (config.tlr.tol > 0.0) {
+      result.tlr = plan_tlr_compression(k, result.map, config.tlr);
+    }
     result.map.apply(k);
     result.factor_bytes = k.storage_bytes();
     tiled_potrf(runtime, k, options);

@@ -35,6 +35,13 @@ struct AssociateConfig {
   BreakdownAction on_breakdown = BreakdownAction::kThrow;
   /// Retry bound for kEscalate.
   int max_escalations = 8;
+  /// TLR tile compression (paper Section VIII), applied after the
+  /// precision map is planned and before it is applied: admissible
+  /// off-diagonal tiles become U * V^T factor pairs stored at their
+  /// mapped precision.  tol = 0 (the default, and the fallback of
+  /// KGWAS_TLR_TOL) disables compression — the pipeline is then bitwise
+  /// the dense one.  Incompatible with kEscalate.
+  TlrPolicy tlr = tlr_policy_from_env();
 };
 
 struct AssociateResult {
@@ -46,6 +53,8 @@ struct AssociateResult {
   /// Breakdown-recovery diagnostics of the factorization (attempts,
   /// escalation events, tiles promoted).
   FactorizationReport report;
+  /// TLR compression outcome (all zeros when config.tlr.tol == 0).
+  TlrCompressionStats tlr;
 };
 
 /// Runs the Associate phase in place on K (it becomes the Cholesky

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <numeric>
 
+#include "common/logging.hpp"
 #include "common/status.hpp"
 #include "mpblas/blas.hpp"
 
@@ -21,6 +22,21 @@ Svd jacobi_svd(const Matrix<float>& a, int max_sweeps) {
   // rotations into V.  Converged when every pair is numerically
   // orthogonal relative to the column norms.
   const double eps = 1e-10;
+  // Columns whose squared norm collapses below roundoff of the dominant
+  // column are numerically zero: rank-deficient and m < n inputs drive
+  // n - rank columns there, and rotating them forever would exhaust the
+  // sweep cap without converging (their norm products underflow any
+  // threshold).  The drop floor is relative to the largest initial
+  // column, so it scales with the input.
+  double scale_sq = 0.0;
+  for (std::size_t j = 0; j < n; ++j) {
+    double sum = 0.0;
+    for (std::size_t i = 0; i < m; ++i) sum += u(i, j) * u(i, j);
+    scale_sq = std::max(scale_sq, sum);
+  }
+  const double drop = scale_sq * 1e-30;
+
+  bool converged = (n <= 1);
   for (int sweep = 0; sweep < max_sweeps; ++sweep) {
     bool rotated = false;
     for (std::size_t p = 0; p + 1 < n; ++p) {
@@ -29,11 +45,12 @@ Svd jacobi_svd(const Matrix<float>& a, int max_sweeps) {
         for (std::size_t i = 0; i < m; ++i) {
           app += u(i, p) * u(i, p);
           aqq += u(i, q) * u(i, q);
-          apq += u(i, p) * u(i, q);
+          apq += u(i, q) * u(i, p);
         }
-        if (std::fabs(apq) <= eps * std::sqrt(app * aqq) || apq == 0.0) {
-          continue;
-        }
+        if (app <= drop || aqq <= drop) continue;
+        // Squared-product form of |apq| <= eps * sqrt(app * aqq): no
+        // sqrt underflow for small-but-nonzero columns.
+        if (apq * apq <= eps * eps * app * aqq) continue;
         rotated = true;
         const double zeta = (aqq - app) / (2.0 * apq);
         const double t = (zeta >= 0.0 ? 1.0 : -1.0) /
@@ -52,7 +69,17 @@ Svd jacobi_svd(const Matrix<float>& a, int max_sweeps) {
         }
       }
     }
-    if (!rotated) break;
+    if (!rotated) {
+      converged = true;
+      break;
+    }
+  }
+  if (!converged) {
+    KGWAS_LOG_WARN("jacobi_svd: " << max_sweeps
+                                  << " sweeps exhausted before convergence ("
+                                  << m << "x" << n
+                                  << " input); singular values may carry "
+                                     "extra error");
   }
 
   // Singular values = column norms of U; sort descending.
@@ -88,9 +115,19 @@ Svd jacobi_svd(const Matrix<float>& a, int max_sweeps) {
 
 LowRankFactor truncate_svd(const Svd& svd, double tol, std::size_t m,
                            std::size_t n) {
+  // Relative truncation: keep sigma_i > tol * sigma_0.  A numerically
+  // zero input (sigma_0 == 0) keeps nothing — rank 0, factors with zero
+  // columns — instead of fabricating a rank-1 factor from noise.
+  const double sigma0 =
+      svd.sigma.empty() ? 0.0 : static_cast<double>(svd.sigma.front());
   std::size_t rank = 0;
-  while (rank < svd.sigma.size() && svd.sigma[rank] > tol) ++rank;
-  rank = std::max<std::size_t>(rank, 1);
+  if (sigma0 > 0.0) {
+    const double cutoff = tol * sigma0;
+    while (rank < svd.sigma.size() &&
+           static_cast<double>(svd.sigma[rank]) > cutoff) {
+      ++rank;
+    }
+  }
 
   LowRankFactor factor;
   factor.u = Matrix<float>(m, rank);
@@ -111,7 +148,135 @@ LowRankFactor compress_block(const Matrix<float>& a, double tol) {
 }
 
 Matrix<float> reconstruct(const LowRankFactor& factor) {
+  if (factor.rank() == 0) {
+    return Matrix<float>(factor.u.rows(), factor.v.rows(), 0.0f);
+  }
   return matmul(factor.u, factor.v, Trans::kNoTrans, Trans::kTrans);
+}
+
+namespace {
+
+/// Thin Householder QR of an m x r matrix (m >= r): fills `q` (m x r,
+/// orthonormal columns) and `r_out` (r x r upper triangular) with
+/// a = q * r_out.  Double precision throughout — this runs inside the TLR
+/// re-compression where the factor columns can be nearly dependent.
+void thin_qr(const Matrix<double>& a, Matrix<double>& q,
+             Matrix<double>& r_out) {
+  const std::size_t m = a.rows();
+  const std::size_t r = a.cols();
+  Matrix<double> work = a;      // transformed into R's upper triangle
+  Matrix<double> vs(m, r, 0.0); // Householder vectors, one per column
+  std::vector<double> tau(r, 0.0);
+  for (std::size_t k = 0; k < r; ++k) {
+    double norm_sq = 0.0;
+    for (std::size_t i = k; i < m; ++i) norm_sq += work(i, k) * work(i, k);
+    const double norm = std::sqrt(norm_sq);
+    if (norm == 0.0) continue;  // exactly dependent column: R(k,k) = 0
+    // H = I - tau * v v^T maps the column onto alpha * e_k.
+    const double alpha = work(k, k) >= 0.0 ? -norm : norm;
+    const double v0 = work(k, k) - alpha;
+    vs(k, k) = v0;
+    double v_sq = v0 * v0;
+    for (std::size_t i = k + 1; i < m; ++i) {
+      vs(i, k) = work(i, k);
+      v_sq += work(i, k) * work(i, k);
+    }
+    tau[k] = v_sq > 0.0 ? 2.0 / v_sq : 0.0;
+    work(k, k) = alpha;
+    for (std::size_t i = k + 1; i < m; ++i) work(i, k) = 0.0;
+    for (std::size_t j = k + 1; j < r; ++j) {
+      double dot = 0.0;
+      for (std::size_t i = k; i < m; ++i) dot += vs(i, k) * work(i, j);
+      const double scale = tau[k] * dot;
+      for (std::size_t i = k; i < m; ++i) work(i, j) -= scale * vs(i, k);
+    }
+  }
+  for (std::size_t j = 0; j < r; ++j) {
+    for (std::size_t i = 0; i < r; ++i) {
+      r_out(i, j) = i <= j ? work(i, j) : 0.0;
+    }
+  }
+  // Accumulate Q = H_0 * H_1 * ... * H_{r-1} * [I_r; 0] by applying the
+  // reflectors in reverse to the identity block.
+  q = Matrix<double>(m, r, 0.0);
+  for (std::size_t j = 0; j < r; ++j) q(j, j) = 1.0;
+  for (std::size_t k = r; k-- > 0;) {
+    if (tau[k] == 0.0) continue;
+    for (std::size_t j = 0; j < r; ++j) {
+      double dot = 0.0;
+      for (std::size_t i = k; i < m; ++i) dot += vs(i, k) * q(i, j);
+      const double scale = tau[k] * dot;
+      for (std::size_t i = k; i < m; ++i) q(i, j) -= scale * vs(i, k);
+    }
+  }
+}
+
+}  // namespace
+
+LowRankFactor recompress_product(const Matrix<float>& x,
+                                 const Matrix<float>& y, double tol) {
+  KGWAS_CHECK_ARG(x.cols() == y.cols(),
+                  "recompress_product factor rank mismatch");
+  const std::size_t m = x.rows();
+  const std::size_t n = y.rows();
+  const std::size_t r = x.cols();
+  if (r == 0 || m == 0 || n == 0) {
+    LowRankFactor zero;
+    zero.u = Matrix<float>(m, 0);
+    zero.v = Matrix<float>(n, 0);
+    return zero;
+  }
+  if (r >= std::min(m, n)) {
+    // The stacked factor is as wide as the dense tile: QR of it is no
+    // cheaper than compressing the dense product directly.
+    return compress_block(matmul(x, y, Trans::kNoTrans, Trans::kTrans), tol);
+  }
+
+  const Matrix<double> xd = x.cast<double>();
+  const Matrix<double> yd = y.cast<double>();
+  Matrix<double> qx, rx(r, r, 0.0), qy, ry(r, r, 0.0);
+  thin_qr(xd, qx, rx);
+  thin_qr(yd, qy, ry);
+
+  // Core = R_x * R_y^T (r x r); its SVD carries the spectrum of X * Y^T.
+  Matrix<double> core(r, r, 0.0);
+  gemm(Trans::kNoTrans, Trans::kTrans, r, r, r, 1.0, rx.data(), rx.ld(),
+       ry.data(), ry.ld(), 0.0, core.data(), core.ld());
+  const Svd core_svd = jacobi_svd(core.cast<float>());
+
+  const double sigma0 =
+      core_svd.sigma.empty() ? 0.0 : static_cast<double>(core_svd.sigma[0]);
+  std::size_t rank = 0;
+  if (sigma0 > 0.0) {
+    const double cutoff = tol * sigma0;
+    while (rank < core_svd.sigma.size() &&
+           static_cast<double>(core_svd.sigma[rank]) > cutoff) {
+      ++rank;
+    }
+  }
+
+  LowRankFactor out;
+  out.u = Matrix<float>(m, rank);
+  out.v = Matrix<float>(n, rank);
+  // U = Q_x * (core.u * sigma), V = Q_y * core.v.
+  for (std::size_t k = 0; k < rank; ++k) {
+    for (std::size_t i = 0; i < m; ++i) {
+      double sum = 0.0;
+      for (std::size_t j = 0; j < r; ++j) {
+        sum += qx(i, j) * static_cast<double>(core_svd.u(j, k));
+      }
+      out.u(i, k) =
+          static_cast<float>(sum * static_cast<double>(core_svd.sigma[k]));
+    }
+    for (std::size_t i = 0; i < n; ++i) {
+      double sum = 0.0;
+      for (std::size_t j = 0; j < r; ++j) {
+        sum += qy(i, j) * static_cast<double>(core_svd.v(j, k));
+      }
+      out.v(i, k) = static_cast<float>(sum);
+    }
+  }
+  return out;
 }
 
 CompressionSurvey survey_low_rank(const SymmetricTileMatrix& matrix,
@@ -124,13 +289,21 @@ CompressionSurvey survey_low_rank(const SymmetricTileMatrix& matrix,
       const Matrix<float> dense = matrix.tile(ti, tj).to_fp32();
       const LowRankFactor factor = compress_block(dense, tol);
       const Matrix<float> recon = reconstruct(factor);
-      double err = 0.0;
+      // Accumulate both the error and the tile norm in double and take
+      // the square roots at the end: the reported error is relative to
+      // the tile's Frobenius norm (scale-invariant admissibility data),
+      // with a zero tile — rank 0, exact reconstruction — reporting 0.
+      double err_sq = 0.0;
+      double norm_sq = 0.0;
       for (std::size_t i = 0; i < dense.size(); ++i) {
-        const double d = static_cast<double>(dense.data()[i]) -
-                         recon.data()[i];
-        err += d * d;
+        const double value = static_cast<double>(dense.data()[i]);
+        const double d = value - static_cast<double>(recon.data()[i]);
+        err_sq += d * d;
+        norm_sq += value * value;
       }
-      survey.max_error = std::max(survey.max_error, std::sqrt(err));
+      const double rel_err =
+          norm_sq > 0.0 ? std::sqrt(err_sq / norm_sq) : 0.0;
+      survey.max_error = std::max(survey.max_error, rel_err);
       survey.mean_rank += static_cast<double>(factor.rank());
       survey.max_rank =
           std::max(survey.max_rank, static_cast<double>(factor.rank()));

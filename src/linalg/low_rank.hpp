@@ -1,12 +1,23 @@
 // Low-rank tile compression (paper Section VIII): "additional and
 // potentially even greater data sparsity may be available from exploiting
 // the smoothness of matrix tiles in the form of low-rank replacements of
-// dense tiles" (the TLR/HSS direction of the authors' earlier Gordon Bell
-// work).  This module provides the building block — truncated SVD of a
-// tile via one-sided Jacobi — and a survey routine that measures how much
-// of a kernel matrix's off-diagonal mass is low-rank at a given
-// tolerance, which is what decides whether TLR beats (or composes with)
-// the mixed-precision representation.
+// dense tiles" (the TLR/HiCMA direction of the authors' earlier Gordon
+// Bell work).  This module supplies the numerical core of the TLR tile
+// representation the tiled solvers consume (see tile/tlr_tile.hpp and
+// linalg/tlr_kernels.hpp):
+//
+//  * truncated SVD of a tile via one-sided Jacobi, with a *relative*
+//    truncation rule (keep sigma_i > tol * sigma_0) so the chosen rank is
+//    invariant under scaling of the tile — a numerically zero tile
+//    truncates to rank 0, not a fabricated rank 1;
+//  * rank re-compression of an accumulated low-rank sum X * Y^T without
+//    forming the dense product (thin QR of both factors + SVD of the
+//    small core), which is what keeps TLR Schur-complement updates from
+//    growing their rank unboundedly;
+//  * a survey routine reporting scale-invariant (norm-relative) per-tile
+//    reconstruction error and rank statistics — the admissibility data
+//    that decides where TLR beats (or composes with) the mixed-precision
+//    representation.
 #pragma once
 
 #include <cstddef>
@@ -23,12 +34,21 @@ struct Svd {
   Matrix<float> v;             ///< n x r
 };
 
-/// One-sided Jacobi SVD (suitable for tile-sized problems).  `sweeps`
-/// bounds the Jacobi iterations; convergence for tile sizes well before.
+/// One-sided Jacobi SVD (suitable for tile-sized problems).  `max_sweeps`
+/// bounds the Jacobi iterations; tile-sized inputs converge well before.
+/// The pairwise convergence test is relative to the column norms and
+/// columns whose norm has collapsed below roundoff of the dominant column
+/// are treated as converged (rank-deficient and m < n inputs would
+/// otherwise spin on underflowed norm products until the sweep cap).
+/// Logs a warning if the cap is exhausted before convergence.
 Svd jacobi_svd(const Matrix<float>& a, int max_sweeps = 30);
 
 /// Rank-k factorization A ~= U * V^T keeping singular values with
-/// sigma_i > tol (absolute).  U is m x k (scaled by sigma), V is n x k.
+/// sigma_i > tol * sigma_0 (RELATIVE to the largest singular value, so
+/// the rank decision is invariant under scaling of A).  U is m x k
+/// (scaled by sigma), V is n x k.  A numerically zero input (sigma_0 == 0)
+/// yields rank 0: both factors have zero columns and reconstruct() is the
+/// zero matrix.
 struct LowRankFactor {
   Matrix<float> u;
   Matrix<float> v;
@@ -40,21 +60,34 @@ struct LowRankFactor {
 LowRankFactor truncate_svd(const Svd& svd, double tol, std::size_t m,
                            std::size_t n);
 
-/// Convenience: compress a dense block to the given absolute tolerance.
+/// Convenience: compress a dense block at the given relative tolerance.
 LowRankFactor compress_block(const Matrix<float>& a, double tol);
 
 /// Reconstructs U * V^T.
 Matrix<float> reconstruct(const LowRankFactor& factor);
 
+/// Truncated factorization of the product X * Y^T (X m x r, Y n x r)
+/// without forming it densely: thin QR of both factors, Jacobi SVD of the
+/// r x r core R_x * R_y^T, then relative-tol truncation (same semantics
+/// as truncate_svd).  This is the TLR rank re-compression step applied
+/// after a low-rank Schur update stacks factor columns.  Falls back to
+/// the dense path when r >= min(m, n) (the factored form is no longer a
+/// compression there).
+LowRankFactor recompress_product(const Matrix<float>& x,
+                                 const Matrix<float>& y, double tol);
+
 /// Surveys the off-diagonal tiles of a symmetric tiled matrix: average
 /// numerical rank at `tol`, compressed vs dense bytes, max reconstruction
-/// error — the decision data for a TLR variant.
+/// error — the admissibility data for the TLR representation.
 struct CompressionSurvey {
   double mean_rank = 0.0;
   double max_rank = 0.0;
   std::size_t dense_bytes = 0;
   std::size_t compressed_bytes = 0;
-  double max_error = 0.0;  ///< max Frobenius reconstruction error per tile
+  /// Max per-tile Frobenius reconstruction error RELATIVE to the tile's
+  /// Frobenius norm (a zero tile reports 0), so the admissibility
+  /// decision is invariant under scaling of the kernel matrix.
+  double max_error = 0.0;
 };
 CompressionSurvey survey_low_rank(const SymmetricTileMatrix& matrix,
                                   double tol);

@@ -3,7 +3,11 @@
 #include <algorithm>
 #include <cmath>
 
+#include "common/env.hpp"
 #include "common/status.hpp"
+#include "linalg/low_rank.hpp"
+#include "linalg/tlr_kernels.hpp"
+#include "tile/tlr_tile.hpp"
 
 namespace kgwas {
 
@@ -165,6 +169,59 @@ std::size_t map_storage_bytes(const PrecisionMap& map, std::size_t n,
     }
   }
   return total;
+}
+
+TlrPolicy tlr_policy_from_env() {
+  TlrPolicy policy;
+  policy.tol = env_double("KGWAS_TLR_TOL", policy.tol);
+  policy.max_rank_fraction =
+      env_double("KGWAS_TLR_MAX_RANK_FRACTION", policy.max_rank_fraction);
+  return policy;
+}
+
+TlrCompressionStats plan_tlr_compression(SymmetricTileMatrix& matrix,
+                                         const PrecisionMap& map,
+                                         const TlrPolicy& policy) {
+  TlrCompressionStats stats;
+  const std::size_t nt = matrix.tile_count();
+  KGWAS_CHECK_ARG(map.tile_count() == nt,
+                  "precision map size does not match tile matrix");
+  if (policy.tol <= 0.0) return stats;
+  matrix.set_tlr_options(policy.tol, policy.max_rank_fraction);
+
+  std::size_t rank_sum = 0;
+  for (std::size_t tj = 0; tj < nt; ++tj) {
+    for (std::size_t ti = tj + 1; ti < nt; ++ti) {
+      const Tile& t = matrix.tile(ti, tj);
+      const std::size_t m = t.rows(), n = t.cols();
+      if (std::min(m, n) < policy.min_dim) {
+        ++stats.tiles_dense;
+        continue;
+      }
+      const LowRankFactor factor =
+          compress_block(t.to_fp32(), policy.tol);
+      if (!tlr_rank_admissible(factor.rank(), m, n,
+                               policy.max_rank_fraction)) {
+        ++stats.tiles_dense;
+        continue;
+      }
+      // Joint rank + precision choice: the factors store at the precision
+      // the dense tile was mapped to — rank removes the smooth redundancy,
+      // the narrow format cheapens what remains.
+      TlrTile lr(factor.u, factor.v, map.get(ti, tj));
+      stats.dense_bytes += m * n * bytes_per_element(map.get(ti, tj));
+      stats.compressed_bytes += lr.storage_bytes();
+      stats.max_rank = std::max(stats.max_rank, factor.rank());
+      rank_sum += factor.rank();
+      ++stats.tiles_compressed;
+      matrix.set_low_rank(ti, tj, std::move(lr));
+    }
+  }
+  if (stats.tiles_compressed > 0) {
+    stats.mean_rank = static_cast<double>(rank_sum) /
+                      static_cast<double>(stats.tiles_compressed);
+  }
+  return stats;
 }
 
 }  // namespace kgwas

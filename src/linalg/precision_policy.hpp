@@ -108,4 +108,51 @@ std::size_t escalate_leading_block(PrecisionMap& map, std::size_t t,
 std::size_t escalate_step(PrecisionMap& map, std::size_t t,
                           Precision working);
 
+// --- TLR admissibility (paper Section VIII) ------------------------------
+
+/// Joint rank + storage-precision policy for the TLR representation.
+/// Admissibility and precision are decided together, per tile: the rank
+/// comes from the relative truncation tolerance, the factor storage
+/// precision from the same precision map the dense tile would have used
+/// (TLR composes with, rather than replaces, the mixed-precision mosaic).
+struct TlrPolicy {
+  /// Relative compression tolerance (keep sigma_i > tol * sigma_0).
+  /// 0 disables TLR entirely — the dense pipeline runs untouched.
+  double tol = 0.0;
+  /// A compressed tile is kept only while rank * (m + n) <=
+  /// max_rank_fraction * m * n; beyond that the factored form costs more
+  /// than the dense tile and the slot stays (or becomes) dense.
+  double max_rank_fraction = 0.5;
+  /// Tiles with min(m, n) below this stay dense: the factored form's
+  /// constant costs swamp any saving on tiny edge tiles.
+  std::size_t min_dim = 16;
+};
+
+/// Reads TlrPolicy from the environment: KGWAS_TLR_TOL (default 0 = off)
+/// and KGWAS_TLR_MAX_RANK_FRACTION (default 0.5).
+TlrPolicy tlr_policy_from_env();
+
+/// What plan_tlr_compression did — the compressed-vs-dense footprint data
+/// the paper's memory argument is about.
+struct TlrCompressionStats {
+  std::size_t tiles_compressed = 0;
+  std::size_t tiles_dense = 0;        ///< off-diagonal tiles left dense
+  std::size_t compressed_bytes = 0;   ///< factor bytes of compressed tiles
+  std::size_t dense_bytes = 0;        ///< what those tiles would have cost
+  std::size_t max_rank = 0;
+  double mean_rank = 0.0;             ///< over compressed tiles
+};
+
+/// Compresses every admissible off-diagonal tile of `matrix` in place:
+/// rank from `policy.tol` (relative truncation), factor storage precision
+/// from `map` (the precision the dense tile would have had), keeping the
+/// dense tile whenever the factored form fails the crossover rule.  Also
+/// stamps the matrix's TLR options so the factorization kernels
+/// re-compress at the same tolerance.  Call BEFORE PrecisionMap::apply so
+/// factors quantize once, from full-fidelity values.  A zero `policy.tol`
+/// is a no-op returning all-dense stats.
+TlrCompressionStats plan_tlr_compression(SymmetricTileMatrix& matrix,
+                                         const PrecisionMap& map,
+                                         const TlrPolicy& policy);
+
 }  // namespace kgwas

@@ -7,6 +7,7 @@
 #include "common/status.hpp"
 #include "linalg/precision_policy.hpp"
 #include "linalg/tile_kernels.hpp"
+#include "linalg/tlr_kernels.hpp"
 #include "mpblas/batch.hpp"
 #include "mpblas/mixed.hpp"
 
@@ -62,21 +63,35 @@ void tiled_potrf_attempt(Runtime& runtime, SymmetricTileMatrix& a,
   TileHandles h(runtime, nt);
   runtime.account_data_motion(tiled_potrf_data_motion_bytes(a));
 
+  // TLR mode: kernels dispatch per tile at execution time (a tile's
+  // representation can change mid-factorization when an update densifies
+  // it), and batch coalescing is off — low-rank slots have no dense
+  // payload to key a batch group on.  With no compressed tiles this flag
+  // is false and the submission loop below is the dense one, byte for
+  // byte: task op counts use tile_dim(), which equals the dense tile
+  // shapes it replaced.
+  const bool tlr = a.has_low_rank();
+  const bool batch = options.batch_trailing_update && !tlr;
+
   const std::size_t ts = a.tile_size();
   for (std::size_t k = 0; k < nt; ++k) {
     runtime.submit(TaskDesc{"potrf",
                             {{h(k, k), Access::kReadWrite}},
                             panel_priority(base_priority, nt, k, kPotrfPrio),
-                            potrf_op_count(a.tile(k, k).rows())},
+                            potrf_op_count(a.tile_dim(k))},
                    [&a, k, ts] { tile_potrf(a.tile(k, k), k * ts); });
     for (std::size_t i = k + 1; i < nt; ++i) {
-      runtime.submit(TaskDesc{"trsm",
-                              {{h(k, k), Access::kRead},
-                               {h(i, k), Access::kReadWrite}},
-                              panel_priority(base_priority, nt, k, kTrsmPrio),
-                              trsm_op_count(a.tile(k, k).rows(),
-                                            a.tile(i, k).rows())},
-                     [&a, i, k] { tile_trsm(a.tile(k, k), a.tile(i, k)); });
+      TaskDesc trsm_desc{"trsm",
+                         {{h(k, k), Access::kRead},
+                          {h(i, k), Access::kReadWrite}},
+                         panel_priority(base_priority, nt, k, kTrsmPrio),
+                         trsm_op_count(a.tile_dim(k), a.tile_dim(i))};
+      if (tlr) {
+        runtime.submit(std::move(trsm_desc), [&a, i, k] { tlr_trsm(a, i, k); });
+      } else {
+        runtime.submit(std::move(trsm_desc),
+                       [&a, i, k] { tile_trsm(a.tile(k, k), a.tile(i, k)); });
+      }
     }
     for (std::size_t j = k + 1; j < nt; ++j) {
       // tile_syrk runs a full-tile GEMM update, so account GEMM flops.
@@ -84,17 +99,19 @@ void tiled_potrf_attempt(Runtime& runtime, SymmetricTileMatrix& a,
                          {{h(j, k), Access::kRead},
                           {h(j, j), Access::kReadWrite}},
                          panel_priority(base_priority, nt, k, kSyrkPrio),
-                         gemm_op_count(a.tile(j, j).rows(),
-                                       a.tile(j, j).cols(),
-                                       a.tile(j, k).cols())};
-      auto syrk_fn = [&a, j, k] { tile_syrk(a.tile(j, k), a.tile(j, j)); };
-      if (options.batch_trailing_update) {
+                         gemm_op_count(a.tile_dim(j), a.tile_dim(j),
+                                       a.tile_dim(k))};
+      if (tlr) {
+        runtime.submit(std::move(syrk_desc),
+                       [&a, j, k] { tlr_syrk(a, j, k); });
+      } else if (batch) {
         runtime.submit_batchable(
             std::move(syrk_desc),
             BatchKey{mpblas::batch::syrk_key(a.tile(j, k), a.tile(j, j))},
-            std::move(syrk_fn));
+            [&a, j, k] { tile_syrk(a.tile(j, k), a.tile(j, j)); });
       } else {
-        runtime.submit(std::move(syrk_desc), std::move(syrk_fn));
+        runtime.submit(std::move(syrk_desc),
+                       [&a, j, k] { tile_syrk(a.tile(j, k), a.tile(j, j)); });
       }
       for (std::size_t i = j + 1; i < nt; ++i) {
         TaskDesc gemm_desc{"gemm",
@@ -102,20 +119,23 @@ void tiled_potrf_attempt(Runtime& runtime, SymmetricTileMatrix& a,
                             {h(j, k), Access::kRead},
                             {h(i, j), Access::kReadWrite}},
                            panel_priority(base_priority, nt, k, kGemmPrio),
-                           gemm_op_count(a.tile(i, j).rows(),
-                                         a.tile(i, j).cols(),
-                                         a.tile(i, k).cols())};
-        auto gemm_fn = [&a, i, j, k] {
-          tile_gemm(a.tile(i, k), a.tile(j, k), a.tile(i, j));
-        };
-        if (options.batch_trailing_update) {
-          runtime.submit_batchable(std::move(gemm_desc),
-                                   BatchKey{mpblas::batch::gemm_key(
-                                       a.tile(i, k), a.tile(j, k),
-                                       a.tile(i, j))},
-                                   std::move(gemm_fn));
+                           gemm_op_count(a.tile_dim(i), a.tile_dim(j),
+                                         a.tile_dim(k))};
+        if (tlr) {
+          runtime.submit(std::move(gemm_desc),
+                         [&a, i, j, k] { tlr_gemm(a, i, j, k); });
+        } else if (batch) {
+          runtime.submit_batchable(
+              std::move(gemm_desc),
+              BatchKey{mpblas::batch::gemm_key(a.tile(i, k), a.tile(j, k),
+                                               a.tile(i, j))},
+              [&a, i, j, k] {
+                tile_gemm(a.tile(i, k), a.tile(j, k), a.tile(i, j));
+              });
         } else {
-          runtime.submit(std::move(gemm_desc), std::move(gemm_fn));
+          runtime.submit(std::move(gemm_desc), [&a, i, j, k] {
+            tile_gemm(a.tile(i, k), a.tile(j, k), a.tile(i, j));
+          });
         }
       }
     }
@@ -147,6 +167,15 @@ void tiled_potrf(Runtime& runtime, SymmetricTileMatrix& a,
   FactorizationReport scratch;
   FactorizationReport& report = options.report ? *options.report : scratch;
   report = FactorizationReport{};
+
+  // Escalation recovery rolls tiles back from a dense snapshot and
+  // re-quantizes them — semantics a factor pair cannot honor without
+  // re-compressing the rollback source.  TLR matrices must factorize
+  // with on_breakdown == kThrow (the caller handles the retry).
+  KGWAS_CHECK_ARG(
+      !a.has_low_rank() || options.on_breakdown == BreakdownAction::kThrow,
+      "TLR-compressed matrices do not support escalation recovery; "
+      "factorize with BreakdownAction::kThrow");
 
   if (options.on_breakdown == BreakdownAction::kThrow ||
       a.tile_count() == 0) {
@@ -254,11 +283,11 @@ void tiled_potrs(Runtime& runtime, const SymmetricTileMatrix& l,
                                {xh[i], Access::kReadWrite}},
                               base_priority +
                                   (static_cast<int>(nt - k) << 1),
-                              gemm_op_count(l.tile(i, k).rows(), nrhs,
-                                            l.tile(i, k).cols())},
+                              gemm_op_count(l.tile_dim(i), nrhs,
+                                            l.tile_dim(k))},
                      [&l, &block, i, k, ldb, nrhs] {
-                       tile_gemm_rhs(l.tile(i, k), /*transpose=*/false,
-                                     block(k), ldb, block(i), ldb, nrhs);
+                       tlr_gemm_rhs(l, i, k, /*transpose=*/false, block(k),
+                                    ldb, block(i), ldb, nrhs);
                      });
     }
   }
@@ -278,11 +307,11 @@ void tiled_potrs(Runtime& runtime, const SymmetricTileMatrix& l,
                               {{xh[k], Access::kRead},
                                {xh[i], Access::kReadWrite}},
                               base_priority + (static_cast<int>(k + 1) << 1),
-                              gemm_op_count(l.tile(k, i).cols(), nrhs,
-                                            l.tile(k, i).rows())},
+                              gemm_op_count(l.tile_dim(i), nrhs,
+                                            l.tile_dim(k))},
                      [&l, &block, i, k, ldb, nrhs] {
-                       tile_gemm_rhs(l.tile(k, i), /*transpose=*/true,
-                                     block(k), ldb, block(i), ldb, nrhs);
+                       tlr_gemm_rhs(l, k, i, /*transpose=*/true, block(k),
+                                    ldb, block(i), ldb, nrhs);
                      });
     }
   }
@@ -305,7 +334,12 @@ std::size_t tiled_potrf_data_motion_bytes(const SymmetricTileMatrix& a) {
       const std::size_t consumers =
           (i == k) ? (nt - k - 1)                      // panel TRSMs read L_kk
                    : (nt - k - 1);                     // SYRK + GEMM reads
-      total += a.tile(i, k).storage_bytes() * consumers;
+      // A TLR slot moves its factor bytes, not the dense tile's — the
+      // communication-volume win of the compressed representation.
+      const std::size_t bytes = a.is_low_rank(i, k)
+                                    ? a.low_rank_tile(i, k).storage_bytes()
+                                    : a.tile(i, k).storage_bytes();
+      total += bytes * consumers;
     }
   }
   return total;

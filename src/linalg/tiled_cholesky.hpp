@@ -11,6 +11,13 @@
 // The solve runs in full working precision (FP32) as in the paper
 // ("the Cholesky solve is then performed ... in the full FP32 precision"),
 // but reads the factor tiles at their storage precision.
+//
+// When the matrix carries TLR-compressed tiles (SymmetricTileMatrix::
+// has_low_rank, planned by plan_tlr_compression), the same submission
+// loop runs with the TLR-aware kernels of linalg/tlr_kernels.hpp: tiles
+// dispatch dense-vs-factored per slot at execution time, batch coalescing
+// is skipped, and escalation recovery is unavailable (factorize with
+// kThrow).  With no compressed tiles the dense pipeline runs bit for bit.
 #pragma once
 
 #include <cstddef>

@@ -1,0 +1,62 @@
+// TLR-aware tile kernels for the tiled Cholesky (paper Section VIII).
+//
+// These are the factored-form counterparts of linalg/tile_kernels.hpp:
+// each kernel dispatches per tile on SymmetricTileMatrix::is_low_rank at
+// *execution* time (a tile's representation can change mid-factorization
+// when a Schur update densifies it), falling back to the dense kernel
+// when every operand is dense — so a matrix with no compressed tiles runs
+// the dense pipeline bit for bit.
+//
+// The factored algebra (HiCMA-style, U m x r / V n x r, tile = U * V^T):
+//
+//   TRSM   B <- B * L^-T      =  U * (L^-1 V)^T     — only V is touched;
+//   SYRK   C <- C - A * A^T   =  C - U (V^T V) U^T  — small r x r core;
+//   GEMM   C <- C - A * B^T, with A * B^T built in factored form:
+//            LR x LR:     Ua (Va^T Vb) Ub^T, folding the core into the
+//                         lower-rank side;
+//            LR x dense:  Ua * (B Va)^T;
+//            dense x LR:  (A Vb) * Ub^T;
+//            dense x dense: the pair (A, B) is itself a rank-k factored
+//                         form of the product — no dense m x n interim.
+//   When C is itself low-rank, the update stacks factor columns
+//   [Cu | -Pu][Cv | Pv]^T and re-compresses at the matrix's TLR tolerance
+//   (recompress_product: thin QR + SVD of the small core).  If the
+//   re-compressed rank crosses the admissibility threshold
+//   rank * (m + n) > max_rank_fraction * m * n, the tile is densified —
+//   the OLD factors reconstruct exactly and the update applies densely,
+//   so densification never truncates.
+//
+// Skinny factor products run through gemm<float>, which routes into the
+// packed GEMM engine — the same prepacked microkernel path the dense
+// tiles use.
+#pragma once
+
+#include <cstddef>
+
+#include "tile/tile_matrix.hpp"
+
+namespace kgwas {
+
+/// Admissibility crossover: the factored form only pays while
+/// rank * (m + n) <= max_rank_fraction * m * n.
+bool tlr_rank_admissible(std::size_t rank, std::size_t m, std::size_t n,
+                         double max_rank_fraction);
+
+/// TRSM of tile (i, k) against the factored diagonal tile (k, k).
+void tlr_trsm(SymmetricTileMatrix& a, std::size_t i, std::size_t k);
+
+/// SYRK update of diagonal tile (j, j) by tile (j, k).
+void tlr_syrk(SymmetricTileMatrix& a, std::size_t j, std::size_t k);
+
+/// GEMM update of tile (i, j) by tiles (i, k) and (j, k).  May compress,
+/// re-compress or densify tile (i, j) in place.
+void tlr_gemm(SymmetricTileMatrix& a, std::size_t i, std::size_t j,
+              std::size_t k);
+
+/// RHS GEMM update for the tiled solve: X_i <- X_i - op(L(ti, tj)) * X_k,
+/// reading L(ti, tj) in whichever representation it is held.
+void tlr_gemm_rhs(const SymmetricTileMatrix& l, std::size_t ti, std::size_t tj,
+                  bool transpose, const float* xk, std::size_t ldxk, float* xi,
+                  std::size_t ldxi, std::size_t ncols);
+
+}  // namespace kgwas

@@ -52,7 +52,11 @@ void PrecisionMap::apply(SymmetricTileMatrix& matrix) const {
                   "precision map size does not match tile matrix");
   for (std::size_t tj = 0; tj < nt_; ++tj) {
     for (std::size_t ti = tj; ti < nt_; ++ti) {
-      matrix.tile(ti, tj).convert_to(get(ti, tj));
+      if (matrix.is_low_rank(ti, tj)) {
+        matrix.low_rank_tile(ti, tj).convert_to(get(ti, tj));
+      } else {
+        matrix.tile(ti, tj).convert_to(get(ti, tj));
+      }
     }
   }
 }
@@ -62,7 +66,9 @@ PrecisionMap current_precision_map(const SymmetricTileMatrix& matrix) {
   PrecisionMap map(nt);
   for (std::size_t tj = 0; tj < nt; ++tj) {
     for (std::size_t ti = tj; ti < nt; ++ti) {
-      map.set(ti, tj, matrix.tile(ti, tj).precision());
+      map.set(ti, tj, matrix.is_low_rank(ti, tj)
+                          ? matrix.low_rank_tile(ti, tj).precision()
+                          : matrix.tile(ti, tj).precision());
     }
   }
   return map;

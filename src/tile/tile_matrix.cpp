@@ -116,6 +116,8 @@ std::size_t SymmetricTileMatrix::tile_dim(std::size_t t) const {
 void SymmetricTileMatrix::from_dense(const Matrix<float>& dense) {
   KGWAS_CHECK_ARG(dense.rows() == n_ && dense.cols() == n_,
                   "dense shape mismatch");
+  KGWAS_CHECK_ARG(!has_low_rank(),
+                  "from_dense on a matrix holding TLR tiles; densify first");
   for (std::size_t tj = 0; tj < nt_; ++tj) {
     for (std::size_t ti = tj; ti < nt_; ++ti) {
       tile(ti, tj).encode_from(dense.block(ti * tile_size_, tj * tile_size_),
@@ -129,6 +131,18 @@ Matrix<float> SymmetricTileMatrix::to_dense() const {
   std::vector<float> scratch(tile_size_ * tile_size_);
   for (std::size_t tj = 0; tj < nt_; ++tj) {
     for (std::size_t ti = tj; ti < nt_; ++ti) {
+      if (is_low_rank(ti, tj)) {
+        const Matrix<float> rec = lr_tiles_[index(ti, tj)].to_dense();
+        for (std::size_t j = 0; j < rec.cols(); ++j) {
+          for (std::size_t i = 0; i < rec.rows(); ++i) {
+            const std::size_t gi = ti * tile_size_ + i;
+            const std::size_t gj = tj * tile_size_ + j;
+            dense(gi, gj) = rec(i, j);
+            dense(gj, gi) = rec(i, j);
+          }
+        }
+        continue;
+      }
       const Tile& t = tile(ti, tj);
       scratch.resize(t.elements());
       t.decode_to(scratch.data());
@@ -151,7 +165,56 @@ Matrix<float> SymmetricTileMatrix::to_dense() const {
 std::size_t SymmetricTileMatrix::storage_bytes() const {
   std::size_t total = 0;
   for (const auto& t : tiles_) total += t.storage_bytes();
+  for (const auto& lr : lr_tiles_) {
+    if (lr.active()) total += lr.storage_bytes();
+  }
   return total;
+}
+
+bool SymmetricTileMatrix::has_low_rank() const noexcept {
+  for (const auto& lr : lr_tiles_) {
+    if (lr.active()) return true;
+  }
+  return false;
+}
+
+bool SymmetricTileMatrix::is_low_rank(std::size_t ti, std::size_t tj) const {
+  if (lr_tiles_.empty()) return false;
+  return lr_tiles_[index(ti, tj)].active();
+}
+
+const TlrTile& SymmetricTileMatrix::low_rank_tile(std::size_t ti,
+                                                  std::size_t tj) const {
+  KGWAS_CHECK_ARG(is_low_rank(ti, tj), "tile is not held in low-rank form");
+  return lr_tiles_[index(ti, tj)];
+}
+
+TlrTile& SymmetricTileMatrix::low_rank_tile(std::size_t ti, std::size_t tj) {
+  KGWAS_CHECK_ARG(is_low_rank(ti, tj), "tile is not held in low-rank form");
+  return lr_tiles_[index(ti, tj)];
+}
+
+void SymmetricTileMatrix::set_low_rank(std::size_t ti, std::size_t tj,
+                                       TlrTile factors) {
+  KGWAS_CHECK_ARG(ti != tj, "diagonal tiles stay dense");
+  KGWAS_CHECK_ARG(factors.active(), "inactive TLR factors");
+  KGWAS_CHECK_ARG(
+      factors.rows() == tile_dim(ti) && factors.cols() == tile_dim(tj),
+      "TLR factor shape does not match the tile slot");
+  const std::size_t idx = index(ti, tj);
+  if (lr_tiles_.empty()) lr_tiles_.resize(tiles_.size());
+  lr_tiles_[idx] = std::move(factors);
+  tiles_[idx] = Tile{};  // release the dense payload
+}
+
+void SymmetricTileMatrix::densify(std::size_t ti, std::size_t tj) {
+  KGWAS_CHECK_ARG(is_low_rank(ti, tj), "densify on a dense slot");
+  const std::size_t idx = index(ti, tj);
+  TlrTile& lr = lr_tiles_[idx];
+  Tile dense(tile_dim(ti), tile_dim(tj), lr.precision());
+  dense.from_fp32(lr.to_dense());
+  tiles_[idx] = std::move(dense);
+  lr = TlrTile{};
 }
 
 }  // namespace kgwas

@@ -4,6 +4,12 @@
 // `tile_size` (edge tiles are smaller).  `SymmetricTileMatrix` stores only
 // the lower-triangular tiles of a symmetric matrix — exactly the layout
 // the paper's Build phase produces and the Cholesky consumes.
+//
+// `SymmetricTileMatrix` additionally carries an optional TLR sidecar:
+// any off-diagonal tile may be replaced by a low-rank U * V^T factor pair
+// (tile/tlr_tile.hpp), releasing its dense payload.  With no compressed
+// tiles (`has_low_rank() == false`, the default) every code path is
+// byte-for-byte the dense one.
 #pragma once
 
 #include <cstddef>
@@ -11,6 +17,7 @@
 
 #include "mpblas/matrix.hpp"
 #include "tile/tile.hpp"
+#include "tile/tlr_tile.hpp"
 
 namespace kgwas {
 
@@ -57,7 +64,9 @@ class SymmetricTileMatrix {
   std::size_t tile_size() const noexcept { return tile_size_; }
   std::size_t tile_count() const noexcept { return nt_; }
 
-  /// Lower-triangular tile access: requires ti >= tj.
+  /// Lower-triangular tile access: requires ti >= tj.  For a slot held in
+  /// TLR form (is_low_rank) the dense Tile is empty — TLR-aware callers
+  /// must dispatch on is_low_rank first.
   Tile& tile(std::size_t ti, std::size_t tj);
   const Tile& tile(std::size_t ti, std::size_t tj) const;
 
@@ -65,16 +74,53 @@ class SymmetricTileMatrix {
 
   /// Loads the lower triangle of a dense symmetric matrix.
   void from_dense(const Matrix<float>& dense);
-  /// Expands to a full dense symmetric matrix (mirroring the lower part).
+  /// Expands to a full dense symmetric matrix (mirroring the lower part;
+  /// TLR slots reconstruct from their factors).
   Matrix<float> to_dense() const;
 
+  /// Total payload bytes: dense tile storage plus TLR factor storage —
+  /// the paper's memory-footprint metric, shrinking with compression.
   std::size_t storage_bytes() const;
+
+  // --- TLR sidecar -------------------------------------------------------
+  /// True when any tile is held in low-rank form.  False (the default)
+  /// guarantees the pure dense code paths run.  Computed by scanning the
+  /// sidecar (cheap: nt^2 flag reads) instead of a shared counter —
+  /// factorization tasks densify/compress distinct slots concurrently
+  /// under the runtime's per-tile exclusivity, and a mutable counter
+  /// would be the one piece of state they all share.
+  bool has_low_rank() const noexcept;
+  /// True when off-diagonal tile (ti, tj) is held as U * V^T.
+  bool is_low_rank(std::size_t ti, std::size_t tj) const;
+  const TlrTile& low_rank_tile(std::size_t ti, std::size_t tj) const;
+  TlrTile& low_rank_tile(std::size_t ti, std::size_t tj);
+  /// Replaces off-diagonal tile (ti, tj) with `factors` (shape must match
+  /// the slot) and releases the dense payload.  Diagonal tiles stay dense
+  /// by construction — they carry the pivots.
+  void set_low_rank(std::size_t ti, std::size_t tj, TlrTile factors);
+  /// Reconstructs TLR slot (ti, tj) into a dense tile at the factors'
+  /// storage precision and drops the factors (the crossover fallback).
+  void densify(std::size_t ti, std::size_t tj);
+
+  /// TLR accumulation contract, carried with the matrix so the TLR-aware
+  /// factorization kernels re-compress at the tolerance the compression
+  /// was planned with (set by plan_tlr_compression).
+  double tlr_tol() const noexcept { return tlr_tol_; }
+  double tlr_max_rank_fraction() const noexcept { return tlr_max_rank_frac_; }
+  void set_tlr_options(double tol, double max_rank_fraction) noexcept {
+    tlr_tol_ = tol;
+    tlr_max_rank_frac_ = max_rank_fraction;
+  }
 
  private:
   std::size_t index(std::size_t ti, std::size_t tj) const;
 
   std::size_t n_ = 0, tile_size_ = 0, nt_ = 0;
   std::vector<Tile> tiles_;
+  /// Lazily sized to tiles_.size(); inactive entries mean "dense slot".
+  std::vector<TlrTile> lr_tiles_;
+  double tlr_tol_ = 0.0;
+  double tlr_max_rank_frac_ = 0.5;
 };
 
 }  // namespace kgwas

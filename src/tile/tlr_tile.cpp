@@ -1,0 +1,40 @@
+#include "tile/tlr_tile.hpp"
+
+#include "common/status.hpp"
+#include "mpblas/blas.hpp"
+
+namespace kgwas {
+
+TlrTile::TlrTile(const Matrix<float>& u, const Matrix<float>& v,
+                 Precision precision)
+    : u_(u.rows(), u.cols(), precision), v_(v.rows(), v.cols(), precision) {
+  KGWAS_CHECK_ARG(u.cols() == v.cols(), "TLR factor rank mismatch");
+  KGWAS_CHECK_ARG(u.rows() > 0 && v.rows() > 0,
+                  "TLR factors need a real tile shape");
+  u_.from_fp32(u);
+  v_.from_fp32(v);
+}
+
+Matrix<float> TlrTile::to_dense() const {
+  Matrix<float> dense(rows(), cols(), 0.0f);
+  if (rank() == 0) return dense;
+  const Matrix<float> uf = u_fp32();
+  const Matrix<float> vf = v_fp32();
+  gemm(Trans::kNoTrans, Trans::kTrans, rows(), cols(), rank(), 1.0f, uf.data(),
+       uf.ld(), vf.data(), vf.ld(), 0.0f, dense.data(), dense.ld());
+  return dense;
+}
+
+void TlrTile::convert_to(Precision precision) {
+  u_.convert_to(precision);
+  v_.convert_to(precision);
+}
+
+void TlrTile::from_wire(std::size_t rows, std::size_t cols, std::size_t rank,
+                        Precision precision, const void* u_payload,
+                        const void* v_payload) {
+  u_.from_wire(rows, rank, precision, u_payload);
+  v_.from_wire(cols, rank, precision, v_payload);
+}
+
+}  // namespace kgwas

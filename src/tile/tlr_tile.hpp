@@ -1,0 +1,71 @@
+// TLR (tile low-rank) payload: one off-diagonal tile stored as U * V^T.
+//
+// This is the data-sparsity representation of the paper's Section VIII
+// (the HiCMA lineage of the authors' group): a smooth m x n off-diagonal
+// tile is replaced by a rank-k factor pair U (m x k) and V (n x k) chosen
+// at a relative accuracy tolerance, shrinking the tile's footprint from
+// m*n to k*(m+n) elements.  Both factors are ordinary `Tile` payloads, so
+// they compose with the mixed-precision machinery for free: U/V can be
+// stored in FP16/FP8/... via the same quantize/decode tables dense tiles
+// use, and the distributed wire format ships their raw storage bytes.
+//
+// A rank-0 TlrTile is a legitimate state — it is how a numerically zero
+// tile compresses — and reconstructs to the zero matrix.  The
+// default-constructed TlrTile (rows() == 0) is the inactive sentinel the
+// SymmetricTileMatrix sidecar uses for "this slot is dense".
+#pragma once
+
+#include <cstddef>
+
+#include "mpblas/matrix.hpp"
+#include "tile/tile.hpp"
+
+namespace kgwas {
+
+class TlrTile {
+ public:
+  TlrTile() = default;
+  /// Builds from FP32 factors (u: rows x rank, v: cols x rank), quantizing
+  /// both into `precision` storage.
+  TlrTile(const Matrix<float>& u, const Matrix<float>& v, Precision precision);
+
+  /// True when this holds a real factor pair (a rank-0 pair of an m x n
+  /// tile is active; only the default-constructed sentinel is not).
+  bool active() const noexcept { return u_.rows() > 0; }
+
+  std::size_t rows() const noexcept { return u_.rows(); }
+  std::size_t cols() const noexcept { return v_.rows(); }
+  std::size_t rank() const noexcept { return u_.cols(); }
+  Precision precision() const noexcept { return u_.precision(); }
+  std::size_t storage_bytes() const noexcept {
+    return u_.storage_bytes() + v_.storage_bytes();
+  }
+
+  const Tile& u() const noexcept { return u_; }
+  const Tile& v() const noexcept { return v_; }
+  Tile& u() noexcept { return u_; }
+  Tile& v() noexcept { return v_; }
+
+  /// Decoded FP32 factors.
+  Matrix<float> u_fp32() const { return u_.to_fp32(); }
+  Matrix<float> v_fp32() const { return v_.to_fp32(); }
+
+  /// Reconstructs the dense tile U * V^T in FP32.
+  Matrix<float> to_dense() const;
+
+  /// Re-encodes both factors into `precision` (lossy when narrowing).
+  void convert_to(Precision precision);
+
+  /// Adopts wire payloads bit for bit (the TLR frame of the distributed
+  /// tile transport): reshapes to (rows x rank) / (cols x rank) factors in
+  /// `precision` and copies the raw storage bytes.
+  void from_wire(std::size_t rows, std::size_t cols, std::size_t rank,
+                 Precision precision, const void* u_payload,
+                 const void* v_payload);
+
+ private:
+  Tile u_;  ///< rows x rank
+  Tile v_;  ///< cols x rank
+};
+
+}  // namespace kgwas

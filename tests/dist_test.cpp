@@ -182,6 +182,61 @@ TEST(TileTransport, WireLedgerCountsPayloadByPrecision) {
   });
 }
 
+TEST(TileTransport, TlrFrameRoundTripsBitwise) {
+  // A TLR frame ships both factor payloads raw; decode must adopt them
+  // bit for bit, in every storage precision factors can use.
+  Matrix<float> u(9, 3), v(6, 3);
+  for (std::size_t i = 0; i < u.size(); ++i) {
+    u.data()[i] = 0.01f * static_cast<float>(i) - 0.1f;
+  }
+  for (std::size_t i = 0; i < v.size(); ++i) {
+    v.data()[i] = 0.02f * static_cast<float>(i) - 0.15f;
+  }
+  for (const Precision p :
+       {Precision::kFp32, Precision::kFp16, Precision::kFp8E4M3}) {
+    const TlrTile lr(u, v, p);
+    TlrTile back;
+    dist::decode_tlr_tile(dist::encode_tlr_tile(lr), back);
+    EXPECT_EQ(back.rows(), 9u);
+    EXPECT_EQ(back.cols(), 6u);
+    EXPECT_EQ(back.rank(), 3u);
+    EXPECT_EQ(back.precision(), p);
+    ASSERT_EQ(back.storage_bytes(), lr.storage_bytes());
+    EXPECT_EQ(std::memcmp(back.u().raw(), lr.u().raw(),
+                          lr.u().storage_bytes()),
+              0);
+    EXPECT_EQ(std::memcmp(back.v().raw(), lr.v().raw(),
+                          lr.v().storage_bytes()),
+              0);
+    // Rank-r frame beats the dense frame whenever r * (m+n) < m * n.
+    EXPECT_LT(dist::tlr_frame_bytes(lr),
+              9u * 6u * bytes_per_element(p) + 9u);
+  }
+}
+
+TEST(TileTransport, TlrSendRecordsFactorBytesInLedger) {
+  run_ranks(2, [](Communicator& comm) {
+    Matrix<float> u(8, 2, 0.5f), v(8, 2, 0.25f);
+    if (comm.rank() == 0) {
+      const TlrTile lr(u, v, Precision::kFp16);
+      dist::send_tlr_tile(comm, 1, make_tile_tag(Phase::kGatherFull, 1, 0),
+                          lr);
+      // Ledger counts factor payload bytes: 2 * 8 * 2 halves per factor.
+      EXPECT_EQ(comm.wire_volume().tile_bytes(Precision::kFp16),
+                2u * (8u * 2u * 2u));
+    } else {
+      const Message m = comm.recv(make_tile_tag(Phase::kGatherFull, 1, 0));
+      TlrTile lr;
+      dist::decode_tlr_tile(m.payload, lr);
+      EXPECT_EQ(lr.rank(), 2u);
+      EXPECT_FLOAT_EQ(lr.u_fp32()(3, 1), 0.5f);
+      // U * V^T of the constant factors: rank * 0.5 * 0.25 everywhere.
+      EXPECT_FLOAT_EQ(lr.to_dense()(2, 5), 2.0f * 0.5f * 0.25f);
+    }
+    comm.barrier();
+  });
+}
+
 TEST(Runtime, ExternalEventGatesSuccessors) {
   Runtime rt(2);
   const DataHandle h = rt.register_data();
