@@ -9,6 +9,7 @@
 #include <fstream>
 #include <functional>
 #include <iostream>
+#include <sstream>
 #include <string>
 #include <utility>
 #include <vector>
@@ -25,6 +26,9 @@
 #include "linalg/precision_policy.hpp"
 #include "mpblas/mixed.hpp"
 #include "runtime/runtime.hpp"
+#include "telemetry/json.hpp"
+#include "telemetry/run_report.hpp"
+#include "telemetry/trace.hpp"
 
 namespace kgwas::bench {
 
@@ -102,6 +106,9 @@ struct BenchRecord {
   double median_seconds = 0.0;
   std::uint64_t bytes_moved = 0;  ///< wire/data-motion bytes of one run
   double gflops = 0.0;            ///< achieved GFLOP/s (0 = not accounted)
+  /// Optional RunReport of the measured run, as pre-serialized JSON
+  /// (telemetry::run_report_json); empty = omitted from the row.
+  std::string telemetry;
 };
 
 inline std::string json_escape(const std::string& s) {
@@ -130,7 +137,9 @@ inline bool write_bench_json(const std::string& path, const std::string& bench,
         << ", \"tile_size\": " << r.tile_size << ", \"ranks\": " << r.ranks
         << ", \"median_seconds\": " << r.median_seconds
         << ", \"bytes_moved\": " << r.bytes_moved
-        << ", \"gflops\": " << r.gflops << "}";
+        << ", \"gflops\": " << r.gflops;
+    if (!r.telemetry.empty()) out << ", \"telemetry\": " << r.telemetry;
+    out << "}";
   }
   out << "\n  ]\n}\n";
   return true;
@@ -146,6 +155,10 @@ struct RealDistPotrf {
   double median_seconds = 0.0;
   std::uint64_t wire_bytes = 0;          ///< tile payload bytes, one run
   std::uint64_t wire_bytes_low = 0;      ///< ... of which below FP32
+  dist::WireVolume wire;                 ///< full ledger, all reps summed
+  /// Per-rank trace streams (spans + comm events), captured when
+  /// KGWAS_TRACE / KGWAS_TELEMETRY is set; empty otherwise.
+  std::vector<telemetry::TraceStream> streams;
 };
 
 /// Deterministic well-conditioned SPD test matrix (Gaussian kernel of 1D
@@ -173,10 +186,16 @@ inline RealDistPotrf run_real_dist_potrf(std::size_t n, std::size_t tile_size,
   const Matrix<float> dense = spd_dense(n);
   SymmetricTileMatrix full(n, tile_size);
   full.from_dense(dense);
+  const telemetry::TelemetryConfig telemetry_cfg =
+      telemetry::telemetry_config();
+  std::vector<telemetry::TraceStream> streams(
+      static_cast<std::size_t>(ranks));
   std::vector<double> seconds(static_cast<std::size_t>(reps), 0.0);
   const dist::WireVolume wire =
       dist::run_ranks(ranks, [&](dist::Communicator& comm) {
+        comm.set_event_recording(telemetry_cfg.trace_enabled());
         Runtime runtime(dist::configured_workers_per_rank(ranks));
+        runtime.profiler().set_rank(comm.rank());
         const ProcessGrid grid(ranks);
         dist::DistPotrfOptions options;
         options.precision_map = &map;
@@ -191,9 +210,17 @@ inline RealDistPotrf run_real_dist_potrf(std::size_t n, std::size_t tile_size,
             seconds[static_cast<std::size_t>(rep)] = timer.seconds();
           }
         }
+        if (telemetry_cfg.any_enabled()) {
+          telemetry::TraceStream stream =
+              telemetry::capture_stream(comm.rank(), runtime.profiler());
+          stream.comm = comm.comm_events();
+          streams[static_cast<std::size_t>(comm.rank())] = std::move(stream);
+        }
       });
   std::sort(seconds.begin(), seconds.end());
   RealDistPotrf result;
+  result.wire = wire;
+  if (telemetry_cfg.any_enabled()) result.streams = std::move(streams);
   result.median_seconds = seconds[seconds.size() / 2];
   const std::uint64_t total = wire.total_tile_bytes();
   result.wire_bytes = total / static_cast<std::uint64_t>(reps);
@@ -222,7 +249,10 @@ inline void real_dist_potrf_section(
             << ", tile=" << ts << ", ranks=" << ranks << "\n";
   Table table({"precision map", "median s", "GFLOP/s", "wire MiB",
                "low-prec wire MiB"});
+  const telemetry::TelemetryConfig telemetry_cfg =
+      telemetry::telemetry_config();
   std::vector<BenchRecord> records;
+  std::size_t case_index = 0;
   for (const auto& [label, map] : make_cases(nt)) {
     const RealDistPotrf r = run_real_dist_potrf(n, ts, ranks, map, reps);
     const double gflops =
@@ -232,8 +262,42 @@ inline void real_dist_potrf_section(
         {label, Table::num(r.median_seconds, 4), Table::num(gflops, 2),
          Table::num(static_cast<double>(r.wire_bytes) / 1048576.0, 3),
          Table::num(static_cast<double>(r.wire_bytes_low) / 1048576.0, 3)});
-    records.push_back(
-        {label, n, ts, ranks, r.median_seconds, r.wire_bytes, gflops});
+    BenchRecord record{label, n,           ts,         ranks,
+                       r.median_seconds,   r.wire_bytes, gflops};
+    if (telemetry_cfg.any_enabled()) {
+      telemetry::RunReportInputs inputs;
+      inputs.phase = "dist_potrf";
+      inputs.ranks = ranks;
+      inputs.streams = &r.streams;
+      inputs.wire = telemetry::WireSummary::from(r.wire);
+      inputs.include_metrics = false;  // keep BENCH rows compact
+      record.telemetry = telemetry::run_report_json(inputs);
+      if (telemetry_cfg.trace_enabled()) {
+        telemetry::write_merged_trace(
+            telemetry_cfg.trace_dir + "/trace_dist_potrf_" +
+                std::to_string(n) + "_r" + std::to_string(ranks) + "_c" +
+                std::to_string(case_index) + ".json",
+            r.streams, [&](telemetry::JsonWriter& w) {
+              telemetry::write_run_report_fields(w, inputs);
+            });
+      }
+      if (telemetry_cfg.report_enabled()) {
+        inputs.include_metrics = true;
+        telemetry::write_run_report(telemetry_cfg.report_path, inputs);
+        // Strict read-back: the artifact a CI job uploads must parse and
+        // must carry real wire traffic — fail the bench loudly otherwise.
+        std::ifstream report_in(telemetry_cfg.report_path);
+        std::ostringstream report_text;
+        report_text << report_in.rdbuf();
+        const telemetry::JsonValue doc =
+            telemetry::parse_json(report_text.str());
+        KGWAS_CHECK_ARG(
+            doc.at("wire").at("bytes_total").number > 0.0,
+            "RunReport wire.bytes_total is zero for a multi-rank run");
+      }
+    }
+    records.push_back(std::move(record));
+    ++case_index;
   }
   table.print(std::cout);
   std::cout << "lowering off-diagonal storage precision shrinks measured "

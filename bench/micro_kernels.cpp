@@ -24,6 +24,7 @@
 #include "mpblas/kernels.hpp"
 #include "mpblas/mixed.hpp"
 #include "runtime/runtime.hpp"
+#include "telemetry/metrics.hpp"
 #include "tile/tile_matrix.hpp"
 
 namespace kgwas {
@@ -248,6 +249,38 @@ BENCHMARK(BM_TiledPotrfSched)
     ->Args({512, static_cast<long>(SchedulerPolicy::kFifo)})
     ->Args({1024, static_cast<long>(SchedulerPolicy::kPriorityLifo)})
     ->Args({1024, static_cast<long>(SchedulerPolicy::kFifo)})
+    ->UseRealTime();
+
+// Telemetry record-path contention: every thread hammers Profiler::record
+// and a registry counter/histogram the way busy scheduler workers do.
+// Under the sharded designs both paths touch only thread-private state, so
+// per-op real time should stay flat as the thread count grows — the old
+// global-mutex profiler serialized all threads here and scaled linearly.
+void BM_TelemetryRecordContended(benchmark::State& state) {
+  static Profiler profiler(true);
+  static telemetry::Counter& counter =
+      telemetry::MetricRegistry::global().counter("bench.contended");
+  static telemetry::Histogram& hist =
+      telemetry::MetricRegistry::global().histogram("bench.contended_ns");
+  if (state.thread_index() == 0) profiler.clear();
+  TaskSpan span;
+  span.name = "bench";
+  span.worker = state.thread_index();
+  std::uint64_t tick = 0;
+  for (auto _ : state) {
+    span.start_ns = tick;
+    span.end_ns = tick + 100;
+    profiler.record(span);
+    counter.add(1);
+    hist.record(tick & 0xFFF);
+    ++tick;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_TelemetryRecordContended)
+    ->Threads(1)
+    ->Threads(4)
+    ->Threads(8)
     ->UseRealTime();
 
 // Batched vs per-task trailing-matrix update: the same tiled POTRF DAG

@@ -1,6 +1,7 @@
 #include "common/logging.hpp"
 
 #include <atomic>
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <mutex>
@@ -9,10 +10,16 @@ namespace kgwas {
 
 namespace {
 std::atomic<int> g_level{static_cast<int>(LogLevel::kWarn)};
+std::atomic<bool> g_timestamps{false};
 std::once_flag g_env_once;
 std::mutex g_sink_mutex;
+thread_local int t_log_rank = -1;
 
 void init_from_env() {
+  if (const char* ts = std::getenv("KGWAS_LOG_TIMESTAMPS")) {
+    const std::string value(ts);
+    g_timestamps = !(value.empty() || value == "0" || value == "off");
+  }
   const char* env = std::getenv("KGWAS_LOG_LEVEL");
   if (env == nullptr) return;
   const std::string value(env);
@@ -35,6 +42,12 @@ const char* level_name(LogLevel level) {
   }
   return "?";
 }
+
+double seconds_since_start() {
+  using clock = std::chrono::steady_clock;
+  static const clock::time_point start = clock::now();
+  return std::chrono::duration<double>(clock::now() - start).count();
+}
 }  // namespace
 
 void set_log_level(LogLevel level) noexcept {
@@ -46,11 +59,45 @@ LogLevel log_level() noexcept {
   return static_cast<LogLevel>(g_level.load());
 }
 
-namespace detail {
-void log_message(LogLevel level, const std::string& message) {
-  std::lock_guard<std::mutex> lock(g_sink_mutex);
-  std::fprintf(stderr, "[kgwas %-5s] %s\n", level_name(level), message.c_str());
+void set_thread_log_rank(int rank) noexcept { t_log_rank = rank; }
+
+int thread_log_rank() noexcept { return t_log_rank; }
+
+void set_log_timestamps(bool enabled) noexcept { g_timestamps = enabled; }
+
+bool log_timestamps() noexcept {
+  std::call_once(g_env_once, init_from_env);
+  return g_timestamps.load();
 }
+
+namespace detail {
+
+std::string format_log_line(LogLevel level, int rank, double elapsed_seconds,
+                            const std::string& message) {
+  char head[64];
+  std::string out = "[kgwas";
+  if (elapsed_seconds >= 0.0) {
+    std::snprintf(head, sizeof(head), " +%.3fs", elapsed_seconds);
+    out += head;
+  }
+  if (rank >= 0) {
+    std::snprintf(head, sizeof(head), " r%d", rank);
+    out += head;
+  }
+  std::snprintf(head, sizeof(head), " %-5s] ", level_name(level));
+  out += head;
+  out += message;
+  return out;
+}
+
+void log_message(LogLevel level, const std::string& message) {
+  const double elapsed = log_timestamps() ? seconds_since_start() : -1.0;
+  const std::string line =
+      format_log_line(level, t_log_rank, elapsed, message);
+  std::lock_guard<std::mutex> lock(g_sink_mutex);
+  std::fprintf(stderr, "%s\n", line.c_str());
+}
+
 }  // namespace detail
 
 }  // namespace kgwas

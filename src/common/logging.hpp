@@ -1,5 +1,14 @@
 // Minimal leveled logger.  Single global sink (stderr), thread-safe,
 // controllable via KGWAS_LOG_LEVEL environment variable or set_log_level().
+//
+// Multi-rank runs: the in-process dist transport runs every rank as a
+// thread of one process, so without disambiguation their log lines
+// interleave indistinguishably.  Threads that belong to a rank call
+// set_thread_log_rank(r) once (run_ranks does this for rank threads, the
+// Scheduler propagates the creator's rank to its workers), and every line
+// they emit carries an "rN" field.  KGWAS_LOG_TIMESTAMPS=1 (or
+// set_log_timestamps) additionally prefixes seconds since process start,
+// which makes cross-rank interleavings readable next to trace timelines.
 #pragma once
 
 #include <sstream>
@@ -13,8 +22,22 @@ enum class LogLevel { kTrace = 0, kDebug = 1, kInfo = 2, kWarn = 3, kError = 4, 
 void set_log_level(LogLevel level) noexcept;
 LogLevel log_level() noexcept;
 
+/// Tags the calling thread with a dist rank; every log line it emits is
+/// prefixed with "rN".  Negative clears the tag (single-process default).
+void set_thread_log_rank(int rank) noexcept;
+int thread_log_rank() noexcept;  ///< -1 when untagged
+
+/// Toggles the elapsed-seconds prefix (also via KGWAS_LOG_TIMESTAMPS=1).
+void set_log_timestamps(bool enabled) noexcept;
+bool log_timestamps() noexcept;
+
 namespace detail {
 void log_message(LogLevel level, const std::string& message);
+/// Formats one log line (no trailing newline): rank < 0 omits the rank
+/// field, elapsed_seconds < 0 omits the timestamp.  Split out so tests
+/// can pin the format without capturing stderr.
+std::string format_log_line(LogLevel level, int rank, double elapsed_seconds,
+                            const std::string& message);
 }
 
 }  // namespace kgwas

@@ -1,6 +1,10 @@
 #include "common/scheduler.hpp"
 
+#include <chrono>
+
+#include "common/logging.hpp"
 #include "common/status.hpp"
+#include "telemetry/metrics.hpp"
 
 namespace kgwas {
 
@@ -25,7 +29,7 @@ std::uint64_t next_rand(std::uint64_t& state) {
 }  // namespace
 
 Scheduler::Scheduler(std::size_t num_workers, SchedulerPolicy policy)
-    : policy_(policy) {
+    : policy_(policy), creator_log_rank_(thread_log_rank()) {
   if (num_workers == 0) {
     num_workers = std::thread::hardware_concurrency();
     if (num_workers == 0) num_workers = 1;
@@ -91,6 +95,11 @@ void Scheduler::sample_queue_depth() {
          !depth_max_.compare_exchange_weak(seen, depth,
                                            std::memory_order_relaxed)) {
   }
+  // This runs on every submit: the histogram record is one relaxed
+  // fetch_add on a thread-private shard cell (see telemetry/metrics.hpp).
+  static telemetry::Histogram& queue_depth =
+      telemetry::MetricRegistry::global().histogram("sched.queue_depth");
+  queue_depth.record(depth);
 }
 
 void Scheduler::submit(std::function<void()> fn, int priority) {
@@ -205,11 +214,29 @@ bool Scheduler::steal(std::size_t thief_index, Task& out) {
 void Scheduler::worker_loop(std::size_t worker_index) {
   t_identity.owner = this;
   t_identity.index = static_cast<int>(worker_index);
+  if (creator_log_rank_ >= 0) set_thread_log_rank(creator_log_rank_);
   WorkerQueue& me = *queues_[worker_index];
+  static telemetry::Histogram& steal_latency =
+      telemetry::MetricRegistry::global().histogram("sched.steal_ns");
 
   for (;;) {
     Task task;
-    if (pop_local(worker_index, task) || steal(worker_index, task)) {
+    bool got = pop_local(worker_index, task);
+    if (!got) {
+      // Time the victim sweep so steal cost shows up in telemetry: the
+      // latency of a *successful* steal is the handoff price of load
+      // balancing (failed sweeps fall through to sleep and aren't a
+      // per-task cost).
+      const auto sweep_start = std::chrono::steady_clock::now();
+      got = steal(worker_index, task);
+      if (got) {
+        steal_latency.record(static_cast<std::uint64_t>(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(
+                std::chrono::steady_clock::now() - sweep_start)
+                .count()));
+      }
+    }
+    if (got) {
       // Count before running: a task may observe (via Runtime::wait)
       // that the whole graph drained the instant its body returns, and
       // the stats snapshot taken there must already include it.

@@ -144,6 +144,9 @@ class Scheduler {
   void notify_work();
 
   const SchedulerPolicy policy_;
+  // Log rank of the thread that constructed this scheduler; workers adopt
+  // it so multi-rank log interleavings stay attributable (see logging.hpp).
+  const int creator_log_rank_;
   std::vector<std::unique_ptr<WorkerQueue>> queues_;
   std::vector<std::thread> threads_;
 

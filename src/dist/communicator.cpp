@@ -6,6 +6,7 @@
 #include <thread>
 
 #include "common/env.hpp"
+#include "common/logging.hpp"
 #include "common/status.hpp"
 
 namespace kgwas::dist {
@@ -36,6 +37,28 @@ void Communicator::send(int dest, std::uint64_t tag,
   KGWAS_CHECK_ARG(dest >= 0 && dest < size(), "send destination out of range");
   messages_.fetch_add(1, std::memory_order_relaxed);
   payload_bytes_.fetch_add(payload.size(), std::memory_order_relaxed);
+
+  // Registry mirrors of the ledger above — same increment sites, so the
+  // RunReport's wire block and the "wire.*" metrics can never disagree
+  // with wire_volume().  Per-peer counters are resolved once per endpoint.
+  static telemetry::Counter& frames =
+      telemetry::MetricRegistry::global().counter("wire.frames");
+  static telemetry::Counter& bytes =
+      telemetry::MetricRegistry::global().counter("wire.bytes");
+  frames.add(1);
+  bytes.add(payload.size());
+  std::call_once(peer_counters_once_, [this] {
+    auto& registry = telemetry::MetricRegistry::global();
+    peer_counters_.reserve(static_cast<std::size_t>(size()));
+    for (int r = 0; r < size(); ++r) {
+      const std::string prefix = "wire.to_rank." + std::to_string(r);
+      peer_counters_.emplace_back(&registry.counter(prefix + ".frames"),
+                                  &registry.counter(prefix + ".bytes"));
+    }
+  });
+  peer_counters_[static_cast<std::size_t>(dest)].first->add(1);
+  peer_counters_[static_cast<std::size_t>(dest)].second->add(payload.size());
+
   do_send(dest, tag, std::move(payload));
 }
 
@@ -111,6 +134,33 @@ void Communicator::record_tile_payload(Precision precision,
                                        std::uint64_t bytes) noexcept {
   tile_bytes_[static_cast<std::size_t>(precision)].fetch_add(
       bytes, std::memory_order_relaxed);
+  static std::array<telemetry::Counter*, kNumPrecisions>* per_precision =
+      [] {
+        auto* counters = new std::array<telemetry::Counter*, kNumPrecisions>;
+        for (std::size_t i = 0; i < kNumPrecisions; ++i) {
+          (*counters)[i] = &telemetry::MetricRegistry::global().counter(
+              std::string("wire.tile_bytes.") +
+              to_string(static_cast<Precision>(i)));
+        }
+        return counters;
+      }();
+  (*per_precision)[static_cast<std::size_t>(precision)]->add(bytes);
+}
+
+void Communicator::record_comm_event(const telemetry::CommEvent& event) {
+  if (!event_recording()) return;
+  std::lock_guard<std::mutex> lock(events_mutex_);
+  events_.push_back(event);
+}
+
+std::vector<telemetry::CommEvent> Communicator::comm_events() const {
+  std::lock_guard<std::mutex> lock(events_mutex_);
+  return events_;
+}
+
+void Communicator::clear_comm_events() {
+  std::lock_guard<std::mutex> lock(events_mutex_);
+  events_.clear();
 }
 
 WireVolume Communicator::wire_volume() const {
@@ -259,6 +309,7 @@ WireVolume run_ranks(int ranks, const std::function<void(Communicator&)>& fn) {
   std::mutex error_mutex;
   for (int r = 0; r < ranks; ++r) {
     threads.emplace_back([&, r] {
+      set_thread_log_rank(r);
       try {
         fn(world.comm(r));
       } catch (const WorldAborted&) {

@@ -29,11 +29,14 @@
 #include <deque>
 #include <functional>
 #include <memory>
+#include <mutex>
 #include <vector>
 
 #include "common/status.hpp"
 #include "dist/mailbox.hpp"
 #include "precision/precision.hpp"
+#include "telemetry/metrics.hpp"
+#include "telemetry/trace.hpp"
 
 namespace kgwas::dist {
 
@@ -118,6 +121,22 @@ class Communicator {
   WireVolume wire_volume() const;
   void reset_wire_volume() noexcept;
 
+  /// Comm-event capture for cross-rank traces.  Off by default (events
+  /// cost a mutexed vector push per tile message); run_dist_krr and the
+  /// bench harness enable it when KGWAS_TRACE is set.  The tile transport
+  /// and the progress loop call record_comm_event for every timed tile
+  /// send/recv; captured events become the "comm" lane and the send→recv
+  /// flow arrows of the merged trace (telemetry/trace.hpp).
+  void set_event_recording(bool enabled) noexcept {
+    record_events_.store(enabled, std::memory_order_relaxed);
+  }
+  bool event_recording() const noexcept {
+    return record_events_.load(std::memory_order_relaxed);
+  }
+  void record_comm_event(const telemetry::CommEvent& event);
+  std::vector<telemetry::CommEvent> comm_events() const;
+  void clear_comm_events();
+
  protected:
   virtual void do_send(int dest, std::uint64_t tag,
                        std::vector<std::byte> payload) = 0;
@@ -134,6 +153,16 @@ class Communicator {
   std::atomic<std::uint64_t> messages_{0};
   std::atomic<std::uint64_t> payload_bytes_{0};
   std::array<std::atomic<std::uint64_t>, kNumPrecisions> tile_bytes_{};
+
+  // Per-peer registry counters ("wire.to_rank.N.*"), resolved once per
+  // endpoint so the send path never does a name lookup.
+  std::once_flag peer_counters_once_;
+  std::vector<std::pair<telemetry::Counter*, telemetry::Counter*>>
+      peer_counters_;  // {frames, bytes} per destination rank
+
+  std::atomic<bool> record_events_{false};
+  mutable std::mutex events_mutex_;
+  std::vector<telemetry::CommEvent> events_;
 };
 
 /// In-process world: N ranks as N endpoints over lock-free mailboxes.

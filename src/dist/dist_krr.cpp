@@ -5,9 +5,12 @@
 #include <utility>
 #include <vector>
 
+#include "common/logging.hpp"
 #include "common/status.hpp"
 #include "dist/progress.hpp"
 #include "dist/tile_transport.hpp"
+#include "telemetry/json.hpp"
+#include "telemetry/run_report.hpp"
 #include "krr/kernels.hpp"
 #include "linalg/precision_policy.hpp"
 #include "mpblas/batch.hpp"
@@ -285,9 +288,15 @@ Matrix<float> dist_predict(Runtime& runtime, Communicator& comm,
 DistKrrResult run_dist_krr(int ranks, const GwasDataset& train,
                            const GwasDataset& test, const KrrConfig& config) {
   const int world = ranks > 0 ? ranks : configured_ranks();
+  const telemetry::TelemetryConfig telemetry_cfg =
+      telemetry::telemetry_config();
+  std::vector<telemetry::TraceStream> streams(
+      static_cast<std::size_t>(world));
   DistKrrResult result;
   result.wire = run_ranks(world, [&](Communicator& comm) {
+    comm.set_event_recording(telemetry_cfg.trace_enabled());
     Runtime runtime(configured_workers_per_rank(world));
+    runtime.profiler().set_rank(comm.rank());
     const ProcessGrid grid(world);
 
     KrrConfig cfg = config;
@@ -326,7 +335,38 @@ DistKrrResult run_dist_krr(int ranks, const GwasDataset& train,
       result.fp32_bytes = assoc.fp32_bytes;
       result.report = std::move(assoc.report);
     }
+
+    if (telemetry_cfg.any_enabled()) {
+      // Each rank writes only its own slot: no cross-thread sharing.
+      telemetry::TraceStream stream =
+          telemetry::capture_stream(comm.rank(), runtime.profiler());
+      stream.comm = comm.comm_events();
+      streams[static_cast<std::size_t>(comm.rank())] = std::move(stream);
+    }
   });
+
+  if (telemetry_cfg.any_enabled()) {
+    telemetry::RunReportInputs inputs;
+    inputs.phase = "dist_krr";
+    inputs.ranks = world;
+    inputs.streams = &streams;
+    inputs.wire = telemetry::WireSummary::from(result.wire);
+    try {
+      if (telemetry_cfg.trace_enabled()) {
+        telemetry::write_merged_trace(
+            telemetry_cfg.trace_dir + "/trace_dist_krr.json", streams,
+            [&](telemetry::JsonWriter& w) {
+              telemetry::write_run_report_fields(w, inputs);
+            });
+      }
+      if (telemetry_cfg.report_enabled()) {
+        telemetry::write_run_report(telemetry_cfg.report_path, inputs);
+      }
+    } catch (const Error& e) {
+      // Telemetry must never fail the computation it observes.
+      KGWAS_LOG_WARN("telemetry artifact write failed: " << e.what());
+    }
+  }
   return result;
 }
 

@@ -1,5 +1,7 @@
 #include "dist/mailbox.hpp"
 
+#include "telemetry/metrics.hpp"
+
 namespace kgwas::dist {
 
 Mailbox::~Mailbox() {
@@ -20,6 +22,9 @@ void Mailbox::push(Message message) {
   }
   arrivals_.fetch_add(1, std::memory_order_release);
   arrivals_.notify_one();
+  static telemetry::Counter& pushes =
+      telemetry::MetricRegistry::global().counter("dist.mailbox_pushes");
+  pushes.add(1);
 }
 
 void Mailbox::drain(std::deque<Message>& out) {

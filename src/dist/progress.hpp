@@ -4,6 +4,7 @@
 // operands (RHS blocks, prediction blocks).
 #pragma once
 
+#include <chrono>
 #include <cstdint>
 #include <unordered_map>
 
@@ -12,10 +13,41 @@
 #include "dist/tile_transport.hpp"
 #include "mpblas/matrix.hpp"
 #include "runtime/runtime.hpp"
+#include "telemetry/metrics.hpp"
 #include "tile/tile.hpp"
 #include "tile/tile_pool.hpp"
 
 namespace kgwas::dist::detail {
+
+/// Blocking receive with telemetry: records how long the driving thread
+/// waited (the progress loop's recv-wait is the dist layer's idle time)
+/// and, when event recording is on, one "recv" comm event that becomes
+/// the destination end of the frame's flow arrow in the merged trace.
+inline Message recv_any_timed(Communicator& comm) {
+  static telemetry::Histogram& recv_wait =
+      telemetry::MetricRegistry::global().histogram("dist.recv_wait_ns");
+  const auto t0 = std::chrono::steady_clock::now();
+  Message msg = comm.recv_any();
+  const auto t1 = std::chrono::steady_clock::now();
+  const auto ns = [](std::chrono::steady_clock::time_point t) {
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            t.time_since_epoch())
+            .count());
+  };
+  recv_wait.record(ns(t1) - ns(t0));
+  if (comm.event_recording()) {
+    telemetry::CommEvent event;
+    event.tag = msg.tag;
+    event.peer = msg.src;
+    event.is_send = false;
+    event.bytes = msg.payload.size();
+    event.start_ns = ns(t0);
+    event.end_ns = ns(t1);
+    comm.record_comm_event(event);
+  }
+  return msg;
+}
 
 /// One expected remote tile: the cache slot the payload decodes into and
 /// the runtime event whose completion releases the consuming tasks.
@@ -44,7 +76,7 @@ inline bool drain_expected(Runtime& runtime, Communicator& comm,
                            std::uint64_t wakeup_tag = 0) {
   try {
     while (!expected.empty()) {
-      const Message msg = comm.recv_any();
+      const Message msg = recv_any_timed(comm);
       if (wakeup_tag != 0 && msg.tag == wakeup_tag) {
         runtime.cancel();
         for (auto& [tag, pending] : expected) {

@@ -1,5 +1,6 @@
 #include "dist/tile_transport.hpp"
 
+#include <chrono>
 #include <cstring>
 
 #include "common/status.hpp"
@@ -7,6 +8,33 @@
 namespace kgwas::dist {
 
 namespace {
+
+std::uint64_t now_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+// Timed send wrapper: when event recording is on, the encode + enqueue
+// becomes one "send" slice on the sender's comm lane and the source end
+// of the tag's flow arrow in the merged trace.
+void send_frame_traced(Communicator& comm, int dest, std::uint64_t tag,
+                       std::vector<std::byte> frame) {
+  if (!comm.event_recording()) {
+    comm.send(dest, tag, std::move(frame));
+    return;
+  }
+  telemetry::CommEvent event;
+  event.tag = tag;
+  event.peer = dest;
+  event.is_send = true;
+  event.bytes = frame.size();
+  event.start_ns = now_ns();
+  comm.send(dest, tag, std::move(frame));
+  event.end_ns = now_ns();
+  comm.record_comm_event(event);
+}
 
 // Header: u32 rows | u32 cols | u8 precision, little-endian memcpy fields.
 constexpr std::size_t kHeaderBytes = 4 + 4 + 1;
@@ -52,7 +80,7 @@ void decode_tile(const std::vector<std::byte>& frame, Tile& out) {
 void send_tile(Communicator& comm, int dest, std::uint64_t tag,
                const Tile& tile) {
   comm.record_tile_payload(tile.precision(), tile.storage_bytes());
-  comm.send(dest, tag, encode_tile(tile));
+  send_frame_traced(comm, dest, tag, encode_tile(tile));
 }
 
 namespace {
@@ -98,7 +126,7 @@ void decode_tlr_tile(const std::vector<std::byte>& frame, TlrTile& out) {
 void send_tlr_tile(Communicator& comm, int dest, std::uint64_t tag,
                    const TlrTile& tile) {
   comm.record_tile_payload(tile.precision(), tile.storage_bytes());
-  comm.send(dest, tag, encode_tlr_tile(tile));
+  send_frame_traced(comm, dest, tag, encode_tlr_tile(tile));
 }
 
 }  // namespace kgwas::dist

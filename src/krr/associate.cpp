@@ -1,7 +1,11 @@
 #include "krr/associate.hpp"
 
+#include "common/logging.hpp"
 #include "common/status.hpp"
 #include "linalg/tiled_cholesky.hpp"
+#include "telemetry/json.hpp"
+#include "telemetry/run_report.hpp"
+#include "telemetry/trace.hpp"
 
 namespace kgwas {
 
@@ -87,6 +91,34 @@ AssociateResult associate(Runtime& runtime, SymmetricTileMatrix& k,
   }
   result.weights = phenotypes;
   tiled_potrs(runtime, k, result.weights);
+
+  // Env-gated telemetry artifacts (KGWAS_TRACE / KGWAS_TELEMETRY): a
+  // single-rank trace of the associate phase plus a RunReport.  Failures
+  // are logged, never thrown — observability must not fail the solve.
+  const telemetry::TelemetryConfig telemetry_cfg =
+      telemetry::telemetry_config();
+  if (telemetry_cfg.any_enabled()) {
+    std::vector<telemetry::TraceStream> streams;
+    streams.push_back(telemetry::capture_stream(0, runtime.profiler()));
+    telemetry::RunReportInputs inputs;
+    inputs.phase = "associate";
+    inputs.ranks = 1;
+    inputs.streams = &streams;
+    try {
+      if (telemetry_cfg.trace_enabled()) {
+        telemetry::write_merged_trace(
+            telemetry_cfg.trace_dir + "/trace_associate.json", streams,
+            [&](telemetry::JsonWriter& w) {
+              telemetry::write_run_report_fields(w, inputs);
+            });
+      }
+      if (telemetry_cfg.report_enabled()) {
+        telemetry::write_run_report(telemetry_cfg.report_path, inputs);
+      }
+    } catch (const Error& e) {
+      KGWAS_LOG_WARN("telemetry artifact write failed: " << e.what());
+    }
+  }
   return result;
 }
 

@@ -7,6 +7,7 @@
 #include "common/status.hpp"
 #include "linalg/low_rank.hpp"
 #include "linalg/tlr_kernels.hpp"
+#include "telemetry/metrics.hpp"
 #include "tile/tlr_tile.hpp"
 
 namespace kgwas {
@@ -189,6 +190,13 @@ TlrCompressionStats plan_tlr_compression(SymmetricTileMatrix& matrix,
   if (policy.tol <= 0.0) return stats;
   matrix.set_tlr_options(policy.tol, policy.max_rank_fraction);
 
+  static telemetry::Counter& compressed_count =
+      telemetry::MetricRegistry::global().counter("tlr.tiles_compressed");
+  static telemetry::Counter& dense_count =
+      telemetry::MetricRegistry::global().counter("tlr.tiles_dense");
+  static telemetry::Histogram& rank_hist =
+      telemetry::MetricRegistry::global().histogram("tlr.tile_rank");
+
   std::size_t rank_sum = 0;
   for (std::size_t tj = 0; tj < nt; ++tj) {
     for (std::size_t ti = tj + 1; ti < nt; ++ti) {
@@ -196,6 +204,7 @@ TlrCompressionStats plan_tlr_compression(SymmetricTileMatrix& matrix,
       const std::size_t m = t.rows(), n = t.cols();
       if (std::min(m, n) < policy.min_dim) {
         ++stats.tiles_dense;
+        dense_count.add(1);
         continue;
       }
       const LowRankFactor factor =
@@ -203,6 +212,7 @@ TlrCompressionStats plan_tlr_compression(SymmetricTileMatrix& matrix,
       if (!tlr_rank_admissible(factor.rank(), m, n,
                                policy.max_rank_fraction)) {
         ++stats.tiles_dense;
+        dense_count.add(1);
         continue;
       }
       // Joint rank + precision choice: the factors store at the precision
@@ -214,6 +224,8 @@ TlrCompressionStats plan_tlr_compression(SymmetricTileMatrix& matrix,
       stats.max_rank = std::max(stats.max_rank, factor.rank());
       rank_sum += factor.rank();
       ++stats.tiles_compressed;
+      compressed_count.add(1);
+      rank_hist.record(factor.rank());
       matrix.set_low_rank(ti, tj, std::move(lr));
     }
   }

@@ -5,6 +5,7 @@
 #include "linalg/tile_kernels.hpp"
 #include "mpblas/batch.hpp"
 #include "mpblas/blas.hpp"
+#include "telemetry/metrics.hpp"
 #include "tile/tile_pool.hpp"
 
 namespace kgwas {
@@ -150,12 +151,18 @@ void tlr_gemm(SymmetricTileMatrix& a, std::size_t i, std::size_t j,
   const Matrix<float> x = hstack(c.u_fp32(), pu, -1.0f);
   const Matrix<float> y = hstack(c.v_fp32(), pv, 1.0f);
   LowRankFactor next = recompress_product(x, y, a.tlr_tol());
+  static telemetry::Counter& recompressions =
+      telemetry::MetricRegistry::global().counter("tlr.recompressions");
+  recompressions.add(1);
   if (tlr_rank_admissible(next.rank(), m, n, a.tlr_max_rank_fraction())) {
     a.set_low_rank(i, j, TlrTile(next.u, next.v, prec));
   } else {
     // Crossover: the accumulated rank no longer pays.  Reconstruct the
     // OLD tile exactly from its factors, then apply this update densely —
     // densification never truncates.
+    static telemetry::Counter& densifications =
+        telemetry::MetricRegistry::global().counter("tlr.densifications");
+    densifications.add(1);
     a.densify(i, j);
     apply_dense_update(a.tile(i, j), pu, pv);
   }

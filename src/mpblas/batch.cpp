@@ -5,6 +5,7 @@
 #include "common/status.hpp"
 #include "linalg/tile_kernels.hpp"
 #include "mpblas/kernels.hpp"
+#include "telemetry/metrics.hpp"
 
 namespace kgwas::mpblas::batch {
 
@@ -33,6 +34,14 @@ BatchScope::~BatchScope() {
     pool_.release_f32(std::move(entries_[i].buffer));
   }
   t_current_scope = prev_;
+  if (hits_ > 0 || misses_ > 0) {
+    static telemetry::Counter& prepack_hits =
+        telemetry::MetricRegistry::global().counter("batch.prepack_hits");
+    static telemetry::Counter& prepack_misses =
+        telemetry::MetricRegistry::global().counter("batch.prepack_misses");
+    prepack_hits.add(hits_);
+    prepack_misses.add(misses_);
+  }
 }
 
 BatchScope* BatchScope::current() noexcept { return t_current_scope; }

@@ -1,106 +1,108 @@
 #include "runtime/profiler.hpp"
 
 #include <algorithm>
-#include <cstdio>
-#include <fstream>
-#include <limits>
+#include <atomic>
 
-#include "common/status.hpp"
-#include "mpblas/autotune.hpp"
-#include "mpblas/kernels.hpp"
+#include "telemetry/metrics.hpp"
+#include "telemetry/run_report.hpp"
+#include "telemetry/trace.hpp"
 
 namespace kgwas {
 
 namespace {
 
-/// Minimal JSON string escaping (quotes, backslashes, control chars).
-std::string json_escape(const std::string& s) {
-  std::string out;
-  out.reserve(s.size() + 2);
-  for (const char c : s) {
-    switch (c) {
-      case '"': out += "\\\""; break;
-      case '\\': out += "\\\\"; break;
-      case '\n': out += "\\n"; break;
-      case '\r': out += "\\r"; break;
-      case '\t': out += "\\t"; break;
-      default:
-        if (static_cast<unsigned char>(c) < 0x20) {
-          char buf[8];
-          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
-          out += buf;
-        } else {
-          out += c;
-        }
+// Process-wide thread arrival index: thread k records into shard
+// k % kSpanShards of every profiler it touches.  Worker counts are far
+// below kSpanShards in practice, so shards are collision-free and the
+// shard mutex is uncontended on the record path.
+std::atomic<unsigned> g_thread_slot{0};
+thread_local const unsigned t_span_slot =
+    g_thread_slot.fetch_add(1, std::memory_order_relaxed);
+
+}  // namespace
+
+Profiler::SpanShard& Profiler::local_shard() const {
+  return shards_[t_span_slot % kSpanShards];
+}
+
+void Profiler::record(TaskSpan span) {
+  if (!enabled_) return;
+  SpanShard& shard = local_shard();
+  std::lock_guard<std::mutex> lock(shard.mutex);
+  shard.spans.push_back(std::move(span));
+}
+
+std::vector<TaskSpan> Profiler::spans() const {
+  std::vector<TaskSpan> out;
+  for (SpanShard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    out.insert(out.end(), shard.spans.begin(), shard.spans.end());
+  }
+  // Shard placement depends on which thread recorded: sort so the fold is
+  // a deterministic timeline.
+  std::stable_sort(out.begin(), out.end(),
+                   [](const TaskSpan& a, const TaskSpan& b) {
+                     return a.start_ns < b.start_ns;
+                   });
+  return out;
+}
+
+std::map<std::string, TaskStats> Profiler::stats() const {
+  std::map<std::string, TaskStats> out;
+  for (SpanShard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    for (const TaskSpan& span : shard.spans) {
+      auto& entry = out[span.name];
+      ++entry.count;
+      entry.total_seconds +=
+          static_cast<double>(span.end_ns - span.start_ns) * 1e-9;
+      entry.flops += span.flops;
     }
   }
   return out;
 }
 
-/// Shared per-task-class fold used by stats() and write_trace, so the
-/// two views can never disagree on how spans aggregate.
-std::map<std::string, TaskStats> aggregate_spans(
-    const std::vector<TaskSpan>& spans) {
-  std::map<std::string, TaskStats> out;
-  for (const auto& span : spans) {
-    auto& entry = out[span.name];
-    ++entry.count;
-    entry.total_seconds +=
-        static_cast<double>(span.end_ns - span.start_ns) * 1e-9;
-    entry.flops += span.flops;
-  }
-  return out;
-}
-
-}  // namespace
-
-void Profiler::record(TaskSpan span) {
-  if (!enabled_) return;
-  std::lock_guard<std::mutex> lock(mutex_);
-  spans_.push_back(std::move(span));
-}
-
-std::vector<TaskSpan> Profiler::spans() const {
-  std::lock_guard<std::mutex> lock(mutex_);
-  return spans_;
-}
-
-std::map<std::string, TaskStats> Profiler::stats() const {
-  std::lock_guard<std::mutex> lock(mutex_);
-  return aggregate_spans(spans_);
-}
-
 std::map<int, WorkerSpanStats> Profiler::worker_stats() const {
-  std::lock_guard<std::mutex> lock(mutex_);
   std::map<int, WorkerSpanStats> out;
-  for (const auto& span : spans_) {
-    auto& entry = out[span.worker];
-    ++entry.tasks;
-    entry.busy_seconds +=
-        static_cast<double>(span.end_ns - span.start_ns) * 1e-9;
+  for (SpanShard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    for (const TaskSpan& span : shard.spans) {
+      auto& entry = out[span.worker];
+      ++entry.tasks;
+      entry.busy_seconds +=
+          static_cast<double>(span.end_ns - span.start_ns) * 1e-9;
+    }
   }
   return out;
 }
 
 double Profiler::makespan_seconds() const {
-  std::lock_guard<std::mutex> lock(mutex_);
-  if (spans_.empty()) return 0.0;
-  std::uint64_t lo = spans_.front().start_ns;
-  std::uint64_t hi = spans_.front().end_ns;
-  for (const auto& span : spans_) {
-    lo = std::min(lo, span.start_ns);
-    hi = std::max(hi, span.end_ns);
+  bool any = false;
+  std::uint64_t lo = 0;
+  std::uint64_t hi = 0;
+  for (SpanShard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    for (const TaskSpan& span : shard.spans) {
+      if (!any) {
+        lo = span.start_ns;
+        hi = span.end_ns;
+        any = true;
+      } else {
+        lo = std::min(lo, span.start_ns);
+        hi = std::max(hi, span.end_ns);
+      }
+    }
   }
-  return static_cast<double>(hi - lo) * 1e-9;
+  return any ? static_cast<double>(hi - lo) * 1e-9 : 0.0;
 }
 
 double Profiler::parallel_efficiency(std::size_t workers) const {
   const double makespan = makespan_seconds();
   if (workers == 0 || makespan <= 0.0) return 0.0;
   double busy = 0.0;
-  {
-    std::lock_guard<std::mutex> lock(mutex_);
-    for (const auto& span : spans_) {
+  for (SpanShard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    for (const TaskSpan& span : shard.spans) {
       busy += static_cast<double>(span.end_ns - span.start_ns) * 1e-9;
     }
   }
@@ -108,116 +110,65 @@ double Profiler::parallel_efficiency(std::size_t workers) const {
 }
 
 void Profiler::set_scheduler_stats(SchedulerStats stats) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  std::lock_guard<std::mutex> lock(stats_mutex_);
   scheduler_stats_ = std::move(stats);
 }
 
 SchedulerStats Profiler::scheduler_stats() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  std::lock_guard<std::mutex> lock(stats_mutex_);
   return scheduler_stats_;
 }
 
 void Profiler::record_recovery(int attempts, std::size_t escalations,
                                std::size_t tiles_promoted) {
-  std::lock_guard<std::mutex> lock(mutex_);
-  recovery_stats_.factorizations += 1;
-  recovery_stats_.attempts += static_cast<std::uint64_t>(attempts);
-  recovery_stats_.escalations += escalations;
-  recovery_stats_.tiles_promoted += tiles_promoted;
+  {
+    std::lock_guard<std::mutex> lock(stats_mutex_);
+    recovery_stats_.factorizations += 1;
+    recovery_stats_.attempts += static_cast<std::uint64_t>(attempts);
+    recovery_stats_.escalations += escalations;
+    recovery_stats_.tiles_promoted += tiles_promoted;
+  }
+  // Mirror into the global registry so recovery shows up in every
+  // RunReport, not only reports built from this profiler's stream.
+  static telemetry::Counter& factorizations =
+      telemetry::MetricRegistry::global().counter("recovery.factorizations");
+  static telemetry::Counter& attempt_count =
+      telemetry::MetricRegistry::global().counter("recovery.attempts");
+  static telemetry::Counter& escalation_count =
+      telemetry::MetricRegistry::global().counter("recovery.escalations");
+  static telemetry::Counter& promoted =
+      telemetry::MetricRegistry::global().counter("recovery.tiles_promoted");
+  factorizations.add(1);
+  attempt_count.add(static_cast<std::uint64_t>(attempts));
+  escalation_count.add(escalations);
+  promoted.add(tiles_promoted);
 }
 
 RecoveryStats Profiler::recovery_stats() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  std::lock_guard<std::mutex> lock(stats_mutex_);
   return recovery_stats_;
 }
 
 void Profiler::write_trace(const std::string& path) const {
-  std::ofstream out(path);
-  if (!out) throw Error("cannot open trace file: " + path);
-
-  std::vector<TaskSpan> spans;
-  SchedulerStats sched;
-  RecoveryStats recovery;
-  {
-    std::lock_guard<std::mutex> lock(mutex_);
-    spans = spans_;
-    recovery = recovery_stats_;
-    sched = scheduler_stats_;
-  }
-  // Rebase timestamps so the trace starts near zero; chrome://tracing uses
-  // microseconds.
-  std::uint64_t t0 = 0;
-  if (!spans.empty()) {
-    t0 = spans.front().start_ns;
-    for (const auto& span : spans) t0 = std::min(t0, span.start_ns);
-  }
-
-  // Full double precision: default 6-sig-digit formatting quantizes
-  // microsecond timestamps to ~100us once a trace spans seconds.
-  out.precision(std::numeric_limits<double>::max_digits10);
-  out << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
-  bool first = true;
-  for (std::size_t w = 0; w < sched.workers.size(); ++w) {
-    if (!first) out << ",";
-    first = false;
-    out << "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":0,\"tid\":" << w
-        << ",\"args\":{\"name\":\"worker " << w
-        << " (stolen " << sched.workers[w].stolen << ")\"}}";
-  }
-  for (const auto& span : spans) {
-    if (!first) out << ",";
-    first = false;
-    const double ts = static_cast<double>(span.start_ns - t0) * 1e-3;
-    const double dur = static_cast<double>(span.end_ns - span.start_ns) * 1e-3;
-    out << "{\"name\":\"" << json_escape(span.name)
-        << "\",\"cat\":\"task\",\"ph\":\"X\",\"pid\":0,\"tid\":" << span.worker
-        << ",\"ts\":" << ts << ",\"dur\":" << dur << "}";
-  }
-  // Per-task-class FLOP totals and achieved GFLOP/s, so traces capture
-  // the kernel-level perf trajectory alongside the schedule.
-  const std::map<std::string, TaskStats> classes = aggregate_spans(spans);
-  out << "],\"otherData\":{"
-      << "\"tasks_executed\":" << sched.tasks_executed
-      << ",\"tasks_stolen\":" << sched.tasks_stolen
-      << ",\"steal_attempts\":" << sched.steal_attempts
-      << ",\"avg_queue_depth\":" << sched.avg_queue_depth()
-      << ",\"max_queue_depth\":" << sched.max_queue_depth
-      << ",\"recovery\":{\"factorizations\":" << recovery.factorizations
-      << ",\"attempts\":" << recovery.attempts
-      << ",\"escalations\":" << recovery.escalations
-      << ",\"tiles_promoted\":" << recovery.tiles_promoted << "}";
-  // The GEMM engine configuration behind every kernel number in this
-  // trace: two traces with different variants or blockings are not
-  // comparable rows, so the trace records which one produced it.
-  {
-    namespace kernels = mpblas::kernels;
-    namespace autotune = mpblas::kernels::autotune;
-    const kernels::Blocking blk = kernels::gemm_blocking();
-    out << ",\"engine\":{\"variant\":\""
-        << kernels::to_string(kernels::selected_arch())
-        << "\",\"mr\":" << kernels::gemm_mr()
-        << ",\"nr\":" << kernels::gemm_nr() << ",\"mc\":" << blk.mc
-        << ",\"kc\":" << blk.kc << ",\"nc\":" << blk.nc << ",\"tune\":\""
-        << autotune::to_string(autotune::tune_mode())
-        << "\",\"pack_threads\":" << kernels::pack_threads() << "}";
-  }
-  out << ",\"kernel_classes\":{";
-  bool first_class = true;
-  for (const auto& [name, stats] : classes) {
-    if (!first_class) out << ",";
-    first_class = false;
-    out << "\"" << json_escape(name) << "\":{\"count\":" << stats.count
-        << ",\"seconds\":" << stats.total_seconds
-        << ",\"flops\":" << stats.flops
-        << ",\"gflops\":" << stats.gflops() << "}";
-  }
-  out << "}}}\n";
-  if (!out.good()) throw Error("failed writing trace file: " + path);
+  std::vector<telemetry::TraceStream> streams;
+  streams.push_back(telemetry::capture_stream(rank_, *this));
+  telemetry::RunReportInputs inputs;
+  inputs.phase = "trace";
+  inputs.ranks = 1;
+  inputs.streams = &streams;
+  telemetry::write_merged_trace(
+      path, streams,
+      [&](telemetry::JsonWriter& w) {
+        telemetry::write_run_report_fields(w, inputs);
+      });
 }
 
 void Profiler::clear() {
-  std::lock_guard<std::mutex> lock(mutex_);
-  spans_.clear();
+  for (SpanShard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    shard.spans.clear();
+  }
+  std::lock_guard<std::mutex> lock(stats_mutex_);
   scheduler_stats_ = SchedulerStats{};
   recovery_stats_ = RecoveryStats{};
 }

@@ -4,10 +4,20 @@
 // Predict the way the paper's Fig. 14 does, and the scheduler-efficiency
 // reports use the per-worker view plus the steal/queue-depth counters the
 // runtime snapshots from its Scheduler.
+//
+// Record path: spans land in *sharded* per-thread buffers — each
+// recording thread is assigned one of kSpanShards slots, so the
+// per-task-span cost is an uncontended shard-local mutex, never a global
+// one (the old single-mutex design serialized every worker of a busy
+// scheduler through one lock per task).  Readers fold the shards and sort
+// by start time, so the reported timeline is deterministic regardless of
+// which shard a span landed in.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <map>
+#include <memory>
 #include <mutex>
 #include <string>
 #include <vector>
@@ -59,9 +69,14 @@ class Profiler {
   void set_enabled(bool enabled) noexcept { enabled_ = enabled; }
   bool enabled() const noexcept { return enabled_; }
 
+  /// The rank this profiler's spans belong to; becomes the pid lane of
+  /// trace output (0 for single-process runs).  Set once before running.
+  void set_rank(int rank) noexcept { rank_ = rank; }
+  int rank() const noexcept { return rank_; }
+
   void record(TaskSpan span);
 
-  /// All recorded spans (copy; safe to call while idle).
+  /// All recorded spans, sorted by start time (copy; safe while idle).
   std::vector<TaskSpan> spans() const;
   /// Aggregated duration/count per task name.
   std::map<std::string, TaskStats> stats() const;
@@ -87,16 +102,29 @@ class Profiler {
   RecoveryStats recovery_stats() const;
 
   /// Writes the spans as a chrome://tracing / Perfetto "traceEvents" JSON
-  /// file; one track per worker.  Throws kgwas::Error when the file
-  /// cannot be written.
+  /// file (one track per worker) with the RunReport object embedded as
+  /// "otherData" — see telemetry/run_report.hpp.  Throws kgwas::Error
+  /// when the file cannot be written.
   void write_trace(const std::string& path) const;
 
   void clear();
 
  private:
+  // Threads hash onto span shards by a process-wide arrival index, so
+  // any realistic worker count gets collision-free shards and the mutex
+  // below is effectively thread-private (it still exists so readers can
+  // fold safely while recording continues).
+  static constexpr std::size_t kSpanShards = 64;
+  struct SpanShard {
+    std::mutex mutex;
+    std::vector<TaskSpan> spans;
+  };
+  SpanShard& local_shard() const;
+
   bool enabled_;
-  mutable std::mutex mutex_;
-  std::vector<TaskSpan> spans_;
+  int rank_ = 0;
+  mutable std::array<SpanShard, kSpanShards> shards_;
+  mutable std::mutex stats_mutex_;  // scheduler_stats_ + recovery_stats_
   SchedulerStats scheduler_stats_;
   RecoveryStats recovery_stats_;
 };

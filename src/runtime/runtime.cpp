@@ -11,6 +11,8 @@
 #include "common/status.hpp"
 #include "common/timer.hpp"
 #include "mpblas/batch.hpp"
+#include "telemetry/metrics.hpp"
+#include "telemetry/run_report.hpp"
 
 namespace kgwas {
 
@@ -72,8 +74,14 @@ struct Runtime::HandleState {
 
 Runtime::Runtime(std::size_t workers, bool enable_profiling,
                  SchedulerPolicy policy)
-    : scheduler_(workers, policy), profiler_(enable_profiling),
-      profiling_enabled_(enable_profiling) {
+    : scheduler_(workers, policy),
+      // KGWAS_TRACE turns on span recording without an API change at the
+      // call site: trace output is useless without spans, so asking for a
+      // trace directory implies asking for profiling.
+      profiler_(enable_profiling ||
+                telemetry::telemetry_config().trace_enabled()),
+      profiling_enabled_(enable_profiling ||
+                         telemetry::telemetry_config().trace_enabled()) {
   // 0 clamps to 1 inside set_max_batch_size, i.e. KGWAS_MAX_BATCH=0
   // disables coalescing — same semantics as the programmatic knob.
   set_max_batch_size(
@@ -330,6 +338,9 @@ void Runtime::run_batch(BatchQueue* queue, int my_priority) {
   while (count > seen && !batch_max_group_.compare_exchange_weak(
                              seen, count, std::memory_order_relaxed)) {
   }
+  static telemetry::Histogram& group_size =
+      telemetry::MetricRegistry::global().histogram("batch.group_size");
+  group_size.record(count);
   if (count == 1) {
     run_task(group[0]);
     return;

@@ -1,0 +1,375 @@
+#include "telemetry/json.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <limits>
+
+#include "common/status.hpp"
+
+namespace kgwas::telemetry {
+
+std::string json_escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+void JsonWriter::comma_for_value() {
+  if (key_pending_) {
+    key_pending_ = false;
+    return;  // the key already placed the comma
+  }
+  if (!has_elements_.empty()) {
+    if (has_elements_.back()) out_ << ',';
+    has_elements_.back() = true;
+  }
+}
+
+void JsonWriter::begin_object() {
+  comma_for_value();
+  out_ << '{';
+  has_elements_.push_back(false);
+}
+
+void JsonWriter::end_object() {
+  has_elements_.pop_back();
+  out_ << '}';
+}
+
+void JsonWriter::begin_array() {
+  comma_for_value();
+  out_ << '[';
+  has_elements_.push_back(false);
+}
+
+void JsonWriter::end_array() {
+  has_elements_.pop_back();
+  out_ << ']';
+}
+
+void JsonWriter::key(std::string_view k) {
+  if (!has_elements_.empty()) {
+    if (has_elements_.back()) out_ << ',';
+    has_elements_.back() = true;
+  }
+  out_ << '"' << json_escape(k) << "\":";
+  key_pending_ = true;
+}
+
+void JsonWriter::value(std::string_view s) {
+  comma_for_value();
+  out_ << '"' << json_escape(s) << '"';
+}
+
+void JsonWriter::value(bool b) {
+  comma_for_value();
+  out_ << (b ? "true" : "false");
+}
+
+void JsonWriter::value(double d) {
+  comma_for_value();
+  if (!std::isfinite(d)) d = 0.0;  // JSON has no Infinity/NaN
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*g",
+                std::numeric_limits<double>::max_digits10, d);
+  out_ << buf;
+}
+
+void JsonWriter::value(std::uint64_t v) {
+  comma_for_value();
+  out_ << v;
+}
+
+void JsonWriter::value(std::int64_t v) {
+  comma_for_value();
+  out_ << v;
+}
+
+void JsonWriter::raw(std::string_view json) {
+  comma_for_value();
+  out_ << json;
+}
+
+// ------------------------------------------------------------- parsing
+
+const JsonValue* JsonValue::find(std::string_view key) const {
+  if (type != Type::kObject) return nullptr;
+  for (const auto& [k, v] : object) {
+    if (k == key) return &v;
+  }
+  return nullptr;
+}
+
+const JsonValue& JsonValue::at(std::string_view key) const {
+  const JsonValue* v = find(key);
+  if (v == nullptr) {
+    throw Error("JSON object has no member '" + std::string(key) + "'");
+  }
+  return *v;
+}
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  JsonValue parse() {
+    JsonValue v = parse_value(0);
+    skip_ws();
+    if (pos_ != text_.size()) fail("trailing garbage after document");
+    return v;
+  }
+
+ private:
+  [[noreturn]] void fail(const std::string& what) const {
+    throw Error("JSON parse error at offset " + std::to_string(pos_) + ": " +
+                what);
+  }
+
+  void skip_ws() {
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c != ' ' && c != '\t' && c != '\n' && c != '\r') break;
+      ++pos_;
+    }
+  }
+
+  char peek() {
+    if (pos_ >= text_.size()) fail("unexpected end of input");
+    return text_[pos_];
+  }
+
+  void expect(char c) {
+    if (peek() != c) fail(std::string("expected '") + c + "'");
+    ++pos_;
+  }
+
+  JsonValue parse_value(int depth) {
+    if (depth > 128) fail("nesting too deep");
+    skip_ws();
+    const char c = peek();
+    switch (c) {
+      case '{': return parse_object(depth);
+      case '[': return parse_array(depth);
+      case '"': {
+        JsonValue v;
+        v.type = JsonValue::Type::kString;
+        v.string = parse_string();
+        return v;
+      }
+      case 't': case 'f': case 'n': return parse_literal();
+      default: return parse_number();
+    }
+  }
+
+  JsonValue parse_object(int depth) {
+    JsonValue v;
+    v.type = JsonValue::Type::kObject;
+    expect('{');
+    skip_ws();
+    if (peek() == '}') {
+      ++pos_;
+      return v;
+    }
+    for (;;) {
+      skip_ws();
+      if (peek() != '"') fail("object key must be a string");
+      std::string key = parse_string();
+      skip_ws();
+      expect(':');
+      v.object.emplace_back(std::move(key), parse_value(depth + 1));
+      skip_ws();
+      const char next = peek();
+      if (next == ',') {
+        ++pos_;
+        skip_ws();
+        if (peek() == '}') fail("trailing comma in object");
+        continue;
+      }
+      if (next == '}') {
+        ++pos_;
+        return v;
+      }
+      fail("expected ',' or '}' in object");
+    }
+  }
+
+  JsonValue parse_array(int depth) {
+    JsonValue v;
+    v.type = JsonValue::Type::kArray;
+    expect('[');
+    skip_ws();
+    if (peek() == ']') {
+      ++pos_;
+      return v;
+    }
+    for (;;) {
+      v.array.push_back(parse_value(depth + 1));
+      skip_ws();
+      const char next = peek();
+      if (next == ',') {
+        ++pos_;
+        skip_ws();
+        if (peek() == ']') fail("trailing comma in array");
+        continue;
+      }
+      if (next == ']') {
+        ++pos_;
+        return v;
+      }
+      fail("expected ',' or ']' in array");
+    }
+  }
+
+  static int hex_digit(char c) {
+    if (c >= '0' && c <= '9') return c - '0';
+    if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+    if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+    return -1;
+  }
+
+  std::string parse_string() {
+    expect('"');
+    std::string out;
+    for (;;) {
+      if (pos_ >= text_.size()) fail("unterminated string");
+      const char c = text_[pos_++];
+      if (c == '"') return out;
+      if (static_cast<unsigned char>(c) < 0x20) {
+        --pos_;
+        fail("unescaped control byte in string");
+      }
+      if (c != '\\') {
+        out += c;
+        continue;
+      }
+      if (pos_ >= text_.size()) fail("unterminated escape");
+      const char e = text_[pos_++];
+      switch (e) {
+        case '"': out += '"'; break;
+        case '\\': out += '\\'; break;
+        case '/': out += '/'; break;
+        case 'b': out += '\b'; break;
+        case 'f': out += '\f'; break;
+        case 'n': out += '\n'; break;
+        case 'r': out += '\r'; break;
+        case 't': out += '\t'; break;
+        case 'u': {
+          if (pos_ + 4 > text_.size()) fail("truncated \\u escape");
+          unsigned code = 0;
+          for (int i = 0; i < 4; ++i) {
+            const int d = hex_digit(text_[pos_ + static_cast<std::size_t>(i)]);
+            if (d < 0) fail("invalid \\u escape");
+            code = code * 16 + static_cast<unsigned>(d);
+          }
+          pos_ += 4;
+          // Decode into UTF-8 (surrogate pairs are not combined — the
+          // writer only ever escapes control bytes, all below 0x80).
+          if (code < 0x80) {
+            out += static_cast<char>(code);
+          } else if (code < 0x800) {
+            out += static_cast<char>(0xC0 | (code >> 6));
+            out += static_cast<char>(0x80 | (code & 0x3F));
+          } else {
+            out += static_cast<char>(0xE0 | (code >> 12));
+            out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+            out += static_cast<char>(0x80 | (code & 0x3F));
+          }
+          break;
+        }
+        default: --pos_; fail("invalid escape character");
+      }
+    }
+  }
+
+  JsonValue parse_literal() {
+    static constexpr std::string_view kTrue = "true";
+    static constexpr std::string_view kFalse = "false";
+    static constexpr std::string_view kNull = "null";
+    JsonValue v;
+    if (text_.substr(pos_, kTrue.size()) == kTrue) {
+      pos_ += kTrue.size();
+      v.type = JsonValue::Type::kBool;
+      v.boolean = true;
+    } else if (text_.substr(pos_, kFalse.size()) == kFalse) {
+      pos_ += kFalse.size();
+      v.type = JsonValue::Type::kBool;
+      v.boolean = false;
+    } else if (text_.substr(pos_, kNull.size()) == kNull) {
+      pos_ += kNull.size();
+      v.type = JsonValue::Type::kNull;
+    } else {
+      fail("invalid literal (only true/false/null are JSON)");
+    }
+    return v;
+  }
+
+  JsonValue parse_number() {
+    const std::size_t start = pos_;
+    if (pos_ < text_.size() && text_[pos_] == '-') ++pos_;
+    // Grammar check before strtod: strtod accepts inf/nan/hex, JSON does
+    // not.
+    auto digits = [&]() {
+      const std::size_t before = pos_;
+      while (pos_ < text_.size() && text_[pos_] >= '0' && text_[pos_] <= '9') {
+        ++pos_;
+      }
+      return pos_ > before;
+    };
+    if (!digits()) fail("malformed number");
+    if (text_[start] == '-' ? text_[start + 1] == '0' : text_[start] == '0') {
+      const std::size_t int_digits =
+          pos_ - start - (text_[start] == '-' ? 1 : 0);
+      if (int_digits > 1) fail("leading zero in number");
+    }
+    if (pos_ < text_.size() && text_[pos_] == '.') {
+      ++pos_;
+      if (!digits()) fail("malformed fraction");
+    }
+    if (pos_ < text_.size() && (text_[pos_] == 'e' || text_[pos_] == 'E')) {
+      ++pos_;
+      if (pos_ < text_.size() && (text_[pos_] == '+' || text_[pos_] == '-')) {
+        ++pos_;
+      }
+      if (!digits()) fail("malformed exponent");
+    }
+    const std::string token(text_.substr(start, pos_ - start));
+    char* end = nullptr;
+    const double value = std::strtod(token.c_str(), &end);
+    if (end != token.c_str() + token.size()) fail("malformed number");
+    if (!std::isfinite(value)) fail("non-finite number");
+    JsonValue v;
+    v.type = JsonValue::Type::kNumber;
+    v.number = value;
+    return v;
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+JsonValue parse_json(std::string_view text) { return Parser(text).parse(); }
+
+}  // namespace kgwas::telemetry

@@ -1,0 +1,102 @@
+// Shared JSON plumbing of the telemetry layer.
+//
+// `JsonWriter` is the one serializer behind every JSON artifact this
+// library emits (chrome traces, merged multi-rank traces, RunReports):
+// streaming, comma-managed, with uniform string escaping and full-
+// precision finite doubles (non-finite values are emitted as 0 — JSON has
+// no Infinity/NaN, and a telemetry artifact that fails to parse is worse
+// than a clamped value).  Output is compact (`"key":value`, no spaces) so
+// substring checks in downstream tooling are stable.
+//
+// `parse_json` is a strict, minimal recursive-descent parser used by the
+// tests and the bench harness to *validate* those artifacts: it rejects
+// trailing commas, bad escapes, unescaped control bytes, non-finite
+// number literals, and trailing garbage.  It exists so well-formedness is
+// asserted against a parser with no tolerance, not against the writer's
+// own assumptions.
+#pragma once
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace kgwas::telemetry {
+
+/// Escapes `s` for inclusion in a JSON string literal (quotes,
+/// backslashes, control bytes as \uXXXX).
+std::string json_escape(std::string_view s);
+
+class JsonWriter {
+ public:
+  explicit JsonWriter(std::ostream& out) : out_(out) {}
+
+  JsonWriter(const JsonWriter&) = delete;
+  JsonWriter& operator=(const JsonWriter&) = delete;
+
+  void begin_object();
+  void end_object();
+  void begin_array();
+  void end_array();
+
+  /// Writes the key of the next value (objects only).
+  void key(std::string_view k);
+
+  void value(std::string_view s);
+  void value(const char* s) { value(std::string_view(s)); }
+  void value(bool b);
+  void value(double d);
+  void value(std::uint64_t v);
+  void value(std::int64_t v);
+  void value(int v) { value(static_cast<std::int64_t>(v)); }
+  void value(unsigned v) { value(static_cast<std::uint64_t>(v)); }
+  void value(unsigned long long v) { value(static_cast<std::uint64_t>(v)); }
+
+  /// Splices pre-serialized JSON as the next value, verbatim.
+  void raw(std::string_view json);
+
+  /// key + value in one call.
+  template <class T>
+  void kv(std::string_view k, T&& v) {
+    key(k);
+    value(std::forward<T>(v));
+  }
+
+ private:
+  void comma_for_value();
+
+  std::ostream& out_;
+  // One entry per open container: true once it holds at least one element.
+  std::vector<bool> has_elements_;
+  bool key_pending_ = false;
+};
+
+/// Parsed JSON document (strict DOM; see parse_json).
+struct JsonValue {
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Type type = Type::kNull;
+  bool boolean = false;
+  double number = 0.0;
+  std::string string;
+  std::vector<JsonValue> array;
+  std::vector<std::pair<std::string, JsonValue>> object;
+
+  bool is_object() const noexcept { return type == Type::kObject; }
+  bool is_array() const noexcept { return type == Type::kArray; }
+
+  /// Object member lookup; nullptr when absent (or not an object).
+  const JsonValue* find(std::string_view key) const;
+  /// Object member lookup; throws Error when absent.
+  const JsonValue& at(std::string_view key) const;
+};
+
+/// Parses `text` as one strict JSON document.  Throws Error (with an
+/// offset in the message) on: trailing commas, missing commas/colons,
+/// invalid escapes, unescaped control bytes in strings, malformed \uXXXX,
+/// non-finite or malformed numbers, literals other than true/false/null,
+/// unterminated containers, and trailing non-whitespace.
+JsonValue parse_json(std::string_view text);
+
+}  // namespace kgwas::telemetry

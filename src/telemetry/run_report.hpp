@@ -1,0 +1,95 @@
+// RunReport: the machine-readable summary artifact of a run.
+//
+// One schema-stable JSON document ("kgwas.run_report.v1") snapshotting
+// everything the runtime can tell about what just executed: scheduler and
+// recovery aggregates over every rank's trace stream, per-kernel-class
+// FLOP accounting, the GEMM engine configuration behind the numbers, the
+// transport's wire ledger (frames, bytes, per-precision tile payload),
+// and a fold of the global metrics registry.  `Profiler::write_trace`
+// embeds the identical object as the trace's "otherData", so traces and
+// reports can never disagree on a field's meaning — one serializer
+// produces both.
+//
+// Activation: the `KGWAS_TRACE=<dir>` / `KGWAS_TELEMETRY=<path>` env
+// knobs (read per call by `telemetry_config`, so tests can toggle them)
+// turn on end-to-end artifact writing in `associate()`, `run_dist_krr`
+// and the bench harness without any API change at the call sites.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "precision/precision.hpp"
+#include "telemetry/trace.hpp"
+
+namespace kgwas::telemetry {
+
+class JsonWriter;
+
+/// Env-driven telemetry activation (read fresh on every call).
+struct TelemetryConfig {
+  std::string trace_dir;     ///< KGWAS_TRACE: directory for trace files
+  std::string report_path;   ///< KGWAS_TELEMETRY: RunReport file path
+
+  bool trace_enabled() const noexcept { return !trace_dir.empty(); }
+  bool report_enabled() const noexcept { return !report_path.empty(); }
+  bool any_enabled() const noexcept {
+    return trace_enabled() || report_enabled();
+  }
+};
+TelemetryConfig telemetry_config();
+
+/// Wire-ledger totals carried into a report.  Mirrors dist::WireVolume
+/// field-for-field without depending on the dist layer (the dist layer
+/// depends on telemetry); build one with `WireSummary::from(volume)`.
+struct WireSummary {
+  bool valid = false;  ///< false = the run had no transport; omit "wire"
+  std::uint64_t messages = 0;
+  std::uint64_t payload_bytes = 0;
+  std::array<std::uint64_t, kNumPrecisions> tile_payload_bytes{};
+
+  std::uint64_t total_tile_bytes() const noexcept {
+    std::uint64_t total = 0;
+    for (const std::uint64_t b : tile_payload_bytes) total += b;
+    return total;
+  }
+
+  template <class Volume>
+  static WireSummary from(const Volume& v) {
+    WireSummary s;
+    s.valid = true;
+    s.messages = v.messages;
+    s.payload_bytes = v.payload_bytes;
+    for (std::size_t i = 0; i < kNumPrecisions; ++i) {
+      s.tile_payload_bytes[i] = v.tile_payload_bytes[i];
+    }
+    return s;
+  }
+};
+
+struct RunReportInputs {
+  std::string phase;  ///< what ran, e.g. "associate" / "dist_krr"
+  int ranks = 1;
+  /// Per-rank streams to aggregate (may be null/empty: scheduler,
+  /// recovery and kernel_classes then report zeros).
+  const std::vector<TraceStream>* streams = nullptr;
+  WireSummary wire;
+  /// Snapshot MetricRegistry::global() into the "metrics" member.
+  bool include_metrics = true;
+};
+
+/// Writes the members of the report object through `w` (between the
+/// caller's begin_object/end_object) — shared by write_run_report and the
+/// trace writer's "otherData".
+void write_run_report_fields(JsonWriter& w, const RunReportInputs& in);
+
+/// Writes the full report document to `path` (creating parent
+/// directories).  Throws Error when the file cannot be written.
+void write_run_report(const std::string& path, const RunReportInputs& in);
+
+/// The report document as a string (for embedding into BENCH_*.json rows).
+std::string run_report_json(const RunReportInputs& in);
+
+}  // namespace kgwas::telemetry

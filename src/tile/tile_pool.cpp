@@ -1,10 +1,40 @@
 #include "tile/tile_pool.hpp"
 
+#include <algorithm>
 #include <utility>
 
 #include "common/env.hpp"
+#include "telemetry/metrics.hpp"
 
 namespace kgwas {
+
+namespace {
+
+// Registry mirrors.  Gauge deltas from every pool sum into one process
+// level, so "pool.bytes_in_use" is the combined footprint and the
+// high-water gauge tracks the max of that combined level.  The pool's own
+// mutex serializes each pool's updates (gauges aren't sharded).
+void note_acquire(std::size_t bytes, TilePool::Stats& stats) {
+  stats.bytes_in_use += bytes;
+  stats.high_water_bytes = std::max(stats.high_water_bytes, stats.bytes_in_use);
+  static telemetry::Gauge& in_use =
+      telemetry::MetricRegistry::global().gauge("pool.bytes_in_use");
+  static telemetry::Gauge& high_water =
+      telemetry::MetricRegistry::global().gauge("pool.bytes_high_water");
+  static telemetry::Histogram& acquire_bytes =
+      telemetry::MetricRegistry::global().histogram("pool.acquire_bytes");
+  high_water.update_max(in_use.add(static_cast<std::int64_t>(bytes)));
+  acquire_bytes.record(bytes);
+}
+
+void note_release(std::size_t bytes, TilePool::Stats& stats) {
+  stats.bytes_in_use -= std::min(stats.bytes_in_use, bytes);
+  static telemetry::Gauge& in_use =
+      telemetry::MetricRegistry::global().gauge("pool.bytes_in_use");
+  in_use.add(-static_cast<std::int64_t>(bytes));
+}
+
+}  // namespace
 
 bool TilePool::caching_enabled() noexcept {
 #ifdef KGWAS_SANITIZE
@@ -36,6 +66,7 @@ AlignedVector<std::byte> TilePool::acquire(std::size_t bytes) {
   if (bytes == 0) return {};
   {
     std::lock_guard<std::mutex> lock(mutex_);
+    note_acquire(bytes, stats_);
     auto it = bytes_.find(bytes);
     if (it != bytes_.end() && !it->second.empty()) {
       AlignedVector<std::byte> buffer = std::move(it->second.back());
@@ -55,6 +86,7 @@ void TilePool::release(AlignedVector<std::byte>&& buffer) {
   if (bytes == 0) return;
   std::lock_guard<std::mutex> lock(mutex_);
   ++stats_.releases;
+  note_release(bytes, stats_);
   if (cached_bytes_ + bytes > max_cached_bytes_) {
     ++stats_.dropped;
     return;  // buffer freed on scope exit
@@ -68,6 +100,7 @@ AlignedVector<float> TilePool::acquire_f32(std::size_t elements) {
   if (elements == 0) return {};
   {
     std::lock_guard<std::mutex> lock(mutex_);
+    note_acquire(elements * sizeof(float), stats_);
     auto it = f32_.find(elements);
     if (it != f32_.end() && !it->second.empty()) {
       AlignedVector<float> buffer = std::move(it->second.back());
@@ -88,6 +121,7 @@ void TilePool::release_f32(AlignedVector<float>&& buffer) {
   const std::size_t bytes = elements * sizeof(float);
   std::lock_guard<std::mutex> lock(mutex_);
   ++stats_.releases;
+  note_release(bytes, stats_);
   if (cached_bytes_ + bytes > max_cached_bytes_) {
     ++stats_.dropped;
     return;

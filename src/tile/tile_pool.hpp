@@ -40,6 +40,8 @@ class TilePool {
     std::uint64_t releases = 0;           ///< buffers returned to the pool
     std::uint64_t dropped = 0;            ///< releases freed due to the cap
     std::size_t cached_bytes = 0;         ///< bytes currently parked
+    std::size_t bytes_in_use = 0;         ///< acquired and not yet released
+    std::size_t high_water_bytes = 0;     ///< max bytes_in_use ever seen
   };
 
   /// `max_cached_bytes` caps the bytes parked in free lists; releases past
