@@ -30,9 +30,11 @@
 #include <functional>
 #include <memory>
 #include <mutex>
+#include <string>
 #include <vector>
 
 #include "common/status.hpp"
+#include "dist/fault.hpp"
 #include "dist/mailbox.hpp"
 #include "precision/precision.hpp"
 #include "telemetry/metrics.hpp"
@@ -43,10 +45,27 @@ namespace kgwas::dist {
 /// Thrown on surviving ranks when another rank of the world failed: the
 /// in-process backend poisons every mailbox so blocked receives abort
 /// instead of waiting forever for a dead peer (run_ranks then reports
-/// the original error, not this secondary one).
+/// the original error, not this secondary one).  Carries the originating
+/// rank and the protocol phase it was executing when it failed.
 class WorldAborted : public Error {
  public:
-  WorldAborted() : Error("a peer rank failed; world aborted") {}
+  WorldAborted() : WorldAborted(-1, "unknown") {}
+  WorldAborted(int origin_rank, const std::string& phase)
+      : Error(origin_rank >= 0
+                  ? "rank " + std::to_string(origin_rank) +
+                        " failed during phase '" + phase + "'; world aborted"
+                  : "a peer rank failed; world aborted"),
+        origin_rank_(origin_rank),
+        phase_(phase) {}
+
+  /// Rank whose failure poisoned the world (-1 when unknown).
+  int origin_rank() const noexcept { return origin_rank_; }
+  /// Protocol phase label the failing rank had set (see set_phase_label).
+  const std::string& phase() const noexcept { return phase_; }
+
+ private:
+  int origin_rank_ = -1;
+  std::string phase_;
 };
 
 /// Tags with this bit set are reserved for the communicator's internal
@@ -105,14 +124,84 @@ class Communicator {
   void broadcast(int root, std::vector<std::byte>& data);
 
   /// Discards every *application* frame currently queued or pending at
-  /// this endpoint (reserved collective-protocol frames are preserved);
-  /// returns the number discarded.  Single-consumer, like recv.  The
-  /// breakdown-recovery protocol calls this between two barriers to
-  /// flush stale tile frames of an aborted factorization attempt: after
-  /// the first barrier every rank has drained its runtime (so every
-  /// frame of the attempt is already delivered), and no rank re-enters
-  /// the factorization (and re-sends) until after the second.
+  /// this endpoint (reserved collective-protocol frames are preserved)
+  /// plus everything registered discard hooks drop (remote-tile caches
+  /// keyed by wire tag — see add_discard_hook); returns the total number
+  /// discarded.  Single-consumer, like recv.  The breakdown-recovery
+  /// protocol calls this between two barriers to flush stale tile frames
+  /// of an aborted factorization attempt: after the first barrier every
+  /// rank has drained its runtime (so every frame of the attempt is
+  /// already delivered), and no rank re-enters the factorization (and
+  /// re-sends) until after the second.
   std::size_t discard_pending();
+
+  /// Registers an auxiliary discard target for discard_pending(): a
+  /// callable that drops already-adopted stale state (e.g. a dist
+  /// matrix's remote-tile cache, keyed by the same wire tags as the
+  /// frames discard_pending drops from the queue) and returns how many
+  /// entries it dropped.  Without this, a frame adopted into a cache
+  /// just before a fault survives the queue flush and a post-recovery
+  /// resume could read a stale pre-fault tile.  Driving thread only.
+  void add_discard_hook(std::function<std::size_t()> hook);
+  void clear_discard_hooks();
+
+  // --- Fault-tolerance surface (backend-dependent; defaults are the
+  // --- fault-free behavior so non-injected backends pay nothing).
+
+  /// Physical ranks known dead (ascending).  Monotone: ranks are never
+  /// resurrected.
+  virtual std::vector<int> dead_ranks() const { return {}; }
+
+  /// True when a fault-injection plan is active in this world (protocols
+  /// relax duplicate-frame strictness under injection).
+  virtual bool fault_injection_active() const noexcept { return false; }
+
+  /// Marks the current dead set as handled: blocked receives stop
+  /// throwing PeerUnreachable for it.  Called by the rank-loss recovery
+  /// protocol once survivors have re-established a consistent state.
+  virtual void acknowledge_failures() {}
+
+  /// Protocol cancellation point at panel step `step`: fires step-
+  /// triggered kill events and surfaces unacknowledged peer deaths
+  /// (PeerUnreachable) promptly even when this rank is compute-bound.
+  virtual void fault_point(std::uint64_t step) { (void)step; }
+
+  /// Drops queued reserved collective frames whose embedded epoch is
+  /// below `min_epoch` — stale barrier/allreduce traffic of a previous
+  /// communicator generation (pre-fault, or from a dead rank) that must
+  /// not be matched by the survivors' restarted collectives.  Returns
+  /// the number dropped.  Single-consumer.
+  virtual std::size_t purge_stale(std::uint64_t min_epoch) {
+    (void)min_epoch;
+    return 0;
+  }
+
+  /// Protocol-phase label for failure attribution: WorldAborted carries
+  /// the label the failing rank had set.  The pointer must have static
+  /// storage duration (string literals).
+  void set_phase_label(const char* phase) noexcept {
+    phase_label_.store(phase, std::memory_order_release);
+  }
+  const char* phase_label() const noexcept {
+    return phase_label_.load(std::memory_order_acquire);
+  }
+
+  // --- Transport passthroughs for wrapping communicators (SurvivorComm):
+  // --- raw backend access with no ledger/registry accounting, so a frame
+  // --- sent through a wrapper is counted exactly once (at the wrapper).
+
+  void send_transport(int dest, std::uint64_t tag,
+                      std::vector<std::byte> payload) {
+    do_send(dest, tag, std::move(payload));
+  }
+  Message recv_transport(std::uint64_t tag) { return do_recv(tag); }
+  Message recv_any_transport() { return do_recv_any(); }
+
+  /// Adds another endpoint's ledger into this one without touching the
+  /// registry mirrors (those were already incremented at the endpoint
+  /// that counted the sends).  Used by wrapping communicators on
+  /// destruction so the world total still sees their traffic.
+  void absorb_wire_volume(const WireVolume& v) noexcept;
 
   /// Adds tile payload bytes to the per-precision ledger (called by the
   /// tile transport at send time).
@@ -144,12 +233,14 @@ class Communicator {
   virtual Message do_recv_any() = 0;
   virtual std::size_t do_discard_pending() = 0;
 
- private:
   // Collective sequence number; advances identically on every rank under
   // the SPMD call-order contract, keeping consecutive collectives' frames
-  // apart even when a fast rank races ahead.
+  // apart even when a fast rank races ahead.  Survivor generations offset
+  // it (generation << 32) so a regenerated communicator's collectives can
+  // never match stale pre-fault frames.
   std::uint64_t collective_epoch_ = 0;
 
+ private:
   std::atomic<std::uint64_t> messages_{0};
   std::atomic<std::uint64_t> payload_bytes_{0};
   std::array<std::atomic<std::uint64_t>, kNumPrecisions> tile_bytes_{};
@@ -163,13 +254,25 @@ class Communicator {
   std::atomic<bool> record_events_{false};
   mutable std::mutex events_mutex_;
   std::vector<telemetry::CommEvent> events_;
+
+  std::atomic<const char*> phase_label_{"startup"};
+  std::vector<std::function<std::size_t()>> discard_hooks_;
 };
 
 /// In-process world: N ranks as N endpoints over lock-free mailboxes.
 /// Construct once, hand `comm(r)` to rank r's thread (see run_ranks).
+///
+/// Fault model: a nonempty FaultPlan threads a deterministic FaultInjector
+/// through every endpoint (drop/dup/delay/kill on application frames; the
+/// reserved collective protocol is never faulted).  A killed rank is
+/// entered into the world's monotone dead set; its subsequent sends are
+/// suppressed (a crashed process's packets stop) and every parked receive
+/// is woken — the dead rank's own receive throws RankKilled, survivors'
+/// throw PeerUnreachable until the recovery protocol calls
+/// acknowledge_failures().
 class InProcessWorld {
  public:
-  explicit InProcessWorld(int ranks);
+  explicit InProcessWorld(int ranks, FaultPlan plan = {});
   ~InProcessWorld();
 
   InProcessWorld(const InProcessWorld&) = delete;
@@ -182,17 +285,95 @@ class InProcessWorld {
   WireVolume total_wire_volume() const;
 
   /// Marks the world failed and wakes every parked receive, which then
-  /// throws WorldAborted.  Idempotent; called by run_ranks when a rank's
-  /// body throws so the surviving ranks fail fast instead of hanging.
-  void poison();
+  /// throws WorldAborted carrying `origin_rank`/`phase`.  Idempotent;
+  /// called by run_ranks when a rank's body throws so the surviving ranks
+  /// fail fast instead of hanging.
+  void poison(int origin_rank = -1, const char* phase = "unknown");
   bool poisoned() const noexcept {
     return poisoned_.load(std::memory_order_acquire);
+  }
+
+  /// Declares `rank` dead: inserts it into the monotone dead set, bumps
+  /// the dead-set version, and wakes every parked receive so the death
+  /// surfaces immediately.  Idempotent per rank; thread-safe.
+  void declare_dead(int rank);
+  bool is_dead(int rank) const;
+  std::vector<int> dead_ranks() const;
+  std::uint64_t dead_version() const noexcept {
+    return dead_version_.load(std::memory_order_acquire);
   }
 
  private:
   class RankComm;
   std::vector<std::unique_ptr<RankComm>> comms_;
   std::atomic<bool> poisoned_{false};
+  std::atomic<int> abort_origin_{-1};
+  std::atomic<const char*> abort_phase_{"unknown"};
+
+  std::unique_ptr<FaultInjector> injector_;
+  mutable std::mutex dead_mutex_;
+  std::vector<int> dead_;  // ascending
+  std::atomic<std::uint64_t> dead_version_{0};
+
+  // Timeout-armed receive knobs (KGWAS_COMM_TIMEOUT_MS, 0 = off;
+  // KGWAS_COMM_RETRIES), read once at world construction.
+  std::uint64_t recv_timeout_ms_ = 0;
+  std::uint64_t recv_retries_ = 0;
+};
+
+/// Logical communicator over the survivors of a rank loss: presents a
+/// dense [0, survivors) rank space to the protocols while routing frames
+/// to the surviving physical ranks of `parent`.  Collectives run the
+/// base-class protocol in logical space with epochs offset by
+/// generation << 32, so a regenerated world's collective frames can never
+/// be matched against stale pre-fault traffic (purge_stale drops the
+/// leftovers).  Wire accounting happens once, at this wrapper; the
+/// destructor folds the wrapper ledger back into the parent so world
+/// totals remain complete.
+class SurvivorComm final : public Communicator {
+ public:
+  /// `survivors`: ascending physical ranks still alive (must contain the
+  /// parent's own rank).  `generation`: monotone regeneration count —
+  /// the size of the dead set is the canonical choice (every survivor
+  /// derives the same value from the same dead set).
+  SurvivorComm(Communicator& parent, std::vector<int> survivors,
+               std::uint64_t generation);
+  ~SurvivorComm() override;
+
+  int rank() const noexcept override { return my_logical_; }
+  int size() const noexcept override {
+    return static_cast<int>(survivors_.size());
+  }
+
+  int physical_rank(int logical) const {
+    return survivors_[static_cast<std::size_t>(logical)];
+  }
+  const std::vector<int>& survivors() const noexcept { return survivors_; }
+  Communicator& parent() noexcept { return parent_; }
+
+  std::vector<int> dead_ranks() const override { return parent_.dead_ranks(); }
+  bool fault_injection_active() const noexcept override {
+    return parent_.fault_injection_active();
+  }
+  void acknowledge_failures() override { parent_.acknowledge_failures(); }
+  void fault_point(std::uint64_t step) override { parent_.fault_point(step); }
+  std::size_t purge_stale(std::uint64_t min_epoch) override {
+    return parent_.purge_stale(min_epoch);
+  }
+
+ protected:
+  void do_send(int dest, std::uint64_t tag,
+               std::vector<std::byte> payload) override;
+  Message do_recv(std::uint64_t tag) override;
+  Message do_recv_any() override;
+  std::size_t do_discard_pending() override;
+
+ private:
+  int to_logical(int physical) const;
+
+  Communicator& parent_;
+  std::vector<int> survivors_;  // logical -> physical, ascending
+  int my_logical_ = 0;
 };
 
 /// SPMD harness: runs `fn(comm)` on `ranks` fresh threads over a fresh
@@ -200,6 +381,13 @@ class InProcessWorld {
 /// is rethrown after every thread has exited.  Returns the world's total
 /// wire volume.
 WireVolume run_ranks(int ranks, const std::function<void(Communicator&)>& fn);
+
+/// Fault-injected variant: same harness over a world constructed with
+/// `plan`.  A rank exiting with RankKilled is absorbed silently (the rank
+/// simply disappears; survivors see its death through the dead set) —
+/// every other exception behaves as in the plain overload.
+WireVolume run_ranks(int ranks, FaultPlan plan,
+                     const std::function<void(Communicator&)>& fn);
 
 /// KGWAS_RANKS (default 1, clamped to [1, 256]): world size the
 /// distributed entry points use when the caller does not pass one.

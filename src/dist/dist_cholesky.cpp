@@ -1,11 +1,16 @@
 #include "dist/dist_cholesky.hpp"
 
+#include <algorithm>
+#include <chrono>
+#include <cstdlib>
+#include <numeric>
 #include <optional>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
 #include "common/status.hpp"
+#include "dist/checkpoint.hpp"
 #include "dist/cholesky_comm_pattern.hpp"
 #include "dist/progress.hpp"
 #include "dist/tile_transport.hpp"
@@ -49,15 +54,20 @@ constexpr std::uint64_t breakdown_wakeup_tag() {
   return make_tile_tag(Phase::kBreakdown, 0, 0);
 }
 
-/// One factorization attempt: submit this rank's tasks, run the progress
-/// loop (watching for breakdown wake-ups), and drain the runtime.
+/// One factorization attempt over panel steps [k_begin, k_end): submit
+/// this rank's tasks, run the progress loop (watching for breakdown
+/// wake-ups), and drain the runtime.  A partial range is one round of the
+/// fault-tolerant driver: it requires the matrix to hold the exact state
+/// after step k_begin - 1 (each step's tasks only read the panel column
+/// produced within the same round, so rounds compose bitwise).
 /// Returns the failing global minor index of a *local* POTRF breakdown
 /// (0 when this rank's tasks all succeeded); non-numerical task errors
 /// propagate (fatal for the world).
 long dist_potrf_attempt(Runtime& runtime, Communicator& comm,
                         DistSymmetricTileMatrix& a,
                         const DistPotrfOptions& options,
-                        const PrecisionMap* map) {
+                        const PrecisionMap* map, std::size_t k_begin,
+                        std::size_t k_end) {
   const std::size_t nt = a.tile_count();
   const int me = comm.rank();
   const ProcessGrid& grid = a.grid();
@@ -77,7 +87,7 @@ long dist_potrf_attempt(Runtime& runtime, Communicator& comm,
     return a.is_local(ti, tj) ? local_handle(ti, tj) : cache_handles.at(tag);
   };
 
-  for (std::size_t k = 0; k < nt; ++k) {
+  for (std::size_t k = k_begin; k < k_end; ++k) {
     const std::uint64_t kk_tag = make_tile_tag(Phase::kPotrfPanel, k, k);
     const auto diag_consumers = diag_tile_consumers(grid, nt, k);
 
@@ -271,7 +281,7 @@ void dist_tiled_potrf(Runtime& runtime, Communicator& comm,
     report.attempts = attempt + 1;
     const long local_failing = dist_potrf_attempt(
         runtime, comm, a, options,
-        options.precision_map ? &current : nullptr);
+        options.precision_map ? &current : nullptr, 0, nt);
 
     // Deterministic world-wide verdict: each diagonal owner contributes
     // the failing minor of its own failed POTRF.  At most one POTRF
@@ -545,6 +555,349 @@ void dist_tiled_potrs(Runtime& runtime, Communicator& comm,
     tile_into_rows(xt, b, t * ts);
   }
   comm.barrier();
+}
+
+// --- Elastic fault tolerance --------------------------------------------
+
+namespace {
+
+std::uint64_t steady_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+/// RAII registration of a matrix-cache discard hook: discard_pending()
+/// must drop wire-tag-keyed remote-tile caches along with the queued
+/// frames, or a tile adopted just before a fault survives the flush and a
+/// post-recovery resume reads stale pre-fault data.
+class DiscardHookGuard {
+ public:
+  DiscardHookGuard(Communicator& comm, DistSymmetricTileMatrix** mat)
+      : comm_(comm) {
+    comm_.add_discard_hook([mat]() {
+      const std::size_t n = (*mat)->cache_tiles();
+      (*mat)->clear_cache();
+      return n;
+    });
+  }
+  ~DiscardHookGuard() { comm_.clear_discard_hooks(); }
+
+ private:
+  Communicator& comm_;
+};
+
+}  // namespace
+
+long configured_checkpoint_interval() {
+  const char* env = std::getenv("KGWAS_CKPT_INTERVAL");
+  if (env == nullptr || *env == '\0') return 4;
+  const long v = std::strtol(env, nullptr, 10);
+  return v >= 1 ? v : 1;
+}
+
+DistFtResult dist_tiled_potrf_ft(Runtime& runtime, Communicator& comm,
+                                 DistSymmetricTileMatrix& a,
+                                 const DistFtOptions& options) {
+  const std::size_t nt = a.tile_count();
+  DistFtResult result;
+  result.final_ranks.resize(static_cast<std::size_t>(comm.size()));
+  std::iota(result.final_ranks.begin(), result.final_ranks.end(), 0);
+
+  FactorizationReport scratch;
+  FactorizationReport& report =
+      options.factor.report ? *options.factor.report : scratch;
+  report = FactorizationReport{};
+  report.attempts = 1;
+  if (nt == 0) {
+    comm.barrier();
+    return result;
+  }
+  KGWAS_CHECK_ARG(a.grid().ranks() == comm.size(),
+                  "matrix grid does not match the communicator world");
+  const bool escalate =
+      options.factor.on_breakdown == BreakdownAction::kEscalate;
+  KGWAS_CHECK_ARG(!escalate || options.factor.precision_map != nullptr,
+                  "distributed breakdown escalation requires a precision map");
+  const long interval = options.checkpoint_interval > 0
+                            ? options.checkpoint_interval
+                            : configured_checkpoint_interval();
+
+  PrecisionMap current =
+      options.factor.precision_map ? *options.factor.precision_map
+                                   : PrecisionMap{};
+  const PrecisionMap* map_ptr =
+      options.factor.precision_map ? &current : nullptr;
+  const Precision working =
+      options.factor.precision_map ? current.get(0, 0) : Precision::kFp32;
+
+  // Escalation rollback source, held as an owned copy so it can be
+  // re-gridded onto the survivors after a rank loss (the caller's source
+  // matrix is pinned to the original grid).
+  std::optional<DistSymmetricTileMatrix> source_copy;
+  if (escalate) {
+    if (options.factor.source != nullptr) {
+      KGWAS_CHECK_ARG(options.factor.source->n() == a.n() &&
+                          options.factor.source->tile_size() == a.tile_size(),
+                      "escalation source geometry mismatch");
+      source_copy.emplace(*options.factor.source);
+    } else {
+      source_copy.emplace(a);
+    }
+  }
+
+  // Topology state: `active`/`mat` flip to the survivor instances after a
+  // recovery; `ckpt_ranks` is the physical rank list the *committed*
+  // checkpoints were written under (the restore path maps old owners and
+  // ring buddies through it).
+  Communicator* active = &comm;
+  DistSymmetricTileMatrix* mat = &a;
+  std::vector<int> ckpt_ranks = result.final_ranks;
+  TileCheckpoint store;
+  TileCheckpoint source_store;
+  std::size_t counted_dead = 0;
+
+  DiscardHookGuard hook_guard(comm, &mat);
+
+  struct CallbackGuard {
+    Runtime& runtime;
+    ~CallbackGuard() { runtime.set_error_callback(nullptr); }
+  } guard{runtime};
+  const auto arm_callback = [&runtime](Communicator* c) {
+    runtime.set_error_callback([c](const std::exception_ptr&) {
+      for (int r = 0; r < c->size(); ++r) {
+        c->send(r, breakdown_wakeup_tag(), {});
+      }
+    });
+  };
+  arm_callback(active);
+
+  auto& registry = telemetry::MetricRegistry::global();
+  const auto record_span = [&runtime](const char* name, std::uint64_t t0) {
+    runtime.profiler().record(TaskSpan{name, t0, steady_ns(), -1, 0.0});
+  };
+  const auto checkpoint_all = [&](long cut) {
+    active->set_phase_label("checkpoint");
+    const std::uint64_t t0 = steady_ns();
+    const CheckpointIo io = write_checkpoint(*active, store, *mat, cut);
+    result.checkpoints += 1;
+    result.checkpoint_tiles += io.tiles;
+    result.checkpoint_bytes += io.bytes;
+    if (escalate) {
+      const CheckpointIo sio = write_checkpoint(
+          *active, source_store, *source_copy, 0, Phase::kCheckpointSource);
+      result.checkpoint_tiles += sio.tiles;
+      result.checkpoint_bytes += sio.bytes;
+    }
+    record_span("ckpt_write", t0);
+    active->set_phase_label("factorize");
+  };
+
+  long resume_k = 0;
+  bool need_recovery = false;
+  bool timeline_started = false;
+  int escalations = 0;
+
+  for (;;) {
+    try {
+      if (need_recovery) {
+        // ---- Rank-loss recovery -----------------------------------------
+        const std::uint64_t rec_t0 = steady_ns();
+        runtime.set_error_callback(nullptr);
+        comm.set_phase_label("recovery");
+        runtime.cancel();
+        try {
+          runtime.wait();
+        } catch (...) {
+          // The aborted round's task errors are expected collateral.
+        }
+        comm.acknowledge_failures();
+        const std::vector<int> dead = comm.dead_ranks();
+        std::vector<int> survivors;
+        for (int r = 0; r < comm.size(); ++r) {
+          if (!std::binary_search(dead.begin(), dead.end(), r)) {
+            survivors.push_back(r);
+          }
+        }
+        registry.counter("recovery.rank_loss.events").add(1);
+        registry.counter("recovery.rank_loss.ranks_lost")
+            .add(dead.size() - counted_dead);
+        result.rank_losses += static_cast<int>(dead.size() - counted_dead);
+        counted_dead = dead.size();
+        if (survivors.size() < 2) {
+          throw UnrecoverableFault(
+              "rank loss left fewer than 2 survivors; cannot redistribute");
+        }
+        auto next_comm = std::make_unique<SurvivorComm>(
+            comm, survivors, static_cast<std::uint64_t>(dead.size()));
+        next_comm->set_phase_label("recovery");
+        // Flush between two barriers: after the first every survivor has
+        // quiesced its runtime (no new frames), so discarding pending
+        // application frames + purging stale reserved frames of older
+        // generations can never eat live traffic; nobody proceeds past
+        // the second until everyone has flushed.
+        next_comm->barrier();
+        comm.discard_pending();
+        comm.purge_stale(static_cast<std::uint64_t>(dead.size()) << 32);
+        next_comm->barrier();
+        // Cut agreement: the newest cut *every* survivor committed.  A
+        // kill during a checkpoint barrier can leave one cut of skew; the
+        // store keeps two committed generations, so the minimum is always
+        // restorable.  A negative minimum means some survivor never
+        // committed — the loss predates the first checkpoint.
+        std::vector<double> cuts(survivors.size(), 0.0);
+        cuts[static_cast<std::size_t>(next_comm->rank())] =
+            static_cast<double>(store.committed_cut());
+        next_comm->allreduce_sum(cuts.data(), cuts.size());
+        long restore_cut = static_cast<long>(nt);
+        for (const double c : cuts) {
+          restore_cut = std::min(restore_cut, static_cast<long>(c));
+        }
+        if (restore_cut < 0) {
+          throw UnrecoverableFault(
+              "rank lost before the first checkpoint commit");
+        }
+        store.discard_staged();
+        source_store.discard_staged();
+        // Re-ingest the full matrix state at the agreed cut onto the
+        // survivor grid (every tile, not just orphans: survivors may have
+        // advanced past the cut before the fault surfaced).
+        const ProcessGrid new_grid(static_cast<int>(survivors.size()));
+        auto next_mat = std::make_unique<DistSymmetricTileMatrix>(
+            a.n(), a.tile_size(), new_grid, next_comm->rank(), working);
+        next_comm->set_phase_label("restore");
+        const std::uint64_t res_t0 = steady_ns();
+        const CheckpointIo rio = restore_from_checkpoint(
+            *next_comm, store, ckpt_ranks, dead, *next_mat, restore_cut);
+        result.restored_tiles += rio.tiles;
+        result.restored_bytes += rio.bytes;
+        if (escalate) {
+          DistSymmetricTileMatrix fresh_source(
+              a.n(), a.tile_size(), new_grid, next_comm->rank(), working);
+          restore_from_checkpoint(*next_comm, source_store, ckpt_ranks, dead,
+                                  fresh_source, 0, Phase::kRestoreSource);
+          source_copy.emplace(std::move(fresh_source));
+        }
+        record_span("ckpt_restore", res_t0);
+        // Adopt the survivor topology (destroying any previous
+        // SurvivorComm folds its wire ledger into the physical comm).
+        result.comm = std::move(next_comm);
+        result.matrix = std::move(next_mat);
+        active = result.comm.get();
+        mat = result.matrix.get();
+        ckpt_ranks = survivors;
+        result.final_ranks = survivors;
+        result.last_restore_cut = restore_cut;
+        // Fresh checkpoint timeline on the new topology (new ring, new
+        // grid): re-checkpoint the restored state so a *second* loss is
+        // recoverable too.
+        store.reset();
+        source_store.reset();
+        checkpoint_all(restore_cut);
+        arm_callback(active);
+        resume_k = restore_cut;
+        need_recovery = false;
+        record_span("rank_loss_recovery", rec_t0);
+      }
+
+      if (!timeline_started) {
+        // Cut 0: the pristine input, so any loss after this point is
+        // recoverable (a loss before the first commit is not).
+        checkpoint_all(0);
+        timeline_started = true;
+      }
+
+      while (resume_k < static_cast<long>(nt)) {
+        active->set_phase_label("factorize");
+        active->fault_point(static_cast<std::uint64_t>(resume_k));
+        const long k_end =
+            std::min(resume_k + interval, static_cast<long>(nt));
+        const long local_failing = dist_potrf_attempt(
+            runtime, *active, *mat, options.factor, map_ptr,
+            static_cast<std::size_t>(resume_k),
+            static_cast<std::size_t>(k_end));
+
+        // Same deterministic breakdown verdict as dist_tiled_potrf, per
+        // round (see the escalation protocol comment there).
+        std::vector<double> status(nt, 0.0);
+        if (local_failing != 0) {
+          status[potrf_breakdown_tile(local_failing, a.tile_size(), nt)] =
+              static_cast<double>(local_failing);
+        }
+        active->allreduce_sum(status.data(), status.size());
+        std::size_t failing_tile = nt;
+        for (std::size_t t = 0; t < nt; ++t) {
+          if (status[t] != 0.0) {
+            failing_tile = t;
+            break;
+          }
+        }
+        if (failing_tile == nt) {
+          if (k_end < static_cast<long>(nt)) checkpoint_all(k_end);
+          resume_k = k_end;
+          continue;
+        }
+
+        const long failing_index = static_cast<long>(status[failing_tile]);
+        const std::size_t promoted =
+            escalate && escalations < options.factor.max_escalations
+                ? escalate_step(current, failing_tile, working)
+                : 0;
+        if (promoted == 0) {
+          // Flush exactly like the retry path (every rank is here, so the
+          // barriers align): stale frames of the aborted round must not
+          // poison a later protocol on this communicator.
+          active->barrier();
+          mat->clear_cache();
+          active->discard_pending();
+          active->barrier();
+          runtime.profiler().record_recovery(
+              report.attempts, report.events.size(), report.tiles_promoted);
+          throw NumericalError(
+              "distributed tiled Cholesky: leading minor of order " +
+                  std::to_string(failing_index) +
+                  " is not positive definite (consider a larger "
+                  "regularization alpha or higher tile precision)",
+              failing_index);
+        }
+        report.events.push_back(
+            EscalationRecord{failing_tile, failing_index, promoted});
+        report.tiles_promoted += promoted;
+        ++escalations;
+        report.attempts = escalations + 1;
+
+        // Roll back to the pristine source and restart the factorization
+        // — and the checkpoint timeline with it.  The store reset is what
+        // makes the cut-0 re-commit legal (commit() version-guards
+        // against double-applying a stale timeline); the staged state of
+        // any in-flight write was never committed and dies with it.
+        active->barrier();
+        restore_owned_tiles(*mat, *source_copy, current);
+        mat->clear_cache();
+        active->discard_pending();
+        active->barrier();
+        store.reset();
+        checkpoint_all(0);
+        resume_k = 0;
+      }
+      break;  // factorization complete
+    } catch (const PeerUnreachable& e) {
+      // A pure receive timeout carries no dead set — there is nothing to
+      // recover against, so it propagates as detection-only.
+      if (e.dead_ranks().empty()) throw;
+      need_recovery = true;
+    }
+  }
+
+  report.recovered = escalations > 0 || result.rank_losses > 0;
+  if (options.factor.precision_map != nullptr) report.final_map = current;
+  runtime.profiler().record_recovery(report.attempts, report.events.size(),
+                                     report.tiles_promoted);
+  mat->clear_cache();
+  active->set_phase_label("factorize");
+  active->barrier();
+  return result;
 }
 
 }  // namespace kgwas::dist

@@ -31,9 +31,23 @@
 // kEscalate all ranks promote the same tile band, roll their owned tiles
 // back, flush stale frames between two barriers, and re-enter the
 // factorization — keeping the recovered factor bitwise rank-invariant.
+//
+// Elastic fault tolerance (dist_tiled_potrf_ft): the factorization runs
+// in rounds of `checkpoint_interval` panel steps; each clean round ends
+// with a consistent-cut tile checkpoint (dist/checkpoint.hpp).  A rank
+// killed by fault injection surfaces on the survivors as PeerUnreachable;
+// they then agree on the dead set (it is world state, read identically by
+// every survivor), build a SurvivorComm over the remaining physical
+// ranks, flush stale frames between two barriers, agree on the newest
+// cut every survivor committed (a min-allreduce), re-ingest the matrix at
+// that cut onto the survivor grid, and resume.  Because a checkpointed
+// cut is bitwise rank-count invariant, the recovered factor is bitwise
+// identical to an undisturbed run at the survivor rank count.
 #pragma once
 
 #include <cstddef>
+#include <memory>
+#include <vector>
 
 #include "dist/communicator.hpp"
 #include "dist/dist_tile_matrix.hpp"
@@ -87,5 +101,60 @@ void dist_tiled_potrf(Runtime& runtime, Communicator& comm,
 void dist_tiled_potrs(Runtime& runtime, Communicator& comm,
                       const DistSymmetricTileMatrix& l, Matrix<float>& b,
                       int base_priority = 0);
+
+// --- Elastic fault tolerance --------------------------------------------
+
+struct DistFtOptions {
+  /// Factorization options (breakdown policy, batching, report, ...).
+  DistPotrfOptions factor;
+  /// Panel steps between consistent-cut checkpoints; <= 0 reads
+  /// KGWAS_CKPT_INTERVAL (default 4).
+  long checkpoint_interval = 0;
+};
+
+/// Outcome of a fault-tolerant factorization on a *surviving* rank (a
+/// killed rank never returns: its RankKilled unwinds to run_ranks, which
+/// absorbs it).  When ranks were lost, `comm`/`matrix` hold the survivor
+/// communicator and the re-gridded factor — the input matrix `a` is stale
+/// and must not be used; follow-up collectives (solve, gather) must run
+/// over `*comm` and `*matrix`.  Both are null on a loss-free run.
+struct DistFtResult {
+  int rank_losses = 0;             ///< ranks lost over the whole run
+  long last_restore_cut = -1;      ///< newest cut recovered from (-1: none)
+  std::uint64_t checkpoints = 0;   ///< committed checkpoint writes
+  std::uint64_t checkpoint_tiles = 0;
+  std::uint64_t checkpoint_bytes = 0;
+  std::uint64_t restored_tiles = 0;
+  std::uint64_t restored_bytes = 0;
+  std::vector<int> final_ranks;    ///< physical ranks, logical order
+  std::unique_ptr<SurvivorComm> comm;
+  std::unique_ptr<DistSymmetricTileMatrix> matrix;
+
+  bool recovered() const noexcept { return rank_losses > 0; }
+  /// Communicator follow-up phases must use.
+  Communicator& active_comm(Communicator& original) const noexcept {
+    return comm ? *comm : original;
+  }
+  /// Factor matrix follow-up phases must use.
+  DistSymmetricTileMatrix& active_matrix(
+      DistSymmetricTileMatrix& original) const noexcept {
+    return matrix ? *matrix : original;
+  }
+};
+
+/// KGWAS_CKPT_INTERVAL (default 4, min 1): panel steps between cuts.
+long configured_checkpoint_interval();
+
+/// Fault-tolerant dist_tiled_potrf: identical math and bitwise-identical
+/// results on a fault-free run (modulo checkpoint traffic); under rank
+/// loss, recovers onto the survivors as described in the header comment.
+/// Throws UnrecoverableFault when recovery is impossible (fewer than 2
+/// survivors, a loss before the first checkpoint commit, or a capture
+/// whose owner and replica holder both died); PeerUnreachable from a pure
+/// receive timeout (no dead set to recover against) propagates unchanged.
+/// Collective; ends with a barrier on the surviving communicator.
+DistFtResult dist_tiled_potrf_ft(Runtime& runtime, Communicator& comm,
+                                 DistSymmetricTileMatrix& a,
+                                 const DistFtOptions& options = {});
 
 }  // namespace kgwas::dist

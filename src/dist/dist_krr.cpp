@@ -1,5 +1,6 @@
 #include "dist/dist_krr.hpp"
 
+#include <cstdlib>
 #include <optional>
 #include <span>
 #include <utility>
@@ -98,16 +99,18 @@ PrecisionMap dist_plan_precision_map(Communicator& comm,
   return {};
 }
 
-AssociateResult dist_associate(Runtime& runtime, Communicator& comm,
-                               DistSymmetricTileMatrix& k,
-                               const Matrix<float>& phenotypes,
-                               const AssociateConfig& config) {
+namespace {
+
+/// Shared Associate prologue: regularize (the precision decision must see
+/// K + alpha*I, exactly like the shared-memory associate), record the
+/// FP32 baseline, and plan the precision map.
+AssociateResult associate_prologue(Communicator& comm,
+                                   DistSymmetricTileMatrix& k,
+                                   const Matrix<float>& phenotypes,
+                                   const AssociateConfig& config) {
   KGWAS_CHECK_ARG(phenotypes.rows() == k.n(),
                   "phenotype row count must equal kernel dimension");
   KGWAS_CHECK_ARG(config.alpha > 0.0, "alpha must be positive");
-
-  // Regularize first, exactly like the shared-memory associate: the
-  // precision decision must see K + alpha*I.
   for (std::size_t t = 0; t < k.tile_count(); ++t) {
     if (!k.is_local(t, t)) continue;
     Tile& tile = k.tile(t, t);
@@ -117,12 +120,21 @@ AssociateResult dist_associate(Runtime& runtime, Communicator& comm,
     }
     tile.from_fp32(values);
   }
-
   AssociateResult result;
   result.fp32_bytes =
       map_storage_bytes(PrecisionMap(k.tile_count(), Precision::kFp32), k.n(),
                         k.tile_size());
   result.map = dist_plan_precision_map(comm, k, config);
+  return result;
+}
+
+}  // namespace
+
+AssociateResult dist_associate(Runtime& runtime, Communicator& comm,
+                               DistSymmetricTileMatrix& k,
+                               const Matrix<float>& phenotypes,
+                               const AssociateConfig& config) {
+  AssociateResult result = associate_prologue(comm, k, phenotypes, config);
 
   DistPotrfOptions options;
   options.precision_map = &result.map;
@@ -151,6 +163,49 @@ AssociateResult dist_associate(Runtime& runtime, Communicator& comm,
   result.weights = phenotypes;
   dist_tiled_potrs(runtime, comm, k, result.weights);
   return result;
+}
+
+AssociateResult dist_associate_ft(Runtime& runtime, Communicator& comm,
+                                  DistSymmetricTileMatrix& k,
+                                  const Matrix<float>& phenotypes,
+                                  const AssociateConfig& config,
+                                  DistFtResult& ft) {
+  AssociateResult result = associate_prologue(comm, k, phenotypes, config);
+
+  DistFtOptions options;
+  options.factor.precision_map = &result.map;
+  options.factor.on_breakdown = config.on_breakdown;
+  options.factor.max_escalations = config.max_escalations;
+  options.factor.report = &result.report;
+  {
+    // The FT driver copies the rollback source internally (it must be
+    // able to re-grid it after a rank loss), so the scoped snapshot here
+    // only needs to outlive the call.
+    std::optional<DistSymmetricTileMatrix> source;
+    if (config.on_breakdown == BreakdownAction::kEscalate) {
+      source.emplace(k);
+      options.factor.source = &*source;
+    }
+    k.apply(result.map);
+    result.factor_bytes = map_storage_bytes(result.map, k.n(), k.tile_size());
+    ft = dist_tiled_potrf_ft(runtime, comm, k, options);
+  }
+  if (result.report.recovered) {
+    result.map = result.report.final_map;
+    result.factor_bytes = map_storage_bytes(result.map, k.n(), k.tile_size());
+  }
+  // On rank loss the factor lives in the re-gridded matrix and the solve
+  // must run over the survivor communicator.
+  result.weights = phenotypes;
+  dist_tiled_potrs(runtime, ft.active_comm(comm), ft.active_matrix(k),
+                   result.weights);
+  return result;
+}
+
+bool fault_tolerance_requested(const Communicator& comm) {
+  if (comm.fault_injection_active()) return true;
+  const char* ft = std::getenv("KGWAS_FT");
+  return ft != nullptr && *ft != '\0' && *ft != '0';
 }
 
 DistTileMatrix dist_build_cross_kernel(
@@ -293,7 +348,10 @@ DistKrrResult run_dist_krr(int ranks, const GwasDataset& train,
   std::vector<telemetry::TraceStream> streams(
       static_cast<std::size_t>(world));
   DistKrrResult result;
-  result.wire = run_ranks(world, [&](Communicator& comm) {
+  // A KGWAS_FAULT_PLAN in the environment arms the world's deterministic
+  // fault injector (and, via fault_tolerance_requested, routes Associate
+  // through the checkpointed factorization).
+  result.wire = run_ranks(world, FaultPlan::from_env(), [&](Communicator& comm) {
     comm.set_event_recording(telemetry_cfg.trace_enabled());
     Runtime runtime(configured_workers_per_rank(world));
     runtime.profiler().set_rank(comm.rank());
@@ -315,25 +373,48 @@ DistKrrResult run_dist_krr(int ranks, const GwasDataset& train,
 
     DistSymmetricTileMatrix kernel = dist_build_kernel_matrix(
         runtime, comm, grid, train.genotypes, train_conf, cfg.build);
+    const bool ft_enabled = fault_tolerance_requested(comm);
+    DistFtResult ft;
     AssociateResult assoc =
-        dist_associate(runtime, comm, kernel, train.phenotypes, cfg.associate);
+        ft_enabled
+            ? dist_associate_ft(runtime, comm, kernel, train.phenotypes,
+                                cfg.associate, ft)
+            : dist_associate(runtime, comm, kernel, train.phenotypes,
+                             cfg.associate);
+    // After a rank loss the remaining phases run over the survivor
+    // communicator and a grid of the survivor count; a killed rank never
+    // reaches this point (its RankKilled unwound to run_ranks).
+    Communicator& active = ft.active_comm(comm);
+    const ProcessGrid post_grid(active.size());
 
     const Matrix<float> test_conf =
         cfg.use_confounders ? test.confounders
                             : Matrix<float>(test.patients(), 0);
     DistTileMatrix cross = dist_build_cross_kernel(
-        runtime, comm, grid, test.genotypes, test_conf, train.genotypes,
-        train_conf, cfg.build);
+        runtime, active, post_grid, test.genotypes, test_conf,
+        train.genotypes, train_conf, cfg.build);
     Matrix<float> predictions =
-        dist_predict(runtime, comm, cross, assoc.weights);
+        dist_predict(runtime, active, cross, assoc.weights);
 
-    if (comm.rank() == 0) {
+    if (active.rank() == 0) {
       result.weights = std::move(assoc.weights);
       result.predictions = std::move(predictions);
       result.map = assoc.map;
       result.factor_bytes = assoc.factor_bytes;
       result.fp32_bytes = assoc.fp32_bytes;
       result.report = std::move(assoc.report);
+      if (ft_enabled) {
+        result.fault.valid = true;
+        result.fault.injection_active = comm.fault_injection_active();
+        result.fault.rank_losses = ft.rank_losses;
+        result.fault.last_restore_cut = ft.last_restore_cut;
+        result.fault.checkpoints = ft.checkpoints;
+        result.fault.checkpoint_tiles = ft.checkpoint_tiles;
+        result.fault.checkpoint_bytes = ft.checkpoint_bytes;
+        result.fault.restored_tiles = ft.restored_tiles;
+        result.fault.restored_bytes = ft.restored_bytes;
+        result.fault.final_ranks = ft.final_ranks;
+      }
     }
 
     if (telemetry_cfg.any_enabled()) {
@@ -351,6 +432,7 @@ DistKrrResult run_dist_krr(int ranks, const GwasDataset& train,
     inputs.ranks = world;
     inputs.streams = &streams;
     inputs.wire = telemetry::WireSummary::from(result.wire);
+    inputs.fault = result.fault;
     try {
       if (telemetry_cfg.trace_enabled()) {
         telemetry::write_merged_trace(

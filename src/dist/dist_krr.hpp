@@ -21,6 +21,7 @@
 #include "krr/build.hpp"
 #include "krr/model.hpp"
 #include "runtime/runtime.hpp"
+#include "telemetry/run_report.hpp"
 
 namespace kgwas::dist {
 
@@ -49,6 +50,24 @@ AssociateResult dist_associate(Runtime& runtime, Communicator& comm,
                                const Matrix<float>& phenotypes,
                                const AssociateConfig& config);
 
+/// Fault-tolerant Associate: the factorization runs through
+/// dist_tiled_potrf_ft (checkpointed rounds + rank-loss recovery), and on
+/// rank loss the solve continues over the survivor communicator and
+/// re-gridded factor.  `ft` receives the fault-tolerance outcome; after a
+/// loss the caller must run subsequent collective phases over
+/// `ft.active_comm(comm)` (and a grid of `ft.final_ranks.size()` ranks).
+/// Only surviving ranks return.
+AssociateResult dist_associate_ft(Runtime& runtime, Communicator& comm,
+                                  DistSymmetricTileMatrix& k,
+                                  const Matrix<float>& phenotypes,
+                                  const AssociateConfig& config,
+                                  DistFtResult& ft);
+
+/// True when run_dist_krr should route Associate through the
+/// fault-tolerant path: a fault-injection plan is live on `comm`, or
+/// KGWAS_FT is set to a non-zero value.
+bool fault_tolerance_requested(const Communicator& comm);
+
 /// Builds the rectangular test x train cross-kernel, owner-computes.
 DistTileMatrix dist_build_cross_kernel(
     Runtime& runtime, Communicator& comm, const ProcessGrid& grid,
@@ -76,6 +95,9 @@ struct DistKrrResult {
   /// Breakdown-recovery diagnostics of the factorization (identical on
   /// every rank; reported from rank 0).
   FactorizationReport report;
+  /// Fault-tolerance outcome (valid only when the FT path ran — see
+  /// fault_tolerance_requested); becomes the report's "fault" block.
+  telemetry::FaultSummary fault;
 };
 
 /// Convenience harness for tests and benches: spins up an in-process

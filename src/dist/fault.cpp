@@ -1,0 +1,191 @@
+#include "dist/fault.hpp"
+
+#include <cstdlib>
+
+#include "common/logging.hpp"
+
+namespace kgwas::dist {
+
+namespace {
+
+std::vector<std::string> split(const std::string& s, char sep) {
+  std::vector<std::string> out;
+  std::size_t start = 0;
+  for (;;) {
+    const std::size_t end = s.find(sep, start);
+    if (end == std::string::npos) {
+      out.push_back(s.substr(start));
+      return out;
+    }
+    out.push_back(s.substr(start, end - start));
+    start = end + 1;
+  }
+}
+
+std::string trim(const std::string& s) {
+  std::size_t b = 0, e = s.size();
+  while (b < e && std::isspace(static_cast<unsigned char>(s[b]))) ++b;
+  while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1]))) --e;
+  return s.substr(b, e - b);
+}
+
+std::uint64_t parse_u64(const std::string& value, const std::string& what) {
+  KGWAS_CHECK_ARG(!value.empty(), "fault plan: empty " + what);
+  std::uint64_t out = 0;
+  for (const char c : value) {
+    KGWAS_CHECK_ARG(c >= '0' && c <= '9',
+                    "fault plan: non-numeric " + what + " '" + value + "'");
+    out = out * 10 + static_cast<std::uint64_t>(c - '0');
+  }
+  return out;
+}
+
+}  // namespace
+
+FaultPlan FaultPlan::parse(const std::string& spec) {
+  FaultPlan plan;
+  for (const std::string& raw : split(spec, ';')) {
+    const std::string event_spec = trim(raw);
+    if (event_spec.empty()) continue;
+    const std::vector<std::string> fields = split(event_spec, ':');
+    FaultEvent event;
+    const std::string action = trim(fields[0]);
+    if (action == "kill") {
+      event.action = FaultAction::kKill;
+    } else if (action == "drop") {
+      event.action = FaultAction::kDrop;
+    } else if (action == "dup") {
+      event.action = FaultAction::kDup;
+    } else if (action == "delay") {
+      event.action = FaultAction::kDelay;
+    } else {
+      throw InvalidArgument("fault plan: unknown action '" + action + "'");
+    }
+    bool have_rank = false, have_trigger = false;
+    for (std::size_t f = 1; f < fields.size(); ++f) {
+      const std::string field = trim(fields[f]);
+      const std::size_t eq = field.find('=');
+      KGWAS_CHECK_ARG(eq != std::string::npos,
+                      "fault plan: field '" + field + "' is not key=value");
+      const std::string key = field.substr(0, eq);
+      const std::string value = field.substr(eq + 1);
+      if (key == "rank") {
+        event.rank = static_cast<int>(parse_u64(value, "rank"));
+        have_rank = true;
+      } else if (key == "send" || key == "recv" || key == "step") {
+        KGWAS_CHECK_ARG(!have_trigger,
+                        "fault plan: event has more than one trigger");
+        event.trigger = key == "send"   ? FaultTrigger::kSend
+                        : key == "recv" ? FaultTrigger::kRecv
+                                        : FaultTrigger::kStep;
+        event.n = parse_u64(value, "trigger count");
+        have_trigger = true;
+      } else if (key == "ms") {
+        event.delay_ms = parse_u64(value, "delay");
+      } else {
+        throw InvalidArgument("fault plan: unknown field '" + key + "'");
+      }
+    }
+    KGWAS_CHECK_ARG(have_rank, "fault plan: event is missing rank=");
+    KGWAS_CHECK_ARG(have_trigger,
+                    "fault plan: event is missing its send=/recv=/step= trigger");
+    KGWAS_CHECK_ARG(
+        event.trigger == FaultTrigger::kStep || event.n >= 1,
+        "fault plan: send/recv trigger counts are 1-based");
+    plan.events.push_back(event);
+  }
+  return plan;
+}
+
+FaultPlan FaultPlan::from_env() {
+  const char* spec = std::getenv("KGWAS_FAULT_PLAN");
+  if (spec == nullptr || *spec == '\0') return {};
+  try {
+    return parse(spec);
+  } catch (const InvalidArgument& e) {
+    KGWAS_LOG_WARN("ignoring malformed KGWAS_FAULT_PLAN: " << e.what());
+    return {};
+  }
+}
+
+FaultInjector::FaultInjector(FaultPlan plan, int ranks) : plan_(std::move(plan)) {
+  const std::size_t n = static_cast<std::size_t>(ranks < 1 ? 1 : ranks);
+  rank_active_.assign(n, false);
+  sends_ = std::make_unique<std::atomic<std::uint64_t>[]>(n);
+  recvs_ = std::make_unique<std::atomic<std::uint64_t>[]>(n);
+  for (std::size_t r = 0; r < n; ++r) {
+    sends_[r].store(0, std::memory_order_relaxed);
+    recvs_[r].store(0, std::memory_order_relaxed);
+  }
+  states_.reserve(plan_.events.size());
+  for (const FaultEvent& event : plan_.events) {
+    auto state = std::make_unique<EventState>();
+    state->event = event;
+    if (event.rank >= 0 && static_cast<std::size_t>(event.rank) < n) {
+      rank_active_[static_cast<std::size_t>(event.rank)] = true;
+    }
+    states_.push_back(std::move(state));
+  }
+}
+
+bool FaultInjector::active_for(int rank) const noexcept {
+  return rank >= 0 && static_cast<std::size_t>(rank) < rank_active_.size() &&
+         rank_active_[static_cast<std::size_t>(rank)];
+}
+
+bool FaultInjector::fire(EventState& s) {
+  return !s.fired.exchange(true, std::memory_order_acq_rel);
+}
+
+FaultInjector::SendFaults FaultInjector::on_send(int rank) {
+  SendFaults out;
+  if (!active_for(rank)) return out;
+  const std::uint64_t seq =
+      sends_[static_cast<std::size_t>(rank)].fetch_add(
+          1, std::memory_order_acq_rel) +
+      1;
+  for (auto& state : states_) {
+    const FaultEvent& e = state->event;
+    if (e.rank != rank || e.trigger != FaultTrigger::kSend || e.n != seq) {
+      continue;
+    }
+    if (!fire(*state)) continue;
+    switch (e.action) {
+      case FaultAction::kKill: out.kill = true; break;
+      case FaultAction::kDrop: out.drop = true; break;
+      case FaultAction::kDup: out.dup = true; break;
+      case FaultAction::kDelay: out.delay_ms = e.delay_ms; break;
+    }
+  }
+  return out;
+}
+
+bool FaultInjector::kill_on_recv(int rank) {
+  if (!active_for(rank)) return false;
+  const std::uint64_t seq =
+      recvs_[static_cast<std::size_t>(rank)].fetch_add(
+          1, std::memory_order_acq_rel) +
+      1;
+  for (auto& state : states_) {
+    const FaultEvent& e = state->event;
+    if (e.rank == rank && e.trigger == FaultTrigger::kRecv && e.n == seq &&
+        e.action == FaultAction::kKill && fire(*state)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+bool FaultInjector::kill_at_step(int rank, std::uint64_t step) {
+  if (!active_for(rank)) return false;
+  for (auto& state : states_) {
+    const FaultEvent& e = state->event;
+    if (e.rank == rank && e.trigger == FaultTrigger::kStep && e.n == step &&
+        e.action == FaultAction::kKill && fire(*state)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace kgwas::dist

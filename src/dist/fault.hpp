@@ -1,0 +1,160 @@
+// Deterministic fault injection for the in-process distributed backend,
+// plus the typed process-fault errors of the recovery protocol.
+//
+// A FaultPlan is a seed-scheduled list of communication faults — message
+// drop, duplicate, delay, and rank kill — parsed from KGWAS_FAULT_PLAN
+// (or built programmatically by tests).  The InProcessWorld threads the
+// plan through a FaultInjector whose triggers count deterministic,
+// protocol-visible events (the rank's n-th application send, its n-th
+// progress-loop receive, or reaching panel step k), so a given plan
+// produces the same fault at the same protocol point on every run —
+// SimGrid-style systematic fault exploration without a simulator.
+//
+// Grammar (events separated by ';', fields by ':'):
+//
+//   plan    := event (';' event)*
+//   event   := action ':' 'rank=' R ':' trigger '=' N [':' 'ms=' M]
+//   action  := 'kill' | 'drop' | 'dup' | 'delay'
+//   trigger := 'send'   (fires on rank R's N-th application send)
+//            | 'recv'   (fires on rank R's N-th progress-loop receive)
+//            | 'step'   (fires when rank R reaches panel step N)
+//
+// Examples:
+//   KGWAS_FAULT_PLAN="kill:rank=2:recv=3"
+//   KGWAS_FAULT_PLAN="drop:rank=0:send=1;delay:rank=1:send=2:ms=20"
+//
+// Each event fires at most once.  Reserved collective-protocol frames are
+// never faulted (the collectives are the recovery protocol's own
+// substrate); only application sends/receives count toward triggers.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.hpp"
+
+namespace kgwas::dist {
+
+/// Thrown on the rank a `kill` event targets: the rank's endpoint is
+/// declared dead world-wide (its subsequent sends are suppressed, like a
+/// crashed process whose packets stop) and this exception unwinds its
+/// thread.  run_ranks absorbs it silently — the killed rank simply
+/// disappears; survivors observe the death as PeerUnreachable.
+class RankKilled : public Error {
+ public:
+  explicit RankKilled(int rank)
+      : Error("rank " + std::to_string(rank) + " killed by fault injection"),
+        rank_(rank) {}
+  int rank() const noexcept { return rank_; }
+
+ private:
+  int rank_;
+};
+
+/// Thrown on a surviving rank when a peer becomes unreachable: either
+/// ranks were declared dead (dead_ranks() is the snapshot — the
+/// fault-tolerant factorization catches this and runs the rank-loss
+/// recovery protocol), or a deadline-armed receive exhausted its retries
+/// (dead_ranks() empty — detection only; surfaced instead of an infinite
+/// atomic::wait).
+class PeerUnreachable : public Error {
+ public:
+  PeerUnreachable(std::vector<int> dead_ranks, int rank,
+                  const std::string& detail)
+      : Error("rank " + std::to_string(rank) +
+              ": peer unreachable: " + detail),
+        dead_ranks_(std::move(dead_ranks)),
+        rank_(rank) {}
+  /// Physical ranks known dead when thrown (ascending); empty for a pure
+  /// receive timeout.
+  const std::vector<int>& dead_ranks() const noexcept { return dead_ranks_; }
+  int rank() const noexcept { return rank_; }
+
+ private:
+  std::vector<int> dead_ranks_;
+  int rank_;
+};
+
+/// Thrown (on every survivor, deterministically) when a rank loss cannot
+/// be recovered: fewer than 2 survivors remain, a tile's owner and its
+/// replica buddy both died, or the loss predates the first committed
+/// checkpoint.
+class UnrecoverableFault : public Error {
+ public:
+  explicit UnrecoverableFault(const std::string& what) : Error(what) {}
+};
+
+enum class FaultAction : std::uint8_t { kKill, kDrop, kDup, kDelay };
+enum class FaultTrigger : std::uint8_t { kSend, kRecv, kStep };
+
+struct FaultEvent {
+  FaultAction action = FaultAction::kKill;
+  int rank = -1;
+  FaultTrigger trigger = FaultTrigger::kSend;
+  std::uint64_t n = 1;         ///< occurrence (send/recv) or panel step (step)
+  std::uint64_t delay_ms = 1;  ///< sleep for delay events
+};
+
+struct FaultPlan {
+  std::vector<FaultEvent> events;
+
+  bool empty() const noexcept { return events.empty(); }
+
+  /// Parses the KGWAS_FAULT_PLAN grammar above.  Throws InvalidArgument
+  /// on a malformed spec (tests assert the grammar; from_env degrades
+  /// gracefully instead).
+  static FaultPlan parse(const std::string& spec);
+
+  /// KGWAS_FAULT_PLAN, or an empty plan when unset.  A malformed value is
+  /// logged and ignored — fault injection must never crash the run it was
+  /// meant to disturb.
+  static FaultPlan from_env();
+};
+
+/// Deterministic trigger engine over a plan: per-rank atomic event
+/// counters, each event firing exactly once.  Thread-safe (sends come
+/// from runtime workers).
+class FaultInjector {
+ public:
+  FaultInjector(FaultPlan plan, int ranks);
+
+  bool active() const noexcept { return !plan_.empty(); }
+  /// Cheap gate: does any event target `rank`?
+  bool active_for(int rank) const noexcept;
+
+  struct SendFaults {
+    bool kill = false;
+    bool drop = false;
+    bool dup = false;
+    std::uint64_t delay_ms = 0;
+  };
+
+  /// Counts one application send of `rank` and returns the faults firing
+  /// on it.
+  SendFaults on_send(int rank);
+
+  /// Counts one progress-loop receive of `rank`; true = kill fires.
+  bool kill_on_recv(int rank);
+
+  /// True when a kill event is armed for `rank` at panel step `step`
+  /// (does not count — steps are identified, not enumerated).
+  bool kill_at_step(int rank, std::uint64_t step);
+
+ private:
+  struct EventState {
+    FaultEvent event;
+    std::atomic<bool> fired{false};
+  };
+  bool fire(EventState& s);
+
+  FaultPlan plan_;
+  std::vector<std::unique_ptr<EventState>> states_;
+  std::vector<bool> rank_active_;
+  std::unique_ptr<std::atomic<std::uint64_t>[]> sends_;
+  std::unique_ptr<std::atomic<std::uint64_t>[]> recvs_;
+};
+
+}  // namespace kgwas::dist

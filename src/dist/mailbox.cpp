@@ -1,5 +1,7 @@
 #include "dist/mailbox.hpp"
 
+#include <thread>
+
 #include "telemetry/metrics.hpp"
 
 namespace kgwas::dist {
@@ -25,6 +27,18 @@ void Mailbox::push(Message message) {
   static telemetry::Counter& pushes =
       telemetry::MetricRegistry::global().counter("dist.mailbox_pushes");
   pushes.add(1);
+}
+
+bool Mailbox::wait_beyond_for(std::uint64_t seen,
+                              std::chrono::milliseconds timeout) const {
+  const auto deadline = std::chrono::steady_clock::now() + timeout;
+  for (;;) {
+    if (arrivals_.load(std::memory_order_acquire) > seen) return true;
+    if (std::chrono::steady_clock::now() >= deadline) {
+      return arrivals_.load(std::memory_order_acquire) > seen;
+    }
+    std::this_thread::sleep_for(std::chrono::microseconds(200));
+  }
 }
 
 void Mailbox::drain(std::deque<Message>& out) {

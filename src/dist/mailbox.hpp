@@ -10,6 +10,7 @@
 #pragma once
 
 #include <atomic>
+#include <chrono>
 #include <cstddef>
 #include <cstdint>
 #include <deque>
@@ -53,6 +54,14 @@ class Mailbox {
       current = arrivals_.load(std::memory_order_acquire);
     }
   }
+
+  /// Deadline-aware variant: waits until `arrivals()` exceeds `seen` or
+  /// `timeout` elapses.  Returns true when a message arrived, false on
+  /// timeout.  C++20 atomic waits have no timed form, so this polls with
+  /// short parks — only the timeout-armed receive path (KGWAS_COMM_TIMEOUT_MS)
+  /// uses it; the default path keeps the free kernel-futex wait above.
+  bool wait_beyond_for(std::uint64_t seen,
+                       std::chrono::milliseconds timeout) const;
 
  private:
   struct Node {

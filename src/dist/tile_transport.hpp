@@ -36,6 +36,10 @@ enum class Phase : std::uint64_t {
   kPredictGather = 7,///< prediction row blocks, allgather
   kGatherFull = 8,   ///< DistTileMatrix -> root full-matrix gather
   kBreakdown = 9,    ///< factorization-breakdown wake-up (recovery protocol)
+  kCheckpoint = 10,       ///< factor-state replica frames (buddy exchange)
+  kCheckpointSource = 11, ///< escalation-source replica frames
+  kRestore = 12,          ///< factor-state frames, rank-loss re-ingest
+  kRestoreSource = 13,    ///< escalation-source frames, rank-loss re-ingest
 };
 
 /// Application tag of tile (ti, tj) in `phase`; ti/tj < 2^24.
@@ -44,6 +48,18 @@ constexpr std::uint64_t make_tile_tag(Phase phase, std::size_t ti,
   return (static_cast<std::uint64_t>(phase) << 48) |
          ((static_cast<std::uint64_t>(ti) & 0xFFFFFF) << 24) |
          (static_cast<std::uint64_t>(tj) & 0xFFFFFF);
+}
+
+/// Tag of tile (ti, tj) in checkpoint/restore traffic at panel-step cut
+/// `cut`: the cut (mod 256) keeps consecutive checkpoints' frames apart
+/// even when a fast rank has started the next cut's exchange while a
+/// slow peer still drains the previous one; ti/tj < 2^20.
+constexpr std::uint64_t checkpoint_tag(Phase phase, long cut, std::size_t ti,
+                                       std::size_t tj) {
+  return (static_cast<std::uint64_t>(phase) << 48) |
+         ((static_cast<std::uint64_t>(cut) & 0xFF) << 40) |
+         ((static_cast<std::uint64_t>(ti) & 0xFFFFF) << 20) |
+         (static_cast<std::uint64_t>(tj) & 0xFFFFF);
 }
 
 /// Serialized frame size of a tile (header + storage payload).

@@ -168,6 +168,24 @@ void write_run_report_fields(JsonWriter& w, const RunReportInputs& in) {
     w.end_object();
   }
 
+  if (in.fault.valid) {
+    w.key("fault");
+    w.begin_object();
+    w.kv("injection_active", in.fault.injection_active);
+    w.kv("rank_losses", in.fault.rank_losses);
+    w.kv("last_restore_cut", in.fault.last_restore_cut);
+    w.kv("checkpoints", in.fault.checkpoints);
+    w.kv("checkpoint_tiles", in.fault.checkpoint_tiles);
+    w.kv("checkpoint_bytes", in.fault.checkpoint_bytes);
+    w.kv("restored_tiles", in.fault.restored_tiles);
+    w.kv("restored_bytes", in.fault.restored_bytes);
+    w.key("final_ranks");
+    w.begin_array();
+    for (const int r : in.fault.final_ranks) w.value(r);
+    w.end_array();
+    w.end_object();
+  }
+
   if (in.include_metrics) {
     w.key("metrics");
     w.begin_object();

@@ -69,6 +69,23 @@ struct WireSummary {
   }
 };
 
+/// Fault-tolerance outcome carried into a report ("fault" member; omitted
+/// when invalid).  Filled by the distributed pipeline from the
+/// fault-tolerant factorization's result — plain types only, so telemetry
+/// stays independent of the dist layer.
+struct FaultSummary {
+  bool valid = false;            ///< false = fault tolerance was not active
+  bool injection_active = false; ///< a KGWAS_FAULT_PLAN was live
+  int rank_losses = 0;           ///< ranks lost and recovered from
+  long last_restore_cut = -1;    ///< newest cut restored (-1: no restore)
+  std::uint64_t checkpoints = 0;
+  std::uint64_t checkpoint_tiles = 0;
+  std::uint64_t checkpoint_bytes = 0;
+  std::uint64_t restored_tiles = 0;
+  std::uint64_t restored_bytes = 0;
+  std::vector<int> final_ranks;  ///< surviving physical ranks
+};
+
 struct RunReportInputs {
   std::string phase;  ///< what ran, e.g. "associate" / "dist_krr"
   int ranks = 1;
@@ -76,6 +93,7 @@ struct RunReportInputs {
   /// recovery and kernel_classes then report zeros).
   const std::vector<TraceStream>* streams = nullptr;
   WireSummary wire;
+  FaultSummary fault;
   /// Snapshot MetricRegistry::global() into the "metrics" member.
   bool include_metrics = true;
 };
