@@ -30,12 +30,6 @@ struct CheckpointCounters {
   }
 };
 
-// Frame header layout of encode_tile: u32 rows | u32 cols | u8 precision.
-Precision frame_precision(const std::vector<std::byte>& frame) {
-  KGWAS_CHECK_ARG(frame.size() >= 9, "checkpoint frame too short");
-  return static_cast<Precision>(frame[8]);
-}
-
 }  // namespace
 
 void TileCheckpoint::stage_own(std::size_t ti, std::size_t tj,
@@ -153,15 +147,25 @@ CheckpointIo write_checkpoint(Communicator& comm, TileCheckpoint& store,
   // Stage own captures and ship replica copies to the ring buddy (sends
   // are asynchronous; posting them all before receiving the
   // predecessor's copies cannot deadlock).
+  static telemetry::Counter& tlr_ckpt_tiles =
+      telemetry::MetricRegistry::global().counter("tlr.checkpoint.tiles");
+  static telemetry::Counter& tlr_ckpt_bytes =
+      telemetry::MetricRegistry::global().counter("tlr.checkpoint.bytes");
   for (std::size_t tj = static_cast<std::size_t>(prev); tj < nt; ++tj) {
     for (std::size_t ti = tj; ti < nt; ++ti) {
       if (!a.is_local(ti, tj)) continue;
-      std::vector<std::byte> frame = encode_tile(a.tile(ti, tj));
+      const TileSlot& slot = a.slot(ti, tj);
+      // Slot frames: a compressed tile checkpoints (and replicates) at
+      // factor-byte cost and restores in factored form, bit for bit.
+      std::vector<std::byte> frame = encode_slot(slot);
       io.tiles += 1;
       io.bytes += frame.size();
+      if (slot.is_low_rank()) {
+        tlr_ckpt_tiles.add(1);
+        tlr_ckpt_bytes.add(frame.size());
+      }
       if (world > 1) {
-        comm.record_tile_payload(a.tile(ti, tj).precision(),
-                                 a.tile(ti, tj).storage_bytes());
+        comm.record_tile_payload(slot.precision(), slot.storage_bytes());
         comm.send(buddy, checkpoint_tag(data_phase, cut, ti, tj), frame);
         io.bytes += frame.size();
       }
@@ -245,12 +249,12 @@ CheckpointIo restore_from_checkpoint(SurvivorComm& comm,
       }
       const int new_owner = out.owner(ti, tj);  // logical, survivor grid
       if (comm.physical_rank(new_owner) == my_phys) {
-        decode_tile(*frame, out.tile(ti, tj));
+        decode_slot(*frame, out.slot(ti, tj));
         io.tiles += 1;
         io.bytes += frame->size();
       } else {
-        comm.record_tile_payload(frame_precision(*frame),
-                                 frame->size() - 9);
+        comm.record_tile_payload(slot_frame_precision(*frame),
+                                 slot_frame_payload_bytes(*frame));
         comm.send(new_owner, checkpoint_tag(data_phase, restore_cut, ti, tj),
                   *frame);
       }
@@ -264,7 +268,7 @@ CheckpointIo restore_from_checkpoint(SurvivorComm& comm,
       if (holder_of(ti, tj, is_replica) == my_phys) continue;
       const Message m =
           comm.recv(checkpoint_tag(data_phase, restore_cut, ti, tj));
-      decode_tile(m.payload, out.tile(ti, tj));
+      decode_slot(m.payload, out.slot(ti, tj));
       io.tiles += 1;
       io.bytes += m.payload.size();
     }

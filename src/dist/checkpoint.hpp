@@ -20,9 +20,11 @@
 // tiles are re-captured each cut, so the union of captures — newest
 // first — is always the full matrix state at the latest cut.
 //
-// Frames and versioning.  Captures reuse the dense wire frame encoding
-// (encode_tile/decode_tile: header + raw storage bytes, adopted
-// bit-for-bit on restore), stamped with their cut at commit time.  Each
+// Frames and versioning.  Captures reuse the slot wire frame encoding
+// (encode_slot/decode_slot: representation kind + header + raw storage
+// bytes, adopted bit-for-bit on restore — a compressed tile checkpoints
+// at factor-byte cost and restores in factored form), stamped with their
+// cut at commit time.  Each
 // slot retains the two newest committed captures: enough to restore the
 // previous cut when a rank dies after *some* survivors committed the
 // newer one, while a finalized tile's single last capture is retained

@@ -17,8 +17,10 @@
 #include "linalg/precision_policy.hpp"
 #include "linalg/tile_kernels.hpp"
 #include "linalg/tiled_cholesky.hpp"
+#include "linalg/tlr_kernels.hpp"
 #include "mpblas/batch.hpp"
 #include "tile/tile_pool.hpp"
+#include "tile/tile_slot.hpp"
 
 namespace kgwas::dist {
 
@@ -74,6 +76,35 @@ long dist_potrf_attempt(Runtime& runtime, Communicator& comm,
   const std::size_t ts = a.tile_size();
   const int base = options.base_priority;
   const bool batch = options.batch_trailing_update && map != nullptr;
+  const bool tlr = a.tlr_tol() > 0.0;
+
+  // Rank-bucketed TLR batch keys come from an entry-time snapshot of this
+  // rank's owned slot representations: the submission loop pipelines with
+  // worker execution, so reading live slots at submit time would race.
+  // Remote operands bucket as kTlrUnknownBucket — keys are per-rank
+  // grouping hints and need no cross-rank agreement (grouping never
+  // changes results; batched decode is bitwise identical to per-task).
+  std::unordered_map<std::uint64_t, std::uint64_t> bucket_snap;
+  if (tlr && batch) {
+    for (std::size_t tj = 0; tj < nt; ++tj) {
+      for (std::size_t ti = tj; ti < nt; ++ti) {
+        if (!a.is_local(ti, tj)) continue;
+        const TileSlot& s = a.slot(ti, tj);
+        bucket_snap.emplace(
+            (static_cast<std::uint64_t>(ti) << 32) |
+                static_cast<std::uint64_t>(tj),
+            s.is_low_rank()
+                ? mpblas::batch::tlr_rank_bucket(s.low_rank().rank())
+                : mpblas::batch::kTlrDenseBucket);
+      }
+    }
+  }
+  auto bucket_of = [&bucket_snap](std::size_t ti, std::size_t tj) {
+    const auto it = bucket_snap.find((static_cast<std::uint64_t>(ti) << 32) |
+                                     static_cast<std::uint64_t>(tj));
+    return it == bucket_snap.end() ? mpblas::batch::kTlrUnknownBucket
+                                   : it->second;
+  };
 
   HandleMap local_handle(runtime);
   std::unordered_map<std::uint64_t, DataHandle> cache_handles;
@@ -104,7 +135,7 @@ long dist_potrf_attempt(Runtime& runtime, Communicator& comm,
                      {{local_handle(k, k), Access::kRead}},
                      potrf_task_priority(base, nt, k, PotrfKernel::kTrsm)},
             [&a, &comm, dests, kk_tag, k] {
-              for (const int d : dests) send_tile(comm, d, kk_tag, a.tile(k, k));
+              for (const int d : dests) send_slot(comm, d, kk_tag, a.slot(k, k));
             });
       }
     } else if (contains(diag_consumers, me)) {
@@ -123,7 +154,7 @@ long dist_potrf_attempt(Runtime& runtime, Communicator& comm,
             [&a, m, k, kk_tag] {
               const Tile& kk =
                   a.is_local(k, k) ? a.tile(k, k) : a.cached(kk_tag);
-              tile_trsm(kk, a.tile(m, k));
+              tlr_trsm(kk, a.slot(m, k));
             });
         const auto dests =
             excluding(panel_tile_consumers(grid, nt, m, k), me);
@@ -134,7 +165,7 @@ long dist_potrf_attempt(Runtime& runtime, Communicator& comm,
                        potrf_task_priority(base, nt, k, PotrfKernel::kTrsm)},
               [&a, &comm, dests, mk_tag, m, k] {
                 for (const int d : dests) {
-                  send_tile(comm, d, mk_tag, a.tile(m, k));
+                  send_slot(comm, d, mk_tag, a.slot(m, k));
                 }
               });
         }
@@ -154,10 +185,19 @@ long dist_potrf_attempt(Runtime& runtime, Communicator& comm,
                        {local_handle(j, j), Access::kReadWrite}},
                       potrf_task_priority(base, nt, k, PotrfKernel::kSyrk)};
         auto fn = [&a, j, k, jk_tag] {
-          const Tile& ajk = a.is_local(j, k) ? a.tile(j, k) : a.cached(jk_tag);
-          tile_syrk(ajk, a.tile(j, j));
+          const TileSlot& ajk =
+              a.is_local(j, k) ? a.slot(j, k) : a.cached_slot(jk_tag);
+          tlr_syrk(ajk, a.tile(j, j));
         };
-        if (batch) {
+        if (batch && tlr) {
+          runtime.submit_batchable(
+              std::move(desc),
+              BatchKey{mpblas::batch::make_tlr_key(
+                  mpblas::batch::BatchOp::kTlrSyrk, a.tile_dim(j),
+                  a.tile_dim(j), bucket_of(j, k), bucket_of(j, k),
+                  map->get(j, j))},
+              std::move(fn));
+        } else if (batch) {
           runtime.submit_batchable(
               std::move(desc),
               BatchKey{mpblas::batch::make_key(
@@ -178,11 +218,22 @@ long dist_potrf_attempt(Runtime& runtime, Communicator& comm,
                        {local_handle(i, j), Access::kReadWrite}},
                       potrf_task_priority(base, nt, k, PotrfKernel::kGemm)};
         auto fn = [&a, i, j, k, ik_tag, jk_tag] {
-          const Tile& aik = a.is_local(i, k) ? a.tile(i, k) : a.cached(ik_tag);
-          const Tile& ajk = a.is_local(j, k) ? a.tile(j, k) : a.cached(jk_tag);
-          tile_gemm(aik, ajk, a.tile(i, j));
+          const TileSlot& aik =
+              a.is_local(i, k) ? a.slot(i, k) : a.cached_slot(ik_tag);
+          const TileSlot& ajk =
+              a.is_local(j, k) ? a.slot(j, k) : a.cached_slot(jk_tag);
+          tlr_gemm(aik, ajk, a.slot(i, j), a.tlr_tol(),
+                   a.tlr_max_rank_fraction());
         };
-        if (batch) {
+        if (batch && tlr) {
+          runtime.submit_batchable(
+              std::move(desc),
+              BatchKey{mpblas::batch::make_tlr_key(
+                  mpblas::batch::BatchOp::kTlrGemm, a.tile_dim(i),
+                  a.tile_dim(j), bucket_of(i, k), bucket_of(j, k),
+                  map->get(i, j))},
+              std::move(fn));
+        } else if (batch) {
           runtime.submit_batchable(
               std::move(desc),
               BatchKey{mpblas::batch::make_key(
@@ -210,18 +261,39 @@ long dist_potrf_attempt(Runtime& runtime, Communicator& comm,
   return 0;
 }
 
-/// Restores this rank's owned tiles from the rollback source via the
-/// shared restore_tile re-encode (identical semantics to the
-/// shared-memory restore, keeping the recovered factor bitwise
-/// rank-invariant).
-void restore_owned_tiles(DistSymmetricTileMatrix& a,
-                         const DistSymmetricTileMatrix& source,
-                         const PrecisionMap& map) {
+/// Full-triangle low-rank plan (column-packed triangle index) with this
+/// rank's owned entries filled from its slots.  Captured at factorization
+/// entry; the fault-tolerant driver allreduces it so the plan survives
+/// re-gridding onto survivors (ownership changes, the plan does not).
+std::vector<bool> capture_owned_lr_plan(const DistSymmetricTileMatrix& a) {
   const std::size_t nt = a.tile_count();
+  std::vector<bool> plan(nt * (nt + 1) / 2, false);
+  std::size_t idx = 0;
   for (std::size_t tj = 0; tj < nt; ++tj) {
-    for (std::size_t ti = tj; ti < nt; ++ti) {
+    for (std::size_t ti = tj; ti < nt; ++ti, ++idx) {
+      if (a.is_local(ti, tj) && a.slot(ti, tj).is_low_rank()) plan[idx] = true;
+    }
+  }
+  return plan;
+}
+
+/// Restores this rank's owned slots from the rollback source via the
+/// shared restore_slot re-encode / re-truncate (identical semantics to
+/// the shared-memory restore, keeping the recovered factor bitwise
+/// rank-invariant).  `plan[idx]` says whether the slot held a low-rank
+/// representation at factorization entry; an empty plan means all-dense.
+void restore_owned_slots(DistSymmetricTileMatrix& a,
+                         const DistSymmetricTileMatrix& source,
+                         const PrecisionMap& map,
+                         const std::vector<bool>& plan) {
+  const std::size_t nt = a.tile_count();
+  std::size_t idx = 0;
+  for (std::size_t tj = 0; tj < nt; ++tj) {
+    for (std::size_t ti = tj; ti < nt; ++ti, ++idx) {
       if (!a.is_local(ti, tj)) continue;
-      restore_tile(a.tile(ti, tj), source.tile(ti, tj), map.get(ti, tj));
+      const bool lr = !plan.empty() && plan[idx];
+      restore_slot(a.slot(ti, tj), source.slot(ti, tj), map.get(ti, tj), lr,
+                   a.tlr_tol(), a.tlr_max_rank_fraction());
     }
   }
 }
@@ -276,6 +348,10 @@ void dist_tiled_potrf(Runtime& runtime, Communicator& comm,
       rollback = &*snapshot;
     }
   }
+  // Rollback restores a plan-low-rank slot in factored form; ownership is
+  // fixed here, so the locally-captured plan suffices.
+  std::vector<bool> lr_plan;
+  if (escalate) lr_plan = capture_owned_lr_plan(a);
 
   for (int attempt = 0;; ++attempt) {
     report.attempts = attempt + 1;
@@ -343,7 +419,7 @@ void dist_tiled_potrf(Runtime& runtime, Communicator& comm,
     // drained) and none of the next attempt's frames exist yet, so the
     // flush can never eat live traffic.
     comm.barrier();
-    restore_owned_tiles(a, *rollback, current);
+    restore_owned_slots(a, *rollback, current, lr_plan);
     a.clear_cache();
     comm.discard_pending();
     comm.barrier();
@@ -404,7 +480,7 @@ void dist_tiled_potrs(Runtime& runtime, Communicator& comm,
                       consumers.end());
       if (l.is_local(ta, tb)) {
         for (const int d : excluding(consumers, me)) {
-          send_tile(comm, d, tag, l.tile(ta, tb));
+          send_slot(comm, d, tag, l.slot(ta, tb));
         }
       } else if (contains(consumers, me)) {
         expect_tile(tag, max_solve_priority);
@@ -419,26 +495,28 @@ void dist_tiled_potrs(Runtime& runtime, Communicator& comm,
                       Access::kRead});
     }
   };
-  auto factor_tile = [&l](std::size_t ta, std::size_t tb) -> const Tile& {
+  auto factor_tile = [&l](std::size_t ta, std::size_t tb) -> const TileSlot& {
     return l.is_local(ta, tb)
-               ? l.tile(ta, tb)
-               : l.cached(make_tile_tag(Phase::kSolveFactor, ta, tb));
+               ? l.slot(ta, tb)
+               : l.cached_slot(make_tile_tag(Phase::kSolveFactor, ta, tb));
   };
 
   // Remote RHS-block versions: decode the cached transport tile into
-  // pooled scratch at use (exact for FP32 payloads).
-  auto run_gemm_rhs = [&l, ldb, nrhs](const Tile& ltile, bool transpose,
-                                       bool xk_local, const float* xk_ptr,
-                                       std::size_t ldxk, std::uint64_t xk_tag,
-                                       float* xi, std::size_t ldxi) {
+  // pooled scratch at use (exact for FP32 payloads).  The factor operand
+  // stays a slot, so a compressed off-diagonal tile applies through its
+  // factors (tlr_gemm_rhs) bitwise identically to the shared-memory path.
+  auto run_gemm_rhs = [&l, nrhs](const TileSlot& lslot, bool transpose,
+                                 bool xk_local, const float* xk_ptr,
+                                 std::size_t ldxk, std::uint64_t xk_tag,
+                                 float* xi, std::size_t ldxi) {
     if (xk_local) {
-      tile_gemm_rhs(ltile, transpose, xk_ptr, ldxk, xi, ldxi, nrhs);
+      tlr_gemm_rhs(lslot, transpose, xk_ptr, ldxk, xi, ldxi, nrhs);
       return;
     }
     const Tile& xk = l.cached(xk_tag);
     PooledF32 scratch(TilePool::global(), xk.elements());
     xk.decode_to(scratch.data());
-    tile_gemm_rhs(ltile, transpose, scratch.data(), xk.rows(), xi, ldxi, nrhs);
+    tlr_gemm_rhs(lslot, transpose, scratch.data(), xk.rows(), xi, ldxi, nrhs);
   };
 
   // --- Forward sweep: L * Y = B.
@@ -464,7 +542,7 @@ void dist_tiled_potrs(Runtime& runtime, Communicator& comm,
             TaskDesc{"send_x_fwd", {{xh(k, 0), Access::kRead}}, trsm_priority},
             [&b, &comm, &l, remote, xk_tag, k, ts] {
               const Tile t = rows_as_tile(b, k * ts, l.tile_dim(k));
-              for (const int d : remote) send_tile(comm, d, xk_tag, t);
+              for (const int d : remote) send_dense_slot(comm, d, xk_tag, t);
             });
       }
     } else if (contains(dests, me)) {
@@ -508,7 +586,7 @@ void dist_tiled_potrs(Runtime& runtime, Communicator& comm,
             TaskDesc{"send_x_bwd", {{xh(k, 0), Access::kRead}}, trsm_priority},
             [&b, &comm, &l, remote, xk_tag, k, ts] {
               const Tile t = rows_as_tile(b, k * ts, l.tile_dim(k));
-              for (const int d : remote) send_tile(comm, d, xk_tag, t);
+              for (const int d : remote) send_dense_slot(comm, d, xk_tag, t);
             });
       }
     } else if (contains(dests, me)) {
@@ -646,6 +724,22 @@ DistFtResult dist_tiled_potrf_ft(Runtime& runtime, Communicator& comm,
       source_copy.emplace(a);
     }
   }
+  // Low-rank restore plan, replicated via allreduce (each lower tile is
+  // owned by exactly one rank, so the sum is exact) so it keeps working
+  // after a recovery re-grids ownership onto the survivors.
+  std::vector<bool> lr_plan;
+  if (escalate && a.tlr_tol() > 0.0) {
+    const std::vector<bool> owned = capture_owned_lr_plan(a);
+    std::vector<double> votes(owned.size(), 0.0);
+    for (std::size_t i = 0; i < owned.size(); ++i) {
+      votes[i] = owned[i] ? 1.0 : 0.0;
+    }
+    comm.allreduce_sum(votes.data(), votes.size());
+    lr_plan.resize(votes.size());
+    for (std::size_t i = 0; i < votes.size(); ++i) {
+      lr_plan[i] = votes[i] != 0.0;
+    }
+  }
 
   // Topology state: `active`/`mat` flip to the survivor instances after a
   // recovery; `ckpt_ranks` is the physical rank list the *committed*
@@ -766,6 +860,7 @@ DistFtResult dist_tiled_potrf_ft(Runtime& runtime, Communicator& comm,
         const ProcessGrid new_grid(static_cast<int>(survivors.size()));
         auto next_mat = std::make_unique<DistSymmetricTileMatrix>(
             a.n(), a.tile_size(), new_grid, next_comm->rank(), working);
+        next_mat->set_tlr_options(a.tlr_tol(), a.tlr_max_rank_fraction());
         next_comm->set_phase_label("restore");
         const std::uint64_t res_t0 = steady_ns();
         const CheckpointIo rio = restore_from_checkpoint(
@@ -775,6 +870,7 @@ DistFtResult dist_tiled_potrf_ft(Runtime& runtime, Communicator& comm,
         if (escalate) {
           DistSymmetricTileMatrix fresh_source(
               a.n(), a.tile_size(), new_grid, next_comm->rank(), working);
+          fresh_source.set_tlr_options(a.tlr_tol(), a.tlr_max_rank_fraction());
           restore_from_checkpoint(*next_comm, source_store, ckpt_ranks, dead,
                                   fresh_source, 0, Phase::kRestoreSource);
           source_copy.emplace(std::move(fresh_source));
@@ -873,7 +969,7 @@ DistFtResult dist_tiled_potrf_ft(Runtime& runtime, Communicator& comm,
         // against double-applying a stale timeline); the staged state of
         // any in-flight write was never committed and dies with it.
         active->barrier();
-        restore_owned_tiles(*mat, *source_copy, current);
+        restore_owned_slots(*mat, *source_copy, current, lr_plan);
         mat->clear_cache();
         active->discard_pending();
         active->barrier();

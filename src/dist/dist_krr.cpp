@@ -272,7 +272,7 @@ Matrix<float> dist_predict(Runtime& runtime, Communicator& comm,
       const std::uint64_t tag = make_tile_tag(Phase::kPredictTile, ti, tj);
       if (cross_kernel.is_local(ti, tj)) {
         if (row_owner != me) {
-          send_tile(comm, row_owner, tag, cross_kernel.tile(ti, tj));
+          send_dense_slot(comm, row_owner, tag, cross_kernel.tile(ti, tj));
         }
       } else if (row_owner == me) {
         detail::expect_tile(runtime, cross_kernel.cache_slot(tag),

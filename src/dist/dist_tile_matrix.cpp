@@ -1,9 +1,19 @@
 #include "dist/dist_tile_matrix.hpp"
 
+#include <string>
+
 #include "common/status.hpp"
 #include "dist/tile_transport.hpp"
 
 namespace kgwas::dist {
+
+namespace {
+[[noreturn]] void throw_low_rank_access(std::size_t ti, std::size_t tj) {
+  throw InvalidArgument("dense access to low-rank tile (" +
+                        std::to_string(ti) + ", " + std::to_string(tj) +
+                        "); dispatch on is_low_rank or use slot()");
+}
+}  // namespace
 
 DistSymmetricTileMatrix::DistSymmetricTileMatrix(std::size_t n,
                                                  std::size_t tile_size,
@@ -22,7 +32,7 @@ DistSymmetricTileMatrix::DistSymmetricTileMatrix(std::size_t n,
     for (std::size_t ti = tj; ti < nt_; ++ti) {
       if (is_local(ti, tj)) {
         local_.emplace(key(ti, tj),
-                       Tile(tile_dim(ti), tile_dim(tj), precision));
+                       TileSlot(Tile(tile_dim(ti), tile_dim(tj), precision)));
       }
     }
   }
@@ -34,25 +44,42 @@ std::size_t DistSymmetricTileMatrix::tile_dim(std::size_t t) const {
 }
 
 Tile& DistSymmetricTileMatrix::tile(std::size_t ti, std::size_t tj) {
-  auto it = local_.find(key(ti, tj));
-  KGWAS_CHECK_ARG(it != local_.end(),
-                  "accessed a tile this rank does not own");
-  return it->second;
+  TileSlot& s = slot(ti, tj);
+  if (s.is_low_rank()) throw_low_rank_access(ti, tj);
+  return s.dense();
 }
 
 const Tile& DistSymmetricTileMatrix::tile(std::size_t ti,
                                           std::size_t tj) const {
+  const TileSlot& s = slot(ti, tj);
+  if (s.is_low_rank()) throw_low_rank_access(ti, tj);
+  return s.dense();
+}
+
+TileSlot& DistSymmetricTileMatrix::slot(std::size_t ti, std::size_t tj) {
   auto it = local_.find(key(ti, tj));
   KGWAS_CHECK_ARG(it != local_.end(),
                   "accessed a tile this rank does not own");
   return it->second;
 }
 
-Tile& DistSymmetricTileMatrix::cache_slot(std::uint64_t tag) const {
+const TileSlot& DistSymmetricTileMatrix::slot(std::size_t ti,
+                                              std::size_t tj) const {
+  auto it = local_.find(key(ti, tj));
+  KGWAS_CHECK_ARG(it != local_.end(),
+                  "accessed a tile this rank does not own");
+  return it->second;
+}
+
+TileSlot& DistSymmetricTileMatrix::cache_slot(std::uint64_t tag) const {
   return cache_[tag];
 }
 
 const Tile& DistSymmetricTileMatrix::cached(std::uint64_t tag) const {
+  return cached_slot(tag).dense();
+}
+
+const TileSlot& DistSymmetricTileMatrix::cached_slot(std::uint64_t tag) const {
   auto it = cache_.find(tag);
   KGWAS_CHECK_ARG(it != cache_.end(), "remote tile missing from the cache");
   return it->second;
@@ -66,33 +93,34 @@ void DistSymmetricTileMatrix::clear_cache() const { cache_.clear(); }
 
 std::size_t DistSymmetricTileMatrix::cache_bytes() const {
   std::size_t total = 0;
-  for (const auto& [tag, tile] : cache_) total += tile.storage_bytes();
+  for (const auto& [tag, s] : cache_) total += s.storage_bytes();
   return total;
 }
 
 std::size_t DistSymmetricTileMatrix::local_storage_bytes() const {
   std::size_t total = 0;
-  for (const auto& [k, tile] : local_) total += tile.storage_bytes();
+  for (const auto& [k, s] : local_) total += s.storage_bytes();
   return total;
 }
 
 void DistSymmetricTileMatrix::apply(const PrecisionMap& map) {
   KGWAS_CHECK_ARG(map.tile_count() == nt_, "precision map size mismatch");
-  for (auto& [k, tile] : local_) {
+  for (auto& [k, s] : local_) {
     const auto ti = static_cast<std::size_t>(k >> 32);
     const auto tj = static_cast<std::size_t>(k & 0xFFFFFFFF);
-    tile.convert_to(map.get(ti, tj));
+    s.convert_to(map.get(ti, tj));
   }
 }
 
 void DistSymmetricTileMatrix::from_full(const SymmetricTileMatrix& full) {
   KGWAS_CHECK_ARG(full.n() == n_ && full.tile_size() == tile_size_,
                   "full matrix geometry mismatch");
-  for (auto& [k, tile] : local_) {
+  for (auto& [k, s] : local_) {
     const auto ti = static_cast<std::size_t>(k >> 32);
     const auto tj = static_cast<std::size_t>(k & 0xFFFFFFFF);
-    tile = full.tile(ti, tj);
+    s = full.slot(ti, tj);
   }
+  set_tlr_options(full.tlr_tol(), full.tlr_max_rank_fraction());
 }
 
 SymmetricTileMatrix DistSymmetricTileMatrix::gather_full(
@@ -100,22 +128,23 @@ SymmetricTileMatrix DistSymmetricTileMatrix::gather_full(
   SymmetricTileMatrix out;
   if (comm.rank() == 0) {
     out = SymmetricTileMatrix(n_, tile_size_);
+    out.set_tlr_options(tlr_tol_, tlr_max_rank_frac_);
     for (std::size_t tj = 0; tj < nt_; ++tj) {
       for (std::size_t ti = tj; ti < nt_; ++ti) {
         if (is_local(ti, tj)) {
-          out.tile(ti, tj) = tile(ti, tj);
+          out.slot(ti, tj) = slot(ti, tj);
         } else {
           const Message m =
               comm.recv(make_tile_tag(Phase::kGatherFull, ti, tj));
-          decode_tile(m.payload, out.tile(ti, tj));
+          decode_slot(m.payload, out.slot(ti, tj));
         }
       }
     }
   } else {
-    for (const auto& [k, t] : local_) {
+    for (const auto& [k, s] : local_) {
       const auto ti = static_cast<std::size_t>(k >> 32);
       const auto tj = static_cast<std::size_t>(k & 0xFFFFFFFF);
-      send_tile(comm, 0, make_tile_tag(Phase::kGatherFull, ti, tj), t);
+      send_slot(comm, 0, make_tile_tag(Phase::kGatherFull, ti, tj), s);
     }
   }
   comm.barrier();
@@ -171,19 +200,19 @@ const Tile& DistTileMatrix::tile(std::size_t ti, std::size_t tj) const {
   return it->second;
 }
 
-Tile& DistTileMatrix::cache_slot(std::uint64_t tag) { return cache_[tag]; }
+TileSlot& DistTileMatrix::cache_slot(std::uint64_t tag) { return cache_[tag]; }
 
 const Tile& DistTileMatrix::cached(std::uint64_t tag) const {
   auto it = cache_.find(tag);
   KGWAS_CHECK_ARG(it != cache_.end(), "remote tile missing from the cache");
-  return it->second;
+  return it->second.dense();
 }
 
 void DistTileMatrix::clear_cache() { cache_.clear(); }
 
 std::size_t DistTileMatrix::cache_bytes() const {
   std::size_t total = 0;
-  for (const auto& [tag, tile] : cache_) total += tile.storage_bytes();
+  for (const auto& [tag, s] : cache_) total += s.storage_bytes();
   return total;
 }
 

@@ -25,6 +25,7 @@
 #include "tile/precision_map.hpp"
 #include "tile/tile.hpp"
 #include "tile/tile_matrix.hpp"
+#include "tile/tile_slot.hpp"
 
 namespace kgwas::dist {
 
@@ -50,37 +51,58 @@ class DistSymmetricTileMatrix {
     return owner(ti, tj) == rank_;
   }
 
-  /// Locally-owned tile (requires is_local and ti >= tj).
+  /// Locally-owned dense tile (requires is_local and ti >= tj).  Throws a
+  /// typed InvalidArgument naming the tile index when the slot is held in
+  /// TLR form — representation-generic callers use slot() instead.
   Tile& tile(std::size_t ti, std::size_t tj);
   const Tile& tile(std::size_t ti, std::size_t tj) const;
 
+  /// Representation-agnostic owned-slot access (dense or low-rank).
+  TileSlot& slot(std::size_t ti, std::size_t tj);
+  const TileSlot& slot(std::size_t ti, std::size_t tj) const;
+
   /// Remote-tile cache, keyed by wire tag.  `cache_slot` creates (or
-  /// returns) the slot; the progress loop fills it via Tile::from_wire.
-  /// The cache is mutable state of a logically read-only matrix: the
-  /// distributed solve fetches remote factor tiles through it without
-  /// the factor itself changing.
-  Tile& cache_slot(std::uint64_t tag) const;
+  /// returns) the slot; the progress loop fills it via decode_slot, so a
+  /// cached entry holds whatever representation its owner shipped.
+  /// `cached` is the dense shorthand (throws on a TLR entry);
+  /// `cached_slot` is the representation-agnostic read.  The cache is
+  /// mutable state of a logically read-only matrix: the distributed
+  /// solve fetches remote factor tiles through it without the factor
+  /// itself changing.
+  TileSlot& cache_slot(std::uint64_t tag) const;
   const Tile& cached(std::uint64_t tag) const;
+  const TileSlot& cached_slot(std::uint64_t tag) const;
   bool has_cached(std::uint64_t tag) const;
   void clear_cache() const;
   std::size_t cache_tiles() const noexcept { return cache_.size(); }
   std::size_t cache_bytes() const;
 
-  /// Bytes of locally-owned tile payloads.
+  /// Bytes of locally-owned tile payloads (dense or factor bytes).
   std::size_t local_storage_bytes() const;
 
-  /// Converts owned tiles to the precisions `map` assigns (the
+  /// Converts owned slots to the precisions `map` assigns (the
   /// distributed counterpart of PrecisionMap::apply; the map itself is
   /// replicated on every rank).
   void apply(const PrecisionMap& map);
 
-  /// Copies this rank's owned tiles out of a fully-replicated matrix
-  /// (test/interop path: every rank holds the same `full`).
+  /// Copies this rank's owned slots out of a fully-replicated matrix
+  /// (test/interop path: every rank holds the same `full`), including
+  /// TLR slots and the matrix-level TLR accumulation options.
   void from_full(const SymmetricTileMatrix& full);
 
-  /// Collects every tile at rank 0 and returns the assembled matrix
-  /// there (other ranks return an empty matrix).  Ends with a barrier.
+  /// Collects every slot at rank 0 and returns the assembled matrix
+  /// there (other ranks return an empty matrix).  TLR slots gather in
+  /// factored form at factor-byte cost.  Ends with a barrier.
   SymmetricTileMatrix gather_full(Communicator& comm) const;
+
+  /// TLR accumulation contract, replicated alongside the precision map
+  /// (set by from_full or explicitly before factorizing).
+  double tlr_tol() const noexcept { return tlr_tol_; }
+  double tlr_max_rank_fraction() const noexcept { return tlr_max_rank_frac_; }
+  void set_tlr_options(double tol, double max_rank_fraction) noexcept {
+    tlr_tol_ = tol;
+    tlr_max_rank_frac_ = max_rank_fraction;
+  }
 
  private:
   static std::uint64_t key(std::size_t ti, std::size_t tj) {
@@ -91,8 +113,10 @@ class DistSymmetricTileMatrix {
   std::size_t n_ = 0, tile_size_ = 0, nt_ = 0;
   ProcessGrid grid_{1};
   int rank_ = 0;
-  std::unordered_map<std::uint64_t, Tile> local_;
-  mutable std::unordered_map<std::uint64_t, Tile> cache_;
+  std::unordered_map<std::uint64_t, TileSlot> local_;
+  mutable std::unordered_map<std::uint64_t, TileSlot> cache_;
+  double tlr_tol_ = 0.0;
+  double tlr_max_rank_frac_ = 0.5;
 };
 
 /// Rectangular m x n tiled matrix, sharded block-cyclically — the
@@ -128,7 +152,10 @@ class DistTileMatrix {
   Tile& tile(std::size_t ti, std::size_t tj);
   const Tile& tile(std::size_t ti, std::size_t tj) const;
 
-  Tile& cache_slot(std::uint64_t tag);
+  /// Remote-tile cache holds TileSlots (the drained wire format); local
+  /// tiles of the rectangular cross-kernel stay dense.  `cached` is the
+  /// dense shorthand over the slot.
+  TileSlot& cache_slot(std::uint64_t tag);
   const Tile& cached(std::uint64_t tag) const;
   void clear_cache();
   std::size_t cache_bytes() const;
@@ -146,7 +173,7 @@ class DistTileMatrix {
   ProcessGrid grid_{1};
   int rank_ = 0;
   std::unordered_map<std::uint64_t, Tile> local_;
-  std::unordered_map<std::uint64_t, Tile> cache_;
+  std::unordered_map<std::uint64_t, TileSlot> cache_;
 };
 
 }  // namespace kgwas::dist

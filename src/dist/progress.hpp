@@ -50,9 +50,11 @@ inline Message recv_any_timed(Communicator& comm) {
 }
 
 /// One expected remote tile: the cache slot the payload decodes into and
-/// the runtime event whose completion releases the consuming tasks.
+/// the runtime event whose completion releases the consuming tasks.  The
+/// slot adopts whatever representation the frame carries (dense or TLR),
+/// so one progress loop serves both.
 struct PendingRecv {
-  Tile* slot = nullptr;
+  TileSlot* slot = nullptr;
   ExternalEvent event;
 };
 
@@ -98,7 +100,7 @@ inline bool drain_expected(Runtime& runtime, Communicator& comm,
         dup_ignored.add(1);
         continue;
       }
-      decode_tile(msg.payload, *it->second.slot);
+      decode_slot(msg.payload, *it->second.slot);
       runtime.signal_external(it->second.event);
       expected.erase(it);
     }
@@ -122,8 +124,8 @@ inline bool drain_expected(Runtime& runtime, Communicator& comm,
 /// writer of `slot`'s cache handle, completed by drain_expected when the
 /// frame arrives) and records the handle so consumer tasks can declare a
 /// Read dependency on it.  The producer side mirrors this with one
-/// send_tile per (tag, consumer rank).
-inline void expect_tile(Runtime& runtime, Tile& slot,
+/// send_slot per (tag, consumer rank).
+inline void expect_tile(Runtime& runtime, TileSlot& slot,
                         std::unordered_map<std::uint64_t, DataHandle>&
                             cache_handles,
                         ExpectedMap& expected, std::uint64_t tag,

@@ -4,6 +4,7 @@
 #include <cstring>
 
 #include "common/status.hpp"
+#include "telemetry/metrics.hpp"
 
 namespace kgwas::dist {
 
@@ -38,6 +39,11 @@ void send_frame_traced(Communicator& comm, int dest, std::uint64_t tag,
 
 // Header: u32 rows | u32 cols | u8 precision, little-endian memcpy fields.
 constexpr std::size_t kHeaderBytes = 4 + 4 + 1;
+// TLR header: u32 rows | u32 cols | u8 precision | u32 rank.
+constexpr std::size_t kTlrHeaderBytes = 4 + 4 + 1 + 4;
+// Slot frame representation kinds (first byte of a slot frame).
+constexpr std::byte kSlotDense{0};
+constexpr std::byte kSlotTlr{1};
 
 void put_u32(std::byte* dst, std::uint32_t v) {
   std::memcpy(dst, &v, sizeof(v));
@@ -47,6 +53,38 @@ std::uint32_t get_u32(const std::byte* src) {
   std::uint32_t v;
   std::memcpy(&v, src, sizeof(v));
   return v;
+}
+
+// Pointer-based decode cores: the slot frame embeds a dense/TLR frame at
+// offset 1, so the cores take (data, size) and the public vector overloads
+// delegate.
+void decode_tile_frame(const std::byte* data, std::size_t size, Tile& out) {
+  KGWAS_CHECK_ARG(size >= kHeaderBytes, "tile frame too short");
+  const std::size_t rows = get_u32(data);
+  const std::size_t cols = get_u32(data + 4);
+  const auto precision = static_cast<Precision>(data[8]);
+  KGWAS_CHECK_ARG(static_cast<unsigned>(precision) < kNumPrecisions,
+                  "tile frame carries an unknown precision tag");
+  const std::size_t payload = rows * cols * bytes_per_element(precision);
+  KGWAS_CHECK_ARG(size == kHeaderBytes + payload,
+                  "tile frame payload size mismatch");
+  out.from_wire(rows, cols, precision, data + kHeaderBytes);
+}
+
+void decode_tlr_frame(const std::byte* data, std::size_t size, TlrTile& out) {
+  KGWAS_CHECK_ARG(size >= kTlrHeaderBytes, "TLR frame too short");
+  const std::size_t rows = get_u32(data);
+  const std::size_t cols = get_u32(data + 4);
+  const auto precision = static_cast<Precision>(data[8]);
+  const std::size_t rank = get_u32(data + 9);
+  KGWAS_CHECK_ARG(static_cast<unsigned>(precision) < kNumPrecisions,
+                  "TLR frame carries an unknown precision tag");
+  const std::size_t u_bytes = rows * rank * bytes_per_element(precision);
+  const std::size_t v_bytes = cols * rank * bytes_per_element(precision);
+  KGWAS_CHECK_ARG(size == kTlrHeaderBytes + u_bytes + v_bytes,
+                  "TLR frame payload size mismatch");
+  out.from_wire(rows, cols, rank, precision, data + kTlrHeaderBytes,
+                data + kTlrHeaderBytes + u_bytes);
 }
 
 }  // namespace
@@ -65,16 +103,7 @@ std::vector<std::byte> encode_tile(const Tile& tile) {
 }
 
 void decode_tile(const std::vector<std::byte>& frame, Tile& out) {
-  KGWAS_CHECK_ARG(frame.size() >= kHeaderBytes, "tile frame too short");
-  const std::size_t rows = get_u32(frame.data());
-  const std::size_t cols = get_u32(frame.data() + 4);
-  const auto precision = static_cast<Precision>(frame[8]);
-  KGWAS_CHECK_ARG(static_cast<unsigned>(precision) < kNumPrecisions,
-                  "tile frame carries an unknown precision tag");
-  const std::size_t payload = rows * cols * bytes_per_element(precision);
-  KGWAS_CHECK_ARG(frame.size() == kHeaderBytes + payload,
-                  "tile frame payload size mismatch");
-  out.from_wire(rows, cols, precision, frame.data() + kHeaderBytes);
+  decode_tile_frame(frame.data(), frame.size(), out);
 }
 
 void send_tile(Communicator& comm, int dest, std::uint64_t tag,
@@ -82,11 +111,6 @@ void send_tile(Communicator& comm, int dest, std::uint64_t tag,
   comm.record_tile_payload(tile.precision(), tile.storage_bytes());
   send_frame_traced(comm, dest, tag, encode_tile(tile));
 }
-
-namespace {
-// TLR header: u32 rows | u32 cols | u8 precision | u32 rank.
-constexpr std::size_t kTlrHeaderBytes = 4 + 4 + 1 + 4;
-}  // namespace
 
 std::size_t tlr_frame_bytes(const TlrTile& tile) {
   return kTlrHeaderBytes + tile.storage_bytes();
@@ -107,26 +131,89 @@ std::vector<std::byte> encode_tlr_tile(const TlrTile& tile) {
 }
 
 void decode_tlr_tile(const std::vector<std::byte>& frame, TlrTile& out) {
-  KGWAS_CHECK_ARG(frame.size() >= kTlrHeaderBytes, "TLR frame too short");
-  const std::size_t rows = get_u32(frame.data());
-  const std::size_t cols = get_u32(frame.data() + 4);
-  const auto precision = static_cast<Precision>(frame[8]);
-  const std::size_t rank = get_u32(frame.data() + 9);
-  KGWAS_CHECK_ARG(static_cast<unsigned>(precision) < kNumPrecisions,
-                  "TLR frame carries an unknown precision tag");
-  const std::size_t u_bytes = rows * rank * bytes_per_element(precision);
-  const std::size_t v_bytes = cols * rank * bytes_per_element(precision);
-  KGWAS_CHECK_ARG(frame.size() == kTlrHeaderBytes + u_bytes + v_bytes,
-                  "TLR frame payload size mismatch");
-  out.from_wire(rows, cols, rank, precision,
-                frame.data() + kTlrHeaderBytes,
-                frame.data() + kTlrHeaderBytes + u_bytes);
+  decode_tlr_frame(frame.data(), frame.size(), out);
 }
 
 void send_tlr_tile(Communicator& comm, int dest, std::uint64_t tag,
                    const TlrTile& tile) {
   comm.record_tile_payload(tile.precision(), tile.storage_bytes());
   send_frame_traced(comm, dest, tag, encode_tlr_tile(tile));
+}
+
+std::size_t slot_frame_bytes(const TileSlot& slot) {
+  return 1 + (slot.is_low_rank() ? tlr_frame_bytes(slot.low_rank())
+                                 : tile_frame_bytes(slot.dense()));
+}
+
+std::vector<std::byte> encode_slot(const TileSlot& slot) {
+  const std::vector<std::byte> inner = slot.is_low_rank()
+                                           ? encode_tlr_tile(slot.low_rank())
+                                           : encode_tile(slot.dense());
+  std::vector<std::byte> frame(inner.size() + 1);
+  frame[0] = slot.is_low_rank() ? kSlotTlr : kSlotDense;
+  std::memcpy(frame.data() + 1, inner.data(), inner.size());
+  return frame;
+}
+
+void decode_slot(const std::vector<std::byte>& frame, TileSlot& out) {
+  KGWAS_CHECK_ARG(!frame.empty(), "slot frame too short");
+  if (frame[0] == kSlotDense) {
+    if (out.is_low_rank()) {
+      Tile t;
+      decode_tile_frame(frame.data() + 1, frame.size() - 1, t);
+      out.set_dense(std::move(t));
+    } else {
+      // In-place adopt: a steady-state cache slot reuses its payload
+      // buffer frame after frame.
+      decode_tile_frame(frame.data() + 1, frame.size() - 1, out.dense());
+    }
+    return;
+  }
+  KGWAS_CHECK_ARG(frame[0] == kSlotTlr,
+                  "slot frame carries an unknown representation kind");
+  TlrTile t;
+  decode_tlr_frame(frame.data() + 1, frame.size() - 1, t);
+  out.set_low_rank(std::move(t));
+}
+
+void send_slot(Communicator& comm, int dest, std::uint64_t tag,
+               const TileSlot& slot) {
+  if (slot.is_low_rank()) {
+    static telemetry::Counter& frames =
+        telemetry::MetricRegistry::global().counter("tlr.wire.frames");
+    static telemetry::Counter& bytes =
+        telemetry::MetricRegistry::global().counter("tlr.wire.bytes");
+    frames.add(1);
+    bytes.add(slot.storage_bytes());
+  }
+  comm.record_tile_payload(slot.precision(), slot.storage_bytes());
+  send_frame_traced(comm, dest, tag, encode_slot(slot));
+}
+
+void send_dense_slot(Communicator& comm, int dest, std::uint64_t tag,
+                     const Tile& tile) {
+  comm.record_tile_payload(tile.precision(), tile.storage_bytes());
+  const std::vector<std::byte> inner = encode_tile(tile);
+  std::vector<std::byte> frame(inner.size() + 1);
+  frame[0] = kSlotDense;
+  std::memcpy(frame.data() + 1, inner.data(), inner.size());
+  send_frame_traced(comm, dest, tag, std::move(frame));
+}
+
+Precision slot_frame_precision(const std::vector<std::byte>& frame) {
+  KGWAS_CHECK_ARG(frame.size() >= 1 + kHeaderBytes, "slot frame too short");
+  const auto precision = static_cast<Precision>(frame[9]);
+  KGWAS_CHECK_ARG(static_cast<unsigned>(precision) < kNumPrecisions,
+                  "slot frame carries an unknown precision tag");
+  return precision;
+}
+
+std::size_t slot_frame_payload_bytes(const std::vector<std::byte>& frame) {
+  KGWAS_CHECK_ARG(frame.size() >= 1 + kHeaderBytes, "slot frame too short");
+  const std::size_t header =
+      frame[0] == kSlotTlr ? 1 + kTlrHeaderBytes : 1 + kHeaderBytes;
+  KGWAS_CHECK_ARG(frame.size() >= header, "slot frame too short");
+  return frame.size() - header;
 }
 
 }  // namespace kgwas::dist

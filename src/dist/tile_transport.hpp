@@ -21,6 +21,7 @@
 
 #include "dist/communicator.hpp"
 #include "tile/tile.hpp"
+#include "tile/tile_slot.hpp"
 #include "tile/tlr_tile.hpp"
 
 namespace kgwas::dist {
@@ -104,5 +105,47 @@ void decode_tlr_tile(const std::vector<std::byte>& frame, TlrTile& out);
 /// communicator's per-precision wire ledger.
 void send_tlr_tile(Communicator& comm, int dest, std::uint64_t tag,
                    const TlrTile& tile);
+
+// --- Slot frames ---------------------------------------------------------
+//
+// A TileSlot ships as a one-byte representation kind (0 = dense, 1 = TLR)
+// followed by the matching frame above, so one wire protocol carries both
+// representations: the progress loop adopts whatever representation the
+// owner held, bit for bit, without per-phase knowledge of which tiles are
+// compressed.  All drained traffic (factor panels, solve operands,
+// checkpoint replicas) uses slot frames; the per-precision payload ledger
+// records storage_bytes() exactly as the dense/TLR sends do, so wire
+// accounting is representation-transparent.
+
+/// Serialized frame size of a slot (kind byte + inner frame).
+std::size_t slot_frame_bytes(const TileSlot& slot);
+
+/// Serializes a slot into a self-describing frame.
+std::vector<std::byte> encode_slot(const TileSlot& slot);
+
+/// Deserializes a frame produced by encode_slot into `out`, switching its
+/// representation to the frame's.  Throws InvalidArgument on a malformed
+/// frame.
+void decode_slot(const std::vector<std::byte>& frame, TileSlot& out);
+
+/// Sends a slot to `dest`, recording its payload bytes in the
+/// communicator's per-precision wire ledger (and the tlr.wire.* counters
+/// when the slot ships in factored form).
+void send_slot(Communicator& comm, int dest, std::uint64_t tag,
+               const TileSlot& slot);
+
+/// Sends a dense tile wrapped in a slot frame, without constructing a
+/// TileSlot: the wrapper for replicated dense operands (RHS row blocks,
+/// predict tiles) whose receivers drain slot frames.
+void send_dense_slot(Communicator& comm, int dest, std::uint64_t tag,
+                     const Tile& tile);
+
+/// Storage precision a slot frame declares (ledger accounting for frames
+/// handled without decoding, e.g. checkpoint replicas held as bytes).
+Precision slot_frame_precision(const std::vector<std::byte>& frame);
+
+/// Payload bytes (headers excluded) of a slot frame at its storage
+/// precision — the wire-ledger cost of re-sending the frame.
+std::size_t slot_frame_payload_bytes(const std::vector<std::byte>& frame);
 
 }  // namespace kgwas::dist

@@ -40,10 +40,6 @@ AssociateResult associate(Runtime& runtime, SymmetricTileMatrix& k,
   KGWAS_CHECK_ARG(phenotypes.rows() == k.n(),
                   "phenotype row count must equal kernel dimension");
   KGWAS_CHECK_ARG(config.alpha > 0.0, "alpha must be positive");
-  KGWAS_CHECK_ARG(config.tlr.tol == 0.0 ||
-                      config.on_breakdown == BreakdownAction::kThrow,
-                  "TLR compression is incompatible with escalation recovery "
-                  "(set on_breakdown = kThrow or KGWAS_TLR_TOL=0)");
 
   // Regularize first: the precision decision must see K + alpha*I, whose
   // diagonal tiles dominate, exactly as the paper applies the adaptive
@@ -66,7 +62,14 @@ AssociateResult associate(Runtime& runtime, SymmetricTileMatrix& k,
     // *pre-demotion* values, so escalation can repair a wrong adaptive
     // guess whose quantization broke positive definiteness.  The copy is
     // the recovery's memory cost — one matrix at storage precision.
+    // TLR composes: the copy is compressed from the full-fidelity values
+    // before demotion, and on rollback each planned-low-rank slot is
+    // re-truncated from the dense source at the escalated precision
+    // (restore_slot).
     SymmetricTileMatrix demoted = k;
+    if (config.tlr.tol > 0.0) {
+      result.tlr = plan_tlr_compression(demoted, result.map, config.tlr);
+    }
     result.map.apply(demoted);
     result.factor_bytes = demoted.storage_bytes();
     options.source = &k;

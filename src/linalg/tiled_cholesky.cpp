@@ -1,15 +1,19 @@
 #include "linalg/tiled_cholesky.hpp"
 
+#include <cstdint>
 #include <optional>
 #include <string>
 #include <vector>
 
+#include "common/logging.hpp"
 #include "common/status.hpp"
+#include "linalg/low_rank.hpp"
 #include "linalg/precision_policy.hpp"
 #include "linalg/tile_kernels.hpp"
 #include "linalg/tlr_kernels.hpp"
 #include "mpblas/batch.hpp"
 #include "mpblas/mixed.hpp"
+#include "telemetry/metrics.hpp"
 
 namespace kgwas {
 
@@ -63,15 +67,38 @@ void tiled_potrf_attempt(Runtime& runtime, SymmetricTileMatrix& a,
   TileHandles h(runtime, nt);
   runtime.account_data_motion(tiled_potrf_data_motion_bytes(a));
 
-  // TLR mode: kernels dispatch per tile at execution time (a tile's
+  // TLR mode: kernels dispatch per slot at execution time (a tile's
   // representation can change mid-factorization when an update densifies
-  // it), and batch coalescing is off — low-rank slots have no dense
-  // payload to key a batch group on.  With no compressed tiles this flag
-  // is false and the submission loop below is the dense one, byte for
-  // byte: task op counts use tile_dim(), which equals the dense tile
-  // shapes it replaced.
+  // it).  Trailing updates still coalesce, keyed by rank bucket.  The
+  // keys come from a snapshot of every slot's representation taken here,
+  // before any task runs: workers mutate slots concurrently with the
+  // submission loop, so submit-time slot reads would race.  A slot whose
+  // representation drifts after the snapshot only lands in a stale group
+  // — each task body re-dispatches on the live slot, so grouping is a
+  // throughput hint, never a correctness input.
   const bool tlr = a.has_low_rank();
-  const bool batch = options.batch_trailing_update && !tlr;
+  const bool batch = options.batch_trailing_update;
+  struct SlotKeyInfo {
+    std::uint64_t bucket;
+    Precision prec;
+  };
+  std::vector<SlotKeyInfo> key_snap;
+  if (tlr && batch) {
+    key_snap.resize(nt * (nt + 1) / 2);
+    for (std::size_t tj = 0; tj < nt; ++tj) {
+      for (std::size_t ti = tj; ti < nt; ++ti) {
+        const TileSlot& s = a.slot(ti, tj);
+        key_snap[tj * nt - tj * (tj - 1) / 2 + (ti - tj)] = SlotKeyInfo{
+            s.is_low_rank()
+                ? mpblas::batch::tlr_rank_bucket(s.low_rank().rank())
+                : mpblas::batch::kTlrDenseBucket,
+            s.precision()};
+      }
+    }
+  }
+  auto snap = [&key_snap, nt](std::size_t ti, std::size_t tj) {
+    return key_snap[tj * nt - tj * (tj - 1) / 2 + (ti - tj)];
+  };
 
   const std::size_t ts = a.tile_size();
   for (std::size_t k = 0; k < nt; ++k) {
@@ -101,7 +128,14 @@ void tiled_potrf_attempt(Runtime& runtime, SymmetricTileMatrix& a,
                          panel_priority(base_priority, nt, k, kSyrkPrio),
                          gemm_op_count(a.tile_dim(j), a.tile_dim(j),
                                        a.tile_dim(k))};
-      if (tlr) {
+      if (tlr && batch) {
+        runtime.submit_batchable(
+            std::move(syrk_desc),
+            BatchKey{mpblas::batch::make_tlr_key(
+                mpblas::batch::BatchOp::kTlrSyrk, a.tile_dim(j), a.tile_dim(j),
+                snap(j, k).bucket, snap(j, k).bucket, snap(j, j).prec)},
+            [&a, j, k] { tlr_syrk(a, j, k); });
+      } else if (tlr) {
         runtime.submit(std::move(syrk_desc),
                        [&a, j, k] { tlr_syrk(a, j, k); });
       } else if (batch) {
@@ -121,7 +155,15 @@ void tiled_potrf_attempt(Runtime& runtime, SymmetricTileMatrix& a,
                            panel_priority(base_priority, nt, k, kGemmPrio),
                            gemm_op_count(a.tile_dim(i), a.tile_dim(j),
                                          a.tile_dim(k))};
-        if (tlr) {
+        if (tlr && batch) {
+          runtime.submit_batchable(
+              std::move(gemm_desc),
+              BatchKey{mpblas::batch::make_tlr_key(
+                  mpblas::batch::BatchOp::kTlrGemm, a.tile_dim(i),
+                  a.tile_dim(j), snap(i, k).bucket, snap(j, k).bucket,
+                  snap(i, j).prec)},
+              [&a, i, j, k] { tlr_gemm(a, i, j, k); });
+        } else if (tlr) {
           runtime.submit(std::move(gemm_desc),
                          [&a, i, j, k] { tlr_gemm(a, i, j, k); });
         } else if (batch) {
@@ -143,39 +185,95 @@ void tiled_potrf_attempt(Runtime& runtime, SymmetricTileMatrix& a,
   runtime.wait();
 }
 
-/// Restores every tile from the pre-factorization rollback source,
+/// Per-lower-slot representation plan captured at factorization entry:
+/// the restore target of every retry, immune to mid-attempt
+/// densifications (a slot the plan holds low-rank is re-compressed on
+/// rollback even if the failed attempt densified it).
+std::vector<bool> capture_lr_plan(const SymmetricTileMatrix& a) {
+  const std::size_t nt = a.tile_count();
+  std::vector<bool> plan(nt * (nt + 1) / 2, false);
+  std::size_t idx = 0;
+  for (std::size_t tj = 0; tj < nt; ++tj) {
+    for (std::size_t ti = tj; ti < nt; ++ti, ++idx) {
+      plan[idx] = a.slot(ti, tj).is_low_rank();
+    }
+  }
+  return plan;
+}
+
+/// Restores every slot from the pre-factorization rollback source,
 /// re-encoded at the (possibly escalated) precisions of `map`.  When the
 /// source holds pre-demotion values, a promoted tile is a genuinely
 /// higher-fidelity quantization of the original matrix; when it is the
 /// storage-precision snapshot fallback, promotion only stops the
-/// factorization from re-quantizing intermediate writes.
+/// factorization from re-quantizing intermediate writes.  Slots the plan
+/// holds low-rank restore in factored form (restore_slot).
 void restore_from_source(SymmetricTileMatrix& a,
                          const SymmetricTileMatrix& source,
-                         const PrecisionMap& map) {
+                         const PrecisionMap& map,
+                         const std::vector<bool>& plan) {
   const std::size_t nt = a.tile_count();
+  std::size_t idx = 0;
   for (std::size_t tj = 0; tj < nt; ++tj) {
-    for (std::size_t ti = tj; ti < nt; ++ti) {
-      restore_tile(a.tile(ti, tj), source.tile(ti, tj), map.get(ti, tj));
+    for (std::size_t ti = tj; ti < nt; ++ti, ++idx) {
+      restore_slot(a.slot(ti, tj), source.slot(ti, tj), map.get(ti, tj),
+                   plan[idx], a.tlr_tol(), a.tlr_max_rank_fraction());
     }
   }
 }
 
 }  // namespace
 
+void restore_slot(TileSlot& dst, const TileSlot& source, Precision target,
+                  bool plan_low_rank, double tol, double max_rank_fraction) {
+  if (!plan_low_rank) {
+    Tile t = source.is_low_rank()
+                 ? [&source] {
+                     Tile dense(source.rows(), source.cols(),
+                                source.precision());
+                     dense.from_fp32(source.low_rank().to_dense());
+                     return dense;
+                   }()
+                 : source.dense();
+    if (t.precision() != target) t.convert_to(target);
+    dst.set_dense(std::move(t));
+    return;
+  }
+  if (source.is_low_rank()) {
+    // Factored snapshot: copy the factor pair and re-encode at the
+    // escalated precision — exact when widening, which is the only
+    // direction escalation moves.
+    TlrTile factors = source.low_rank();
+    if (factors.precision() != target) factors.convert_to(target);
+    dst.set_low_rank(std::move(factors));
+    return;
+  }
+  // Dense (pre-demotion) source feeding a planned-low-rank slot:
+  // re-truncate the original values at the escalated precision, so the
+  // retry factors a genuinely higher-fidelity compression of the same
+  // matrix.
+  LowRankFactor factor = compress_block(source.dense().to_fp32(), tol);
+  if (tlr_rank_admissible(factor.rank(), source.rows(), source.cols(),
+                          max_rank_fraction)) {
+    dst.set_low_rank(TlrTile(factor.u, factor.v, target));
+    return;
+  }
+  static telemetry::Counter& fallbacks =
+      telemetry::MetricRegistry::global().counter("tlr.fallbacks");
+  fallbacks.add(1);
+  KGWAS_LOG_WARN("TLR rollback re-truncation inadmissible (rank "
+                 << factor.rank() << " on " << source.rows() << "x"
+                 << source.cols() << " tile); restoring dense");
+  Tile t = source.dense();
+  if (t.precision() != target) t.convert_to(target);
+  dst.set_dense(std::move(t));
+}
+
 void tiled_potrf(Runtime& runtime, SymmetricTileMatrix& a,
                  const TiledPotrfOptions& options) {
   FactorizationReport scratch;
   FactorizationReport& report = options.report ? *options.report : scratch;
   report = FactorizationReport{};
-
-  // Escalation recovery rolls tiles back from a dense snapshot and
-  // re-quantizes them — semantics a factor pair cannot honor without
-  // re-compressing the rollback source.  TLR matrices must factorize
-  // with on_breakdown == kThrow (the caller handles the retry).
-  KGWAS_CHECK_ARG(
-      !a.has_low_rank() || options.on_breakdown == BreakdownAction::kThrow,
-      "TLR-compressed matrices do not support escalation recovery; "
-      "factorize with BreakdownAction::kThrow");
 
   if (options.on_breakdown == BreakdownAction::kThrow ||
       a.tile_count() == 0) {
@@ -207,6 +305,7 @@ void tiled_potrf(Runtime& runtime, SymmetricTileMatrix& a,
     rollback = &*snapshot;
   }
   PrecisionMap current = current_precision_map(a);
+  const std::vector<bool> plan = capture_lr_plan(a);
   // The ladder caps at the working precision the diagonal carries (the
   // precision policies always keep pivot tiles at working precision).
   const Precision working = current.get(0, 0);
@@ -240,7 +339,7 @@ void tiled_potrf(Runtime& runtime, SymmetricTileMatrix& a,
       }
       report.events.push_back(EscalationRecord{t, e.index(), promoted});
       report.tiles_promoted += promoted;
-      restore_from_source(a, *rollback, current);
+      restore_from_source(a, *rollback, current, plan);
     }
   }
 }
@@ -336,10 +435,9 @@ std::size_t tiled_potrf_data_motion_bytes(const SymmetricTileMatrix& a) {
                    : (nt - k - 1);                     // SYRK + GEMM reads
       // A TLR slot moves its factor bytes, not the dense tile's — the
       // communication-volume win of the compressed representation.
-      const std::size_t bytes = a.is_low_rank(i, k)
-                                    ? a.low_rank_tile(i, k).storage_bytes()
-                                    : a.tile(i, k).storage_bytes();
-      total += bytes * consumers;
+      // TileSlot::storage_bytes is the one byte-accounting primitive
+      // shared with the wire and checkpoint ledgers.
+      total += a.slot(i, k).storage_bytes() * consumers;
     }
   }
   return total;

@@ -15,9 +15,14 @@
 // When the matrix carries TLR-compressed tiles (SymmetricTileMatrix::
 // has_low_rank, planned by plan_tlr_compression), the same submission
 // loop runs with the TLR-aware kernels of linalg/tlr_kernels.hpp: tiles
-// dispatch dense-vs-factored per slot at execution time, batch coalescing
-// is skipped, and escalation recovery is unavailable (factorize with
-// kThrow).  With no compressed tiles the dense pipeline runs bit for bit.
+// dispatch dense-vs-factored per slot at execution time.  Trailing
+// updates still coalesce, keyed by rank bucket (mpblas::batch::
+// make_tlr_key) so skinny factor products of similar rank execute
+// back-to-back under one decode scope.  Escalation recovery works on
+// compressed matrices too: the rollback re-truncates each planned-low-
+// rank slot from the rollback source at the escalated precision
+// (restore_slot below).  With no compressed tiles the dense pipeline
+// runs bit for bit.
 #pragma once
 
 #include <cstddef>
@@ -77,7 +82,10 @@ struct TiledPotrfOptions {
   /// null, a storage-precision snapshot of `a` is retained instead; that
   /// fallback can only repair breakdowns from requantization error
   /// accumulated *during* the factorization, since the snapshot's values
-  /// are already quantized.
+  /// are already quantized.  On a TLR-compressed matrix a dense source is
+  /// re-truncated per planned-low-rank slot at the escalated precision
+  /// (see restore_slot); a snapshot source restores the factor pairs
+  /// directly.
   const SymmetricTileMatrix* source = nullptr;
   /// Optional per-factorization diagnostics (attempts, escalation events,
   /// final map); always filled when non-null, in both breakdown modes.
@@ -94,6 +102,24 @@ inline void restore_tile(Tile& dst, const Tile& source, Precision target) {
   dst = source;
   if (dst.precision() != target) dst.convert_to(target);
 }
+
+/// Slot-level rollback re-encode, the TLR-aware generalization of
+/// restore_tile.  `plan_low_rank` is the slot's representation in the
+/// compression plan captured at factorization entry (ownership of the
+/// decision stays with the plan, not the possibly-densified current
+/// state):
+///  * planned dense           — dense restore_tile semantics;
+///  * planned LR, LR source   — copy the factor snapshot, re-encoded at
+///                              `target` (exact when widening);
+///  * planned LR, dense source — re-truncate the pre-demotion values at
+///                              the escalated precision (compress_block at
+///                              `tol`); an inadmissible result falls back
+///                              to a dense restore, logged and counted
+///                              under `tlr.fallbacks`.
+/// Shared by the shared-memory and distributed recovery loops so the
+/// re-encode semantics stay pinned in one place.
+void restore_slot(TileSlot& dst, const TileSlot& source, Precision target,
+                  bool plan_low_rank, double tol, double max_rank_fraction);
 
 /// Diagonal tile holding the failing leading minor a NumericalError
 /// reports (`failing_index` is the error's 1-based global column).

@@ -1,5 +1,7 @@
 #include "linalg/tlr_kernels.hpp"
 
+#include <algorithm>
+
 #include "common/status.hpp"
 #include "linalg/low_rank.hpp"
 #include "linalg/tile_kernels.hpp"
@@ -14,6 +16,17 @@ namespace {
 
 using mpblas::batch::decode_read;
 using mpblas::batch::encode_write;
+
+/// FP32 image of a tile (dense payload or one factor of a TLR pair),
+/// served through the active batch decode scope when one is live — a
+/// coalesced group reading the same panel factor decodes it once.
+Matrix<float> fp32_image(const Tile& t) {
+  Matrix<float> out(t.rows(), t.cols());
+  PooledF32 local;
+  const float* src = decode_read(t, local);
+  std::copy_n(src, t.rows() * t.cols(), out.data());
+  return out;
+}
 
 /// [left | right_scale * right] as one m x (lc + rc) matrix — the column
 /// stacking step of a low-rank accumulation.
@@ -53,36 +66,36 @@ bool tlr_rank_admissible(std::size_t rank, std::size_t m, std::size_t n,
          max_rank_fraction * static_cast<double>(m) * static_cast<double>(n);
 }
 
-void tlr_trsm(SymmetricTileMatrix& a, std::size_t i, std::size_t k) {
-  Tile& lkk = a.tile(k, k);
-  if (!a.is_low_rank(i, k)) {
-    tile_trsm(lkk, a.tile(i, k));
+// --- Slot cores ---------------------------------------------------------
+
+void tlr_trsm(const Tile& lkk, TileSlot& b) {
+  if (!b.is_low_rank()) {
+    tile_trsm(lkk, b.dense());
     return;
   }
   // B * L^-T = U * (L^-1 V)^T: the solve touches only the V factor, at
   // cost O(nb^2 r) instead of the dense O(nb^3).
-  TlrTile& b = a.low_rank_tile(i, k);
-  if (b.rank() == 0) return;
+  TlrTile& t = b.low_rank();
+  if (t.rank() == 0) return;
   PooledF32 l_scratch;
   const float* lv = decode_read(lkk, l_scratch);
-  Matrix<float> v = b.v_fp32();
+  Matrix<float> v = t.v_fp32();
   trsm(Side::kLeft, Uplo::kLower, Trans::kNoTrans, Diag::kNonUnit, v.rows(),
        v.cols(), 1.0f, lv, lkk.rows(), v.data(), v.ld());
-  b.v().from_fp32(v);
+  t.v().from_fp32(v);
 }
 
-void tlr_syrk(SymmetricTileMatrix& a, std::size_t j, std::size_t k) {
-  Tile& c = a.tile(j, j);
-  if (!a.is_low_rank(j, k)) {
-    tile_syrk(a.tile(j, k), c);
+void tlr_syrk(const TileSlot& ajk, Tile& c) {
+  if (!ajk.is_low_rank()) {
+    tile_syrk(ajk.dense(), c);
     return;
   }
   // C - (U V^T)(U V^T)^T = C - U (V^T V) U^T: one r x r core product and
   // two skinny GEMMs; the diagonal tile itself always stays dense.
-  const TlrTile& t = a.low_rank_tile(j, k);
+  const TlrTile& t = ajk.low_rank();
   if (t.rank() == 0) return;
-  const Matrix<float> u = t.u_fp32();
-  const Matrix<float> v = t.v_fp32();
+  const Matrix<float> u = fp32_image(t.u());
+  const Matrix<float> v = fp32_image(t.v());
   const Matrix<float> w = matmul(v, v, Trans::kTrans, Trans::kNoTrans);
   const Matrix<float> uw = matmul(u, w);
   PooledF32 cv(TilePool::global(), c.elements());
@@ -92,13 +105,13 @@ void tlr_syrk(SymmetricTileMatrix& a, std::size_t j, std::size_t k) {
   encode_write(c, cv.data());
 }
 
-void tlr_gemm(SymmetricTileMatrix& a, std::size_t i, std::size_t j,
-              std::size_t k) {
-  const bool a_lr = a.is_low_rank(i, k);
-  const bool b_lr = a.is_low_rank(j, k);
-  const bool c_lr = a.is_low_rank(i, j);
+void tlr_gemm(const TileSlot& aik, const TileSlot& ajk, TileSlot& cij,
+              double tol, double max_rank_fraction) {
+  const bool a_lr = aik.is_low_rank();
+  const bool b_lr = ajk.is_low_rank();
+  const bool c_lr = cij.is_low_rank();
   if (!a_lr && !b_lr && !c_lr) {
-    tile_gemm(a.tile(i, k), a.tile(j, k), a.tile(i, j));
+    tile_gemm(aik.dense(), ajk.dense(), cij.dense());
     return;
   }
 
@@ -106,56 +119,55 @@ void tlr_gemm(SymmetricTileMatrix& a, std::size_t i, std::size_t j,
   // forming the dense m x n product.
   Matrix<float> pu, pv;
   if (a_lr && b_lr) {
-    const TlrTile& ta = a.low_rank_tile(i, k);
-    const TlrTile& tb = a.low_rank_tile(j, k);
+    const TlrTile& ta = aik.low_rank();
+    const TlrTile& tb = ajk.low_rank();
     if (ta.rank() == 0 || tb.rank() == 0) return;
     // Ua (Va^T Vb) Ub^T — fold the core into whichever side keeps the
     // product at the smaller of the two ranks.
-    const Matrix<float> w =
-        matmul(ta.v_fp32(), tb.v_fp32(), Trans::kTrans, Trans::kNoTrans);
+    const Matrix<float> w = matmul(fp32_image(ta.v()), fp32_image(tb.v()),
+                                   Trans::kTrans, Trans::kNoTrans);
     if (ta.rank() <= tb.rank()) {
-      pu = ta.u_fp32();
-      pv = matmul(tb.u_fp32(), w, Trans::kNoTrans, Trans::kTrans);
+      pu = fp32_image(ta.u());
+      pv = matmul(fp32_image(tb.u()), w, Trans::kNoTrans, Trans::kTrans);
     } else {
-      pu = matmul(ta.u_fp32(), w);
-      pv = tb.u_fp32();
+      pu = matmul(fp32_image(ta.u()), w);
+      pv = fp32_image(tb.u());
     }
   } else if (a_lr) {
-    const TlrTile& ta = a.low_rank_tile(i, k);
+    const TlrTile& ta = aik.low_rank();
     if (ta.rank() == 0) return;
-    pu = ta.u_fp32();
-    pv = matmul(a.tile(j, k).to_fp32(), ta.v_fp32());
+    pu = fp32_image(ta.u());
+    pv = matmul(fp32_image(ajk.dense()), fp32_image(ta.v()));
   } else if (b_lr) {
-    const TlrTile& tb = a.low_rank_tile(j, k);
+    const TlrTile& tb = ajk.low_rank();
     if (tb.rank() == 0) return;
-    pu = matmul(a.tile(i, k).to_fp32(), tb.v_fp32());
-    pv = tb.u_fp32();
+    pu = matmul(fp32_image(aik.dense()), fp32_image(tb.v()));
+    pv = fp32_image(tb.u());
   } else {
     // Dense x dense hitting a low-rank C: the operand pair (A, B) is
     // itself a rank-k factored form of A * B^T.
-    pu = a.tile(i, k).to_fp32();
-    pv = a.tile(j, k).to_fp32();
+    pu = fp32_image(aik.dense());
+    pv = fp32_image(ajk.dense());
   }
 
   if (!c_lr) {
-    apply_dense_update(a.tile(i, j), pu, pv);
+    apply_dense_update(cij.dense(), pu, pv);
     return;
   }
 
   // Low-rank accumulation: stack [Cu | -Pu][Cv | Pv]^T and re-compress at
-  // the matrix's TLR tolerance.
-  const std::size_t m = a.tile_dim(i);
-  const std::size_t n = a.tile_dim(j);
-  const TlrTile& c = a.low_rank_tile(i, j);
-  const Precision prec = c.precision();
-  const Matrix<float> x = hstack(c.u_fp32(), pu, -1.0f);
-  const Matrix<float> y = hstack(c.v_fp32(), pv, 1.0f);
-  LowRankFactor next = recompress_product(x, y, a.tlr_tol());
+  // the accumulation tolerance.
+  const std::size_t m = cij.rows();
+  const std::size_t n = cij.cols();
+  const Precision prec = cij.low_rank().precision();
+  const Matrix<float> x = hstack(cij.low_rank().u_fp32(), pu, -1.0f);
+  const Matrix<float> y = hstack(cij.low_rank().v_fp32(), pv, 1.0f);
+  LowRankFactor next = recompress_product(x, y, tol);
   static telemetry::Counter& recompressions =
       telemetry::MetricRegistry::global().counter("tlr.recompressions");
   recompressions.add(1);
-  if (tlr_rank_admissible(next.rank(), m, n, a.tlr_max_rank_fraction())) {
-    a.set_low_rank(i, j, TlrTile(next.u, next.v, prec));
+  if (tlr_rank_admissible(next.rank(), m, n, max_rank_fraction)) {
+    cij.set_low_rank(TlrTile(next.u, next.v, prec));
   } else {
     // Crossover: the accumulated rank no longer pays.  Reconstruct the
     // OLD tile exactly from its factors, then apply this update densely —
@@ -163,19 +175,19 @@ void tlr_gemm(SymmetricTileMatrix& a, std::size_t i, std::size_t j,
     static telemetry::Counter& densifications =
         telemetry::MetricRegistry::global().counter("tlr.densifications");
     densifications.add(1);
-    a.densify(i, j);
-    apply_dense_update(a.tile(i, j), pu, pv);
+    cij.densify();
+    apply_dense_update(cij.dense(), pu, pv);
   }
 }
 
-void tlr_gemm_rhs(const SymmetricTileMatrix& l, std::size_t ti, std::size_t tj,
-                  bool transpose, const float* xk, std::size_t ldxk, float* xi,
-                  std::size_t ldxi, std::size_t ncols) {
-  if (!l.is_low_rank(ti, tj)) {
-    tile_gemm_rhs(l.tile(ti, tj), transpose, xk, ldxk, xi, ldxi, ncols);
+void tlr_gemm_rhs(const TileSlot& l, bool transpose, const float* xk,
+                  std::size_t ldxk, float* xi, std::size_t ldxi,
+                  std::size_t ncols) {
+  if (!l.is_low_rank()) {
+    tile_gemm_rhs(l.dense(), transpose, xk, ldxk, xi, ldxi, ncols);
     return;
   }
-  const TlrTile& t = l.low_rank_tile(ti, tj);
+  const TlrTile& t = l.low_rank();
   if (t.rank() == 0) return;
   const Matrix<float> u = t.u_fp32();
   const Matrix<float> v = t.v_fp32();
@@ -188,6 +200,28 @@ void tlr_gemm_rhs(const SymmetricTileMatrix& l, std::size_t ti, std::size_t tj,
        inner.data(), inner.ld(), xk, ldxk, 0.0f, tmp.data(), tmp.ld());
   gemm(Trans::kNoTrans, Trans::kNoTrans, outer.rows(), ncols, t.rank(), -1.0f,
        outer.data(), outer.ld(), tmp.data(), tmp.ld(), 1.0f, xi, ldxi);
+}
+
+// --- Matrix wrappers ----------------------------------------------------
+
+void tlr_trsm(SymmetricTileMatrix& a, std::size_t i, std::size_t k) {
+  tlr_trsm(a.tile(k, k), a.slot(i, k));
+}
+
+void tlr_syrk(SymmetricTileMatrix& a, std::size_t j, std::size_t k) {
+  tlr_syrk(a.slot(j, k), a.tile(j, j));
+}
+
+void tlr_gemm(SymmetricTileMatrix& a, std::size_t i, std::size_t j,
+              std::size_t k) {
+  tlr_gemm(a.slot(i, k), a.slot(j, k), a.slot(i, j), a.tlr_tol(),
+           a.tlr_max_rank_fraction());
+}
+
+void tlr_gemm_rhs(const SymmetricTileMatrix& l, std::size_t ti, std::size_t tj,
+                  bool transpose, const float* xk, std::size_t ldxk, float* xi,
+                  std::size_t ldxi, std::size_t ncols) {
+  tlr_gemm_rhs(l.slot(ti, tj), transpose, xk, ldxk, xi, ldxi, ncols);
 }
 
 }  // namespace kgwas

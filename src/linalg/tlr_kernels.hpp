@@ -1,11 +1,16 @@
 // TLR-aware tile kernels for the tiled Cholesky (paper Section VIII).
 //
-// These are the factored-form counterparts of linalg/tile_kernels.hpp:
-// each kernel dispatches per tile on SymmetricTileMatrix::is_low_rank at
-// *execution* time (a tile's representation can change mid-factorization
-// when a Schur update densifies it), falling back to the dense kernel
-// when every operand is dense — so a matrix with no compressed tiles runs
-// the dense pipeline bit for bit.
+// These are the factored-form counterparts of linalg/tile_kernels.hpp.
+// The primary API operates on TileSlots (tile/tile_slot.hpp): each kernel
+// dispatches per slot on is_low_rank at *execution* time (a tile's
+// representation can change mid-factorization when a Schur update
+// densifies it), falling back to the dense kernel when every operand is
+// dense — so a matrix with no compressed slots runs the dense pipeline
+// bit for bit.  Because the cores take slots rather than a matrix, the
+// shared-memory path (slots of a SymmetricTileMatrix) and the distributed
+// path (owned slots and remote-cache slots of a DistSymmetricTileMatrix)
+// run the exact same code, which is what makes the dist TLR factorization
+// bitwise identical to the shared-memory one.
 //
 // The factored algebra (HiCMA-style, U m x r / V n x r, tile = U * V^T):
 //
@@ -19,7 +24,7 @@
 //            dense x dense: the pair (A, B) is itself a rank-k factored
 //                         form of the product — no dense m x n interim.
 //   When C is itself low-rank, the update stacks factor columns
-//   [Cu | -Pu][Cv | Pv]^T and re-compresses at the matrix's TLR tolerance
+//   [Cu | -Pu][Cv | Pv]^T and re-compresses at the accumulation tolerance
 //   (recompress_product: thin QR + SVD of the small core).  If the
 //   re-compressed rank crosses the admissibility threshold
 //   rank * (m + n) > max_rank_fraction * m * n, the tile is densified —
@@ -28,12 +33,15 @@
 //
 // Skinny factor products run through gemm<float>, which routes into the
 // packed GEMM engine — the same prepacked microkernel path the dense
-// tiles use.
+// tiles use.  Operand decodes go through mpblas::batch::decode_read, so
+// inside a coalesced batch group the FP32 images of shared panel factors
+// are decoded once and reused across the group.
 #pragma once
 
 #include <cstddef>
 
 #include "tile/tile_matrix.hpp"
+#include "tile/tile_slot.hpp"
 
 namespace kgwas {
 
@@ -42,19 +50,40 @@ namespace kgwas {
 bool tlr_rank_admissible(std::size_t rank, std::size_t m, std::size_t n,
                          double max_rank_fraction);
 
-/// TRSM of tile (i, k) against the factored diagonal tile (k, k).
+// --- Slot cores (shared by the shared-memory and distributed paths) -----
+
+/// TRSM of slot `b` against the dense diagonal factor `lkk`.
+void tlr_trsm(const Tile& lkk, TileSlot& b);
+
+/// SYRK update of the dense diagonal tile `c` by slot `ajk`.
+void tlr_syrk(const TileSlot& ajk, Tile& c);
+
+/// GEMM update of slot `cij` by slots `aik` and `ajk`.  May compress,
+/// re-compress or densify `cij` in place; low-rank accumulation
+/// re-compresses at `tol` and densifies past `max_rank_fraction`.
+void tlr_gemm(const TileSlot& aik, const TileSlot& ajk, TileSlot& cij,
+              double tol, double max_rank_fraction);
+
+/// RHS GEMM update for the tiled solve: X_i <- X_i - op(L) * X_k, reading
+/// factor slot `l` in whichever representation it is held.
+void tlr_gemm_rhs(const TileSlot& l, bool transpose, const float* xk,
+                  std::size_t ldxk, float* xi, std::size_t ldxi,
+                  std::size_t ncols);
+
+// --- Matrix wrappers (shared-memory tiled Cholesky) ---------------------
+
+/// TRSM of tile (i, k) against the dense diagonal tile (k, k).
 void tlr_trsm(SymmetricTileMatrix& a, std::size_t i, std::size_t k);
 
 /// SYRK update of diagonal tile (j, j) by tile (j, k).
 void tlr_syrk(SymmetricTileMatrix& a, std::size_t j, std::size_t k);
 
-/// GEMM update of tile (i, j) by tiles (i, k) and (j, k).  May compress,
-/// re-compress or densify tile (i, j) in place.
+/// GEMM update of tile (i, j) by tiles (i, k) and (j, k), accumulating at
+/// the matrix's TLR tolerance.
 void tlr_gemm(SymmetricTileMatrix& a, std::size_t i, std::size_t j,
               std::size_t k);
 
-/// RHS GEMM update for the tiled solve: X_i <- X_i - op(L(ti, tj)) * X_k,
-/// reading L(ti, tj) in whichever representation it is held.
+/// RHS GEMM update for the tiled solve: X_i <- X_i - op(L(ti, tj)) * X_k.
 void tlr_gemm_rhs(const SymmetricTileMatrix& l, std::size_t ti, std::size_t tj,
                   bool transpose, const float* xk, std::size_t ldxk, float* xi,
                   std::size_t ldxi, std::size_t ncols);

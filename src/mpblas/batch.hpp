@@ -46,6 +46,8 @@ enum class BatchOp : std::uint8_t {
   kTrsm = 3,
   kBuild = 4,
   kPredict = 5,
+  kTlrGemm = 6,
+  kTlrSyrk = 7,
   kCustomBase = 16,
 };
 
@@ -70,6 +72,49 @@ constexpr std::uint64_t make_key(BatchOp op, std::size_t m, std::size_t n,
 std::uint64_t gemm_key(const Tile& a, const Tile& b, const Tile& c);
 /// Key of the trailing-update SYRK C -= A * A^T.
 std::uint64_t syrk_key(const Tile& a, const Tile& c);
+
+// --- TLR (rank-bucketed) keys -------------------------------------------
+//
+// A TLR trailing update's cost is governed by its operands' factor ranks,
+// not the tile shape alone, so TLR tasks coalesce by *rank bucket*:
+// power-of-two buckets keep groups homogeneous enough that one group's
+// skinny factor products share shapes within 2x, while ranks drifting by
+// one (recompression jitter) still land in the same group.
+
+/// Power-of-two rank bucket: 0 for rank 0, otherwise bit_width(rank)
+/// (1 -> 1, 2..3 -> 2, 4..7 -> 3, ...).
+constexpr std::uint64_t tlr_rank_bucket(std::size_t rank) {
+  std::uint64_t b = 0;
+  while (rank != 0) {
+    ++b;
+    rank >>= 1;
+  }
+  return b;
+}
+
+/// Bucket marker for a dense operand of a TLR-mode update (the mixed
+/// LR x dense cases group separately from LR x LR).
+inline constexpr std::uint64_t kTlrDenseBucket = 0x3E;
+/// Bucket marker for an operand whose rank is not locally known (a remote
+/// tile still in flight on the distributed path).  Keys are per-rank
+/// grouping hints only — no cross-rank consistency is required.
+inline constexpr std::uint64_t kTlrUnknownBucket = 0x3F;
+
+/// Packs (op, m, n, operand rank buckets, output precision) into a
+/// non-zero key.  The two 6-bit bucket fields replace the dense key's
+/// k-dimension and operand-precision fields: within a bucket the factor
+/// product shapes agree to within 2x, which is what the blocked executor
+/// needs to share packing and decode work.
+constexpr std::uint64_t make_tlr_key(BatchOp op, std::size_t m, std::size_t n,
+                                     std::uint64_t bucket_a,
+                                     std::uint64_t bucket_b, Precision pc) {
+  return (std::uint64_t{1} << 63) |
+         (static_cast<std::uint64_t>(op) << 48) |
+         ((static_cast<std::uint64_t>(m) & 0xFFF) << 36) |
+         ((static_cast<std::uint64_t>(n) & 0xFFF) << 24) |
+         ((bucket_a & 0x3F) << 18) | ((bucket_b & 0x3F) << 12) |
+         static_cast<std::uint64_t>(pc);
+}
 
 /// Thread-local decode-sharing scope.  While a scope is active on the
 /// executing thread, tile kernels decode read-only operands through

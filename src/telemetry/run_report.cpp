@@ -168,6 +168,29 @@ void write_run_report_fields(JsonWriter& w, const RunReportInputs& in) {
     w.end_object();
   }
 
+  // TLR block: emitted only when some tlr.* counter fired, so dense runs
+  // keep their report schema byte-compatible with earlier versions.
+  {
+    std::uint64_t tlr_total = 0;
+    std::vector<MetricSnapshot> tlr_metrics;
+    for (const MetricSnapshot& m : MetricRegistry::global().snapshot()) {
+      if (m.kind != MetricKind::kCounter ||
+          m.name.rfind("tlr.", 0) != 0) {
+        continue;
+      }
+      tlr_total += m.value;
+      tlr_metrics.push_back(m);
+    }
+    if (tlr_total != 0) {
+      w.key("tlr");
+      w.begin_object();
+      for (const MetricSnapshot& m : tlr_metrics) {
+        w.kv(m.name.substr(4), m.value);
+      }
+      w.end_object();
+    }
+  }
+
   if (in.fault.valid) {
     w.key("fault");
     w.begin_object();

@@ -50,13 +50,11 @@ double PrecisionMap::off_diagonal_fraction(Precision precision) const {
 void PrecisionMap::apply(SymmetricTileMatrix& matrix) const {
   KGWAS_CHECK_ARG(matrix.tile_count() == nt_,
                   "precision map size does not match tile matrix");
+  // TileSlot::convert_to re-encodes whichever representation the slot
+  // holds — no per-representation branching here.
   for (std::size_t tj = 0; tj < nt_; ++tj) {
     for (std::size_t ti = tj; ti < nt_; ++ti) {
-      if (matrix.is_low_rank(ti, tj)) {
-        matrix.low_rank_tile(ti, tj).convert_to(get(ti, tj));
-      } else {
-        matrix.tile(ti, tj).convert_to(get(ti, tj));
-      }
+      matrix.slot(ti, tj).convert_to(get(ti, tj));
     }
   }
 }
@@ -66,9 +64,7 @@ PrecisionMap current_precision_map(const SymmetricTileMatrix& matrix) {
   PrecisionMap map(nt);
   for (std::size_t tj = 0; tj < nt; ++tj) {
     for (std::size_t ti = tj; ti < nt; ++ti) {
-      map.set(ti, tj, matrix.is_low_rank(ti, tj)
-                          ? matrix.low_rank_tile(ti, tj).precision()
-                          : matrix.tile(ti, tj).precision());
+      map.set(ti, tj, matrix.slot(ti, tj).precision());
     }
   }
   return map;

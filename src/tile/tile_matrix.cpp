@@ -1,6 +1,7 @@
 #include "tile/tile_matrix.hpp"
 
 #include <algorithm>
+#include <string>
 
 #include "common/status.hpp"
 
@@ -84,10 +85,10 @@ SymmetricTileMatrix::SymmetricTileMatrix(std::size_t n, std::size_t tile_size,
                                          Precision precision)
     : n_(n), tile_size_(tile_size), nt_(div_up(n, tile_size)) {
   KGWAS_CHECK_ARG(tile_size > 0, "tile size must be positive");
-  tiles_.reserve(nt_ * (nt_ + 1) / 2);
+  slots_.reserve(nt_ * (nt_ + 1) / 2);
   for (std::size_t tj = 0; tj < nt_; ++tj) {
     for (std::size_t ti = tj; ti < nt_; ++ti) {
-      tiles_.emplace_back(tile_dim(ti), tile_dim(tj), precision);
+      slots_.emplace_back(Tile(tile_dim(ti), tile_dim(tj), precision));
     }
   }
 }
@@ -101,12 +102,33 @@ std::size_t SymmetricTileMatrix::index(std::size_t ti, std::size_t tj) const {
   return col_start + (ti - tj);
 }
 
+namespace {
+[[noreturn]] void throw_low_rank_access(std::size_t ti, std::size_t tj) {
+  throw InvalidArgument("dense access to low-rank tile (" +
+                        std::to_string(ti) + ", " + std::to_string(tj) +
+                        "); dispatch on is_low_rank or use slot()");
+}
+}  // namespace
+
 Tile& SymmetricTileMatrix::tile(std::size_t ti, std::size_t tj) {
-  return tiles_[index(ti, tj)];
+  TileSlot& s = slots_[index(ti, tj)];
+  if (s.is_low_rank()) throw_low_rank_access(ti, tj);
+  return s.dense();
 }
 
 const Tile& SymmetricTileMatrix::tile(std::size_t ti, std::size_t tj) const {
-  return tiles_[index(ti, tj)];
+  const TileSlot& s = slots_[index(ti, tj)];
+  if (s.is_low_rank()) throw_low_rank_access(ti, tj);
+  return s.dense();
+}
+
+TileSlot& SymmetricTileMatrix::slot(std::size_t ti, std::size_t tj) {
+  return slots_[index(ti, tj)];
+}
+
+const TileSlot& SymmetricTileMatrix::slot(std::size_t ti,
+                                          std::size_t tj) const {
+  return slots_[index(ti, tj)];
 }
 
 std::size_t SymmetricTileMatrix::tile_dim(std::size_t t) const {
@@ -132,7 +154,7 @@ Matrix<float> SymmetricTileMatrix::to_dense() const {
   for (std::size_t tj = 0; tj < nt_; ++tj) {
     for (std::size_t ti = tj; ti < nt_; ++ti) {
       if (is_low_rank(ti, tj)) {
-        const Matrix<float> rec = lr_tiles_[index(ti, tj)].to_dense();
+        const Matrix<float> rec = slots_[index(ti, tj)].low_rank().to_dense();
         for (std::size_t j = 0; j < rec.cols(); ++j) {
           for (std::size_t i = 0; i < rec.rows(); ++i) {
             const std::size_t gi = ti * tile_size_ + i;
@@ -164,34 +186,28 @@ Matrix<float> SymmetricTileMatrix::to_dense() const {
 
 std::size_t SymmetricTileMatrix::storage_bytes() const {
   std::size_t total = 0;
-  for (const auto& t : tiles_) total += t.storage_bytes();
-  for (const auto& lr : lr_tiles_) {
-    if (lr.active()) total += lr.storage_bytes();
-  }
+  for (const auto& s : slots_) total += s.storage_bytes();
   return total;
 }
 
 bool SymmetricTileMatrix::has_low_rank() const noexcept {
-  for (const auto& lr : lr_tiles_) {
-    if (lr.active()) return true;
+  for (const auto& s : slots_) {
+    if (s.is_low_rank()) return true;
   }
   return false;
 }
 
 bool SymmetricTileMatrix::is_low_rank(std::size_t ti, std::size_t tj) const {
-  if (lr_tiles_.empty()) return false;
-  return lr_tiles_[index(ti, tj)].active();
+  return slots_[index(ti, tj)].is_low_rank();
 }
 
 const TlrTile& SymmetricTileMatrix::low_rank_tile(std::size_t ti,
                                                   std::size_t tj) const {
-  KGWAS_CHECK_ARG(is_low_rank(ti, tj), "tile is not held in low-rank form");
-  return lr_tiles_[index(ti, tj)];
+  return slots_[index(ti, tj)].low_rank();
 }
 
 TlrTile& SymmetricTileMatrix::low_rank_tile(std::size_t ti, std::size_t tj) {
-  KGWAS_CHECK_ARG(is_low_rank(ti, tj), "tile is not held in low-rank form");
-  return lr_tiles_[index(ti, tj)];
+  return slots_[index(ti, tj)].low_rank();
 }
 
 void SymmetricTileMatrix::set_low_rank(std::size_t ti, std::size_t tj,
@@ -201,20 +217,11 @@ void SymmetricTileMatrix::set_low_rank(std::size_t ti, std::size_t tj,
   KGWAS_CHECK_ARG(
       factors.rows() == tile_dim(ti) && factors.cols() == tile_dim(tj),
       "TLR factor shape does not match the tile slot");
-  const std::size_t idx = index(ti, tj);
-  if (lr_tiles_.empty()) lr_tiles_.resize(tiles_.size());
-  lr_tiles_[idx] = std::move(factors);
-  tiles_[idx] = Tile{};  // release the dense payload
+  slots_[index(ti, tj)].set_low_rank(std::move(factors));
 }
 
 void SymmetricTileMatrix::densify(std::size_t ti, std::size_t tj) {
-  KGWAS_CHECK_ARG(is_low_rank(ti, tj), "densify on a dense slot");
-  const std::size_t idx = index(ti, tj);
-  TlrTile& lr = lr_tiles_[idx];
-  Tile dense(tile_dim(ti), tile_dim(tj), lr.precision());
-  dense.from_fp32(lr.to_dense());
-  tiles_[idx] = std::move(dense);
-  lr = TlrTile{};
+  slots_[index(ti, tj)].densify();
 }
 
 }  // namespace kgwas

@@ -5,10 +5,10 @@
 // the lower-triangular tiles of a symmetric matrix — exactly the layout
 // the paper's Build phase produces and the Cholesky consumes.
 //
-// `SymmetricTileMatrix` additionally carries an optional TLR sidecar:
-// any off-diagonal tile may be replaced by a low-rank U * V^T factor pair
-// (tile/tlr_tile.hpp), releasing its dense payload.  With no compressed
-// tiles (`has_low_rank() == false`, the default) every code path is
+// `SymmetricTileMatrix` stores its lower triangle as TileSlots
+// (tile/tile_slot.hpp): every off-diagonal slot holds either a dense Tile
+// or a low-rank U * V^T factor pair, uniformly.  With no compressed slots
+// (`has_low_rank() == false`, the default) every code path is
 // byte-for-byte the dense one.
 #pragma once
 
@@ -17,6 +17,7 @@
 
 #include "mpblas/matrix.hpp"
 #include "tile/tile.hpp"
+#include "tile/tile_slot.hpp"
 #include "tile/tlr_tile.hpp"
 
 namespace kgwas {
@@ -64,11 +65,17 @@ class SymmetricTileMatrix {
   std::size_t tile_size() const noexcept { return tile_size_; }
   std::size_t tile_count() const noexcept { return nt_; }
 
-  /// Lower-triangular tile access: requires ti >= tj.  For a slot held in
-  /// TLR form (is_low_rank) the dense Tile is empty — TLR-aware callers
-  /// must dispatch on is_low_rank first.
+  /// Lower-triangular dense tile access: requires ti >= tj.  Throws a
+  /// typed InvalidArgument naming the tile index when the slot is held in
+  /// TLR form — representation-generic callers use slot() instead.
   Tile& tile(std::size_t ti, std::size_t tj);
   const Tile& tile(std::size_t ti, std::size_t tj) const;
+
+  /// Representation-agnostic slot access (dense or low-rank): the
+  /// interface the TLR-aware kernels, the wire framing and the byte
+  /// accounting share.
+  TileSlot& slot(std::size_t ti, std::size_t tj);
+  const TileSlot& slot(std::size_t ti, std::size_t tj) const;
 
   std::size_t tile_dim(std::size_t t) const;
 
@@ -82,10 +89,10 @@ class SymmetricTileMatrix {
   /// the paper's memory-footprint metric, shrinking with compression.
   std::size_t storage_bytes() const;
 
-  // --- TLR sidecar -------------------------------------------------------
-  /// True when any tile is held in low-rank form.  False (the default)
+  // --- TLR representation ------------------------------------------------
+  /// True when any slot is held in low-rank form.  False (the default)
   /// guarantees the pure dense code paths run.  Computed by scanning the
-  /// sidecar (cheap: nt^2 flag reads) instead of a shared counter —
+  /// slots (cheap: nt^2 flag reads) instead of a shared counter —
   /// factorization tasks densify/compress distinct slots concurrently
   /// under the runtime's per-tile exclusivity, and a mutable counter
   /// would be the one piece of state they all share.
@@ -116,9 +123,7 @@ class SymmetricTileMatrix {
   std::size_t index(std::size_t ti, std::size_t tj) const;
 
   std::size_t n_ = 0, tile_size_ = 0, nt_ = 0;
-  std::vector<Tile> tiles_;
-  /// Lazily sized to tiles_.size(); inactive entries mean "dense slot".
-  std::vector<TlrTile> lr_tiles_;
+  std::vector<TileSlot> slots_;
   double tlr_tol_ = 0.0;
   double tlr_max_rank_frac_ = 0.5;
 };

@@ -1,0 +1,62 @@
+#include "tile/tile_slot.hpp"
+
+#include "common/status.hpp"
+
+namespace kgwas {
+
+Tile& TileSlot::dense() {
+  KGWAS_CHECK_ARG(!is_low_rank(),
+                  "dense access to a low-rank tile slot (dispatch on "
+                  "is_low_rank or densify first)");
+  return dense_;
+}
+
+const Tile& TileSlot::dense() const {
+  KGWAS_CHECK_ARG(!is_low_rank(),
+                  "dense access to a low-rank tile slot (dispatch on "
+                  "is_low_rank or densify first)");
+  return dense_;
+}
+
+TlrTile& TileSlot::low_rank() {
+  KGWAS_CHECK_ARG(is_low_rank(), "low-rank access to a dense tile slot");
+  return lr_;
+}
+
+const TlrTile& TileSlot::low_rank() const {
+  KGWAS_CHECK_ARG(is_low_rank(), "low-rank access to a dense tile slot");
+  return lr_;
+}
+
+void TileSlot::convert_to(Precision precision) {
+  if (is_low_rank()) {
+    lr_.convert_to(precision);
+  } else {
+    dense_.convert_to(precision);
+  }
+}
+
+void TileSlot::set_dense(Tile t) {
+  dense_ = std::move(t);
+  lr_ = TlrTile{};
+}
+
+void TileSlot::set_low_rank(TlrTile factors) {
+  KGWAS_CHECK_ARG(factors.active(), "inactive TLR factors");
+  lr_ = std::move(factors);
+  dense_ = Tile{};  // release the dense payload
+}
+
+void TileSlot::densify() {
+  KGWAS_CHECK_ARG(is_low_rank(), "densify on a dense slot");
+  Tile dense(lr_.rows(), lr_.cols(), lr_.precision());
+  dense.from_fp32(lr_.to_dense());
+  dense_ = std::move(dense);
+  lr_ = TlrTile{};
+}
+
+Matrix<float> TileSlot::to_fp32() const {
+  return is_low_rank() ? lr_.to_dense() : dense_.to_fp32();
+}
+
+}  // namespace kgwas

@@ -497,6 +497,170 @@ TEST(DistFaultTolerance, KillWithTwoRanksIsUnrecoverable) {
   EXPECT_THROW(ft_factor(n, ts, 2, map, plan, 2), UnrecoverableFault);
 }
 
+// ------------------------------------------------- TLR fault tolerance
+
+/// Smooth Gaussian kernel: off-diagonal tiles compress at tol 1e-4.
+Matrix<float> tlr_spd(std::size_t n) {
+  Matrix<float> k(n, n);
+  for (std::size_t j = 0; j < n; ++j) {
+    for (std::size_t i = 0; i < n; ++i) {
+      const double d = static_cast<double>(i) - static_cast<double>(j);
+      k(i, j) = static_cast<float>(std::exp(-d * d / 900.0));
+    }
+  }
+  for (std::size_t i = 0; i < n; ++i) k(i, i) += 2.0f;
+  return k;
+}
+
+/// Compressed input: TLR planning before the precision map applies.
+SymmetricTileMatrix tlr_input(std::size_t n, std::size_t ts,
+                              const PrecisionMap& map) {
+  SymmetricTileMatrix full(n, ts);
+  full.from_dense(tlr_spd(n));
+  TlrPolicy policy;
+  policy.tol = 1e-4;
+  plan_tlr_compression(full, map, policy);
+  map.apply(full);
+  return full;
+}
+
+/// Representation-aware bitwise comparison (factors_bitwise_equal's
+/// dense-only tile() access throws on a low-rank slot).
+bool slots_bitwise_equal(const SymmetricTileMatrix& a,
+                         const SymmetricTileMatrix& b) {
+  if (a.n() != b.n() || a.tile_size() != b.tile_size()) return false;
+  for (std::size_t tj = 0; tj < a.tile_count(); ++tj) {
+    for (std::size_t ti = tj; ti < a.tile_count(); ++ti) {
+      const TileSlot& sa = a.slot(ti, tj);
+      const TileSlot& sb = b.slot(ti, tj);
+      if (sa.is_low_rank() != sb.is_low_rank() ||
+          sa.precision() != sb.precision() ||
+          sa.storage_bytes() != sb.storage_bytes()) {
+        return false;
+      }
+      if (sa.is_low_rank()) {
+        const TlrTile& la = sa.low_rank();
+        const TlrTile& lb = sb.low_rank();
+        if (la.rank() != lb.rank()) return false;
+        if (la.u().storage_bytes() != 0 &&
+            (std::memcmp(la.u().raw(), lb.u().raw(),
+                         la.u().storage_bytes()) != 0 ||
+             std::memcmp(la.v().raw(), lb.v().raw(),
+                         la.v().storage_bytes()) != 0)) {
+          return false;
+        }
+      } else if (std::memcmp(sa.dense().raw(), sb.dense().raw(),
+                             sa.storage_bytes()) != 0) {
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+/// dist_tiled_potrf_ft over a compressed input, gathered on the active
+/// world's rank 0 (the TLR twin of ft_factor).
+FtOutcome tlr_ft_factor(const SymmetricTileMatrix& full, int ranks,
+                        const PrecisionMap& map, const FaultPlan& plan,
+                        long interval) {
+  const std::size_t n = full.n(), ts = full.tile_size();
+  FtOutcome outcome;
+  std::mutex mutex;
+  run_ranks(ranks, plan, [&](Communicator& comm) {
+    Runtime rt(1);
+    const ProcessGrid grid(ranks);
+    dist::DistSymmetricTileMatrix a(n, ts, grid, comm.rank());
+    a.from_full(full);
+    dist::DistFtOptions options;
+    options.factor.precision_map = &map;
+    options.checkpoint_interval = interval;
+    dist::DistFtResult result = dist::dist_tiled_potrf_ft(rt, comm, a, options);
+    Communicator& active = result.active_comm(comm);
+    SymmetricTileMatrix out = result.active_matrix(a).gather_full(active);
+    if (active.rank() == 0) {
+      std::lock_guard<std::mutex> lock(mutex);
+      outcome.factor = std::move(out);
+      outcome.rank_losses = result.rank_losses;
+      outcome.last_restore_cut = result.last_restore_cut;
+      outcome.checkpoints = result.checkpoints;
+      outcome.restored_tiles = result.restored_tiles;
+      outcome.final_ranks = result.final_ranks;
+    }
+  });
+  return outcome;
+}
+
+TEST(DistFaultTolerance, TlrCheckpointRoundTripsFactorsBitwise) {
+  // A compressed tile checkpoints at factor-byte cost and restores in
+  // factored form, bit for bit: slot frames staged in the store must
+  // decode back to identical representations, low-rank and dense alike.
+  const std::size_t n = 160, ts = 32;
+  const std::size_t nt = n / ts;
+  const PrecisionMap map(nt, Precision::kFp32);
+  const SymmetricTileMatrix full = tlr_input(n, ts, map);
+  ASSERT_TRUE(full.has_low_rank());
+  TileCheckpoint store;
+  std::size_t lr_frames = 0, dense_bytes = 0, frame_bytes = 0;
+  for (std::size_t tj = 0; tj < nt; ++tj) {
+    for (std::size_t ti = tj; ti < nt; ++ti) {
+      const TileSlot& slot = full.slot(ti, tj);
+      std::vector<std::byte> frame = dist::encode_slot(slot);
+      frame_bytes += frame.size();
+      dense_bytes += slot.rows() * slot.cols() *
+                     bytes_per_element(slot.precision());
+      if (slot.is_low_rank()) ++lr_frames;
+      store.stage_own(ti, tj, std::move(frame));
+    }
+  }
+  ASSERT_GT(lr_frames, 0u);
+  // Factor-byte cost: compressed captures undercut the dense footprint.
+  EXPECT_LT(frame_bytes, dense_bytes);
+  store.commit(0);
+  SymmetricTileMatrix back(n, ts);
+  for (std::size_t tj = 0; tj < nt; ++tj) {
+    for (std::size_t ti = tj; ti < nt; ++ti) {
+      const std::vector<std::byte>* frame = store.find_own(ti, tj, 0);
+      ASSERT_NE(frame, nullptr);
+      dist::decode_slot(*frame, back.slot(ti, tj));
+    }
+  }
+  EXPECT_TRUE(slots_bitwise_equal(full, back));
+}
+
+TEST(DistFaultTolerance, TlrKillAtRoundBoundaryRecoversBitwise) {
+  // The TLR acceptance scenario: rank 2 of 4 dies mid-TLR-factorization
+  // (after the cut-2 checkpoint committed); the survivors re-ingest the
+  // factored captures and finish bitwise identical to an undisturbed run
+  // at the survivor rank count — compressed tiles included.
+  const std::size_t n = 192, ts = 32;
+  const std::size_t nt = n / ts;
+  const PrecisionMap map =
+      band_precision_map(nt, 0.34, Precision::kFp16, Precision::kFp32);
+  const SymmetricTileMatrix full = tlr_input(n, ts, map);
+  ASSERT_TRUE(full.has_low_rank());
+
+  // Shared-memory reference factor of the same compressed input.
+  SymmetricTileMatrix reference = full;
+  {
+    Runtime rt(2);
+    tiled_potrf(rt, reference);
+  }
+
+  const FaultPlan plan = FaultPlan::parse("kill:rank=2:step=2");
+  const FtOutcome outcome = tlr_ft_factor(full, 4, map, plan, 2);
+  EXPECT_EQ(outcome.rank_losses, 1);
+  EXPECT_EQ(outcome.last_restore_cut, 2);
+  EXPECT_GT(outcome.restored_tiles, 0u);
+  ASSERT_EQ(outcome.final_ranks.size(), 3u);
+  EXPECT_TRUE(outcome.factor.has_low_rank());  // recovered in factored form
+  EXPECT_TRUE(slots_bitwise_equal(reference, outcome.factor));
+
+  // The undisturbed survivor-count run, explicitly.
+  const FtOutcome undisturbed = tlr_ft_factor(full, 3, map, FaultPlan{}, 2);
+  EXPECT_EQ(undisturbed.rank_losses, 0);
+  EXPECT_TRUE(slots_bitwise_equal(undisturbed.factor, outcome.factor));
+}
+
 TEST(DistFaultTolerance, KillBeforeFirstCommitIsUnrecoverable) {
   // Rank 2's very first application send is a cut-0 replica frame: it
   // dies inside the initial checkpoint write, before any survivor could

@@ -237,6 +237,53 @@ TEST(TileTransport, TlrSendRecordsFactorBytesInLedger) {
   });
 }
 
+TEST(TileTransport, SlotFrameRoundTripsBothRepresentations) {
+  // A slot frame is a one-byte representation kind + the matching inner
+  // frame; decode adopts whatever representation the frame carries.
+  Matrix<float> values(12, 10);
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    values.data()[i] = 0.03f * static_cast<float>(i) - 0.2f;
+  }
+  Tile dense(12, 10, Precision::kFp16);
+  dense.from_fp32(values);
+  const TileSlot dense_slot{Tile(dense)};
+  TileSlot back;
+  dist::decode_slot(dist::encode_slot(dense_slot), back);
+  ASSERT_FALSE(back.is_low_rank());
+  ASSERT_EQ(back.dense().storage_bytes(), dense.storage_bytes());
+  EXPECT_EQ(std::memcmp(back.dense().raw(), dense.raw(),
+                        dense.storage_bytes()),
+            0);
+  EXPECT_EQ(dist::slot_frame_precision(dist::encode_slot(dense_slot)),
+            Precision::kFp16);
+  EXPECT_EQ(dist::slot_frame_payload_bytes(dist::encode_slot(dense_slot)),
+            dense.storage_bytes());
+
+  Matrix<float> u(12, 2), v(10, 2);
+  for (std::size_t i = 0; i < u.size(); ++i) {
+    u.data()[i] = 0.01f * static_cast<float>(i);
+  }
+  for (std::size_t i = 0; i < v.size(); ++i) {
+    v.data()[i] = 0.02f * static_cast<float>(i) - 0.1f;
+  }
+  const TileSlot lr_slot{TlrTile(u, v, Precision::kFp16)};
+  // Decoding into a slot of the *other* representation switches it.
+  dist::decode_slot(dist::encode_slot(lr_slot), back);
+  ASSERT_TRUE(back.is_low_rank());
+  EXPECT_EQ(back.low_rank().rank(), 2u);
+  EXPECT_EQ(std::memcmp(back.low_rank().u().raw(), lr_slot.low_rank().u().raw(),
+                        lr_slot.low_rank().u().storage_bytes()),
+            0);
+  EXPECT_EQ(std::memcmp(back.low_rank().v().raw(), lr_slot.low_rank().v().raw(),
+                        lr_slot.low_rank().v().storage_bytes()),
+            0);
+  EXPECT_EQ(dist::slot_frame_payload_bytes(dist::encode_slot(lr_slot)),
+            lr_slot.storage_bytes());
+  // And back to dense again.
+  dist::decode_slot(dist::encode_slot(dense_slot), back);
+  EXPECT_FALSE(back.is_low_rank());
+}
+
 TEST(Runtime, ExternalEventGatesSuccessors) {
   Runtime rt(2);
   const DataHandle h = rt.register_data();
@@ -501,6 +548,182 @@ TEST(DistCholesky, PosvSolutionIsBitwiseRankCountInvariant) {
           << "ranks=" << ranks;
     }
   }
+}
+
+// ---------------------------------------------- TLR rank-count invariance
+
+/// Gaussian kernel over a smooth 1D geometry (the low-rank suite's
+/// fixture): off-diagonal tiles are numerically low-rank and + 2I keeps
+/// the matrix comfortably SPD at every storage precision used here.
+Matrix<float> tlr_spd(std::size_t n) {
+  Matrix<float> k(n, n);
+  for (std::size_t j = 0; j < n; ++j) {
+    for (std::size_t i = 0; i < n; ++i) {
+      const double d = static_cast<double>(i) - static_cast<double>(j);
+      k(i, j) = static_cast<float>(std::exp(-d * d / 900.0));
+    }
+  }
+  for (std::size_t i = 0; i < n; ++i) k(i, i) += 2.0f;
+  return k;
+}
+
+/// Bitwise slot comparison: representation kind, rank/precision, and raw
+/// storage bytes (both factors for a low-rank slot) must all agree.
+bool slots_bitwise_equal(const SymmetricTileMatrix& a,
+                         const SymmetricTileMatrix& b) {
+  if (a.n() != b.n() || a.tile_size() != b.tile_size()) return false;
+  for (std::size_t tj = 0; tj < a.tile_count(); ++tj) {
+    for (std::size_t ti = tj; ti < a.tile_count(); ++ti) {
+      const TileSlot& sa = a.slot(ti, tj);
+      const TileSlot& sb = b.slot(ti, tj);
+      if (sa.is_low_rank() != sb.is_low_rank()) return false;
+      if (sa.precision() != sb.precision() ||
+          sa.storage_bytes() != sb.storage_bytes()) {
+        return false;
+      }
+      if (sa.is_low_rank()) {
+        const TlrTile& la = sa.low_rank();
+        const TlrTile& lb = sb.low_rank();
+        if (la.rank() != lb.rank()) return false;
+        if (la.u().storage_bytes() != 0 &&
+            std::memcmp(la.u().raw(), lb.u().raw(),
+                        la.u().storage_bytes()) != 0) {
+          return false;
+        }
+        if (la.v().storage_bytes() != 0 &&
+            std::memcmp(la.v().raw(), lb.v().raw(),
+                        la.v().storage_bytes()) != 0) {
+          return false;
+        }
+      } else if (std::memcmp(sa.dense().raw(), sb.dense().raw(),
+                             sa.storage_bytes()) != 0) {
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+/// Builds the compressed input once: TLR planning runs BEFORE the
+/// precision map applies, so factors quantize once from full-fidelity
+/// values (the same order the KRR pipeline uses).
+SymmetricTileMatrix tlr_input(std::size_t n, std::size_t ts,
+                              const PrecisionMap& map,
+                              const TlrPolicy& policy) {
+  SymmetricTileMatrix full(n, ts);
+  full.from_dense(tlr_spd(n));
+  plan_tlr_compression(full, map, policy);
+  map.apply(full);
+  return full;
+}
+
+TEST(DistTlrCholesky, FactorAndSolveBitwiseRankCountInvariant) {
+  // The dist TLR contract: owner-computes factored kernels plus TLR wire
+  // frames must reproduce the shared-memory compressed factorization bit
+  // for bit on every process grid, and the solve on top of it too.
+  const std::size_t n = 192, ts = 32;
+  const std::size_t nt = n / ts;
+  const PrecisionMap map =
+      band_precision_map(nt, 0.34, Precision::kFp16, Precision::kFp32);
+  TlrPolicy policy;
+  policy.tol = 1e-4;
+  const SymmetricTileMatrix full = tlr_input(n, ts, map, policy);
+  ASSERT_TRUE(full.has_low_rank());  // fixture sanity: compression bit
+
+  // Shared-memory reference: factor + solve on the same compressed input.
+  SymmetricTileMatrix reference = full;
+  Matrix<float> b(n, 2);
+  for (std::size_t j = 0; j < 2; ++j) {
+    for (std::size_t i = 0; i < n; ++i) {
+      b(i, j) = 0.01f * static_cast<float>(i) - static_cast<float>(j);
+    }
+  }
+  Matrix<float> x_ref = b;
+  {
+    Runtime rt(2);
+    tiled_potrf(rt, reference);
+    tiled_potrs(rt, reference, x_ref);
+  }
+  ASSERT_TRUE(reference.has_low_rank());  // factor keeps compressed tiles
+
+  std::vector<int> rank_counts{1, 2, 4, 6};
+  const int env_ranks = dist::configured_ranks();
+  if (env_ranks > 1 && env_ranks != 2 && env_ranks != 4 && env_ranks != 6) {
+    rank_counts.push_back(env_ranks);  // KGWAS_RANKS CI job coverage
+  }
+  for (const int ranks : rank_counts) {
+    SymmetricTileMatrix gathered;
+    WireVolume wire;
+    std::mutex mutex;
+    std::vector<Matrix<float>> solutions;
+    run_ranks(ranks, [&](Communicator& comm) {
+      Runtime rt(1);
+      const ProcessGrid grid(ranks);
+      dist::DistSymmetricTileMatrix da(n, ts, grid, comm.rank());
+      da.from_full(full);
+      dist::DistPotrfOptions options;
+      options.precision_map = &map;
+      dist::dist_tiled_potrf(rt, comm, da, options);
+      Matrix<float> x = b;
+      dist::dist_tiled_potrs(rt, comm, da, x);
+      {
+        const WireVolume mine = comm.wire_volume();
+        std::lock_guard<std::mutex> lock(mutex);
+        wire.messages += mine.messages;
+        wire.payload_bytes += mine.payload_bytes;
+        for (std::size_t i = 0; i < kNumPrecisions; ++i) {
+          wire.tile_payload_bytes[i] += mine.tile_payload_bytes[i];
+        }
+        solutions.push_back(std::move(x));
+      }
+      SymmetricTileMatrix out = da.gather_full(comm);
+      if (comm.rank() == 0) gathered = std::move(out);
+    });
+    EXPECT_TRUE(slots_bitwise_equal(reference, gathered))
+        << "ranks=" << ranks;
+    ASSERT_EQ(solutions.size(), static_cast<std::size_t>(ranks));
+    for (const auto& x : solutions) {
+      EXPECT_EQ(
+          std::memcmp(x.data(), x_ref.data(), x.size() * sizeof(float)), 0)
+          << "ranks=" << ranks;
+    }
+    if (ranks == 1) EXPECT_EQ(wire.total_tile_bytes(), 0u);
+  }
+}
+
+TEST(DistTlrCholesky, CompressionShrinksWireBytes) {
+  // The paper's communication argument: shipping factor pairs instead of
+  // dense off-diagonal tiles must shrink the wire ledger on the same
+  // grid, same precision map, same input.
+  const std::size_t n = 192, ts = 32;
+  const std::size_t nt = n / ts;
+  const PrecisionMap map(nt, Precision::kFp32);
+  const auto factor_wire = [&](double tol) {
+    TlrPolicy policy;
+    policy.tol = tol;
+    const SymmetricTileMatrix full = tlr_input(n, ts, map, policy);
+    WireVolume wire;
+    std::mutex mutex;
+    run_ranks(4, [&](Communicator& comm) {
+      Runtime rt(1);
+      dist::DistSymmetricTileMatrix da(n, ts, ProcessGrid(4), comm.rank());
+      da.from_full(full);
+      dist::DistPotrfOptions options;
+      options.precision_map = &map;
+      dist::dist_tiled_potrf(rt, comm, da, options);
+      const WireVolume mine = comm.wire_volume();
+      std::lock_guard<std::mutex> lock(mutex);
+      wire.payload_bytes += mine.payload_bytes;
+      for (std::size_t i = 0; i < kNumPrecisions; ++i) {
+        wire.tile_payload_bytes[i] += mine.tile_payload_bytes[i];
+      }
+    });
+    return wire;
+  };
+  const WireVolume dense = factor_wire(0.0);
+  const WireVolume tlr = factor_wire(1e-4);
+  EXPECT_GT(tlr.total_tile_bytes(), 0u);
+  EXPECT_LT(tlr.total_tile_bytes(), dense.total_tile_bytes());
 }
 
 // --------------------------------------------------------- KRR pipeline

@@ -61,6 +61,27 @@ Matrix<float> smooth_spd_kernel(std::size_t n, float alpha) {
   return k;
 }
 
+/// Near-singular RBF kernel over clustered 1-D points (the escalation
+/// suite's fixture): an over-aggressive fp8 map genuinely breaks the
+/// factorization while the fp32 matrix stays comfortably SPD.
+Matrix<float> clustered_kernel(std::size_t n, double alpha,
+                               std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<double> x(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    x[i] = static_cast<double>(i / 8) + 0.01 * rng.normal();
+  }
+  Matrix<float> a(n, n);
+  for (std::size_t j = 0; j < n; ++j) {
+    for (std::size_t i = 0; i < n; ++i) {
+      const double d = x[i] - x[j];
+      a(i, j) = static_cast<float>(std::exp(-0.5 * d * d));
+    }
+    a(j, j) += static_cast<float>(alpha);
+  }
+  return a;
+}
+
 // -------------------------------------------------- truncation semantics
 
 TEST(LowRankSemantics, ZeroMatrixTruncatesToRankZero) {
@@ -242,7 +263,11 @@ TEST(TlrSidecar, SetDensifyAndFootprintAgree) {
   // The slot's dense payload is released; the footprint shrinks by the
   // difference between the dense tile and its factors.
   EXPECT_LT(tiles.storage_bytes(), dense_bytes);
-  EXPECT_EQ(tiles.tile(3, 0).storage_bytes(), 0u);
+  // Dense access to a low-rank slot is a typed error naming the tile;
+  // representation-generic readers go through slot().
+  EXPECT_THROW(tiles.tile(3, 0), InvalidArgument);
+  EXPECT_EQ(tiles.slot(3, 0).storage_bytes(),
+            tiles.slot(3, 0).low_rank().storage_bytes());
 
   // to_dense reconstructs the compressed slot.
   const Matrix<float> round = tiles.to_dense();
@@ -443,18 +468,53 @@ TEST(TlrCholesky, HalfPrecisionFactorsStillSolve) {
   EXPECT_LT(relative_error(x, x_ref), 5e-2);
 }
 
-TEST(TlrCholesky, EscalationModeIsRejected) {
-  const std::size_t n = 64, ts = 16;
-  SymmetricTileMatrix tiles(n, ts);
-  tiles.from_dense(smooth_spd_kernel(n, 2.0f));
+TEST(TlrCholesky, EscalationRecoversOnCompressedMatrix) {
+  // TLR + kEscalate now compose: rollback restores plan-low-rank slots in
+  // factored form (re-truncating the dense source at the escalated
+  // precision) and retries until the factorization completes.
+  const std::size_t n = 72, ts = 16;
+  const Matrix<float> kd = clustered_kernel(n, 0.02, 42);
+  const Matrix<float> b = random_matrix(n, 2, 5);
+  Runtime runtime;
+
+  SymmetricTileMatrix ref(n, ts);
+  ref.from_dense(kd);
+  tiled_potrf(runtime, ref);
+  Matrix<float> x_ref = b;
+  tiled_potrs(runtime, ref, x_ref);
+
+  // Over-aggressive fp8 off-diagonal map on the compressed matrix:
+  // deterministic breakdown, deterministic recovery.
+  SymmetricTileMatrix source(n, ts);
+  source.from_dense(kd);
+  SymmetricTileMatrix tiles = source;
+  PrecisionMap map(tiles.tile_count(), Precision::kFp32);
+  for (std::size_t tj = 0; tj < tiles.tile_count(); ++tj) {
+    for (std::size_t ti = tj + 1; ti < tiles.tile_count(); ++ti) {
+      map.set(ti, tj, Precision::kFp8E4M3);
+    }
+  }
   TlrPolicy policy;
   policy.tol = 1e-4;
-  plan_tlr_compression(
-      tiles, PrecisionMap(tiles.tile_count(), Precision::kFp32), policy);
-  Runtime runtime;
+  plan_tlr_compression(tiles, map, policy);
+  map.apply(tiles);
+  ASSERT_TRUE(tiles.has_low_rank());
+
   TiledPotrfOptions options;
   options.on_breakdown = BreakdownAction::kEscalate;
-  EXPECT_THROW(tiled_potrf(runtime, tiles, options), InvalidArgument);
+  options.max_escalations = 16;
+  options.source = &source;
+  FactorizationReport report;
+  options.report = &report;
+  tiled_potrf(runtime, tiles, options);
+  EXPECT_TRUE(report.recovered);
+  EXPECT_GE(report.escalations(), 1);
+
+  // Escalated factor still solves: un-promoted off-diagonal tiles stay
+  // fp8, so the envelope is fp8-level times the conditioning.
+  Matrix<float> x = b;
+  tiled_potrs(runtime, tiles, x);
+  EXPECT_LT(relative_error(x, x_ref), 0.6);
 }
 
 TEST(TlrCholesky, ZeroTolerancePlanKeepsDensePathBitwise) {
@@ -488,6 +548,63 @@ TEST(TlrCholesky, ZeroTolerancePlanKeepsDensePathBitwise) {
   }
 }
 
+TEST(TlrCholesky, BatchedTrailingUpdateMatchesUnbatchedBitwise) {
+  // Rank-bucketed batch keys are grouping hints only: coalescing the TLR
+  // trailing updates must not change a single byte of the factor —
+  // representation choices (which tiles densified, every factor payload)
+  // included.
+  const std::size_t n = 192, ts = 32;
+  const Matrix<float> k = smooth_spd_kernel(n, 2.0f);
+  Runtime runtime;
+
+  const auto factor = [&](bool batch) {
+    SymmetricTileMatrix a(n, ts);
+    a.from_dense(k);
+    TlrPolicy policy;
+    policy.tol = 1e-4;
+    plan_tlr_compression(
+        a, PrecisionMap(a.tile_count(), Precision::kFp32), policy);
+    TiledPotrfOptions options;
+    options.batch_trailing_update = batch;
+    tiled_potrf(runtime, a, options);
+    return a;
+  };
+  const SymmetricTileMatrix batched = factor(true);
+  const SymmetricTileMatrix unbatched = factor(false);
+  ASSERT_TRUE(batched.has_low_rank());
+
+  const std::size_t nt = batched.tile_count();
+  for (std::size_t tj = 0; tj < nt; ++tj) {
+    for (std::size_t ti = tj; ti < nt; ++ti) {
+      const TileSlot& sa = batched.slot(ti, tj);
+      const TileSlot& sb = unbatched.slot(ti, tj);
+      ASSERT_EQ(sa.is_low_rank(), sb.is_low_rank())
+          << "tile (" << ti << ", " << tj << ") representation diverged";
+      ASSERT_EQ(sa.storage_bytes(), sb.storage_bytes());
+      if (sa.is_low_rank()) {
+        const TlrTile& la = sa.low_rank();
+        const TlrTile& lb = sb.low_rank();
+        ASSERT_EQ(la.rank(), lb.rank());
+        if (la.u().storage_bytes() != 0) {
+          EXPECT_EQ(std::memcmp(la.u().raw(), lb.u().raw(),
+                                la.u().storage_bytes()),
+                    0)
+              << "tile (" << ti << ", " << tj << ") U diverged";
+          EXPECT_EQ(std::memcmp(la.v().raw(), lb.v().raw(),
+                                la.v().storage_bytes()),
+                    0)
+              << "tile (" << ti << ", " << tj << ") V diverged";
+        }
+      } else {
+        EXPECT_EQ(std::memcmp(sa.dense().raw(), sb.dense().raw(),
+                              sa.storage_bytes()),
+                  0)
+            << "tile (" << ti << ", " << tj << ") diverged";
+      }
+    }
+  }
+}
+
 // ------------------------------------------------------------- pipeline
 
 TEST(TlrAssociate, CompressedPipelineMatchesDenseSolve) {
@@ -499,6 +616,7 @@ TEST(TlrAssociate, CompressedPipelineMatchesDenseSolve) {
   AssociateConfig config;
   config.alpha = 2.0;
   config.mode = PrecisionMode::kFixed;
+  config.tlr = TlrPolicy{};  // explicit dense baseline, env knob or not
 
   SymmetricTileMatrix dense(n, ts);
   dense.from_dense(k);
@@ -515,11 +633,14 @@ TEST(TlrAssociate, CompressedPipelineMatchesDenseSolve) {
   EXPECT_LT(result.factor_bytes, ref.factor_bytes);
   EXPECT_LT(relative_error(result.weights, ref.weights), 1e-2);
 
-  // TLR + escalation is rejected up front.
+  // TLR + escalation compose: the pipeline keeps its compression and
+  // completes (rollback re-truncates from the pre-demotion kernel).
   config.on_breakdown = BreakdownAction::kEscalate;
   SymmetricTileMatrix again(n, ts);
   again.from_dense(k);
-  EXPECT_THROW(associate(runtime, again, ph, config), InvalidArgument);
+  const AssociateResult esc = associate(runtime, again, ph, config);
+  EXPECT_GT(esc.tlr.tiles_compressed, 0u);
+  EXPECT_LT(relative_error(esc.weights, ref.weights), 1e-2);
 }
 
 // ------------------------------------------------------------- env knob
